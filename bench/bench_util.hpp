@@ -1,0 +1,50 @@
+#pragma once
+
+// Shared plumbing for the figure benches: optional `--csv DIR` flag that
+// makes a bench also dump its series as CSV files for external plotting.
+
+#include <fstream>
+#include <iostream>
+#include <optional>
+#include <string>
+
+#include "stats/csv.hpp"
+
+namespace dlb::benchutil {
+
+/// Returns the directory passed via `--csv DIR`, if any.
+inline std::optional<std::string> csv_dir(int argc, char** argv) {
+  for (int i = 1; i + 1 < argc; ++i) {
+    if (std::string(argv[i]) == "--csv") return std::string(argv[i + 1]);
+  }
+  return std::nullopt;
+}
+
+/// Opens DIR/name.csv and writes the header; returns nullopt (with a
+/// warning on stderr) when the file cannot be created.
+class CsvFile {
+ public:
+  CsvFile(const std::string& dir, const std::string& name,
+          const std::vector<std::string>& header)
+      : out_(dir + "/" + name + ".csv") {
+    if (!out_) {
+      std::cerr << "warning: cannot write " << dir << "/" << name
+                << ".csv\n";
+      return;
+    }
+    writer_.emplace(out_);
+    writer_->header(header);
+  }
+
+  [[nodiscard]] bool ok() const { return writer_.has_value(); }
+
+  void row(const std::vector<std::string>& fields) {
+    if (writer_) writer_->row(fields);
+  }
+
+ private:
+  std::ofstream out_;
+  std::optional<stats::CsvWriter> writer_;
+};
+
+}  // namespace dlb::benchutil

@@ -1,0 +1,58 @@
+// Extension bench (Section IV's discussion): periodic a-priori balancing on
+// a *dynamic* workload. Every epoch, 32 of ~384 active jobs complete and 32
+// fresh ones appear on random machines; DLB2C gets a fixed exchange budget
+// per epoch. The per-epoch makespan is compared to the fractional lower
+// bound of the active job set, with a no-balancing control.
+
+#include <iostream>
+
+#include "core/generators.hpp"
+#include "dist/dlb2c.hpp"
+#include "dist/dynamic_workload.hpp"
+#include "stats/table.hpp"
+
+int main() {
+  using dlb::stats::TablePrinter;
+
+  std::cout << "Extension — DLB2C under churn (clusters 8+4, ~384 active "
+               "jobs, 32 arrive + 32 leave per epoch)\n"
+               "====================================================\n\n";
+
+  const dlb::Instance inst =
+      dlb::gen::two_cluster_uniform(8, 4, 4096, 1.0, 100.0, 11);
+  const dlb::dist::Dlb2cKernel kernel;
+
+  dlb::dist::DynamicOptions balanced;
+  balanced.epochs = 40;
+  balanced.seed = 12;
+  dlb::dist::DynamicOptions frozen = balanced;
+  frozen.exchanges_per_epoch = 0;
+
+  const auto with = dlb::dist::run_dynamic(inst, kernel, balanced);
+  const auto without = dlb::dist::run_dynamic(inst, kernel, frozen);
+
+  TablePrinter table({"epoch", "Cmax/LB (DLB2C 96x/epoch)",
+                      "Cmax/LB (no balancing)", "migrations/epoch"});
+  for (std::size_t e = 0; e < with.size(); e += 4) {
+    table.add_row({std::to_string(e), TablePrinter::fixed(with[e].ratio(), 3),
+                   TablePrinter::fixed(without[e].ratio(), 3),
+                   std::to_string(with[e].migrations)});
+  }
+  table.print(std::cout);
+
+  double with_tail = 0.0;
+  double without_tail = 0.0;
+  for (std::size_t e = with.size() / 2; e < with.size(); ++e) {
+    with_tail += with[e].ratio();
+    without_tail += without[e].ratio();
+  }
+  const auto half = static_cast<double>(with.size() - with.size() / 2);
+  std::cout << "\nsteady-state mean ratio: balanced="
+            << TablePrinter::fixed(with_tail / half, 3)
+            << "  unbalanced=" << TablePrinter::fixed(without_tail / half, 3)
+            << "\n\nShape check: with a periodic budget the ratio settles "
+               "near the converged value and stays there despite churn; "
+               "without balancing the randomly-placed arrivals keep the "
+               "system several times above the bound.\n";
+  return 0;
+}

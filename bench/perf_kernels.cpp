@@ -1,0 +1,83 @@
+// Microbenchmarks of the balancing kernels and centralized algorithms
+// (google-benchmark). Not a paper figure: standard throughput data for an
+// open-source release.
+
+#include <benchmark/benchmark.h>
+
+#include "centralized/clb2c.hpp"
+#include "centralized/ect.hpp"
+#include "centralized/list_scheduling.hpp"
+#include "centralized/lpt.hpp"
+#include "core/generators.hpp"
+#include "dist/dlb2c.hpp"
+#include "pairwise/basic_greedy.hpp"
+#include "pairwise/pair_clb2c.hpp"
+
+namespace {
+
+void BM_BasicGreedyPair(benchmark::State& state) {
+  const auto jobs_per_machine = static_cast<std::size_t>(state.range(0));
+  const dlb::Instance inst =
+      dlb::gen::uniform_unrelated(2, 2 * jobs_per_machine, 1.0, 1000.0, 1);
+  const dlb::pairwise::BasicGreedyKernel kernel;
+  for (auto _ : state) {
+    state.PauseTiming();
+    dlb::Schedule s(inst, dlb::gen::random_assignment(inst, 2));
+    state.ResumeTiming();
+    benchmark::DoNotOptimize(kernel.balance(s, 0, 1));
+  }
+  state.SetItemsProcessed(state.iterations() * 2 * jobs_per_machine);
+}
+BENCHMARK(BM_BasicGreedyPair)->Arg(8)->Arg(64)->Arg(512);
+
+void BM_PairClb2c(benchmark::State& state) {
+  const auto jobs = static_cast<std::size_t>(state.range(0));
+  const dlb::Instance inst =
+      dlb::gen::two_cluster_uniform(1, 1, jobs, 1.0, 1000.0, 3);
+  const dlb::pairwise::PairClb2cKernel kernel;
+  for (auto _ : state) {
+    state.PauseTiming();
+    dlb::Schedule s(inst, dlb::gen::random_assignment(inst, 4));
+    state.ResumeTiming();
+    benchmark::DoNotOptimize(kernel.balance(s, 0, 1));
+  }
+  state.SetItemsProcessed(state.iterations() * jobs);
+}
+BENCHMARK(BM_PairClb2c)->Arg(16)->Arg(128)->Arg(1024);
+
+void BM_Clb2cSchedule(benchmark::State& state) {
+  const auto jobs = static_cast<std::size_t>(state.range(0));
+  const dlb::Instance inst =
+      dlb::gen::two_cluster_uniform(64, 32, jobs, 1.0, 1000.0, 5);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(dlb::centralized::clb2c_schedule(inst));
+  }
+  state.SetItemsProcessed(state.iterations() * jobs);
+}
+BENCHMARK(BM_Clb2cSchedule)->Arg(768)->Arg(4096)->Arg(16384);
+
+void BM_ListSchedule(benchmark::State& state) {
+  const auto jobs = static_cast<std::size_t>(state.range(0));
+  const dlb::Instance inst =
+      dlb::gen::identical_uniform(96, jobs, 1.0, 1000.0, 6);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(dlb::centralized::list_schedule(inst));
+  }
+  state.SetItemsProcessed(state.iterations() * jobs);
+}
+BENCHMARK(BM_ListSchedule)->Arg(768)->Arg(16384);
+
+void BM_EctSchedule(benchmark::State& state) {
+  const auto jobs = static_cast<std::size_t>(state.range(0));
+  const dlb::Instance inst =
+      dlb::gen::uniform_unrelated(96, jobs, 1.0, 1000.0, 7);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(dlb::centralized::ect_schedule(inst));
+  }
+  state.SetItemsProcessed(state.iterations() * jobs);
+}
+BENCHMARK(BM_EctSchedule)->Arg(768)->Arg(4096);
+
+}  // namespace
+
+BENCHMARK_MAIN();

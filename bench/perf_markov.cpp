@@ -1,0 +1,58 @@
+// Microbenchmarks of the Markov-chain pipeline: state enumeration,
+// transition construction, SCC, stationary solve.
+
+#include <benchmark/benchmark.h>
+
+#include "markov/makespan_pdf.hpp"
+#include "markov/scc.hpp"
+
+namespace {
+
+void BM_EnumerateStates(benchmark::State& state) {
+  const int m = static_cast<int>(state.range(0));
+  const auto p_max = static_cast<dlb::markov::Load>(state.range(1));
+  const dlb::markov::Load total = p_max * m * (m - 1) / 2;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(dlb::markov::StateSpace::enumerate(m, total));
+  }
+}
+BENCHMARK(BM_EnumerateStates)->Args({4, 4})->Args({6, 4})->Args({6, 6});
+
+void BM_BuildTransitions(benchmark::State& state) {
+  const int m = static_cast<int>(state.range(0));
+  const auto p_max = static_cast<dlb::markov::Load>(state.range(1));
+  const dlb::markov::Load total = p_max * m * (m - 1) / 2;
+  const auto space = dlb::markov::StateSpace::enumerate(m, total);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        dlb::markov::TransitionMatrix::build(space, p_max));
+  }
+  state.counters["states"] = static_cast<double>(space.size());
+}
+BENCHMARK(BM_BuildTransitions)->Args({4, 4})->Args({5, 4})->Args({6, 4});
+
+void BM_Scc(benchmark::State& state) {
+  const int m = static_cast<int>(state.range(0));
+  const dlb::markov::Load p_max = 4;
+  const dlb::markov::Load total = p_max * m * (m - 1) / 2;
+  const auto space = dlb::markov::StateSpace::enumerate(m, total);
+  const auto matrix = dlb::markov::TransitionMatrix::build(space, p_max);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(dlb::markov::strongly_connected_components(matrix));
+  }
+  state.counters["edges"] = static_cast<double>(matrix.num_edges());
+}
+BENCHMARK(BM_Scc)->Arg(4)->Arg(5)->Arg(6);
+
+void BM_FullSteadyStateAnalysis(benchmark::State& state) {
+  const int m = static_cast<int>(state.range(0));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(dlb::markov::analyze_steady_state(m, 4));
+  }
+}
+BENCHMARK(BM_FullSteadyStateAnalysis)->Arg(4)->Arg(5)->Arg(6)
+    ->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+BENCHMARK_MAIN();

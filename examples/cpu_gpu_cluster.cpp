@@ -1,0 +1,77 @@
+// A GPU-accelerated cluster scenario — the workload the paper's
+// introduction motivates. Jobs have affinities: some are GPU-friendly
+// kernels (10x faster on the GPU cluster), the rest are branchy CPU codes
+// (10x slower there). The example compares every scheduling strategy in
+// the library on the same instance:
+//
+//   * submission-time heuristics (ECT, power-of-two-choices, Min-Min),
+//   * a-posteriori work stealing (simulated over time),
+//   * the centralized CLB2C, and
+//   * the decentralized DLB2C after a few exchanges per machine.
+//
+//   $ ./cpu_gpu_cluster
+
+#include <iostream>
+
+#include "centralized/clb2c.hpp"
+#include "centralized/ect.hpp"
+#include "centralized/min_min.hpp"
+#include "centralized/two_choices.hpp"
+#include "core/generators.hpp"
+#include "core/lower_bounds.hpp"
+#include "dist/dlb2c.hpp"
+#include "stats/table.hpp"
+#include "ws/work_stealing_sim.hpp"
+
+int main() {
+  using dlb::stats::TablePrinter;
+
+  constexpr std::size_t kCpus = 24;
+  constexpr std::size_t kGpus = 8;
+  constexpr std::size_t kJobs = 400;
+  const dlb::Instance instance = dlb::gen::cpu_gpu_affinity(
+      kCpus, kGpus, kJobs, /*lo=*/10.0, /*hi=*/100.0,
+      /*gpu_affine=*/0.4, /*speedup=*/10.0, /*seed=*/2024);
+  const dlb::Cost lb = dlb::makespan_lower_bound(instance);
+
+  std::cout << "CPU/GPU cluster: " << kCpus << " CPUs + " << kGpus
+            << " GPUs, " << kJobs << " jobs (40% GPU-affine, 10x factor)\n"
+            << "lower bound on OPT: " << TablePrinter::fixed(lb, 1) << "\n\n";
+
+  TablePrinter table({"strategy", "makespan", "vs_LB"});
+  auto report = [&](const char* name, dlb::Cost makespan) {
+    table.add_row({name, TablePrinter::fixed(makespan, 1),
+                   TablePrinter::fixed(makespan / lb, 3)});
+  };
+
+  report("ECT greedy (submission order)",
+         dlb::centralized::ect_schedule(instance).makespan());
+  dlb::stats::Rng rng_choices(5);
+  report("power-of-2-choices",
+         dlb::centralized::two_choices_schedule(instance, 2, rng_choices)
+             .makespan());
+  report("Min-Min", dlb::centralized::min_min_schedule(instance).makespan());
+
+  const dlb::Assignment scattered = dlb::gen::random_assignment(instance, 6);
+  dlb::ws::WsOptions ws_options;
+  ws_options.seed = 7;
+  const auto stealing =
+      dlb::ws::simulate_work_stealing(instance, scattered, ws_options);
+  report("work stealing (a posteriori)", stealing.makespan);
+
+  report("CLB2C (centralized 2-approx)",
+         dlb::centralized::clb2c_schedule(instance).makespan());
+
+  dlb::Schedule dlb2c(instance, scattered);
+  dlb::dist::EngineOptions options;
+  options.max_exchanges = (kCpus + kGpus) * 8;
+  dlb::stats::Rng rng(8);
+  const auto result = dlb::dist::run_dlb2c(dlb2c, options, rng);
+  report("DLB2C (8 exchanges/machine)", result.final_makespan);
+
+  table.print(std::cout);
+  std::cout << "\nNote how the a-priori decentralized DLB2C tracks the "
+               "centralized CLB2C closely, while affinity-blind placement "
+               "pays a large penalty on this fully heterogeneous system.\n";
+  return 0;
+}

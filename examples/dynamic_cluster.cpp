@@ -1,0 +1,52 @@
+// A dynamic cluster: jobs keep arriving on random machines and completing,
+// while DLB2C runs periodically in the background (Section IV's deployment
+// mode). Watch the makespan-to-lower-bound ratio stay flat under churn,
+// and collapse the moment the balancing budget is removed.
+//
+//   $ ./dynamic_cluster
+
+#include <iostream>
+
+#include "core/generators.hpp"
+#include "dist/dlb2c.hpp"
+#include "dist/dynamic_workload.hpp"
+#include "stats/table.hpp"
+
+int main() {
+  using dlb::stats::TablePrinter;
+
+  // A large pool of potential jobs; ~256 active at any time, 24 churn per
+  // epoch on 6+3 machines.
+  const dlb::Instance inst =
+      dlb::gen::two_cluster_uniform(6, 3, 4096, 1.0, 100.0, 41);
+  const dlb::dist::Dlb2cKernel kernel;
+
+  dlb::dist::DynamicOptions options;
+  options.initial_active = 256;
+  options.churn_per_epoch = 24;
+  options.exchanges_per_epoch = 72;  // 8 per machine per epoch
+  options.epochs = 30;
+  options.seed = 42;
+
+  const auto balanced = dlb::dist::run_dynamic(inst, kernel, options);
+  auto frozen_options = options;
+  frozen_options.exchanges_per_epoch = 0;
+  const auto frozen = dlb::dist::run_dynamic(inst, kernel, frozen_options);
+
+  std::cout << "Churning cluster (6+3 machines, ~256 active jobs, 24 "
+               "arrivals+departures per epoch)\n\n";
+  TablePrinter table({"epoch", "ratio with DLB2C", "ratio frozen",
+                      "migrations"});
+  for (std::size_t e = 0; e < balanced.size(); e += 3) {
+    table.add_row({std::to_string(e),
+                   TablePrinter::fixed(balanced[e].ratio(), 3),
+                   TablePrinter::fixed(frozen[e].ratio(), 3),
+                   std::to_string(balanced[e].migrations)});
+  }
+  table.print(std::cout);
+
+  std::cout << "\nPeriodic pairwise balancing absorbs the churn: fresh jobs "
+               "land anywhere, and within one epoch's budget the system is "
+               "back near the active set's fractional optimum.\n";
+  return 0;
+}

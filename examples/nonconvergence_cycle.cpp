@@ -1,0 +1,55 @@
+// Proposition 8, interactively: find a small two-cluster instance on which
+// DLB2C provably never settles, then watch the schedule cycle. This is the
+// paper's Figure 1 as a runnable program.
+//
+//   $ ./nonconvergence_cycle
+
+#include <iostream>
+
+#include "core/schedule.hpp"
+#include "dist/convergence.hpp"
+#include "dist/dlb2c.hpp"
+
+int main() {
+  const dlb::dist::Dlb2cKernel kernel;
+
+  std::cout << "Searching for a certified non-convergence witness "
+               "(2+1 machines, 5 jobs)...\n";
+  const auto witness = dlb::dist::find_nonconvergent_case(
+      kernel, /*m1=*/2, /*m2=*/1, /*jobs=*/5, /*cost_hi=*/6,
+      /*attempts=*/400, /*seed=*/2015);
+  if (!witness) {
+    std::cout << "none found in the search budget\n";
+    return 1;
+  }
+
+  const dlb::Instance& inst = witness->instance;
+  std::cout << "\nFound one. Costs (cluster1 = machines {0,1}, cluster2 = "
+               "machine {2}):\n";
+  for (dlb::JobId j = 0; j < inst.num_jobs(); ++j) {
+    std::cout << "  job " << j << ": p1=" << inst.group_cost(0, j)
+              << " p2=" << inst.group_cost(1, j) << "  initially on machine "
+              << witness->initial.machine_of(j) << "\n";
+  }
+  std::cout << "\nEvery schedule reachable from this start ("
+            << witness->closure_size
+            << " of them) still has an exchange that changes it: DLB2C can "
+               "never stop.\n\n";
+
+  // Watch it wander: deterministic round-robin sweeps this time. Each
+  // sweep applies every ordered pair once; `changes` counts how many pair
+  // operations still moved jobs — it never reaches zero.
+  dlb::Schedule s(inst, witness->initial);
+  std::cout << "Deterministic sweeps (changed pair-ops per sweep never hits "
+               "0):\n";
+  for (int sweep = 0; sweep < 6; ++sweep) {
+    const std::size_t changes = dlb::dist::sweep_all_pairs(s, kernel);
+    std::cout << "  sweep " << sweep + 1 << ": " << changes
+              << " pair-ops changed the schedule, Cmax=" << s.makespan()
+              << "\n";
+  }
+  std::cout << "\nThe schedule keeps changing forever — yet Section VII "
+               "shows the resulting dynamic equilibrium stays close to the "
+               "optimum, so DLB2C remains a sensible algorithm.\n";
+  return 0;
+}

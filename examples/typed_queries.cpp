@@ -1,0 +1,58 @@
+// Section V scenario: a query-serving system where most jobs are instances
+// of a handful of query templates. Jobs of the same template cost the same
+// on any given machine, so MJTB can balance each template independently and
+// guarantee a k-approximation (Theorem 5) on otherwise fully unrelated
+// machines.
+//
+//   $ ./typed_queries
+
+#include <iostream>
+
+#include "centralized/ect.hpp"
+#include "core/generators.hpp"
+#include "core/lower_bounds.hpp"
+#include "dist/mjtb.hpp"
+#include "stats/table.hpp"
+
+int main() {
+  using dlb::stats::TablePrinter;
+
+  constexpr std::size_t kMachines = 12;
+  constexpr std::size_t kJobs = 240;
+
+  std::cout << "Typed-query workload: " << kMachines
+            << " unrelated machines, " << kJobs
+            << " jobs drawn from k query templates\n\n";
+
+  TablePrinter table({"k_types", "MJTB_makespan", "sum_of_type_optima",
+                      "vs_certificate", "converged"});
+  for (const std::size_t k : {1u, 2u, 4u, 8u}) {
+    dlb::Instance instance =
+        dlb::gen::typed_uniform(kMachines, kJobs, k, 5.0, 50.0, 100 + k);
+
+    dlb::Schedule schedule(instance,
+                           dlb::gen::random_assignment(instance, 200 + k));
+    dlb::dist::EngineOptions options;
+    options.max_exchanges = 200'000;
+    options.stability_check_interval = 2'000;
+    dlb::stats::Rng rng(300 + k);
+    const dlb::dist::RunResult result =
+        dlb::dist::run_mjtb(schedule, options, rng);
+
+    // Theorem 5's certificate: at convergence Cmax <= sum of per-type
+    // optima, and each per-type optimum is <= OPT, hence Cmax <= k * OPT.
+    const dlb::Cost bound = dlb::dist::mjtb_convergence_bound(instance);
+    table.add_row({std::to_string(k),
+                   TablePrinter::fixed(result.final_makespan, 1),
+                   TablePrinter::fixed(bound, 1),
+                   TablePrinter::fixed(result.final_makespan / bound, 3),
+                   result.converged ? "yes" : "no"});
+  }
+  table.print(std::cout);
+
+  std::cout << "\nThe guarantee degrades linearly with the number of "
+               "templates (Theorem 5), but the measured makespan is far "
+               "better than k*OPT in practice — each type's own optimum "
+               "already spreads the load well.\n";
+  return 0;
+}

@@ -1,0 +1,59 @@
+#include "centralized/clb2c.hpp"
+
+#include <numeric>
+#include <queue>
+#include <stdexcept>
+#include <vector>
+
+#include "pairwise/greedy_pair_balance.hpp"
+
+namespace dlb::centralized {
+
+Schedule clb2c_schedule(const Instance& instance, Clb2cOrdering ordering) {
+  if (instance.num_groups() != 2 || !instance.unit_scales()) {
+    throw std::invalid_argument(
+        "clb2c_schedule: needs two clusters of identical machines");
+  }
+  std::vector<JobId> jobs(instance.num_jobs());
+  std::iota(jobs.begin(), jobs.end(), 0);
+  if (ordering == Clb2cOrdering::kRatioSorted) {
+    pairwise::sort_by_group_ratio(instance, 0, 1, jobs);
+  }
+
+  Schedule schedule(instance);
+  // Min-heap of (load, machine) per cluster; every pop is followed by a
+  // push, so entries are never stale.
+  using Entry = std::pair<Cost, MachineId>;
+  using MinHeap = std::priority_queue<Entry, std::vector<Entry>, std::greater<>>;
+  MinHeap heap1;
+  MinHeap heap2;
+  for (MachineId i : instance.machines_in_group(0)) heap1.emplace(0.0, i);
+  for (MachineId i : instance.machines_in_group(1)) heap2.emplace(0.0, i);
+
+  std::size_t front = 0;
+  std::size_t back = jobs.size();
+  while (front < back) {
+    const JobId jf = jobs[front];
+    const JobId jb = jobs[back - 1];
+    const auto [load1, m1] = heap1.top();
+    const auto [load2, m2] = heap2.top();
+    const Cost completion1 = load1 + instance.group_cost(0, jf);
+    const Cost completion2 = load2 + instance.group_cost(1, jb);
+    // Commit the placement with the smaller resulting completion time.
+    // When one job remains, jf == jb and the same rule picks its side.
+    if (completion1 <= completion2) {
+      schedule.assign(jf, m1);
+      heap1.pop();
+      heap1.emplace(completion1, m1);
+      ++front;
+    } else {
+      schedule.assign(jb, m2);
+      heap2.pop();
+      heap2.emplace(completion2, m2);
+      --back;
+    }
+  }
+  return schedule;
+}
+
+}  // namespace dlb::centralized

@@ -1,0 +1,31 @@
+#pragma once
+
+// CLB2C — Centralized Load Balancing for Two Clusters (Algorithm 5), the
+// paper's centralized contribution and the reference ("cent") every
+// Section VII experiment is normalized against.
+//
+// Jobs are sorted by the ratio p1(j)/p2(j) so that cluster-1-friendly jobs
+// sit at the front of the list and cluster-2-friendly jobs at the back.
+// While jobs remain, the algorithm evaluates placing the *first* job on the
+// least-loaded machine of cluster 1 and the *last* job on the least-loaded
+// machine of cluster 2, and commits whichever placement yields the smaller
+// completion time. Theorem 6: a 2-approximation whenever
+// max_{i,j} p(i,j) <= OPT.
+
+#include "core/schedule.hpp"
+
+namespace dlb::centralized {
+
+/// How the job list is ordered before the two-pointer walk.
+enum class Clb2cOrdering {
+  kRatioSorted,  ///< Algorithm 5: increasing p1/p2 (the 2-approx needs it).
+  kJobIdOrder,   ///< Ablation: submission order; no guarantee survives.
+};
+
+/// Requires a two-group instance with unit scales (two clusters of
+/// identical machines); throws std::invalid_argument otherwise.
+[[nodiscard]] Schedule clb2c_schedule(
+    const Instance& instance,
+    Clb2cOrdering ordering = Clb2cOrdering::kRatioSorted);
+
+}  // namespace dlb::centralized

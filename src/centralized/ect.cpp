@@ -1,0 +1,35 @@
+#include "centralized/ect.hpp"
+
+#include <numeric>
+#include <stdexcept>
+
+namespace dlb::centralized {
+
+Schedule ect_schedule(const Instance& instance,
+                      const std::vector<JobId>& order) {
+  if (order.size() != instance.num_jobs()) {
+    throw std::invalid_argument("ect_schedule: order must cover all jobs");
+  }
+  Schedule schedule(instance);
+  for (JobId j : order) {
+    MachineId best = 0;
+    Cost best_completion = schedule.load(0) + instance.cost(0, j);
+    for (MachineId i = 1; i < instance.num_machines(); ++i) {
+      const Cost completion = schedule.load(i) + instance.cost(i, j);
+      if (completion < best_completion) {
+        best_completion = completion;
+        best = i;
+      }
+    }
+    schedule.assign(j, best);
+  }
+  return schedule;
+}
+
+Schedule ect_schedule(const Instance& instance) {
+  std::vector<JobId> order(instance.num_jobs());
+  std::iota(order.begin(), order.end(), 0);
+  return ect_schedule(instance, order);
+}
+
+}  // namespace dlb::centralized

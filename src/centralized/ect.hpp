@@ -1,0 +1,19 @@
+#pragma once
+
+// Earliest Completion Time greedy for unrelated machines: each job, in the
+// given order, goes to the machine where it would *finish* first
+// (load + p(i, j), not just load). The natural submission-time heuristic on
+// heterogeneous systems — with no approximation guarantee, which is exactly
+// the gap the paper's decentralized algorithms address.
+
+#include <vector>
+
+#include "core/schedule.hpp"
+
+namespace dlb::centralized {
+
+[[nodiscard]] Schedule ect_schedule(const Instance& instance,
+                                    const std::vector<JobId>& order);
+[[nodiscard]] Schedule ect_schedule(const Instance& instance);
+
+}  // namespace dlb::centralized

@@ -1,0 +1,146 @@
+#include "centralized/exact_bnb.hpp"
+
+#include <algorithm>
+#include <numeric>
+#include <vector>
+
+#include "centralized/clb2c.hpp"
+#include "centralized/ect.hpp"
+#include "centralized/lpt.hpp"
+
+namespace dlb::centralized {
+
+namespace {
+
+class Solver {
+ public:
+  Solver(const Instance& instance, const ExactOptions& options)
+      : instance_(instance),
+        options_(options),
+        loads_(instance.num_machines(), 0.0),
+        current_(instance.num_jobs(), kUnassigned),
+        best_assignment_(instance.num_jobs()) {
+    // Jobs by decreasing cheapest cost: hard jobs first tightens bounds.
+    order_.resize(instance.num_jobs());
+    std::iota(order_.begin(), order_.end(), 0);
+    min_cost_.resize(instance.num_jobs());
+    for (JobId j = 0; j < instance.num_jobs(); ++j) {
+      min_cost_[j] = instance.min_cost_of_job(j);
+    }
+    std::sort(order_.begin(), order_.end(), [&](JobId a, JobId b) {
+      if (min_cost_[a] != min_cost_[b]) return min_cost_[a] > min_cost_[b];
+      return a < b;
+    });
+    // Suffix sums of cheapest costs for the averaged work bound.
+    suffix_min_work_.assign(instance.num_jobs() + 1, 0.0);
+    for (std::size_t k = instance.num_jobs(); k-- > 0;) {
+      suffix_min_work_[k] = suffix_min_work_[k + 1] + min_cost_[order_[k]];
+    }
+    seed_incumbent();
+  }
+
+  ExactResult run() {
+    dfs(0, 0.0);
+    ExactResult result;
+    result.optimal = best_;
+    result.assignment = Assignment(best_assignment_);
+    result.nodes = nodes_;
+    result.proven = nodes_ <= options_.node_limit;
+    return result;
+  }
+
+ private:
+  void seed_incumbent() {
+    Schedule ect = ect_schedule(instance_);
+    best_ = ect.makespan();
+    best_assignment_ = ect.assignment().raw();
+    Schedule lpt = lpt_schedule(instance_);
+    if (lpt.makespan() < best_) {
+      best_ = lpt.makespan();
+      best_assignment_ = lpt.assignment().raw();
+    }
+    if (instance_.num_groups() == 2 && instance_.unit_scales()) {
+      Schedule clb2c = clb2c_schedule(instance_);
+      if (clb2c.makespan() < best_) {
+        best_ = clb2c.makespan();
+        best_assignment_ = clb2c.assignment().raw();
+      }
+    }
+  }
+
+  void dfs(std::size_t depth, Cost cmax) {
+    if (nodes_ > options_.node_limit) return;
+    ++nodes_;
+    if (depth == order_.size()) {
+      if (cmax < best_) {
+        best_ = cmax;
+        best_assignment_ = current_;
+      }
+      return;
+    }
+    // Bound: even spreading the remaining cheapest work over all machines
+    // cannot push the makespan below this.
+    const double used =
+        std::accumulate(loads_.begin(), loads_.end(), 0.0);
+    const double avg_bound = (used + suffix_min_work_[depth]) /
+                             static_cast<double>(loads_.size());
+    const Cost hardest_left = min_cost_[order_[depth]];
+    const Cost lb = std::max({cmax, avg_bound, hardest_left});
+    if (lb >= best_) return;
+
+    const JobId j = order_[depth];
+    // Children ordered by resulting completion (cheapest first).
+    std::vector<MachineId> machines(loads_.size());
+    std::iota(machines.begin(), machines.end(), 0);
+    std::sort(machines.begin(), machines.end(), [&](MachineId a, MachineId b) {
+      const Cost ca = loads_[a] + instance_.cost(a, j);
+      const Cost cb = loads_[b] + instance_.cost(b, j);
+      if (ca != cb) return ca < cb;
+      return a < b;
+    });
+    // Symmetry breaking: two machines in the same group, with the same
+    // scale and the same load, are interchangeable — explore only one.
+    for (std::size_t k = 0; k < machines.size(); ++k) {
+      const MachineId i = machines[k];
+      bool symmetric_duplicate = false;
+      for (std::size_t prev = 0; prev < k; ++prev) {
+        const MachineId p = machines[prev];
+        if (instance_.group_of(p) == instance_.group_of(i) &&
+            instance_.scale(p) == instance_.scale(i) &&
+            loads_[p] == loads_[i]) {
+          symmetric_duplicate = true;
+          break;
+        }
+      }
+      if (symmetric_duplicate) continue;
+      const Cost cost = instance_.cost(i, j);
+      const Cost child_cmax = std::max(cmax, loads_[i] + cost);
+      if (child_cmax >= best_) continue;
+      loads_[i] += cost;
+      current_[j] = i;
+      dfs(depth + 1, child_cmax);
+      current_[j] = kUnassigned;
+      loads_[i] -= cost;
+      if (nodes_ > options_.node_limit) return;
+    }
+  }
+
+  const Instance& instance_;
+  ExactOptions options_;
+  std::vector<Cost> loads_;
+  std::vector<MachineId> current_;
+  std::vector<MachineId> best_assignment_;
+  std::vector<JobId> order_;
+  std::vector<Cost> min_cost_;
+  std::vector<double> suffix_min_work_;
+  Cost best_ = 0.0;
+  std::uint64_t nodes_ = 0;
+};
+
+}  // namespace
+
+ExactResult solve_exact(const Instance& instance, const ExactOptions& options) {
+  return Solver(instance, options).run();
+}
+
+}  // namespace dlb::centralized

@@ -1,0 +1,39 @@
+#pragma once
+
+// Exact branch-and-bound for R||Cmax on small instances. The problem is
+// NP-complete, so this is strictly a test/bench oracle: the property tests
+// verify every approximation claim (Lemma 4, Theorems 5, 6, 7) against the
+// true optimum it computes.
+//
+// Search: depth-first over jobs ordered by decreasing cheapest cost;
+// children ordered by resulting completion time; pruning by the max of
+// three lower bounds (current makespan, averaged remaining min-work, most
+// expensive remaining job); symmetry breaking between equal machines.
+
+#include <cstdint>
+#include <optional>
+
+#include "core/schedule.hpp"
+
+namespace dlb::centralized {
+
+struct ExactOptions {
+  /// Abort after this many search nodes; the result is then an upper bound
+  /// (`proven` = false).
+  std::uint64_t node_limit = 20'000'000;
+};
+
+struct ExactResult {
+  Cost optimal = 0.0;        ///< Best makespan found (== OPT when proven).
+  Assignment assignment;     ///< A schedule achieving `optimal`.
+  std::uint64_t nodes = 0;   ///< Search nodes expanded.
+  bool proven = true;        ///< False iff the node limit was hit.
+};
+
+/// Computes OPT for the instance. Practical up to roughly 14 jobs on a
+/// handful of machines; raises no exception on larger inputs but may hit
+/// the node limit.
+[[nodiscard]] ExactResult solve_exact(const Instance& instance,
+                                      const ExactOptions& options = {});
+
+}  // namespace dlb::centralized

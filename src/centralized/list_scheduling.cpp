@@ -1,0 +1,37 @@
+#include "centralized/list_scheduling.hpp"
+
+#include <numeric>
+#include <queue>
+#include <stdexcept>
+
+namespace dlb::centralized {
+
+Schedule list_schedule(const Instance& instance,
+                       const std::vector<JobId>& order) {
+  if (order.size() != instance.num_jobs()) {
+    throw std::invalid_argument("list_schedule: order must cover all jobs");
+  }
+  Schedule schedule(instance);
+  // Min-heap of (load, machine); lazily refreshed entries are unnecessary
+  // because every pop is immediately followed by a push of the new load.
+  using Entry = std::pair<Cost, MachineId>;
+  std::priority_queue<Entry, std::vector<Entry>, std::greater<>> heap;
+  for (MachineId i = 0; i < instance.num_machines(); ++i) {
+    heap.emplace(0.0, i);
+  }
+  for (JobId j : order) {
+    const auto [load, machine] = heap.top();
+    heap.pop();
+    schedule.assign(j, machine);
+    heap.emplace(schedule.load(machine), machine);
+  }
+  return schedule;
+}
+
+Schedule list_schedule(const Instance& instance) {
+  std::vector<JobId> order(instance.num_jobs());
+  std::iota(order.begin(), order.end(), 0);
+  return list_schedule(instance, order);
+}
+
+}  // namespace dlb::centralized

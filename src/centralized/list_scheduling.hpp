@@ -1,0 +1,23 @@
+#pragma once
+
+// Graham's List Scheduling (1966): greedily place each job, in the given
+// order, on the machine that is available first (least loaded). A
+// 2-approximation on identical machines; the classical centralized baseline
+// of Section III. The priority-queue implementation is the O(log m) per job
+// "least loaded machine first" policy the paper's introduction discusses.
+
+#include <vector>
+
+#include "core/schedule.hpp"
+
+namespace dlb::centralized {
+
+/// Schedules jobs in `order` (must be a permutation of all jobs) onto the
+/// least-loaded machine. Ties break toward the smallest machine id.
+[[nodiscard]] Schedule list_schedule(const Instance& instance,
+                                     const std::vector<JobId>& order);
+
+/// Jobs in natural id order (the online "submission order" variant).
+[[nodiscard]] Schedule list_schedule(const Instance& instance);
+
+}  // namespace dlb::centralized

@@ -1,0 +1,35 @@
+#pragma once
+
+// Local-search improvement for R||Cmax schedules: repeatedly relieve the
+// makespan machine by moving one of its jobs (or swapping it against a
+// cheaper job elsewhere) whenever that strictly lowers the makespan.
+// A standard upper-bound tightener used by the benches: it certifies how
+// much slack a heuristic schedule still had, and gives the decentralized
+// algorithms a strong centralized opponent that is still polynomial.
+
+#include <cstddef>
+
+#include "core/schedule.hpp"
+
+namespace dlb::centralized {
+
+struct LocalSearchOptions {
+  /// Cap on accepted improving steps.
+  std::size_t max_steps = 100'000;
+  /// Also consider 1-1 job swaps with the makespan machine (more powerful,
+  /// O(n * m) per step instead of O(n_max * m)).
+  bool allow_swaps = true;
+};
+
+struct LocalSearchResult {
+  std::size_t steps = 0;     ///< Accepted improving moves/swaps.
+  bool local_optimum = true; ///< False iff stopped by max_steps.
+};
+
+/// Improves `schedule` in place; the makespan never increases. On return
+/// with `local_optimum`, no single move (and no swap, if enabled) involving
+/// the makespan machine can strictly reduce the makespan.
+LocalSearchResult local_search_improve(Schedule& schedule,
+                                       const LocalSearchOptions& options = {});
+
+}  // namespace dlb::centralized

@@ -1,0 +1,25 @@
+#include "centralized/lpt.hpp"
+
+#include <algorithm>
+#include <numeric>
+#include <vector>
+
+#include "centralized/list_scheduling.hpp"
+
+namespace dlb::centralized {
+
+Schedule lpt_schedule(const Instance& instance) {
+  std::vector<JobId> order(instance.num_jobs());
+  std::iota(order.begin(), order.end(), 0);
+  std::vector<Cost> size(instance.num_jobs());
+  for (JobId j = 0; j < instance.num_jobs(); ++j) {
+    size[j] = instance.min_cost_of_job(j);
+  }
+  std::sort(order.begin(), order.end(), [&](JobId a, JobId b) {
+    if (size[a] != size[b]) return size[a] > size[b];
+    return a < b;
+  });
+  return list_schedule(instance, order);
+}
+
+}  // namespace dlb::centralized

@@ -1,0 +1,15 @@
+#pragma once
+
+// Largest Processing Time first: List Scheduling after sorting jobs by
+// decreasing size — the 4/3-approximation on identical machines (the paper
+// cites the 3/2 bound of [12] for the general ordered case). On
+// heterogeneous instances the "size" of a job is taken as its cheapest
+// execution time.
+
+#include "core/schedule.hpp"
+
+namespace dlb::centralized {
+
+[[nodiscard]] Schedule lpt_schedule(const Instance& instance);
+
+}  // namespace dlb::centralized

@@ -1,0 +1,72 @@
+#include "centralized/min_min.hpp"
+
+#include <limits>
+#include <vector>
+
+namespace dlb::centralized {
+
+namespace {
+
+struct BestPair {
+  Cost best = std::numeric_limits<Cost>::infinity();
+  Cost second = std::numeric_limits<Cost>::infinity();
+  MachineId machine = 0;
+};
+
+BestPair best_completions(const Instance& instance, const Schedule& schedule,
+                          JobId j) {
+  BestPair out;
+  for (MachineId i = 0; i < instance.num_machines(); ++i) {
+    const Cost completion = schedule.load(i) + instance.cost(i, j);
+    if (completion < out.best) {
+      out.second = out.best;
+      out.best = completion;
+      out.machine = i;
+    } else if (completion < out.second) {
+      out.second = completion;
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+Schedule batch_schedule(const Instance& instance, BatchPolicy policy) {
+  Schedule schedule(instance);
+  std::vector<JobId> pending(instance.num_jobs());
+  for (JobId j = 0; j < instance.num_jobs(); ++j) pending[j] = j;
+
+  while (!pending.empty()) {
+    std::size_t chosen = 0;
+    BestPair chosen_bp;
+    double chosen_key = 0.0;
+    bool first = true;
+    for (std::size_t k = 0; k < pending.size(); ++k) {
+      const BestPair bp = best_completions(instance, schedule, pending[k]);
+      double key = 0.0;
+      switch (policy) {
+        case BatchPolicy::kMinMin:
+          key = -bp.best;  // maximize -best == minimize best
+          break;
+        case BatchPolicy::kMaxMin:
+          key = bp.best;
+          break;
+        case BatchPolicy::kSufferage:
+          key = bp.second - bp.best;  // inf gap when only one machine
+          break;
+      }
+      if (first || key > chosen_key) {
+        first = false;
+        chosen_key = key;
+        chosen = k;
+        chosen_bp = bp;
+      }
+    }
+    schedule.assign(pending[chosen], chosen_bp.machine);
+    pending[chosen] = pending.back();
+    pending.pop_back();
+  }
+  return schedule;
+}
+
+}  // namespace dlb::centralized

@@ -1,0 +1,33 @@
+#pragma once
+
+// The classical batch-mode heuristics for unrelated machines: Min-Min,
+// Max-Min and Sufferage. Each iteration computes, for every unassigned job,
+// its best completion time over all machines, then commits one job:
+//
+//   Min-Min   — the job with the globally smallest best completion;
+//   Max-Min   — the job with the largest best completion (big jobs first);
+//   Sufferage — the job that would "suffer" most if denied its best
+//               machine (largest second-best minus best gap).
+//
+// O(n^2 * m) worst case; intended for baseline comparisons at moderate n.
+
+#include "core/schedule.hpp"
+
+namespace dlb::centralized {
+
+enum class BatchPolicy { kMinMin, kMaxMin, kSufferage };
+
+[[nodiscard]] Schedule batch_schedule(const Instance& instance,
+                                      BatchPolicy policy);
+
+[[nodiscard]] inline Schedule min_min_schedule(const Instance& instance) {
+  return batch_schedule(instance, BatchPolicy::kMinMin);
+}
+[[nodiscard]] inline Schedule max_min_schedule(const Instance& instance) {
+  return batch_schedule(instance, BatchPolicy::kMaxMin);
+}
+[[nodiscard]] inline Schedule sufferage_schedule(const Instance& instance) {
+  return batch_schedule(instance, BatchPolicy::kSufferage);
+}
+
+}  // namespace dlb::centralized

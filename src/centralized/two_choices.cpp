@@ -1,0 +1,28 @@
+#include "centralized/two_choices.hpp"
+
+#include <stdexcept>
+
+namespace dlb::centralized {
+
+Schedule two_choices_schedule(const Instance& instance, std::size_t d,
+                              stats::Rng& rng) {
+  if (d == 0) throw std::invalid_argument("two_choices_schedule: d >= 1");
+  Schedule schedule(instance);
+  for (JobId j = 0; j < instance.num_jobs(); ++j) {
+    MachineId best = static_cast<MachineId>(rng.below(instance.num_machines()));
+    Cost best_completion = schedule.load(best) + instance.cost(best, j);
+    for (std::size_t probe = 1; probe < d; ++probe) {
+      const auto i =
+          static_cast<MachineId>(rng.below(instance.num_machines()));
+      const Cost completion = schedule.load(i) + instance.cost(i, j);
+      if (completion < best_completion) {
+        best_completion = completion;
+        best = i;
+      }
+    }
+    schedule.assign(j, best);
+  }
+  return schedule;
+}
+
+}  // namespace dlb::centralized

@@ -1,0 +1,22 @@
+#pragma once
+
+// The "balls in bins" power-of-d-choices placement the paper cites
+// ([4], [2], [3]): instead of probing all machines, each job probes d
+// machines drawn uniformly at random and takes the one where it completes
+// first. Decentralizable at submission time, with an O(ln ln n / ln d)
+// imbalance on identical machines — but, as the paper stresses, with no
+// guarantee on fully heterogeneous systems.
+
+#include <cstddef>
+
+#include "core/schedule.hpp"
+#include "stats/rng.hpp"
+
+namespace dlb::centralized {
+
+/// Places jobs in id order; each probes `d` machines (sampled with
+/// replacement, d >= 1) and picks the earliest completion among them.
+[[nodiscard]] Schedule two_choices_schedule(const Instance& instance,
+                                            std::size_t d, stats::Rng& rng);
+
+}  // namespace dlb::centralized

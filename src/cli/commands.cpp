@@ -1,0 +1,291 @@
+#include "cli/commands.hpp"
+
+#include <fstream>
+#include <functional>
+#include <map>
+#include <stdexcept>
+
+#include "centralized/clb2c.hpp"
+#include "centralized/ect.hpp"
+#include "centralized/exact_bnb.hpp"
+#include "centralized/lenstra.hpp"
+#include "centralized/list_scheduling.hpp"
+#include "centralized/lpt.hpp"
+#include "centralized/min_min.hpp"
+#include "cli/args.hpp"
+#include "core/generators.hpp"
+#include "core/instance_io.hpp"
+#include "core/lower_bounds.hpp"
+#include "core/validation.hpp"
+#include "dist/dlb2c.hpp"
+#include "dist/dlbkc.hpp"
+#include "dist/mjtb.hpp"
+#include "dist/ojtb.hpp"
+#include "markov/makespan_pdf.hpp"
+#include "stats/csv.hpp"
+#include "stats/table.hpp"
+
+namespace dlb::cli {
+
+namespace {
+
+int usage_error(std::ostream& err, const std::string& message) {
+  err << "dlbsim: " << message << "\n" << usage();
+  return 2;
+}
+
+int check_unused(const Args& args, std::ostream& err) {
+  const auto unused = args.unused();
+  if (unused.empty()) return 0;
+  std::string message = "unknown option(s):";
+  for (const auto& key : unused) message += " --" + key;
+  return usage_error(err, message);
+}
+
+// ----- gen -----
+
+int cmd_gen(const Args& args, std::ostream& out, std::ostream& err) {
+  const std::string kind = args.get("kind", "two-cluster");
+  const auto jobs = static_cast<std::size_t>(args.get_int("jobs", 768));
+  const Cost lo = args.get_double("lo", 1.0);
+  const Cost hi = args.get_double("hi", 1000.0);
+  const std::uint64_t seed = args.get_seed("seed", 1);
+  const std::string path = args.require("out");
+
+  Instance instance = [&]() -> Instance {
+    if (kind == "two-cluster") {
+      const auto m1 = static_cast<std::size_t>(args.get_int("m1", 64));
+      const auto m2 = static_cast<std::size_t>(args.get_int("m2", 32));
+      return gen::two_cluster_uniform(m1, m2, jobs, lo, hi, seed);
+    }
+    if (kind == "identical") {
+      const auto m = static_cast<std::size_t>(args.get_int("m", 96));
+      return gen::identical_uniform(m, jobs, lo, hi, seed);
+    }
+    if (kind == "unrelated") {
+      const auto m = static_cast<std::size_t>(args.get_int("m", 16));
+      return gen::uniform_unrelated(m, jobs, lo, hi, seed);
+    }
+    if (kind == "typed") {
+      const auto m = static_cast<std::size_t>(args.get_int("m", 16));
+      const auto types = static_cast<std::size_t>(args.get_int("types", 4));
+      return gen::typed_uniform(m, jobs, types, lo, hi, seed);
+    }
+    if (kind == "multi") {
+      // --sizes 16,8,4 -> three clusters.
+      const std::string sizes_text = args.get("sizes", "16,16");
+      std::vector<std::size_t> sizes;
+      std::size_t begin = 0;
+      while (begin <= sizes_text.size()) {
+        const std::size_t comma = sizes_text.find(',', begin);
+        const std::string part =
+            sizes_text.substr(begin, comma == std::string::npos
+                                         ? std::string::npos
+                                         : comma - begin);
+        try {
+          const long value = std::stol(part);
+          if (value <= 0) throw std::invalid_argument("nonpositive");
+          sizes.push_back(static_cast<std::size_t>(value));
+        } catch (const std::exception&) {
+          throw std::invalid_argument("--sizes expects a comma-separated "
+                                      "list of positive integers");
+        }
+        if (comma == std::string::npos) break;
+        begin = comma + 1;
+      }
+      return gen::multi_cluster_uniform(sizes, jobs, lo, hi, seed);
+    }
+    throw std::invalid_argument(
+        "unknown --kind '" + kind +
+        "' (two-cluster|identical|unrelated|typed|multi)");
+  }();
+  if (const int rc = check_unused(args, err)) return rc;
+
+  io::save_instance_file(instance, path);
+  out << "wrote " << path << ": " << instance.num_machines() << " machines ("
+      << instance.num_groups() << " groups), " << instance.num_jobs()
+      << " jobs\n";
+  return 0;
+}
+
+// ----- info -----
+
+int cmd_info(const Args& args, std::ostream& out, std::ostream& err) {
+  const std::string path = args.require("in");
+  if (const int rc = check_unused(args, err)) return rc;
+  const Instance instance = io::load_instance_file(path);
+  out << "machines      : " << instance.num_machines() << "\n"
+      << "groups        : " << instance.num_groups() << "\n"
+      << "jobs          : " << instance.num_jobs() << "\n"
+      << "job types     : "
+      << (instance.has_job_types() ? std::to_string(instance.num_job_types())
+                                   : std::string("(undeclared)"))
+      << "\n"
+      << "max cost      : " << instance.max_cost() << "\n"
+      << "LB max-min    : " << max_min_cost_bound(instance) << "\n"
+      << "LB min-work   : " << min_work_bound(instance) << "\n";
+  if (instance.num_groups() == 2 && instance.unit_scales()) {
+    out << "LB fractional : " << two_cluster_fractional_opt(instance) << "\n";
+  }
+  return 0;
+}
+
+// ----- solve -----
+
+int cmd_solve(const Args& args, std::ostream& out, std::ostream& err) {
+  const std::string path = args.require("in");
+  const std::string alg = args.get("alg", "ect");
+  if (const int rc = check_unused(args, err)) return rc;
+  const Instance instance = io::load_instance_file(path);
+
+  const std::map<std::string, std::function<Schedule()>> algorithms = {
+      {"list", [&] { return centralized::list_schedule(instance); }},
+      {"lpt", [&] { return centralized::lpt_schedule(instance); }},
+      {"ect", [&] { return centralized::ect_schedule(instance); }},
+      {"minmin", [&] { return centralized::min_min_schedule(instance); }},
+      {"maxmin", [&] { return centralized::max_min_schedule(instance); }},
+      {"sufferage",
+       [&] { return centralized::sufferage_schedule(instance); }},
+      {"clb2c", [&] { return centralized::clb2c_schedule(instance); }},
+      {"lenstra",
+       [&] { return centralized::lenstra_schedule(instance).schedule; }},
+      {"exact",
+       [&] {
+         const auto result = centralized::solve_exact(instance);
+         return Schedule(instance, result.assignment);
+       }},
+  };
+  const auto it = algorithms.find(alg);
+  if (it == algorithms.end()) {
+    return usage_error(err, "unknown --alg '" + alg + "'");
+  }
+  const Schedule schedule = it->second();
+  validate_complete(schedule);
+  const Cost lb = makespan_lower_bound(instance);
+  out << "algorithm : " << alg << "\n"
+      << "makespan  : " << schedule.makespan() << "\n"
+      << "LB        : " << lb << "\n"
+      << "factor    : " << schedule.makespan() / lb << "\n";
+  return 0;
+}
+
+// ----- balance -----
+
+int cmd_balance(const Args& args, std::ostream& out, std::ostream& err) {
+  const std::string path = args.require("in");
+  const std::string alg = args.get("alg", "dlb2c");
+  const std::uint64_t seed = args.get_seed("seed", 1);
+  const auto per_machine = args.get_int("exchanges-per-machine", 10);
+  const std::string trace_path = args.get("trace", "");
+  if (const int rc = check_unused(args, err)) return rc;
+
+  const Instance instance = io::load_instance_file(path);
+  Schedule schedule(instance, gen::random_assignment(instance, seed));
+  dist::EngineOptions options;
+  options.max_exchanges = instance.num_machines() * per_machine;
+  options.record_trace = !trace_path.empty();
+  stats::Rng rng(seed + 1);
+
+  dist::RunResult result = [&] {
+    if (alg == "dlb2c") return dist::run_dlb2c(schedule, options, rng);
+    if (alg == "dlbkc") return dist::run_dlbkc(schedule, options, rng);
+    if (alg == "ojtb") return dist::run_ojtb(schedule, options, rng);
+    if (alg == "mjtb") return dist::run_mjtb(schedule, options, rng);
+    throw std::invalid_argument("unknown --alg '" + alg +
+                                "' (dlb2c|dlbkc|ojtb|mjtb)");
+  }();
+
+  const Cost lb = makespan_lower_bound(instance);
+  out << "algorithm       : " << alg << "\n"
+      << "initial Cmax    : " << result.initial_makespan << "\n"
+      << "final Cmax      : " << result.final_makespan << "\n"
+      << "best Cmax       : " << result.best_makespan << "\n"
+      << "exchanges       : " << result.exchanges << " ("
+      << result.changed_exchanges << " effective)\n"
+      << "migrations      : " << result.migrations << "\n"
+      << "LB              : " << lb << "\n"
+      << "final factor    : " << result.final_makespan / lb << "\n";
+  if (!trace_path.empty()) {
+    std::ofstream trace(trace_path);
+    if (!trace) {
+      err << "dlbsim: cannot write " << trace_path << "\n";
+      return 1;
+    }
+    stats::CsvWriter csv(trace);
+    csv.header({"exchange", "makespan"});
+    for (std::size_t x = 0; x < result.makespan_trace.size(); ++x) {
+      csv.row({stats::CsvWriter::num(x + 1),
+               stats::CsvWriter::num(result.makespan_trace[x])});
+    }
+    out << "trace written   : " << trace_path << " ("
+        << result.makespan_trace.size() << " rows)\n";
+  }
+  return 0;
+}
+
+// ----- markov -----
+
+int cmd_markov(const Args& args, std::ostream& out, std::ostream& err) {
+  const auto m = static_cast<int>(args.get_int("m", 6));
+  const auto p_max = static_cast<markov::Load>(args.get_int("pmax", 4));
+  if (const int rc = check_unused(args, err)) return rc;
+
+  const auto analysis = markov::analyze_steady_state(m, p_max);
+  out << "m=" << m << " pmax=" << p_max << " total=" << analysis.total
+      << " states=" << analysis.num_states << " sink=" << analysis.sink_size
+      << " thm10_bound=" << analysis.theorem10_bound
+      << " sink_max=" << analysis.sink_max_makespan << "\n";
+  stats::CsvWriter csv(out);
+  csv.header({"makespan", "normalized", "probability"});
+  for (const auto& point : analysis.pdf.points) {
+    csv.row({stats::CsvWriter::num(static_cast<std::size_t>(point.makespan)),
+             stats::CsvWriter::num(point.normalized),
+             stats::CsvWriter::num(point.probability)});
+  }
+  return 0;
+}
+
+}  // namespace
+
+std::string usage() {
+  return R"(usage: dlbsim <command> [options]
+
+commands:
+  gen      --out FILE [--kind two-cluster|identical|unrelated|typed|multi]
+           [--m1 N --m2 N | --m N | --sizes N,N,...] [--jobs N] [--types K]
+           [--lo X --hi X] [--seed S]
+  info     --in FILE
+  solve    --in FILE [--alg list|lpt|ect|minmin|maxmin|sufferage|clb2c|lenstra|exact]
+  balance  --in FILE [--alg dlb2c|dlbkc|ojtb|mjtb]
+           [--exchanges-per-machine N] [--seed S] [--trace FILE.csv]
+  markov   [--m N] [--pmax P]
+  help
+)";
+}
+
+int run_command(const std::vector<std::string>& argv, std::ostream& out,
+                std::ostream& err) {
+  if (argv.empty()) return usage_error(err, "missing command");
+  const std::string command = argv.front();
+  const Args args =
+      Args::parse(std::vector<std::string>(argv.begin() + 1, argv.end()));
+  try {
+    if (command == "gen") return cmd_gen(args, out, err);
+    if (command == "info") return cmd_info(args, out, err);
+    if (command == "solve") return cmd_solve(args, out, err);
+    if (command == "balance") return cmd_balance(args, out, err);
+    if (command == "markov") return cmd_markov(args, out, err);
+    if (command == "help") {
+      out << usage();
+      return 0;
+    }
+    return usage_error(err, "unknown command '" + command + "'");
+  } catch (const std::invalid_argument& e) {
+    return usage_error(err, e.what());
+  } catch (const std::exception& e) {
+    err << "dlbsim: " << e.what() << "\n";
+    return 1;
+  }
+}
+
+}  // namespace dlb::cli

@@ -1,0 +1,275 @@
+#include "core/generators.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+#include "stats/rng.hpp"
+
+namespace dlb::gen {
+
+namespace {
+
+std::vector<Cost> uniform_row(std::size_t n, Cost lo, Cost hi,
+                              stats::Rng& rng) {
+  std::vector<Cost> row(n);
+  for (auto& c : row) c = rng.uniform(lo, hi);
+  return row;
+}
+
+void check_range(Cost lo, Cost hi) {
+  if (!(0.0 < lo && lo <= hi)) {
+    throw std::invalid_argument("generator: need 0 < lo <= hi");
+  }
+}
+
+}  // namespace
+
+Instance uniform_unrelated(std::size_t num_machines, std::size_t num_jobs,
+                           Cost lo, Cost hi, std::uint64_t seed) {
+  check_range(lo, hi);
+  stats::Rng rng(seed);
+  std::vector<std::vector<Cost>> costs(num_machines);
+  for (auto& row : costs) row = uniform_row(num_jobs, lo, hi, rng);
+  return Instance::unrelated(std::move(costs));
+}
+
+Instance two_cluster_uniform(std::size_t m1, std::size_t m2,
+                             std::size_t num_jobs, Cost lo, Cost hi,
+                             std::uint64_t seed) {
+  check_range(lo, hi);
+  stats::Rng rng(seed);
+  std::vector<std::vector<Cost>> costs(2);
+  costs[0] = uniform_row(num_jobs, lo, hi, rng);
+  costs[1] = uniform_row(num_jobs, lo, hi, rng);
+  return Instance::clustered({m1, m2}, std::move(costs));
+}
+
+Instance multi_cluster_uniform(const std::vector<std::size_t>& cluster_sizes,
+                               std::size_t num_jobs, Cost lo, Cost hi,
+                               std::uint64_t seed) {
+  check_range(lo, hi);
+  if (cluster_sizes.empty()) {
+    throw std::invalid_argument("multi_cluster_uniform: need clusters");
+  }
+  stats::Rng rng(seed);
+  std::vector<std::vector<Cost>> costs(cluster_sizes.size());
+  for (auto& row : costs) row = uniform_row(num_jobs, lo, hi, rng);
+  return Instance::clustered(cluster_sizes, std::move(costs));
+}
+
+Instance identical_uniform(std::size_t num_machines, std::size_t num_jobs,
+                           Cost lo, Cost hi, std::uint64_t seed) {
+  check_range(lo, hi);
+  stats::Rng rng(seed);
+  return Instance::identical(num_machines, uniform_row(num_jobs, lo, hi, rng));
+}
+
+Instance related_uniform(std::size_t num_machines, std::size_t num_jobs,
+                         Cost lo, Cost hi, double speed_lo, double speed_hi,
+                         std::uint64_t seed) {
+  check_range(lo, hi);
+  if (!(0.0 < speed_lo && speed_lo <= speed_hi)) {
+    throw std::invalid_argument("related_uniform: bad speed range");
+  }
+  stats::Rng rng(seed);
+  std::vector<double> speeds(num_machines);
+  for (auto& s : speeds) s = rng.uniform(speed_lo, speed_hi);
+  return Instance::related(std::move(speeds),
+                           uniform_row(num_jobs, lo, hi, rng));
+}
+
+Instance typed_uniform(std::size_t num_machines, std::size_t num_jobs,
+                       std::size_t num_types, Cost lo, Cost hi,
+                       std::uint64_t seed) {
+  check_range(lo, hi);
+  if (num_types == 0 || num_types > num_jobs) {
+    throw std::invalid_argument("typed_uniform: need 1 <= types <= jobs");
+  }
+  stats::Rng rng(seed);
+  // Per-(machine, type) cost table.
+  std::vector<std::vector<Cost>> type_cost(num_machines);
+  for (auto& row : type_cost) row = uniform_row(num_types, lo, hi, rng);
+  // Assign types: first `num_types` jobs get each type once (so ids are
+  // dense), the rest draw uniformly.
+  std::vector<JobTypeId> type_of(num_jobs);
+  for (JobId j = 0; j < num_jobs; ++j) {
+    type_of[j] = j < num_types
+                     ? static_cast<JobTypeId>(j)
+                     : static_cast<JobTypeId>(rng.below(num_types));
+  }
+  std::vector<std::vector<Cost>> costs(num_machines,
+                                       std::vector<Cost>(num_jobs));
+  for (MachineId i = 0; i < num_machines; ++i) {
+    for (JobId j = 0; j < num_jobs; ++j) {
+      costs[i][j] = type_cost[i][type_of[j]];
+    }
+  }
+  Instance instance = Instance::unrelated(std::move(costs));
+  instance.set_job_types(std::move(type_of));
+  return instance;
+}
+
+Instance two_cluster_lognormal(std::size_t m1, std::size_t m2,
+                               std::size_t num_jobs, double mu, double sigma,
+                               Cost lo, Cost hi, std::uint64_t seed) {
+  check_range(lo, hi);
+  if (!(sigma >= 0.0)) {
+    throw std::invalid_argument("two_cluster_lognormal: sigma must be >= 0");
+  }
+  stats::Rng rng(seed);
+  std::vector<std::vector<Cost>> costs(2, std::vector<Cost>(num_jobs));
+  for (auto& row : costs) {
+    for (auto& c : row) {
+      c = std::clamp(std::exp(mu + sigma * rng.normal()), lo, hi);
+    }
+  }
+  return Instance::clustered({m1, m2}, std::move(costs));
+}
+
+Instance two_cluster_bimodal(std::size_t m1, std::size_t m2,
+                             std::size_t num_jobs, Cost short_lo,
+                             Cost short_hi, Cost long_lo, Cost long_hi,
+                             double long_fraction, std::uint64_t seed) {
+  check_range(short_lo, short_hi);
+  check_range(long_lo, long_hi);
+  if (!(long_fraction >= 0.0 && long_fraction <= 1.0)) {
+    throw std::invalid_argument("two_cluster_bimodal: bad long_fraction");
+  }
+  stats::Rng rng(seed);
+  std::vector<std::vector<Cost>> costs(2, std::vector<Cost>(num_jobs));
+  for (JobId j = 0; j < num_jobs; ++j) {
+    // The mode is a property of the job; its realisation per cluster is
+    // independent within the mode's range.
+    const bool is_long = rng.bernoulli(long_fraction);
+    for (auto& row : costs) {
+      row[j] = is_long ? rng.uniform(long_lo, long_hi)
+                       : rng.uniform(short_lo, short_hi);
+    }
+  }
+  return Instance::clustered({m1, m2}, std::move(costs));
+}
+
+Instance two_cluster_correlated(std::size_t m1, std::size_t m2,
+                                std::size_t num_jobs, Cost lo, Cost hi,
+                                double rho, std::uint64_t seed) {
+  check_range(lo, hi);
+  if (!(rho >= 0.0 && rho <= 1.0)) {
+    throw std::invalid_argument("two_cluster_correlated: rho must be in [0,1]");
+  }
+  stats::Rng rng(seed);
+  std::vector<std::vector<Cost>> costs(2, std::vector<Cost>(num_jobs));
+  for (JobId j = 0; j < num_jobs; ++j) {
+    const Cost base = rng.uniform(lo, hi);
+    const Cost fresh = rng.uniform(lo, hi);
+    costs[0][j] = base;
+    costs[1][j] = rho * base + (1.0 - rho) * fresh;
+  }
+  return Instance::clustered({m1, m2}, std::move(costs));
+}
+
+Instance cpu_gpu_affinity(std::size_t cpus, std::size_t gpus,
+                          std::size_t num_jobs, Cost lo, Cost hi,
+                          double gpu_affine, double speedup,
+                          std::uint64_t seed) {
+  check_range(lo, hi);
+  if (!(speedup >= 1.0)) {
+    throw std::invalid_argument("cpu_gpu_affinity: speedup must be >= 1");
+  }
+  stats::Rng rng(seed);
+  std::vector<std::vector<Cost>> costs(2, std::vector<Cost>(num_jobs));
+  for (JobId j = 0; j < num_jobs; ++j) {
+    const Cost base = rng.uniform(lo, hi);
+    const bool affine = rng.bernoulli(gpu_affine);
+    const double noise_cpu = rng.uniform(0.9, 1.1);
+    const double noise_gpu = rng.uniform(0.9, 1.1);
+    costs[0][j] = base * noise_cpu;
+    costs[1][j] = (affine ? base / speedup : base * speedup) * noise_gpu;
+  }
+  return Instance::clustered({cpus, gpus}, std::move(costs));
+}
+
+Instance perturbed_copy(const Instance& instance, double noise,
+                        std::uint64_t seed) {
+  if (!(noise >= 0.0 && noise < 1.0)) {
+    throw std::invalid_argument("perturbed_copy: need 0 <= noise < 1");
+  }
+  stats::Rng rng(seed);
+  std::vector<std::vector<Cost>> costs(instance.num_groups(),
+                                       std::vector<Cost>(instance.num_jobs()));
+  for (GroupId g = 0; g < instance.num_groups(); ++g) {
+    for (JobId j = 0; j < instance.num_jobs(); ++j) {
+      costs[g][j] =
+          instance.group_cost(g, j) * rng.uniform(1.0 - noise, 1.0 + noise);
+    }
+  }
+  std::vector<GroupId> group_of(instance.num_machines());
+  std::vector<double> scales(instance.num_machines());
+  for (MachineId i = 0; i < instance.num_machines(); ++i) {
+    group_of[i] = instance.group_of(i);
+    scales[i] = instance.scale(i);
+  }
+  Instance perturbed(std::move(costs), std::move(group_of), std::move(scales));
+  // Job types survive only if the perturbation kept equal-type columns
+  // equal, which independent noise does not; drop them deliberately.
+  return perturbed;
+}
+
+Assignment random_assignment(const Instance& instance, std::uint64_t seed) {
+  stats::Rng rng(seed);
+  Assignment a(instance.num_jobs());
+  for (JobId j = 0; j < instance.num_jobs(); ++j) {
+    a.assign(j, static_cast<MachineId>(rng.below(instance.num_machines())));
+  }
+  return a;
+}
+
+AdversarialCase table1_work_stealing_trap(Cost n) {
+  if (!(n > 2.0)) {
+    throw std::invalid_argument("table1_work_stealing_trap: need n > 2");
+  }
+  // Machines A=0, B=1, C=2 (fully unrelated). Jobs 0,1 run in 1 on A and in
+  // n elsewhere; jobs 2,3,4 run in 1 on B/C; job 2 costs n on A (it is A's
+  // long first job) while jobs 3,4 are cheap everywhere.
+  std::vector<std::vector<Cost>> costs = {
+      {1.0, 1.0, n, 1.0, 1.0},  // machine A
+      {n, n, 1.0, 1.0, 1.0},    // machine B
+      {n, n, 1.0, 1.0, 1.0},    // machine C
+  };
+  Instance instance = Instance::unrelated(std::move(costs));
+  // Trap: A holds job 2 (n on A) plus jobs 3,4; B holds job 0 (n on B); C
+  // holds job 1 (n on C). Every machine is busy with its first job until
+  // time n, so the first steal can only happen at n and the run finishes
+  // around n + 1, while a good schedule finishes at 2.
+  Assignment initial(5);
+  initial.assign(0, 1);
+  initial.assign(1, 2);
+  initial.assign(2, 0);
+  initial.assign(3, 0);
+  initial.assign(4, 0);
+  return {std::move(instance), std::move(initial), /*optimal=*/2.0};
+}
+
+AdversarialCase table2_pairwise_trap(Cost n) {
+  if (!(n > 1.0)) {
+    throw std::invalid_argument("table2_pairwise_trap: need n > 1");
+  }
+  const Cost n2 = n * n;
+  // Each job runs fast (1) on its "home" machine, slow (n) on the next and
+  // very slow (n^2) on the last, cyclically.
+  std::vector<std::vector<Cost>> costs = {
+      {1.0, n2, n},   // machine A: job0 fast, job2 slow, job1 very slow
+      {n, 1.0, n2},   // machine B
+      {n2, n, 1.0},   // machine C
+  };
+  Instance instance = Instance::unrelated(std::move(costs));
+  // Trap: every job sits on the machine where it costs exactly n; each pair
+  // of machines is optimally balanced, yet Cmax = n while OPT = 1.
+  Assignment initial(3);
+  initial.assign(0, 1);  // job0 on B costs n
+  initial.assign(1, 2);  // job1 on C costs n
+  initial.assign(2, 0);  // job2 on A costs n
+  return {std::move(instance), std::move(initial), /*optimal=*/1.0};
+}
+
+}  // namespace dlb::gen

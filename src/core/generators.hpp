@@ -1,0 +1,122 @@
+#pragma once
+
+// Seeded instance generators: the random workloads of Section VII-B and the
+// adversarial constructions of Theorem 1 (Table I) and Proposition 2
+// (Table II). All generators are deterministic functions of their seed.
+
+#include <cstdint>
+
+#include "core/assignment.hpp"
+#include "core/instance.hpp"
+
+namespace dlb::gen {
+
+/// Fully unrelated machines: p(i, j) ~ U[lo, hi] independently.
+[[nodiscard]] Instance uniform_unrelated(std::size_t num_machines,
+                                         std::size_t num_jobs, Cost lo,
+                                         Cost hi, std::uint64_t seed);
+
+/// The paper's Section VII-B workload: two clusters of identical machines;
+/// each job draws an independent cost per cluster from U[lo, hi]
+/// (paper: 768 jobs, costs U[1, 1000], clusters 64+32 or 512+256).
+[[nodiscard]] Instance two_cluster_uniform(std::size_t m1, std::size_t m2,
+                                           std::size_t num_jobs, Cost lo,
+                                           Cost hi, std::uint64_t seed);
+
+/// k clusters of identical machines: cluster g has cluster_sizes[g]
+/// machines; each job draws an independent cost per cluster from U[lo, hi]
+/// (the DLB-kC extension's workload; k = 2 reduces to two_cluster_uniform).
+[[nodiscard]] Instance multi_cluster_uniform(
+    const std::vector<std::size_t>& cluster_sizes, std::size_t num_jobs,
+    Cost lo, Cost hi, std::uint64_t seed);
+
+/// One homogeneous cluster: each job has one cost ~ U[lo, hi]
+/// (paper: 96 identical machines).
+[[nodiscard]] Instance identical_uniform(std::size_t num_machines,
+                                         std::size_t num_jobs, Cost lo,
+                                         Cost hi, std::uint64_t seed);
+
+/// Heterogeneous related: base cost ~ U[lo, hi], speed ~ U[speed_lo,
+/// speed_hi]; p(i, j) = base_j / speed_i.
+[[nodiscard]] Instance related_uniform(std::size_t num_machines,
+                                       std::size_t num_jobs, Cost lo, Cost hi,
+                                       double speed_lo, double speed_hi,
+                                       std::uint64_t seed);
+
+/// Section V workload: fully unrelated machines but only `num_types` job
+/// types; the per-(machine, type) cost is ~ U[lo, hi] and each job picks a
+/// type uniformly. Job types are declared on the returned instance.
+[[nodiscard]] Instance typed_uniform(std::size_t num_machines,
+                                     std::size_t num_jobs,
+                                     std::size_t num_types, Cost lo, Cost hi,
+                                     std::uint64_t seed);
+
+/// Two clusters with log-normally distributed costs (heavy-tailed job
+/// sizes): cost = exp(N(mu, sigma)) clamped to [lo, hi]. Sensitivity
+/// workload — the paper only evaluates uniform costs.
+[[nodiscard]] Instance two_cluster_lognormal(std::size_t m1, std::size_t m2,
+                                             std::size_t num_jobs, double mu,
+                                             double sigma, Cost lo, Cost hi,
+                                             std::uint64_t seed);
+
+/// Two clusters with bimodal costs: a `long_fraction` of jobs draws from
+/// U[long_lo, long_hi], the rest from U[short_lo, short_hi].
+[[nodiscard]] Instance two_cluster_bimodal(std::size_t m1, std::size_t m2,
+                                           std::size_t num_jobs,
+                                           Cost short_lo, Cost short_hi,
+                                           Cost long_lo, Cost long_hi,
+                                           double long_fraction,
+                                           std::uint64_t seed);
+
+/// Two clusters with correlated per-cluster costs: cost2 is a convex blend
+/// rho * cost1 + (1 - rho) * fresh_draw. rho = 0 reproduces independent
+/// costs (the paper's workload); rho = 1 makes the clusters related
+/// (identical rows), where cross-cluster exchanges lose their leverage.
+[[nodiscard]] Instance two_cluster_correlated(std::size_t m1, std::size_t m2,
+                                              std::size_t num_jobs, Cost lo,
+                                              Cost hi, double rho,
+                                              std::uint64_t seed);
+
+/// Semi-realistic CPU/GPU affinity model: job j has a base size
+/// ~ U[lo, hi]; a fraction `gpu_affine` of jobs runs `speedup`x faster on
+/// cluster 2 (the "GPU"), the rest runs `speedup`x slower, with
+/// multiplicative noise. Two clusters, unit scales.
+[[nodiscard]] Instance cpu_gpu_affinity(std::size_t cpus, std::size_t gpus,
+                                        std::size_t num_jobs, Cost lo, Cost hi,
+                                        double gpu_affine, double speedup,
+                                        std::uint64_t seed);
+
+/// A perturbed copy of an instance: every group cost is multiplied by an
+/// independent factor U[1 - noise, 1 + noise] (0 <= noise < 1). Used to
+/// model prediction error — balance on the original ("predicted") costs,
+/// evaluate the resulting assignment on the perturbed ("actual") ones, per
+/// the paper's remark that runtimes are typically difficult to predict.
+/// The group structure and scales are preserved; job types are dropped
+/// (independent noise breaks the equal-cost-rows property).
+[[nodiscard]] Instance perturbed_copy(const Instance& instance, double noise,
+                                      std::uint64_t seed);
+
+/// Uniformly random complete initial distribution (the arbitrary initial
+/// placement the decentralized setting assumes).
+[[nodiscard]] Assignment random_assignment(const Instance& instance,
+                                           std::uint64_t seed);
+
+/// An adversarial instance plus the initial distribution that triggers the
+/// pathology, and the known optimal makespan for reference.
+struct AdversarialCase {
+  Instance instance;
+  Assignment initial;
+  Cost optimal_makespan;
+};
+
+/// Theorem 1 / Table I: 3 machines, 5 jobs. With the returned initial
+/// distribution every machine is busy until time `n`, so work stealing
+/// cannot steal before `n` and finishes at `n + 1`, while OPT = 2.
+[[nodiscard]] AdversarialCase table1_work_stealing_trap(Cost n);
+
+/// Proposition 2 / Table II: 3 unrelated machines, 3 jobs with costs
+/// {1, n, n^2}. The returned distribution has makespan `n`, is optimal for
+/// every pair of machines, yet OPT = 1.
+[[nodiscard]] AdversarialCase table2_pairwise_trap(Cost n);
+
+}  // namespace dlb::gen

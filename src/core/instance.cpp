@@ -1,0 +1,201 @@
+#include "core/instance.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <map>
+#include <numeric>
+#include <stdexcept>
+
+namespace dlb {
+
+namespace {
+
+void check_positive_finite(const std::vector<std::vector<Cost>>& rows) {
+  for (const auto& row : rows) {
+    for (Cost c : row) {
+      if (!(c > 0.0) || !std::isfinite(c)) {
+        throw std::invalid_argument(
+            "Instance: costs must be positive and finite");
+      }
+    }
+  }
+}
+
+}  // namespace
+
+Instance::Instance(std::vector<std::vector<Cost>> group_costs,
+                   std::vector<GroupId> group_of, std::vector<double> scales)
+    : group_costs_(std::move(group_costs)),
+      group_of_(std::move(group_of)),
+      scales_(std::move(scales)) {
+  if (group_costs_.empty()) {
+    throw std::invalid_argument("Instance: need at least one group");
+  }
+  if (group_of_.empty()) {
+    throw std::invalid_argument("Instance: need at least one machine");
+  }
+  num_jobs_ = group_costs_.front().size();
+  for (const auto& row : group_costs_) {
+    if (row.size() != num_jobs_) {
+      throw std::invalid_argument("Instance: ragged group cost rows");
+    }
+  }
+  check_positive_finite(group_costs_);
+  for (GroupId g : group_of_) {
+    if (g >= group_costs_.size()) {
+      throw std::invalid_argument("Instance: machine references unknown group");
+    }
+  }
+  if (scales_.empty()) {
+    scales_.assign(group_of_.size(), 1.0);
+  } else if (scales_.size() != group_of_.size()) {
+    throw std::invalid_argument("Instance: scales size != machine count");
+  }
+  for (double s : scales_) {
+    if (!(s > 0.0) || !std::isfinite(s)) {
+      throw std::invalid_argument("Instance: scales must be positive finite");
+    }
+  }
+  compute_caches();
+}
+
+void Instance::compute_caches() {
+  machines_by_group_.assign(group_costs_.size(), {});
+  for (MachineId i = 0; i < group_of_.size(); ++i) {
+    machines_by_group_[group_of_[i]].push_back(i);
+  }
+  unit_scales_ =
+      std::all_of(scales_.begin(), scales_.end(),
+                  [](double s) { return s == 1.0; });
+  max_cost_ = 0.0;
+  double max_scale = *std::max_element(scales_.begin(), scales_.end());
+  // The true max over (i, j) needs per-group max scale; compute exactly.
+  std::vector<double> group_max_scale(group_costs_.size(), 0.0);
+  for (MachineId i = 0; i < group_of_.size(); ++i) {
+    group_max_scale[group_of_[i]] =
+        std::max(group_max_scale[group_of_[i]], scales_[i]);
+  }
+  (void)max_scale;
+  for (GroupId g = 0; g < group_costs_.size(); ++g) {
+    if (machines_by_group_[g].empty()) continue;
+    const Cost row_max =
+        *std::max_element(group_costs_[g].begin(), group_costs_[g].end());
+    max_cost_ = std::max(max_cost_, row_max * group_max_scale[g]);
+  }
+}
+
+Instance Instance::identical(std::size_t num_machines,
+                             std::vector<Cost> job_costs) {
+  if (num_machines == 0) {
+    throw std::invalid_argument("Instance::identical: need machines");
+  }
+  std::vector<std::vector<Cost>> rows;
+  rows.push_back(std::move(job_costs));
+  return Instance(std::move(rows),
+                  std::vector<GroupId>(num_machines, 0));
+}
+
+Instance Instance::related(std::vector<double> speeds,
+                           std::vector<Cost> base_costs) {
+  if (speeds.empty()) {
+    throw std::invalid_argument("Instance::related: need machines");
+  }
+  std::vector<double> scales(speeds.size());
+  for (std::size_t i = 0; i < speeds.size(); ++i) {
+    if (!(speeds[i] > 0.0)) {
+      throw std::invalid_argument("Instance::related: speeds must be > 0");
+    }
+    scales[i] = 1.0 / speeds[i];
+  }
+  std::vector<std::vector<Cost>> rows;
+  rows.push_back(std::move(base_costs));
+  return Instance(std::move(rows), std::vector<GroupId>(speeds.size(), 0),
+                  std::move(scales));
+}
+
+Instance Instance::clustered(const std::vector<std::size_t>& cluster_sizes,
+                             std::vector<std::vector<Cost>> cluster_costs) {
+  if (cluster_sizes.size() != cluster_costs.size()) {
+    throw std::invalid_argument(
+        "Instance::clustered: sizes/costs length mismatch");
+  }
+  std::vector<GroupId> group_of;
+  for (GroupId g = 0; g < cluster_sizes.size(); ++g) {
+    if (cluster_sizes[g] == 0) {
+      throw std::invalid_argument("Instance::clustered: empty cluster");
+    }
+    group_of.insert(group_of.end(), cluster_sizes[g], g);
+  }
+  return Instance(std::move(cluster_costs), std::move(group_of));
+}
+
+Instance Instance::unrelated(std::vector<std::vector<Cost>> costs) {
+  std::vector<GroupId> group_of(costs.size());
+  std::iota(group_of.begin(), group_of.end(), 0);
+  return Instance(std::move(costs), std::move(group_of));
+}
+
+Cost Instance::min_cost_of_job(JobId j) const {
+  Cost best = cost(0, j);
+  for (MachineId i = 1; i < num_machines(); ++i) {
+    best = std::min(best, cost(i, j));
+  }
+  return best;
+}
+
+Cost Instance::total_min_work() const {
+  Cost total = 0.0;
+  for (JobId j = 0; j < num_jobs_; ++j) total += min_cost_of_job(j);
+  return total;
+}
+
+void Instance::set_job_types(std::vector<JobTypeId> type_of) {
+  if (type_of.size() != num_jobs_) {
+    throw std::invalid_argument("Instance::set_job_types: size mismatch");
+  }
+  std::size_t num_types = 0;
+  for (JobTypeId t : type_of) {
+    num_types = std::max<std::size_t>(num_types, t + 1);
+  }
+  // Verify the defining property of job types on the group cost rows
+  // (scales are per-machine, so equal group rows imply equal costs).
+  std::vector<JobId> representative(num_types, kUnassigned);
+  for (JobId j = 0; j < num_jobs_; ++j) {
+    const JobTypeId t = type_of[j];
+    if (representative[t] == kUnassigned) {
+      representative[t] = j;
+      continue;
+    }
+    for (GroupId g = 0; g < num_groups(); ++g) {
+      if (group_costs_[g][j] != group_costs_[g][representative[t]]) {
+        throw std::invalid_argument(
+            "Instance::set_job_types: jobs of equal type must have equal "
+            "cost rows");
+      }
+    }
+  }
+  for (std::size_t t = 0; t < num_types; ++t) {
+    if (representative[t] == kUnassigned) {
+      throw std::invalid_argument(
+          "Instance::set_job_types: type ids must be dense");
+    }
+  }
+  type_of_ = std::move(type_of);
+  num_job_types_ = num_types;
+}
+
+std::size_t Instance::infer_job_types() {
+  std::map<std::vector<Cost>, JobTypeId> seen;
+  std::vector<JobTypeId> type_of(num_jobs_);
+  for (JobId j = 0; j < num_jobs_; ++j) {
+    std::vector<Cost> column(num_groups());
+    for (GroupId g = 0; g < num_groups(); ++g) column[g] = group_costs_[g][j];
+    const auto [it, inserted] =
+        seen.emplace(std::move(column), static_cast<JobTypeId>(seen.size()));
+    type_of[j] = it->second;
+  }
+  set_job_types(std::move(type_of));
+  return num_job_types_;
+}
+
+}  // namespace dlb

@@ -1,0 +1,136 @@
+#pragma once
+
+// Instance: the cost model p(i, j) of `R||Cmax` and all its sub-cases.
+//
+// Machines are partitioned into *groups* of identical machines and each
+// machine carries a positive scale factor:
+//
+//     p(i, j) = group_cost[group(i)][j] * scale(i)
+//
+// This single representation covers every regime the paper discusses:
+//   * identical machines      — one group, unit scales;
+//   * heterogeneous related   — one group, per-machine scales;
+//   * two clusters (CPU/GPU)  — two groups, unit scales (Sections VI-VII);
+//   * fully unrelated         — one group per machine.
+//
+// Jobs may carry a *type* (Section V): jobs of equal type are guaranteed to
+// have identical cost rows, which MJTB exploits.
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+#include "core/types.hpp"
+
+namespace dlb {
+
+class Instance {
+ public:
+  /// `group_costs[g]` is the cost row of group g (size = num jobs);
+  /// `group_of[i]` maps machine i to its group; `scales` is optional
+  /// (empty = all 1.0). Validates shape and positivity.
+  Instance(std::vector<std::vector<Cost>> group_costs,
+           std::vector<GroupId> group_of,
+           std::vector<double> scales = {});
+
+  // ----- named constructors for the paper's machine regimes -----
+
+  /// m identical machines; `job_costs[j]` is the cost of job j anywhere.
+  static Instance identical(std::size_t num_machines,
+                            std::vector<Cost> job_costs);
+
+  /// Related machines: p(i, j) = base_costs[j] / speeds[i].
+  static Instance related(std::vector<double> speeds,
+                          std::vector<Cost> base_costs);
+
+  /// Clustered machines: cluster g has `cluster_sizes[g]` identical
+  /// machines with cost row `cluster_costs[g]`. Machines are numbered
+  /// cluster by cluster.
+  static Instance clustered(const std::vector<std::size_t>& cluster_sizes,
+                            std::vector<std::vector<Cost>> cluster_costs);
+
+  /// Fully unrelated: `costs[i][j]`, one group per machine.
+  static Instance unrelated(std::vector<std::vector<Cost>> costs);
+
+  // ----- shape -----
+
+  [[nodiscard]] std::size_t num_machines() const noexcept {
+    return group_of_.size();
+  }
+  [[nodiscard]] std::size_t num_jobs() const noexcept { return num_jobs_; }
+  [[nodiscard]] std::size_t num_groups() const noexcept {
+    return group_costs_.size();
+  }
+
+  // ----- costs -----
+
+  /// Processing time of job j on machine i.
+  [[nodiscard]] Cost cost(MachineId i, JobId j) const noexcept {
+    return group_costs_[group_of_[i]][j] * scales_[i];
+  }
+
+  /// Cost row of a group before per-machine scaling (the "cluster cost" the
+  /// two-cluster algorithms reason about).
+  [[nodiscard]] Cost group_cost(GroupId g, JobId j) const noexcept {
+    return group_costs_[g][j];
+  }
+
+  [[nodiscard]] GroupId group_of(MachineId i) const noexcept {
+    return group_of_[i];
+  }
+  [[nodiscard]] double scale(MachineId i) const noexcept { return scales_[i]; }
+
+  /// Machines belonging to group g, in increasing id order.
+  [[nodiscard]] std::span<const MachineId> machines_in_group(GroupId g) const {
+    return machines_by_group_[g];
+  }
+
+  /// True when every machine has scale 1 (groups are exact clusters).
+  [[nodiscard]] bool unit_scales() const noexcept { return unit_scales_; }
+
+  /// Largest cost over all (machine, job) pairs.
+  [[nodiscard]] Cost max_cost() const noexcept { return max_cost_; }
+
+  /// Cheapest execution of job j over all machines.
+  [[nodiscard]] Cost min_cost_of_job(JobId j) const;
+
+  // ----- job types (Section V) -----
+
+  /// Declares job types. `type_of[j]` must be dense in [0, num_types).
+  /// Enforces the defining property: jobs of equal type must have equal
+  /// cost rows (throws std::invalid_argument otherwise).
+  void set_job_types(std::vector<JobTypeId> type_of);
+
+  /// Infers job types by grouping jobs with identical cost columns.
+  /// Returns the number of types found.
+  std::size_t infer_job_types();
+
+  [[nodiscard]] bool has_job_types() const noexcept {
+    return !type_of_.empty();
+  }
+  [[nodiscard]] std::size_t num_job_types() const noexcept {
+    return num_job_types_;
+  }
+  [[nodiscard]] JobTypeId job_type(JobId j) const noexcept {
+    return type_of_[j];
+  }
+
+  /// Total work if every job ran at its cheapest machine (a classic lower
+  /// bound ingredient).
+  [[nodiscard]] Cost total_min_work() const;
+
+ private:
+  void compute_caches();
+
+  std::size_t num_jobs_ = 0;
+  std::vector<std::vector<Cost>> group_costs_;    // [group][job]
+  std::vector<GroupId> group_of_;                 // [machine]
+  std::vector<double> scales_;                    // [machine]
+  std::vector<std::vector<MachineId>> machines_by_group_;
+  std::vector<JobTypeId> type_of_;                // [job], empty if untyped
+  std::size_t num_job_types_ = 0;
+  Cost max_cost_ = 0.0;
+  bool unit_scales_ = true;
+};
+
+}  // namespace dlb

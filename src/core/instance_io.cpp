@@ -1,0 +1,147 @@
+#include "core/instance_io.hpp"
+
+#include <fstream>
+#include <istream>
+#include <limits>
+#include <ostream>
+#include <sstream>
+#include <stdexcept>
+
+namespace dlb::io {
+
+namespace {
+
+[[noreturn]] void fail(const std::string& what) {
+  throw std::runtime_error("instance_io: " + what);
+}
+
+void expect_token(std::istream& in, const std::string& expected) {
+  std::string token;
+  if (!(in >> token) || token != expected) {
+    fail("expected token '" + expected + "'");
+  }
+}
+
+}  // namespace
+
+void save_instance(const Instance& instance, std::ostream& out) {
+  out.precision(std::numeric_limits<double>::max_digits10);
+  out << "dlb-instance v1\n";
+  out << "machines " << instance.num_machines() << " groups "
+      << instance.num_groups() << " jobs " << instance.num_jobs() << "\n";
+  out << "group_of";
+  for (MachineId i = 0; i < instance.num_machines(); ++i) {
+    out << ' ' << instance.group_of(i);
+  }
+  out << "\nscales";
+  for (MachineId i = 0; i < instance.num_machines(); ++i) {
+    out << ' ' << instance.scale(i);
+  }
+  out << '\n';
+  if (instance.has_job_types()) {
+    out << "types";
+    for (JobId j = 0; j < instance.num_jobs(); ++j) {
+      out << ' ' << instance.job_type(j);
+    }
+    out << '\n';
+  }
+  out << "costs\n";
+  for (GroupId g = 0; g < instance.num_groups(); ++g) {
+    for (JobId j = 0; j < instance.num_jobs(); ++j) {
+      out << (j ? " " : "") << instance.group_cost(g, j);
+    }
+    out << '\n';
+  }
+  if (!out) fail("write failed");
+}
+
+Instance load_instance(std::istream& in) {
+  expect_token(in, "dlb-instance");
+  expect_token(in, "v1");
+  std::size_t m = 0, g = 0, n = 0;
+  expect_token(in, "machines");
+  if (!(in >> m)) fail("bad machine count");
+  expect_token(in, "groups");
+  if (!(in >> g)) fail("bad group count");
+  expect_token(in, "jobs");
+  if (!(in >> n)) fail("bad job count");
+
+  expect_token(in, "group_of");
+  std::vector<GroupId> group_of(m);
+  for (auto& x : group_of) {
+    if (!(in >> x)) fail("bad group_of entry");
+  }
+  expect_token(in, "scales");
+  std::vector<double> scales(m);
+  for (auto& x : scales) {
+    if (!(in >> x)) fail("bad scale entry");
+  }
+
+  std::string token;
+  if (!(in >> token)) fail("missing costs section");
+  std::vector<JobTypeId> types;
+  if (token == "types") {
+    types.resize(n);
+    for (auto& t : types) {
+      if (!(in >> t)) fail("bad type entry");
+    }
+    if (!(in >> token)) fail("missing costs section");
+  }
+  if (token != "costs") fail("expected 'costs'");
+
+  std::vector<std::vector<Cost>> rows(g, std::vector<Cost>(n));
+  for (auto& row : rows) {
+    for (auto& c : row) {
+      if (!(in >> c)) fail("bad cost entry");
+    }
+  }
+  Instance instance(std::move(rows), std::move(group_of), std::move(scales));
+  if (!types.empty()) instance.set_job_types(std::move(types));
+  return instance;
+}
+
+void save_assignment(const Assignment& assignment, std::ostream& out) {
+  out << "dlb-assignment v1\n";
+  out << "jobs " << assignment.num_jobs() << '\n';
+  for (JobId j = 0; j < assignment.num_jobs(); ++j) {
+    if (j) out << ' ';
+    if (assignment.is_assigned(j)) {
+      out << assignment.machine_of(j);
+    } else {
+      out << '-';
+    }
+  }
+  out << '\n';
+  if (!out) fail("write failed");
+}
+
+Assignment load_assignment(std::istream& in) {
+  expect_token(in, "dlb-assignment");
+  expect_token(in, "v1");
+  expect_token(in, "jobs");
+  std::size_t n = 0;
+  if (!(in >> n)) fail("bad job count");
+  Assignment assignment(n);
+  for (JobId j = 0; j < n; ++j) {
+    std::string token;
+    if (!(in >> token)) fail("bad assignment entry");
+    if (token != "-") {
+      assignment.assign(j, static_cast<MachineId>(std::stoul(token)));
+    }
+  }
+  return assignment;
+}
+
+void save_instance_file(const Instance& instance, const std::string& path) {
+  std::ofstream out(path);
+  if (!out) fail("cannot open for write: " + path);
+  save_instance(instance, out);
+}
+
+Instance load_instance_file(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) fail("cannot open for read: " + path);
+  return load_instance(in);
+}
+
+}  // namespace dlb::io

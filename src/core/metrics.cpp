@@ -1,0 +1,59 @@
+#include "core/metrics.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace dlb {
+
+namespace {
+
+double mean_load(const Schedule& schedule) {
+  return schedule.total_load() /
+         static_cast<double>(schedule.num_machines());
+}
+
+}  // namespace
+
+double imbalance_ratio(const Schedule& schedule) {
+  const double mean = mean_load(schedule);
+  if (!(mean > 0.0)) {
+    throw std::invalid_argument("imbalance_ratio: zero total load");
+  }
+  return schedule.makespan() / mean;
+}
+
+double jain_fairness(const Schedule& schedule) {
+  double sum = 0.0;
+  double sum_sq = 0.0;
+  for (MachineId i = 0; i < schedule.num_machines(); ++i) {
+    const Cost load = schedule.load(i);
+    sum += load;
+    sum_sq += load * load;
+  }
+  if (sum_sq == 0.0) return 1.0;
+  return sum * sum /
+         (static_cast<double>(schedule.num_machines()) * sum_sq);
+}
+
+double load_stddev(const Schedule& schedule) {
+  const double mean = mean_load(schedule);
+  double variance = 0.0;
+  for (MachineId i = 0; i < schedule.num_machines(); ++i) {
+    const double deviation = schedule.load(i) - mean;
+    variance += deviation * deviation;
+  }
+  variance /= static_cast<double>(schedule.num_machines());
+  return std::sqrt(variance);
+}
+
+double underutilised_fraction(const Schedule& schedule, double fraction) {
+  const double threshold = fraction * mean_load(schedule);
+  std::size_t count = 0;
+  for (MachineId i = 0; i < schedule.num_machines(); ++i) {
+    if (schedule.load(i) < threshold) ++count;
+  }
+  return static_cast<double>(count) /
+         static_cast<double>(schedule.num_machines());
+}
+
+}  // namespace dlb

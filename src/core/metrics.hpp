@@ -1,0 +1,27 @@
+#pragma once
+
+// Imbalance metrics beyond the makespan. The paper's objective is Cmax,
+// but an operator of a real system also watches how evenly the rest of the
+// fleet is loaded; these are the standard measures.
+
+#include "core/schedule.hpp"
+
+namespace dlb {
+
+/// Makespan divided by the mean load: 1.0 = perfectly even, m = everything
+/// on one machine. Requires a non-empty schedule with positive total load.
+[[nodiscard]] double imbalance_ratio(const Schedule& schedule);
+
+/// Jain's fairness index (sum l)^2 / (m * sum l^2): 1.0 = perfectly even,
+/// 1/m = one machine does everything. Defined as 1.0 for zero total load.
+[[nodiscard]] double jain_fairness(const Schedule& schedule);
+
+/// Population standard deviation of the machine loads.
+[[nodiscard]] double load_stddev(const Schedule& schedule);
+
+/// Fraction of machines whose load is strictly below `fraction` times the
+/// mean load — the "underutilised" tail.
+[[nodiscard]] double underutilised_fraction(const Schedule& schedule,
+                                            double fraction = 0.5);
+
+}  // namespace dlb

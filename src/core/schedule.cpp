@@ -1,0 +1,130 @@
+#include "core/schedule.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+#include "stats/rng.hpp"
+
+namespace dlb {
+
+Schedule::Schedule(const Instance& instance)
+    : instance_(&instance),
+      assignment_(instance.num_jobs()),
+      loads_(instance.num_machines(), 0.0),
+      jobs_on_(instance.num_machines()) {}
+
+Schedule::Schedule(const Instance& instance, Assignment assignment)
+    : instance_(&instance),
+      assignment_(std::move(assignment)),
+      loads_(instance.num_machines(), 0.0),
+      jobs_on_(instance.num_machines()) {
+  if (assignment_.num_jobs() != instance.num_jobs()) {
+    throw std::invalid_argument("Schedule: assignment/instance job mismatch");
+  }
+  for (JobId j = 0; j < assignment_.num_jobs(); ++j) {
+    const MachineId i = assignment_.machine_of(j);
+    if (i == kUnassigned) continue;
+    if (i >= instance.num_machines()) {
+      throw std::invalid_argument("Schedule: assignment references bad machine");
+    }
+    loads_[i] += instance.cost(i, j);
+    jobs_on_[i].push_back(j);
+  }
+}
+
+Cost Schedule::makespan() const {
+  if (makespan_dirty_) {
+    cached_makespan_ =
+        loads_.empty() ? 0.0 : *std::max_element(loads_.begin(), loads_.end());
+    makespan_dirty_ = false;
+  }
+  return cached_makespan_;
+}
+
+MachineId Schedule::argmax_load() const {
+  return static_cast<MachineId>(
+      std::max_element(loads_.begin(), loads_.end()) - loads_.begin());
+}
+
+void Schedule::assign(JobId j, MachineId i) {
+  if (assignment_.machine_of(j) != kUnassigned) {
+    throw std::logic_error("Schedule::assign: job already assigned");
+  }
+  assignment_.assign(j, i);
+  loads_[i] += instance_->cost(i, j);
+  jobs_on_[i].push_back(j);
+  makespan_dirty_ = true;
+}
+
+void Schedule::detach(JobId j) {
+  const MachineId from = assignment_.machine_of(j);
+  loads_[from] -= instance_->cost(from, j);
+  auto& list = jobs_on_[from];
+  const auto it = std::find(list.begin(), list.end(), j);
+  // The job is guaranteed present; swap-erase keeps the removal O(1).
+  *it = list.back();
+  list.pop_back();
+}
+
+void Schedule::move(JobId j, MachineId to) {
+  const MachineId from = assignment_.machine_of(j);
+  if (from == kUnassigned) {
+    assign(j, to);
+    return;
+  }
+  if (from == to) return;
+  detach(j);
+  assignment_.assign(j, to);
+  loads_[to] += instance_->cost(to, j);
+  jobs_on_[to].push_back(j);
+  ++migrations_;
+  makespan_dirty_ = true;
+}
+
+void Schedule::unassign(JobId j) {
+  if (assignment_.machine_of(j) == kUnassigned) return;
+  detach(j);
+  assignment_.unassign(j);
+  makespan_dirty_ = true;
+}
+
+std::uint64_t Schedule::fingerprint() const {
+  // Position-dependent mix of (job, machine); order-insensitive across jobs
+  // because each job contributes a value derived from its own id.
+  std::uint64_t h = 0x51ab5f2e8c774177ULL;
+  for (JobId j = 0; j < assignment_.num_jobs(); ++j) {
+    std::uint64_t x = (static_cast<std::uint64_t>(j) << 32) |
+                      static_cast<std::uint64_t>(assignment_.machine_of(j));
+    h ^= stats::splitmix64(x);
+  }
+  return h;
+}
+
+Cost Schedule::total_load() const noexcept {
+  Cost total = 0.0;
+  for (Cost l : loads_) total += l;
+  return total;
+}
+
+bool Schedule::check_consistency(double tol) const {
+  std::vector<Cost> expected(loads_.size(), 0.0);
+  std::vector<char> seen(assignment_.num_jobs(), 0);
+  for (MachineId i = 0; i < jobs_on_.size(); ++i) {
+    for (JobId j : jobs_on_[i]) {
+      if (assignment_.machine_of(j) != i) return false;
+      if (seen[j]) return false;
+      seen[j] = 1;
+      expected[i] += instance_->cost(i, j);
+    }
+  }
+  for (JobId j = 0; j < assignment_.num_jobs(); ++j) {
+    if (assignment_.machine_of(j) != kUnassigned && !seen[j]) return false;
+  }
+  for (MachineId i = 0; i < loads_.size(); ++i) {
+    if (std::abs(expected[i] - loads_[i]) > tol) return false;
+  }
+  return true;
+}
+
+}  // namespace dlb

@@ -1,0 +1,100 @@
+#pragma once
+
+// Schedule: an Assignment bound to its Instance with incrementally
+// maintained machine loads (completion times C(i)), per-machine job lists,
+// and a fingerprint for cycle detection. This is the mutable state every
+// balancing kernel and simulator operates on.
+
+#include <cstdint>
+#include <vector>
+
+#include "core/assignment.hpp"
+#include "core/instance.hpp"
+#include "core/types.hpp"
+
+namespace dlb {
+
+class Schedule {
+ public:
+  /// Empty schedule (all jobs unassigned). The instance must outlive the
+  /// schedule.
+  explicit Schedule(const Instance& instance);
+
+  /// Adopts an initial distribution; unassigned jobs are allowed (they
+  /// simply do not contribute load) but most algorithms expect a complete
+  /// assignment.
+  Schedule(const Instance& instance, Assignment assignment);
+
+  [[nodiscard]] const Instance& instance() const noexcept { return *instance_; }
+  [[nodiscard]] const Assignment& assignment() const noexcept {
+    return assignment_;
+  }
+
+  [[nodiscard]] std::size_t num_machines() const noexcept {
+    return loads_.size();
+  }
+  [[nodiscard]] std::size_t num_jobs() const noexcept {
+    return assignment_.num_jobs();
+  }
+
+  /// Completion time C(i) = sum of p(i, j) over jobs on i.
+  [[nodiscard]] Cost load(MachineId i) const noexcept { return loads_[i]; }
+
+  /// Cmax = max_i C(i). O(m) on first call after a mutation, then cached.
+  [[nodiscard]] Cost makespan() const;
+
+  /// Machine currently holding the makespan (smallest id on ties).
+  [[nodiscard]] MachineId argmax_load() const;
+
+  [[nodiscard]] MachineId machine_of(JobId j) const noexcept {
+    return assignment_.machine_of(j);
+  }
+
+  /// Jobs on machine i, in unspecified order. The reference is invalidated
+  /// by any mutation of this Schedule.
+  [[nodiscard]] const std::vector<JobId>& jobs_on(MachineId i) const noexcept {
+    return jobs_on_[i];
+  }
+
+  /// Places an unassigned job.
+  void assign(JobId j, MachineId i);
+
+  /// Reassigns job j to machine `to` (no-op if already there).
+  void move(JobId j, MachineId to);
+
+  /// Removes job j from its machine (becomes unassigned).
+  void unassign(JobId j);
+
+  /// Order-insensitive hash of the full assignment; equal assignments have
+  /// equal fingerprints (used for cycle detection in Section VII).
+  [[nodiscard]] std::uint64_t fingerprint() const;
+
+  /// Total work currently placed: sum_i C(i).
+  [[nodiscard]] Cost total_load() const noexcept;
+
+  /// Number of effective job migrations so far: every move() that changed
+  /// a job's machine (assign/unassign excluded). The decentralized setting
+  /// cares about this as a proxy for network usage (the paper's conclusion
+  /// singles out minimizing the number of tasks exchanged).
+  [[nodiscard]] std::uint64_t migrations() const noexcept {
+    return migrations_;
+  }
+
+  /// Recomputes loads from scratch and checks internal consistency.
+  /// Returns true if the incremental state matches (tests use this to
+  /// guard against drift; tolerance covers FP accumulation error).
+  [[nodiscard]] bool check_consistency(double tol = 1e-6) const;
+
+ private:
+  void detach(JobId j);
+
+  const Instance* instance_;
+  Assignment assignment_;
+  std::vector<Cost> loads_;
+  std::vector<std::vector<JobId>> jobs_on_;
+  std::uint64_t migrations_ = 0;
+  mutable Cost cached_makespan_ = 0.0;
+  mutable bool makespan_dirty_ = true;
+};
+
+}  // namespace dlb

@@ -1,0 +1,37 @@
+#pragma once
+
+// Shared vocabulary types for the scheduling model (Section II of the
+// paper): jobs, machines, machine groups, job types, processing costs.
+
+#include <cstddef>
+#include <cstdint>
+#include <limits>
+
+namespace dlb {
+
+/// Index of a machine in an Instance, dense in [0, num_machines).
+using MachineId = std::uint32_t;
+
+/// Index of a job in an Instance, dense in [0, num_jobs).
+using JobId = std::uint32_t;
+
+/// Index of a group of identical machines (a "cluster" in the paper's
+/// two-cluster sections), dense in [0, num_groups).
+using GroupId = std::uint32_t;
+
+/// Index of a job type (Section V: jobs of the same type have identical
+/// cost rows), dense in [0, num_job_types).
+using JobTypeId = std::uint32_t;
+
+/// Processing time of a job on a machine; strictly positive and finite in
+/// valid instances (the paper allows +inf conceptually, we model "cannot
+/// run" with a very large finite cost to keep arithmetic total).
+using Cost = double;
+
+/// Sentinel for "job not assigned to any machine".
+inline constexpr MachineId kUnassigned = std::numeric_limits<MachineId>::max();
+
+/// Sentinel group/type used before initialisation.
+inline constexpr GroupId kNoGroup = std::numeric_limits<GroupId>::max();
+
+}  // namespace dlb

@@ -1,0 +1,33 @@
+#include "core/validation.hpp"
+
+#include <stdexcept>
+
+namespace dlb {
+
+bool is_complete_partition(const Schedule& schedule, std::string* why) {
+  if (!schedule.assignment().is_complete()) {
+    if (why) *why = "assignment is incomplete (some job has no machine)";
+    return false;
+  }
+  if (!schedule.check_consistency()) {
+    if (why) *why = "incremental loads diverged from the assignment";
+    return false;
+  }
+  return true;
+}
+
+void validate_complete(const Schedule& schedule) {
+  std::string why;
+  if (!is_complete_partition(schedule, &why)) {
+    throw std::runtime_error("invalid schedule: " + why);
+  }
+}
+
+double approximation_factor(const Schedule& schedule, Cost reference) {
+  if (!(reference > 0.0)) {
+    throw std::invalid_argument("approximation_factor: reference must be > 0");
+  }
+  return schedule.makespan() / reference;
+}
+
+}  // namespace dlb

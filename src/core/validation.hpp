@@ -1,0 +1,25 @@
+#pragma once
+
+// Validation helpers shared by tests and examples: check that an algorithm
+// produced a well-formed partition and report human-readable diagnostics.
+
+#include <string>
+
+#include "core/schedule.hpp"
+
+namespace dlb {
+
+/// Throws std::runtime_error with a diagnostic message unless the schedule
+/// is a complete, internally consistent partition of all jobs.
+void validate_complete(const Schedule& schedule);
+
+/// Non-throwing variant; fills `why` (if non-null) with the first problem.
+[[nodiscard]] bool is_complete_partition(const Schedule& schedule,
+                                         std::string* why = nullptr);
+
+/// Ratio of the schedule's makespan to a reference value (typically a lower
+/// bound or the exact optimum); guards against division by zero.
+[[nodiscard]] double approximation_factor(const Schedule& schedule,
+                                          Cost reference);
+
+}  // namespace dlb

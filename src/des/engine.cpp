@@ -1,0 +1,29 @@
+#include "des/engine.hpp"
+
+#include <stdexcept>
+
+namespace dlb::des {
+
+void Engine::schedule_at(SimTime time, EventCallback callback) {
+  if (time < now_) {
+    throw std::invalid_argument("des::Engine: cannot schedule in the past");
+  }
+  queue_.push(Event{time, next_seq_++, std::move(callback)});
+}
+
+std::uint64_t Engine::run(std::uint64_t max_events) {
+  stopped_ = false;
+  std::uint64_t fired = 0;
+  while (!queue_.empty() && !stopped_ && fired < max_events) {
+    // Move the event out before popping so the callback may schedule more.
+    Event event = std::move(const_cast<Event&>(queue_.top()));
+    queue_.pop();
+    now_ = event.time;
+    ++fired;
+    ++processed_;
+    event.callback();
+  }
+  return fired;
+}
+
+}  // namespace dlb::des

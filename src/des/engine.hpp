@@ -1,0 +1,61 @@
+#pragma once
+
+// A small discrete-event simulation engine: a time-ordered event queue with
+// deterministic FIFO tie-breaking. The work-stealing simulator (Section IV,
+// Theorem 1) runs on top of it; the engine itself is domain-agnostic.
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <vector>
+
+namespace dlb::des {
+
+using SimTime = double;
+using EventCallback = std::function<void()>;
+
+class Engine {
+ public:
+  /// Schedules `callback` at absolute time `time` (>= now()). Events at
+  /// equal times fire in scheduling order.
+  void schedule_at(SimTime time, EventCallback callback);
+
+  /// Schedules `callback` `delay` time units from now (delay >= 0).
+  void schedule_after(SimTime delay, EventCallback callback) {
+    schedule_at(now_ + delay, std::move(callback));
+  }
+
+  /// Runs until the queue drains, stop() is called, or `max_events` events
+  /// have fired. Returns the number of events processed in this call.
+  std::uint64_t run(std::uint64_t max_events = UINT64_MAX);
+
+  /// Requests the current run() to return after the active event.
+  void stop() noexcept { stopped_ = true; }
+
+  [[nodiscard]] SimTime now() const noexcept { return now_; }
+  [[nodiscard]] bool empty() const noexcept { return queue_.empty(); }
+  [[nodiscard]] std::uint64_t events_processed() const noexcept {
+    return processed_;
+  }
+
+ private:
+  struct Event {
+    SimTime time;
+    std::uint64_t seq;
+    EventCallback callback;
+  };
+  struct Later {
+    bool operator()(const Event& a, const Event& b) const noexcept {
+      if (a.time != b.time) return a.time > b.time;
+      return a.seq > b.seq;
+    }
+  };
+
+  std::priority_queue<Event, std::vector<Event>, Later> queue_;
+  SimTime now_ = 0.0;
+  std::uint64_t next_seq_ = 0;
+  std::uint64_t processed_ = 0;
+  bool stopped_ = false;
+};
+
+}  // namespace dlb::des

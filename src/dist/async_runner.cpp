@@ -1,0 +1,121 @@
+#include "dist/async_runner.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace dlb::dist {
+
+namespace {
+
+class AsyncSimulation {
+ public:
+  AsyncSimulation(Schedule& schedule, const pairwise::PairKernel& kernel,
+                  const AsyncOptions& options)
+      : schedule_(&schedule),
+        kernel_(&kernel),
+        options_(options),
+        rng_(options.seed),
+        latency_(options.message_latency),
+        network_(engine_, latency_, rng_),
+        locked_(schedule.num_machines(), false) {
+    if (schedule.num_machines() < 2) {
+      throw std::invalid_argument("run_async: need at least two machines");
+    }
+    if (!(options.mean_think_time > 0.0) || !(options.duration > 0.0)) {
+      throw std::invalid_argument("run_async: times must be positive");
+    }
+  }
+
+  AsyncRunResult run() {
+    result_.initial_makespan = schedule_->makespan();
+    result_.best_makespan = result_.initial_makespan;
+    const std::uint64_t migrations_before = schedule_->migrations();
+    for (MachineId i = 0; i < schedule_->num_machines(); ++i) {
+      schedule_wakeup(i);
+    }
+    // A sentinel event stops the run at the horizon even though wake-ups
+    // keep regenerating work.
+    engine_.schedule_at(options_.duration, [this] { engine_.stop(); });
+    engine_.run();
+    result_.final_makespan = schedule_->makespan();
+    result_.migrations = schedule_->migrations() - migrations_before;
+    result_.messages = network_.messages_sent();
+    result_.end_time = engine_.now();
+    return result_;
+  }
+
+ private:
+  void schedule_wakeup(MachineId i) {
+    const des::SimTime delay =
+        rng_.exponential(1.0 / options_.mean_think_time);
+    engine_.schedule_after(delay, [this, i] { try_initiate(i); });
+  }
+
+  void try_initiate(MachineId initiator) {
+    if (engine_.now() >= options_.duration) return;
+    if (locked_[initiator]) {
+      // Mid-session (as a peer); try again later.
+      schedule_wakeup(initiator);
+      return;
+    }
+    // Uniform random peer (Algorithm 7's selection).
+    auto peer = static_cast<MachineId>(
+        rng_.below(schedule_->num_machines() - 1));
+    if (peer >= initiator) ++peer;
+    locked_[initiator] = true;
+    network_.send(initiator, peer, [this, initiator, peer] {
+      handle_request(initiator, peer);
+    });
+  }
+
+  void handle_request(MachineId initiator, MachineId peer) {
+    if (locked_[peer]) {
+      ++result_.sessions_rejected;
+      network_.send(peer, initiator, [this, initiator] {
+        locked_[initiator] = false;
+        engine_.schedule_after(rng_.uniform(0.0, options_.reject_backoff),
+                               [this, initiator] { try_initiate(initiator); });
+      });
+      return;
+    }
+    locked_[peer] = true;
+    // ACCEPT carries the peer's job list back to the initiator; the kernel
+    // then computes the split and the TRANSFER ships the moved jobs. Both
+    // steps cost one message each; the state mutation happens at transfer
+    // delivery time (both machines stay locked meanwhile).
+    network_.send(peer, initiator, [this, initiator, peer] {
+      network_.send(initiator, peer, [this, initiator, peer] {
+        kernel_->balance(*schedule_, initiator, peer);
+        ++result_.sessions_completed;
+        const Cost cmax = schedule_->makespan();
+        result_.best_makespan = std::min(result_.best_makespan, cmax);
+        if (options_.record_trace) {
+          result_.trace.push_back({engine_.now(), cmax});
+        }
+        locked_[initiator] = false;
+        locked_[peer] = false;
+        schedule_wakeup(initiator);
+      });
+    });
+  }
+
+  Schedule* schedule_;
+  const pairwise::PairKernel* kernel_;
+  AsyncOptions options_;
+  stats::Rng rng_;
+  des::Engine engine_;
+  net::ConstantLatency latency_;
+  net::Network network_;
+  std::vector<char> locked_;
+  AsyncRunResult result_;
+};
+
+}  // namespace
+
+AsyncRunResult run_async(Schedule& schedule,
+                         const pairwise::PairKernel& kernel,
+                         const AsyncOptions& options) {
+  return AsyncSimulation(schedule, kernel, options).run();
+}
+
+}  // namespace dlb::dist

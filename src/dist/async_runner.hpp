@@ -1,0 +1,71 @@
+#pragma once
+
+// Asynchronous decentralized balancing: the pairwise exchange protocol run
+// as actual concurrent machines over a simulated network, instead of the
+// sequential random-pair abstraction of ExchangeEngine. Each machine
+// periodically initiates a balancing *session*:
+//
+//   initiator --REQUEST--> peer
+//   peer: busy in another session?  --REJECT--> initiator retries later
+//         otherwise lock both sides --ACCEPT--> initiator
+//   initiator runs the pair kernel, ships the moved jobs --TRANSFER-->,
+//   both sides unlock.
+//
+// Locking makes each session's view consistent; rejections and latency are
+// where this model differs from (and degrades against) the paper's
+// sequential abstraction — bench/ext_async_latency quantifies that gap.
+
+#include <cstdint>
+#include <vector>
+
+#include "core/schedule.hpp"
+#include "net/network.hpp"
+#include "pairwise/pair_kernel.hpp"
+#include "stats/rng.hpp"
+
+namespace dlb::dist {
+
+struct AsyncOptions {
+  /// Mean think time between a machine's session attempts (exponential).
+  des::SimTime mean_think_time = 1.0;
+  /// Per-message network latency model parameters (constant model).
+  des::SimTime message_latency = 0.1;
+  /// Stop the simulation at this virtual time.
+  des::SimTime duration = 100.0;
+  /// Backoff after a rejected request (uniform in [0, backoff)).
+  des::SimTime reject_backoff = 1.0;
+  std::uint64_t seed = 1;
+  /// Record (time, makespan) after every completed session.
+  bool record_trace = false;
+};
+
+struct AsyncTracePoint {
+  des::SimTime time = 0.0;
+  Cost makespan = 0.0;
+};
+
+struct AsyncRunResult {
+  Cost initial_makespan = 0.0;
+  Cost final_makespan = 0.0;
+  Cost best_makespan = 0.0;
+  std::uint64_t sessions_completed = 0;
+  std::uint64_t sessions_rejected = 0;
+  std::uint64_t messages = 0;
+  std::uint64_t migrations = 0;
+  des::SimTime end_time = 0.0;
+  std::vector<AsyncTracePoint> trace;
+
+  /// Completed sessions per machine — comparable to the sequential model's
+  /// exchanges per machine.
+  [[nodiscard]] double sessions_per_machine(std::size_t machines) const {
+    return static_cast<double>(sessions_completed) /
+           static_cast<double>(machines);
+  }
+};
+
+/// Runs the asynchronous protocol on `schedule` in place until
+/// options.duration of simulated time has passed.
+AsyncRunResult run_async(Schedule& schedule, const pairwise::PairKernel& kernel,
+                         const AsyncOptions& options);
+
+}  // namespace dlb::dist

@@ -1,0 +1,126 @@
+#include "dist/convergence.hpp"
+
+#include <deque>
+#include <unordered_set>
+
+#include "stats/rng.hpp"
+
+namespace dlb::dist {
+
+std::size_t sweep_all_pairs(Schedule& schedule,
+                            const pairwise::PairKernel& kernel) {
+  const std::size_t m = schedule.num_machines();
+  std::size_t changes = 0;
+  for (MachineId a = 0; a < m; ++a) {
+    for (MachineId b = 0; b < m; ++b) {
+      if (a == b) continue;
+      if (kernel.balance(schedule, a, b)) ++changes;
+    }
+  }
+  return changes;
+}
+
+bool is_stable(const Schedule& schedule, const pairwise::PairKernel& kernel) {
+  Schedule copy = schedule;
+  return sweep_all_pairs(copy, kernel) == 0;
+}
+
+bool run_to_stability(Schedule& schedule, const pairwise::PairKernel& kernel,
+                      std::size_t max_sweeps) {
+  for (std::size_t sweep = 0; sweep < max_sweeps; ++sweep) {
+    if (sweep_all_pairs(schedule, kernel) == 0) return true;
+  }
+  // The loop above always ends with a mutating sweep; one final sweep on a
+  // copy answers whether we happened to land on a fixed point.
+  return is_stable(schedule, kernel);
+}
+
+namespace {
+
+struct VectorHash {
+  std::size_t operator()(const std::vector<MachineId>& v) const noexcept {
+    std::uint64_t h = 0xcbf29ce484222325ULL;
+    for (MachineId x : v) {
+      h ^= x;
+      h *= 0x100000001b3ULL;
+    }
+    return static_cast<std::size_t>(h);
+  }
+};
+
+}  // namespace
+
+ReachabilityResult explore_reachable(const Instance& instance,
+                                     const Assignment& start,
+                                     const pairwise::PairKernel& kernel,
+                                     std::size_t max_states) {
+  ReachabilityResult result;
+  std::unordered_set<std::vector<MachineId>, VectorHash> seen;
+  std::deque<std::vector<MachineId>> frontier;
+  seen.insert(start.raw());
+  frontier.push_back(start.raw());
+
+  const std::size_t m = instance.num_machines();
+  while (!frontier.empty()) {
+    const std::vector<MachineId> state = std::move(frontier.front());
+    frontier.pop_front();
+    ++result.states_explored;
+
+    bool stable = true;
+    for (MachineId a = 0; a < m; ++a) {
+      for (MachineId b = 0; b < m; ++b) {
+        if (a == b) continue;
+        Schedule schedule(instance, Assignment(state));
+        if (!kernel.balance(schedule, a, b)) continue;
+        stable = false;
+        auto next = schedule.assignment().raw();
+        if (seen.size() < max_states && seen.insert(next).second) {
+          frontier.push_back(std::move(next));
+        }
+      }
+    }
+    if (stable) {
+      result.found_stable = true;
+      // One stable state is enough to refute non-convergence; stop early.
+      return result;
+    }
+    if (seen.size() >= max_states) {
+      // Closure truncated: cannot certify either way.
+      result.exhausted = false;
+      return result;
+    }
+  }
+  result.exhausted = true;
+  return result;
+}
+
+std::optional<NonconvergentCase> find_nonconvergent_case(
+    const pairwise::PairKernel& kernel, std::size_t m1, std::size_t m2,
+    std::size_t jobs, int cost_hi, std::size_t attempts, std::uint64_t seed,
+    std::size_t max_states) {
+  const std::size_t m = m1 + m2;
+  for (std::size_t attempt = 0; attempt < attempts; ++attempt) {
+    stats::Rng rng = stats::Rng::stream(seed, attempt);
+    // Small integer costs keep the closure small and the witness readable.
+    std::vector<std::vector<Cost>> costs(2, std::vector<Cost>(jobs));
+    for (auto& row : costs) {
+      for (auto& c : row) {
+        c = static_cast<Cost>(rng.range(1, cost_hi));
+      }
+    }
+    Instance instance = Instance::clustered({m1, m2}, std::move(costs));
+    Assignment initial(jobs);
+    for (JobId j = 0; j < jobs; ++j) {
+      initial.assign(j, static_cast<MachineId>(rng.below(m)));
+    }
+    const ReachabilityResult reach =
+        explore_reachable(instance, initial, kernel, max_states);
+    if (reach.certified_nonconvergent()) {
+      return NonconvergentCase{std::move(instance), std::move(initial),
+                               reach.states_explored};
+    }
+  }
+  return std::nullopt;
+}
+
+}  // namespace dlb::dist

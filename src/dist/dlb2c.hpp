@@ -1,0 +1,32 @@
+#pragma once
+
+// DLB2C — Decentralized Load Balancing for Two Clusters (Algorithm 7).
+// Every machine repeatedly picks a uniform random peer:
+//   * same cluster       -> Greedy Load Balancing (Algorithm 6);
+//   * different clusters -> CLB2C on the pair (Algorithm 5 with
+//                           M1 = {m}, M2 = {i}).
+// Theorem 7: if the process reaches a stable schedule, that schedule is a
+// 2-approximation (under max p(i,j) <= OPT). Proposition 8: it may never
+// stabilise — Section VII studies that dynamic equilibrium, and the fig3 /
+// fig4 / fig5 benches drive this module to reproduce it.
+
+#include "dist/exchange_engine.hpp"
+#include "pairwise/pair_kernel.hpp"
+
+namespace dlb::dist {
+
+/// The DLB2C pair kernel: dispatches on whether the two machines share a
+/// cluster. Requires a two-group instance with unit scales.
+class Dlb2cKernel final : public pairwise::PairKernel {
+ public:
+  bool balance(Schedule& schedule, MachineId a, MachineId b) const override;
+  [[nodiscard]] std::string_view name() const noexcept override {
+    return "dlb2c";
+  }
+};
+
+/// Runs DLB2C on `schedule` in place with uniform peer selection.
+RunResult run_dlb2c(Schedule& schedule, const EngineOptions& options,
+                    stats::Rng& rng);
+
+}  // namespace dlb::dist

@@ -1,0 +1,33 @@
+#include "dist/dlbkc.hpp"
+
+#include <stdexcept>
+
+#include "pairwise/basic_greedy.hpp"
+#include "pairwise/pair_clb2c.hpp"
+
+namespace dlb::dist {
+
+bool DlbKcKernel::balance(Schedule& schedule, MachineId a, MachineId b) const {
+  const Instance& instance = schedule.instance();
+  if (!instance.unit_scales()) {
+    throw std::invalid_argument(
+        "DlbKcKernel: needs clusters of identical machines (unit scales)");
+  }
+  if (instance.group_of(a) == instance.group_of(b)) {
+    // Machines of one cluster are identical; Basic Greedy deals the pooled
+    // jobs by earliest completion, which is plain load balancing here.
+    static const pairwise::BasicGreedyKernel same_cluster;
+    return same_cluster.balance(schedule, a, b);
+  }
+  static const pairwise::PairClb2cKernel cross_cluster;
+  return cross_cluster.balance(schedule, a, b);
+}
+
+RunResult run_dlbkc(Schedule& schedule, const EngineOptions& options,
+                    stats::Rng& rng) {
+  const DlbKcKernel kernel;
+  const UniformPeerSelector selector;
+  return ExchangeEngine(kernel, selector).run(schedule, options, rng);
+}
+
+}  // namespace dlb::dist

@@ -1,0 +1,31 @@
+#pragma once
+
+// DLB-kC: the paper's future-work extension of DLB2C to k >= 2 clusters of
+// identical machines. The pair protocol generalises directly:
+//   * same cluster       -> Basic Greedy (identical machines, ECT dealing);
+//   * different clusters -> pair CLB2C using the two clusters' cost rows
+//                           (the ratio sort only ever involves the pair's
+//                           own clusters).
+// No approximation proof is claimed — Theorem 7's argument is specific to
+// two clusters — but bench/ext_multicluster measures the quality empirically
+// against centralized baselines and the LP-grade lower bound.
+
+#include "dist/exchange_engine.hpp"
+#include "pairwise/pair_kernel.hpp"
+
+namespace dlb::dist {
+
+/// Pair kernel for any clustered instance with unit scales (>= 1 group).
+class DlbKcKernel final : public pairwise::PairKernel {
+ public:
+  bool balance(Schedule& schedule, MachineId a, MachineId b) const override;
+  [[nodiscard]] std::string_view name() const noexcept override {
+    return "dlb-kc";
+  }
+};
+
+/// Runs DLB-kC on `schedule` in place with uniform peer selection.
+RunResult run_dlbkc(Schedule& schedule, const EngineOptions& options,
+                    stats::Rng& rng);
+
+}  // namespace dlb::dist

@@ -1,0 +1,77 @@
+#include "dist/dynamic_workload.hpp"
+
+#include <numeric>
+#include <stdexcept>
+
+#include "core/lower_bounds.hpp"
+#include "core/schedule.hpp"
+
+namespace dlb::dist {
+
+std::vector<EpochStats> run_dynamic(const Instance& instance,
+                                    const pairwise::PairKernel& kernel,
+                                    const DynamicOptions& options) {
+  const std::size_t needed =
+      options.initial_active + options.epochs * options.churn_per_epoch;
+  if (instance.num_jobs() < needed) {
+    throw std::invalid_argument(
+        "run_dynamic: instance job pool too small for the churn schedule");
+  }
+  stats::Rng rng(options.seed);
+  const std::size_t m = instance.num_machines();
+
+  // Job lifecycle: `fresh` is the queue of never-seen jobs; `active` the
+  // jobs currently in the system. Completed jobs never return.
+  std::vector<JobId> fresh(instance.num_jobs());
+  std::iota(fresh.begin(), fresh.end(), 0);
+  stats::shuffle(fresh.begin(), fresh.end(), rng);
+  std::size_t next_fresh = 0;
+
+  Schedule schedule(instance);
+  std::vector<JobId> active;
+  active.reserve(options.initial_active + options.churn_per_epoch);
+  for (std::size_t k = 0; k < options.initial_active; ++k) {
+    const JobId j = fresh[next_fresh++];
+    schedule.assign(j, static_cast<MachineId>(rng.below(m)));
+    active.push_back(j);
+  }
+
+  std::vector<EpochStats> history;
+  history.reserve(options.epochs);
+  for (std::size_t epoch = 0; epoch < options.epochs; ++epoch) {
+    // Departures: uniformly random active jobs complete.
+    for (std::size_t k = 0; k < options.churn_per_epoch; ++k) {
+      const std::size_t pick = rng.below(active.size());
+      schedule.unassign(active[pick]);
+      active[pick] = active.back();
+      active.pop_back();
+    }
+    // Arrivals: fresh jobs appear on random machines (the decentralized
+    // premise — no placement logic at submission).
+    for (std::size_t k = 0; k < options.churn_per_epoch; ++k) {
+      const JobId j = fresh[next_fresh++];
+      schedule.assign(j, static_cast<MachineId>(rng.below(m)));
+      active.push_back(j);
+    }
+
+    // Balancing budget for this epoch.
+    const std::uint64_t migrations_before = schedule.migrations();
+    for (std::size_t x = 0; x < options.exchanges_per_epoch; ++x) {
+      const auto a = static_cast<MachineId>(rng.below(m));
+      auto b = static_cast<MachineId>(rng.below(m - 1));
+      if (b >= a) ++b;
+      kernel.balance(schedule, a, b);
+    }
+
+    EpochStats stats;
+    stats.epoch = epoch;
+    stats.active_jobs = active.size();
+    stats.makespan = schedule.makespan();
+    stats.lower_bound = two_cluster_fractional_opt(instance, active);
+    stats.migrations = schedule.migrations() - migrations_before;
+    history.push_back(stats);
+  }
+  return history;
+}
+
+}  // namespace dlb::dist

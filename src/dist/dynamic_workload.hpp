@@ -1,0 +1,52 @@
+#pragma once
+
+// Dynamic-workload simulation for Section IV's claim that periodic a-priori
+// balancing absorbs workload dynamicity ("some tasks might dynamically be
+// created on a processor", "run the balancing algorithm concurrently with
+// the application").
+//
+// Model: epochs. Each epoch a batch of active jobs completes (leaves the
+// system) and an equal batch of fresh jobs appears on random machines; the
+// balancer then performs a fixed budget of pairwise exchanges. Per epoch we
+// record the achieved makespan of the *active* job set against its
+// fractional lower bound, plus the migration traffic spent.
+
+#include <cstdint>
+#include <vector>
+
+#include "core/instance.hpp"
+#include "pairwise/pair_kernel.hpp"
+#include "stats/rng.hpp"
+
+namespace dlb::dist {
+
+struct DynamicOptions {
+  std::size_t epochs = 50;
+  /// Jobs leaving + jobs arriving per epoch (each).
+  std::size_t churn_per_epoch = 32;
+  /// Pairwise exchange budget per epoch (total, not per machine).
+  std::size_t exchanges_per_epoch = 96;
+  /// Active jobs at the start (drawn from the instance's job pool; the
+  /// instance must have at least active + epochs * churn jobs).
+  std::size_t initial_active = 384;
+  std::uint64_t seed = 1;
+};
+
+struct EpochStats {
+  std::size_t epoch = 0;
+  std::size_t active_jobs = 0;
+  Cost makespan = 0.0;
+  Cost lower_bound = 0.0;         ///< Fractional LB for the active set.
+  std::uint64_t migrations = 0;   ///< Job moves spent by this epoch's balancing.
+
+  [[nodiscard]] double ratio() const { return makespan / lower_bound; }
+};
+
+/// Runs the epoch model on a two-cluster instance with the given kernel
+/// (typically Dlb2cKernel). Jobs enter on uniformly random machines, exit
+/// uniformly at random from the active set. Returns one entry per epoch.
+[[nodiscard]] std::vector<EpochStats> run_dynamic(
+    const Instance& instance, const pairwise::PairKernel& kernel,
+    const DynamicOptions& options);
+
+}  // namespace dlb::dist

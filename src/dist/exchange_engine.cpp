@@ -1,0 +1,72 @@
+#include "dist/exchange_engine.hpp"
+
+#include <numeric>
+
+#include "dist/convergence.hpp"
+
+namespace dlb::dist {
+
+RunResult ExchangeEngine::run(Schedule& schedule, const EngineOptions& options,
+                              stats::Rng& rng) const {
+  const std::size_t m = schedule.num_machines();
+  const std::uint64_t migrations_before = schedule.migrations();
+  RunResult result;
+  result.initial_makespan = schedule.makespan();
+  result.best_makespan = result.initial_makespan;
+  if (options.record_trace) {
+    result.makespan_trace.reserve(options.max_exchanges);
+  }
+
+  // Threshold may already hold before any exchange.
+  if (options.stop_threshold > 0.0 &&
+      schedule.makespan() <= options.stop_threshold) {
+    result.reached_threshold = true;
+    result.exchanges_to_threshold = 0;
+    result.final_makespan = schedule.makespan();
+    return result;
+  }
+
+  std::vector<MachineId> round(m);
+  std::iota(round.begin(), round.end(), 0);
+  std::size_t round_pos = m;  // force a reshuffle on first use
+
+  while (result.exchanges < options.max_exchanges) {
+    MachineId initiator;
+    if (options.initiator == InitiatorPolicy::kRoundRobinShuffled) {
+      if (round_pos == m) {
+        stats::shuffle(round.begin(), round.end(), rng);
+        round_pos = 0;
+      }
+      initiator = round[round_pos++];
+    } else {
+      initiator = static_cast<MachineId>(rng.below(m));
+    }
+    const MachineId peer = selector_->select(initiator, m, rng);
+
+    const bool changed = kernel_->balance(schedule, initiator, peer);
+    ++result.exchanges;
+    if (changed) ++result.changed_exchanges;
+
+    const Cost cmax = schedule.makespan();
+    result.best_makespan = std::min(result.best_makespan, cmax);
+    if (options.record_trace) result.makespan_trace.push_back(cmax);
+
+    if (options.stop_threshold > 0.0 && !result.reached_threshold &&
+        cmax <= options.stop_threshold) {
+      result.reached_threshold = true;
+      result.exchanges_to_threshold = result.exchanges;
+      break;
+    }
+    if (options.stability_check_interval > 0 &&
+        result.exchanges % options.stability_check_interval == 0 &&
+        is_stable(schedule, *kernel_)) {
+      result.converged = true;
+      break;
+    }
+  }
+  result.final_makespan = schedule.makespan();
+  result.migrations = schedule.migrations() - migrations_before;
+  return result;
+}
+
+}  // namespace dlb::dist

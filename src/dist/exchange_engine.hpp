@@ -1,0 +1,75 @@
+#pragma once
+
+// The sequential random-exchange model of Section VII: machines take turns
+// initiating one pairwise balancing operation against a randomly selected
+// peer. This is the simulator behind Figures 3, 4 and 5 (the paper's
+// "number of exchanges per machine" is `exchanges / num_machines` here).
+
+#include <cstddef>
+#include <vector>
+
+#include "core/schedule.hpp"
+#include "dist/peer_selector.hpp"
+#include "pairwise/pair_kernel.hpp"
+#include "stats/rng.hpp"
+
+namespace dlb::dist {
+
+/// How the initiator of each exchange is chosen.
+enum class InitiatorPolicy {
+  /// Every round, each machine initiates once in a fresh random order —
+  /// the closest sequentialisation of "every machine runs the loop".
+  kRoundRobinShuffled,
+  /// Each step draws the initiator uniformly at random.
+  kUniformRandom,
+};
+
+struct EngineOptions {
+  /// Hard cap on pairwise exchange operations.
+  std::size_t max_exchanges = 100'000;
+  /// Record Cmax after every exchange (Figure 4's trajectory).
+  bool record_trace = false;
+  /// When > 0: stop as soon as Cmax <= stop_threshold (Figure 5's metric).
+  Cost stop_threshold = 0.0;
+  /// When > 0: every this-many exchanges, certify stability by a full
+  /// pair sweep on a copy; stop if stable (Theorem 7's precondition).
+  std::size_t stability_check_interval = 0;
+  InitiatorPolicy initiator = InitiatorPolicy::kRoundRobinShuffled;
+};
+
+struct RunResult {
+  Cost initial_makespan = 0.0;
+  Cost final_makespan = 0.0;
+  Cost best_makespan = 0.0;
+  std::size_t exchanges = 0;          ///< Pair operations performed.
+  std::size_t changed_exchanges = 0;  ///< Pair operations that moved a job.
+  std::uint64_t migrations = 0;       ///< Individual job moves (network cost).
+  bool converged = false;             ///< Certified stable before the cap.
+  bool reached_threshold = false;
+  std::size_t exchanges_to_threshold = 0;  ///< Valid iff reached_threshold.
+  std::vector<Cost> makespan_trace;   ///< Cmax after each exchange (optional).
+
+  /// Exchanges per machine until the threshold (Figure 5's X axis).
+  [[nodiscard]] double normalized_threshold_time(std::size_t num_machines) const {
+    return static_cast<double>(exchanges_to_threshold) /
+           static_cast<double>(num_machines);
+  }
+};
+
+class ExchangeEngine {
+ public:
+  /// Kernel and selector must outlive the engine.
+  ExchangeEngine(const pairwise::PairKernel& kernel,
+                 const PeerSelector& selector)
+      : kernel_(&kernel), selector_(&selector) {}
+
+  /// Runs the exchange loop on `schedule` in place.
+  RunResult run(Schedule& schedule, const EngineOptions& options,
+                stats::Rng& rng) const;
+
+ private:
+  const pairwise::PairKernel* kernel_;
+  const PeerSelector* selector_;
+};
+
+}  // namespace dlb::dist

@@ -1,0 +1,44 @@
+#include "dist/mjtb.hpp"
+
+#include <stdexcept>
+#include <vector>
+
+#include "dist/ojtb.hpp"
+#include "pairwise/typed_greedy.hpp"
+
+namespace dlb::dist {
+
+RunResult run_mjtb(Schedule& schedule, const EngineOptions& options,
+                   stats::Rng& rng) {
+  if (!schedule.instance().has_job_types()) {
+    throw std::invalid_argument("run_mjtb: instance has no job types");
+  }
+  const pairwise::TypedGreedyKernel kernel;
+  const UniformPeerSelector selector;
+  return ExchangeEngine(kernel, selector).run(schedule, options, rng);
+}
+
+Cost mjtb_convergence_bound(const Instance& instance) {
+  if (!instance.has_job_types()) {
+    throw std::invalid_argument("mjtb_convergence_bound: no job types");
+  }
+  // Count jobs per type and build each type's per-machine cost vector.
+  std::vector<std::size_t> jobs_of_type(instance.num_job_types(), 0);
+  std::vector<JobId> representative(instance.num_job_types(), kUnassigned);
+  for (JobId j = 0; j < instance.num_jobs(); ++j) {
+    const JobTypeId t = instance.job_type(j);
+    ++jobs_of_type[t];
+    if (representative[t] == kUnassigned) representative[t] = j;
+  }
+  Cost bound = 0.0;
+  for (JobTypeId t = 0; t < instance.num_job_types(); ++t) {
+    std::vector<Cost> per_job(instance.num_machines());
+    for (MachineId i = 0; i < instance.num_machines(); ++i) {
+      per_job[i] = instance.cost(i, representative[t]);
+    }
+    bound += single_type_optimal_makespan(per_job, jobs_of_type[t]);
+  }
+  return bound;
+}
+
+}  // namespace dlb::dist

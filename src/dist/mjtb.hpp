@@ -1,0 +1,24 @@
+#pragma once
+
+// MJTB — Multiple Job Type Balancing (Algorithm 4). OJTB applied to each of
+// the k job types independently: a pair exchange balances every type's jobs
+// optimally, considering only that type's load. Theorem 5: at convergence
+// each type's own makespan is <= OPT, hence Cmax <= k * OPT.
+
+#include "dist/exchange_engine.hpp"
+
+namespace dlb::dist {
+
+/// Runs MJTB on `schedule` in place with uniform peer selection. The
+/// instance must have declared job types (Instance::set_job_types or
+/// infer_job_types).
+RunResult run_mjtb(Schedule& schedule, const EngineOptions& options,
+                   stats::Rng& rng);
+
+/// Theorem 5's a-posteriori certificate: sum over types of the type's own
+/// optimal makespan — an upper bound on what converged MJTB can produce,
+/// and each term is a lower bound on OPT... so MJTB's makespan is at most
+/// k * OPT. Returns the sum of per-type single-type optima.
+[[nodiscard]] Cost mjtb_convergence_bound(const Instance& instance);
+
+}  // namespace dlb::dist

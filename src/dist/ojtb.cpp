@@ -1,0 +1,52 @@
+#include "dist/ojtb.hpp"
+
+#include <algorithm>
+#include <queue>
+#include <stdexcept>
+
+#include "pairwise/basic_greedy.hpp"
+
+namespace dlb::dist {
+
+RunResult run_ojtb(Schedule& schedule, const EngineOptions& options,
+                   stats::Rng& rng) {
+  const pairwise::BasicGreedyKernel kernel;
+  const UniformPeerSelector selector;
+  return ExchangeEngine(kernel, selector).run(schedule, options, rng);
+}
+
+Cost single_type_optimal_makespan(const std::vector<Cost>& per_job_cost,
+                                  std::size_t num_jobs) {
+  if (per_job_cost.empty()) {
+    throw std::invalid_argument("single_type_optimal_makespan: no machines");
+  }
+  for (Cost p : per_job_cost) {
+    if (!(p > 0.0)) {
+      throw std::invalid_argument(
+          "single_type_optimal_makespan: costs must be > 0");
+    }
+  }
+  if (num_jobs == 0) return 0.0;
+
+  // Earliest-completion-time greedy: repeatedly give the next job to the
+  // machine whose completion grows least. Optimal for identical jobs (the
+  // m-machine generalisation of Lemma 3, provable by a standard exchange
+  // argument on job counts).
+  using Entry = std::pair<Cost, std::size_t>;  // (completion if +1 job, i)
+  std::priority_queue<Entry, std::vector<Entry>, std::greater<>> heap;
+  std::vector<std::size_t> count(per_job_cost.size(), 0);
+  for (std::size_t i = 0; i < per_job_cost.size(); ++i) {
+    heap.emplace(per_job_cost[i], i);
+  }
+  Cost makespan = 0.0;
+  for (std::size_t placed = 0; placed < num_jobs; ++placed) {
+    const auto [completion, i] = heap.top();
+    heap.pop();
+    ++count[i];
+    makespan = std::max(makespan, completion);
+    heap.emplace(static_cast<Cost>(count[i] + 1) * per_job_cost[i], i);
+  }
+  return makespan;
+}
+
+}  // namespace dlb::dist

@@ -1,0 +1,23 @@
+#pragma once
+
+// OJTB — One Job Type Balancing (Algorithm 3). Every machine repeatedly
+// picks a uniform random peer and the pair redistributes its pooled jobs
+// with Basic Greedy (Algorithm 2). Lemma 4: on instances with a single job
+// type, the process converges to an *optimal* distribution.
+
+#include "dist/exchange_engine.hpp"
+
+namespace dlb::dist {
+
+/// Runs OJTB on `schedule` in place with uniform peer selection.
+RunResult run_ojtb(Schedule& schedule, const EngineOptions& options,
+                   stats::Rng& rng);
+
+/// The optimal single-type makespan on unrelated machines: distributing N
+/// identical jobs where machine i takes p_i per job. Computed by binary
+/// search on the makespan (sum_i floor(T / p_i) >= N), exact for the
+/// integral job counts OJTB produces. Used as the Lemma 4 oracle.
+[[nodiscard]] Cost single_type_optimal_makespan(
+    const std::vector<Cost>& per_job_cost, std::size_t num_jobs);
+
+}  // namespace dlb::dist

@@ -1,0 +1,26 @@
+#include "dist/peer_selector.hpp"
+
+#include <cassert>
+
+namespace dlb::dist {
+
+MachineId UniformPeerSelector::select(MachineId initiator,
+                                      std::size_t num_machines,
+                                      stats::Rng& rng) const {
+  assert(num_machines >= 2);
+  // Draw from the other m-1 machines and skip over the initiator.
+  auto peer = static_cast<MachineId>(rng.below(num_machines - 1));
+  if (peer >= initiator) ++peer;
+  return peer;
+}
+
+MachineId RingPeerSelector::select(MachineId initiator,
+                                   std::size_t num_machines,
+                                   stats::Rng& rng) const {
+  assert(num_machines >= 2);
+  const auto m = static_cast<MachineId>(num_machines);
+  const bool right = rng.bernoulli(0.5);
+  return right ? (initiator + 1) % m : (initiator + m - 1) % m;
+}
+
+}  // namespace dlb::dist

@@ -1,0 +1,46 @@
+#pragma once
+
+// Peer selection policies for the decentralized exchange loop. The paper's
+// algorithms select targets uniformly at random (Algorithms 3, 4, 7); the
+// ring and cross-cluster variants exist for ablation benches.
+
+#include <string_view>
+
+#include "core/types.hpp"
+#include "stats/rng.hpp"
+
+namespace dlb::dist {
+
+class PeerSelector {
+ public:
+  virtual ~PeerSelector() = default;
+
+  /// Returns a peer != initiator in [0, num_machines). num_machines >= 2.
+  [[nodiscard]] virtual MachineId select(MachineId initiator,
+                                         std::size_t num_machines,
+                                         stats::Rng& rng) const = 0;
+
+  [[nodiscard]] virtual std::string_view name() const noexcept = 0;
+};
+
+/// Uniform over all other machines — the paper's policy.
+class UniformPeerSelector final : public PeerSelector {
+ public:
+  [[nodiscard]] MachineId select(MachineId initiator, std::size_t num_machines,
+                                 stats::Rng& rng) const override;
+  [[nodiscard]] std::string_view name() const noexcept override {
+    return "uniform";
+  }
+};
+
+/// One of the two ring neighbours, uniformly — a low-connectivity ablation.
+class RingPeerSelector final : public PeerSelector {
+ public:
+  [[nodiscard]] MachineId select(MachineId initiator, std::size_t num_machines,
+                                 stats::Rng& rng) const override;
+  [[nodiscard]] std::string_view name() const noexcept override {
+    return "ring";
+  }
+};
+
+}  // namespace dlb::dist

@@ -1,0 +1,239 @@
+#include "lp/simplex.hpp"
+
+#include <cmath>
+#include <limits>
+#include <stdexcept>
+
+namespace dlb::lp {
+
+namespace {
+
+constexpr double kEps = 1e-9;
+
+/// Dense simplex tableau. Columns: structural vars, then slack/surplus,
+/// then artificials, then RHS. One row per constraint plus the objective
+/// row (kept as reduced costs of the current phase's objective).
+class Tableau {
+ public:
+  Tableau(const Problem& problem) : num_vars_(problem.num_vars) {
+    const std::size_t m = problem.constraints.size();
+    // Count auxiliary columns.
+    for (const Constraint& c : problem.constraints) {
+      const bool flip = c.rhs < 0.0;
+      Relation rel = c.relation;
+      if (flip && rel != Relation::kEq) {
+        rel = rel == Relation::kLe ? Relation::kGe : Relation::kLe;
+      }
+      if (rel == Relation::kLe) {
+        ++num_slack_;
+      } else if (rel == Relation::kGe) {
+        ++num_slack_;      // surplus
+        ++num_artificial_;
+      } else {
+        ++num_artificial_;
+      }
+    }
+    cols_ = num_vars_ + num_slack_ + num_artificial_ + 1;  // +1 RHS
+    rows_.assign(m, std::vector<double>(cols_, 0.0));
+    basis_.assign(m, 0);
+
+    std::size_t slack = 0;
+    std::size_t artificial = 0;
+    for (std::size_t r = 0; r < m; ++r) {
+      const Constraint& c = problem.constraints[r];
+      if (c.coeffs.size() > num_vars_) {
+        throw std::invalid_argument("lp::solve: constraint width mismatch");
+      }
+      const bool flip = c.rhs < 0.0;
+      const double sign = flip ? -1.0 : 1.0;
+      for (std::size_t v = 0; v < c.coeffs.size(); ++v) {
+        rows_[r][v] = sign * c.coeffs[v];
+      }
+      rows_[r].back() = sign * c.rhs;
+      Relation rel = c.relation;
+      if (flip && rel != Relation::kEq) {
+        rel = rel == Relation::kLe ? Relation::kGe : Relation::kLe;
+      }
+      if (rel == Relation::kLe) {
+        const std::size_t col = num_vars_ + slack++;
+        rows_[r][col] = 1.0;
+        basis_[r] = col;
+      } else if (rel == Relation::kGe) {
+        rows_[r][num_vars_ + slack++] = -1.0;
+        const std::size_t col = num_vars_ + num_slack_ + artificial++;
+        rows_[r][col] = 1.0;
+        basis_[r] = col;
+      } else {
+        const std::size_t col = num_vars_ + num_slack_ + artificial++;
+        rows_[r][col] = 1.0;
+        basis_[r] = col;
+      }
+    }
+  }
+
+  [[nodiscard]] std::size_t artificial_begin() const noexcept {
+    return num_vars_ + num_slack_;
+  }
+  [[nodiscard]] std::size_t artificial_end() const noexcept {
+    return num_vars_ + num_slack_ + num_artificial_;
+  }
+  [[nodiscard]] bool has_artificials() const noexcept {
+    return num_artificial_ > 0;
+  }
+
+  /// Runs simplex minimizing `cost` (size = all columns except RHS, padded
+  /// with zeros). `allow` bounds the columns eligible to enter the basis.
+  Status minimize(const std::vector<double>& cost, std::size_t allow_end,
+                  std::size_t max_iterations, std::size_t& iterations_used) {
+    // Reduced-cost row z = cost - cost_B * B^{-1} A, maintained explicitly.
+    obj_.assign(cols_, 0.0);
+    for (std::size_t c = 0; c < cost.size(); ++c) obj_[c] = cost[c];
+    for (std::size_t r = 0; r < rows_.size(); ++r) {
+      const double cb = basis_[r] < cost.size() ? cost[basis_[r]] : 0.0;
+      if (cb == 0.0) continue;
+      for (std::size_t c = 0; c < cols_; ++c) {
+        obj_[c] -= cb * rows_[r][c];
+      }
+    }
+    while (iterations_used < max_iterations) {
+      // Bland: smallest-index column with negative reduced cost.
+      std::size_t pivot_col = cols_;
+      for (std::size_t c = 0; c < allow_end; ++c) {
+        if (obj_[c] < -kEps) {
+          pivot_col = c;
+          break;
+        }
+      }
+      if (pivot_col == cols_) return Status::kOptimal;
+      // Ratio test with Bland tie-break on basis variable index.
+      std::size_t pivot_row = rows_.size();
+      double best_ratio = std::numeric_limits<double>::infinity();
+      for (std::size_t r = 0; r < rows_.size(); ++r) {
+        const double a = rows_[r][pivot_col];
+        if (a > kEps) {
+          const double ratio = rows_[r].back() / a;
+          if (ratio < best_ratio - kEps ||
+              (ratio < best_ratio + kEps &&
+               (pivot_row == rows_.size() ||
+                basis_[r] < basis_[pivot_row]))) {
+            best_ratio = ratio;
+            pivot_row = r;
+          }
+        }
+      }
+      if (pivot_row == rows_.size()) return Status::kUnbounded;
+      pivot(pivot_row, pivot_col);
+      ++iterations_used;
+    }
+    return Status::kIterationLimit;
+  }
+
+  /// After phase 1: pivot remaining artificial basics out (or detect a
+  /// redundant row, which simply stays with a zero RHS).
+  void expel_artificials() {
+    for (std::size_t r = 0; r < rows_.size(); ++r) {
+      if (basis_[r] < artificial_begin() || basis_[r] >= artificial_end()) {
+        continue;
+      }
+      for (std::size_t c = 0; c < artificial_begin(); ++c) {
+        if (std::abs(rows_[r][c]) > kEps) {
+          pivot(r, c);
+          break;
+        }
+      }
+    }
+  }
+
+  [[nodiscard]] double objective_value() const noexcept {
+    // obj_ row carries -(current objective) in the RHS position after the
+    // eliminations; recompute from basis for clarity instead.
+    return -obj_.back();
+  }
+
+  [[nodiscard]] std::vector<double> extract_x() const {
+    std::vector<double> x(num_vars_, 0.0);
+    for (std::size_t r = 0; r < rows_.size(); ++r) {
+      if (basis_[r] < num_vars_) x[basis_[r]] = rows_[r].back();
+    }
+    return x;
+  }
+
+ private:
+  void pivot(std::size_t pr, std::size_t pc) {
+    const double p = rows_[pr][pc];
+    for (double& v : rows_[pr]) v /= p;
+    for (std::size_t r = 0; r < rows_.size(); ++r) {
+      if (r == pr) continue;
+      const double factor = rows_[r][pc];
+      if (factor == 0.0) continue;
+      for (std::size_t c = 0; c < cols_; ++c) {
+        rows_[r][c] -= factor * rows_[pr][c];
+      }
+      rows_[r][pc] = 0.0;  // exact
+    }
+    const double of = obj_[pc];
+    if (of != 0.0) {
+      for (std::size_t c = 0; c < cols_; ++c) {
+        obj_[c] -= of * rows_[pr][c];
+      }
+      obj_[pc] = 0.0;
+    }
+    basis_[pr] = pc;
+  }
+
+  std::size_t num_vars_;
+  std::size_t num_slack_ = 0;
+  std::size_t num_artificial_ = 0;
+  std::size_t cols_ = 0;
+  std::vector<std::vector<double>> rows_;
+  std::vector<double> obj_;
+  std::vector<std::size_t> basis_;
+};
+
+}  // namespace
+
+Solution solve(const Problem& problem, std::size_t max_iterations) {
+  if (problem.objective.size() != problem.num_vars) {
+    throw std::invalid_argument("lp::solve: objective width mismatch");
+  }
+  Tableau tableau(problem);
+  std::size_t iterations = 0;
+  Solution solution;
+
+  if (tableau.has_artificials()) {
+    // Phase 1: minimize the sum of artificials over ALL columns.
+    std::vector<double> phase1_cost(tableau.artificial_end(), 0.0);
+    for (std::size_t c = tableau.artificial_begin();
+         c < tableau.artificial_end(); ++c) {
+      phase1_cost[c] = 1.0;
+    }
+    const Status status =
+        tableau.minimize(phase1_cost, tableau.artificial_end(),
+                         max_iterations, iterations);
+    if (status == Status::kIterationLimit) {
+      solution.status = status;
+      return solution;
+    }
+    if (tableau.objective_value() > 1e-7) {
+      solution.status = Status::kInfeasible;
+      return solution;
+    }
+    tableau.expel_artificials();
+  }
+
+  // Phase 2: artificials may no longer enter the basis.
+  std::vector<double> cost(problem.objective);
+  const Status status = tableau.minimize(cost, tableau.artificial_begin(),
+                                         max_iterations, iterations);
+  solution.status = status;
+  if (status == Status::kOptimal) {
+    solution.x = tableau.extract_x();
+    solution.objective = 0.0;
+    for (std::size_t v = 0; v < problem.num_vars; ++v) {
+      solution.objective += problem.objective[v] * solution.x[v];
+    }
+  }
+  return solution;
+}
+
+}  // namespace dlb::lp

@@ -1,0 +1,45 @@
+#pragma once
+
+// A small dense two-phase simplex solver (Bland's rule, hence guaranteed
+// termination). Built as the substrate for the paper's reference point
+// [20]: Lenstra, Shmoys & Tardos's LP-relaxation 2-approximation for
+// R||Cmax, which Section VI contrasts CLB2C against ("requires solving a
+// linear program which seems difficult to decentralize").
+//
+// Dense tableaus: intended for the moderate LPs of the deadline relaxation
+// (tens of machines x hundreds of jobs). Not a production LP code.
+
+#include <cstddef>
+#include <vector>
+
+namespace dlb::lp {
+
+enum class Relation { kLe, kGe, kEq };
+
+struct Constraint {
+  std::vector<double> coeffs;  ///< size = num_vars (missing treated as 0)
+  Relation relation = Relation::kLe;
+  double rhs = 0.0;
+};
+
+/// minimize objective . x  subject to the constraints and x >= 0.
+struct Problem {
+  std::size_t num_vars = 0;
+  std::vector<double> objective;  ///< size = num_vars
+  std::vector<Constraint> constraints;
+};
+
+enum class Status { kOptimal, kInfeasible, kUnbounded, kIterationLimit };
+
+struct Solution {
+  Status status = Status::kIterationLimit;
+  double objective = 0.0;
+  std::vector<double> x;  ///< size = num_vars (valid when kOptimal)
+};
+
+/// Solves the problem; the returned solution is a basic feasible solution
+/// (a vertex of the polytope), which the Lenstra rounding relies on.
+[[nodiscard]] Solution solve(const Problem& problem,
+                             std::size_t max_iterations = 200'000);
+
+}  // namespace dlb::lp

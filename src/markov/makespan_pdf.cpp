@@ -1,0 +1,79 @@
+#include "markov/makespan_pdf.hpp"
+
+#include <algorithm>
+#include <map>
+#include <stdexcept>
+
+#include "markov/scc.hpp"
+
+namespace dlb::markov {
+
+double MakespanPdf::mean_normalized() const {
+  double mean = 0.0;
+  for (const auto& p : points) mean += p.normalized * p.probability;
+  return mean;
+}
+
+double MakespanPdf::cdf_normalized(double x) const {
+  double cum = 0.0;
+  for (const auto& p : points) {
+    if (p.normalized <= x + 1e-12) cum += p.probability;
+  }
+  return cum;
+}
+
+Load MakespanPdf::max_support(double eps) const {
+  Load max_load = 0;
+  for (const auto& p : points) {
+    if (p.probability > eps) max_load = std::max(max_load, p.makespan);
+  }
+  return max_load;
+}
+
+MakespanPdf makespan_pdf(const StateSpace& space, const std::vector<double>& pi,
+                         Load p_max) {
+  if (pi.size() != space.size()) {
+    throw std::invalid_argument("makespan_pdf: pi/state-space size mismatch");
+  }
+  const Load balanced =
+      (space.total() + space.num_machines() - 1) / space.num_machines();
+  std::map<Load, double> by_makespan;
+  for (StateIndex s = 0; s < space.size(); ++s) {
+    if (pi[s] > 0.0) by_makespan[space.makespan(s)] += pi[s];
+  }
+  MakespanPdf pdf;
+  pdf.points.reserve(by_makespan.size());
+  for (const auto& [cmax, prob] : by_makespan) {
+    pdf.points.push_back(
+        {cmax, static_cast<double>(cmax - balanced) / p_max, prob});
+  }
+  return pdf;
+}
+
+SteadyStateAnalysis analyze_steady_state(int num_machines, Load p_max) {
+  SteadyStateAnalysis out;
+  // Smallest total for which the Theorem 10 extreme "staircase" state
+  // (X, X - p_max, ..., X - (m-1) p_max) has non-negative loads.
+  out.total = p_max * num_machines * (num_machines - 1) / 2;
+  const StateSpace space = StateSpace::enumerate(num_machines, out.total);
+  out.num_states = space.size();
+
+  const TransitionMatrix matrix = TransitionMatrix::build(space, p_max);
+  const SccResult scc = strongly_connected_components(matrix);
+  const std::vector<StateIndex> sink = sink_states(matrix, scc);
+  out.sink_size = sink.size();
+  out.theorem10_bound =
+      static_cast<double>(out.total) / num_machines +
+      0.5 * (num_machines - 1) * static_cast<double>(p_max);
+  out.sink_max_makespan = 0;
+  for (StateIndex s : sink) {
+    out.sink_max_makespan = std::max(out.sink_max_makespan, space.makespan(s));
+  }
+
+  const StationaryResult stationary =
+      stationary_distribution(matrix, sink);
+  out.pdf = makespan_pdf(space, stationary.pi, p_max);
+  return out;
+}
+
+}  // namespace dlb::markov

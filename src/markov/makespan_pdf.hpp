@@ -1,0 +1,54 @@
+#pragma once
+
+// Figure 2's quantity: the probability distribution of the makespan in the
+// steady state, with the X axis normalized as the deviation from the
+// perfectly balanced makespan in units of p_max:
+//
+//     x = (Cmax - ceil(total / m)) / p_max
+
+#include <vector>
+
+#include "markov/state_space.hpp"
+#include "markov/stationary.hpp"
+
+namespace dlb::markov {
+
+struct MakespanPoint {
+  Load makespan = 0;          ///< Raw makespan value.
+  double normalized = 0.0;    ///< (makespan - ceil(total/m)) / p_max.
+  double probability = 0.0;
+};
+
+struct MakespanPdf {
+  std::vector<MakespanPoint> points;  ///< Sorted by makespan.
+
+  [[nodiscard]] double mean_normalized() const;
+  /// Probability that the normalized deviation is <= x.
+  [[nodiscard]] double cdf_normalized(double x) const;
+  /// Largest makespan with positive probability (> eps).
+  [[nodiscard]] Load max_support(double eps = 1e-15) const;
+};
+
+/// Aggregates a stationary vector by state makespan.
+[[nodiscard]] MakespanPdf makespan_pdf(const StateSpace& space,
+                                       const std::vector<double>& pi,
+                                       Load p_max);
+
+/// Convenience pipeline for one (m, p_max) cell of Figure 2: enumerate the
+/// space with total = p_max * m * (m-1) / 2 (the smallest total for which
+/// Theorem 10's extreme state exists), build the chain, find the sink
+/// component, compute the stationary distribution, and aggregate. Also
+/// reports Theorem 10's bound for cross-checking.
+struct SteadyStateAnalysis {
+  Load total = 0;
+  std::size_t num_states = 0;
+  std::size_t sink_size = 0;
+  double theorem10_bound = 0.0;  ///< total/m + (m-1)/2 * p_max
+  Load sink_max_makespan = 0;    ///< max makespan inside the sink component
+  MakespanPdf pdf;
+};
+
+[[nodiscard]] SteadyStateAnalysis analyze_steady_state(int num_machines,
+                                                       Load p_max);
+
+}  // namespace dlb::markov

@@ -1,0 +1,103 @@
+#include "markov/scc.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace dlb::markov {
+
+std::vector<std::uint32_t> SccResult::sink_components() const {
+  std::vector<std::uint32_t> sinks;
+  for (std::uint32_t c = 0; c < num_components; ++c) {
+    if (!has_outgoing[c]) sinks.push_back(c);
+  }
+  return sinks;
+}
+
+SccResult strongly_connected_components(const TransitionMatrix& matrix) {
+  const std::size_t n = matrix.num_states();
+  constexpr std::uint32_t kUnvisited = UINT32_MAX;
+
+  std::vector<std::uint32_t> index(n, kUnvisited);
+  std::vector<std::uint32_t> lowlink(n, 0);
+  std::vector<char> on_stack(n, 0);
+  std::vector<StateIndex> stack;
+  SccResult result;
+  result.component_of.assign(n, kUnvisited);
+  std::uint32_t next_index = 0;
+
+  // Iterative Tarjan: frame = (vertex, next out-edge offset).
+  struct Frame {
+    StateIndex v;
+    std::size_t edge;
+  };
+  std::vector<Frame> call_stack;
+
+  for (StateIndex root = 0; root < n; ++root) {
+    if (index[root] != kUnvisited) continue;
+    call_stack.push_back({root, matrix.row_begin[root]});
+    index[root] = lowlink[root] = next_index++;
+    stack.push_back(root);
+    on_stack[root] = 1;
+
+    while (!call_stack.empty()) {
+      Frame& frame = call_stack.back();
+      const StateIndex v = frame.v;
+      if (frame.edge < matrix.row_begin[v + 1]) {
+        const StateIndex w = matrix.col[frame.edge++];
+        if (w == v) continue;  // self-loop: irrelevant to SCC structure
+        if (index[w] == kUnvisited) {
+          index[w] = lowlink[w] = next_index++;
+          stack.push_back(w);
+          on_stack[w] = 1;
+          call_stack.push_back({w, matrix.row_begin[w]});
+        } else if (on_stack[w]) {
+          lowlink[v] = std::min(lowlink[v], index[w]);
+        }
+      } else {
+        call_stack.pop_back();
+        if (!call_stack.empty()) {
+          const StateIndex parent = call_stack.back().v;
+          lowlink[parent] = std::min(lowlink[parent], lowlink[v]);
+        }
+        if (lowlink[v] == index[v]) {
+          const std::uint32_t c = result.num_components++;
+          for (;;) {
+            const StateIndex w = stack.back();
+            stack.pop_back();
+            on_stack[w] = 0;
+            result.component_of[w] = c;
+            if (w == v) break;
+          }
+        }
+      }
+    }
+  }
+
+  result.has_outgoing.assign(result.num_components, 0);
+  for (StateIndex v = 0; v < n; ++v) {
+    for (std::size_t e = matrix.row_begin[v]; e < matrix.row_begin[v + 1];
+         ++e) {
+      const StateIndex w = matrix.col[e];
+      if (result.component_of[w] != result.component_of[v]) {
+        result.has_outgoing[result.component_of[v]] = 1;
+      }
+    }
+  }
+  return result;
+}
+
+std::vector<StateIndex> sink_states(const TransitionMatrix& matrix,
+                                    const SccResult& scc) {
+  const auto sinks = scc.sink_components();
+  if (sinks.size() != 1) {
+    throw std::logic_error(
+        "sink_states: expected a unique sink component (Theorem 9)");
+  }
+  std::vector<StateIndex> states;
+  for (StateIndex v = 0; v < matrix.num_states(); ++v) {
+    if (scc.component_of[v] == sinks.front()) states.push_back(v);
+  }
+  return states;
+}
+
+}  // namespace dlb::markov

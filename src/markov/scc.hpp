@@ -1,0 +1,36 @@
+#pragma once
+
+// Strongly connected components of the transition graph (iterative Tarjan).
+// Theorem 9: exactly one component has no outgoing edges (the *sink*
+// component) and it contains the perfectly balanced state. The stationary
+// analysis is restricted to that component.
+
+#include <cstdint>
+#include <vector>
+
+#include "markov/transitions.hpp"
+
+namespace dlb::markov {
+
+struct SccResult {
+  /// Component id of each state; ids are in reverse topological order of
+  /// Tarjan discovery (no global order guarantee is exposed).
+  std::vector<std::uint32_t> component_of;
+  std::uint32_t num_components = 0;
+  /// has_outgoing[c] == true iff component c has an edge to another
+  /// component.
+  std::vector<char> has_outgoing;
+
+  /// Ids of components with no outgoing cross edges.
+  [[nodiscard]] std::vector<std::uint32_t> sink_components() const;
+};
+
+[[nodiscard]] SccResult strongly_connected_components(
+    const TransitionMatrix& matrix);
+
+/// States belonging to the unique sink component; throws std::logic_error
+/// if the sink is not unique (which would falsify Theorem 9).
+[[nodiscard]] std::vector<StateIndex> sink_states(
+    const TransitionMatrix& matrix, const SccResult& scc);
+
+}  // namespace dlb::markov

@@ -1,0 +1,77 @@
+#include "markov/state_space.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace dlb::markov {
+
+StateKey StateSpace::key_of(const std::vector<Load>& sorted) {
+  StateKey key{0, 0};
+  for (std::size_t i = 0; i < sorted.size(); ++i) {
+    const auto v = static_cast<std::uint64_t>(sorted[i]) & 0xffffULL;
+    key[i / 4] |= v << (16 * (i % 4));
+  }
+  return key;
+}
+
+StateSpace StateSpace::enumerate(int num_machines, Load total) {
+  if (num_machines < 2 || num_machines > 8) {
+    throw std::invalid_argument("StateSpace: need 2 <= m <= 8");
+  }
+  if (total < 0 || total > 65535) {
+    throw std::invalid_argument("StateSpace: need 0 <= total <= 65535");
+  }
+  StateSpace space;
+  space.m_ = num_machines;
+  space.total_ = total;
+
+  // Recursive enumeration of non-increasing parts; `cap` bounds the next
+  // part from above (the previous part's value).
+  std::vector<Load> current(num_machines);
+  auto recurse = [&](auto&& self, int position, Load remaining,
+                     Load cap) -> void {
+    if (position == num_machines - 1) {
+      if (remaining <= cap) {
+        current[position] = remaining;
+        space.states_.push_back(current);
+      }
+      return;
+    }
+    const int parts_left = num_machines - position;
+    // The first of `parts_left` non-increasing parts must be at least the
+    // average of what remains.
+    const Load lo = static_cast<Load>(
+        (remaining + parts_left - 1) / parts_left);
+    for (Load v = std::min(cap, remaining); v >= lo; --v) {
+      current[position] = v;
+      self(self, position + 1, remaining - v, v);
+    }
+  };
+  recurse(recurse, 0, total, total);
+
+  space.index_.reserve(space.states_.size() * 2);
+  for (StateIndex s = 0; s < space.states_.size(); ++s) {
+    space.index_.emplace(key_of(space.states_[s]), s);
+  }
+  return space;
+}
+
+StateIndex StateSpace::index_of(const std::vector<Load>& sorted) const {
+  const auto it = index_.find(key_of(sorted));
+  if (it == index_.end()) {
+    throw std::out_of_range("StateSpace::index_of: unknown state");
+  }
+  return it->second;
+}
+
+StateIndex StateSpace::balanced_state() const {
+  std::vector<Load> loads(m_);
+  const Load base = total_ / m_;
+  const int extra = static_cast<int>(total_ % m_);
+  for (int i = 0; i < m_; ++i) {
+    loads[i] = base + (i < extra ? 1 : 0);
+  }
+  return index_of(loads);
+}
+
+}  // namespace dlb::markov

@@ -1,0 +1,70 @@
+#pragma once
+
+// State space of the Section VII-A Markov model: the DLB2C dynamics on one
+// cluster of m machines, abstracted to integer load vectors with a fixed
+// total. Because the pair to balance is chosen uniformly over machines, the
+// dynamics are symmetric under machine permutation, so the chain can be
+// *lumped* onto canonical (non-increasing sorted) load vectors — i.e. onto
+// integer partitions of the total into at most m parts. That lumping is
+// what makes m = 7 tractable where the raw composition space is not.
+
+#include <array>
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "core/types.hpp"
+
+namespace dlb::markov {
+
+using Load = std::int32_t;
+using StateIndex = std::uint32_t;
+
+/// Canonical packed key of a sorted load vector (m <= 8, load <= 65535).
+using StateKey = std::array<std::uint64_t, 2>;
+
+struct StateKeyHash {
+  std::size_t operator()(const StateKey& k) const noexcept {
+    std::uint64_t h = k[0] * 0x9e3779b97f4a7c15ULL;
+    h ^= k[1] + 0x9e3779b97f4a7c15ULL + (h << 6) + (h >> 2);
+    return static_cast<std::size_t>(h);
+  }
+};
+
+/// Enumerated canonical states for (m machines, total load).
+class StateSpace {
+ public:
+  /// Enumerates all non-increasing vectors of m non-negative integers
+  /// summing to `total`. Requires 2 <= m <= 8 and total <= 65535.
+  static StateSpace enumerate(int num_machines, Load total);
+
+  [[nodiscard]] std::size_t size() const noexcept { return states_.size(); }
+  [[nodiscard]] int num_machines() const noexcept { return m_; }
+  [[nodiscard]] Load total() const noexcept { return total_; }
+
+  /// The canonical load vector of state s (non-increasing, size m).
+  [[nodiscard]] const std::vector<Load>& loads(StateIndex s) const {
+    return states_[s];
+  }
+
+  /// Makespan of state s = its largest load.
+  [[nodiscard]] Load makespan(StateIndex s) const { return states_[s][0]; }
+
+  /// Index of a canonical (sorted non-increasing) load vector.
+  [[nodiscard]] StateIndex index_of(const std::vector<Load>& sorted) const;
+
+  /// Index of the perfectly balanced state (Theorem 9's target): loads are
+  /// floor(total/m) or ceil(total/m).
+  [[nodiscard]] StateIndex balanced_state() const;
+
+  /// Packs a sorted vector into its key.
+  static StateKey key_of(const std::vector<Load>& sorted);
+
+ private:
+  int m_ = 0;
+  Load total_ = 0;
+  std::vector<std::vector<Load>> states_;
+  std::unordered_map<StateKey, StateIndex, StateKeyHash> index_;
+};
+
+}  // namespace dlb::markov

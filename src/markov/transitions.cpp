@@ -1,0 +1,66 @@
+#include "markov/transitions.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace dlb::markov {
+
+std::vector<std::pair<StateIndex, double>> transitions_from(
+    const StateSpace& space, StateIndex state, Load p_max) {
+  if (p_max < 1) throw std::invalid_argument("transitions_from: p_max >= 1");
+  const auto& loads = space.loads(state);
+  const int m = space.num_machines();
+  const double pair_prob = 2.0 / (static_cast<double>(m) * (m - 1));
+
+  // Accumulate into a small flat map (rows are short).
+  std::vector<std::pair<StateIndex, double>> row;
+  auto accumulate = [&](StateIndex target, double p) {
+    for (auto& [t, q] : row) {
+      if (t == target) {
+        q += p;
+        return;
+      }
+    }
+    row.emplace_back(target, p);
+  };
+
+  std::vector<Load> next(loads.size());
+  for (int i = 0; i < m; ++i) {
+    for (int j = i + 1; j < m; ++j) {
+      const Load total = loads[i] + loads[j];
+      const Load parity = total % 2;
+      const Load d_hi = std::min<Load>(p_max, total);
+      if (d_hi < parity) continue;  // cannot happen: parity <= 1 <= p_max
+      const int choices = (d_hi - parity) / 2 + 1;
+      const double d_prob = pair_prob / choices;
+      for (Load d = parity; d <= d_hi; d += 2) {
+        next = loads;
+        next[i] = (total + d) / 2;
+        next[j] = (total - d) / 2;
+        std::sort(next.begin(), next.end(), std::greater<>());
+        accumulate(space.index_of(next), d_prob);
+      }
+    }
+  }
+  return row;
+}
+
+TransitionMatrix TransitionMatrix::build(const StateSpace& space, Load p_max) {
+  TransitionMatrix matrix;
+  const std::size_t n = space.size();
+  matrix.row_begin.reserve(n + 1);
+  matrix.row_begin.push_back(0);
+  for (StateIndex s = 0; s < n; ++s) {
+    auto row = transitions_from(space, s, p_max);
+    // Deterministic column order aids testing and cache behaviour.
+    std::sort(row.begin(), row.end());
+    for (const auto& [target, p] : row) {
+      matrix.col.push_back(target);
+      matrix.prob.push_back(p);
+    }
+    matrix.row_begin.push_back(matrix.col.size());
+  }
+  return matrix;
+}
+
+}  // namespace dlb::markov

@@ -1,0 +1,41 @@
+#pragma once
+
+// Transition structure of the lumped chain (Section VII-A):
+//   1. an unordered machine pair is chosen uniformly (C(m,2) choices);
+//   2. the pair's combined load T is re-split with a new imbalance d drawn
+//      uniformly from the *feasible* subset of {0, ..., p_max} — feasible
+//      means d <= T (loads stay non-negative) and d ≡ T (mod 2) (loads stay
+//      integral). The parity condition is our integrality reading of the
+//      paper's "the remaining imbalance is uniformly chosen in
+//      {0, ..., p_max}"; DESIGN.md §4 documents the choice.
+//
+// The result is stored as a CSR sparse row-stochastic matrix.
+
+#include <cstddef>
+#include <utility>
+#include <vector>
+
+#include "markov/state_space.hpp"
+
+namespace dlb::markov {
+
+/// Sparse transition row: (target state, probability), probabilities sum
+/// to 1 (self-transitions included).
+[[nodiscard]] std::vector<std::pair<StateIndex, double>> transitions_from(
+    const StateSpace& space, StateIndex state, Load p_max);
+
+/// Row-stochastic CSR matrix over the whole state space.
+struct TransitionMatrix {
+  std::vector<std::size_t> row_begin;  ///< size N+1
+  std::vector<StateIndex> col;
+  std::vector<double> prob;
+
+  [[nodiscard]] std::size_t num_states() const noexcept {
+    return row_begin.size() - 1;
+  }
+  [[nodiscard]] std::size_t num_edges() const noexcept { return col.size(); }
+
+  static TransitionMatrix build(const StateSpace& space, Load p_max);
+};
+
+}  // namespace dlb::markov

@@ -1,0 +1,12 @@
+#include "net/network.hpp"
+
+namespace dlb::net {
+
+void Network::send(MachineId from, MachineId to,
+                   std::function<void()> deliver) {
+  ++messages_;
+  const des::SimTime latency = latency_->sample(from, to, *rng_);
+  engine_->schedule_after(latency, std::move(deliver));
+}
+
+}  // namespace dlb::net

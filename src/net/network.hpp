@@ -1,0 +1,73 @@
+#pragma once
+
+// A simulated message-passing network on top of the discrete-event engine:
+// point-to-point messages with a pluggable latency model. The asynchronous
+// DLB2C runner (dist/async_runner) exchanges its balancing protocol over
+// this; the paper's sequential exchange model corresponds to zero latency.
+
+#include <cstdint>
+#include <functional>
+
+#include "core/types.hpp"
+#include "des/engine.hpp"
+#include "stats/rng.hpp"
+
+namespace dlb::net {
+
+/// Per-message latency distribution.
+class LatencyModel {
+ public:
+  virtual ~LatencyModel() = default;
+  [[nodiscard]] virtual des::SimTime sample(MachineId from, MachineId to,
+                                            stats::Rng& rng) const = 0;
+};
+
+/// Fixed latency for every message.
+class ConstantLatency final : public LatencyModel {
+ public:
+  explicit ConstantLatency(des::SimTime value) : value_(value) {}
+  [[nodiscard]] des::SimTime sample(MachineId, MachineId,
+                                    stats::Rng&) const override {
+    return value_;
+  }
+
+ private:
+  des::SimTime value_;
+};
+
+/// Latency uniform in [lo, hi).
+class UniformLatency final : public LatencyModel {
+ public:
+  UniformLatency(des::SimTime lo, des::SimTime hi) : lo_(lo), hi_(hi) {}
+  [[nodiscard]] des::SimTime sample(MachineId, MachineId,
+                                    stats::Rng& rng) const override {
+    return rng.uniform(lo_, hi_);
+  }
+
+ private:
+  des::SimTime lo_;
+  des::SimTime hi_;
+};
+
+/// Binds an engine, a latency model and an RNG; delivers callbacks after
+/// the sampled latency and counts traffic.
+class Network {
+ public:
+  Network(des::Engine& engine, const LatencyModel& latency, stats::Rng& rng)
+      : engine_(&engine), latency_(&latency), rng_(&rng) {}
+
+  /// Schedules `deliver` to run after the sampled latency from -> to.
+  void send(MachineId from, MachineId to, std::function<void()> deliver);
+
+  [[nodiscard]] std::uint64_t messages_sent() const noexcept {
+    return messages_;
+  }
+
+ private:
+  des::Engine* engine_;
+  const LatencyModel* latency_;
+  stats::Rng* rng_;
+  std::uint64_t messages_ = 0;
+};
+
+}  // namespace dlb::net

@@ -1,0 +1,81 @@
+#include "pairwise/basic_greedy.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace dlb::pairwise {
+
+std::vector<JobId> pooled_jobs(const Schedule& schedule, MachineId a,
+                               MachineId b) {
+  std::vector<JobId> pool = schedule.jobs_on(a);
+  const auto& on_b = schedule.jobs_on(b);
+  pool.insert(pool.end(), on_b.begin(), on_b.end());
+  std::sort(pool.begin(), pool.end());
+  return pool;
+}
+
+bool split_is_load_neutral(const Schedule& schedule, MachineId a, MachineId b,
+                           Cost load_a, Cost load_b) noexcept {
+  const Cost scale =
+      1.0 + std::max(std::abs(load_a), std::abs(load_b));
+  constexpr Cost kRelTol = 1e-12;
+  return std::abs(schedule.load(a) - load_a) <= kRelTol * scale &&
+         std::abs(schedule.load(b) - load_b) <= kRelTol * scale;
+}
+
+bool apply_split(Schedule& schedule, MachineId a, MachineId b,
+                 const std::vector<JobId>& to_a,
+                 const std::vector<JobId>& to_b) {
+  bool changed = false;
+  for (JobId j : to_a) {
+    if (schedule.machine_of(j) != a) {
+      schedule.move(j, a);
+      changed = true;
+    }
+  }
+  for (JobId j : to_b) {
+    if (schedule.machine_of(j) != b) {
+      schedule.move(j, b);
+      changed = true;
+    }
+  }
+  return changed;
+}
+
+void basic_greedy_split(const Instance& instance, MachineId a, MachineId b,
+                        const std::vector<JobId>& pool,
+                        std::vector<JobId>& to_a, std::vector<JobId>& to_b) {
+  to_a.clear();
+  to_b.clear();
+  Cost load_a = 0.0;
+  Cost load_b = 0.0;
+  for (JobId j : pool) {
+    const Cost ca = instance.cost(a, j);
+    const Cost cb = instance.cost(b, j);
+    // Algorithm 2's rule: the host machine keeps the job on ties.
+    if (load_a + ca <= load_b + cb) {
+      to_a.push_back(j);
+      load_a += ca;
+    } else {
+      to_b.push_back(j);
+      load_b += cb;
+    }
+  }
+}
+
+bool BasicGreedyKernel::balance(Schedule& schedule, MachineId a,
+                                MachineId b) const {
+  const Instance& instance = schedule.instance();
+  const std::vector<JobId> pool = pooled_jobs(schedule, a, b);
+  std::vector<JobId> to_a;
+  std::vector<JobId> to_b;
+  basic_greedy_split(instance, a, b, pool, to_a, to_b);
+  Cost load_a = 0.0;
+  Cost load_b = 0.0;
+  for (JobId j : to_a) load_a += instance.cost(a, j);
+  for (JobId j : to_b) load_b += instance.cost(b, j);
+  if (split_is_load_neutral(schedule, a, b, load_a, load_b)) return false;
+  return apply_split(schedule, a, b, to_a, to_b);
+}
+
+}  // namespace dlb::pairwise

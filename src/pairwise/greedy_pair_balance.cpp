@@ -1,0 +1,54 @@
+#include "pairwise/greedy_pair_balance.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace dlb::pairwise {
+
+void sort_by_group_ratio(const Instance& instance, GroupId num, GroupId den,
+                         std::vector<JobId>& pool) {
+  std::sort(pool.begin(), pool.end(), [&](JobId x, JobId y) {
+    const Cost lhs = instance.group_cost(num, x) * instance.group_cost(den, y);
+    const Cost rhs = instance.group_cost(num, y) * instance.group_cost(den, x);
+    if (lhs != rhs) return lhs < rhs;
+    return x < y;
+  });
+}
+
+bool GreedyPairBalanceKernel::balance(Schedule& schedule, MachineId a,
+                                      MachineId b) const {
+  const Instance& instance = schedule.instance();
+  if (instance.num_groups() != 2) {
+    throw std::invalid_argument(
+        "GreedyPairBalanceKernel: needs a two-cluster instance");
+  }
+  const GroupId own = instance.group_of(a);
+  if (instance.group_of(b) != own) {
+    throw std::invalid_argument(
+        "GreedyPairBalanceKernel: machines must share a cluster");
+  }
+  const GroupId other = own == 0 ? 1 : 0;
+
+  std::vector<JobId> pool = pooled_jobs(schedule, a, b);
+  sort_by_group_ratio(instance, own, other, pool);
+
+  std::vector<JobId> to_a;
+  std::vector<JobId> to_b;
+  Cost load_a = 0.0;
+  Cost load_b = 0.0;
+  for (JobId j : pool) {
+    // Identical machines within a cluster: same cost either way.
+    const Cost c = instance.cost(a, j);
+    if (load_a <= load_b) {
+      to_a.push_back(j);
+      load_a += c;
+    } else {
+      to_b.push_back(j);
+      load_b += c;
+    }
+  }
+  if (split_is_load_neutral(schedule, a, b, load_a, load_b)) return false;
+  return apply_split(schedule, a, b, to_a, to_b);
+}
+
+}  // namespace dlb::pairwise

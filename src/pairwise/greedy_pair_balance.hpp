@@ -1,0 +1,30 @@
+#pragma once
+
+// Greedy Load Balancing (Algorithm 6): the same-cluster exchange of DLB2C.
+// The pooled jobs are sorted by how much they "belong" to this cluster
+// (increasing p_own / p_other ratio) and dealt one at a time to the
+// currently less-loaded machine. The ratio sort does not change the pair's
+// balance (the machines are identical) but keeps the cluster's job mix
+// ready for future cross-cluster exchanges, exactly as in the paper.
+//
+// Requires an instance with exactly two groups and unit scales.
+
+#include "pairwise/pair_kernel.hpp"
+
+namespace dlb::pairwise {
+
+/// Sorts `pool` by increasing p(num, j) / p(den, j) (cross-multiplied to
+/// avoid division; ties broken by job id).
+void sort_by_group_ratio(const Instance& instance, GroupId num, GroupId den,
+                         std::vector<JobId>& pool);
+
+class GreedyPairBalanceKernel final : public PairKernel {
+ public:
+  /// a and b must belong to the same group of a two-group instance.
+  bool balance(Schedule& schedule, MachineId a, MachineId b) const override;
+  [[nodiscard]] std::string_view name() const noexcept override {
+    return "greedy-pair-balance";
+  }
+};
+
+}  // namespace dlb::pairwise

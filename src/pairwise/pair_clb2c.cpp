@@ -1,0 +1,61 @@
+#include "pairwise/pair_clb2c.hpp"
+
+#include <stdexcept>
+
+#include "pairwise/greedy_pair_balance.hpp"
+
+namespace dlb::pairwise {
+
+void pair_clb2c_split(const Instance& instance, MachineId a, MachineId b,
+                      std::vector<JobId> pool, std::vector<JobId>& to_a,
+                      std::vector<JobId>& to_b) {
+  to_a.clear();
+  to_b.clear();
+  const GroupId ga = instance.group_of(a);
+  const GroupId gb = instance.group_of(b);
+  // Jobs that favour a's cluster come first, jobs that favour b's come last.
+  sort_by_group_ratio(instance, ga, gb, pool);
+
+  Cost load_a = 0.0;
+  Cost load_b = 0.0;
+  std::size_t front = 0;
+  std::size_t back = pool.size();
+  while (front < back) {
+    const JobId jf = pool[front];
+    const JobId jb = pool[back - 1];
+    const Cost completion_a = load_a + instance.cost(a, jf);
+    const Cost completion_b = load_b + instance.cost(b, jb);
+    // Place whichever choice yields the smaller completion time on its
+    // machine (Algorithm 5's selection rule). When only one job remains,
+    // jf == jb and the same comparison picks its better side.
+    if (completion_a <= completion_b) {
+      to_a.push_back(jf);
+      load_a = completion_a;
+      ++front;
+    } else {
+      to_b.push_back(jb);
+      load_b = completion_b;
+      --back;
+    }
+  }
+}
+
+bool PairClb2cKernel::balance(Schedule& schedule, MachineId a,
+                              MachineId b) const {
+  const Instance& instance = schedule.instance();
+  if (instance.group_of(a) == instance.group_of(b)) {
+    throw std::invalid_argument(
+        "PairClb2cKernel: machines must be in different clusters");
+  }
+  std::vector<JobId> to_a;
+  std::vector<JobId> to_b;
+  pair_clb2c_split(instance, a, b, pooled_jobs(schedule, a, b), to_a, to_b);
+  Cost load_a = 0.0;
+  Cost load_b = 0.0;
+  for (JobId j : to_a) load_a += instance.cost(a, j);
+  for (JobId j : to_b) load_b += instance.cost(b, j);
+  if (split_is_load_neutral(schedule, a, b, load_a, load_b)) return false;
+  return apply_split(schedule, a, b, to_a, to_b);
+}
+
+}  // namespace dlb::pairwise

@@ -1,0 +1,27 @@
+#pragma once
+
+// CLB2C specialised to a single pair of machines from different clusters:
+// the cross-cluster exchange DLB2C performs (Algorithm 7 applies
+// Algorithm 5 with M1 = {m}, M2 = {i}).
+
+#include "pairwise/pair_kernel.hpp"
+
+namespace dlb::pairwise {
+
+/// Computes the pair-CLB2C split of `pool` between machine a (whose cluster
+/// plays the role of M1) and machine b (M2), starting from empty loads.
+/// `pool` may be in any order; it is ratio-sorted internally.
+void pair_clb2c_split(const Instance& instance, MachineId a, MachineId b,
+                      std::vector<JobId> pool, std::vector<JobId>& to_a,
+                      std::vector<JobId>& to_b);
+
+class PairClb2cKernel final : public PairKernel {
+ public:
+  /// a and b must belong to different groups of a two-group instance.
+  bool balance(Schedule& schedule, MachineId a, MachineId b) const override;
+  [[nodiscard]] std::string_view name() const noexcept override {
+    return "pair-clb2c";
+  }
+};
+
+}  // namespace dlb::pairwise

@@ -1,0 +1,51 @@
+#pragma once
+
+// PairKernel: the primitive a pair of machines executes during one exchange
+// of any a-priori decentralized balancer (Section IV). A kernel pools the
+// two machines' jobs and redistributes them deterministically; determinism
+// makes exchanges idempotent per pair, which is what lets us define and
+// detect stable states (Section VII).
+
+#include <string_view>
+#include <vector>
+
+#include "core/schedule.hpp"
+#include "core/types.hpp"
+
+namespace dlb::pairwise {
+
+class PairKernel {
+ public:
+  virtual ~PairKernel() = default;
+
+  /// Rebalances the jobs currently on machines a and b (a != b). Returns
+  /// true iff the assignment changed. Must be a deterministic function of
+  /// (instance, pooled job set, a, b): calling it twice in a row returns
+  /// false the second time.
+  virtual bool balance(Schedule& schedule, MachineId a, MachineId b) const = 0;
+
+  [[nodiscard]] virtual std::string_view name() const noexcept = 0;
+};
+
+/// Collects the pooled jobs of a and b sorted by job id (the deterministic
+/// pool every kernel starts from).
+[[nodiscard]] std::vector<JobId> pooled_jobs(const Schedule& schedule,
+                                             MachineId a, MachineId b);
+
+/// Applies a computed split: every job in `to_a` moves to a, every job in
+/// `to_b` moves to b. Returns true iff any job actually moved.
+bool apply_split(Schedule& schedule, MachineId a, MachineId b,
+                 const std::vector<JobId>& to_a,
+                 const std::vector<JobId>& to_b);
+
+/// True when the split (load_a, load_b) equals the machines' current loads
+/// (within tolerance). Kernels use this to skip *lazy no-ops*: a
+/// redistribution that would leave both completion times unchanged is not
+/// an exchange at all — the paper's stable state is "no more pairwise
+/// exchange possible", i.e. no exchange that changes any load, and skipping
+/// load-neutral reshuffles also avoids pointless data movement.
+[[nodiscard]] bool split_is_load_neutral(const Schedule& schedule, MachineId a,
+                                         MachineId b, Cost load_a,
+                                         Cost load_b) noexcept;
+
+}  // namespace dlb::pairwise

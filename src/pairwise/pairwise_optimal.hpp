@@ -1,0 +1,41 @@
+#pragma once
+
+// Exhaustively optimal two-machine rebalancing: tries every 2^k split of
+// the pooled jobs and keeps a best one. This is the "generic algorithm
+// balancing optimally each pair of machines" of Proposition 2 — provably
+// optimal per pair, yet globally it can be stuck at an unbounded factor
+// from OPT (bench/table2 reproduces that). Also used as a test oracle for
+// the greedy kernels.
+
+#include <cstddef>
+
+#include "pairwise/pair_kernel.hpp"
+
+namespace dlb::pairwise {
+
+/// Minimum achievable max(load(a), load(b)) over all splits of `pool`
+/// between a and b. pool.size() must be <= 30.
+[[nodiscard]] Cost optimal_pair_makespan(const Instance& instance, MachineId a,
+                                         MachineId b,
+                                         const std::vector<JobId>& pool);
+
+class PairwiseOptimalKernel final : public PairKernel {
+ public:
+  /// Pools larger than `max_pool` are rejected with std::invalid_argument
+  /// (the search is exponential).
+  explicit PairwiseOptimalKernel(std::size_t max_pool = 22)
+      : max_pool_(max_pool) {}
+
+  /// Applies an optimal split. If the *current* split is already optimal
+  /// the schedule is left untouched (so stability == pairwise optimality).
+  bool balance(Schedule& schedule, MachineId a, MachineId b) const override;
+
+  [[nodiscard]] std::string_view name() const noexcept override {
+    return "pairwise-optimal";
+  }
+
+ private:
+  std::size_t max_pool_;
+};
+
+}  // namespace dlb::pairwise

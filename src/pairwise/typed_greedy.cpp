@@ -1,0 +1,58 @@
+#include "pairwise/typed_greedy.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+#include "pairwise/basic_greedy.hpp"
+
+namespace dlb::pairwise {
+
+bool TypedGreedyKernel::balance(Schedule& schedule, MachineId a,
+                                MachineId b) const {
+  const Instance& instance = schedule.instance();
+  if (!instance.has_job_types()) {
+    throw std::invalid_argument("TypedGreedyKernel: instance has no job types");
+  }
+  const std::vector<JobId> pool = pooled_jobs(schedule, a, b);
+
+  // Bucket the pooled jobs by type, preserving job-id order (pooled_jobs
+  // sorts by id, so each bucket is deterministic).
+  std::vector<std::vector<JobId>> by_type(instance.num_job_types());
+  for (JobId j : pool) by_type[instance.job_type(j)].push_back(j);
+
+  bool changed = false;
+  std::vector<JobId> to_a;
+  std::vector<JobId> to_b;
+  for (const auto& bucket : by_type) {
+    if (bucket.empty()) continue;
+    // Each type is balanced from zero type-local load: Algorithm 2 on the
+    // bucket alone (loads of other types are invisible by design).
+    basic_greedy_split(instance, a, b, bucket, to_a, to_b);
+    // Lazy no-op per type: skip when the bucket's type-local loads would
+    // not change (counts on each side stay the same).
+    Cost cur_a = 0.0;
+    Cost cur_b = 0.0;
+    for (JobId j : bucket) {
+      if (schedule.machine_of(j) == a) {
+        cur_a += instance.cost(a, j);
+      } else {
+        cur_b += instance.cost(b, j);
+      }
+    }
+    Cost new_a = 0.0;
+    Cost new_b = 0.0;
+    for (JobId j : to_a) new_a += instance.cost(a, j);
+    for (JobId j : to_b) new_b += instance.cost(b, j);
+    // Tolerant comparison: the sums accumulate in different orders.
+    const Cost scale = 1.0 + std::max({cur_a, cur_b, new_a, new_b});
+    if (std::abs(cur_a - new_a) <= 1e-12 * scale &&
+        std::abs(cur_b - new_b) <= 1e-12 * scale) {
+      continue;
+    }
+    changed |= apply_split(schedule, a, b, to_a, to_b);
+  }
+  return changed;
+}
+
+}  // namespace dlb::pairwise

@@ -1,0 +1,23 @@
+#pragma once
+
+// Per-type Basic Greedy: the exchange MJTB (Algorithm 4) performs. The pair
+// balances each job type *independently* — type t's jobs are split
+// optimally considering only type-t load on each machine. Theorem 5: once
+// every type is balanced everywhere, each type's own makespan is <= OPT, so
+// the total is a k-approximation.
+//
+// Requires an instance with declared job types.
+
+#include "pairwise/pair_kernel.hpp"
+
+namespace dlb::pairwise {
+
+class TypedGreedyKernel final : public PairKernel {
+ public:
+  bool balance(Schedule& schedule, MachineId a, MachineId b) const override;
+  [[nodiscard]] std::string_view name() const noexcept override {
+    return "typed-greedy";
+  }
+};
+
+}  // namespace dlb::pairwise

@@ -1,0 +1,10 @@
+#include "parallel/monte_carlo.hpp"
+
+namespace dlb::parallel {
+
+ThreadPool& default_pool() {
+  static ThreadPool pool;
+  return pool;
+}
+
+}  // namespace dlb::parallel

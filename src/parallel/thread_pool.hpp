@@ -1,0 +1,59 @@
+#pragma once
+
+// A small fixed-size thread pool for embarrassingly parallel experiment
+// replication (Monte-Carlo sweeps in the fig3/fig5 benches). On a 1-core
+// host it degrades to a single worker; determinism of experiments is
+// guaranteed by giving every replication its own RNG stream, never by
+// execution order.
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace dlb::parallel {
+
+class ThreadPool {
+ public:
+  /// `threads == 0` selects std::thread::hardware_concurrency() (>= 1).
+  explicit ThreadPool(std::size_t threads = 0);
+
+  /// Drains the queue, then joins all workers.
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  [[nodiscard]] std::size_t num_threads() const noexcept {
+    return workers_.size();
+  }
+
+  /// Enqueues a task. Tasks must not throw (std::terminate otherwise —
+  /// experiment code catches its own errors).
+  void submit(std::function<void()> task);
+
+  /// Blocks until every submitted task has finished.
+  void wait_idle();
+
+ private:
+  void worker_loop();
+
+  std::vector<std::thread> workers_;
+  std::deque<std::function<void()>> queue_;
+  std::mutex mutex_;
+  std::condition_variable task_ready_;
+  std::condition_variable all_done_;
+  std::size_t in_flight_ = 0;
+  bool shutting_down_ = false;
+};
+
+/// Splits [0, count) into roughly even chunks and runs `body(begin, end)`
+/// on the pool, blocking until completion. `body` must be safe to run
+/// concurrently on disjoint ranges.
+void parallel_for(ThreadPool& pool, std::size_t count,
+                  const std::function<void(std::size_t, std::size_t)>& body);
+
+}  // namespace dlb::parallel

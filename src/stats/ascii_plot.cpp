@@ -1,0 +1,97 @@
+#include "stats/ascii_plot.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <sstream>
+#include <stdexcept>
+
+namespace dlb::stats {
+
+namespace {
+
+std::string format(double v, int precision) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.*f", precision, v);
+  return buf;
+}
+
+}  // namespace
+
+void bar_chart(std::ostream& out, const std::vector<double>& xs,
+               const std::vector<double>& values,
+               const BarChartOptions& options) {
+  if (xs.size() != values.size()) {
+    throw std::invalid_argument("bar_chart: xs/values size mismatch");
+  }
+  if (xs.empty()) return;
+  double max_value = 0.0;
+  std::size_t label_width = 0;
+  std::vector<std::string> labels(xs.size());
+  for (std::size_t i = 0; i < xs.size(); ++i) {
+    if (values[i] < 0.0) {
+      throw std::invalid_argument("bar_chart: values must be >= 0");
+    }
+    max_value = std::max(max_value, values[i]);
+    labels[i] = format(xs[i], options.label_precision);
+    label_width = std::max(label_width, labels[i].size());
+  }
+  for (std::size_t i = 0; i < xs.size(); ++i) {
+    const std::size_t bar =
+        max_value > 0.0
+            ? static_cast<std::size_t>(values[i] / max_value *
+                                       static_cast<double>(options.width) +
+                                       0.5)
+            : 0;
+    out << std::string(label_width - labels[i].size(), ' ') << labels[i]
+        << " | " << std::string(bar, options.fill) << ' '
+        << format(values[i], options.value_precision) << '\n';
+  }
+}
+
+std::string line_plot_string(const std::vector<double>& series,
+                             const LinePlotOptions& options) {
+  if (series.empty()) return "";
+  if (options.width == 0 || options.height == 0) {
+    throw std::invalid_argument("line_plot: degenerate dimensions");
+  }
+  const double lo = *std::min_element(series.begin(), series.end());
+  const double hi = *std::max_element(series.begin(), series.end());
+  const double span = hi > lo ? hi - lo : 1.0;
+
+  std::vector<std::string> grid(options.height,
+                                std::string(options.width, ' '));
+  for (std::size_t col = 0; col < options.width; ++col) {
+    const std::size_t index =
+        series.size() <= options.width
+            ? std::min<std::size_t>(
+                  col * series.size() / options.width, series.size() - 1)
+            : col * (series.size() - 1) / (options.width - 1);
+    const double value = series[index];
+    auto row = static_cast<std::size_t>((hi - value) / span *
+                                        static_cast<double>(options.height - 1) +
+                                        0.5);
+    row = std::min(row, options.height - 1);
+    grid[row][col] = options.mark;
+  }
+
+  std::ostringstream out;
+  const std::string hi_label = format(hi, options.axis_precision);
+  const std::string lo_label = format(lo, options.axis_precision);
+  const std::size_t label_width = std::max(hi_label.size(), lo_label.size());
+  for (std::size_t r = 0; r < options.height; ++r) {
+    std::string label(label_width, ' ');
+    if (r == 0) label = std::string(label_width - hi_label.size(), ' ') + hi_label;
+    if (r == options.height - 1) {
+      label = std::string(label_width - lo_label.size(), ' ') + lo_label;
+    }
+    out << label << " |" << grid[r] << '\n';
+  }
+  return out.str();
+}
+
+void line_plot(std::ostream& out, const std::vector<double>& series,
+               const LinePlotOptions& options) {
+  out << line_plot_string(series, options);
+}
+
+}  // namespace dlb::stats

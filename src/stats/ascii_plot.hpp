@@ -1,0 +1,43 @@
+#pragma once
+
+// Console rendering of the figure benches' series: horizontal bar charts
+// for pdfs (Figure 2/3) and a compact line plot for trajectories
+// (Figure 4). Pure string formatting — unit-testable, no terminal magic.
+
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace dlb::stats {
+
+struct BarChartOptions {
+  std::size_t width = 50;       ///< Characters for the largest bar.
+  char fill = '#';
+  int label_precision = 3;      ///< Decimals for the x labels.
+  int value_precision = 4;      ///< Decimals for the printed values.
+};
+
+/// One labelled bar per (x, value) point; bars scale to the max value.
+/// Values must be >= 0.
+void bar_chart(std::ostream& out, const std::vector<double>& xs,
+               const std::vector<double>& values,
+               const BarChartOptions& options = {});
+
+struct LinePlotOptions {
+  std::size_t width = 72;   ///< Plot columns (series is resampled to fit).
+  std::size_t height = 16;  ///< Plot rows.
+  char mark = '*';
+  int axis_precision = 0;   ///< Decimals for the y-axis labels.
+};
+
+/// Renders a single series as a scatter of `mark`s on a height x width
+/// grid, with min/max y-axis labels. The series is downsampled by taking
+/// the value at each resampled column (not averaged).
+void line_plot(std::ostream& out, const std::vector<double>& series,
+               const LinePlotOptions& options = {});
+
+/// Renders the plot into a string (testing convenience).
+[[nodiscard]] std::string line_plot_string(const std::vector<double>& series,
+                                           const LinePlotOptions& options = {});
+
+}  // namespace dlb::stats

@@ -1,0 +1,55 @@
+#include "stats/csv.hpp"
+
+#include <charconv>
+#include <stdexcept>
+
+namespace dlb::stats {
+
+void CsvWriter::header(const std::vector<std::string>& names) {
+  if (header_written_) throw std::logic_error("CsvWriter: header written twice");
+  columns_ = names.size();
+  header_written_ = true;
+  write_fields(names);
+}
+
+void CsvWriter::row(const std::vector<std::string>& fields) {
+  if (header_written_ && fields.size() != columns_) {
+    throw std::invalid_argument("CsvWriter: column count mismatch");
+  }
+  write_fields(fields);
+}
+
+void CsvWriter::write_fields(const std::vector<std::string>& fields) {
+  for (std::size_t i = 0; i < fields.size(); ++i) {
+    if (i) *out_ << ',';
+    *out_ << escape(fields[i]);
+  }
+  *out_ << '\n';
+}
+
+std::string CsvWriter::escape(const std::string& field) {
+  if (field.find_first_of(",\"\n") == std::string::npos) return field;
+  std::string quoted = "\"";
+  for (char c : field) {
+    if (c == '"') quoted += '"';
+    quoted += c;
+  }
+  quoted += '"';
+  return quoted;
+}
+
+std::string CsvWriter::num(double v) {
+  char buf[32];
+  const auto [ptr, ec] = std::to_chars(buf, buf + sizeof(buf), v);
+  if (ec != std::errc{}) throw std::runtime_error("CsvWriter::num: to_chars failed");
+  return std::string(buf, ptr);
+}
+
+std::string CsvWriter::num(std::size_t v) {
+  char buf[24];
+  const auto [ptr, ec] = std::to_chars(buf, buf + sizeof(buf), v);
+  if (ec != std::errc{}) throw std::runtime_error("CsvWriter::num: to_chars failed");
+  return std::string(buf, ptr);
+}
+
+}  // namespace dlb::stats

@@ -1,0 +1,37 @@
+#pragma once
+
+// Minimal CSV writer for experiment outputs. Every bench binary can dump its
+// series as CSV (stdout or file) so plots can be regenerated externally.
+
+#include <fstream>
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace dlb::stats {
+
+/// Streams rows of a CSV document; fields are quoted only when needed.
+class CsvWriter {
+ public:
+  explicit CsvWriter(std::ostream& out) : out_(&out) {}
+
+  /// Writes the header row. Must be called at most once, before any row.
+  void header(const std::vector<std::string>& names);
+
+  /// Appends one row; the field count must match the header if one was set.
+  void row(const std::vector<std::string>& fields);
+
+  /// Convenience: formats doubles with enough digits to round-trip.
+  static std::string num(double v);
+  static std::string num(std::size_t v);
+
+ private:
+  void write_fields(const std::vector<std::string>& fields);
+  static std::string escape(const std::string& field);
+
+  std::ostream* out_;
+  std::size_t columns_ = 0;
+  bool header_written_ = false;
+};
+
+}  // namespace dlb::stats

@@ -1,0 +1,84 @@
+#include "stats/histogram.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace dlb::stats {
+
+Histogram::Histogram(double lo, double hi, std::size_t bins)
+    : lo_(lo), hi_(hi), counts_(bins, 0.0) {
+  if (!(lo < hi)) throw std::invalid_argument("Histogram: lo must be < hi");
+  if (bins == 0) throw std::invalid_argument("Histogram: bins must be > 0");
+}
+
+void Histogram::add(double x, double weight) {
+  std::size_t b;
+  if (x < lo_) {
+    underflow_ += weight;
+    b = 0;
+  } else if (x >= hi_) {
+    overflow_ += weight;
+    b = counts_.size() - 1;
+  } else {
+    b = static_cast<std::size_t>((x - lo_) / (hi_ - lo_) *
+                                 static_cast<double>(counts_.size()));
+    b = std::min(b, counts_.size() - 1);  // guard FP edge at x ~= hi
+  }
+  counts_[b] += weight;
+  total_ += weight;
+  weighted_sum_ += x * weight;
+}
+
+double Histogram::bin_width() const noexcept {
+  return (hi_ - lo_) / static_cast<double>(counts_.size());
+}
+
+double Histogram::bin_left(std::size_t b) const noexcept {
+  return lo_ + bin_width() * static_cast<double>(b);
+}
+
+double Histogram::bin_center(std::size_t b) const noexcept {
+  return bin_left(b) + 0.5 * bin_width();
+}
+
+double Histogram::mass(std::size_t b) const noexcept {
+  return total_ > 0.0 ? counts_[b] / total_ : 0.0;
+}
+
+double Histogram::density(std::size_t b) const noexcept {
+  return mass(b) / bin_width();
+}
+
+double Histogram::mean() const noexcept {
+  return total_ > 0.0 ? weighted_sum_ / total_ : 0.0;
+}
+
+double Histogram::quantile(double q) const noexcept {
+  if (total_ <= 0.0) return lo_;
+  const double target = std::clamp(q, 0.0, 1.0) * total_;
+  double cum = 0.0;
+  for (std::size_t b = 0; b < counts_.size(); ++b) {
+    if (cum + counts_[b] >= target) {
+      const double frac =
+          counts_[b] > 0.0 ? (target - cum) / counts_[b] : 0.0;
+      return bin_left(b) + frac * bin_width();
+    }
+    cum += counts_[b];
+  }
+  return hi_;
+}
+
+void Histogram::merge(const Histogram& other) {
+  if (other.counts_.size() != counts_.size() || other.lo_ != lo_ ||
+      other.hi_ != hi_) {
+    throw std::invalid_argument("Histogram::merge: binning mismatch");
+  }
+  for (std::size_t b = 0; b < counts_.size(); ++b) counts_[b] += other.counts_[b];
+  total_ += other.total_;
+  underflow_ += other.underflow_;
+  overflow_ += other.overflow_;
+  weighted_sum_ += other.weighted_sum_;
+}
+
+}  // namespace dlb::stats

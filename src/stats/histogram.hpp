@@ -1,0 +1,63 @@
+#pragma once
+
+// Fixed-bin histogram used to estimate the steady-state makespan
+// distributions of Section VII (Figures 2 and 3).
+
+#include <cstddef>
+#include <vector>
+
+namespace dlb::stats {
+
+/// Equal-width histogram over [lo, hi) with `bins` bins.
+///
+/// Samples outside the range are clamped into the first/last bin and counted
+/// separately so that truncation never goes unnoticed.
+class Histogram {
+ public:
+  Histogram(double lo, double hi, std::size_t bins);
+
+  void add(double x, double weight = 1.0);
+
+  [[nodiscard]] std::size_t bins() const noexcept { return counts_.size(); }
+  [[nodiscard]] double lo() const noexcept { return lo_; }
+  [[nodiscard]] double hi() const noexcept { return hi_; }
+  [[nodiscard]] double total_weight() const noexcept { return total_; }
+  [[nodiscard]] double underflow() const noexcept { return underflow_; }
+  [[nodiscard]] double overflow() const noexcept { return overflow_; }
+
+  /// Left edge / centre / width of bin b.
+  [[nodiscard]] double bin_left(std::size_t b) const noexcept;
+  [[nodiscard]] double bin_center(std::size_t b) const noexcept;
+  [[nodiscard]] double bin_width() const noexcept;
+
+  /// Raw weight in bin b.
+  [[nodiscard]] double count(std::size_t b) const noexcept { return counts_[b]; }
+
+  /// Probability mass of bin b (count / total).
+  [[nodiscard]] double mass(std::size_t b) const noexcept;
+
+  /// Probability density estimate at bin b (mass / width).
+  [[nodiscard]] double density(std::size_t b) const noexcept;
+
+  /// Weighted mean of the recorded samples (clamped values included).
+  [[nodiscard]] double mean() const noexcept;
+
+  /// Smallest x such that the cumulative mass at x is >= q, linearly
+  /// interpolated inside the bin. q must be in [0, 1].
+  [[nodiscard]] double quantile(double q) const noexcept;
+
+  /// Merges another histogram with identical binning (for parallel
+  /// accumulation). Throws std::invalid_argument on mismatched binning.
+  void merge(const Histogram& other);
+
+ private:
+  double lo_;
+  double hi_;
+  double total_ = 0.0;
+  double underflow_ = 0.0;
+  double overflow_ = 0.0;
+  double weighted_sum_ = 0.0;
+  std::vector<double> counts_;
+};
+
+}  // namespace dlb::stats

@@ -1,0 +1,117 @@
+#include "stats/summary.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+#include <stdexcept>
+
+namespace dlb::stats {
+
+void RunningStats::add(double x) noexcept {
+  if (n_ == 0) {
+    min_ = max_ = x;
+  } else {
+    min_ = std::min(min_, x);
+    max_ = std::max(max_, x);
+  }
+  ++n_;
+  const double delta = x - mean_;
+  mean_ += delta / static_cast<double>(n_);
+  m2_ += delta * (x - mean_);
+}
+
+double RunningStats::variance() const noexcept {
+  return n_ > 1 ? m2_ / static_cast<double>(n_ - 1) : 0.0;
+}
+
+double RunningStats::stddev() const noexcept { return std::sqrt(variance()); }
+
+void RunningStats::merge(const RunningStats& other) noexcept {
+  if (other.n_ == 0) return;
+  if (n_ == 0) {
+    *this = other;
+    return;
+  }
+  const double na = static_cast<double>(n_);
+  const double nb = static_cast<double>(other.n_);
+  const double delta = other.mean_ - mean_;
+  const double total = na + nb;
+  mean_ += delta * nb / total;
+  m2_ += other.m2_ + delta * delta * na * nb / total;
+  n_ += other.n_;
+  min_ = std::min(min_, other.min_);
+  max_ = std::max(max_, other.max_);
+}
+
+void SampleSet::ensure_sorted() {
+  if (dirty_) {
+    std::sort(samples_.begin(), samples_.end());
+    dirty_ = false;
+  }
+}
+
+double SampleSet::quantile(double q) {
+  if (samples_.empty()) throw std::logic_error("SampleSet::quantile: empty");
+  ensure_sorted();
+  const double pos =
+      std::clamp(q, 0.0, 1.0) * static_cast<double>(samples_.size() - 1);
+  const auto lo = static_cast<std::size_t>(pos);
+  const auto hi = std::min(lo + 1, samples_.size() - 1);
+  const double frac = pos - static_cast<double>(lo);
+  return samples_[lo] * (1.0 - frac) + samples_[hi] * frac;
+}
+
+double SampleSet::ecdf(double x) {
+  if (samples_.empty()) return 0.0;
+  ensure_sorted();
+  const auto it = std::upper_bound(samples_.begin(), samples_.end(), x);
+  return static_cast<double>(it - samples_.begin()) /
+         static_cast<double>(samples_.size());
+}
+
+double SampleSet::mean() const noexcept {
+  if (samples_.empty()) return 0.0;
+  return std::accumulate(samples_.begin(), samples_.end(), 0.0) /
+         static_cast<double>(samples_.size());
+}
+
+double SampleSet::min() {
+  if (samples_.empty()) throw std::logic_error("SampleSet::min: empty");
+  ensure_sorted();
+  return samples_.front();
+}
+
+double SampleSet::max() {
+  if (samples_.empty()) throw std::logic_error("SampleSet::max: empty");
+  ensure_sorted();
+  return samples_.back();
+}
+
+const std::vector<double>& SampleSet::sorted() {
+  ensure_sorted();
+  return samples_;
+}
+
+double ks_distance(SampleSet& a, SampleSet& b) {
+  if (a.empty() || b.empty()) {
+    throw std::logic_error("ks_distance: empty sample set");
+  }
+  const auto& xs = a.sorted();
+  const auto& ys = b.sorted();
+  // Merge-walk both sorted sequences, tracking the ECDF gap at each step.
+  const double na = static_cast<double>(xs.size());
+  const double nb = static_cast<double>(ys.size());
+  std::size_t i = 0;
+  std::size_t j = 0;
+  double gap = 0.0;
+  while (i < xs.size() && j < ys.size()) {
+    const double x = std::min(xs[i], ys[j]);
+    while (i < xs.size() && xs[i] <= x) ++i;
+    while (j < ys.size() && ys[j] <= x) ++j;
+    gap = std::max(gap, std::abs(static_cast<double>(i) / na -
+                                 static_cast<double>(j) / nb));
+  }
+  return gap;
+}
+
+}  // namespace dlb::stats

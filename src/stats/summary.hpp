@@ -1,0 +1,68 @@
+#pragma once
+
+// Descriptive statistics: streaming moments (Welford) and batch
+// quantiles/ECDF over stored samples.
+
+#include <cstddef>
+#include <vector>
+
+namespace dlb::stats {
+
+/// Numerically stable streaming mean/variance/extrema accumulator.
+class RunningStats {
+ public:
+  void add(double x) noexcept;
+
+  [[nodiscard]] std::size_t count() const noexcept { return n_; }
+  [[nodiscard]] double mean() const noexcept { return mean_; }
+  /// Unbiased sample variance; 0 for fewer than two samples.
+  [[nodiscard]] double variance() const noexcept;
+  [[nodiscard]] double stddev() const noexcept;
+  [[nodiscard]] double min() const noexcept { return min_; }
+  [[nodiscard]] double max() const noexcept { return max_; }
+
+  /// Merges another accumulator (Chan et al. parallel update).
+  void merge(const RunningStats& other) noexcept;
+
+ private:
+  std::size_t n_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+};
+
+/// Stores samples and answers quantile/ECDF queries.
+class SampleSet {
+ public:
+  void add(double x) { samples_.push_back(x); dirty_ = true; }
+  void reserve(std::size_t n) { samples_.reserve(n); }
+
+  [[nodiscard]] std::size_t size() const noexcept { return samples_.size(); }
+  [[nodiscard]] bool empty() const noexcept { return samples_.empty(); }
+
+  /// q-quantile with linear interpolation (q in [0, 1]); requires non-empty.
+  [[nodiscard]] double quantile(double q);
+
+  /// Empirical CDF at x: fraction of samples <= x.
+  [[nodiscard]] double ecdf(double x);
+
+  [[nodiscard]] double mean() const noexcept;
+  [[nodiscard]] double min();
+  [[nodiscard]] double max();
+
+  [[nodiscard]] const std::vector<double>& sorted();
+
+ private:
+  void ensure_sorted();
+
+  std::vector<double> samples_;
+  bool dirty_ = true;
+};
+
+/// Two-sample Kolmogorov-Smirnov statistic: sup_x |F_a(x) - F_b(x)|.
+/// Used to quantify "the two distributions look alike" claims (Figure 3).
+/// Both sets must be non-empty.
+[[nodiscard]] double ks_distance(SampleSet& a, SampleSet& b);
+
+}  // namespace dlb::stats

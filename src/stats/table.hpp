@@ -1,0 +1,30 @@
+#pragma once
+
+// Aligned console table printer: the bench binaries report the paper's
+// tables/figure series with it so the output reads like the paper.
+
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace dlb::stats {
+
+/// Collects rows of string cells and prints them with aligned columns.
+class TablePrinter {
+ public:
+  explicit TablePrinter(std::vector<std::string> header);
+
+  void add_row(std::vector<std::string> cells);
+
+  /// Prints header, separator, and rows; columns padded to widest cell.
+  void print(std::ostream& out) const;
+
+  /// Fixed-precision double formatting for table cells.
+  static std::string fixed(double v, int precision = 3);
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace dlb::stats

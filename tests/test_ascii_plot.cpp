@@ -1,0 +1,111 @@
+#include "stats/ascii_plot.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+namespace dlb::stats {
+namespace {
+
+TEST(BarChart, ScalesBarsToMaximum) {
+  std::ostringstream out;
+  BarChartOptions options;
+  options.width = 10;
+  bar_chart(out, {0.0, 1.0}, {0.5, 1.0}, options);
+  std::istringstream lines(out.str());
+  std::string first;
+  std::string second;
+  std::getline(lines, first);
+  std::getline(lines, second);
+  EXPECT_NE(first.find("#####"), std::string::npos);
+  EXPECT_EQ(first.find("######"), std::string::npos);  // exactly 5
+  EXPECT_NE(second.find("##########"), std::string::npos);
+}
+
+TEST(BarChart, HandlesAllZeroValues) {
+  std::ostringstream out;
+  bar_chart(out, {1.0, 2.0}, {0.0, 0.0});
+  EXPECT_EQ(out.str().find('#'), std::string::npos);
+}
+
+TEST(BarChart, RejectsBadInput) {
+  std::ostringstream out;
+  EXPECT_THROW(bar_chart(out, {1.0}, {1.0, 2.0}), std::invalid_argument);
+  EXPECT_THROW(bar_chart(out, {1.0}, {-0.5}), std::invalid_argument);
+}
+
+TEST(BarChart, EmptyInputIsSilent) {
+  std::ostringstream out;
+  bar_chart(out, {}, {});
+  EXPECT_TRUE(out.str().empty());
+}
+
+TEST(LinePlot, DimensionsMatchOptions) {
+  LinePlotOptions options;
+  options.width = 20;
+  options.height = 5;
+  const std::string plot = line_plot_string({1.0, 2.0, 3.0, 2.0, 1.0}, options);
+  std::istringstream lines(plot);
+  std::string line;
+  std::size_t rows = 0;
+  while (std::getline(lines, line)) {
+    ++rows;
+    EXPECT_NE(line.find('|'), std::string::npos);
+  }
+  EXPECT_EQ(rows, 5u);
+}
+
+TEST(LinePlot, ExtremesLandOnFirstAndLastRows) {
+  LinePlotOptions options;
+  options.width = 3;
+  options.height = 3;
+  options.axis_precision = 0;
+  // Monotone decreasing series: first column top row, last column bottom.
+  const std::string plot = line_plot_string({10.0, 5.0, 0.0}, options);
+  std::istringstream lines(plot);
+  std::string top;
+  std::string mid;
+  std::string bottom;
+  std::getline(lines, top);
+  std::getline(lines, mid);
+  std::getline(lines, bottom);
+  EXPECT_NE(top.find('*'), std::string::npos);
+  EXPECT_NE(bottom.find('*'), std::string::npos);
+  EXPECT_NE(top.find("10"), std::string::npos);   // max label
+  EXPECT_NE(bottom.find("0"), std::string::npos);  // min label
+}
+
+TEST(LinePlot, ConstantSeriesDoesNotDivideByZero) {
+  const std::string plot = line_plot_string({2.0, 2.0, 2.0});
+  EXPECT_NE(plot.find('*'), std::string::npos);
+}
+
+TEST(LinePlot, EmptySeriesYieldsEmptyString) {
+  EXPECT_TRUE(line_plot_string({}).empty());
+}
+
+TEST(LinePlot, LongSeriesIsDownsampled) {
+  std::vector<double> series(10'000);
+  for (std::size_t i = 0; i < series.size(); ++i) {
+    series[i] = static_cast<double>(i);
+  }
+  LinePlotOptions options;
+  options.width = 40;
+  options.height = 8;
+  const std::string plot = line_plot_string(series, options);
+  // One mark per column.
+  std::size_t marks = 0;
+  for (char c : plot) {
+    if (c == '*') ++marks;
+  }
+  EXPECT_EQ(marks, 40u);
+}
+
+TEST(LinePlot, RejectsDegenerateGeometry) {
+  LinePlotOptions options;
+  options.width = 0;
+  EXPECT_THROW(line_plot_string({1.0}, options), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace dlb::stats

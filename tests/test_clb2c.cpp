@@ -1,0 +1,131 @@
+#include "centralized/clb2c.hpp"
+
+#include <gtest/gtest.h>
+
+#include <limits>
+
+#include "centralized/exact_bnb.hpp"
+#include "core/generators.hpp"
+#include "core/lower_bounds.hpp"
+#include "core/validation.hpp"
+
+namespace dlb::centralized {
+namespace {
+
+TEST(Clb2c, RejectsWrongShapes) {
+  EXPECT_THROW(clb2c_schedule(Instance::identical(3, {1.0})),
+               std::invalid_argument);
+  EXPECT_THROW(
+      clb2c_schedule(gen::uniform_unrelated(3, 4, 1.0, 2.0, 1)),
+      std::invalid_argument);
+}
+
+TEST(Clb2c, PerfectSplitWhenJobsAreSpecialised) {
+  // Two jobs love cluster 1, two love cluster 2.
+  const Instance inst = Instance::clustered(
+      {1, 1}, {{1.0, 1.0, 10.0, 10.0}, {10.0, 10.0, 1.0, 1.0}});
+  const Schedule s = clb2c_schedule(inst);
+  EXPECT_TRUE(is_complete_partition(s));
+  EXPECT_DOUBLE_EQ(s.makespan(), 2.0);
+}
+
+TEST(Clb2c, BalancesWithinClusters) {
+  // Four equal jobs, 2+2 machines, equal costs: one job per machine.
+  const Instance inst = Instance::clustered(
+      {2, 2}, {{4.0, 4.0, 4.0, 4.0}, {4.0, 4.0, 4.0, 4.0}});
+  const Schedule s = clb2c_schedule(inst);
+  EXPECT_DOUBLE_EQ(s.makespan(), 4.0);
+  for (MachineId i = 0; i < 4; ++i) {
+    EXPECT_EQ(s.jobs_on(i).size(), 1u);
+  }
+}
+
+TEST(Clb2c, UnsortedAblationStillProducesValidPartitions) {
+  const Instance inst = gen::two_cluster_uniform(3, 2, 24, 1.0, 50.0, 11);
+  const Schedule s = clb2c_schedule(inst, Clb2cOrdering::kJobIdOrder);
+  EXPECT_TRUE(is_complete_partition(s));
+  // Never better than what the ratio order achieves on specialised jobs.
+  const Instance special = Instance::clustered(
+      {1, 1}, {{1.0, 1.0, 50.0, 50.0}, {50.0, 50.0, 1.0, 1.0}});
+  const Schedule sorted_s = clb2c_schedule(special);
+  const Schedule unsorted_s =
+      clb2c_schedule(special, Clb2cOrdering::kJobIdOrder);
+  EXPECT_LE(sorted_s.makespan(), unsorted_s.makespan() + 1e-9);
+}
+
+TEST(Clb2c, SingleJobGoesToItsBetterCluster) {
+  const Instance inst = Instance::clustered({1, 1}, {{7.0}, {3.0}});
+  const Schedule s = clb2c_schedule(inst);
+  EXPECT_EQ(inst.group_of(s.machine_of(0)), 1u);
+}
+
+struct Clb2cParam {
+  std::size_t m1, m2, jobs;
+  std::uint64_t seed;
+};
+
+class Clb2cTheorem6Sweep : public ::testing::TestWithParam<Clb2cParam> {};
+
+TEST_P(Clb2cTheorem6Sweep, TwoApproximationAgainstExactOpt) {
+  const auto p = GetParam();
+  const Instance inst =
+      gen::two_cluster_uniform(p.m1, p.m2, p.jobs, 1.0, 20.0, p.seed);
+  const auto exact = solve_exact(inst);
+  ASSERT_TRUE(exact.proven);
+  const Schedule s = clb2c_schedule(inst);
+  EXPECT_TRUE(is_complete_partition(s));
+  // Theorem 6 assumes max p(i,j) <= OPT; when the draw violates it, the
+  // bound is still asserted against max(OPT, pmax) which Theorem 6's proof
+  // actually delivers (min(C1,C2) <= OPT and the last job <= pmax).
+  const Cost reference = std::max(exact.optimal, inst.max_cost());
+  EXPECT_LE(s.makespan(), 2.0 * reference + 1e-9);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    SmallInstances, Clb2cTheorem6Sweep,
+    ::testing::Values(Clb2cParam{1, 1, 6, 1}, Clb2cParam{1, 1, 6, 2},
+                      Clb2cParam{2, 1, 8, 3}, Clb2cParam{2, 2, 8, 4},
+                      Clb2cParam{2, 2, 8, 5}, Clb2cParam{3, 2, 9, 6},
+                      Clb2cParam{2, 3, 9, 7}, Clb2cParam{3, 3, 10, 8},
+                      Clb2cParam{1, 3, 8, 9}, Clb2cParam{4, 2, 10, 10}));
+
+TEST_P(Clb2cTheorem6Sweep, ProofInvariantMinClusterLoadBelowOpt) {
+  // Theorem 6's key inequality at termination: the *minimum* machine load
+  // in at least one cluster never exceeds OPT (min(C1, C2) <= OPT where
+  // C1/C2 are the clusters' min loads just before the last placements;
+  // after termination the min loads can only have grown by one job each,
+  // so min over clusters of min-load minus its last job is a conservative
+  // check; here we assert the direct final-state corollary).
+  const auto p = GetParam();
+  const Instance inst =
+      gen::two_cluster_uniform(p.m1, p.m2, p.jobs, 1.0, 20.0, p.seed);
+  const auto exact = solve_exact(inst);
+  ASSERT_TRUE(exact.proven);
+  const Schedule s = clb2c_schedule(inst);
+  Cost min1 = std::numeric_limits<Cost>::infinity();
+  Cost min2 = std::numeric_limits<Cost>::infinity();
+  for (MachineId i : inst.machines_in_group(0)) min1 = std::min(min1, s.load(i));
+  for (MachineId i : inst.machines_in_group(1)) min2 = std::min(min2, s.load(i));
+  const Cost reference = std::max(exact.optimal, inst.max_cost());
+  // Each cluster's min load is at most (pre-placement min) + one job, and
+  // the proof gives min(C1, C2) <= OPT; so min(min1, min2) <= OPT + pmax.
+  EXPECT_LE(std::min(min1, min2), reference + inst.max_cost() + 1e-9);
+}
+
+class Clb2cLargeSweep : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(Clb2cLargeSweep, TwoApproxAgainstLowerBoundAtPaperScale) {
+  // Paper-scale: many jobs, p(i,j) <= OPT holds by construction
+  // (768 jobs of cost <= 1000 over 96 machines -> OPT >> 1000).
+  const Instance inst =
+      gen::two_cluster_uniform(64, 32, 768, 1.0, 1000.0, GetParam());
+  ASSERT_LE(inst.max_cost(), makespan_lower_bound(inst));
+  const Schedule s = clb2c_schedule(inst);
+  EXPECT_LE(s.makespan(), 2.0 * makespan_lower_bound(inst) + 1e-6);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, Clb2cLargeSweep,
+                         ::testing::Range<std::uint64_t>(0, 5));
+
+}  // namespace
+}  // namespace dlb::centralized

@@ -1,0 +1,190 @@
+#include "cli/args.hpp"
+#include "cli/commands.hpp"
+
+#include <gtest/gtest.h>
+
+#include <fstream>
+#include <sstream>
+
+namespace dlb::cli {
+namespace {
+
+// ---- Args parser ----
+
+TEST(Args, ParsesPositionalsAndOptions) {
+  const Args args = Args::parse({"pos1", "--key", "value", "pos2", "--flag"});
+  EXPECT_EQ(args.positional(), (std::vector<std::string>{"pos1", "pos2"}));
+  EXPECT_EQ(args.get("key", ""), "value");
+  EXPECT_TRUE(args.has("flag"));
+  EXPECT_FALSE(args.has("missing"));
+}
+
+TEST(Args, TypedGettersAndDefaults) {
+  const Args args = Args::parse({"--n", "42", "--x", "2.5", "--s", "7"});
+  EXPECT_EQ(args.get_int("n", 0), 42);
+  EXPECT_DOUBLE_EQ(args.get_double("x", 0.0), 2.5);
+  EXPECT_EQ(args.get_seed("s", 0), 7u);
+  EXPECT_EQ(args.get_int("absent", -1), -1);
+  EXPECT_DOUBLE_EQ(args.get_double("absent", 1.5), 1.5);
+}
+
+TEST(Args, RejectsMalformedNumbers) {
+  const Args args = Args::parse({"--n", "4x", "--neg", "-3"});
+  EXPECT_THROW((void)args.get_int("n", 0), std::invalid_argument);
+  EXPECT_THROW((void)args.get_seed("neg", 0), std::invalid_argument);
+}
+
+TEST(Args, RequireThrowsWhenMissing) {
+  const Args args = Args::parse({"--present", "x"});
+  EXPECT_EQ(args.require("present"), "x");
+  EXPECT_THROW((void)args.require("absent"), std::invalid_argument);
+}
+
+TEST(Args, TracksUnusedOptions) {
+  const Args args = Args::parse({"--used", "1", "--typo", "2"});
+  (void)args.get_int("used", 0);
+  const auto unused = args.unused();
+  ASSERT_EQ(unused.size(), 1u);
+  EXPECT_EQ(unused.front(), "typo");
+}
+
+// ---- command round trips ----
+
+struct CommandResult {
+  int code;
+  std::string out;
+  std::string err;
+};
+
+CommandResult run(const std::vector<std::string>& argv) {
+  std::ostringstream out;
+  std::ostringstream err;
+  const int code = run_command(argv, out, err);
+  return {code, out.str(), err.str()};
+}
+
+std::string temp_path(const char* name) {
+  return ::testing::TempDir() + "/" + name;
+}
+
+TEST(Commands, HelpSucceeds) {
+  const auto result = run({"help"});
+  EXPECT_EQ(result.code, 0);
+  EXPECT_NE(result.out.find("usage:"), std::string::npos);
+}
+
+TEST(Commands, UnknownCommandIsUsageError) {
+  const auto result = run({"frobnicate"});
+  EXPECT_EQ(result.code, 2);
+  EXPECT_NE(result.err.find("unknown command"), std::string::npos);
+}
+
+TEST(Commands, UnknownOptionIsRejected) {
+  const auto result = run({"markov", "--m", "4", "--oops", "1"});
+  EXPECT_EQ(result.code, 2);
+  EXPECT_NE(result.err.find("--oops"), std::string::npos);
+}
+
+TEST(Commands, GenInfoSolveBalancePipeline) {
+  const std::string path = temp_path("cli_pipeline.inst");
+  const auto gen = run({"gen", "--kind", "two-cluster", "--m1", "4", "--m2",
+                        "2", "--jobs", "48", "--hi", "100", "--out", path});
+  ASSERT_EQ(gen.code, 0) << gen.err;
+  EXPECT_NE(gen.out.find("6 machines"), std::string::npos);
+
+  const auto info = run({"info", "--in", path});
+  ASSERT_EQ(info.code, 0) << info.err;
+  EXPECT_NE(info.out.find("jobs          : 48"), std::string::npos);
+  EXPECT_NE(info.out.find("LB fractional"), std::string::npos);
+
+  const auto solve = run({"solve", "--in", path, "--alg", "clb2c"});
+  ASSERT_EQ(solve.code, 0) << solve.err;
+  EXPECT_NE(solve.out.find("makespan"), std::string::npos);
+
+  const std::string trace = temp_path("cli_trace.csv");
+  const auto balance = run({"balance", "--in", path, "--alg", "dlb2c",
+                            "--exchanges-per-machine", "5", "--trace", trace});
+  ASSERT_EQ(balance.code, 0) << balance.err;
+  EXPECT_NE(balance.out.find("final factor"), std::string::npos);
+  EXPECT_NE(balance.out.find("trace written"), std::string::npos);
+
+  std::ifstream trace_file(trace);
+  std::string header;
+  std::getline(trace_file, header);
+  EXPECT_EQ(header, "exchange,makespan");
+}
+
+TEST(Commands, SolveEveryAlgorithmOnASmallInstance) {
+  const std::string path = temp_path("cli_algs.inst");
+  ASSERT_EQ(run({"gen", "--kind", "two-cluster", "--m1", "2", "--m2", "1",
+                 "--jobs", "8", "--hi", "20", "--out", path})
+                .code,
+            0);
+  for (const char* alg : {"list", "lpt", "ect", "minmin", "maxmin",
+                          "sufferage", "clb2c", "lenstra", "exact"}) {
+    const auto result = run({"solve", "--in", path, "--alg", alg});
+    EXPECT_EQ(result.code, 0) << alg << ": " << result.err;
+  }
+}
+
+TEST(Commands, BalanceMjtbRequiresTypedInstance) {
+  const std::string typed = temp_path("cli_typed.inst");
+  ASSERT_EQ(run({"gen", "--kind", "typed", "--m", "4", "--jobs", "24",
+                 "--types", "3", "--hi", "10", "--out", typed})
+                .code,
+            0);
+  const auto ok = run({"balance", "--in", typed, "--alg", "mjtb",
+                       "--exchanges-per-machine", "20"});
+  EXPECT_EQ(ok.code, 0) << ok.err;
+
+  const std::string untyped = temp_path("cli_untyped.inst");
+  ASSERT_EQ(run({"gen", "--kind", "identical", "--m", "4", "--jobs", "8",
+                 "--out", untyped})
+                .code,
+            0);
+  const auto bad = run({"balance", "--in", untyped, "--alg", "mjtb"});
+  EXPECT_EQ(bad.code, 2);  // surfaced as a usage error
+}
+
+TEST(Commands, MarkovEmitsCsvPdf) {
+  const auto result = run({"markov", "--m", "4", "--pmax", "2"});
+  ASSERT_EQ(result.code, 0) << result.err;
+  EXPECT_NE(result.out.find("makespan,normalized,probability"),
+            std::string::npos);
+  EXPECT_NE(result.out.find("thm10_bound"), std::string::npos);
+}
+
+TEST(Commands, MissingInputFileFailsCleanly) {
+  const auto result = run({"solve", "--in", "/nonexistent/x.inst"});
+  EXPECT_EQ(result.code, 1);
+  EXPECT_FALSE(result.err.empty());
+}
+
+TEST(Commands, GenMultiClusterAndDlbkcBalance) {
+  const std::string path = temp_path("cli_multi.inst");
+  const auto gen = run({"gen", "--kind", "multi", "--sizes", "3,2,2",
+                        "--jobs", "42", "--hi", "50", "--out", path});
+  ASSERT_EQ(gen.code, 0) << gen.err;
+  EXPECT_NE(gen.out.find("7 machines (3 groups)"), std::string::npos);
+  const auto balance = run({"balance", "--in", path, "--alg", "dlbkc",
+                            "--exchanges-per-machine", "10"});
+  EXPECT_EQ(balance.code, 0) << balance.err;
+}
+
+TEST(Commands, GenMultiRejectsMalformedSizes) {
+  const auto result = run({"gen", "--kind", "multi", "--sizes", "3,x",
+                           "--out", temp_path("bad.inst")});
+  EXPECT_EQ(result.code, 2);
+  const auto zero = run({"gen", "--kind", "multi", "--sizes", "0,2",
+                         "--out", temp_path("bad2.inst")});
+  EXPECT_EQ(zero.code, 2);
+}
+
+TEST(Commands, GenRejectsUnknownKind) {
+  const auto result =
+      run({"gen", "--kind", "quantum", "--out", temp_path("x.inst")});
+  EXPECT_EQ(result.code, 2);
+}
+
+}  // namespace
+}  // namespace dlb::cli

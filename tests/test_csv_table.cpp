@@ -1,0 +1,78 @@
+#include "stats/csv.hpp"
+#include "stats/table.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+namespace dlb::stats {
+namespace {
+
+TEST(CsvWriter, PlainRows) {
+  std::ostringstream out;
+  CsvWriter csv(out);
+  csv.header({"a", "b"});
+  csv.row({"1", "2"});
+  EXPECT_EQ(out.str(), "a,b\n1,2\n");
+}
+
+TEST(CsvWriter, QuotesSpecialCharacters) {
+  std::ostringstream out;
+  CsvWriter csv(out);
+  csv.row({"has,comma", "has\"quote", "plain"});
+  EXPECT_EQ(out.str(), "\"has,comma\",\"has\"\"quote\",plain\n");
+}
+
+TEST(CsvWriter, RejectsColumnMismatch) {
+  std::ostringstream out;
+  CsvWriter csv(out);
+  csv.header({"a", "b"});
+  EXPECT_THROW(csv.row({"only-one"}), std::invalid_argument);
+}
+
+TEST(CsvWriter, RejectsDoubleHeader) {
+  std::ostringstream out;
+  CsvWriter csv(out);
+  csv.header({"a"});
+  EXPECT_THROW(csv.header({"b"}), std::logic_error);
+}
+
+TEST(CsvWriter, NumRoundTripsDoubles) {
+  EXPECT_EQ(CsvWriter::num(1.5), "1.5");
+  EXPECT_EQ(CsvWriter::num(std::size_t{42}), "42");
+  // to_chars shortest representation round-trips.
+  const std::string s = CsvWriter::num(0.1);
+  EXPECT_DOUBLE_EQ(std::stod(s), 0.1);
+}
+
+TEST(TablePrinter, AlignsColumns) {
+  TablePrinter table({"name", "v"});
+  table.add_row({"x", "1"});
+  table.add_row({"longer", "22"});
+  std::ostringstream out;
+  table.print(out);
+  const std::string text = out.str();
+  EXPECT_NE(text.find("name"), std::string::npos);
+  EXPECT_NE(text.find("longer"), std::string::npos);
+  // Every data line has the same length (padded).
+  std::istringstream lines(text);
+  std::string line;
+  std::getline(lines, line);
+  const std::size_t width = line.size();
+  std::getline(lines, line);  // separator
+  EXPECT_EQ(line.size(), width);
+}
+
+TEST(TablePrinter, RejectsBadShape) {
+  EXPECT_THROW(TablePrinter({}), std::invalid_argument);
+  TablePrinter table({"a", "b"});
+  EXPECT_THROW(table.add_row({"just-one"}), std::invalid_argument);
+}
+
+TEST(TablePrinter, FixedFormatsPrecision) {
+  EXPECT_EQ(TablePrinter::fixed(1.23456, 2), "1.23");
+  EXPECT_EQ(TablePrinter::fixed(2.0, 3), "2.000");
+}
+
+}  // namespace
+}  // namespace dlb::stats

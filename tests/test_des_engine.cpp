@@ -1,0 +1,97 @@
+#include "des/engine.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace dlb::des {
+namespace {
+
+TEST(Engine, RunsEventsInTimeOrder) {
+  Engine engine;
+  std::vector<int> order;
+  engine.schedule_at(3.0, [&] { order.push_back(3); });
+  engine.schedule_at(1.0, [&] { order.push_back(1); });
+  engine.schedule_at(2.0, [&] { order.push_back(2); });
+  engine.run();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+}
+
+TEST(Engine, EqualTimesFireInSchedulingOrder) {
+  Engine engine;
+  std::vector<int> order;
+  for (int i = 0; i < 5; ++i) {
+    engine.schedule_at(1.0, [&order, i] { order.push_back(i); });
+  }
+  engine.run();
+  EXPECT_EQ(order, (std::vector<int>{0, 1, 2, 3, 4}));
+}
+
+TEST(Engine, NowAdvancesWithEvents) {
+  Engine engine;
+  double seen = -1.0;
+  engine.schedule_at(5.5, [&] { seen = engine.now(); });
+  engine.run();
+  EXPECT_DOUBLE_EQ(seen, 5.5);
+  EXPECT_DOUBLE_EQ(engine.now(), 5.5);
+}
+
+TEST(Engine, CallbacksCanScheduleMoreEvents) {
+  Engine engine;
+  int fired = 0;
+  std::function<void()> chain = [&] {
+    ++fired;
+    if (fired < 10) engine.schedule_after(1.0, chain);
+  };
+  engine.schedule_at(0.0, chain);
+  engine.run();
+  EXPECT_EQ(fired, 10);
+  EXPECT_DOUBLE_EQ(engine.now(), 9.0);
+}
+
+TEST(Engine, RejectsSchedulingInThePast) {
+  Engine engine;
+  engine.schedule_at(2.0, [] {});
+  engine.run();
+  EXPECT_THROW(engine.schedule_at(1.0, [] {}), std::invalid_argument);
+}
+
+TEST(Engine, StopHaltsProcessing) {
+  Engine engine;
+  int fired = 0;
+  engine.schedule_at(1.0, [&] {
+    ++fired;
+    engine.stop();
+  });
+  engine.schedule_at(2.0, [&] { ++fired; });
+  engine.run();
+  EXPECT_EQ(fired, 1);
+  EXPECT_FALSE(engine.empty());
+  engine.run();  // resumes
+  EXPECT_EQ(fired, 2);
+}
+
+TEST(Engine, MaxEventsBoundsARun) {
+  Engine engine;
+  int fired = 0;
+  for (int i = 0; i < 10; ++i) {
+    engine.schedule_at(static_cast<double>(i), [&] { ++fired; });
+  }
+  EXPECT_EQ(engine.run(4), 4u);
+  EXPECT_EQ(fired, 4);
+  EXPECT_EQ(engine.run(), 6u);
+  EXPECT_EQ(engine.events_processed(), 10u);
+}
+
+TEST(Engine, ScheduleAfterIsRelative) {
+  Engine engine;
+  double when = -1.0;
+  engine.schedule_at(3.0, [&] {
+    engine.schedule_after(2.0, [&] { when = engine.now(); });
+  });
+  engine.run();
+  EXPECT_DOUBLE_EQ(when, 5.0);
+}
+
+}  // namespace
+}  // namespace dlb::des

@@ -1,0 +1,97 @@
+#include "centralized/ect.hpp"
+#include "centralized/min_min.hpp"
+#include "centralized/two_choices.hpp"
+
+#include <gtest/gtest.h>
+
+#include "centralized/list_scheduling.hpp"
+#include "core/generators.hpp"
+#include "core/lower_bounds.hpp"
+#include "core/validation.hpp"
+
+namespace dlb::centralized {
+namespace {
+
+TEST(Ect, PicksFastestMachineForSingleJob) {
+  const Instance inst = Instance::unrelated({{5.0}, {2.0}, {9.0}});
+  const Schedule s = ect_schedule(inst);
+  EXPECT_EQ(s.machine_of(0), 1u);
+  EXPECT_DOUBLE_EQ(s.makespan(), 2.0);
+}
+
+TEST(Ect, AccountsForExistingLoad) {
+  // Machine 1 is faster for both jobs, but after job 0 lands there, job 1
+  // completes earlier on machine 0 (4 vs 2+3=5).
+  const Instance inst = Instance::unrelated({{6.0, 4.0}, {2.0, 3.0}});
+  const Schedule s = ect_schedule(inst);
+  EXPECT_EQ(s.machine_of(0), 1u);
+  EXPECT_EQ(s.machine_of(1), 0u);
+}
+
+TEST(Ect, EquivalentToListSchedulingOnIdenticalMachines) {
+  const Instance inst = gen::identical_uniform(4, 20, 1.0, 10.0, 3);
+  EXPECT_DOUBLE_EQ(ect_schedule(inst).makespan(),
+                   list_schedule(inst).makespan());
+}
+
+TEST(MinMin, CommitsCheapestJobFirst) {
+  // Min-Min picks job 1 (cost 1 on m0) before job 0.
+  const Instance inst = Instance::unrelated({{5.0, 1.0}, {6.0, 7.0}});
+  const Schedule s = min_min_schedule(inst);
+  EXPECT_TRUE(is_complete_partition(s));
+  EXPECT_EQ(s.machine_of(1), 0u);
+}
+
+TEST(MinMin, AllPoliciesProduceCompletePartitions) {
+  const Instance inst = gen::uniform_unrelated(5, 25, 1.0, 50.0, 4);
+  for (auto policy :
+       {BatchPolicy::kMinMin, BatchPolicy::kMaxMin, BatchPolicy::kSufferage}) {
+    const Schedule s = batch_schedule(inst, policy);
+    EXPECT_TRUE(is_complete_partition(s));
+    EXPECT_GE(s.makespan(), makespan_lower_bound(inst) - 1e-9);
+  }
+}
+
+TEST(MinMin, SufferagePrefersHighRegretJob) {
+  // Job 0: best 1 (m0), second 10 -> sufferage 9.
+  // Job 1: best 2 (m0), second 3  -> sufferage 1.
+  // Sufferage commits job 0 to m0 first; job 1 then completes at 3 either
+  // way (1+2 on m0, 3 on m1) and the makespan is 3. Min-Min in contrast
+  // would also start with job 0 here; the regret ordering is what we pin.
+  const Instance inst = Instance::unrelated({{1.0, 2.0}, {10.0, 3.0}});
+  const Schedule s = sufferage_schedule(inst);
+  EXPECT_EQ(s.machine_of(0), 0u);
+  EXPECT_DOUBLE_EQ(s.makespan(), 3.0);
+}
+
+TEST(TwoChoices, CompleteAndDeterministicGivenSeed) {
+  const Instance inst = gen::uniform_unrelated(8, 40, 1.0, 10.0, 5);
+  stats::Rng rng1(11);
+  stats::Rng rng2(11);
+  const Schedule a = two_choices_schedule(inst, 2, rng1);
+  const Schedule b = two_choices_schedule(inst, 2, rng2);
+  EXPECT_TRUE(is_complete_partition(a));
+  EXPECT_EQ(a.assignment(), b.assignment());
+}
+
+TEST(TwoChoices, MoreChoicesNeverHurtOnAverage) {
+  const Instance inst = gen::identical_uniform(16, 200, 1.0, 10.0, 6);
+  double total_d1 = 0.0;
+  double total_d4 = 0.0;
+  for (std::uint64_t seed = 0; seed < 10; ++seed) {
+    stats::Rng r1 = stats::Rng::stream(77, seed);
+    stats::Rng r4 = stats::Rng::stream(78, seed);
+    total_d1 += two_choices_schedule(inst, 1, r1).makespan();
+    total_d4 += two_choices_schedule(inst, 4, r4).makespan();
+  }
+  EXPECT_LT(total_d4, total_d1);
+}
+
+TEST(TwoChoices, RejectsZeroChoices) {
+  const Instance inst = Instance::identical(2, {1.0});
+  stats::Rng rng(1);
+  EXPECT_THROW(two_choices_schedule(inst, 0, rng), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace dlb::centralized

@@ -1,0 +1,114 @@
+#include "centralized/exact_bnb.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <limits>
+
+#include "core/generators.hpp"
+#include "core/lower_bounds.hpp"
+#include "core/schedule.hpp"
+#include "core/validation.hpp"
+
+namespace dlb::centralized {
+namespace {
+
+/// Brute-force oracle: tries all m^n assignments.
+Cost brute_force_opt(const Instance& inst) {
+  const std::size_t m = inst.num_machines();
+  const std::size_t n = inst.num_jobs();
+  std::vector<MachineId> choice(n, 0);
+  Cost best = std::numeric_limits<Cost>::infinity();
+  for (;;) {
+    std::vector<Cost> loads(m, 0.0);
+    for (JobId j = 0; j < n; ++j) loads[choice[j]] += inst.cost(choice[j], j);
+    best = std::min(best, *std::max_element(loads.begin(), loads.end()));
+    // Odometer increment.
+    std::size_t pos = 0;
+    while (pos < n && ++choice[pos] == m) {
+      choice[pos] = 0;
+      ++pos;
+    }
+    if (pos == n) break;
+  }
+  return best;
+}
+
+TEST(ExactBnb, TrivialSingleMachine) {
+  const Instance inst = Instance::identical(1, {2.0, 3.0});
+  const auto result = solve_exact(inst);
+  EXPECT_TRUE(result.proven);
+  EXPECT_DOUBLE_EQ(result.optimal, 5.0);
+}
+
+TEST(ExactBnb, KnownTwoMachineSplit) {
+  const Instance inst = Instance::identical(2, {3.0, 3.0, 2.0, 2.0, 2.0});
+  const auto result = solve_exact(inst);
+  EXPECT_DOUBLE_EQ(result.optimal, 6.0);
+}
+
+TEST(ExactBnb, SolvesTable2TrapToOne) {
+  const auto trap = gen::table2_pairwise_trap(10.0);
+  const auto result = solve_exact(trap.instance);
+  EXPECT_TRUE(result.proven);
+  EXPECT_DOUBLE_EQ(result.optimal, 1.0);
+}
+
+TEST(ExactBnb, SolvesTable1TrapToTwo) {
+  const auto trap = gen::table1_work_stealing_trap(10.0);
+  const auto result = solve_exact(trap.instance);
+  EXPECT_TRUE(result.proven);
+  EXPECT_DOUBLE_EQ(result.optimal, 2.0);
+}
+
+TEST(ExactBnb, AssignmentAchievesReportedMakespan) {
+  const Instance inst = gen::uniform_unrelated(3, 8, 1.0, 9.0, 21);
+  const auto result = solve_exact(inst);
+  ASSERT_TRUE(result.proven);
+  Schedule s(inst, result.assignment);
+  EXPECT_TRUE(is_complete_partition(s));
+  EXPECT_NEAR(s.makespan(), result.optimal, 1e-9);
+}
+
+TEST(ExactBnb, NodeLimitYieldsUnprovenUpperBound) {
+  const Instance inst = gen::uniform_unrelated(4, 12, 1.0, 9.0, 22);
+  ExactOptions options;
+  options.node_limit = 10;
+  const auto result = solve_exact(inst, options);
+  EXPECT_FALSE(result.proven);
+  // Still a feasible upper bound.
+  Schedule s(inst, result.assignment);
+  EXPECT_TRUE(is_complete_partition(s));
+  EXPECT_NEAR(s.makespan(), result.optimal, 1e-9);
+}
+
+class ExactVsBruteSweep : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(ExactVsBruteSweep, MatchesBruteForceUnrelated) {
+  const Instance inst = gen::uniform_unrelated(3, 6, 1.0, 10.0, GetParam());
+  const auto result = solve_exact(inst);
+  ASSERT_TRUE(result.proven);
+  EXPECT_NEAR(result.optimal, brute_force_opt(inst), 1e-9);
+}
+
+TEST_P(ExactVsBruteSweep, MatchesBruteForceTwoCluster) {
+  const Instance inst =
+      gen::two_cluster_uniform(2, 2, 6, 1.0, 10.0, GetParam());
+  const auto result = solve_exact(inst);
+  ASSERT_TRUE(result.proven);
+  EXPECT_NEAR(result.optimal, brute_force_opt(inst), 1e-9);
+}
+
+TEST_P(ExactVsBruteSweep, NeverBeatsLowerBound) {
+  const Instance inst = gen::uniform_unrelated(3, 7, 1.0, 15.0, GetParam());
+  const auto result = solve_exact(inst);
+  ASSERT_TRUE(result.proven);
+  EXPECT_GE(result.optimal, max_min_cost_bound(inst) - 1e-9);
+  EXPECT_GE(result.optimal, min_work_bound(inst) - 1e-9);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ExactVsBruteSweep,
+                         ::testing::Range<std::uint64_t>(0, 10));
+
+}  // namespace
+}  // namespace dlb::centralized

@@ -1,0 +1,273 @@
+#include "core/generators.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/schedule.hpp"
+
+namespace dlb::gen {
+namespace {
+
+TEST(Generators, UniformUnrelatedShapeAndRange) {
+  const Instance inst = uniform_unrelated(4, 10, 5.0, 9.0, 1);
+  EXPECT_EQ(inst.num_machines(), 4u);
+  EXPECT_EQ(inst.num_jobs(), 10u);
+  EXPECT_EQ(inst.num_groups(), 4u);
+  for (MachineId i = 0; i < 4; ++i) {
+    for (JobId j = 0; j < 10; ++j) {
+      EXPECT_GE(inst.cost(i, j), 5.0);
+      EXPECT_LT(inst.cost(i, j), 9.0);
+    }
+  }
+}
+
+TEST(Generators, SameSeedSameInstance) {
+  const Instance a = uniform_unrelated(3, 5, 1.0, 10.0, 42);
+  const Instance b = uniform_unrelated(3, 5, 1.0, 10.0, 42);
+  for (MachineId i = 0; i < 3; ++i) {
+    for (JobId j = 0; j < 5; ++j) {
+      EXPECT_DOUBLE_EQ(a.cost(i, j), b.cost(i, j));
+    }
+  }
+}
+
+TEST(Generators, DifferentSeedsDifferentInstances) {
+  const Instance a = uniform_unrelated(3, 5, 1.0, 10.0, 1);
+  const Instance b = uniform_unrelated(3, 5, 1.0, 10.0, 2);
+  bool any_diff = false;
+  for (MachineId i = 0; i < 3; ++i) {
+    for (JobId j = 0; j < 5; ++j) {
+      any_diff |= a.cost(i, j) != b.cost(i, j);
+    }
+  }
+  EXPECT_TRUE(any_diff);
+}
+
+TEST(Generators, TwoClusterPaperWorkloadShape) {
+  // The paper's Section VII-B instance family.
+  const Instance inst = two_cluster_uniform(64, 32, 768, 1.0, 1000.0, 7);
+  EXPECT_EQ(inst.num_machines(), 96u);
+  EXPECT_EQ(inst.num_groups(), 2u);
+  EXPECT_EQ(inst.machines_in_group(0).size(), 64u);
+  EXPECT_EQ(inst.machines_in_group(1).size(), 32u);
+  EXPECT_TRUE(inst.unit_scales());
+  // Within a cluster all machines agree on every job's cost.
+  EXPECT_DOUBLE_EQ(inst.cost(0, 5), inst.cost(63, 5));
+  EXPECT_DOUBLE_EQ(inst.cost(64, 5), inst.cost(95, 5));
+}
+
+TEST(Generators, IdenticalUniformIsOneGroup) {
+  const Instance inst = identical_uniform(96, 768, 1.0, 1000.0, 3);
+  EXPECT_EQ(inst.num_groups(), 1u);
+  EXPECT_DOUBLE_EQ(inst.cost(0, 0), inst.cost(95, 0));
+}
+
+TEST(Generators, RelatedUniformSpeedsApply) {
+  const Instance inst = related_uniform(5, 10, 1.0, 10.0, 1.0, 4.0, 11);
+  EXPECT_EQ(inst.num_groups(), 1u);
+  // Cost ratios between machines are job-independent.
+  const double ratio = inst.cost(0, 0) / inst.cost(1, 0);
+  for (JobId j = 1; j < 10; ++j) {
+    EXPECT_NEAR(inst.cost(0, j) / inst.cost(1, j), ratio, 1e-9);
+  }
+}
+
+TEST(Generators, TypedUniformDeclaresDenseTypes) {
+  const Instance inst = typed_uniform(4, 30, 5, 1.0, 10.0, 13);
+  ASSERT_TRUE(inst.has_job_types());
+  EXPECT_EQ(inst.num_job_types(), 5u);
+  // Jobs of equal type share cost rows.
+  for (JobId a = 0; a < 30; ++a) {
+    for (JobId b = a + 1; b < 30; ++b) {
+      if (inst.job_type(a) != inst.job_type(b)) continue;
+      for (MachineId i = 0; i < 4; ++i) {
+        EXPECT_DOUBLE_EQ(inst.cost(i, a), inst.cost(i, b));
+      }
+    }
+  }
+}
+
+TEST(Generators, TypedUniformRejectsBadShapes) {
+  EXPECT_THROW(typed_uniform(2, 5, 0, 1.0, 2.0, 1), std::invalid_argument);
+  EXPECT_THROW(typed_uniform(2, 5, 6, 1.0, 2.0, 1), std::invalid_argument);
+}
+
+TEST(Generators, CpuGpuAffinityShape) {
+  const Instance inst = cpu_gpu_affinity(8, 4, 50, 10.0, 100.0, 0.5, 10.0, 17);
+  EXPECT_EQ(inst.num_groups(), 2u);
+  EXPECT_EQ(inst.machines_in_group(0).size(), 8u);
+  EXPECT_EQ(inst.machines_in_group(1).size(), 4u);
+  // Affine jobs should be much faster on the GPU and vice versa: check the
+  // cost ratio distribution is bimodal-ish (some < 1, some > 1).
+  int gpu_wins = 0;
+  int cpu_wins = 0;
+  for (JobId j = 0; j < 50; ++j) {
+    (inst.group_cost(1, j) < inst.group_cost(0, j) ? gpu_wins : cpu_wins)++;
+  }
+  EXPECT_GT(gpu_wins, 5);
+  EXPECT_GT(cpu_wins, 5);
+}
+
+TEST(Generators, LognormalCostsStayInRange) {
+  const Instance inst =
+      two_cluster_lognormal(3, 2, 200, 5.0, 1.0, 1.0, 5000.0, 19);
+  EXPECT_EQ(inst.num_groups(), 2u);
+  for (GroupId g = 0; g < 2; ++g) {
+    for (JobId j = 0; j < 200; ++j) {
+      EXPECT_GE(inst.group_cost(g, j), 1.0);
+      EXPECT_LE(inst.group_cost(g, j), 5000.0);
+    }
+  }
+  EXPECT_THROW(two_cluster_lognormal(1, 1, 5, 1.0, -1.0, 1.0, 10.0, 1),
+               std::invalid_argument);
+}
+
+TEST(Generators, LognormalIsHeavyTailed) {
+  const Instance inst =
+      two_cluster_lognormal(1, 1, 2000, 5.0, 1.0, 1.0, 1e6, 21);
+  // Median of exp(N(5,1)) is e^5 ~ 148; mean ~ e^5.5 ~ 245.
+  Schedule s(inst, Assignment::all_on(2000, 0));
+  const double mean = s.load(0) / 2000.0;
+  EXPECT_GT(mean, 180.0);
+  EXPECT_LT(mean, 330.0);
+}
+
+TEST(Generators, BimodalModesAreSharedAcrossClusters) {
+  const Instance inst =
+      two_cluster_bimodal(2, 2, 300, 1.0, 10.0, 900.0, 1000.0, 0.2, 23);
+  int long_jobs = 0;
+  for (JobId j = 0; j < 300; ++j) {
+    const bool long1 = inst.group_cost(0, j) >= 900.0;
+    const bool long2 = inst.group_cost(1, j) >= 900.0;
+    // The mode is per-job: both clusters agree.
+    EXPECT_EQ(long1, long2) << "job " << j;
+    if (long1) ++long_jobs;
+  }
+  EXPECT_NEAR(long_jobs, 60, 25);
+}
+
+TEST(Generators, CorrelatedRhoOneMakesClustersIdentical) {
+  const Instance inst = two_cluster_correlated(2, 2, 50, 1.0, 100.0, 1.0, 25);
+  for (JobId j = 0; j < 50; ++j) {
+    EXPECT_DOUBLE_EQ(inst.group_cost(0, j), inst.group_cost(1, j));
+  }
+}
+
+TEST(Generators, CorrelatedRhoZeroIsIndependent) {
+  const Instance inst = two_cluster_correlated(2, 2, 500, 1.0, 100.0, 0.0, 27);
+  // Sample correlation of the two cost rows should be near zero.
+  double mean1 = 0.0;
+  double mean2 = 0.0;
+  for (JobId j = 0; j < 500; ++j) {
+    mean1 += inst.group_cost(0, j);
+    mean2 += inst.group_cost(1, j);
+  }
+  mean1 /= 500.0;
+  mean2 /= 500.0;
+  double cov = 0.0;
+  double var1 = 0.0;
+  double var2 = 0.0;
+  for (JobId j = 0; j < 500; ++j) {
+    const double d1 = inst.group_cost(0, j) - mean1;
+    const double d2 = inst.group_cost(1, j) - mean2;
+    cov += d1 * d2;
+    var1 += d1 * d1;
+    var2 += d2 * d2;
+  }
+  EXPECT_LT(std::abs(cov / std::sqrt(var1 * var2)), 0.15);
+  EXPECT_THROW(two_cluster_correlated(1, 1, 5, 1.0, 10.0, 1.5, 1),
+               std::invalid_argument);
+}
+
+TEST(Generators, PerturbedCopyPreservesStructure) {
+  const Instance base = two_cluster_uniform(3, 2, 40, 10.0, 100.0, 29);
+  const Instance noisy = perturbed_copy(base, 0.2, 30);
+  EXPECT_EQ(noisy.num_groups(), base.num_groups());
+  EXPECT_EQ(noisy.num_machines(), base.num_machines());
+  for (MachineId i = 0; i < base.num_machines(); ++i) {
+    EXPECT_EQ(noisy.group_of(i), base.group_of(i));
+  }
+  for (GroupId g = 0; g < 2; ++g) {
+    for (JobId j = 0; j < 40; ++j) {
+      const double factor = noisy.group_cost(g, j) / base.group_cost(g, j);
+      EXPECT_GE(factor, 0.8 - 1e-12);
+      EXPECT_LE(factor, 1.2 + 1e-12);
+    }
+  }
+}
+
+TEST(Generators, PerturbedCopyZeroNoiseIsIdentity) {
+  const Instance base = uniform_unrelated(3, 10, 1.0, 50.0, 31);
+  const Instance copy = perturbed_copy(base, 0.0, 32);
+  for (MachineId i = 0; i < 3; ++i) {
+    for (JobId j = 0; j < 10; ++j) {
+      EXPECT_DOUBLE_EQ(copy.cost(i, j), base.cost(i, j));
+    }
+  }
+  EXPECT_THROW(perturbed_copy(base, 1.0, 1), std::invalid_argument);
+  EXPECT_THROW(perturbed_copy(base, -0.1, 1), std::invalid_argument);
+}
+
+TEST(Generators, PerturbedCopyDropsJobTypes) {
+  const Instance typed = typed_uniform(3, 12, 3, 1.0, 10.0, 33);
+  ASSERT_TRUE(typed.has_job_types());
+  const Instance noisy = perturbed_copy(typed, 0.1, 34);
+  EXPECT_FALSE(noisy.has_job_types());
+}
+
+TEST(Generators, RandomAssignmentCompleteAndSeeded) {
+  const Instance inst = uniform_unrelated(4, 20, 1.0, 5.0, 1);
+  const Assignment a = random_assignment(inst, 9);
+  const Assignment b = random_assignment(inst, 9);
+  EXPECT_TRUE(a.is_complete());
+  EXPECT_EQ(a, b);
+  const Assignment c = random_assignment(inst, 10);
+  EXPECT_NE(a, c);
+}
+
+TEST(Generators, RejectsBadCostRange) {
+  EXPECT_THROW(uniform_unrelated(2, 2, 0.0, 1.0, 1), std::invalid_argument);
+  EXPECT_THROW(uniform_unrelated(2, 2, 5.0, 1.0, 1), std::invalid_argument);
+}
+
+TEST(AdversarialCases, Table1TrapStructure) {
+  const auto trap = table1_work_stealing_trap(100.0);
+  EXPECT_EQ(trap.instance.num_machines(), 3u);
+  EXPECT_EQ(trap.instance.num_jobs(), 5u);
+  EXPECT_DOUBLE_EQ(trap.optimal_makespan, 2.0);
+  // Every machine's *first* job keeps it busy exactly until n = 100.
+  Schedule s(trap.instance, trap.initial);
+  EXPECT_DOUBLE_EQ(s.load(1), 100.0);
+  EXPECT_DOUBLE_EQ(s.load(2), 100.0);
+  EXPECT_DOUBLE_EQ(s.load(0), 102.0);  // n + the two cheap followers
+  // The optimum of 2 is achievable: jobs 0,1 on A; 2,3 on B; 4 on C.
+  Schedule opt(trap.instance);
+  opt.assign(0, 0);
+  opt.assign(1, 0);
+  opt.assign(2, 1);
+  opt.assign(3, 1);
+  opt.assign(4, 2);
+  EXPECT_DOUBLE_EQ(opt.makespan(), 2.0);
+}
+
+TEST(AdversarialCases, Table2TrapHasMakespanN) {
+  const auto trap = table2_pairwise_trap(50.0);
+  Schedule s(trap.instance, trap.initial);
+  EXPECT_DOUBLE_EQ(s.makespan(), 50.0);
+  EXPECT_DOUBLE_EQ(trap.optimal_makespan, 1.0);
+  // The diagonal placement achieves 1.
+  Schedule opt(trap.instance);
+  opt.assign(0, 0);
+  opt.assign(1, 1);
+  opt.assign(2, 2);
+  EXPECT_DOUBLE_EQ(opt.makespan(), 1.0);
+}
+
+TEST(AdversarialCases, TrapsRejectTrivialN) {
+  EXPECT_THROW(table1_work_stealing_trap(1.0), std::invalid_argument);
+  EXPECT_THROW(table2_pairwise_trap(1.0), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace dlb::gen

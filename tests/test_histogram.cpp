@@ -1,0 +1,123 @@
+#include "stats/histogram.hpp"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+#include "stats/rng.hpp"
+
+namespace dlb::stats {
+namespace {
+
+TEST(Histogram, RejectsDegenerateConstruction) {
+  EXPECT_THROW(Histogram(1.0, 1.0, 4), std::invalid_argument);
+  EXPECT_THROW(Histogram(2.0, 1.0, 4), std::invalid_argument);
+  EXPECT_THROW(Histogram(0.0, 1.0, 0), std::invalid_argument);
+}
+
+TEST(Histogram, BinGeometry) {
+  Histogram h(0.0, 10.0, 5);
+  EXPECT_DOUBLE_EQ(h.bin_width(), 2.0);
+  EXPECT_DOUBLE_EQ(h.bin_left(0), 0.0);
+  EXPECT_DOUBLE_EQ(h.bin_left(4), 8.0);
+  EXPECT_DOUBLE_EQ(h.bin_center(2), 5.0);
+}
+
+TEST(Histogram, CountsLandInCorrectBins) {
+  Histogram h(0.0, 10.0, 5);
+  h.add(0.5);   // bin 0
+  h.add(3.9);   // bin 1
+  h.add(9.99);  // bin 4
+  EXPECT_DOUBLE_EQ(h.count(0), 1.0);
+  EXPECT_DOUBLE_EQ(h.count(1), 1.0);
+  EXPECT_DOUBLE_EQ(h.count(4), 1.0);
+  EXPECT_DOUBLE_EQ(h.total_weight(), 3.0);
+}
+
+TEST(Histogram, OutOfRangeIsClampedAndCounted) {
+  Histogram h(0.0, 1.0, 2);
+  h.add(-5.0);
+  h.add(7.0);
+  EXPECT_DOUBLE_EQ(h.underflow(), 1.0);
+  EXPECT_DOUBLE_EQ(h.overflow(), 1.0);
+  EXPECT_DOUBLE_EQ(h.count(0), 1.0);
+  EXPECT_DOUBLE_EQ(h.count(1), 1.0);
+}
+
+TEST(Histogram, MassSumsToOne) {
+  Histogram h(0.0, 1.0, 10);
+  Rng rng(5);
+  for (int i = 0; i < 1000; ++i) h.add(rng.uniform());
+  double total = 0.0;
+  for (std::size_t b = 0; b < h.bins(); ++b) total += h.mass(b);
+  EXPECT_NEAR(total, 1.0, 1e-12);
+}
+
+TEST(Histogram, DensityIntegratesToOne) {
+  Histogram h(0.0, 4.0, 8);
+  Rng rng(6);
+  for (int i = 0; i < 1000; ++i) h.add(rng.uniform(0.0, 4.0));
+  double integral = 0.0;
+  for (std::size_t b = 0; b < h.bins(); ++b) {
+    integral += h.density(b) * h.bin_width();
+  }
+  EXPECT_NEAR(integral, 1.0, 1e-12);
+}
+
+TEST(Histogram, WeightedMean) {
+  Histogram h(0.0, 10.0, 10);
+  h.add(2.0, 1.0);
+  h.add(4.0, 3.0);
+  EXPECT_DOUBLE_EQ(h.mean(), (2.0 + 12.0) / 4.0);
+}
+
+TEST(Histogram, QuantileOfUniformSamples) {
+  Histogram h(0.0, 1.0, 100);
+  Rng rng(8);
+  for (int i = 0; i < 100'000; ++i) h.add(rng.uniform());
+  EXPECT_NEAR(h.quantile(0.5), 0.5, 0.02);
+  EXPECT_NEAR(h.quantile(0.9), 0.9, 0.02);
+}
+
+TEST(Histogram, MergeCombinesCounts) {
+  Histogram a(0.0, 1.0, 4);
+  Histogram b(0.0, 1.0, 4);
+  a.add(0.1);
+  b.add(0.1);
+  b.add(0.9);
+  a.merge(b);
+  EXPECT_DOUBLE_EQ(a.count(0), 2.0);
+  EXPECT_DOUBLE_EQ(a.count(3), 1.0);
+  EXPECT_DOUBLE_EQ(a.total_weight(), 3.0);
+}
+
+TEST(Histogram, MergeRejectsMismatchedBinning) {
+  Histogram a(0.0, 1.0, 4);
+  Histogram b(0.0, 1.0, 8);
+  Histogram c(0.0, 2.0, 4);
+  EXPECT_THROW(a.merge(b), std::invalid_argument);
+  EXPECT_THROW(a.merge(c), std::invalid_argument);
+}
+
+class HistogramBinSweep : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(HistogramBinSweep, EveryValueFallsInItsBin) {
+  const std::size_t bins = GetParam();
+  Histogram h(-2.0, 3.0, bins);
+  Rng rng(GetParam());
+  for (int i = 0; i < 2000; ++i) {
+    const double x = rng.uniform(-2.0, 3.0);
+    h.add(x);
+  }
+  EXPECT_DOUBLE_EQ(h.underflow(), 0.0);
+  EXPECT_DOUBLE_EQ(h.overflow(), 0.0);
+  double total = 0.0;
+  for (std::size_t b = 0; b < bins; ++b) total += h.count(b);
+  EXPECT_DOUBLE_EQ(total, 2000.0);
+}
+
+INSTANTIATE_TEST_SUITE_P(Bins, HistogramBinSweep,
+                         ::testing::Values(1u, 2u, 7u, 64u, 1000u));
+
+}  // namespace
+}  // namespace dlb::stats

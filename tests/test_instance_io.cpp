@@ -1,0 +1,120 @@
+#include "core/instance_io.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "core/generators.hpp"
+
+namespace dlb::io {
+namespace {
+
+void expect_instances_equal(const Instance& a, const Instance& b) {
+  ASSERT_EQ(a.num_machines(), b.num_machines());
+  ASSERT_EQ(a.num_jobs(), b.num_jobs());
+  ASSERT_EQ(a.num_groups(), b.num_groups());
+  for (MachineId i = 0; i < a.num_machines(); ++i) {
+    EXPECT_EQ(a.group_of(i), b.group_of(i));
+    EXPECT_DOUBLE_EQ(a.scale(i), b.scale(i));
+    for (JobId j = 0; j < a.num_jobs(); ++j) {
+      EXPECT_DOUBLE_EQ(a.cost(i, j), b.cost(i, j));
+    }
+  }
+  ASSERT_EQ(a.has_job_types(), b.has_job_types());
+  if (a.has_job_types()) {
+    ASSERT_EQ(a.num_job_types(), b.num_job_types());
+    for (JobId j = 0; j < a.num_jobs(); ++j) {
+      EXPECT_EQ(a.job_type(j), b.job_type(j));
+    }
+  }
+}
+
+TEST(InstanceIo, RoundTripUnrelated) {
+  const Instance original = gen::uniform_unrelated(4, 9, 1.0, 100.0, 3);
+  std::stringstream buffer;
+  save_instance(original, buffer);
+  const Instance loaded = load_instance(buffer);
+  expect_instances_equal(original, loaded);
+}
+
+TEST(InstanceIo, RoundTripClusteredWithScales) {
+  const Instance original = gen::related_uniform(5, 6, 1.0, 10.0, 0.5, 2.0, 4);
+  std::stringstream buffer;
+  save_instance(original, buffer);
+  const Instance loaded = load_instance(buffer);
+  expect_instances_equal(original, loaded);
+}
+
+TEST(InstanceIo, RoundTripPreservesJobTypes) {
+  const Instance original = gen::typed_uniform(3, 12, 4, 1.0, 9.0, 5);
+  std::stringstream buffer;
+  save_instance(original, buffer);
+  const Instance loaded = load_instance(buffer);
+  expect_instances_equal(original, loaded);
+}
+
+TEST(InstanceIo, RoundTripExactDoubleValues) {
+  // max_digits10 precision: values must round-trip bit-exactly.
+  const Instance original = Instance::identical(2, {0.1, 1.0 / 3.0, 1e-17 + 1.0});
+  std::stringstream buffer;
+  save_instance(original, buffer);
+  const Instance loaded = load_instance(buffer);
+  for (JobId j = 0; j < 3; ++j) {
+    EXPECT_EQ(original.cost(0, j), loaded.cost(0, j));
+  }
+}
+
+TEST(InstanceIo, RejectsCorruptHeader) {
+  std::stringstream buffer("not-an-instance v1\n");
+  EXPECT_THROW(load_instance(buffer), std::runtime_error);
+}
+
+TEST(InstanceIo, RejectsTruncatedFile) {
+  const Instance original = gen::uniform_unrelated(2, 3, 1.0, 5.0, 6);
+  std::stringstream buffer;
+  save_instance(original, buffer);
+  std::string text = buffer.str();
+  text.resize(text.size() / 2);
+  std::stringstream half(text);
+  EXPECT_THROW(load_instance(half), std::runtime_error);
+}
+
+TEST(AssignmentIo, RoundTripComplete) {
+  const Instance inst = gen::uniform_unrelated(3, 8, 1.0, 5.0, 7);
+  const Assignment original = gen::random_assignment(inst, 8);
+  std::stringstream buffer;
+  save_assignment(original, buffer);
+  const Assignment loaded = load_assignment(buffer);
+  EXPECT_EQ(original, loaded);
+}
+
+TEST(AssignmentIo, RoundTripPartial) {
+  Assignment original(4);
+  original.assign(1, 2);
+  original.assign(3, 0);
+  std::stringstream buffer;
+  save_assignment(original, buffer);
+  const Assignment loaded = load_assignment(buffer);
+  EXPECT_EQ(original, loaded);
+  EXPECT_FALSE(loaded.is_assigned(0));
+  EXPECT_EQ(loaded.machine_of(1), 2u);
+}
+
+TEST(InstanceIo, FileRoundTrip) {
+  const Instance original = gen::two_cluster_uniform(2, 3, 6, 1.0, 50.0, 9);
+  const std::string path = ::testing::TempDir() + "/dlb_io_test.inst";
+  save_instance_file(original, path);
+  const Instance loaded = load_instance_file(path);
+  expect_instances_equal(original, loaded);
+}
+
+TEST(InstanceIo, FileOpenFailureThrows) {
+  EXPECT_THROW(load_instance_file("/nonexistent/dir/foo.inst"),
+               std::runtime_error);
+  const Instance inst = Instance::identical(1, {1.0});
+  EXPECT_THROW(save_instance_file(inst, "/nonexistent/dir/foo.inst"),
+               std::runtime_error);
+}
+
+}  // namespace
+}  // namespace dlb::io

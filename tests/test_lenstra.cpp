@@ -1,0 +1,92 @@
+#include "centralized/lenstra.hpp"
+
+#include <gtest/gtest.h>
+
+#include "centralized/exact_bnb.hpp"
+#include "core/generators.hpp"
+#include "core/lower_bounds.hpp"
+#include "core/validation.hpp"
+
+namespace dlb::centralized {
+namespace {
+
+TEST(LpLowerBound, ExactOnTrivialInstances) {
+  // Two machines, two jobs, each job has a clear home: OPT = 1, and the
+  // deadline LP is feasible exactly from tau = 1.
+  const Instance inst = Instance::unrelated({{1.0, 9.0}, {9.0, 1.0}});
+  EXPECT_NEAR(lp_lower_bound(inst), 1.0, 1e-3);
+}
+
+TEST(LpLowerBound, NeverExceedsOptNorFallsBelowCombinatorialBounds) {
+  for (std::uint64_t seed = 0; seed < 8; ++seed) {
+    const Instance inst = gen::uniform_unrelated(3, 7, 1.0, 20.0, seed);
+    const auto exact = solve_exact(inst);
+    ASSERT_TRUE(exact.proven);
+    const Cost lp = lp_lower_bound(inst);
+    EXPECT_LE(lp, exact.optimal * (1.0 + 1e-3) + 1e-6) << "seed " << seed;
+    EXPECT_GE(lp, max_min_cost_bound(inst) - 1e-6);
+    EXPECT_GE(lp, min_work_bound(inst) - 1e-6);
+  }
+}
+
+TEST(LpLowerBound, TighterThanCombinatorialBoundsOnSpecialisedInstances) {
+  // Machines are specialised, so the min-work bound (which lets every job
+  // run at its global cheapest everywhere) is loose; the LP sees capacity.
+  const Instance inst = gen::uniform_unrelated(4, 16, 1.0, 100.0, 99);
+  const Cost lp = lp_lower_bound(inst);
+  const Cost comb = std::max(max_min_cost_bound(inst), min_work_bound(inst));
+  EXPECT_GE(lp, comb - 1e-6);
+}
+
+TEST(Lenstra, ProducesCompleteSchedules) {
+  const Instance inst = gen::uniform_unrelated(4, 20, 1.0, 50.0, 3);
+  const LenstraResult result = lenstra_schedule(inst);
+  EXPECT_TRUE(is_complete_partition(result.schedule));
+  EXPECT_GT(result.tau, 0.0);
+}
+
+class LenstraSweep : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(LenstraSweep, TwoApproximationAgainstTau) {
+  // The rounding guarantee: makespan <= tau + max assigned cost <= 2 tau
+  // (every allowed cost is <= tau by LP construction).
+  const Instance inst =
+      gen::uniform_unrelated(3, 12, 1.0, 30.0, GetParam());
+  const LenstraResult result = lenstra_schedule(inst);
+  EXPECT_TRUE(is_complete_partition(result.schedule));
+  // tau is a lower bound (up to search tolerance), so this is <= ~2 OPT.
+  EXPECT_LE(result.schedule.makespan(), 2.0 * result.tau * (1.0 + 1e-3) + 1e-6)
+      << "seed " << GetParam();
+}
+
+TEST_P(LenstraSweep, TwoApproximationAgainstExactOpt) {
+  const Instance inst = gen::uniform_unrelated(3, 8, 1.0, 20.0, GetParam());
+  const auto exact = solve_exact(inst);
+  ASSERT_TRUE(exact.proven);
+  const LenstraResult result = lenstra_schedule(inst);
+  EXPECT_LE(result.schedule.makespan(), 2.0 * exact.optimal + 1e-6);
+  EXPECT_LE(result.tau, exact.optimal * (1.0 + 1e-3) + 1e-6);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, LenstraSweep,
+                         ::testing::Range<std::uint64_t>(0, 8));
+
+TEST(Lenstra, WorksOnTwoClusterInstances) {
+  const Instance inst = gen::two_cluster_uniform(3, 2, 15, 1.0, 40.0, 7);
+  const LenstraResult result = lenstra_schedule(inst);
+  EXPECT_TRUE(is_complete_partition(result.schedule));
+  EXPECT_GE(result.tau, two_cluster_fractional_opt(inst) - 1e-3);
+  EXPECT_LE(result.schedule.makespan(), 2.0 * result.tau * (1.0 + 1e-3));
+}
+
+TEST(Lenstra, MatchesOptOnAssignmentLikeInstances) {
+  // When every job has a dedicated fast machine and tau = 1 is feasible
+  // integrally, the rounding should recover the perfect assignment.
+  const Instance inst = Instance::unrelated(
+      {{1.0, 9.0, 9.0}, {9.0, 1.0, 9.0}, {9.0, 9.0, 1.0}});
+  const LenstraResult result = lenstra_schedule(inst);
+  EXPECT_NEAR(result.schedule.makespan(), 1.0, 1e-2);
+}
+
+}  // namespace
+}  // namespace dlb::centralized

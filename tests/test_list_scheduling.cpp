@@ -1,0 +1,71 @@
+#include "centralized/list_scheduling.hpp"
+#include "centralized/lpt.hpp"
+
+#include <gtest/gtest.h>
+
+#include "centralized/exact_bnb.hpp"
+#include "core/generators.hpp"
+#include "core/validation.hpp"
+
+namespace dlb::centralized {
+namespace {
+
+TEST(ListScheduling, PlacesOnLeastLoaded) {
+  const Instance inst = Instance::identical(2, {3.0, 3.0, 2.0});
+  const Schedule s = list_schedule(inst);
+  // job0 -> m0 (0), job1 -> m1 (0), job2 -> m0 (3 vs 3, tie to smaller id).
+  EXPECT_DOUBLE_EQ(s.makespan(), 5.0);
+  EXPECT_TRUE(is_complete_partition(s));
+}
+
+TEST(ListScheduling, RespectsExplicitOrder) {
+  const Instance inst = Instance::identical(2, {1.0, 10.0});
+  const Schedule s = list_schedule(inst, {1, 0});
+  // Big job first on m0, small on m1.
+  EXPECT_DOUBLE_EQ(s.load(0), 10.0);
+  EXPECT_DOUBLE_EQ(s.load(1), 1.0);
+}
+
+TEST(ListScheduling, RejectsIncompleteOrder) {
+  const Instance inst = Instance::identical(2, {1.0, 2.0});
+  EXPECT_THROW(list_schedule(inst, {0}), std::invalid_argument);
+}
+
+TEST(ListScheduling, SingleMachineTakesEverything) {
+  const Instance inst = Instance::identical(1, {1.0, 2.0, 3.0});
+  const Schedule s = list_schedule(inst);
+  EXPECT_DOUBLE_EQ(s.makespan(), 6.0);
+}
+
+TEST(Lpt, OrdersLargestFirst) {
+  // Classic LPT win: jobs {5,6,7,5,6,7} on 3 machines -> LPT reaches the
+  // optimum 12, submission order gives 14.
+  const Instance inst = Instance::identical(3, {5.0, 6.0, 7.0, 5.0, 6.0, 7.0});
+  EXPECT_DOUBLE_EQ(lpt_schedule(inst).makespan(), 12.0);
+  EXPECT_DOUBLE_EQ(list_schedule(inst).makespan(), 14.0);
+}
+
+class GrahamBoundSweep : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(GrahamBoundSweep, ListSchedulingWithin2xOptOnIdentical) {
+  const Instance inst = gen::identical_uniform(3, 9, 1.0, 20.0, GetParam());
+  const auto exact = solve_exact(inst);
+  ASSERT_TRUE(exact.proven);
+  const Schedule s = list_schedule(inst);
+  EXPECT_LE(s.makespan(), 2.0 * exact.optimal + 1e-9);
+  EXPECT_GE(s.makespan(), exact.optimal - 1e-9);
+}
+
+TEST_P(GrahamBoundSweep, LptWithin4Thirds0ptOnIdentical) {
+  const Instance inst = gen::identical_uniform(3, 9, 1.0, 20.0, GetParam());
+  const auto exact = solve_exact(inst);
+  ASSERT_TRUE(exact.proven);
+  const Schedule s = lpt_schedule(inst);
+  EXPECT_LE(s.makespan(), (4.0 / 3.0) * exact.optimal + 1e-9);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, GrahamBoundSweep,
+                         ::testing::Range<std::uint64_t>(0, 15));
+
+}  // namespace
+}  // namespace dlb::centralized

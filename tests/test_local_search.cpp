@@ -1,0 +1,100 @@
+#include "centralized/local_search.hpp"
+
+#include <gtest/gtest.h>
+
+#include "centralized/ect.hpp"
+#include "centralized/exact_bnb.hpp"
+#include "core/generators.hpp"
+#include "core/validation.hpp"
+
+namespace dlb::centralized {
+namespace {
+
+TEST(LocalSearch, NeverIncreasesTheMakespan) {
+  for (std::uint64_t seed = 0; seed < 10; ++seed) {
+    const Instance inst = gen::uniform_unrelated(4, 20, 1.0, 50.0, seed);
+    Schedule s(inst, gen::random_assignment(inst, seed + 1));
+    const Cost before = s.makespan();
+    local_search_improve(s);
+    EXPECT_LE(s.makespan(), before + 1e-9);
+    EXPECT_TRUE(is_complete_partition(s));
+  }
+}
+
+TEST(LocalSearch, FixesAnObviousImbalance) {
+  const Instance inst = Instance::identical(2, {1.0, 1.0});
+  Schedule s(inst, Assignment::all_on(2, 0));
+  const auto result = local_search_improve(s);
+  EXPECT_TRUE(result.local_optimum);
+  EXPECT_GE(result.steps, 1u);
+  EXPECT_DOUBLE_EQ(s.makespan(), 1.0);
+}
+
+TEST(LocalSearch, SwapEscapesMoveOnlyOptimum) {
+  // Machine 0 holds a job that is big there but small on machine 1, and
+  // vice versa. Moving either job alone overloads the target; only the
+  // swap fixes it.
+  const Instance inst = Instance::unrelated({{5.0, 1.0}, {1.0, 5.0}});
+  Schedule s(inst);
+  s.assign(0, 0);  // cost 5 on machine 0
+  s.assign(1, 1);  // cost 5 on machine 1
+  ASSERT_DOUBLE_EQ(s.makespan(), 5.0);
+
+  Schedule move_only = s;
+  LocalSearchOptions no_swaps;
+  no_swaps.allow_swaps = false;
+  const auto move_result = local_search_improve(move_only, no_swaps);
+  EXPECT_TRUE(move_result.local_optimum);
+  EXPECT_DOUBLE_EQ(move_only.makespan(), 5.0);  // stuck
+
+  const auto swap_result = local_search_improve(s);
+  EXPECT_TRUE(swap_result.local_optimum);
+  EXPECT_DOUBLE_EQ(s.makespan(), 1.0);  // swapped to the diagonal
+}
+
+TEST(LocalSearch, LocalOptimumHasNoImprovingMove) {
+  const Instance inst = gen::two_cluster_uniform(2, 2, 12, 1.0, 20.0, 5);
+  Schedule s(inst, gen::random_assignment(inst, 6));
+  const auto result = local_search_improve(s);
+  ASSERT_TRUE(result.local_optimum);
+  // Re-running immediately makes no further progress.
+  const auto again = local_search_improve(s);
+  EXPECT_EQ(again.steps, 0u);
+}
+
+TEST(LocalSearch, StepCapIsHonoured) {
+  const Instance inst = gen::identical_uniform(4, 40, 1.0, 10.0, 7);
+  Schedule s(inst, Assignment::all_on(40, 0));
+  LocalSearchOptions options;
+  options.max_steps = 2;
+  const auto result = local_search_improve(s, options);
+  EXPECT_EQ(result.steps, 2u);
+  EXPECT_FALSE(result.local_optimum);
+}
+
+class LocalSearchSweep : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(LocalSearchSweep, ImprovesEctButNeverBeatsOpt) {
+  const Instance inst = gen::uniform_unrelated(3, 9, 1.0, 25.0, GetParam());
+  Schedule s = ect_schedule(inst);
+  const Cost ect = s.makespan();
+  local_search_improve(s);
+  EXPECT_LE(s.makespan(), ect + 1e-9);
+  const auto exact = solve_exact(inst);
+  ASSERT_TRUE(exact.proven);
+  EXPECT_GE(s.makespan(), exact.optimal - 1e-9);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, LocalSearchSweep,
+                         ::testing::Range<std::uint64_t>(0, 10));
+
+TEST(LocalSearch, SingleMachineIsNoop) {
+  const Instance inst = Instance::identical(1, {3.0, 4.0});
+  Schedule s(inst, Assignment::all_on(2, 0));
+  const auto result = local_search_improve(s);
+  EXPECT_EQ(result.steps, 0u);
+  EXPECT_TRUE(result.local_optimum);
+}
+
+}  // namespace
+}  // namespace dlb::centralized

@@ -1,0 +1,84 @@
+#include "core/lower_bounds.hpp"
+
+#include <gtest/gtest.h>
+
+#include "centralized/exact_bnb.hpp"
+#include "core/generators.hpp"
+
+namespace dlb {
+namespace {
+
+TEST(LowerBounds, MaxMinCostPicksHardestJob) {
+  const Instance inst = Instance::unrelated({{10.0, 1.0}, {4.0, 8.0}});
+  // Job 0 best = 4, job 1 best = 1 -> bound 4.
+  EXPECT_DOUBLE_EQ(max_min_cost_bound(inst), 4.0);
+}
+
+TEST(LowerBounds, MinWorkAveragesCheapestCosts) {
+  const Instance inst = Instance::unrelated({{2.0, 6.0}, {4.0, 2.0}});
+  EXPECT_DOUBLE_EQ(min_work_bound(inst), (2.0 + 2.0) / 2.0);
+}
+
+TEST(LowerBounds, FractionalTwoClusterBalancedCase) {
+  // 1+1 machines; one job each way: costs symmetric.
+  const Instance inst =
+      Instance::clustered({1, 1}, {{1.0, 4.0}, {4.0, 1.0}});
+  // Put job 0 fully on cluster 1 and job 1 fully on cluster 2: max(1,1)=1.
+  EXPECT_DOUBLE_EQ(two_cluster_fractional_opt(inst), 1.0);
+}
+
+TEST(LowerBounds, FractionalSplitsTheCrossingJob) {
+  // One machine per cluster, a single job costing 1 on both: fractional
+  // optimum splits it in half.
+  const Instance inst = Instance::clustered({1, 1}, {{1.0}, {1.0}});
+  EXPECT_DOUBLE_EQ(two_cluster_fractional_opt(inst), 0.5);
+}
+
+TEST(LowerBounds, FractionalRespectsClusterSizes) {
+  // Cluster 1 has 4 machines, cluster 2 has 1; identical costs. All work on
+  // cluster 1 would be W/4, all on cluster 2 W/1; the optimum spreads 4/5
+  // of the work on cluster 1: W * (1/5).
+  const Instance inst =
+      Instance::clustered({4, 1}, {{10.0, 10.0}, {10.0, 10.0}});
+  EXPECT_NEAR(two_cluster_fractional_opt(inst), 4.0, 1e-9);
+}
+
+TEST(LowerBounds, FractionalRejectsWrongShape) {
+  const Instance identical = Instance::identical(3, {1.0});
+  EXPECT_THROW((void)two_cluster_fractional_opt(identical), std::invalid_argument);
+  const Instance related = Instance::related({1.0, 2.0}, {1.0});
+  EXPECT_THROW((void)two_cluster_fractional_opt(related), std::invalid_argument);
+}
+
+TEST(LowerBounds, CombinedBoundIsMaxOfParts) {
+  const Instance inst = gen::two_cluster_uniform(3, 2, 12, 1.0, 10.0, 5);
+  const Cost combined = makespan_lower_bound(inst);
+  EXPECT_GE(combined, max_min_cost_bound(inst));
+  EXPECT_GE(combined, min_work_bound(inst));
+  EXPECT_GE(combined, two_cluster_fractional_opt(inst) - 1e-12);
+}
+
+class BoundsVsExactSweep : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(BoundsVsExactSweep, NoBoundExceedsTheOptimum) {
+  // Small random two-cluster instances: every lower bound must be <= OPT.
+  const Instance inst =
+      gen::two_cluster_uniform(2, 2, 8, 1.0, 20.0, GetParam());
+  const auto exact = centralized::solve_exact(inst);
+  ASSERT_TRUE(exact.proven);
+  EXPECT_LE(makespan_lower_bound(inst), exact.optimal + 1e-9);
+}
+
+TEST_P(BoundsVsExactSweep, UnrelatedBoundsHold) {
+  const Instance inst = gen::uniform_unrelated(3, 7, 1.0, 30.0, GetParam());
+  const auto exact = centralized::solve_exact(inst);
+  ASSERT_TRUE(exact.proven);
+  EXPECT_LE(max_min_cost_bound(inst), exact.optimal + 1e-9);
+  EXPECT_LE(min_work_bound(inst), exact.optimal + 1e-9);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, BoundsVsExactSweep,
+                         ::testing::Range<std::uint64_t>(0, 12));
+
+}  // namespace
+}  // namespace dlb

@@ -1,0 +1,144 @@
+// Cross-validation of the lumped chain: build the RAW machine-labeled
+// chain (states = compositions, not partitions) by directly encoding the
+// paper's dynamics, compute its stationary distribution, lump it by
+// sorting, and compare against our partition-level chain. Agreement proves
+// the lumping (and the transition construction) correct.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <map>
+#include <vector>
+
+#include "markov/makespan_pdf.hpp"
+#include "markov/scc.hpp"
+
+namespace dlb::markov {
+namespace {
+
+using RawState = std::vector<Load>;
+
+/// Enumerates all compositions of `total` into m non-negative parts.
+std::vector<RawState> enumerate_compositions(int m, Load total) {
+  std::vector<RawState> states;
+  RawState current(m, 0);
+  auto recurse = [&](auto&& self, int position, Load remaining) -> void {
+    if (position == m - 1) {
+      current[position] = remaining;
+      states.push_back(current);
+      return;
+    }
+    for (Load v = 0; v <= remaining; ++v) {
+      current[position] = v;
+      self(self, position + 1, remaining - v);
+    }
+  };
+  recurse(recurse, 0, total);
+  return states;
+}
+
+/// Raw transition row per the paper's dynamics: uniform unordered machine
+/// pair; new imbalance d uniform on the feasible subset of {0..p_max}
+/// (parity + non-negativity); the two orientations of the split are equally
+/// likely when d > 0.
+std::map<RawState, double> raw_transitions(const RawState& state, Load p_max) {
+  const int m = static_cast<int>(state.size());
+  const double pair_prob = 2.0 / (static_cast<double>(m) * (m - 1));
+  std::map<RawState, double> row;
+  for (int i = 0; i < m; ++i) {
+    for (int j = i + 1; j < m; ++j) {
+      const Load total = state[i] + state[j];
+      const Load parity = total % 2;
+      const Load d_hi = std::min<Load>(p_max, total);
+      const int choices = (d_hi - parity) / 2 + 1;
+      const double d_prob = pair_prob / choices;
+      for (Load d = parity; d <= d_hi; d += 2) {
+        RawState next = state;
+        if (d == 0) {
+          next[i] = next[j] = total / 2;
+          row[next] += d_prob;
+        } else {
+          next[i] = (total + d) / 2;
+          next[j] = (total - d) / 2;
+          row[next] += d_prob / 2.0;
+          next[i] = (total - d) / 2;
+          next[j] = (total + d) / 2;
+          row[next] += d_prob / 2.0;
+        }
+      }
+    }
+  }
+  return row;
+}
+
+struct LumpingParam {
+  int m;
+  Load total;
+  Load p_max;
+};
+
+class LumpingSweep : public ::testing::TestWithParam<LumpingParam> {};
+
+TEST_P(LumpingSweep, RawChainStationaryLumpsToPartitionChain) {
+  const auto param = GetParam();
+  const auto raw_states = enumerate_compositions(param.m, param.total);
+  std::map<RawState, std::size_t> raw_index;
+  for (std::size_t s = 0; s < raw_states.size(); ++s) {
+    raw_index.emplace(raw_states[s], s);
+  }
+
+  // Power iteration on the raw chain, uniform start (the raw chain's sink
+  // component is reached from everywhere; mass outside it decays to 0).
+  std::vector<double> pi(raw_states.size(),
+                         1.0 / static_cast<double>(raw_states.size()));
+  std::vector<double> next(pi.size());
+  for (int iteration = 0; iteration < 4000; ++iteration) {
+    std::fill(next.begin(), next.end(), 0.0);
+    for (std::size_t s = 0; s < raw_states.size(); ++s) {
+      if (pi[s] == 0.0) continue;
+      for (const auto& [target, p] : raw_transitions(raw_states[s],
+                                                     param.p_max)) {
+        next[raw_index.at(target)] += pi[s] * p;
+      }
+    }
+    double diff = 0.0;
+    for (std::size_t s = 0; s < pi.size(); ++s) {
+      diff += std::abs(next[s] - pi[s]);
+    }
+    pi.swap(next);
+    if (diff < 1e-13) break;
+  }
+
+  // Lump the raw stationary distribution by sorting each state.
+  std::map<std::vector<Load>, double> lumped_from_raw;
+  for (std::size_t s = 0; s < raw_states.size(); ++s) {
+    std::vector<Load> sorted = raw_states[s];
+    std::sort(sorted.begin(), sorted.end(), std::greater<>());
+    lumped_from_raw[sorted] += pi[s];
+  }
+
+  // Our partition-level pipeline.
+  const StateSpace space = StateSpace::enumerate(param.m, param.total);
+  const TransitionMatrix matrix = TransitionMatrix::build(space, param.p_max);
+  const SccResult scc = strongly_connected_components(matrix);
+  const auto sink = sink_states(matrix, scc);
+  const StationaryResult stationary = stationary_distribution(matrix, sink);
+  ASSERT_TRUE(stationary.converged);
+
+  for (StateIndex s = 0; s < space.size(); ++s) {
+    const auto it = lumped_from_raw.find(space.loads(s));
+    const double raw_mass = it == lumped_from_raw.end() ? 0.0 : it->second;
+    EXPECT_NEAR(stationary.pi[s], raw_mass, 1e-6)
+        << "state mismatch at partition index " << s;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(SmallChains, LumpingSweep,
+                         ::testing::Values(LumpingParam{2, 4, 2},
+                                           LumpingParam{3, 6, 2},
+                                           LumpingParam{3, 6, 3},
+                                           LumpingParam{4, 8, 2},
+                                           LumpingParam{3, 9, 4}));
+
+}  // namespace
+}  // namespace dlb::markov

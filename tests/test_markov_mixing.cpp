@@ -1,0 +1,155 @@
+#include "markov/mixing.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "markov/scc.hpp"
+#include "markov/stationary.hpp"
+
+namespace dlb::markov {
+namespace {
+
+/// Two-state symmetric chain with hold probability a: P = [[a, 1-a],
+/// [1-a, a]]; lambda2 = 2a - 1.
+TransitionMatrix two_state_chain(double a) {
+  TransitionMatrix m;
+  m.row_begin = {0, 2, 4};
+  m.col = {0, 1, 0, 1};
+  m.prob = {a, 1.0 - a, 1.0 - a, a};
+  return m;
+}
+
+TEST(SpectralGap, TwoStateChainMatchesClosedForm) {
+  const TransitionMatrix m = two_state_chain(0.7);
+  const SpectralGapResult result = spectral_gap(m, {0, 1});
+  ASSERT_TRUE(result.converged);
+  EXPECT_NEAR(result.lambda2, 0.4, 1e-8);  // |2*0.7 - 1|
+  EXPECT_NEAR(result.gap, 0.6, 1e-8);
+  EXPECT_NEAR(result.relaxation_time(), 1.0 / 0.6, 1e-6);
+}
+
+TEST(SpectralGap, FasterChainHasLargerGap) {
+  const SpectralGapResult slow = spectral_gap(two_state_chain(0.9), {0, 1});
+  const SpectralGapResult fast = spectral_gap(two_state_chain(0.5), {0, 1});
+  EXPECT_GT(fast.gap, slow.gap);
+}
+
+TEST(SpectralGap, RejectsTrivialSupport) {
+  const TransitionMatrix m = two_state_chain(0.5);
+  EXPECT_THROW((void)spectral_gap(m, {0}), std::invalid_argument);
+}
+
+TEST(HittingTime, TwoStateChainClosedForm) {
+  // From state 0, hitting {1} takes Geometric(1-a) steps: mean 1/(1-a).
+  const double a = 0.75;
+  const TransitionMatrix m = two_state_chain(a);
+  std::vector<char> target = {0, 1};
+  const HittingTimeResult result = expected_hitting_time(m, {0, 1}, target);
+  ASSERT_TRUE(result.converged);
+  EXPECT_NEAR(result.expected_steps[0], 1.0 / (1.0 - a), 1e-8);
+  EXPECT_DOUBLE_EQ(result.expected_steps[1], 0.0);
+}
+
+TEST(HittingTime, ChainOfThreeStates) {
+  // 0 -> 1 -> 2 deterministic; hitting {2}: h(1) = 1, h(0) = 2.
+  TransitionMatrix m;
+  m.row_begin = {0, 1, 2, 3};
+  m.col = {1, 2, 2};
+  m.prob = {1.0, 1.0, 1.0};
+  std::vector<char> target = {0, 0, 1};
+  const HittingTimeResult result =
+      expected_hitting_time(m, {0, 1, 2}, target);
+  ASSERT_TRUE(result.converged);
+  EXPECT_NEAR(result.expected_steps[0], 2.0, 1e-9);
+  EXPECT_NEAR(result.expected_steps[1], 1.0, 1e-9);
+}
+
+TEST(HittingTime, RejectsEmptyTarget) {
+  const TransitionMatrix m = two_state_chain(0.5);
+  std::vector<char> target = {0, 0};
+  EXPECT_THROW(expected_hitting_time(m, {0, 1}, target),
+               std::invalid_argument);
+}
+
+TEST(TvDistanceCurve, DecaysMonotonicallyOnTheSinkChain) {
+  const StateSpace space = StateSpace::enumerate(4, 12);
+  const TransitionMatrix matrix = TransitionMatrix::build(space, 2);
+  const SccResult scc = strongly_connected_components(matrix);
+  const auto sink = sink_states(matrix, scc);
+  const StationaryResult stationary = stationary_distribution(matrix, sink);
+  ASSERT_TRUE(stationary.converged);
+
+  const auto curve =
+      tv_distance_curve(matrix, stationary.pi, space.balanced_state(), 60);
+  ASSERT_EQ(curve.size(), 60u);
+  // TV distance to stationarity is non-increasing for any Markov chain.
+  for (std::size_t t = 1; t < curve.size(); ++t) {
+    EXPECT_LE(curve[t], curve[t - 1] + 1e-12) << "t=" << t;
+  }
+  EXPECT_LT(curve.back(), 0.01);  // essentially mixed after 60 exchanges
+}
+
+TEST(TvDistanceCurve, DecayRateMatchesSpectralGap) {
+  const StateSpace space = StateSpace::enumerate(3, 6);
+  const TransitionMatrix matrix = TransitionMatrix::build(space, 2);
+  const SccResult scc = strongly_connected_components(matrix);
+  const auto sink = sink_states(matrix, scc);
+  const StationaryResult stationary = stationary_distribution(matrix, sink);
+  const SpectralGapResult gap = spectral_gap(matrix, sink);
+  const auto curve =
+      tv_distance_curve(matrix, stationary.pi, sink.front(), 14);
+  // Asymptotically TV(t+1)/TV(t) -> lambda2. Probe while TV is still well
+  // above the double-precision floor (it decays like lambda2^t).
+  ASSERT_GT(curve[12], 1e-9);
+  const double ratio = curve[13] / curve[12];
+  EXPECT_NEAR(ratio, gap.lambda2, 0.05);
+}
+
+TEST(TvDistanceCurve, RejectsSizeMismatch) {
+  const StateSpace space = StateSpace::enumerate(2, 2);
+  const TransitionMatrix matrix = TransitionMatrix::build(space, 2);
+  EXPECT_THROW(tv_distance_curve(matrix, std::vector<double>(99), 0, 5),
+               std::invalid_argument);
+}
+
+TEST(ConvergenceAnalysis, GapPositiveAndHittingFinite) {
+  // threshold_factor 0.25 keeps part of the sink outside the target for
+  // every m here (with 1.0 and m = 3 the whole sink already qualifies and
+  // the worst hitting time is legitimately zero).
+  for (int machines : {3, 4, 5}) {
+    const ConvergenceAnalysis analysis =
+        analyze_convergence(machines, 4, /*threshold_factor=*/0.25);
+    EXPECT_GT(analysis.gap, 0.0) << "m=" << machines;
+    EXPECT_GT(analysis.target_size, 0u);
+    EXPECT_GT(analysis.worst_hitting_steps, 0.0) << "m=" << machines;
+    EXPECT_TRUE(std::isfinite(analysis.worst_hitting_steps));
+  }
+}
+
+TEST(ConvergenceAnalysis, HittingTimeScalesLinearlyishInMachines) {
+  // Figure 5's observation normalized per machine: exchanges-to-threshold
+  // per machine is a small constant. The Markov counterpart: worst expected
+  // hitting steps divided by m stays within a small band as m grows.
+  double per_machine_prev = 0.0;
+  for (int machines : {3, 4, 5, 6}) {
+    const ConvergenceAnalysis analysis =
+        analyze_convergence(machines, 4, 1.0);
+    const double per_machine = analysis.worst_hitting_steps / machines;
+    EXPECT_LT(per_machine, 10.0) << "m=" << machines;
+    if (per_machine_prev > 0.0) {
+      EXPECT_LT(per_machine, per_machine_prev * 3.0) << "m=" << machines;
+    }
+    per_machine_prev = per_machine;
+  }
+}
+
+TEST(ConvergenceAnalysis, LooserThresholdIsHitSooner) {
+  const ConvergenceAnalysis tight = analyze_convergence(5, 4, 0.5);
+  const ConvergenceAnalysis loose = analyze_convergence(5, 4, 1.5);
+  EXPECT_GE(loose.target_size, tight.target_size);
+  EXPECT_LE(loose.worst_hitting_steps, tight.worst_hitting_steps);
+}
+
+}  // namespace
+}  // namespace dlb::markov

@@ -1,0 +1,121 @@
+#include "markov/scc.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+namespace dlb::markov {
+namespace {
+
+/// Builds a TransitionMatrix from an explicit adjacency list (probabilities
+/// uniform per row) for graph-shape tests.
+TransitionMatrix from_adjacency(
+    const std::vector<std::vector<StateIndex>>& adj) {
+  TransitionMatrix m;
+  m.row_begin.push_back(0);
+  for (const auto& row : adj) {
+    for (StateIndex w : row) {
+      m.col.push_back(w);
+      m.prob.push_back(row.empty() ? 0.0 : 1.0 / row.size());
+    }
+    m.row_begin.push_back(m.col.size());
+  }
+  return m;
+}
+
+TEST(Scc, SingleCycleIsOneComponent) {
+  const TransitionMatrix m = from_adjacency({{1}, {2}, {0}});
+  const SccResult scc = strongly_connected_components(m);
+  EXPECT_EQ(scc.num_components, 1u);
+  EXPECT_EQ(scc.sink_components().size(), 1u);
+}
+
+TEST(Scc, ChainHasOneComponentPerVertex) {
+  const TransitionMatrix m = from_adjacency({{1}, {2}, {}});
+  const SccResult scc = strongly_connected_components(m);
+  EXPECT_EQ(scc.num_components, 3u);
+  const auto sinks = scc.sink_components();
+  ASSERT_EQ(sinks.size(), 1u);
+  EXPECT_EQ(scc.component_of[2], sinks.front());
+}
+
+TEST(Scc, TwoSinksAreDetected) {
+  // 0 -> 1, 0 -> 2; 1 and 2 are absorbing.
+  const TransitionMatrix m = from_adjacency({{1, 2}, {1}, {2}});
+  const SccResult scc = strongly_connected_components(m);
+  EXPECT_EQ(scc.sink_components().size(), 2u);
+  EXPECT_THROW(sink_states(m, scc), std::logic_error);
+}
+
+TEST(Scc, SelfLoopsDoNotMergeComponents) {
+  const TransitionMatrix m = from_adjacency({{0, 1}, {1}});
+  const SccResult scc = strongly_connected_components(m);
+  EXPECT_EQ(scc.num_components, 2u);
+}
+
+TEST(Scc, SinkStatesReturnsSortedMembers) {
+  const TransitionMatrix m = from_adjacency({{1}, {2, 3}, {3}, {2}});
+  const SccResult scc = strongly_connected_components(m);
+  const auto sink = sink_states(m, scc);
+  EXPECT_EQ(sink, (std::vector<StateIndex>{2, 3}));
+}
+
+// ---- Theorem 9 on real chains ----
+
+struct ChainParam {
+  int m;
+  Load p_max;
+};
+
+class Theorem9Sweep : public ::testing::TestWithParam<ChainParam> {};
+
+TEST_P(Theorem9Sweep, UniqueSinkContainsBalancedState) {
+  const auto param = GetParam();
+  const Load total = param.p_max * param.m * (param.m - 1) / 2;
+  const StateSpace space = StateSpace::enumerate(param.m, total);
+  const TransitionMatrix matrix = TransitionMatrix::build(space, param.p_max);
+  const SccResult scc = strongly_connected_components(matrix);
+
+  const auto sinks = scc.sink_components();
+  ASSERT_EQ(sinks.size(), 1u) << "Theorem 9: sink must be unique";
+  const auto sink = sink_states(matrix, scc);
+  const StateIndex balanced = space.balanced_state();
+  EXPECT_TRUE(std::binary_search(sink.begin(), sink.end(), balanced))
+      << "Theorem 9: balanced state must lie in the sink component";
+}
+
+TEST_P(Theorem9Sweep, SinkMakespanRespectsTheorem10) {
+  const auto param = GetParam();
+  const Load total = param.p_max * param.m * (param.m - 1) / 2;
+  const StateSpace space = StateSpace::enumerate(param.m, total);
+  const TransitionMatrix matrix = TransitionMatrix::build(space, param.p_max);
+  const SccResult scc = strongly_connected_components(matrix);
+  const auto sink = sink_states(matrix, scc);
+
+  const double bound = static_cast<double>(total) / param.m +
+                       0.5 * (param.m - 1) * param.p_max;
+  Load max_makespan = 0;
+  for (StateIndex s : sink) {
+    max_makespan = std::max(max_makespan, space.makespan(s));
+  }
+  EXPECT_LE(static_cast<double>(max_makespan), bound + 1e-9)
+      << "Theorem 10 violated";
+  // The bound's witness state (X, X - p, ..., X - (m-1)p) exists as a valid
+  // load vector for this choice of total (that is why the paper picks it),
+  // even though the dynamics need not actually visit it.
+  std::vector<Load> staircase(param.m);
+  const Load top = static_cast<Load>(bound);  // integral here
+  for (int i = 0; i < param.m; ++i) {
+    staircase[i] = top - i * param.p_max;
+  }
+  EXPECT_NO_THROW((void)space.index_of(staircase));
+}
+
+INSTANTIATE_TEST_SUITE_P(Chains, Theorem9Sweep,
+                         ::testing::Values(ChainParam{2, 2}, ChainParam{3, 2},
+                                           ChainParam{3, 4}, ChainParam{4, 3},
+                                           ChainParam{4, 4}, ChainParam{5, 2},
+                                           ChainParam{5, 4}, ChainParam{6, 2}));
+
+}  // namespace
+}  // namespace dlb::markov

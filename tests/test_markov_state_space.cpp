@@ -1,0 +1,110 @@
+#include "markov/state_space.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <numeric>
+
+namespace dlb::markov {
+namespace {
+
+TEST(StateSpace, EnumeratesPartitionsOfSmallTotals) {
+  // Partitions of 4 into at most 2 parts: (4,0), (3,1), (2,2).
+  const StateSpace space = StateSpace::enumerate(2, 4);
+  EXPECT_EQ(space.size(), 3u);
+}
+
+TEST(StateSpace, ThreeMachinesTotalFour) {
+  // Partitions of 4 into <= 3 parts: 400, 310, 220, 211 -> 4 states.
+  const StateSpace space = StateSpace::enumerate(3, 4);
+  EXPECT_EQ(space.size(), 4u);
+}
+
+TEST(StateSpace, StatesAreCanonicalAndSumCorrectly) {
+  const StateSpace space = StateSpace::enumerate(4, 10);
+  for (StateIndex s = 0; s < space.size(); ++s) {
+    const auto& loads = space.loads(s);
+    ASSERT_EQ(loads.size(), 4u);
+    EXPECT_TRUE(std::is_sorted(loads.begin(), loads.end(),
+                               std::greater<>()));
+    EXPECT_EQ(std::accumulate(loads.begin(), loads.end(), 0), 10);
+    for (Load l : loads) EXPECT_GE(l, 0);
+  }
+}
+
+TEST(StateSpace, NoDuplicateStates) {
+  const StateSpace space = StateSpace::enumerate(5, 12);
+  for (StateIndex s = 0; s < space.size(); ++s) {
+    EXPECT_EQ(space.index_of(space.loads(s)), s);
+  }
+}
+
+TEST(StateSpace, MakespanIsFirstComponent) {
+  const StateSpace space = StateSpace::enumerate(3, 6);
+  for (StateIndex s = 0; s < space.size(); ++s) {
+    EXPECT_EQ(space.makespan(s), space.loads(s)[0]);
+  }
+}
+
+TEST(StateSpace, BalancedStateExists) {
+  const StateSpace even = StateSpace::enumerate(3, 6);
+  EXPECT_EQ(even.loads(even.balanced_state()),
+            (std::vector<Load>{2, 2, 2}));
+  const StateSpace odd = StateSpace::enumerate(3, 7);
+  EXPECT_EQ(odd.loads(odd.balanced_state()),
+            (std::vector<Load>{3, 2, 2}));
+}
+
+TEST(StateSpace, IndexOfUnknownThrows) {
+  const StateSpace space = StateSpace::enumerate(2, 4);
+  EXPECT_THROW((void)space.index_of({5, 0}), std::out_of_range);
+}
+
+TEST(StateSpace, RejectsOutOfContractShapes) {
+  EXPECT_THROW(StateSpace::enumerate(1, 4), std::invalid_argument);
+  EXPECT_THROW(StateSpace::enumerate(9, 4), std::invalid_argument);
+  EXPECT_THROW(StateSpace::enumerate(3, -1), std::invalid_argument);
+  EXPECT_THROW(StateSpace::enumerate(3, 70'000), std::invalid_argument);
+}
+
+TEST(StateSpace, KeysDistinguishPermutedLoads) {
+  const auto k1 = StateSpace::key_of({3, 1});
+  const auto k2 = StateSpace::key_of({1, 3});
+  EXPECT_NE(k1, k2);  // keys are positional; canonical form is required
+}
+
+/// Closed-form count: partitions of n into at most k parts, via the
+/// standard recurrence p(n, k) = p(n-k, k) + p(n, k-1).
+std::size_t partition_count(int n, int k) {
+  std::vector<std::vector<std::size_t>> p(
+      n + 1, std::vector<std::size_t>(k + 1, 0));
+  for (int kk = 0; kk <= k; ++kk) p[0][kk] = 1;
+  for (int nn = 1; nn <= n; ++nn) {
+    for (int kk = 1; kk <= k; ++kk) {
+      p[nn][kk] = p[nn][kk - 1] + (nn >= kk ? p[nn - kk][kk] : 0);
+    }
+  }
+  return p[n][k];
+}
+
+struct SpaceParam {
+  int m;
+  Load total;
+};
+
+class StateSpaceCountSweep : public ::testing::TestWithParam<SpaceParam> {};
+
+TEST_P(StateSpaceCountSweep, SizeMatchesPartitionFunction) {
+  const auto p = GetParam();
+  const StateSpace space = StateSpace::enumerate(p.m, p.total);
+  EXPECT_EQ(space.size(), partition_count(p.total, p.m));
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Shapes, StateSpaceCountSweep,
+    ::testing::Values(SpaceParam{2, 10}, SpaceParam{3, 12}, SpaceParam{4, 24},
+                      SpaceParam{5, 20}, SpaceParam{6, 30}, SpaceParam{6, 60},
+                      SpaceParam{7, 21}, SpaceParam{8, 16}));
+
+}  // namespace
+}  // namespace dlb::markov

@@ -1,0 +1,181 @@
+#include "markov/stationary.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <map>
+#include <numeric>
+
+#include "markov/makespan_pdf.hpp"
+#include "markov/scc.hpp"
+#include "stats/rng.hpp"
+
+namespace dlb::markov {
+namespace {
+
+TEST(Stationary, TwoMachineChainIsUniformOnItsSink) {
+  // m=2, total=2, p_max=2: both states talk to each other with prob 1/2
+  // each way -> doubly stochastic -> uniform stationary distribution.
+  const StateSpace space = StateSpace::enumerate(2, 2);
+  const TransitionMatrix matrix = TransitionMatrix::build(space, 2);
+  const SccResult scc = strongly_connected_components(matrix);
+  const auto sink = sink_states(matrix, scc);
+  ASSERT_EQ(sink.size(), 2u);
+  const StationaryResult result = stationary_distribution(matrix, sink);
+  EXPECT_TRUE(result.converged);
+  EXPECT_NEAR(result.pi[sink[0]], 0.5, 1e-9);
+  EXPECT_NEAR(result.pi[sink[1]], 0.5, 1e-9);
+}
+
+TEST(Stationary, MassSumsToOne) {
+  const StateSpace space = StateSpace::enumerate(4, 12);
+  const TransitionMatrix matrix = TransitionMatrix::build(space, 2);
+  const SccResult scc = strongly_connected_components(matrix);
+  const auto sink = sink_states(matrix, scc);
+  const StationaryResult result = stationary_distribution(matrix, sink);
+  ASSERT_TRUE(result.converged);
+  const double total =
+      std::accumulate(result.pi.begin(), result.pi.end(), 0.0);
+  EXPECT_NEAR(total, 1.0, 1e-9);
+}
+
+TEST(Stationary, IsAFixedPointOfTheChain) {
+  const StateSpace space = StateSpace::enumerate(3, 6);
+  const TransitionMatrix matrix = TransitionMatrix::build(space, 2);
+  const SccResult scc = strongly_connected_components(matrix);
+  const auto sink = sink_states(matrix, scc);
+  const StationaryResult result = stationary_distribution(matrix, sink);
+  ASSERT_TRUE(result.converged);
+  // One more application of P changes nothing.
+  std::vector<double> next(result.pi.size(), 0.0);
+  for (StateIndex v = 0; v < matrix.num_states(); ++v) {
+    for (std::size_t e = matrix.row_begin[v]; e < matrix.row_begin[v + 1];
+         ++e) {
+      next[matrix.col[e]] += result.pi[v] * matrix.prob[e];
+    }
+  }
+  for (std::size_t s = 0; s < next.size(); ++s) {
+    EXPECT_NEAR(next[s], result.pi[s], 1e-9);
+  }
+}
+
+TEST(Stationary, RejectsEmptySupport) {
+  const StateSpace space = StateSpace::enumerate(2, 2);
+  const TransitionMatrix matrix = TransitionMatrix::build(space, 2);
+  EXPECT_THROW(stationary_distribution(matrix, {}), std::invalid_argument);
+}
+
+TEST(MakespanPdf, ProbabilitiesSumToOneAndAreSorted) {
+  const SteadyStateAnalysis analysis = analyze_steady_state(4, 3);
+  double total = 0.0;
+  Load prev = -1;
+  for (const auto& point : analysis.pdf.points) {
+    EXPECT_GT(point.makespan, prev);
+    prev = point.makespan;
+    total += point.probability;
+  }
+  EXPECT_NEAR(total, 1.0, 1e-9);
+}
+
+TEST(MakespanPdf, NormalizationUsesBalancedFloor) {
+  const SteadyStateAnalysis analysis = analyze_steady_state(4, 2);
+  // total = 2*4*3/2 = 12, floor = 3, p_max = 2.
+  for (const auto& point : analysis.pdf.points) {
+    EXPECT_NEAR(point.normalized, (point.makespan - 3) / 2.0, 1e-12);
+  }
+  // The balanced state has positive stationary mass.
+  EXPECT_GT(analysis.pdf.points.front().probability, 0.0);
+  EXPECT_EQ(analysis.pdf.points.front().makespan, 3);
+}
+
+TEST(MakespanPdf, CdfAndMeanAreConsistent) {
+  const SteadyStateAnalysis analysis = analyze_steady_state(5, 2);
+  EXPECT_NEAR(analysis.pdf.cdf_normalized(1e9), 1.0, 1e-9);
+  EXPECT_GE(analysis.pdf.mean_normalized(), 0.0);
+  // Paper's headline: the makespan stays within 1.5 p_max of the floor with
+  // very high probability.
+  EXPECT_GE(analysis.pdf.cdf_normalized(1.5), 0.99);
+}
+
+TEST(SteadyState, Theorem10BoundHoldsInSink) {
+  for (int m : {3, 4, 5}) {
+    const SteadyStateAnalysis analysis = analyze_steady_state(m, 3);
+    EXPECT_LE(static_cast<double>(analysis.sink_max_makespan),
+              analysis.theorem10_bound + 1e-9)
+        << "m=" << m;
+  }
+}
+
+TEST(SteadyState, ModeIsNearHalfPmax) {
+  // Figure 2's striking observation: the mode of the normalized makespan
+  // distribution sits at ~0.5.
+  const SteadyStateAnalysis analysis = analyze_steady_state(6, 4);
+  double best_prob = 0.0;
+  double mode = 0.0;
+  for (const auto& point : analysis.pdf.points) {
+    if (point.probability > best_prob) {
+      best_prob = point.probability;
+      mode = point.normalized;
+    }
+  }
+  EXPECT_NEAR(mode, 0.5, 0.3);
+}
+
+TEST(Stationary, MonteCarloSimulationOfTheDynamicsAgrees) {
+  // Independent validation: simulate the abstract pair-rebalancing process
+  // directly (no transition matrix) and compare the long-run makespan
+  // frequencies to the computed stationary pdf.
+  const int m = 4;
+  const Load p_max = 3;
+  const Load total = p_max * m * (m - 1) / 2;
+  const SteadyStateAnalysis analysis = analyze_steady_state(m, p_max);
+
+  stats::Rng rng(99);
+  std::vector<Load> loads(m, 0);
+  // Start balanced.
+  for (int i = 0; i < m; ++i) loads[i] = total / m;
+  loads[0] += total % m;
+
+  std::map<Load, double> frequency;
+  constexpr int kBurnIn = 2'000;
+  constexpr int kSamples = 400'000;
+  for (int step = 0; step < kBurnIn + kSamples; ++step) {
+    // One exchange: uniform pair, uniform feasible parity-matched d.
+    const auto i = static_cast<std::size_t>(rng.below(m));
+    auto j = static_cast<std::size_t>(rng.below(m - 1));
+    if (j >= i) ++j;
+    const Load pair_total = loads[i] + loads[j];
+    const Load parity = pair_total % 2;
+    const Load d_hi = std::min<Load>(p_max, pair_total);
+    const int choices = (d_hi - parity) / 2 + 1;
+    const Load d = parity + 2 * static_cast<Load>(rng.below(choices));
+    // Orientation uniform (lumping makes it irrelevant; keep it faithful).
+    if (rng.bernoulli(0.5)) {
+      loads[i] = (pair_total + d) / 2;
+      loads[j] = (pair_total - d) / 2;
+    } else {
+      loads[i] = (pair_total - d) / 2;
+      loads[j] = (pair_total + d) / 2;
+    }
+    if (step >= kBurnIn) {
+      frequency[*std::max_element(loads.begin(), loads.end())] +=
+          1.0 / kSamples;
+    }
+  }
+
+  for (const auto& point : analysis.pdf.points) {
+    const auto it = frequency.find(point.makespan);
+    const double simulated = it == frequency.end() ? 0.0 : it->second;
+    EXPECT_NEAR(simulated, point.probability, 0.01)
+        << "makespan " << point.makespan;
+  }
+}
+
+TEST(MakespanPdf, RejectsSizeMismatch) {
+  const StateSpace space = StateSpace::enumerate(2, 2);
+  EXPECT_THROW(makespan_pdf(space, std::vector<double>(99, 0.0), 2),
+               std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace dlb::markov

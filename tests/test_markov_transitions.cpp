@@ -1,0 +1,130 @@
+#include "markov/transitions.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+
+namespace dlb::markov {
+namespace {
+
+TEST(Transitions, RowsAreStochastic) {
+  const StateSpace space = StateSpace::enumerate(4, 12);
+  for (StateIndex s = 0; s < space.size(); ++s) {
+    const auto row = transitions_from(space, s, /*p_max=*/3);
+    double total = 0.0;
+    for (const auto& [target, p] : row) {
+      EXPECT_GT(p, 0.0);
+      total += p;
+    }
+    EXPECT_NEAR(total, 1.0, 1e-12);
+  }
+}
+
+TEST(Transitions, HandCheckedTwoMachines) {
+  // m=2, total=2, p_max=2. From (2,0): T=2, feasible d in {0,2}: half the
+  // mass re-balances to (1,1), half stays (2,0).
+  const StateSpace space = StateSpace::enumerate(2, 2);
+  const StateIndex top = space.index_of({2, 0});
+  const StateIndex flat = space.index_of({1, 1});
+  const auto row = transitions_from(space, top, 2);
+  ASSERT_EQ(row.size(), 2u);
+  for (const auto& [target, p] : row) {
+    EXPECT_NEAR(p, 0.5, 1e-12);
+    EXPECT_TRUE(target == top || target == flat);
+  }
+}
+
+TEST(Transitions, ParityKeepsLoadsIntegral) {
+  // Odd pair total: d must be odd -> (3,0) with p_max=2 can only reach
+  // imbalance 1, i.e. (2,1).
+  const StateSpace space = StateSpace::enumerate(2, 3);
+  const auto row = transitions_from(space, space.index_of({3, 0}), 2);
+  ASSERT_EQ(row.size(), 1u);
+  EXPECT_EQ(row[0].first, space.index_of({2, 1}));
+  EXPECT_NEAR(row[0].second, 1.0, 1e-12);
+}
+
+TEST(Transitions, ImbalanceNeverExceedsPmaxOnTouchedPair) {
+  const StateSpace space = StateSpace::enumerate(3, 9);
+  const Load p_max = 2;
+  for (StateIndex s = 0; s < space.size(); ++s) {
+    const auto& from = space.loads(s);
+    for (const auto& [target, p] : transitions_from(space, s, p_max)) {
+      (void)p;
+      const auto& to = space.loads(target);
+      // Find the touched pair: multiset difference of at most two entries.
+      std::vector<Load> changed_from;
+      std::vector<Load> changed_to;
+      std::vector<Load> rem_to = to;
+      for (const Load l : from) {
+        auto it = std::find(rem_to.begin(), rem_to.end(), l);
+        if (it != rem_to.end()) {
+          rem_to.erase(it);
+        } else {
+          changed_from.push_back(l);
+        }
+      }
+      // rem_to now holds the new values not matched to old ones.
+      ASSERT_LE(rem_to.size(), 2u);
+      if (rem_to.size() == 2) {
+        EXPECT_LE(std::abs(rem_to[0] - rem_to[1]), p_max);
+      }
+    }
+  }
+}
+
+TEST(Transitions, PairTotalConserved) {
+  const StateSpace space = StateSpace::enumerate(5, 15);
+  for (StateIndex s = 0; s < space.size(); s += 7) {
+    for (const auto& [target, p] : transitions_from(space, s, 4)) {
+      (void)p;
+      // Total load is invariant (already enforced by the state space, but
+      // check the target really is in the same space).
+      EXPECT_LT(target, space.size());
+    }
+  }
+}
+
+TEST(TransitionMatrix, CsrMatchesRowGenerator) {
+  const StateSpace space = StateSpace::enumerate(4, 10);
+  const Load p_max = 3;
+  const TransitionMatrix matrix = TransitionMatrix::build(space, p_max);
+  ASSERT_EQ(matrix.num_states(), space.size());
+  for (StateIndex s = 0; s < space.size(); ++s) {
+    auto row = transitions_from(space, s, p_max);
+    std::sort(row.begin(), row.end());
+    const std::size_t begin = matrix.row_begin[s];
+    const std::size_t end = matrix.row_begin[s + 1];
+    ASSERT_EQ(end - begin, row.size());
+    for (std::size_t k = 0; k < row.size(); ++k) {
+      EXPECT_EQ(matrix.col[begin + k], row[k].first);
+      EXPECT_NEAR(matrix.prob[begin + k], row[k].second, 1e-15);
+    }
+  }
+}
+
+TEST(TransitionMatrix, BalancedStateIsReachableFromEverywhere) {
+  // Weak form of Theorem 9 checked structurally: from any state a path of
+  // max->min rebalancings reaches the balanced state; here we just verify
+  // every state has at least one outgoing transition that does not increase
+  // the makespan.
+  const StateSpace space = StateSpace::enumerate(3, 6);
+  const TransitionMatrix matrix = TransitionMatrix::build(space, 2);
+  for (StateIndex s = 0; s < space.size(); ++s) {
+    bool non_increasing = false;
+    for (std::size_t e = matrix.row_begin[s]; e < matrix.row_begin[s + 1];
+         ++e) {
+      non_increasing |= space.makespan(matrix.col[e]) <= space.makespan(s);
+    }
+    EXPECT_TRUE(non_increasing) << "state " << s;
+  }
+}
+
+TEST(Transitions, RejectsBadPmax) {
+  const StateSpace space = StateSpace::enumerate(2, 2);
+  EXPECT_THROW(transitions_from(space, 0, 0), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace dlb::markov

@@ -1,0 +1,79 @@
+#include "core/metrics.hpp"
+
+#include <gtest/gtest.h>
+
+#include "core/generators.hpp"
+#include "dist/dlb2c.hpp"
+
+namespace dlb {
+namespace {
+
+Schedule even_schedule() {
+  static const Instance inst = Instance::identical(4, {2.0, 2.0, 2.0, 2.0});
+  Schedule s(inst);
+  for (JobId j = 0; j < 4; ++j) s.assign(j, j);
+  return s;
+}
+
+Schedule piled_schedule() {
+  static const Instance inst = Instance::identical(4, {2.0, 2.0, 2.0, 2.0});
+  return Schedule(inst, Assignment::all_on(4, 0));
+}
+
+TEST(Metrics, PerfectBalanceScoresPerfectly) {
+  const Schedule s = even_schedule();
+  EXPECT_DOUBLE_EQ(imbalance_ratio(s), 1.0);
+  EXPECT_DOUBLE_EQ(jain_fairness(s), 1.0);
+  EXPECT_DOUBLE_EQ(load_stddev(s), 0.0);
+  EXPECT_DOUBLE_EQ(underutilised_fraction(s), 0.0);
+}
+
+TEST(Metrics, TotalImbalanceScoresWorstCase) {
+  const Schedule s = piled_schedule();
+  EXPECT_DOUBLE_EQ(imbalance_ratio(s), 4.0);       // m
+  EXPECT_DOUBLE_EQ(jain_fairness(s), 0.25);        // 1/m
+  EXPECT_DOUBLE_EQ(underutilised_fraction(s), 0.75);
+  EXPECT_GT(load_stddev(s), 0.0);
+}
+
+TEST(Metrics, HandCheckedStddev) {
+  const Instance inst = Instance::identical(2, {4.0});
+  Schedule s(inst, Assignment::all_on(1, 0));
+  // Loads (4, 0): mean 2, variance ((2)^2 + (2)^2)/2 = 4.
+  EXPECT_DOUBLE_EQ(load_stddev(s), 2.0);
+}
+
+TEST(Metrics, EmptyScheduleEdgeCases) {
+  const Instance inst = Instance::identical(3, {1.0});
+  Schedule s(inst);  // nothing assigned
+  EXPECT_THROW((void)imbalance_ratio(s), std::invalid_argument);
+  EXPECT_DOUBLE_EQ(jain_fairness(s), 1.0);
+}
+
+TEST(Metrics, BalancingImprovesEveryMetric) {
+  const Instance inst = gen::two_cluster_uniform(6, 3, 90, 1.0, 100.0, 3);
+  Schedule s(inst, Assignment::all_on(90, 0));
+  const double ratio_before = imbalance_ratio(s);
+  const double fairness_before = jain_fairness(s);
+  dist::EngineOptions options;
+  options.max_exchanges = 900;
+  stats::Rng rng(4);
+  dist::run_dlb2c(s, options, rng);
+  EXPECT_LT(imbalance_ratio(s), ratio_before);
+  EXPECT_GT(jain_fairness(s), fairness_before);
+  EXPECT_LT(underutilised_fraction(s), 0.5);
+}
+
+TEST(Metrics, JainIndexBoundedByDefinition) {
+  for (std::uint64_t seed = 0; seed < 6; ++seed) {
+    const Instance inst = gen::uniform_unrelated(5, 25, 1.0, 50.0, seed);
+    const Schedule s(inst, gen::random_assignment(inst, seed + 1));
+    const double jain = jain_fairness(s);
+    EXPECT_GE(jain, 1.0 / 5.0 - 1e-12);
+    EXPECT_LE(jain, 1.0 + 1e-12);
+    EXPECT_GE(imbalance_ratio(s), 1.0 - 1e-12);
+  }
+}
+
+}  // namespace
+}  // namespace dlb

@@ -1,0 +1,106 @@
+#include "dist/mjtb.hpp"
+
+#include <gtest/gtest.h>
+
+#include "centralized/exact_bnb.hpp"
+#include "core/generators.hpp"
+#include "core/validation.hpp"
+
+namespace dlb::dist {
+namespace {
+
+TEST(Mjtb, RequiresJobTypes) {
+  const Instance untyped = gen::uniform_unrelated(3, 6, 1.0, 9.0, 1);
+  Schedule s(untyped, gen::random_assignment(untyped, 2));
+  EngineOptions options;
+  stats::Rng rng(3);
+  EXPECT_THROW(run_mjtb(s, options, rng), std::invalid_argument);
+}
+
+TEST(Mjtb, SingleTypeBehavesLikeOjtb) {
+  Instance inst = gen::typed_uniform(3, 10, 1, 1.0, 9.0, 4);
+  ASSERT_EQ(inst.num_job_types(), 1u);
+  Schedule s(inst, Assignment::all_on(10, 0));
+  EngineOptions options;
+  options.max_exchanges = 50'000;
+  options.stability_check_interval = 100;
+  stats::Rng rng(5);
+  const RunResult result = run_mjtb(s, options, rng);
+  EXPECT_TRUE(result.converged);
+  EXPECT_NEAR(result.final_makespan, mjtb_convergence_bound(inst), 1e-9);
+}
+
+TEST(Mjtb, ConvergenceBoundRequiresTypes) {
+  const Instance untyped = gen::uniform_unrelated(2, 4, 1.0, 5.0, 6);
+  EXPECT_THROW((void)mjtb_convergence_bound(untyped), std::invalid_argument);
+}
+
+TEST(Mjtb, ConvergenceBoundHandChecked) {
+  // 2 machines; type 0: 4 jobs at cost (1 on m0, 1 on m1) -> optimum 2;
+  // type 1: 2 jobs at cost (3, 3) -> optimum 3. Bound = 5.
+  Instance inst = Instance::unrelated(
+      {{1.0, 1.0, 1.0, 1.0, 3.0, 3.0}, {1.0, 1.0, 1.0, 1.0, 3.0, 3.0}});
+  inst.set_job_types({0, 0, 0, 0, 1, 1});
+  EXPECT_DOUBLE_EQ(mjtb_convergence_bound(inst), 5.0);
+}
+
+struct MjtbParam {
+  std::size_t machines, jobs, types;
+  std::uint64_t seed;
+};
+
+class MjtbTheorem5Sweep : public ::testing::TestWithParam<MjtbParam> {};
+
+TEST_P(MjtbTheorem5Sweep, ConvergedResultIsKApproximation) {
+  const auto p = GetParam();
+  Instance inst =
+      gen::typed_uniform(p.machines, p.jobs, p.types, 1.0, 10.0, p.seed);
+  Schedule s(inst, gen::random_assignment(inst, p.seed + 100));
+
+  EngineOptions options;
+  options.max_exchanges = 300'000;
+  options.stability_check_interval = 500;
+  stats::Rng rng(p.seed + 200);
+  const RunResult result = run_mjtb(s, options, rng);
+  EXPECT_TRUE(is_complete_partition(s));
+
+  // Theorem 5 applies at convergence: Cmax <= sum of per-type optima
+  // <= k * OPT.
+  ASSERT_TRUE(result.converged) << "MJTB failed to stabilise within budget";
+  EXPECT_LE(result.final_makespan, mjtb_convergence_bound(inst) + 1e-6);
+
+  const auto exact = centralized::solve_exact(inst);
+  if (exact.proven) {
+    EXPECT_LE(result.final_makespan,
+              static_cast<double>(p.types) * exact.optimal + 1e-6)
+        << "k-approximation violated (k=" << p.types << ")";
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Cases, MjtbTheorem5Sweep,
+    ::testing::Values(MjtbParam{2, 8, 2, 1}, MjtbParam{3, 9, 2, 2},
+                      MjtbParam{3, 9, 3, 3}, MjtbParam{2, 10, 4, 4},
+                      MjtbParam{4, 8, 2, 5}, MjtbParam{3, 10, 5, 6}));
+
+TEST(Mjtb, PerTypeLoadsStabiliseIndependently) {
+  // After convergence, each type in isolation is optimally spread: check
+  // that re-running MJTB sweeps changes nothing.
+  Instance inst = gen::typed_uniform(3, 12, 3, 1.0, 9.0, 7);
+  Schedule s(inst, gen::random_assignment(inst, 8));
+  EngineOptions options;
+  options.max_exchanges = 300'000;
+  options.stability_check_interval = 500;
+  stats::Rng rng(9);
+  const RunResult result = run_mjtb(s, options, rng);
+  ASSERT_TRUE(result.converged);
+  const auto before = s.fingerprint();
+  stats::Rng rng2(10);
+  EngineOptions once;
+  once.max_exchanges = 100;
+  run_mjtb(s, once, rng2);
+  EXPECT_EQ(s.fingerprint(), before);
+}
+
+}  // namespace
+}  // namespace dlb::dist

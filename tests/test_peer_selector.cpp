@@ -1,0 +1,68 @@
+#include "dist/peer_selector.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace dlb::dist {
+namespace {
+
+TEST(UniformPeerSelector, NeverReturnsInitiator) {
+  const UniformPeerSelector selector;
+  stats::Rng rng(1);
+  for (int i = 0; i < 10'000; ++i) {
+    const MachineId initiator = i % 5;
+    EXPECT_NE(selector.select(initiator, 5, rng), initiator);
+  }
+}
+
+TEST(UniformPeerSelector, CoversAllOtherMachines) {
+  const UniformPeerSelector selector;
+  stats::Rng rng(2);
+  std::vector<int> counts(6, 0);
+  for (int i = 0; i < 30'000; ++i) {
+    ++counts[selector.select(2, 6, rng)];
+  }
+  EXPECT_EQ(counts[2], 0);
+  for (MachineId i = 0; i < 6; ++i) {
+    if (i == 2) continue;
+    // Uniform over 5 peers: expect 6000 each, allow 10%.
+    EXPECT_NEAR(counts[i], 6000, 600);
+  }
+}
+
+TEST(UniformPeerSelector, TwoMachinesAlwaysPickTheOther) {
+  const UniformPeerSelector selector;
+  stats::Rng rng(3);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(selector.select(0, 2, rng), 1u);
+    EXPECT_EQ(selector.select(1, 2, rng), 0u);
+  }
+}
+
+TEST(RingPeerSelector, OnlyNeighbours) {
+  const RingPeerSelector selector;
+  stats::Rng rng(4);
+  for (int i = 0; i < 1000; ++i) {
+    const MachineId peer = selector.select(3, 8, rng);
+    EXPECT_TRUE(peer == 2 || peer == 4) << peer;
+  }
+}
+
+TEST(RingPeerSelector, WrapsAround) {
+  const RingPeerSelector selector;
+  stats::Rng rng(5);
+  bool saw_last = false;
+  bool saw_next = false;
+  for (int i = 0; i < 1000; ++i) {
+    const MachineId peer = selector.select(0, 8, rng);
+    EXPECT_TRUE(peer == 7 || peer == 1) << peer;
+    saw_last |= peer == 7;
+    saw_next |= peer == 1;
+  }
+  EXPECT_TRUE(saw_last);
+  EXPECT_TRUE(saw_next);
+}
+
+}  // namespace
+}  // namespace dlb::dist

@@ -1,0 +1,117 @@
+// Coverage for the heterogeneous *related* machine regime (Section II's
+// middle case): every algorithm that claims to support it must behave
+// sensibly when machines differ only by speed.
+
+#include <gtest/gtest.h>
+
+#include "centralized/ect.hpp"
+#include "centralized/exact_bnb.hpp"
+#include "centralized/list_scheduling.hpp"
+#include "centralized/local_search.hpp"
+#include "centralized/lpt.hpp"
+#include "centralized/two_choices.hpp"
+#include "core/generators.hpp"
+#include "core/lower_bounds.hpp"
+#include "core/validation.hpp"
+#include "dist/ojtb.hpp"
+#include "pairwise/basic_greedy.hpp"
+
+namespace dlb {
+namespace {
+
+TEST(RelatedMachines, CostsScaleInverselyWithSpeed) {
+  const Instance inst = Instance::related({1.0, 2.0, 4.0}, {8.0});
+  EXPECT_DOUBLE_EQ(inst.cost(0, 0), 8.0);
+  EXPECT_DOUBLE_EQ(inst.cost(1, 0), 4.0);
+  EXPECT_DOUBLE_EQ(inst.cost(2, 0), 2.0);
+}
+
+TEST(RelatedMachines, EctPrefersFastMachinesWhenEmpty) {
+  const Instance inst = Instance::related({1.0, 4.0}, {8.0, 8.0, 8.0});
+  const Schedule s = centralized::ect_schedule(inst);
+  // Fast machine (speed 4) takes jobs until its completion time catches up:
+  // costs are 2 there vs 8 on the slow one. Jobs: m1 (2), m1 (4), m1 (6).
+  EXPECT_EQ(s.jobs_on(1).size(), 3u);
+  EXPECT_DOUBLE_EQ(s.makespan(), 6.0);
+}
+
+TEST(RelatedMachines, ListSchedulingIgnoresSpeedAndPaysForIt) {
+  // Least-loaded-first places the first job on machine 0 regardless of its
+  // speed; ECT respects the speeds. This is exactly why the paper treats
+  // submission-time balancing as insufficient on heterogeneous systems.
+  const Instance inst = Instance::related({1.0, 10.0}, {10.0});
+  const Schedule list = centralized::list_schedule(inst);
+  const Schedule ect = centralized::ect_schedule(inst);
+  EXPECT_DOUBLE_EQ(list.makespan(), 10.0);  // on the slow machine
+  EXPECT_DOUBLE_EQ(ect.makespan(), 1.0);    // on the fast one
+}
+
+class RelatedSweep : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(RelatedSweep, EctWithinTwoOfExactOpt) {
+  const Instance inst =
+      gen::related_uniform(3, 8, 1.0, 10.0, 1.0, 4.0, GetParam());
+  const auto exact = centralized::solve_exact(inst);
+  ASSERT_TRUE(exact.proven);
+  const Schedule s = centralized::ect_schedule(inst);
+  // ECT = List Scheduling in completion-time order: 2-approx on related
+  // machines (Graham's argument carries over with speeds).
+  EXPECT_LE(s.makespan(), 2.0 * exact.optimal + 1e-9);
+}
+
+TEST_P(RelatedSweep, LocalSearchTightensHeuristics) {
+  const Instance inst =
+      gen::related_uniform(4, 16, 1.0, 20.0, 1.0, 3.0, GetParam());
+  Schedule s = centralized::lpt_schedule(inst);
+  const Cost before = s.makespan();
+  centralized::local_search_improve(s);
+  EXPECT_LE(s.makespan(), before + 1e-9);
+  EXPECT_GE(s.makespan(), makespan_lower_bound(inst) - 1e-9);
+  EXPECT_TRUE(is_complete_partition(s));
+}
+
+TEST_P(RelatedSweep, OjtbOptimalOnRelatedSingleType) {
+  // One job type on related machines: per-machine cost is base / speed.
+  stats::Rng setup(GetParam());
+  const std::size_t m = 2 + setup.below(3);
+  const std::size_t n = 6 + setup.below(12);
+  std::vector<double> speeds(m);
+  std::vector<Cost> per_job(m);
+  const Cost base = 4.0;
+  for (std::size_t i = 0; i < m; ++i) {
+    speeds[i] = 0.5 + setup.uniform() * 3.5;
+    per_job[i] = base / speeds[i];
+  }
+  const Instance inst =
+      Instance::related(std::move(speeds), std::vector<Cost>(n, base));
+
+  Schedule s(inst, gen::random_assignment(inst, GetParam() + 10));
+  dist::EngineOptions options;
+  options.max_exchanges = 100'000;
+  options.stop_threshold =
+      dist::single_type_optimal_makespan(per_job, n) + 1e-9;
+  stats::Rng rng(GetParam() + 20);
+  const dist::RunResult result = dist::run_ojtb(s, options, rng);
+  EXPECT_TRUE(result.reached_threshold)
+      << "OJTB failed to reach the related-machine optimum";
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, RelatedSweep,
+                         ::testing::Range<std::uint64_t>(0, 8));
+
+TEST(RelatedMachines, TwoChoicesBeatsOneChoiceOnRelated) {
+  const Instance inst =
+      gen::related_uniform(12, 120, 1.0, 10.0, 1.0, 4.0, 9);
+  double d1 = 0.0;
+  double d2 = 0.0;
+  for (std::uint64_t seed = 0; seed < 10; ++seed) {
+    stats::Rng r1 = stats::Rng::stream(100, seed);
+    stats::Rng r2 = stats::Rng::stream(200, seed);
+    d1 += centralized::two_choices_schedule(inst, 1, r1).makespan();
+    d2 += centralized::two_choices_schedule(inst, 2, r2).makespan();
+  }
+  EXPECT_LT(d2, d1);
+}
+
+}  // namespace
+}  // namespace dlb

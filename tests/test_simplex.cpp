@@ -1,0 +1,138 @@
+#include "lp/simplex.hpp"
+
+#include <gtest/gtest.h>
+
+namespace dlb::lp {
+namespace {
+
+TEST(Simplex, SolvesATextbookMaximization) {
+  // max 3x + 2y s.t. x + y <= 4, x + 3y <= 6  ->  (4, 0), value 12.
+  Problem p;
+  p.num_vars = 2;
+  p.objective = {-3.0, -2.0};  // minimize the negation
+  p.constraints.push_back({{1.0, 1.0}, Relation::kLe, 4.0});
+  p.constraints.push_back({{1.0, 3.0}, Relation::kLe, 6.0});
+  const Solution s = solve(p);
+  ASSERT_EQ(s.status, Status::kOptimal);
+  EXPECT_NEAR(s.objective, -12.0, 1e-9);
+  EXPECT_NEAR(s.x[0], 4.0, 1e-9);
+  EXPECT_NEAR(s.x[1], 0.0, 1e-9);
+}
+
+TEST(Simplex, HandlesEqualityConstraints) {
+  // min x + 2y s.t. x + y = 3, x <= 2  ->  x=2, y=1, value 4.
+  Problem p;
+  p.num_vars = 2;
+  p.objective = {1.0, 2.0};
+  p.constraints.push_back({{1.0, 1.0}, Relation::kEq, 3.0});
+  p.constraints.push_back({{1.0, 0.0}, Relation::kLe, 2.0});
+  const Solution s = solve(p);
+  ASSERT_EQ(s.status, Status::kOptimal);
+  EXPECT_NEAR(s.objective, 4.0, 1e-9);
+  EXPECT_NEAR(s.x[0], 2.0, 1e-9);
+  EXPECT_NEAR(s.x[1], 1.0, 1e-9);
+}
+
+TEST(Simplex, HandlesGreaterEqual) {
+  // min 2x + y s.t. x + y >= 4, x >= 1  ->  x=1, y=3, value 5.
+  Problem p;
+  p.num_vars = 2;
+  p.objective = {2.0, 1.0};
+  p.constraints.push_back({{1.0, 1.0}, Relation::kGe, 4.0});
+  p.constraints.push_back({{1.0, 0.0}, Relation::kGe, 1.0});
+  const Solution s = solve(p);
+  ASSERT_EQ(s.status, Status::kOptimal);
+  EXPECT_NEAR(s.objective, 5.0, 1e-9);
+}
+
+TEST(Simplex, DetectsInfeasibility) {
+  // x <= 1 and x >= 2.
+  Problem p;
+  p.num_vars = 1;
+  p.objective = {1.0};
+  p.constraints.push_back({{1.0}, Relation::kLe, 1.0});
+  p.constraints.push_back({{1.0}, Relation::kGe, 2.0});
+  EXPECT_EQ(solve(p).status, Status::kInfeasible);
+}
+
+TEST(Simplex, DetectsUnboundedness) {
+  // min -x s.t. x >= 0 (only non-negativity).
+  Problem p;
+  p.num_vars = 1;
+  p.objective = {-1.0};
+  p.constraints.push_back({{-1.0}, Relation::kLe, 0.0});  // -x <= 0, vacuous
+  EXPECT_EQ(solve(p).status, Status::kUnbounded);
+}
+
+TEST(Simplex, NegativeRhsIsNormalized) {
+  // -x <= -2  ==  x >= 2; min x -> 2.
+  Problem p;
+  p.num_vars = 1;
+  p.objective = {1.0};
+  p.constraints.push_back({{-1.0}, Relation::kLe, -2.0});
+  const Solution s = solve(p);
+  ASSERT_EQ(s.status, Status::kOptimal);
+  EXPECT_NEAR(s.x[0], 2.0, 1e-9);
+}
+
+TEST(Simplex, DegenerateProblemTerminates) {
+  // Classic degeneracy: multiple constraints active at the optimum. Bland's
+  // rule must terminate.
+  Problem p;
+  p.num_vars = 3;
+  p.objective = {-0.75, 150.0, -0.02};
+  p.constraints.push_back({{0.25, -60.0, -0.04}, Relation::kLe, 0.0});
+  p.constraints.push_back({{0.5, -90.0, -0.02}, Relation::kLe, 0.0});
+  p.constraints.push_back({{0.0, 0.0, 1.0}, Relation::kLe, 1.0});
+  const Solution s = solve(p);
+  EXPECT_EQ(s.status, Status::kOptimal);
+}
+
+TEST(Simplex, SolutionIsBasic) {
+  // Vertex solutions have at most #constraints nonzero structural vars.
+  Problem p;
+  p.num_vars = 5;
+  p.objective = {1.0, 1.0, 1.0, 1.0, 1.0};
+  p.constraints.push_back({{1.0, 1.0, 1.0, 1.0, 1.0}, Relation::kEq, 2.0});
+  p.constraints.push_back({{1.0, 2.0, 3.0, 4.0, 5.0}, Relation::kGe, 5.0});
+  const Solution s = solve(p);
+  ASSERT_EQ(s.status, Status::kOptimal);
+  int nonzero = 0;
+  for (double v : s.x) {
+    if (v > 1e-9) ++nonzero;
+  }
+  EXPECT_LE(nonzero, 2);
+}
+
+TEST(Simplex, RejectsShapeMismatch) {
+  Problem p;
+  p.num_vars = 2;
+  p.objective = {1.0};  // wrong width
+  EXPECT_THROW(solve(p), std::invalid_argument);
+  p.objective = {1.0, 1.0};
+  p.constraints.push_back({{1.0, 1.0, 1.0}, Relation::kLe, 1.0});
+  EXPECT_THROW(solve(p), std::invalid_argument);
+}
+
+TEST(Simplex, AssignmentPolytopeVertexIsIntegralForOneMachine) {
+  // One "machine" capacity row + assignment rows: the LP should just pick
+  // everything (feasible) with all x = 1.
+  Problem p;
+  p.num_vars = 3;
+  p.objective = {0.0, 0.0, 0.0};
+  for (std::size_t j = 0; j < 3; ++j) {
+    Constraint c;
+    c.coeffs.assign(3, 0.0);
+    c.coeffs[j] = 1.0;
+    c.relation = Relation::kEq;
+    c.rhs = 1.0;
+    p.constraints.push_back(std::move(c));
+  }
+  p.constraints.push_back({{1.0, 2.0, 3.0}, Relation::kLe, 6.0});
+  const Solution s = solve(p);
+  ASSERT_EQ(s.status, Status::kOptimal);
+  for (double v : s.x) EXPECT_NEAR(v, 1.0, 1e-9);
+}
+
+}  // namespace
+}  // namespace dlb::lp

@@ -1,0 +1,169 @@
+#include "stats/summary.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "stats/rng.hpp"
+
+namespace dlb::stats {
+namespace {
+
+TEST(RunningStats, EmptyIsZero) {
+  RunningStats s;
+  EXPECT_EQ(s.count(), 0u);
+  EXPECT_DOUBLE_EQ(s.mean(), 0.0);
+  EXPECT_DOUBLE_EQ(s.variance(), 0.0);
+}
+
+TEST(RunningStats, SingleSample) {
+  RunningStats s;
+  s.add(5.0);
+  EXPECT_EQ(s.count(), 1u);
+  EXPECT_DOUBLE_EQ(s.mean(), 5.0);
+  EXPECT_DOUBLE_EQ(s.variance(), 0.0);
+  EXPECT_DOUBLE_EQ(s.min(), 5.0);
+  EXPECT_DOUBLE_EQ(s.max(), 5.0);
+}
+
+TEST(RunningStats, KnownMoments) {
+  RunningStats s;
+  for (double x : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) s.add(x);
+  EXPECT_DOUBLE_EQ(s.mean(), 5.0);
+  // Sample variance with Bessel correction: sum sq dev = 32, n-1 = 7.
+  EXPECT_NEAR(s.variance(), 32.0 / 7.0, 1e-12);
+  EXPECT_DOUBLE_EQ(s.min(), 2.0);
+  EXPECT_DOUBLE_EQ(s.max(), 9.0);
+}
+
+TEST(RunningStats, MergeMatchesSequential) {
+  Rng rng(3);
+  RunningStats whole;
+  RunningStats left;
+  RunningStats right;
+  for (int i = 0; i < 1000; ++i) {
+    const double x = rng.normal();
+    whole.add(x);
+    (i < 400 ? left : right).add(x);
+  }
+  left.merge(right);
+  EXPECT_EQ(left.count(), whole.count());
+  EXPECT_NEAR(left.mean(), whole.mean(), 1e-12);
+  EXPECT_NEAR(left.variance(), whole.variance(), 1e-10);
+  EXPECT_DOUBLE_EQ(left.min(), whole.min());
+  EXPECT_DOUBLE_EQ(left.max(), whole.max());
+}
+
+TEST(RunningStats, MergeWithEmptyIsIdentity) {
+  RunningStats a;
+  a.add(1.0);
+  a.add(3.0);
+  RunningStats empty;
+  a.merge(empty);
+  EXPECT_EQ(a.count(), 2u);
+  EXPECT_DOUBLE_EQ(a.mean(), 2.0);
+  empty.merge(a);
+  EXPECT_EQ(empty.count(), 2u);
+  EXPECT_DOUBLE_EQ(empty.mean(), 2.0);
+}
+
+TEST(SampleSet, QuantilesOfKnownData) {
+  SampleSet s;
+  for (double x : {1.0, 2.0, 3.0, 4.0, 5.0}) s.add(x);
+  EXPECT_DOUBLE_EQ(s.quantile(0.0), 1.0);
+  EXPECT_DOUBLE_EQ(s.quantile(0.5), 3.0);
+  EXPECT_DOUBLE_EQ(s.quantile(1.0), 5.0);
+  EXPECT_DOUBLE_EQ(s.quantile(0.25), 2.0);
+  EXPECT_DOUBLE_EQ(s.quantile(0.375), 2.5);  // interpolated
+}
+
+TEST(SampleSet, EcdfSteps) {
+  SampleSet s;
+  for (double x : {1.0, 2.0, 2.0, 4.0}) s.add(x);
+  EXPECT_DOUBLE_EQ(s.ecdf(0.5), 0.0);
+  EXPECT_DOUBLE_EQ(s.ecdf(1.0), 0.25);
+  EXPECT_DOUBLE_EQ(s.ecdf(2.0), 0.75);
+  EXPECT_DOUBLE_EQ(s.ecdf(3.0), 0.75);
+  EXPECT_DOUBLE_EQ(s.ecdf(4.0), 1.0);
+  EXPECT_DOUBLE_EQ(s.ecdf(100.0), 1.0);
+}
+
+TEST(SampleSet, QueriesAfterMoreAdds) {
+  SampleSet s;
+  s.add(10.0);
+  EXPECT_DOUBLE_EQ(s.max(), 10.0);
+  s.add(20.0);  // invalidates cached sort
+  EXPECT_DOUBLE_EQ(s.max(), 20.0);
+  EXPECT_DOUBLE_EQ(s.min(), 10.0);
+}
+
+TEST(SampleSet, EmptyThrowsOnQuantile) {
+  SampleSet s;
+  EXPECT_THROW((void)s.quantile(0.5), std::logic_error);
+  EXPECT_THROW((void)s.min(), std::logic_error);
+  EXPECT_THROW((void)s.max(), std::logic_error);
+  EXPECT_DOUBLE_EQ(s.ecdf(0.0), 0.0);
+  EXPECT_DOUBLE_EQ(s.mean(), 0.0);
+}
+
+TEST(KsDistance, IdenticalSamplesHaveZeroDistance) {
+  SampleSet a;
+  SampleSet b;
+  for (double x : {1.0, 2.0, 3.0}) {
+    a.add(x);
+    b.add(x);
+  }
+  EXPECT_DOUBLE_EQ(ks_distance(a, b), 0.0);
+}
+
+TEST(KsDistance, DisjointSupportsHaveDistanceOne) {
+  SampleSet a;
+  SampleSet b;
+  for (double x : {1.0, 2.0, 3.0}) a.add(x);
+  for (double x : {10.0, 11.0}) b.add(x);
+  EXPECT_DOUBLE_EQ(ks_distance(a, b), 1.0);
+}
+
+TEST(KsDistance, HandChecked) {
+  // F_a steps at 0 and 1; F_b steps at 0.5. At x = 0: |0.5 - 0| = 0.5;
+  // at 0.5: |0.5 - 1| = 0.5. Distance 0.5.
+  SampleSet a;
+  a.add(0.0);
+  a.add(1.0);
+  SampleSet b;
+  b.add(0.5);
+  EXPECT_DOUBLE_EQ(ks_distance(a, b), 0.5);
+}
+
+TEST(KsDistance, SameDistributionSamplesAreClose) {
+  Rng rng(21);
+  SampleSet a;
+  SampleSet b;
+  for (int i = 0; i < 20'000; ++i) {
+    a.add(rng.uniform());
+    b.add(rng.uniform());
+  }
+  EXPECT_LT(ks_distance(a, b), 0.03);
+}
+
+TEST(KsDistance, EmptyThrows) {
+  SampleSet a;
+  SampleSet b;
+  b.add(1.0);
+  EXPECT_THROW((void)ks_distance(a, b), std::logic_error);
+}
+
+TEST(SampleSet, MeanMatchesRunningStats) {
+  Rng rng(12);
+  SampleSet set;
+  RunningStats running;
+  for (int i = 0; i < 500; ++i) {
+    const double x = rng.uniform(0.0, 100.0);
+    set.add(x);
+    running.add(x);
+  }
+  EXPECT_NEAR(set.mean(), running.mean(), 1e-9);
+}
+
+}  // namespace
+}  // namespace dlb::stats

@@ -1,0 +1,95 @@
+#include "parallel/thread_pool.hpp"
+#include "parallel/monte_carlo.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <atomic>
+#include <numeric>
+
+namespace dlb::parallel {
+namespace {
+
+TEST(ThreadPool, RunsEverySubmittedTask) {
+  ThreadPool pool(2);
+  std::atomic<int> counter{0};
+  for (int i = 0; i < 100; ++i) {
+    pool.submit([&counter] { counter.fetch_add(1); });
+  }
+  pool.wait_idle();
+  EXPECT_EQ(counter.load(), 100);
+}
+
+TEST(ThreadPool, WaitIdleOnEmptyPoolReturnsImmediately) {
+  ThreadPool pool(1);
+  pool.wait_idle();  // must not deadlock
+  SUCCEED();
+}
+
+TEST(ThreadPool, DestructorDrainsQueue) {
+  std::atomic<int> counter{0};
+  {
+    ThreadPool pool(2);
+    for (int i = 0; i < 50; ++i) {
+      pool.submit([&counter] { counter.fetch_add(1); });
+    }
+  }  // destructor joins
+  EXPECT_EQ(counter.load(), 50);
+}
+
+TEST(ThreadPool, DefaultsToAtLeastOneThread) {
+  ThreadPool pool;
+  EXPECT_GE(pool.num_threads(), 1u);
+}
+
+TEST(ParallelFor, CoversTheWholeRangeExactlyOnce) {
+  ThreadPool pool(3);
+  std::vector<std::atomic<int>> hits(1000);
+  parallel_for(pool, 1000, [&](std::size_t begin, std::size_t end) {
+    for (std::size_t i = begin; i < end; ++i) hits[i].fetch_add(1);
+  });
+  for (const auto& h : hits) EXPECT_EQ(h.load(), 1);
+}
+
+TEST(ParallelFor, ZeroCountIsNoop) {
+  ThreadPool pool(2);
+  bool ran = false;
+  parallel_for(pool, 0, [&](std::size_t, std::size_t) { ran = true; });
+  EXPECT_FALSE(ran);
+}
+
+TEST(MonteCarlo, SequentialAndPooledResultsMatch) {
+  const std::function<double(std::size_t, stats::Rng&)> body =
+      [](std::size_t rep, stats::Rng& rng) {
+        return static_cast<double>(rep) + rng.uniform();
+      };
+  const auto sequential = run_replications<double>(64, 99, body, nullptr);
+  ThreadPool pool(4);
+  const auto pooled = run_replications<double>(64, 99, body, &pool);
+  ASSERT_EQ(sequential.size(), pooled.size());
+  for (std::size_t i = 0; i < sequential.size(); ++i) {
+    EXPECT_DOUBLE_EQ(sequential[i], pooled[i]) << i;
+  }
+}
+
+TEST(MonteCarlo, ReplicationsAreIndependentStreams) {
+  const std::function<std::uint64_t(std::size_t, stats::Rng&)> body =
+      [](std::size_t, stats::Rng& rng) { return rng(); };
+  const auto values = run_replications<std::uint64_t>(32, 7, body);
+  // All first draws distinct (collision probability negligible).
+  std::vector<std::uint64_t> sorted = values;
+  std::sort(sorted.begin(), sorted.end());
+  EXPECT_EQ(std::unique(sorted.begin(), sorted.end()), sorted.end());
+}
+
+TEST(MonteCarlo, DefaultPoolIsReusable) {
+  ThreadPool& pool = default_pool();
+  EXPECT_GE(pool.num_threads(), 1u);
+  std::atomic<int> counter{0};
+  pool.submit([&counter] { counter.fetch_add(1); });
+  pool.wait_idle();
+  EXPECT_EQ(counter.load(), 1);
+}
+
+}  // namespace
+}  // namespace dlb::parallel

@@ -1,0 +1,149 @@
+#include "ws/work_stealing_sim.hpp"
+
+#include <gtest/gtest.h>
+
+#include "core/generators.hpp"
+
+namespace dlb::ws {
+namespace {
+
+TEST(WorkStealing, SingleMachineRunsSequentially) {
+  const Instance inst = Instance::identical(1, {2.0, 3.0, 4.0});
+  // A lone machine can never steal but must still finish everything.
+  // (Use 2 machines with everything on one to also exercise failed steals.)
+  const Instance inst2 = Instance::identical(2, {2.0, 3.0, 4.0});
+  const WsResult result =
+      simulate_work_stealing(inst2, Assignment::all_on(3, 0));
+  EXPECT_TRUE(result.completed);
+  EXPECT_GT(result.steal_attempts, 0u);
+  (void)inst;
+}
+
+TEST(WorkStealing, BalancedStartNeedsNoSteals) {
+  const Instance inst = Instance::identical(2, {5.0, 5.0});
+  Assignment a(2);
+  a.assign(0, 0);
+  a.assign(1, 1);
+  const WsResult result = simulate_work_stealing(inst, a);
+  EXPECT_TRUE(result.completed);
+  EXPECT_DOUBLE_EQ(result.makespan, 5.0);
+  EXPECT_EQ(result.successful_steals, 0u);
+}
+
+TEST(WorkStealing, IdleMachineStealsPendingWork) {
+  // Machine 0 holds 4 jobs of cost 1; machine 1 holds nothing. With zero
+  // steal latency machine 1 steals half at t=0 and they finish in ~2.
+  const Instance inst = Instance::identical(2, {1.0, 1.0, 1.0, 1.0});
+  WsOptions options;
+  options.steal_latency = 0.0;
+  options.retry_delay = 0.01;
+  const WsResult result =
+      simulate_work_stealing(inst, Assignment::all_on(4, 0), options);
+  EXPECT_TRUE(result.completed);
+  EXPECT_GE(result.successful_steals, 1u);
+  EXPECT_LE(result.makespan, 3.0 + 1e-9);
+}
+
+TEST(WorkStealing, CompletesOnRandomHeterogeneousInstances) {
+  for (std::uint64_t seed = 0; seed < 5; ++seed) {
+    const Instance inst = gen::uniform_unrelated(4, 30, 1.0, 10.0, seed);
+    WsOptions options;
+    options.seed = seed;
+    const WsResult result = simulate_work_stealing(
+        inst, gen::random_assignment(inst, seed + 7), options);
+    EXPECT_TRUE(result.completed);
+    // Makespan is at least the best any single machine could need for its
+    // heaviest job.
+    EXPECT_GT(result.makespan, 0.0);
+  }
+}
+
+TEST(WorkStealing, RejectsIncompleteInitialDistribution) {
+  const Instance inst = Instance::identical(2, {1.0, 1.0});
+  Assignment partial(2);
+  partial.assign(0, 0);
+  EXPECT_THROW(simulate_work_stealing(inst, partial), std::invalid_argument);
+}
+
+TEST(WorkStealing, RejectsZeroRetryDelay) {
+  const Instance inst = Instance::identical(2, {1.0});
+  WsOptions options;
+  options.retry_delay = 0.0;
+  EXPECT_THROW(
+      simulate_work_stealing(inst, Assignment::all_on(1, 0), options),
+      std::invalid_argument);
+}
+
+TEST(WorkStealing, StealLatencyDelaysCompletion) {
+  const Instance inst = Instance::identical(2, {1.0, 1.0, 1.0, 1.0});
+  WsOptions fast;
+  fast.steal_latency = 0.0;
+  WsOptions slow;
+  slow.steal_latency = 5.0;
+  const WsResult quick =
+      simulate_work_stealing(inst, Assignment::all_on(4, 0), fast);
+  const WsResult delayed =
+      simulate_work_stealing(inst, Assignment::all_on(4, 0), slow);
+  EXPECT_TRUE(quick.completed);
+  EXPECT_TRUE(delayed.completed);
+  EXPECT_LE(quick.makespan, delayed.makespan + 1e-9);
+}
+
+TEST(WorkStealing, StealOneTakesExactlyOneJob) {
+  const Instance inst = Instance::identical(2, {1.0, 1.0, 1.0, 1.0, 1.0});
+  WsOptions options;
+  options.steal_amount = StealAmount::kOne;
+  options.steal_latency = 0.0;
+  const WsResult result =
+      simulate_work_stealing(inst, Assignment::all_on(5, 0), options);
+  EXPECT_TRUE(result.completed);
+  // Steal-one needs more successful steals than steal-half would.
+  WsOptions half = options;
+  half.steal_amount = StealAmount::kHalf;
+  const WsResult half_result =
+      simulate_work_stealing(inst, Assignment::all_on(5, 0), half);
+  EXPECT_GE(result.successful_steals, half_result.successful_steals);
+}
+
+TEST(WorkStealing, MaxPendingVictimAlwaysFindsTheLoadedMachine) {
+  // One machine holds everything; the oracle victim policy must succeed on
+  // the first attempt even with many machines.
+  const Instance inst = Instance::identical(8, std::vector<Cost>(32, 1.0));
+  WsOptions options;
+  options.victim_policy = VictimPolicy::kMaxPending;
+  options.steal_latency = 0.0;
+  const WsResult result =
+      simulate_work_stealing(inst, Assignment::all_on(32, 0), options);
+  EXPECT_TRUE(result.completed);
+  // 7 idle machines all target machine 0 immediately: the first wave of
+  // attempts is all successful (no empty-victim retries at time zero).
+  EXPECT_GE(result.successful_steals, 7u);
+  EXPECT_LE(result.makespan, 10.0);
+}
+
+// ---- Theorem 1: the Table I trap makes work stealing unboundedly bad ----
+
+class Table1Sweep : public ::testing::TestWithParam<double> {};
+
+TEST_P(Table1Sweep, FirstStealWaitsUntilNAndMakespanIsAboutN) {
+  const double n = GetParam();
+  const auto trap = gen::table1_work_stealing_trap(n);
+  WsOptions options;
+  options.steal_latency = 0.0;
+  options.retry_delay = 0.01;
+  const WsResult result =
+      simulate_work_stealing(trap.instance, trap.initial, options);
+  ASSERT_TRUE(result.completed);
+  // Every machine is busy until n: no successful steal can happen earlier.
+  EXPECT_GE(result.first_successful_steal, n - 1e-9);
+  // Work stealing finishes around n + 1 while OPT = 2: unbounded ratio.
+  EXPECT_GE(result.makespan, n);
+  EXPECT_LE(result.makespan, n + 2.0);
+  EXPECT_GE(result.makespan / trap.optimal_makespan, n / 2.0);
+}
+
+INSTANTIATE_TEST_SUITE_P(GrowingN, Table1Sweep,
+                         ::testing::Values(10.0, 100.0, 1000.0));
+
+}  // namespace
+}  // namespace dlb::ws

@@ -1,0 +1,18 @@
+// dlbsim — the command-line entry point to the dlb library: generate
+// instances, run centralized or decentralized balancers, dump Markov
+// steady-state pdfs. All logic lives in src/cli (unit-tested); this file
+// only adapts argv.
+
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "cli/commands.hpp"
+
+int main(int argc, char** argv) {
+  std::vector<std::string> args;
+  args.reserve(argc > 0 ? argc - 1 : 0);
+  for (int i = 1; i < argc; ++i) args.emplace_back(argv[i]);
+  if (args.empty()) args.emplace_back("help");
+  return dlb::cli::run_command(args, std::cout, std::cerr);
+}
