@@ -1,24 +1,18 @@
 #pragma once
 
-// Shared plumbing for the figure benches: optional `--csv DIR` flag that
-// makes a bench also dump its series as CSV files for external plotting.
+// Shared plumbing for the figure benches: a tiny wrapper that makes an
+// experiment dump its series as CSV files for external plotting when the
+// driver is invoked with `--csv DIR`.
 
 #include <fstream>
 #include <iostream>
 #include <optional>
 #include <string>
+#include <vector>
 
 #include "stats/csv.hpp"
 
 namespace dlb::benchutil {
-
-/// Returns the directory passed via `--csv DIR`, if any.
-inline std::optional<std::string> csv_dir(int argc, char** argv) {
-  for (int i = 1; i + 1 < argc; ++i) {
-    if (std::string(argv[i]) == "--csv") return std::string(argv[i + 1]);
-  }
-  return std::nullopt;
-}
 
 /// Opens DIR/name.csv and writes the header; returns nullopt (with a
 /// warning on stderr) when the file cannot be created.

@@ -1,0 +1,33 @@
+# ctest helper: run the driver twice (1 thread vs 8 threads) on a pair of
+# replication-heavy experiments and require byte-identical JSON once the
+# timing/environment blocks are stripped via --no-timing.
+
+set(filter "^(fig5_exchanges_to_threshold|fig3_equilibrium_distribution)$")
+set(common --smoke --quiet --no-timing --reps 1 --warmup 0
+    --filter ${filter})
+
+execute_process(
+  COMMAND ${DLB_BENCH} ${common} --threads 1
+          --json ${WORK_DIR}/invariance_t1.json
+  RESULT_VARIABLE rc1)
+if(NOT rc1 EQUAL 0)
+  message(FATAL_ERROR "dlb_bench --threads 1 failed (exit ${rc1})")
+endif()
+
+execute_process(
+  COMMAND ${DLB_BENCH} ${common} --threads 8
+          --json ${WORK_DIR}/invariance_t8.json
+  RESULT_VARIABLE rc8)
+if(NOT rc8 EQUAL 0)
+  message(FATAL_ERROR "dlb_bench --threads 8 failed (exit ${rc8})")
+endif()
+
+execute_process(
+  COMMAND ${CMAKE_COMMAND} -E compare_files
+          ${WORK_DIR}/invariance_t1.json ${WORK_DIR}/invariance_t8.json
+  RESULT_VARIABLE diff_rc)
+if(NOT diff_rc EQUAL 0)
+  message(FATAL_ERROR
+    "JSON differs between --threads 1 and --threads 8; replication "
+    "results are not thread-count invariant")
+endif()

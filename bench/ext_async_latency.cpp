@@ -10,9 +10,13 @@
 #include "core/generators.hpp"
 #include "dist/async_runner.hpp"
 #include "dist/dlb2c.hpp"
+#include "registry.hpp"
 #include "stats/table.hpp"
 
-int main() {
+namespace {
+
+void run(const dlb::bench::RunContext& /*ctx*/,
+         dlb::bench::MetricSet& metrics) {
   using dlb::stats::TablePrinter;
 
   std::cout << "Extension — asynchronous DLB2C vs message latency "
@@ -24,6 +28,10 @@ int main() {
   const dlb::Cost cent = dlb::centralized::clb2c_schedule(inst).makespan();
   const dlb::dist::Dlb2cKernel kernel;
 
+  double zero_latency_ratio = 0.0;
+  double high_latency_ratio = 0.0;
+  std::uint64_t messages = 0;
+  std::uint64_t migrations = 0;
   TablePrinter table({"latency", "sessions/mach", "rejected", "messages",
                       "migrations", "final_Cmax", "vs_cent"});
   for (const double latency : {0.0, 0.05, 0.2, 0.5, 1.0, 2.0}) {
@@ -34,6 +42,10 @@ int main() {
     options.seed = 9;
     const dlb::dist::AsyncRunResult result =
         dlb::dist::run_async(s, kernel, options);
+    if (latency == 0.0) zero_latency_ratio = result.final_makespan / cent;
+    high_latency_ratio = result.final_makespan / cent;
+    messages += result.messages;
+    migrations += result.migrations;
     table.add_row(
         {TablePrinter::fixed(latency, 2),
          TablePrinter::fixed(result.sessions_per_machine(24), 2),
@@ -48,5 +60,16 @@ int main() {
                "sessions per machine; as latency approaches the think time, "
                "sessions complete more slowly and quality at a fixed time "
                "horizon degrades gracefully.\n";
-  return 0;
+
+  metrics.metric("zero_latency_vs_cent", zero_latency_ratio);
+  metrics.metric("highest_latency_vs_cent", high_latency_ratio);
+  metrics.counter("messages", static_cast<double>(messages));
+  metrics.counter("migrations", static_cast<double>(migrations));
 }
+
+}  // namespace
+
+DLB_BENCH_REGISTER("ext_async_latency",
+                   "Extension: asynchronous DLB2C protocol quality vs "
+                   "message latency over a simulated network",
+                   run);

@@ -9,36 +9,41 @@
 #include "centralized/clb2c.hpp"
 #include "core/generators.hpp"
 #include "core/lower_bounds.hpp"
+#include "registry.hpp"
 #include "stats/summary.hpp"
 #include "stats/table.hpp"
 
-int main() {
+namespace {
+
+void run(const dlb::bench::RunContext& ctx, dlb::bench::MetricSet& metrics) {
   using dlb::stats::TablePrinter;
   using dlb::centralized::Clb2cOrdering;
 
-  constexpr std::size_t kReps = 40;
+  const std::size_t reps = ctx.scale(40, 10);
   std::cout << "Ablation — CLB2C with vs without the ratio sort (clusters "
-               "16+8, 192 jobs, " << kReps << " instances)\n"
+               "16+8, 192 jobs, " << reps << " instances)\n"
                "=========================================================\n\n";
 
   // Sweep heterogeneity: low-ratio instances barely care about ordering;
   // strongly specialised jobs punish the unsorted variant.
   struct Level {
     const char* name;
+    const char* metric;
     double gpu_affine, speedup;
   };
   const Level levels[] = {
-      {"mild heterogeneity (2x)", 0.5, 2.0},
-      {"strong heterogeneity (10x)", 0.5, 10.0},
-      {"extreme heterogeneity (50x)", 0.5, 50.0},
+      {"mild heterogeneity (2x)", "penalty_mild", 0.5, 2.0},
+      {"strong heterogeneity (10x)", "penalty_strong", 0.5, 10.0},
+      {"extreme heterogeneity (50x)", "penalty_extreme", 0.5, 50.0},
   };
 
+  std::size_t jobs_placed = 0;
   TablePrinter table({"workload", "sorted/LB (median)", "unsorted/LB (median)",
                       "penalty"});
   for (const Level& level : levels) {
     dlb::stats::SampleSet sorted_quality;
     dlb::stats::SampleSet unsorted_quality;
-    for (std::uint64_t rep = 0; rep < kReps; ++rep) {
+    for (std::uint64_t rep = 0; rep < reps; ++rep) {
       const dlb::Instance inst = dlb::gen::cpu_gpu_affinity(
           16, 8, 192, 10.0, 100.0, level.gpu_affine, level.speedup,
           3000 + rep);
@@ -49,20 +54,32 @@ int main() {
           dlb::centralized::clb2c_schedule(inst, Clb2cOrdering::kJobIdOrder)
               .makespan() /
           lb);
+      jobs_placed += 2 * 192;
     }
     const double sorted_median = sorted_quality.quantile(0.5);
     const double unsorted_median = unsorted_quality.quantile(0.5);
+    metrics.metric(std::string(level.metric), unsorted_median / sorted_median);
+    if (level.speedup == 2.0) {
+      metrics.metric("sorted_over_lb_median_mild", sorted_median);
+    }
     table.add_row({level.name, TablePrinter::fixed(sorted_median, 3),
                    TablePrinter::fixed(unsorted_median, 3),
                    TablePrinter::fixed(unsorted_median / sorted_median, 2) +
                        "x"});
   }
   table.print(std::cout);
+  metrics.counter("jobs_placed", static_cast<double>(jobs_placed));
 
   std::cout << "\nShape check: the unsorted variant pays ~1.4x under mild "
                "heterogeneity and ~1.8x once jobs specialise (it places "
                "jobs on their wrong cluster at full cost), while the ratio-"
                "sorted original stays near the bound at every level — the "
                "sort is what makes CLB2C a 2-approximation.\n";
-  return 0;
 }
+
+}  // namespace
+
+DLB_BENCH_REGISTER("ext_clb2c_ordering",
+                   "Ablation: CLB2C with vs without the ratio sort across "
+                   "heterogeneity levels",
+                   run);

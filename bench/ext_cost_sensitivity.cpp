@@ -10,43 +10,44 @@
 #include "core/generators.hpp"
 #include "core/lower_bounds.hpp"
 #include "dist/dlb2c.hpp"
+#include "registry.hpp"
 #include "stats/summary.hpp"
 #include "stats/table.hpp"
 
 namespace {
 
+constexpr std::size_t kM1 = 16;
+constexpr std::size_t kM2 = 8;
+constexpr std::size_t kJobs = 192;
+
 struct Workload {
   const char* name;
+  const char* metric;
   std::function<dlb::Instance(std::uint64_t)> make;
 };
 
-}  // namespace
-
-int main() {
+void run(const dlb::bench::RunContext& ctx, dlb::bench::MetricSet& metrics) {
   using dlb::stats::TablePrinter;
 
-  constexpr std::size_t kM1 = 16;
-  constexpr std::size_t kM2 = 8;
-  constexpr std::size_t kJobs = 192;
-  constexpr std::size_t kReps = 30;
+  const std::size_t reps = ctx.scale(30, 6);
 
   const Workload workloads[] = {
-      {"uniform U[1,1000] (paper)",
+      {"uniform U[1,1000] (paper)", "uniform",
        [](std::uint64_t seed) {
          return dlb::gen::two_cluster_uniform(kM1, kM2, kJobs, 1.0, 1000.0,
                                               seed);
        }},
-      {"lognormal mu=5 sigma=1",
+      {"lognormal mu=5 sigma=1", "lognormal",
        [](std::uint64_t seed) {
          return dlb::gen::two_cluster_lognormal(kM1, kM2, kJobs, 5.0, 1.0,
                                                 1.0, 5000.0, seed);
        }},
-      {"bimodal 85% short / 15% long",
+      {"bimodal 85% short / 15% long", "bimodal",
        [](std::uint64_t seed) {
          return dlb::gen::two_cluster_bimodal(kM1, kM2, kJobs, 1.0, 100.0,
                                               900.0, 1100.0, 0.15, seed);
        }},
-      {"correlated rho=0.8",
+      {"correlated rho=0.8", "correlated",
        [](std::uint64_t seed) {
          return dlb::gen::two_cluster_correlated(kM1, kM2, kJobs, 1.0,
                                                  1000.0, 0.8, seed);
@@ -54,16 +55,18 @@ int main() {
   };
 
   std::cout << "Ablation — DLB2C vs job-cost distribution (clusters 16+8, "
-               "192 jobs, " << kReps << " runs each)\n"
-               "===========================================================\n\n";
+               "192 jobs, " << reps << " runs each)\n"
+               "=========================================================="
+               "\n\n";
 
+  std::uint64_t exchanges = 0;
   TablePrinter table({"workload", "reach_1.5cent", "median_xchg/mach",
                       "p90_xchg/mach", "best_Cmax/LB(median)"});
   for (const Workload& workload : workloads) {
     dlb::stats::SampleSet threshold_times;
     dlb::stats::SampleSet quality;
     std::size_t reached = 0;
-    for (std::uint64_t rep = 0; rep < kReps; ++rep) {
+    for (std::uint64_t rep = 0; rep < reps; ++rep) {
       const dlb::Instance inst = workload.make(7000 + rep);
       const dlb::Cost cent =
           dlb::centralized::clb2c_schedule(inst).makespan();
@@ -75,15 +78,20 @@ int main() {
       options.stop_threshold = 1.5 * cent;
       dlb::stats::Rng rng = dlb::stats::Rng::stream(9000, rep);
       const dlb::dist::RunResult result = dlb::dist::run_dlb2c(s, options, rng);
+      exchanges += result.exchanges;
       if (result.reached_threshold) {
         ++reached;
         threshold_times.add(result.normalized_threshold_time(kM1 + kM2));
       }
       quality.add(result.best_makespan / lb);
     }
+    metrics.metric(std::string(workload.metric) + "_quality_median",
+                   quality.quantile(0.5));
+    metrics.metric(std::string(workload.metric) + "_reached_fraction",
+                   static_cast<double>(reached) / static_cast<double>(reps));
     table.add_row(
         {workload.name,
-         std::to_string(reached) + "/" + std::to_string(kReps),
+         std::to_string(reached) + "/" + std::to_string(reps),
          threshold_times.empty()
              ? std::string("-")
              : TablePrinter::fixed(threshold_times.quantile(0.5), 2),
@@ -93,10 +101,17 @@ int main() {
          TablePrinter::fixed(quality.quantile(0.5), 3)});
   }
   table.print(std::cout);
+  metrics.counter("exchanges", static_cast<double>(exchanges));
   std::cout << "\nShape check: the few-exchanges-per-machine convergence of "
                "Figure 5 is not an artifact of uniform costs — heavy tails "
                "and bimodality shift the constants, not the shape. High "
                "cluster correlation removes cross-cluster leverage, so the "
                "equilibrium sits closer to the (then higher) bound.\n";
-  return 0;
 }
+
+}  // namespace
+
+DLB_BENCH_REGISTER("ext_cost_sensitivity",
+                   "Ablation: DLB2C equilibrium quality and convergence "
+                   "across job-cost distributions",
+                   run);

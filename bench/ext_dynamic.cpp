@@ -9,9 +9,12 @@
 #include "core/generators.hpp"
 #include "dist/dlb2c.hpp"
 #include "dist/dynamic_workload.hpp"
+#include "registry.hpp"
 #include "stats/table.hpp"
 
-int main() {
+namespace {
+
+void run(const dlb::bench::RunContext& ctx, dlb::bench::MetricSet& metrics) {
   using dlb::stats::TablePrinter;
 
   std::cout << "Extension — DLB2C under churn (clusters 8+4, ~384 active "
@@ -23,7 +26,7 @@ int main() {
   const dlb::dist::Dlb2cKernel kernel;
 
   dlb::dist::DynamicOptions balanced;
-  balanced.epochs = 40;
+  balanced.epochs = ctx.scale(40, 12);
   balanced.seed = 12;
   dlb::dist::DynamicOptions frozen = balanced;
   frozen.exchanges_per_epoch = 0;
@@ -31,12 +34,16 @@ int main() {
   const auto with = dlb::dist::run_dynamic(inst, kernel, balanced);
   const auto without = dlb::dist::run_dynamic(inst, kernel, frozen);
 
+  std::uint64_t migrations = 0;
   TablePrinter table({"epoch", "Cmax/LB (DLB2C 96x/epoch)",
                       "Cmax/LB (no balancing)", "migrations/epoch"});
   for (std::size_t e = 0; e < with.size(); e += 4) {
     table.add_row({std::to_string(e), TablePrinter::fixed(with[e].ratio(), 3),
                    TablePrinter::fixed(without[e].ratio(), 3),
                    std::to_string(with[e].migrations)});
+  }
+  for (std::size_t e = 0; e < with.size(); ++e) {
+    migrations += with[e].migrations;
   }
   table.print(std::cout);
 
@@ -54,5 +61,15 @@ int main() {
                "near the converged value and stays there despite churn; "
                "without balancing the randomly-placed arrivals keep the "
                "system several times above the bound.\n";
-  return 0;
+
+  metrics.metric("balanced_steady_ratio", with_tail / half);
+  metrics.metric("unbalanced_steady_ratio", without_tail / half);
+  metrics.counter("migrations", static_cast<double>(migrations));
 }
+
+}  // namespace
+
+DLB_BENCH_REGISTER("ext_dynamic",
+                   "Extension: periodic DLB2C balancing vs no balancing "
+                   "under job churn",
+                   run);

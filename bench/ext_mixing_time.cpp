@@ -6,15 +6,20 @@
 //   * the worst expected number of exchanges until Cmax <= floor + 0.5 p_max,
 //   * both normalized per machine — directly comparable to Figure 5's axis.
 
+#include <algorithm>
 #include <iostream>
+#include <vector>
 
 #include "markov/mixing.hpp"
 #include "markov/scc.hpp"
 #include "markov/stationary.hpp"
+#include "registry.hpp"
 #include "stats/ascii_plot.hpp"
 #include "stats/table.hpp"
 
-int main() {
+namespace {
+
+void run(const dlb::bench::RunContext& ctx, dlb::bench::MetricSet& metrics) {
   using dlb::stats::TablePrinter;
 
   std::cout << "Extension — mixing and hitting times of the one-cluster "
@@ -22,12 +27,19 @@ int main() {
                "==========================================================="
                "\n\n";
 
+  double worst_hit_per_machine = 0.0;
+  std::size_t cells = 0;
   TablePrinter table({"m", "p_max", "spectral_gap", "relax_steps/m",
                       "worst_hit_steps", "hit_steps/m"});
-  for (const int m : {3, 4, 5, 6}) {
+  const std::vector<int> machine_counts =
+      ctx.smoke ? std::vector<int>{3, 4} : std::vector<int>{3, 4, 5, 6};
+  for (const int m : machine_counts) {
     for (const dlb::markov::Load p_max : {2, 4}) {
       const auto analysis =
           dlb::markov::analyze_convergence(m, p_max, /*threshold=*/0.5);
+      worst_hit_per_machine =
+          std::max(worst_hit_per_machine, analysis.worst_hitting_steps / m);
+      ++cells;
       table.add_row({std::to_string(m), std::to_string(p_max),
                      TablePrinter::fixed(analysis.gap, 4),
                      TablePrinter::fixed(analysis.relaxation_steps / m, 2),
@@ -36,10 +48,12 @@ int main() {
     }
   }
   table.print(std::cout);
+  metrics.metric("worst_hit_steps_per_machine", worst_hit_per_machine);
+  metrics.counter("chain_cells_analyzed", static_cast<double>(cells));
 
   // Exact convergence curve for one chain: TV distance to the stationary
   // distribution after t exchanges, starting from the balanced state.
-  {
+  if (!ctx.smoke) {
     const int m = 5;
     const dlb::markov::Load p_max = 4;
     const dlb::markov::Load total = p_max * m * (m - 1) / 2;
@@ -60,6 +74,7 @@ int main() {
     dlb::stats::line_plot(std::cout, curve, plot);
     std::cout << "       0" << std::string(42, ' ')
               << "10  (exchanges per machine)\n";
+    metrics.metric("tv_distance_final", curve.back());
   }
 
   std::cout << "\nShape check: the worst expected hitting time is a small "
@@ -67,5 +82,11 @@ int main() {
                "Figure 5's empirical ECDF; the relaxation time per machine "
                "grows slowly with m, explaining why the 8x scale-up in "
                "Figure 5 leaves the normalized curve unchanged.\n";
-  return 0;
 }
+
+}  // namespace
+
+DLB_BENCH_REGISTER("ext_mixing_time",
+                   "Extension: spectral gap and hitting times of the "
+                   "one-cluster Markov chain",
+                   run);

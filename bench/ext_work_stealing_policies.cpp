@@ -3,10 +3,14 @@
 // variant can help). Policies: steal-half vs steal-one, uniform victim vs
 // a max-pending oracle.
 
+#include <algorithm>
 #include <iostream>
+#include <limits>
+#include <string>
 
 #include "core/generators.hpp"
 #include "core/lower_bounds.hpp"
+#include "registry.hpp"
 #include "stats/table.hpp"
 #include "ws/work_stealing_sim.hpp"
 
@@ -29,10 +33,11 @@ constexpr Policy kPolicies[] = {
      dlb::ws::VictimPolicy::kMaxPending},
 };
 
-}  // namespace
-
-int main() {
+void run(const dlb::bench::RunContext& /*ctx*/,
+         dlb::bench::MetricSet& metrics) {
   using dlb::stats::TablePrinter;
+
+  std::uint64_t attempts = 0;
 
   std::cout << "Ablation — work-stealing policies\n"
                "=================================\n\n"
@@ -42,6 +47,7 @@ int main() {
     const dlb::Instance inst =
         dlb::gen::identical_uniform(16, 256, 1.0, 100.0, 3);
     const dlb::Cost lb = dlb::min_work_bound(inst);
+    double worst_vs_lb = 0.0;
     TablePrinter table({"policy", "makespan", "vs_LB", "steals", "attempts"});
     for (const Policy& policy : kPolicies) {
       dlb::ws::WsOptions options;
@@ -51,18 +57,22 @@ int main() {
       options.seed = 4;
       const auto result = dlb::ws::simulate_work_stealing(
           inst, dlb::Assignment::all_on(256, 0), options);
+      attempts += result.steal_attempts;
+      worst_vs_lb = std::max(worst_vs_lb, result.makespan / lb);
       table.add_row({policy.name, TablePrinter::fixed(result.makespan, 0),
                      TablePrinter::fixed(result.makespan / lb, 3),
                      std::to_string(result.successful_steals),
                      std::to_string(result.steal_attempts)});
     }
     table.print(std::cout);
+    metrics.metric("identical_worst_vs_lb", worst_vs_lb);
   }
 
   std::cout << "\nB. The Theorem 1 trap (n = 1000): no policy can steal "
                "before time n\n";
   {
     const auto trap = dlb::gen::table1_work_stealing_trap(1000.0);
+    double best_trap_ratio = std::numeric_limits<double>::infinity();
     TablePrinter table({"policy", "first_steal", "makespan", "ratio_vs_OPT"});
     for (const Policy& policy : kPolicies) {
       dlb::ws::WsOptions options;
@@ -71,6 +81,9 @@ int main() {
       options.seed = 5;
       const auto result = dlb::ws::simulate_work_stealing(
           trap.instance, trap.initial, options);
+      attempts += result.steal_attempts;
+      best_trap_ratio =
+          std::min(best_trap_ratio, result.makespan / trap.optimal_makespan);
       table.add_row(
           {policy.name,
            TablePrinter::fixed(result.first_successful_steal, 2),
@@ -78,6 +91,7 @@ int main() {
            TablePrinter::fixed(result.makespan / trap.optimal_makespan, 1)});
     }
     table.print(std::cout);
+    metrics.metric("trap_best_ratio_vs_opt", best_trap_ratio);
   }
 
   std::cout << "\nShape check: on identical machines every variant lands "
@@ -85,5 +99,14 @@ int main() {
                "the adversarial unrelated instance every variant is stuck "
                "past time n — the pathology of Theorem 1 is about *when* "
                "stealing can act, not about the stealing policy.\n";
-  return 0;
+
+  metrics.counter("steal_attempts", static_cast<double>(attempts));
 }
+
+}  // namespace
+
+DLB_BENCH_REGISTER("ext_work_stealing_policies",
+                   "Ablation: steal-half/steal-one x uniform/max-pending "
+                   "victim policies on identical machines and the Theorem 1 "
+                   "trap",
+                   run);

@@ -5,13 +5,18 @@
 // of the dynamics, mirroring the paper's Figure 1(a)-(d).
 
 #include <iostream>
+#include <stdexcept>
 
 #include "core/schedule.hpp"
 #include "dist/convergence.hpp"
 #include "dist/dlb2c.hpp"
+#include "registry.hpp"
 #include "stats/table.hpp"
 
-int main() {
+namespace {
+
+void run(const dlb::bench::RunContext& /*ctx*/,
+         dlb::bench::MetricSet& metrics) {
   using dlb::stats::TablePrinter;
 
   std::cout << "Figure 1 / Proposition 8 — DLB2C does not always converge\n\n";
@@ -21,8 +26,8 @@ int main() {
       kernel, /*m1=*/2, /*m2=*/1, /*jobs=*/5, /*cost_hi=*/6,
       /*attempts=*/400, /*seed=*/2015);
   if (!witness) {
-    std::cout << "ERROR: no certified witness found in the search budget\n";
-    return 1;
+    throw std::runtime_error(
+        "no certified non-convergence witness found in the search budget");
   }
 
   const dlb::Instance& inst = witness->instance;
@@ -65,5 +70,20 @@ int main() {
   std::cout << "\n\nShape check: the closure has no stable schedule, so "
                "Theorem 7's convergence precondition can fail; Section VII "
                "studies the resulting dynamic equilibrium.\n";
-  return reach.certified_nonconvergent() ? 0 : 1;
+
+  metrics.metric("certified_nonconvergent",
+                 reach.certified_nonconvergent() ? 1.0 : 0.0);
+  metrics.metric("closure_size", static_cast<double>(witness->closure_size));
+  metrics.counter("states_explored",
+                  static_cast<double>(reach.states_explored));
+  if (!reach.certified_nonconvergent()) {
+    throw std::runtime_error("witness failed certification");
+  }
 }
+
+}  // namespace
+
+DLB_BENCH_REGISTER("fig1_nonconvergence",
+                   "Figure 1 / Proposition 8: certified witness that DLB2C "
+                   "need not converge",
+                   run);

@@ -5,25 +5,31 @@
 // Both sub-figures are unimodal with the mode near 0.5, and essentially all
 // mass lies below 1.5 — the paper's headline observation.
 //
-// Pass --large to add the (much slower, memory-hungry) m = 8 cell of
-// sub-figure (b); the paper itself notes larger runs become prohibitive.
+// Smoke mode drops the larger (m, p_max) cells; the paper itself notes that
+// bigger state spaces quickly become prohibitive.
 
-#include <cstring>
+#include <algorithm>
 #include <iostream>
-#include <optional>
+#include <vector>
 
 #include "bench_util.hpp"
 #include "markov/makespan_pdf.hpp"
+#include "registry.hpp"
 #include "stats/ascii_plot.hpp"
 #include "stats/table.hpp"
 
 namespace {
 
-std::optional<std::string> g_csv_dir;
+struct CellStats {
+  double p_below_15 = 0.0;
+  double mean_normalized = 0.0;
+  std::size_t num_states = 0;
+};
 
-void print_analysis(const dlb::markov::SteadyStateAnalysis& analysis, int m,
-                    dlb::markov::Load p_max) {
+CellStats print_analysis(const dlb::bench::RunContext& ctx, int m,
+                         dlb::markov::Load p_max) {
   using dlb::stats::TablePrinter;
+  const auto analysis = dlb::markov::analyze_steady_state(m, p_max);
   std::cout << "m=" << m << " p_max=" << p_max << "  (total=" << analysis.total
             << ", states=" << analysis.num_states
             << ", sink=" << analysis.sink_size
@@ -39,9 +45,9 @@ void print_analysis(const dlb::markov::SteadyStateAnalysis& analysis, int m,
   bars.label_precision = 2;
   bars.value_precision = 6;
   dlb::stats::bar_chart(std::cout, xs, ps, bars);
-  if (g_csv_dir) {
+  if (ctx.csv_dir) {
     dlb::benchutil::CsvFile csv(
-        *g_csv_dir,
+        *ctx.csv_dir,
         "fig2_m" + std::to_string(m) + "_pmax" + std::to_string(p_max),
         {"makespan", "normalized", "probability"});
     for (const auto& point : analysis.pdf.points) {
@@ -56,35 +62,54 @@ void print_analysis(const dlb::markov::SteadyStateAnalysis& analysis, int m,
             << ",  P[x <= 1.5] = "
             << TablePrinter::fixed(analysis.pdf.cdf_normalized(1.5), 6)
             << "\n\n";
+  return {analysis.pdf.cdf_normalized(1.5), analysis.pdf.mean_normalized(),
+          analysis.num_states};
 }
 
-}  // namespace
+void run(const dlb::bench::RunContext& ctx, dlb::bench::MetricSet& metrics) {
+  std::size_t total_states = 0;
+  double min_p_below_15 = 1.0;
 
-int main(int argc, char** argv) {
-  const bool large =
-      argc > 1 && std::strcmp(argv[1], "--large") == 0;
-  g_csv_dir = dlb::benchutil::csv_dir(argc, argv);
-
-  std::cout << "Figure 2(a) — stationary makespan pdf, m = 6, varying "
-               "p_max\n============================================="
-               "===========\n\n";
-  for (const dlb::markov::Load p_max : {2, 3, 4, 5, 6}) {
-    print_analysis(dlb::markov::analyze_steady_state(6, p_max), 6, p_max);
+  const int m_a = static_cast<int>(ctx.scale(6, 5));
+  std::cout << "Figure 2(a) — stationary makespan pdf, m = " << m_a
+            << ", varying p_max\n"
+               "========================================================\n\n";
+  for (const dlb::markov::Load p_max :
+       ctx.smoke ? std::vector<dlb::markov::Load>{2, 3, 4}
+                 : std::vector<dlb::markov::Load>{2, 3, 4, 5, 6}) {
+    const CellStats cell = print_analysis(ctx, m_a, p_max);
+    total_states += cell.num_states;
+    min_p_below_15 = std::min(min_p_below_15, cell.p_below_15);
+    if (m_a == 6 && p_max == 4) {
+      metrics.metric("mean_normalized_m6_pmax4", cell.mean_normalized);
+    }
   }
 
   std::cout << "Figure 2(b) — stationary makespan pdf, p_max = 4, varying "
                "m\n============================================="
                "============\n\n";
-  for (const int m : {3, 4, 5, 6, 7}) {
-    print_analysis(dlb::markov::analyze_steady_state(m, 4), m, 4);
-  }
-  if (large) {
-    print_analysis(dlb::markov::analyze_steady_state(8, 4), 8, 4);
+  double last_mean = 0.0;
+  for (const int m : ctx.smoke ? std::vector<int>{3, 4, 5}
+                               : std::vector<int>{3, 4, 5, 6, 7}) {
+    const CellStats cell = print_analysis(ctx, m, 4);
+    total_states += cell.num_states;
+    min_p_below_15 = std::min(min_p_below_15, cell.p_below_15);
+    last_mean = cell.mean_normalized;
   }
 
   std::cout << "Shape check: every pdf is unimodal with mode ~0.5, larger "
                "p_max smooths the curve, larger m pushes mass slightly "
                "right, and P[x <= 1.5] ~ 1 everywhere (the paper's "
                "\"Cmax <= sum/m + 1.5 p_max with very high probability\").\n";
-  return 0;
+
+  metrics.metric("min_p_below_1p5", min_p_below_15);
+  metrics.metric("mean_normalized_largest_m", last_mean);
+  metrics.counter("markov_states", static_cast<double>(total_states));
 }
+
+}  // namespace
+
+DLB_BENCH_REGISTER("fig2_markov_pdf",
+                   "Figure 2: stationary makespan pdf of the one-cluster "
+                   "Markov model across (m, p_max)",
+                   run);

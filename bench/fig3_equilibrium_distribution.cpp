@@ -19,7 +19,7 @@
 #include "core/lower_bounds.hpp"
 #include "dist/dlb2c.hpp"
 #include "dist/ojtb.hpp"
-#include "parallel/monte_carlo.hpp"
+#include "registry.hpp"
 #include "stats/ascii_plot.hpp"
 #include "stats/histogram.hpp"
 #include "stats/summary.hpp"
@@ -51,7 +51,8 @@ Cost effective_pmax(const dlb::Instance& inst) {
 dlb::stats::Histogram equilibrium_histogram(const Config& config,
                                             std::size_t replications,
                                             std::uint64_t seed,
-                                            dlb::stats::SampleSet& samples) {
+                                            dlb::stats::SampleSet& samples,
+                                            std::uint64_t& exchanges) {
   dlb::stats::Histogram histogram(0.0, 2.0, 40);
   const std::size_t m = config.m1 + config.m2;
   for (std::size_t rep = 0; rep < replications; ++rep) {
@@ -82,6 +83,7 @@ dlb::stats::Histogram equilibrium_histogram(const Config& config,
     const dlb::dist::RunResult result =
         config.two_clusters ? dlb::dist::run_dlb2c(s, sample, rng)
                             : dlb::dist::run_ojtb(s, sample, rng);
+    exchanges += warmup.max_exchanges + result.exchanges;
     for (const Cost cmax : result.makespan_trace) {
       const double normalized = (cmax - lb) / p_eff;
       histogram.add(normalized);
@@ -124,10 +126,7 @@ void maybe_csv(const std::optional<std::string>& dir, const char* name,
   }
 }
 
-}  // namespace
-
-int main(int argc, char** argv) {
-  const auto csv = dlb::benchutil::csv_dir(argc, argv);
+void run(const dlb::bench::RunContext& ctx, dlb::bench::MetricSet& metrics) {
   std::cout << "Figure 3 — Cmax distribution in the dynamic equilibrium "
                "(768 jobs, costs U[1,1000])\n"
                "==========================================================="
@@ -135,24 +134,43 @@ int main(int argc, char** argv) {
 
   const Config heterogeneous{"two clusters 64+32 (DLB2C)", true, 64, 32};
   const Config homogeneous{"one cluster 96 (pairwise greedy)", false, 96, 0};
+  const std::size_t replications = ctx.scale(50, 6);
 
   dlb::stats::SampleSet het_samples;
   dlb::stats::SampleSet hom_samples;
-  auto het = equilibrium_histogram(heterogeneous, 50, 1000, het_samples);
-  auto hom = equilibrium_histogram(homogeneous, 50, 5000, hom_samples);
+  std::uint64_t exchanges = 0;
+  auto het = equilibrium_histogram(heterogeneous, replications, 1000,
+                                   het_samples, exchanges);
+  auto hom = equilibrium_histogram(homogeneous, replications, 5000,
+                                   hom_samples, exchanges);
   print_histogram(heterogeneous.name, het);
   print_histogram(homogeneous.name, hom);
-  maybe_csv(csv, "fig3_two_clusters", het);
-  maybe_csv(csv, "fig3_one_cluster", hom);
+  maybe_csv(ctx.csv_dir, "fig3_two_clusters", het);
+  maybe_csv(ctx.csv_dir, "fig3_one_cluster", hom);
 
+  const double ks = dlb::stats::ks_distance(het_samples, hom_samples);
   std::cout << "Kolmogorov-Smirnov distance between the two normalized "
                "distributions: "
-            << dlb::stats::TablePrinter::fixed(
-                   dlb::stats::ks_distance(het_samples, hom_samples), 4)
+            << dlb::stats::TablePrinter::fixed(ks, 4)
             << "  (0 = identical, 1 = disjoint)\n\n";
   std::cout << "Shape check: the two distributions are qualitatively alike "
                "(same support, similar quantiles, small KS distance) — the "
                "heterogeneous case behaves like the homogeneous one, and "
                "the equilibrium imbalance stays low.\n";
-  return 0;
+
+  metrics.metric("ks_distance", ks);
+  metrics.metric("het_p99", het.quantile(0.99));
+  metrics.metric("hom_p99", hom.quantile(0.99));
+  metrics.metric("het_mean", het.mean());
+  metrics.counter("exchanges", static_cast<double>(exchanges));
+  metrics.counter("equilibrium_samples",
+                  static_cast<double>(het_samples.size() +
+                                      hom_samples.size()));
 }
+
+}  // namespace
+
+DLB_BENCH_REGISTER("fig3_equilibrium_distribution",
+                   "Figure 3: Cmax distribution in DLB2C's dynamic "
+                   "equilibrium, heterogeneous vs homogeneous",
+                   run);

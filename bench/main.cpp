@@ -1,0 +1,6 @@
+// Entry point of `dlb_bench`, the unified benchmark driver. All logic
+// lives in runner.cpp so tests can call bench_main in-process.
+
+#include "runner.hpp"
+
+int main(int argc, char** argv) { return dlb::bench::bench_main(argc, argv); }

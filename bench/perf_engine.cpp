@@ -1,64 +1,95 @@
-// Microbenchmarks of the exchange engine (DLB2C steps at paper scale) and
-// of the work-stealing discrete-event simulator.
+// Microbenchmarks of the exchange engine (DLB2C steps at paper scale), the
+// work-stealing discrete-event simulator, and incremental schedule moves.
 
-#include <benchmark/benchmark.h>
+#include <cstdint>
+#include <iostream>
+#include <vector>
 
 #include "core/generators.hpp"
 #include "dist/dlb2c.hpp"
+#include "registry.hpp"
 #include "ws/work_stealing_sim.hpp"
 
 namespace {
 
-void BM_Dlb2cExchanges(benchmark::State& state) {
-  const auto machines = static_cast<std::size_t>(state.range(0));
-  const dlb::Instance inst = dlb::gen::two_cluster_uniform(
-      machines * 2 / 3, machines / 3, 768, 1.0, 1000.0, 1);
-  for (auto _ : state) {
-    state.PauseTiming();
-    dlb::Schedule s(inst, dlb::gen::random_assignment(inst, 2));
-    dlb::stats::Rng rng(3);
-    state.ResumeTiming();
-    dlb::dist::EngineOptions options;
-    options.max_exchanges = 5 * machines;
-    benchmark::DoNotOptimize(dlb::dist::run_dlb2c(s, options, rng));
+void run_dlb2c_exchanges(const dlb::bench::RunContext& ctx,
+                         dlb::bench::MetricSet& metrics) {
+  const std::size_t iters = ctx.scale(10, 2);
+  const std::vector<std::size_t> machine_counts =
+      ctx.smoke ? std::vector<std::size_t>{96, 384}
+                : std::vector<std::size_t>{96, 384, 768};
+  std::uint64_t exchanges = 0;
+  double checksum = 0.0;
+  for (const std::size_t machines : machine_counts) {
+    const dlb::Instance inst = dlb::gen::two_cluster_uniform(
+        machines * 2 / 3, machines / 3, 768, 1.0, 1000.0, 1);
+    for (std::size_t i = 0; i < iters; ++i) {
+      dlb::Schedule s(inst, dlb::gen::random_assignment(inst, 2));
+      dlb::stats::Rng rng(3);
+      dlb::dist::EngineOptions options;
+      options.max_exchanges = 5 * machines;
+      const dlb::dist::RunResult result =
+          dlb::dist::run_dlb2c(s, options, rng);
+      exchanges += result.exchanges;
+      checksum += result.final_makespan;
+    }
+    std::cout << "dlb2c exchanges, " << machines << " machines x " << iters
+              << " iters\n";
   }
-  state.SetItemsProcessed(state.iterations() * 5 * machines);
-  state.SetLabel("items = pairwise exchanges");
+  metrics.metric("checksum", checksum);
+  metrics.counter("exchanges", static_cast<double>(exchanges));
 }
-BENCHMARK(BM_Dlb2cExchanges)->Arg(96)->Arg(384)->Arg(768)
-    ->Unit(benchmark::kMillisecond);
 
-void BM_WorkStealingSim(benchmark::State& state) {
-  const auto machines = static_cast<std::size_t>(state.range(0));
-  const dlb::Instance inst =
-      dlb::gen::identical_uniform(machines, 768, 1.0, 1000.0, 4);
-  const dlb::Assignment initial = dlb::gen::random_assignment(inst, 5);
-  for (auto _ : state) {
-    dlb::ws::WsOptions options;
-    options.retry_delay = 1.0;
-    benchmark::DoNotOptimize(
-        dlb::ws::simulate_work_stealing(inst, initial, options));
+void run_work_stealing_sim(const dlb::bench::RunContext& ctx,
+                           dlb::bench::MetricSet& metrics) {
+  const std::size_t iters = ctx.scale(20, 5);
+  std::uint64_t jobs_run = 0;
+  double checksum = 0.0;
+  for (const std::size_t machines : {16u, 96u}) {
+    const dlb::Instance inst =
+        dlb::gen::identical_uniform(machines, 768, 1.0, 1000.0, 4);
+    const dlb::Assignment initial = dlb::gen::random_assignment(inst, 5);
+    for (std::size_t i = 0; i < iters; ++i) {
+      dlb::ws::WsOptions options;
+      options.retry_delay = 1.0;
+      checksum +=
+          dlb::ws::simulate_work_stealing(inst, initial, options).makespan;
+      jobs_run += 768;
+    }
+    std::cout << "work-stealing sim, " << machines << " machines x " << iters
+              << " iters\n";
   }
-  state.SetItemsProcessed(state.iterations() * 768);
+  metrics.metric("checksum", checksum);
+  metrics.counter("jobs_simulated", static_cast<double>(jobs_run));
 }
-BENCHMARK(BM_WorkStealingSim)->Arg(16)->Arg(96)
-    ->Unit(benchmark::kMillisecond);
 
-void BM_ScheduleMoves(benchmark::State& state) {
+void run_schedule_moves(const dlb::bench::RunContext& ctx,
+                        dlb::bench::MetricSet& metrics) {
+  const std::size_t moves = ctx.scale(200000, 20000);
   const dlb::Instance inst =
       dlb::gen::two_cluster_uniform(64, 32, 768, 1.0, 1000.0, 6);
   dlb::Schedule s(inst, dlb::gen::random_assignment(inst, 7));
   dlb::stats::Rng rng(8);
-  for (auto _ : state) {
+  double checksum = 0.0;
+  for (std::size_t i = 0; i < moves; ++i) {
     const auto j = static_cast<dlb::JobId>(rng.below(768));
     const auto to = static_cast<dlb::MachineId>(rng.below(96));
     s.move(j, to);
-    benchmark::DoNotOptimize(s.makespan());
+    checksum += s.makespan();
   }
-  state.SetItemsProcessed(state.iterations());
+  std::cout << "schedule moves + makespan query, " << moves << " moves\n";
+  metrics.metric("checksum", checksum);
+  metrics.counter("moves", static_cast<double>(moves));
 }
-BENCHMARK(BM_ScheduleMoves);
 
 }  // namespace
 
-BENCHMARK_MAIN();
+DLB_BENCH_REGISTER("perf_engine_dlb2c_exchanges",
+                   "Perf: DLB2C exchange-engine throughput at paper scale",
+                   run_dlb2c_exchanges);
+DLB_BENCH_REGISTER("perf_engine_work_stealing_sim",
+                   "Perf: work-stealing discrete-event simulator throughput",
+                   run_work_stealing_sim);
+DLB_BENCH_REGISTER("perf_engine_schedule_moves",
+                   "Perf: incremental schedule move + makespan query",
+                   run_schedule_moves);

@@ -1,83 +1,140 @@
-// Microbenchmarks of the balancing kernels and centralized algorithms
-// (google-benchmark). Not a paper figure: standard throughput data for an
-// open-source release.
+// Microbenchmarks of the balancing kernels and centralized algorithms.
+// Not a paper figure: throughput data for an open-source release. The
+// harness times whole replications, so each experiment performs a fixed,
+// deterministic batch of work per rep and reports the item count; the
+// runner derives items/s from the median wall time.
 
-#include <benchmark/benchmark.h>
+#include <cstdint>
+#include <iostream>
+#include <vector>
 
 #include "centralized/clb2c.hpp"
 #include "centralized/ect.hpp"
 #include "centralized/list_scheduling.hpp"
-#include "centralized/lpt.hpp"
 #include "core/generators.hpp"
-#include "dist/dlb2c.hpp"
 #include "pairwise/basic_greedy.hpp"
 #include "pairwise/pair_clb2c.hpp"
+#include "registry.hpp"
 
 namespace {
 
-void BM_BasicGreedyPair(benchmark::State& state) {
-  const auto jobs_per_machine = static_cast<std::size_t>(state.range(0));
-  const dlb::Instance inst =
-      dlb::gen::uniform_unrelated(2, 2 * jobs_per_machine, 1.0, 1000.0, 1);
+void run_basic_greedy_pair(const dlb::bench::RunContext& ctx,
+                           dlb::bench::MetricSet& metrics) {
+  const std::size_t iters = ctx.scale(200, 20);
   const dlb::pairwise::BasicGreedyKernel kernel;
-  for (auto _ : state) {
-    state.PauseTiming();
-    dlb::Schedule s(inst, dlb::gen::random_assignment(inst, 2));
-    state.ResumeTiming();
-    benchmark::DoNotOptimize(kernel.balance(s, 0, 1));
+  std::uint64_t items = 0;
+  double checksum = 0.0;
+  for (const std::size_t jobs_per_machine : {8u, 64u, 512u}) {
+    const dlb::Instance inst = dlb::gen::uniform_unrelated(
+        2, 2 * jobs_per_machine, 1.0, 1000.0, 1);
+    for (std::size_t i = 0; i < iters; ++i) {
+      dlb::Schedule s(inst, dlb::gen::random_assignment(inst, 2));
+      kernel.balance(s, 0, 1);
+      checksum += s.makespan();
+      items += 2 * jobs_per_machine;
+    }
+    std::cout << "basic_greedy pair, " << 2 * jobs_per_machine << " jobs x "
+              << iters << " iters\n";
   }
-  state.SetItemsProcessed(state.iterations() * 2 * jobs_per_machine);
+  metrics.metric("checksum", checksum);
+  metrics.counter("jobs_balanced", static_cast<double>(items));
 }
-BENCHMARK(BM_BasicGreedyPair)->Arg(8)->Arg(64)->Arg(512);
 
-void BM_PairClb2c(benchmark::State& state) {
-  const auto jobs = static_cast<std::size_t>(state.range(0));
-  const dlb::Instance inst =
-      dlb::gen::two_cluster_uniform(1, 1, jobs, 1.0, 1000.0, 3);
+void run_pair_clb2c(const dlb::bench::RunContext& ctx,
+                    dlb::bench::MetricSet& metrics) {
+  const std::size_t iters = ctx.scale(200, 20);
   const dlb::pairwise::PairClb2cKernel kernel;
-  for (auto _ : state) {
-    state.PauseTiming();
-    dlb::Schedule s(inst, dlb::gen::random_assignment(inst, 4));
-    state.ResumeTiming();
-    benchmark::DoNotOptimize(kernel.balance(s, 0, 1));
+  std::uint64_t items = 0;
+  double checksum = 0.0;
+  for (const std::size_t jobs : {16u, 128u, 1024u}) {
+    const dlb::Instance inst =
+        dlb::gen::two_cluster_uniform(1, 1, jobs, 1.0, 1000.0, 3);
+    for (std::size_t i = 0; i < iters; ++i) {
+      dlb::Schedule s(inst, dlb::gen::random_assignment(inst, 4));
+      kernel.balance(s, 0, 1);
+      checksum += s.makespan();
+      items += jobs;
+    }
+    std::cout << "pair_clb2c, " << jobs << " jobs x " << iters << " iters\n";
   }
-  state.SetItemsProcessed(state.iterations() * jobs);
+  metrics.metric("checksum", checksum);
+  metrics.counter("jobs_balanced", static_cast<double>(items));
 }
-BENCHMARK(BM_PairClb2c)->Arg(16)->Arg(128)->Arg(1024);
 
-void BM_Clb2cSchedule(benchmark::State& state) {
-  const auto jobs = static_cast<std::size_t>(state.range(0));
-  const dlb::Instance inst =
-      dlb::gen::two_cluster_uniform(64, 32, jobs, 1.0, 1000.0, 5);
-  for (auto _ : state) {
-    benchmark::DoNotOptimize(dlb::centralized::clb2c_schedule(inst));
+void run_clb2c_schedule(const dlb::bench::RunContext& ctx,
+                        dlb::bench::MetricSet& metrics) {
+  const std::size_t iters = ctx.scale(20, 3);
+  const std::vector<std::size_t> sizes =
+      ctx.smoke ? std::vector<std::size_t>{768, 4096}
+                : std::vector<std::size_t>{768, 4096, 16384};
+  std::uint64_t items = 0;
+  double checksum = 0.0;
+  for (const std::size_t jobs : sizes) {
+    const dlb::Instance inst =
+        dlb::gen::two_cluster_uniform(64, 32, jobs, 1.0, 1000.0, 5);
+    for (std::size_t i = 0; i < iters; ++i) {
+      checksum += dlb::centralized::clb2c_schedule(inst).makespan();
+      items += jobs;
+    }
+    std::cout << "clb2c_schedule, 96 machines, " << jobs << " jobs x "
+              << iters << " iters\n";
   }
-  state.SetItemsProcessed(state.iterations() * jobs);
+  metrics.metric("checksum", checksum);
+  metrics.counter("jobs_scheduled", static_cast<double>(items));
 }
-BENCHMARK(BM_Clb2cSchedule)->Arg(768)->Arg(4096)->Arg(16384);
 
-void BM_ListSchedule(benchmark::State& state) {
-  const auto jobs = static_cast<std::size_t>(state.range(0));
-  const dlb::Instance inst =
-      dlb::gen::identical_uniform(96, jobs, 1.0, 1000.0, 6);
-  for (auto _ : state) {
-    benchmark::DoNotOptimize(dlb::centralized::list_schedule(inst));
+void run_list_schedule(const dlb::bench::RunContext& ctx,
+                       dlb::bench::MetricSet& metrics) {
+  const std::size_t iters = ctx.scale(20, 3);
+  std::uint64_t items = 0;
+  double checksum = 0.0;
+  for (const std::size_t jobs : {768u, 16384u}) {
+    const dlb::Instance inst =
+        dlb::gen::identical_uniform(96, jobs, 1.0, 1000.0, 6);
+    for (std::size_t i = 0; i < iters; ++i) {
+      checksum += dlb::centralized::list_schedule(inst).makespan();
+      items += jobs;
+    }
+    std::cout << "list_schedule, 96 machines, " << jobs << " jobs x "
+              << iters << " iters\n";
   }
-  state.SetItemsProcessed(state.iterations() * jobs);
+  metrics.metric("checksum", checksum);
+  metrics.counter("jobs_scheduled", static_cast<double>(items));
 }
-BENCHMARK(BM_ListSchedule)->Arg(768)->Arg(16384);
 
-void BM_EctSchedule(benchmark::State& state) {
-  const auto jobs = static_cast<std::size_t>(state.range(0));
-  const dlb::Instance inst =
-      dlb::gen::uniform_unrelated(96, jobs, 1.0, 1000.0, 7);
-  for (auto _ : state) {
-    benchmark::DoNotOptimize(dlb::centralized::ect_schedule(inst));
+void run_ect_schedule(const dlb::bench::RunContext& ctx,
+                      dlb::bench::MetricSet& metrics) {
+  const std::size_t iters = ctx.scale(20, 3);
+  std::uint64_t items = 0;
+  double checksum = 0.0;
+  for (const std::size_t jobs : {768u, 4096u}) {
+    const dlb::Instance inst =
+        dlb::gen::uniform_unrelated(96, jobs, 1.0, 1000.0, 7);
+    for (std::size_t i = 0; i < iters; ++i) {
+      checksum += dlb::centralized::ect_schedule(inst).makespan();
+      items += jobs;
+    }
+    std::cout << "ect_schedule, 96 machines, " << jobs << " jobs x " << iters
+              << " iters\n";
   }
-  state.SetItemsProcessed(state.iterations() * jobs);
+  metrics.metric("checksum", checksum);
+  metrics.counter("jobs_scheduled", static_cast<double>(items));
 }
-BENCHMARK(BM_EctSchedule)->Arg(768)->Arg(4096);
 
 }  // namespace
 
-BENCHMARK_MAIN();
+DLB_BENCH_REGISTER("perf_kernels_basic_greedy_pair",
+                   "Perf: BasicGreedy pairwise balance kernel throughput",
+                   run_basic_greedy_pair);
+DLB_BENCH_REGISTER("perf_kernels_pair_clb2c",
+                   "Perf: PairCLB2C pairwise balance kernel throughput",
+                   run_pair_clb2c);
+DLB_BENCH_REGISTER("perf_kernels_clb2c_schedule",
+                   "Perf: centralized CLB2C scheduling throughput",
+                   run_clb2c_schedule);
+DLB_BENCH_REGISTER("perf_kernels_list_schedule",
+                   "Perf: centralized list scheduling throughput",
+                   run_list_schedule);
+DLB_BENCH_REGISTER("perf_kernels_ect_schedule",
+                   "Perf: centralized ECT scheduling throughput",
+                   run_ect_schedule);

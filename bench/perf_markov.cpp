@@ -1,58 +1,114 @@
 // Microbenchmarks of the Markov-chain pipeline: state enumeration,
 // transition construction, SCC, stationary solve.
 
-#include <benchmark/benchmark.h>
+#include <cstdint>
+#include <iostream>
+#include <utility>
+#include <vector>
 
 #include "markov/makespan_pdf.hpp"
 #include "markov/scc.hpp"
+#include "registry.hpp"
 
 namespace {
 
-void BM_EnumerateStates(benchmark::State& state) {
-  const int m = static_cast<int>(state.range(0));
-  const auto p_max = static_cast<dlb::markov::Load>(state.range(1));
-  const dlb::markov::Load total = p_max * m * (m - 1) / 2;
-  for (auto _ : state) {
-    benchmark::DoNotOptimize(dlb::markov::StateSpace::enumerate(m, total));
+void run_enumerate_states(const dlb::bench::RunContext& ctx,
+                          dlb::bench::MetricSet& metrics) {
+  const std::size_t iters = ctx.scale(5, 2);
+  using Config = std::pair<int, dlb::markov::Load>;
+  const std::vector<Config> configs =
+      ctx.smoke ? std::vector<Config>{{4, 4}, {6, 4}}
+                : std::vector<Config>{{4, 4}, {6, 4}, {6, 6}};
+  std::uint64_t states = 0;
+  for (const auto& [m, p_max] : configs) {
+    const dlb::markov::Load total = p_max * m * (m - 1) / 2;
+    for (std::size_t i = 0; i < iters; ++i) {
+      states += dlb::markov::StateSpace::enumerate(m, total).size();
+    }
+    std::cout << "enumerate states, m=" << m << " p_max=" << p_max << " x "
+              << iters << " iters\n";
   }
+  metrics.metric("checksum", static_cast<double>(states));
+  metrics.counter("states_enumerated", static_cast<double>(states));
 }
-BENCHMARK(BM_EnumerateStates)->Args({4, 4})->Args({6, 4})->Args({6, 6});
 
-void BM_BuildTransitions(benchmark::State& state) {
-  const int m = static_cast<int>(state.range(0));
-  const auto p_max = static_cast<dlb::markov::Load>(state.range(1));
-  const dlb::markov::Load total = p_max * m * (m - 1) / 2;
-  const auto space = dlb::markov::StateSpace::enumerate(m, total);
-  for (auto _ : state) {
-    benchmark::DoNotOptimize(
-        dlb::markov::TransitionMatrix::build(space, p_max));
+void run_build_transitions(const dlb::bench::RunContext& ctx,
+                           dlb::bench::MetricSet& metrics) {
+  const std::size_t iters = ctx.scale(5, 2);
+  using Config = std::pair<int, dlb::markov::Load>;
+  const std::vector<Config> configs =
+      ctx.smoke ? std::vector<Config>{{4, 4}, {5, 4}}
+                : std::vector<Config>{{4, 4}, {5, 4}, {6, 4}};
+  std::uint64_t edges = 0;
+  for (const auto& [m, p_max] : configs) {
+    const dlb::markov::Load total = p_max * m * (m - 1) / 2;
+    const auto space = dlb::markov::StateSpace::enumerate(m, total);
+    for (std::size_t i = 0; i < iters; ++i) {
+      edges += dlb::markov::TransitionMatrix::build(space, p_max).num_edges();
+    }
+    std::cout << "build transitions, m=" << m << " (" << space.size()
+              << " states) x " << iters << " iters\n";
   }
-  state.counters["states"] = static_cast<double>(space.size());
+  metrics.metric("checksum", static_cast<double>(edges));
+  metrics.counter("edges_built", static_cast<double>(edges));
 }
-BENCHMARK(BM_BuildTransitions)->Args({4, 4})->Args({5, 4})->Args({6, 4});
 
-void BM_Scc(benchmark::State& state) {
-  const int m = static_cast<int>(state.range(0));
-  const dlb::markov::Load p_max = 4;
-  const dlb::markov::Load total = p_max * m * (m - 1) / 2;
-  const auto space = dlb::markov::StateSpace::enumerate(m, total);
-  const auto matrix = dlb::markov::TransitionMatrix::build(space, p_max);
-  for (auto _ : state) {
-    benchmark::DoNotOptimize(dlb::markov::strongly_connected_components(matrix));
+void run_scc(const dlb::bench::RunContext& ctx,
+             dlb::bench::MetricSet& metrics) {
+  const std::size_t iters = ctx.scale(10, 3);
+  const std::vector<int> machine_counts =
+      ctx.smoke ? std::vector<int>{4, 5} : std::vector<int>{4, 5, 6};
+  std::uint64_t components = 0;
+  std::uint64_t edges = 0;
+  for (const int m : machine_counts) {
+    const dlb::markov::Load p_max = 4;
+    const dlb::markov::Load total = p_max * m * (m - 1) / 2;
+    const auto space = dlb::markov::StateSpace::enumerate(m, total);
+    const auto matrix = dlb::markov::TransitionMatrix::build(space, p_max);
+    for (std::size_t i = 0; i < iters; ++i) {
+      components +=
+          dlb::markov::strongly_connected_components(matrix).num_components;
+      edges += matrix.num_edges();
+    }
+    std::cout << "SCC, m=" << m << " (" << matrix.num_edges() << " edges) x "
+              << iters << " iters\n";
   }
-  state.counters["edges"] = static_cast<double>(matrix.num_edges());
+  metrics.metric("checksum", static_cast<double>(components));
+  metrics.counter("edges_processed", static_cast<double>(edges));
 }
-BENCHMARK(BM_Scc)->Arg(4)->Arg(5)->Arg(6);
 
-void BM_FullSteadyStateAnalysis(benchmark::State& state) {
-  const int m = static_cast<int>(state.range(0));
-  for (auto _ : state) {
-    benchmark::DoNotOptimize(dlb::markov::analyze_steady_state(m, 4));
+void run_steady_state(const dlb::bench::RunContext& ctx,
+                      dlb::bench::MetricSet& metrics) {
+  const std::size_t iters = ctx.scale(3, 1);
+  const std::vector<int> machine_counts =
+      ctx.smoke ? std::vector<int>{4, 5} : std::vector<int>{4, 5, 6};
+  std::uint64_t analyses = 0;
+  double checksum = 0.0;
+  for (const int m : machine_counts) {
+    for (std::size_t i = 0; i < iters; ++i) {
+      const auto analysis = dlb::markov::analyze_steady_state(m, 4);
+      checksum += static_cast<double>(analysis.sink_max_makespan);
+      ++analyses;
+    }
+    std::cout << "full steady-state analysis, m=" << m << " x " << iters
+              << " iters\n";
   }
+  metrics.metric("checksum", checksum);
+  metrics.counter("analyses", static_cast<double>(analyses));
 }
-BENCHMARK(BM_FullSteadyStateAnalysis)->Arg(4)->Arg(5)->Arg(6)
-    ->Unit(benchmark::kMillisecond);
 
 }  // namespace
 
-BENCHMARK_MAIN();
+DLB_BENCH_REGISTER("perf_markov_enumerate_states",
+                   "Perf: Markov state-space enumeration throughput",
+                   run_enumerate_states);
+DLB_BENCH_REGISTER("perf_markov_build_transitions",
+                   "Perf: transition-matrix construction throughput",
+                   run_build_transitions);
+DLB_BENCH_REGISTER("perf_markov_scc",
+                   "Perf: strongly-connected-components pass over the chain",
+                   run_scc);
+DLB_BENCH_REGISTER("perf_markov_steady_state",
+                   "Perf: full steady-state pipeline (enumerate + build + "
+                   "SCC + stationary solve)",
+                   run_steady_state);

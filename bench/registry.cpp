@@ -1,0 +1,63 @@
+#include "registry.hpp"
+
+#include <algorithm>
+#include <regex>
+#include <stdexcept>
+
+namespace dlb::bench {
+
+std::optional<double> MetricSet::metric_value(const std::string& name) const {
+  for (const auto& [key, value] : metrics_) {
+    if (key == name) return value;
+  }
+  return std::nullopt;
+}
+
+void MetricSet::upsert(std::vector<std::pair<std::string, double>>& list,
+                       const std::string& name, double value) {
+  for (auto& [key, existing] : list) {
+    if (key == name) {
+      existing = value;
+      return;
+    }
+  }
+  list.emplace_back(name, value);
+}
+
+Registry& Registry::global() {
+  static Registry registry;
+  return registry;
+}
+
+void Registry::add(Experiment experiment) {
+  for (const Experiment& existing : experiments_) {
+    if (existing.name == experiment.name) {
+      throw std::logic_error("duplicate bench experiment: " + experiment.name);
+    }
+  }
+  experiments_.push_back(std::move(experiment));
+}
+
+std::vector<const Experiment*> Registry::sorted() const {
+  std::vector<const Experiment*> view;
+  view.reserve(experiments_.size());
+  for (const Experiment& experiment : experiments_) view.push_back(&experiment);
+  std::sort(view.begin(), view.end(),
+            [](const Experiment* a, const Experiment* b) {
+              return a->name < b->name;
+            });
+  return view;
+}
+
+std::vector<const Experiment*> Registry::match(
+    const std::string& filter) const {
+  std::vector<const Experiment*> view = sorted();
+  if (filter.empty()) return view;
+  const std::regex pattern(filter);
+  std::erase_if(view, [&pattern](const Experiment* experiment) {
+    return !std::regex_search(experiment->name, pattern);
+  });
+  return view;
+}
+
+}  // namespace dlb::bench

@@ -1,0 +1,138 @@
+#pragma once
+
+// The bench registry: every experiment (paper figure/table reproduction,
+// extension study, perf microbenchmark) registers itself under a stable
+// name and runs through the single `dlb_bench` driver. Registration is a
+// static object per translation unit (the experiment TUs are linked into
+// the driver directly, so no linker dead-stripping can drop them).
+
+#include <cstddef>
+#include <functional>
+#include <optional>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "parallel/thread_pool.hpp"
+
+namespace dlb::bench {
+
+/// Per-run knobs handed to every experiment body.
+struct RunContext {
+  /// CI mode: experiments shrink replication counts and sweep ranges so the
+  /// whole suite finishes in well under two minutes.
+  bool smoke = false;
+  /// When set, experiments additionally dump their series as CSV files into
+  /// this directory (the pre-registry `--csv DIR` behaviour). The runner
+  /// only sets it on the reporting repetition, so files are written once.
+  std::optional<std::string> csv_dir;
+  /// Thread pool for `parallel::run_replications`; nullptr = sequential.
+  /// Results are pool-size-invariant by construction (per-rep RNG streams).
+  parallel::ThreadPool* pool = nullptr;
+
+  /// Convenience: pick the full-size or the smoke-size value of a knob.
+  [[nodiscard]] std::size_t scale(std::size_t full,
+                                  std::size_t smoke_size) const {
+    return smoke ? smoke_size : full;
+  }
+};
+
+/// Ordered name -> value telemetry collected by an experiment run.
+///
+/// `metric` values are quality results (makespan ratios, certified counts,
+/// KS distances, ...): deterministic for a fixed seed and gated against the
+/// checked-in baseline. `counter` values are work totals (exchanges,
+/// migrations, states, jobs placed); the runner derives throughput rates
+/// from them by dividing by the measured wall time.
+class MetricSet {
+ public:
+  /// Sets (or overwrites) a quality metric.
+  void metric(const std::string& name, double value) {
+    upsert(metrics_, name, value);
+  }
+  /// Sets (or overwrites) a work counter.
+  void counter(const std::string& name, double total) {
+    upsert(counters_, name, total);
+  }
+
+  [[nodiscard]] const std::vector<std::pair<std::string, double>>& metrics()
+      const noexcept {
+    return metrics_;
+  }
+  [[nodiscard]] const std::vector<std::pair<std::string, double>>& counters()
+      const noexcept {
+    return counters_;
+  }
+
+  /// Value of a metric, if present (test convenience).
+  [[nodiscard]] std::optional<double> metric_value(
+      const std::string& name) const;
+
+  void clear() {
+    metrics_.clear();
+    counters_.clear();
+  }
+
+ private:
+  static void upsert(std::vector<std::pair<std::string, double>>& list,
+                     const std::string& name, double value);
+
+  std::vector<std::pair<std::string, double>> metrics_;
+  std::vector<std::pair<std::string, double>> counters_;
+};
+
+/// An experiment body: runs the workload, prints its human-readable report
+/// to std::cout (suppressed by the runner on timing repetitions), and fills
+/// the MetricSet. Throws std::runtime_error when a shape check fails.
+using BenchFn = std::function<void(const RunContext&, MetricSet&)>;
+
+struct Experiment {
+  std::string name;
+  std::string description;
+  BenchFn fn;
+};
+
+/// Process-wide experiment table.
+class Registry {
+ public:
+  /// The global registry that DLB_BENCH_REGISTER populates.
+  static Registry& global();
+
+  /// Registers an experiment; throws std::logic_error on a duplicate name.
+  void add(Experiment experiment);
+
+  /// All experiments sorted by name (registration order depends on link
+  /// order, so every consumer iterates the sorted view).
+  [[nodiscard]] std::vector<const Experiment*> sorted() const;
+
+  /// Experiments whose name matches the ECMAScript regex `filter`
+  /// (unanchored search; empty matches everything), sorted by name.
+  [[nodiscard]] std::vector<const Experiment*> match(
+      const std::string& filter) const;
+
+  [[nodiscard]] std::size_t size() const noexcept {
+    return experiments_.size();
+  }
+
+ private:
+  std::vector<Experiment> experiments_;
+};
+
+/// Registers an experiment with the global registry at static-init time.
+struct Registrar {
+  Registrar(std::string name, std::string description, BenchFn fn) {
+    Registry::global().add(
+        {std::move(name), std::move(description), std::move(fn)});
+  }
+};
+
+#define DLB_BENCH_CONCAT_IMPL(a, b) a##b
+#define DLB_BENCH_CONCAT(a, b) DLB_BENCH_CONCAT_IMPL(a, b)
+
+/// File-scope experiment registration:
+///   DLB_BENCH_REGISTER("fig4_cmax_over_time", "Figure 4 - ...", run);
+#define DLB_BENCH_REGISTER(name, description, fn)                         \
+  static const ::dlb::bench::Registrar DLB_BENCH_CONCAT(                  \
+      dlb_bench_registrar_, __COUNTER__){name, description, fn}
+
+}  // namespace dlb::bench

@@ -1,0 +1,74 @@
+#pragma once
+
+// Drives registered experiments: warmup + timed repetitions, wall-time
+// statistics, throughput rates, and the versioned BENCH_perf.json schema.
+
+#include <cstddef>
+#include <optional>
+#include <ostream>
+#include <string>
+#include <vector>
+
+#include "registry.hpp"
+#include "stats/json.hpp"
+
+namespace dlb::bench {
+
+/// Version of the JSON document layout; bump when fields move or change
+/// meaning so `tools/check_bench_regression.py` can refuse mixed diffs.
+inline constexpr int kJsonSchemaVersion = 1;
+
+struct RunnerOptions {
+  /// Unanchored ECMAScript regex over experiment names; empty = all.
+  std::string filter;
+  /// Timed repetitions per experiment (>= 1).
+  std::size_t reps = 3;
+  /// Untimed warmup repetitions before the timed ones.
+  std::size_t warmup = 1;
+  /// Smoke mode: experiments run their reduced CI-sized configuration.
+  bool smoke = false;
+  /// Worker threads for replication sweeps (0 = hardware, 1 = sequential).
+  std::size_t threads = 1;
+  /// Forwarded to experiments for their CSV series dumps.
+  std::optional<std::string> csv_dir;
+  /// Suppress the experiments' human-readable reports entirely.
+  bool quiet = false;
+  /// When false, the JSON omits wall-clock timing, derived rates and the
+  /// environment block, leaving only deterministic content — byte-identical
+  /// across thread counts and repetition counts for a fixed build.
+  bool with_timing = true;
+};
+
+struct TimingSummary {
+  double min_s = 0.0;
+  double median_s = 0.0;
+  double p95_s = 0.0;
+  double mean_s = 0.0;
+  std::size_t reps = 0;
+};
+
+struct ExperimentResult {
+  std::string name;
+  std::string description;
+  bool ok = true;
+  std::string error;
+  MetricSet metrics;
+  TimingSummary timing;
+};
+
+/// Runs every experiment of `registry` matching `options.filter` and
+/// returns one result per experiment (in name order). Progress lines go to
+/// `log` (std::clog in the driver); the experiments' own reports go to
+/// std::cout on the first repetition unless `options.quiet`.
+[[nodiscard]] std::vector<ExperimentResult> run_experiments(
+    const Registry& registry, const RunnerOptions& options, std::ostream& log);
+
+/// Builds the schema-versioned JSON document for a completed run.
+[[nodiscard]] stats::Json results_to_json(
+    const std::vector<ExperimentResult>& results, const RunnerOptions& options);
+
+/// The `dlb_bench` entry point (parsing argv, running, writing outputs).
+/// Split from main() so tests can drive the full CLI in-process.
+int bench_main(int argc, const char* const* argv);
+
+}  // namespace dlb::bench

@@ -6,10 +6,14 @@
 #include <iostream>
 
 #include "core/generators.hpp"
+#include "registry.hpp"
 #include "stats/table.hpp"
 #include "ws/work_stealing_sim.hpp"
 
-int main() {
+namespace {
+
+void run(const dlb::bench::RunContext& /*ctx*/,
+         dlb::bench::MetricSet& metrics) {
   using dlb::stats::TablePrinter;
 
   std::cout << "Table I / Theorem 1 — work stealing on the adversarial "
@@ -17,6 +21,9 @@ int main() {
                "(initial distribution keeps every machine busy until n; "
                "OPT = 2)\n\n";
 
+  double largest_ratio = 0.0;
+  double largest_n = 0.0;
+  std::uint64_t steal_attempts = 0;
   TablePrinter table({"n", "first_steal", "WS_makespan", "OPT",
                       "ratio_WS/OPT", "expected_shape"});
   for (const double n : {10.0, 100.0, 1000.0, 10000.0, 100000.0}) {
@@ -26,15 +33,30 @@ int main() {
     options.retry_delay = 0.01;
     const auto result =
         dlb::ws::simulate_work_stealing(trap.instance, trap.initial, options);
+    largest_ratio = result.makespan / trap.optimal_makespan;
+    largest_n = n;
+    steal_attempts += result.steal_attempts;
     table.add_row({TablePrinter::fixed(n, 0),
                    TablePrinter::fixed(result.first_successful_steal, 2),
                    TablePrinter::fixed(result.makespan, 2),
                    TablePrinter::fixed(trap.optimal_makespan, 0),
-                   TablePrinter::fixed(result.makespan / trap.optimal_makespan, 1),
+                   TablePrinter::fixed(
+                       result.makespan / trap.optimal_makespan, 1),
                    "~n/2 (unbounded)"});
   }
   table.print(std::cout);
   std::cout << "\nShape check: the ratio grows linearly in n — no constant "
                "approximation factor exists for a-posteriori stealing.\n";
-  return 0;
+
+  // The unbounded-ratio certificate, normalized so it is size-invariant:
+  // Theorem 1 predicts ratio ~ n/2, so ratio/n should sit near 0.5.
+  metrics.metric("ratio_over_n_at_largest", largest_ratio / largest_n);
+  metrics.counter("steal_attempts", static_cast<double>(steal_attempts));
 }
+
+}  // namespace
+
+DLB_BENCH_REGISTER("table1_work_stealing_worst",
+                   "Table I / Theorem 1: unbounded work-stealing ratio on "
+                   "the adversarial unrelated-machine trap",
+                   run);

@@ -4,26 +4,37 @@
 // optimal balancing and (b) the resulting global ratio grows with n.
 
 #include <iostream>
+#include <stdexcept>
 
 #include "core/generators.hpp"
 #include "core/schedule.hpp"
 #include "dist/convergence.hpp"
 #include "pairwise/pairwise_optimal.hpp"
+#include "registry.hpp"
 #include "stats/table.hpp"
 
-int main() {
+namespace {
+
+void run(const dlb::bench::RunContext& /*ctx*/,
+         dlb::bench::MetricSet& metrics) {
   using dlb::stats::TablePrinter;
 
   std::cout << "Table II / Proposition 2 — pairwise-optimal balancing stuck "
                "at factor n (3 machines, 3 jobs, costs {1, n, n^2})\n\n";
 
   const dlb::pairwise::PairwiseOptimalKernel kernel;
+  std::size_t stable_count = 0;
+  std::size_t cases = 0;
+  double largest_ratio_over_n = 0.0;
   TablePrinter table({"n", "Cmax(trap)", "pairwise_stable", "OPT",
                       "ratio", "expected_shape"});
   for (const double n : {10.0, 100.0, 1000.0, 10000.0}) {
     const auto trap = dlb::gen::table2_pairwise_trap(n);
     dlb::Schedule s(trap.instance, trap.initial);
     const bool stable = dlb::dist::is_stable(s, kernel);
+    ++cases;
+    if (stable) ++stable_count;
+    largest_ratio_over_n = s.makespan() / trap.optimal_makespan / n;
     table.add_row({TablePrinter::fixed(n, 0),
                    TablePrinter::fixed(s.makespan(), 1),
                    stable ? "yes" : "NO (bug)",
@@ -35,5 +46,18 @@ int main() {
   std::cout << "\nShape check: every pair is optimally balanced (stable), "
                "yet the global ratio equals n — pair-local optimality gives "
                "no global guarantee on unrelated machines.\n";
-  return 0;
+
+  metrics.metric("stable_fraction", static_cast<double>(stable_count) /
+                                        static_cast<double>(cases));
+  metrics.metric("ratio_over_n_at_largest", largest_ratio_over_n);
+  if (stable_count != cases) {
+    throw std::runtime_error("a Proposition 2 trap was not pairwise stable");
+  }
 }
+
+}  // namespace
+
+DLB_BENCH_REGISTER("table2_pairwise_optimal_worst",
+                   "Table II / Proposition 2: pairwise-optimal schedules a "
+                   "factor n from OPT, certified stable",
+                   run);

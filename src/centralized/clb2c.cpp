@@ -24,7 +24,8 @@ Schedule clb2c_schedule(const Instance& instance, Clb2cOrdering ordering) {
   // Min-heap of (load, machine) per cluster; every pop is followed by a
   // push, so entries are never stale.
   using Entry = std::pair<Cost, MachineId>;
-  using MinHeap = std::priority_queue<Entry, std::vector<Entry>, std::greater<>>;
+  using MinHeap =
+      std::priority_queue<Entry, std::vector<Entry>, std::greater<>>;
   MinHeap heap1;
   MinHeap heap2;
   for (MachineId i : instance.machines_in_group(0)) heap1.emplace(0.0, i);

@@ -43,6 +43,7 @@ struct LenstraResult {
 /// makespan <= 2 * tau whenever `matched_all` (always observed for vertex
 /// solutions; a greedy fallback covers degenerate cases).
 [[nodiscard]] LenstraResult lenstra_schedule(const Instance& instance,
-                                             const LenstraOptions& options = {});
+                                             const LenstraOptions& options =
+                                                 {});
 
 }  // namespace dlb::centralized

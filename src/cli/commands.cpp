@@ -255,7 +255,8 @@ commands:
            [--m1 N --m2 N | --m N | --sizes N,N,...] [--jobs N] [--types K]
            [--lo X --hi X] [--seed S]
   info     --in FILE
-  solve    --in FILE [--alg list|lpt|ect|minmin|maxmin|sufferage|clb2c|lenstra|exact]
+  solve    --in FILE
+           [--alg list|lpt|ect|minmin|maxmin|sufferage|clb2c|lenstra|exact]
   balance  --in FILE [--alg dlb2c|dlbkc|ojtb|mjtb]
            [--exchanges-per-machine N] [--seed S] [--trace FILE.csv]
   markov   [--m N] [--pmax P]

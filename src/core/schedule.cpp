@@ -26,7 +26,8 @@ Schedule::Schedule(const Instance& instance, Assignment assignment)
     const MachineId i = assignment_.machine_of(j);
     if (i == kUnassigned) continue;
     if (i >= instance.num_machines()) {
-      throw std::invalid_argument("Schedule: assignment references bad machine");
+      throw std::invalid_argument(
+          "Schedule: assignment references bad machine");
     }
     loads_[i] += instance.cost(i, j);
     jobs_on_[i].push_back(j);

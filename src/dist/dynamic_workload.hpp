@@ -37,7 +37,8 @@ struct EpochStats {
   std::size_t active_jobs = 0;
   Cost makespan = 0.0;
   Cost lower_bound = 0.0;         ///< Fractional LB for the active set.
-  std::uint64_t migrations = 0;   ///< Job moves spent by this epoch's balancing.
+  /// Job moves spent by this epoch's balancing.
+  std::uint64_t migrations = 0;
 
   [[nodiscard]] double ratio() const { return makespan / lower_bound; }
 };

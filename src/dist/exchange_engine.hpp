@@ -50,7 +50,8 @@ struct RunResult {
   std::vector<Cost> makespan_trace;   ///< Cmax after each exchange (optional).
 
   /// Exchanges per machine until the threshold (Figure 5's X axis).
-  [[nodiscard]] double normalized_threshold_time(std::size_t num_machines) const {
+  [[nodiscard]] double normalized_threshold_time(
+      std::size_t num_machines) const {
     return static_cast<double>(exchanges_to_threshold) /
            static_cast<double>(num_machines);
   }

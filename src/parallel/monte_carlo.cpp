@@ -1,10 +1,28 @@
 #include "parallel/monte_carlo.hpp"
 
+#include <memory>
+
 namespace dlb::parallel {
 
-ThreadPool& default_pool() {
-  static ThreadPool pool;
+namespace {
+
+std::unique_ptr<ThreadPool>& pool_slot() {
+  static std::unique_ptr<ThreadPool> pool;
   return pool;
+}
+
+}  // namespace
+
+ThreadPool& default_pool() {
+  auto& slot = pool_slot();
+  if (!slot) slot = std::make_unique<ThreadPool>();
+  return *slot;
+}
+
+void set_default_pool_threads(std::size_t threads) {
+  auto& slot = pool_slot();
+  if (slot) slot->wait_idle();
+  slot = std::make_unique<ThreadPool>(threads);
 }
 
 }  // namespace dlb::parallel

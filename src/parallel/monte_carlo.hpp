@@ -40,6 +40,13 @@ std::vector<Result> run_replications(
 }
 
 /// Shared process-wide pool for the bench binaries (lazily constructed).
+/// Unless configured, it sizes itself to the hardware concurrency.
 ThreadPool& default_pool();
+
+/// Resizes the shared pool to exactly `threads` workers (0 = hardware
+/// concurrency). The bench driver calls this once from `--threads N`; it
+/// must not race with work running on the pool. Replication results never
+/// depend on the pool size — only wall time does.
+void set_default_pool_threads(std::size_t threads);
 
 }  // namespace dlb::parallel

@@ -68,7 +68,8 @@ std::string line_plot_string(const std::vector<double>& series,
             : col * (series.size() - 1) / (options.width - 1);
     const double value = series[index];
     auto row = static_cast<std::size_t>((hi - value) / span *
-                                        static_cast<double>(options.height - 1) +
+                                        static_cast<double>(options.height -
+                                                            1) +
                                         0.5);
     row = std::min(row, options.height - 1);
     grid[row][col] = options.mark;
@@ -80,7 +81,8 @@ std::string line_plot_string(const std::vector<double>& series,
   const std::size_t label_width = std::max(hi_label.size(), lo_label.size());
   for (std::size_t r = 0; r < options.height; ++r) {
     std::string label(label_width, ' ');
-    if (r == 0) label = std::string(label_width - hi_label.size(), ' ') + hi_label;
+    if (r == 0)
+      label = std::string(label_width - hi_label.size(), ' ') + hi_label;
     if (r == options.height - 1) {
       label = std::string(label_width - lo_label.size(), ' ') + lo_label;
     }

@@ -6,7 +6,8 @@
 namespace dlb::stats {
 
 void CsvWriter::header(const std::vector<std::string>& names) {
-  if (header_written_) throw std::logic_error("CsvWriter: header written twice");
+  if (header_written_)
+    throw std::logic_error("CsvWriter: header written twice");
   columns_ = names.size();
   header_written_ = true;
   write_fields(names);
@@ -41,14 +42,16 @@ std::string CsvWriter::escape(const std::string& field) {
 std::string CsvWriter::num(double v) {
   char buf[32];
   const auto [ptr, ec] = std::to_chars(buf, buf + sizeof(buf), v);
-  if (ec != std::errc{}) throw std::runtime_error("CsvWriter::num: to_chars failed");
+  if (ec != std::errc{})
+    throw std::runtime_error("CsvWriter::num: to_chars failed");
   return std::string(buf, ptr);
 }
 
 std::string CsvWriter::num(std::size_t v) {
   char buf[24];
   const auto [ptr, ec] = std::to_chars(buf, buf + sizeof(buf), v);
-  if (ec != std::errc{}) throw std::runtime_error("CsvWriter::num: to_chars failed");
+  if (ec != std::errc{})
+    throw std::runtime_error("CsvWriter::num: to_chars failed");
   return std::string(buf, ptr);
 }
 

@@ -74,7 +74,8 @@ void Histogram::merge(const Histogram& other) {
       other.hi_ != hi_) {
     throw std::invalid_argument("Histogram::merge: binning mismatch");
   }
-  for (std::size_t b = 0; b < counts_.size(); ++b) counts_[b] += other.counts_[b];
+  for (std::size_t b = 0; b < counts_.size(); ++b)
+    counts_[b] += other.counts_[b];
   total_ += other.total_;
   underflow_ += other.underflow_;
   overflow_ += other.overflow_;

@@ -31,7 +31,9 @@ class Histogram {
   [[nodiscard]] double bin_width() const noexcept;
 
   /// Raw weight in bin b.
-  [[nodiscard]] double count(std::size_t b) const noexcept { return counts_[b]; }
+  [[nodiscard]] double count(std::size_t b) const noexcept {
+    return counts_[b];
+  }
 
   /// Probability mass of bin b (count / total).
   [[nodiscard]] double mass(std::size_t b) const noexcept;

@@ -1,0 +1,111 @@
+#pragma once
+
+// Minimal ordered JSON document model for the bench telemetry pipeline.
+//
+// Design constraints that rule out the usual third-party libraries:
+//   * byte-deterministic output — object keys keep insertion order and
+//     numbers are printed with std::to_chars (shortest round-trip), so the
+//     same document always serializes to the same bytes, which is what lets
+//     `dlb_bench --json` be diffed across thread counts;
+//   * round-trip safe — parse(dump(v)) == v for every finite document.
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <type_traits>
+#include <utility>
+#include <variant>
+#include <vector>
+
+namespace dlb::stats {
+
+/// An ordered JSON value (null, bool, number, string, array or object).
+class Json {
+ public:
+  enum class Type { kNull, kBool, kNumber, kString, kArray, kObject };
+
+  using Array = std::vector<Json>;
+  /// Objects preserve insertion order; duplicate keys are rejected.
+  using Object = std::vector<std::pair<std::string, Json>>;
+
+  Json() noexcept : value_(nullptr) {}
+  Json(std::nullptr_t) noexcept : value_(nullptr) {}
+  Json(bool b) noexcept : value_(b) {}
+  Json(double v) noexcept : value_(v) {}
+  /// Any other arithmetic type (integers, float) stores as double.
+  template <typename T>
+    requires(std::is_arithmetic_v<T> && !std::is_same_v<T, bool> &&
+             !std::is_same_v<T, double>)
+  Json(T v) noexcept : value_(static_cast<double>(v)) {}
+  Json(const char* s) : value_(std::string(s)) {}
+  Json(std::string s) : value_(std::move(s)) {}
+
+  [[nodiscard]] static Json array() { return Json(Array{}); }
+  [[nodiscard]] static Json object() { return Json(Object{}); }
+
+  [[nodiscard]] Type type() const noexcept {
+    return static_cast<Type>(value_.index());
+  }
+  [[nodiscard]] bool is_null() const noexcept { return type() == Type::kNull; }
+  [[nodiscard]] bool is_bool() const noexcept { return type() == Type::kBool; }
+  [[nodiscard]] bool is_number() const noexcept {
+    return type() == Type::kNumber;
+  }
+  [[nodiscard]] bool is_string() const noexcept {
+    return type() == Type::kString;
+  }
+  [[nodiscard]] bool is_array() const noexcept {
+    return type() == Type::kArray;
+  }
+  [[nodiscard]] bool is_object() const noexcept {
+    return type() == Type::kObject;
+  }
+
+  /// Typed accessors; throw std::logic_error on a type mismatch.
+  [[nodiscard]] bool as_bool() const;
+  [[nodiscard]] double as_number() const;
+  [[nodiscard]] const std::string& as_string() const;
+  [[nodiscard]] const Array& as_array() const;
+  [[nodiscard]] const Object& as_object() const;
+
+  /// Appends to an array (converting a null value into an empty array).
+  void push_back(Json v);
+
+  /// Object insert-or-access by key (converting null into an empty object).
+  Json& operator[](std::string_view key);
+
+  /// Pointer to the member named `key`, or nullptr (object values only).
+  [[nodiscard]] const Json* find(std::string_view key) const;
+
+  [[nodiscard]] std::size_t size() const;
+
+  [[nodiscard]] bool operator==(const Json& other) const = default;
+
+  /// Serializes the document. `indent < 0` gives compact single-line output;
+  /// otherwise members are broken onto lines indented by `indent` spaces per
+  /// level. Both forms are byte-deterministic. Non-finite numbers serialize
+  /// as null (JSON has no NaN/Inf).
+  [[nodiscard]] std::string dump(int indent = -1) const;
+
+  /// Deterministic number rendering: integral doubles up to 2^53 print
+  /// without an exponent or fraction, everything else uses the shortest
+  /// form that round-trips.
+  [[nodiscard]] static std::string number_to_string(double v);
+
+  /// Parses a complete JSON document; throws std::invalid_argument with a
+  /// byte offset on malformed input (including trailing garbage and
+  /// duplicate object keys).
+  [[nodiscard]] static Json parse(std::string_view text);
+
+ private:
+  explicit Json(Array a) : value_(std::move(a)) {}
+  explicit Json(Object o) : value_(std::move(o)) {}
+
+  void write(std::string& out, int indent, int depth) const;
+  static void write_string(std::string& out, const std::string& s);
+
+  std::variant<std::nullptr_t, bool, double, std::string, Array, Object>
+      value_;
+};
+
+}  // namespace dlb::stats

@@ -15,7 +15,8 @@
 namespace dlb::stats {
 
 /// splitmix64 step: used for seeding and for hashing ids into streams.
-[[nodiscard]] constexpr std::uint64_t splitmix64(std::uint64_t& state) noexcept {
+[[nodiscard]] constexpr std::uint64_t splitmix64(
+    std::uint64_t& state) noexcept {
   std::uint64_t z = (state += 0x9e3779b97f4a7c15ULL);
   z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
   z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
@@ -85,7 +86,8 @@ class Rng {
 
   /// Derives an independent child stream. Stream `i` of seed `s` is
   /// reproducible regardless of how many numbers the parent generated.
-  [[nodiscard]] static Rng stream(std::uint64_t seed, std::uint64_t index) noexcept {
+  [[nodiscard]] static Rng stream(std::uint64_t seed,
+                                  std::uint64_t index) noexcept {
     std::uint64_t sm = seed;
     const std::uint64_t base = splitmix64(sm);
     std::uint64_t mix = base ^ (0x94d049bb133111ebULL * (index + 1));

@@ -8,7 +8,8 @@ namespace dlb::stats {
 
 TablePrinter::TablePrinter(std::vector<std::string> header)
     : header_(std::move(header)) {
-  if (header_.empty()) throw std::invalid_argument("TablePrinter: empty header");
+  if (header_.empty())
+    throw std::invalid_argument("TablePrinter: empty header");
 }
 
 void TablePrinter::add_row(std::vector<std::string> cells) {
@@ -35,7 +36,8 @@ void TablePrinter::print(std::ostream& out) const {
   };
   print_row(header_);
   std::size_t total = 0;
-  for (std::size_t c = 0; c < width.size(); ++c) total += width[c] + (c ? 2 : 0);
+  for (std::size_t c = 0; c < width.size(); ++c)
+    total += width[c] + (c ? 2 : 0);
   out << std::string(total, '-') << '\n';
   for (const auto& row : rows_) print_row(row);
 }

@@ -1,0 +1,193 @@
+// Tests for the bench harness: registry lookup, the runner's repetition
+// protocol, and the schema of the emitted JSON document. This binary links
+// registry.cpp/runner.cpp without any experiment TU, so the global registry
+// is empty and each test builds its own local Registry.
+
+#include "registry.hpp"
+#include "runner.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+#include <stdexcept>
+
+namespace {
+
+using dlb::bench::Experiment;
+using dlb::bench::ExperimentResult;
+using dlb::bench::MetricSet;
+using dlb::bench::Registry;
+using dlb::bench::RunContext;
+using dlb::bench::RunnerOptions;
+
+Registry make_registry() {
+  Registry registry;
+  registry.add({"fig_alpha", "first",
+                [](const RunContext& ctx, MetricSet& metrics) {
+                  metrics.metric("quality", ctx.smoke ? 1.5 : 1.25);
+                  metrics.counter("items", 100.0);
+                }});
+  registry.add({"fig_beta", "second",
+                [](const RunContext&, MetricSet& metrics) {
+                  metrics.metric("quality", 2.0);
+                }});
+  registry.add({"perf_gamma", "third",
+                [](const RunContext&, MetricSet&) {
+                  throw std::runtime_error("shape check failed");
+                }});
+  return registry;
+}
+
+TEST(BenchRegistry, SortedAndMatch) {
+  const Registry registry = make_registry();
+  EXPECT_EQ(registry.size(), 3u);
+
+  const auto all = registry.sorted();
+  ASSERT_EQ(all.size(), 3u);
+  EXPECT_EQ(all[0]->name, "fig_alpha");
+  EXPECT_EQ(all[1]->name, "fig_beta");
+  EXPECT_EQ(all[2]->name, "perf_gamma");
+
+  EXPECT_EQ(registry.match("").size(), 3u);
+  EXPECT_EQ(registry.match("^fig_").size(), 2u);
+  EXPECT_EQ(registry.match("beta|gamma").size(), 2u);
+  EXPECT_EQ(registry.match("^nope$").size(), 0u);
+}
+
+TEST(BenchRegistry, DuplicateNameThrows) {
+  Registry registry = make_registry();
+  EXPECT_THROW(
+      registry.add({"fig_alpha", "dup", [](const RunContext&, MetricSet&) {}}),
+      std::logic_error);
+}
+
+TEST(BenchRegistry, MetricSetUpsertsInOrder) {
+  MetricSet metrics;
+  metrics.metric("b", 1.0);
+  metrics.metric("a", 2.0);
+  metrics.metric("b", 3.0);
+  ASSERT_EQ(metrics.metrics().size(), 2u);
+  EXPECT_EQ(metrics.metrics()[0].first, "b");
+  EXPECT_EQ(metrics.metrics()[0].second, 3.0);
+  EXPECT_EQ(metrics.metric_value("a"), 2.0);
+  EXPECT_FALSE(metrics.metric_value("missing").has_value());
+}
+
+TEST(BenchRunner, RunsMatchingExperimentsInNameOrder) {
+  const Registry registry = make_registry();
+  RunnerOptions options;
+  options.filter = "^fig_";
+  options.reps = 2;
+  options.warmup = 1;
+  options.quiet = true;
+  std::ostringstream log;
+  const auto results =
+      dlb::bench::run_experiments(registry, options, log);
+
+  ASSERT_EQ(results.size(), 2u);
+  EXPECT_EQ(results[0].name, "fig_alpha");
+  EXPECT_TRUE(results[0].ok);
+  EXPECT_EQ(results[0].metrics.metric_value("quality"), 1.25);
+  EXPECT_EQ(results[0].timing.reps, 2u);
+  EXPECT_EQ(results[1].name, "fig_beta");
+  EXPECT_NE(log.str().find("fig_alpha"), std::string::npos);
+}
+
+TEST(BenchRunner, SmokeFlagReachesExperiments) {
+  const Registry registry = make_registry();
+  RunnerOptions options;
+  options.filter = "^fig_alpha$";
+  options.smoke = true;
+  options.quiet = true;
+  std::ostringstream log;
+  const auto results =
+      dlb::bench::run_experiments(registry, options, log);
+  ASSERT_EQ(results.size(), 1u);
+  EXPECT_EQ(results[0].metrics.metric_value("quality"), 1.5);
+}
+
+TEST(BenchRunner, FailuresAreCapturedNotPropagated) {
+  const Registry registry = make_registry();
+  RunnerOptions options;
+  options.filter = "perf_gamma";
+  options.quiet = true;
+  std::ostringstream log;
+  const auto results =
+      dlb::bench::run_experiments(registry, options, log);
+  ASSERT_EQ(results.size(), 1u);
+  EXPECT_FALSE(results[0].ok);
+  EXPECT_EQ(results[0].error, "shape check failed");
+  EXPECT_NE(log.str().find("FAILED"), std::string::npos);
+}
+
+TEST(BenchJson, SchemaRoundTrip) {
+  const Registry registry = make_registry();
+  RunnerOptions options;
+  options.quiet = true;
+  std::ostringstream log;
+  const auto results =
+      dlb::bench::run_experiments(registry, options, log);
+  const dlb::stats::Json doc =
+      dlb::bench::results_to_json(results, options);
+
+  EXPECT_EQ(doc.find("schema")->as_string(), "dlb-bench");
+  EXPECT_EQ(doc.find("schema_version")->as_number(),
+            dlb::bench::kJsonSchemaVersion);
+  ASSERT_NE(doc.find("environment"), nullptr);
+  ASSERT_NE(doc.find("experiments"), nullptr);
+
+  const auto& experiments = doc.find("experiments")->as_array();
+  ASSERT_EQ(experiments.size(), 3u);
+  EXPECT_EQ(experiments[0].find("name")->as_string(), "fig_alpha");
+  EXPECT_EQ(experiments[0].find("status")->as_string(), "ok");
+  EXPECT_EQ(
+      experiments[0].find("metrics")->find("quality")->as_number(), 1.25);
+  EXPECT_EQ(
+      experiments[0].find("counters")->find("items")->as_number(), 100.0);
+  ASSERT_NE(experiments[0].find("timing"), nullptr);
+  EXPECT_EQ(experiments[2].find("status")->as_string(), "error");
+  EXPECT_EQ(experiments[2].find("timing"), nullptr);
+
+  // parse(dump(doc)) reproduces the document and its bytes.
+  const std::string text = doc.dump(2);
+  EXPECT_EQ(dlb::stats::Json::parse(text), doc);
+  EXPECT_EQ(dlb::stats::Json::parse(text).dump(2), text);
+}
+
+TEST(BenchJson, NoTimingOutputIsThreadCountInvariant) {
+  const Registry registry = make_registry();
+  std::string dumps[2];
+  const std::size_t thread_counts[] = {1, 8};
+  for (int i = 0; i < 2; ++i) {
+    RunnerOptions options;
+    options.filter = "^fig_";
+    options.quiet = true;
+    options.with_timing = false;
+    options.threads = thread_counts[i];
+    std::ostringstream log;
+    const auto results =
+        dlb::bench::run_experiments(registry, options, log);
+    RunnerOptions normalized = options;
+    normalized.threads = 0;  // not emitted anyway without timing
+    dumps[i] = dlb::bench::results_to_json(results, normalized).dump(2);
+  }
+  EXPECT_EQ(dumps[0], dumps[1]);
+  EXPECT_EQ(dumps[0].find("\"timing\""), std::string::npos);
+  EXPECT_EQ(dumps[0].find("\"environment\""), std::string::npos);
+}
+
+TEST(BenchMain, ListAndBadArgs) {
+  // --list on the (empty) global registry: succeeds with no output rows.
+  const char* list_argv[] = {"dlb_bench", "--list"};
+  EXPECT_EQ(dlb::bench::bench_main(2, list_argv), 0);
+
+  // Unknown flags are rejected, not silently ignored.
+  const char* bad_argv[] = {"dlb_bench", "--bogus"};
+  EXPECT_EQ(dlb::bench::bench_main(2, bad_argv), 2);
+
+  // An empty match is an error (catches typo'd filters in CI).
+  const char* nomatch_argv[] = {"dlb_bench", "--filter", "nothing"};
+  EXPECT_EQ(dlb::bench::bench_main(3, nomatch_argv), 2);
+}
+
+}  // namespace

@@ -104,8 +104,10 @@ TEST_P(Clb2cTheorem6Sweep, ProofInvariantMinClusterLoadBelowOpt) {
   const Schedule s = clb2c_schedule(inst);
   Cost min1 = std::numeric_limits<Cost>::infinity();
   Cost min2 = std::numeric_limits<Cost>::infinity();
-  for (MachineId i : inst.machines_in_group(0)) min1 = std::min(min1, s.load(i));
-  for (MachineId i : inst.machines_in_group(1)) min2 = std::min(min2, s.load(i));
+  for (MachineId i : inst.machines_in_group(0))
+    min1 = std::min(min1, s.load(i));
+  for (MachineId i : inst.machines_in_group(1))
+    min2 = std::min(min2, s.load(i));
   const Cost reference = std::max(exact.optimal, inst.max_cost());
   // Each cluster's min load is at most (pre-placement min) + one job, and
   // the proof gives min(C1, C2) <= OPT; so min(min1, min2) <= OPT + pmax.

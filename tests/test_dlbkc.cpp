@@ -88,7 +88,8 @@ TEST_P(DlbKcSweep, StaysNearTheLowerBoundForAnyK) {
   EXPECT_GE(result.final_makespan, lb - 1e-9);
 }
 
-INSTANTIATE_TEST_SUITE_P(Clusters, DlbKcSweep, ::testing::Values(2u, 3u, 4u, 5u));
+INSTANTIATE_TEST_SUITE_P(Clusters, DlbKcSweep,
+                         ::testing::Values(2u, 3u, 4u, 5u));
 
 }  // namespace
 }  // namespace dlb::dist

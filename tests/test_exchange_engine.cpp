@@ -100,8 +100,10 @@ TEST(ExchangeEngine, DeterministicGivenSeed) {
   Schedule s2(inst, gen::random_assignment(inst, 16));
   stats::Rng rng1(17);
   stats::Rng rng2(17);
-  const RunResult r1 = ExchangeEngine(kernel, selector).run(s1, capped(200), rng1);
-  const RunResult r2 = ExchangeEngine(kernel, selector).run(s2, capped(200), rng2);
+  const RunResult r1 =
+      ExchangeEngine(kernel, selector).run(s1, capped(200), rng1);
+  const RunResult r2 =
+      ExchangeEngine(kernel, selector).run(s2, capped(200), rng2);
   EXPECT_EQ(s1.assignment(), s2.assignment());
   EXPECT_DOUBLE_EQ(r1.final_makespan, r2.final_makespan);
   EXPECT_EQ(r1.changed_exchanges, r2.changed_exchanges);

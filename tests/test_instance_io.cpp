@@ -55,7 +55,8 @@ TEST(InstanceIo, RoundTripPreservesJobTypes) {
 
 TEST(InstanceIo, RoundTripExactDoubleValues) {
   // max_digits10 precision: values must round-trip bit-exactly.
-  const Instance original = Instance::identical(2, {0.1, 1.0 / 3.0, 1e-17 + 1.0});
+  const Instance original =
+      Instance::identical(2, {0.1, 1.0 / 3.0, 1e-17 + 1.0});
   std::stringstream buffer;
   save_instance(original, buffer);
   const Instance loaded = load_instance(buffer);

@@ -1,0 +1,113 @@
+// Tests for the ordered JSON model behind the bench telemetry: byte
+// determinism, number formatting, and parse(dump(v)) round-trips.
+
+#include "stats/json.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <limits>
+#include <stdexcept>
+#include <string>
+
+namespace {
+
+using dlb::stats::Json;
+
+TEST(Json, ObjectsKeepInsertionOrder) {
+  Json doc = Json::object();
+  doc["zulu"] = 1;
+  doc["alpha"] = 2;
+  doc["mike"] = 3;
+  EXPECT_EQ(doc.dump(), R"({"zulu":1,"alpha":2,"mike":3})");
+}
+
+TEST(Json, IndexingOverwritesInPlace) {
+  Json doc = Json::object();
+  doc["a"] = 1;
+  doc["b"] = 2;
+  doc["a"] = 10;
+  EXPECT_EQ(doc.dump(), R"({"a":10,"b":2})");
+  EXPECT_EQ(doc.size(), 2u);
+}
+
+TEST(Json, NumberFormattingIsShortestRoundTrip) {
+  EXPECT_EQ(Json::number_to_string(0.0), "0");
+  EXPECT_EQ(Json::number_to_string(3.0), "3");
+  EXPECT_EQ(Json::number_to_string(-42.0), "-42");
+  EXPECT_EQ(Json::number_to_string(0.1), "0.1");
+  EXPECT_EQ(Json::number_to_string(1.5), "1.5");
+  // 2^53 is the largest double-exact integer; it still prints integrally.
+  EXPECT_EQ(Json::number_to_string(9007199254740992.0), "9007199254740992");
+  // Non-finite values have no JSON spelling.
+  EXPECT_EQ(Json::number_to_string(std::nan("")), "null");
+  EXPECT_EQ(Json::number_to_string(std::numeric_limits<double>::infinity()),
+            "null");
+}
+
+TEST(Json, DumpParseRoundTrip) {
+  Json doc = Json::object();
+  doc["schema_version"] = 1;
+  doc["pi"] = 3.141592653589793;
+  doc["name"] = "fig5 — exchanges \"to\" threshold\n";
+  doc["flags"] = Json::object();
+  doc["flags"]["smoke"] = true;
+  doc["flags"]["csv"] = nullptr;
+  Json arr = Json::array();
+  arr.push_back(1);
+  arr.push_back(0.25);
+  arr.push_back("x");
+  doc["series"] = std::move(arr);
+
+  for (const int indent : {-1, 0, 2, 4}) {
+    const std::string text = doc.dump(indent);
+    const Json reparsed = Json::parse(text);
+    EXPECT_EQ(reparsed, doc) << "indent=" << indent;
+    // Determinism: dumping the reparsed document reproduces the bytes.
+    EXPECT_EQ(reparsed.dump(indent), text) << "indent=" << indent;
+  }
+}
+
+TEST(Json, ParsesEscapesAndUnicode) {
+  const Json v = Json::parse(R"("a\tbéA")");
+  EXPECT_EQ(v.as_string(), "a\tb\xc3\xa9""A");
+}
+
+TEST(Json, ParseRejectsMalformedInput) {
+  EXPECT_THROW((void)Json::parse(""), std::invalid_argument);
+  EXPECT_THROW((void)Json::parse("{"), std::invalid_argument);
+  EXPECT_THROW((void)Json::parse("[1,]"), std::invalid_argument);
+  EXPECT_THROW((void)Json::parse("01"), std::invalid_argument);
+  EXPECT_THROW((void)Json::parse("\"unterminated"), std::invalid_argument);
+  EXPECT_THROW((void)Json::parse("true false"), std::invalid_argument);
+  EXPECT_THROW((void)Json::parse("nul"), std::invalid_argument);
+}
+
+TEST(Json, ParseRejectsDuplicateKeys) {
+  EXPECT_THROW((void)Json::parse(R"({"a":1,"a":2})"), std::invalid_argument);
+}
+
+TEST(Json, TypedAccessorsThrowOnMismatch) {
+  const Json v = Json::parse("[1,2]");
+  EXPECT_THROW((void)v.as_object(), std::logic_error);
+  EXPECT_THROW((void)v.as_string(), std::logic_error);
+  EXPECT_EQ(v.as_array().size(), 2u);
+}
+
+TEST(Json, FindLocatesMembers) {
+  const Json doc = Json::parse(R"({"a":1,"b":{"c":true}})");
+  ASSERT_NE(doc.find("b"), nullptr);
+  ASSERT_NE(doc.find("b")->find("c"), nullptr);
+  EXPECT_TRUE(doc.find("b")->find("c")->as_bool());
+  EXPECT_EQ(doc.find("missing"), nullptr);
+}
+
+TEST(Json, PrettyPrintingIsStable) {
+  Json doc = Json::object();
+  doc["a"] = Json::array();
+  doc["a"].push_back(1);
+  doc["b"] = Json::object();
+  EXPECT_EQ(doc.dump(2), "{\n  \"a\": [\n    1\n  ],\n  \"b\": {}\n}");
+}
+
+}  // namespace

@@ -45,9 +45,11 @@ TEST(LowerBounds, FractionalRespectsClusterSizes) {
 
 TEST(LowerBounds, FractionalRejectsWrongShape) {
   const Instance identical = Instance::identical(3, {1.0});
-  EXPECT_THROW((void)two_cluster_fractional_opt(identical), std::invalid_argument);
+  EXPECT_THROW((void)two_cluster_fractional_opt(identical),
+               std::invalid_argument);
   const Instance related = Instance::related({1.0, 2.0}, {1.0});
-  EXPECT_THROW((void)two_cluster_fractional_opt(related), std::invalid_argument);
+  EXPECT_THROW((void)two_cluster_fractional_opt(related),
+               std::invalid_argument);
 }
 
 TEST(LowerBounds, CombinedBoundIsMaxOfParts) {

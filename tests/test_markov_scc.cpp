@@ -16,7 +16,9 @@ TransitionMatrix from_adjacency(
   for (const auto& row : adj) {
     for (StateIndex w : row) {
       m.col.push_back(w);
-      m.prob.push_back(row.empty() ? 0.0 : 1.0 / row.size());
+      m.prob.push_back(row.empty()
+                           ? 0.0
+                           : 1.0 / static_cast<double>(row.size()));
     }
     m.row_begin.push_back(m.col.size());
   }

@@ -31,7 +31,8 @@ TEST(SingleTypeOptimal, HandChecked) {
 }
 
 TEST(SingleTypeOptimal, RejectsBadInput) {
-  EXPECT_THROW((void)single_type_optimal_makespan({}, 3), std::invalid_argument);
+  EXPECT_THROW((void)single_type_optimal_makespan({}, 3),
+               std::invalid_argument);
   EXPECT_THROW((void)single_type_optimal_makespan({1.0, 0.0}, 3),
                std::invalid_argument);
 }

@@ -1,0 +1,74 @@
+// The contract the bench JSON invariance test rests on: run_replications
+// yields bit-identical results whatever the worker count, because every
+// replication draws from its own (seed, rep) RNG stream.
+
+#include "parallel/monte_carlo.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstddef>
+#include <vector>
+
+#include "core/generators.hpp"
+#include "dist/dlb2c.hpp"
+
+namespace {
+
+std::vector<double> makespans_with_pool(dlb::parallel::ThreadPool* pool) {
+  const std::function<double(std::size_t, dlb::stats::Rng&)> body =
+      [](std::size_t rep, dlb::stats::Rng& rng) {
+        const dlb::Instance inst =
+            dlb::gen::two_cluster_uniform(8, 4, 96, 1.0, 1000.0, 77 + rep);
+        dlb::Schedule s(inst, dlb::gen::random_assignment(inst, 88 + rep));
+        dlb::dist::EngineOptions options;
+        options.max_exchanges = 10 * inst.num_machines();
+        return dlb::dist::run_dlb2c(s, options, rng).final_makespan;
+      };
+  return dlb::parallel::run_replications<double>(16, 123, body, pool);
+}
+
+TEST(ReplicationDeterminism, SequentialMatchesParallel) {
+  const std::vector<double> sequential = makespans_with_pool(nullptr);
+
+  dlb::parallel::ThreadPool pool8(8);
+  const std::vector<double> parallel8 = makespans_with_pool(&pool8);
+
+  dlb::parallel::ThreadPool pool3(3);
+  const std::vector<double> parallel3 = makespans_with_pool(&pool3);
+
+  // Bit-identical, not approximately equal: each replication's arithmetic
+  // is independent of scheduling, so even floating point must agree.
+  EXPECT_EQ(sequential, parallel8);
+  EXPECT_EQ(sequential, parallel3);
+}
+
+TEST(ReplicationDeterminism, RepeatedRunsAgree) {
+  dlb::parallel::ThreadPool pool(4);
+  EXPECT_EQ(makespans_with_pool(&pool), makespans_with_pool(&pool));
+}
+
+TEST(ReplicationDeterminism, StreamsDifferAcrossReps) {
+  const std::function<std::uint64_t(std::size_t, dlb::stats::Rng&)> body =
+      [](std::size_t, dlb::stats::Rng& rng) { return rng(); };
+  const auto draws =
+      dlb::parallel::run_replications<std::uint64_t>(8, 99, body, nullptr);
+  for (std::size_t i = 0; i < draws.size(); ++i) {
+    for (std::size_t j = i + 1; j < draws.size(); ++j) {
+      EXPECT_NE(draws[i], draws[j]) << "streams " << i << " and " << j;
+    }
+  }
+}
+
+TEST(ReplicationDeterminism, DefaultPoolResize) {
+  dlb::parallel::set_default_pool_threads(2);
+  EXPECT_EQ(dlb::parallel::default_pool().num_threads(), 2u);
+  const std::vector<double> small =
+      makespans_with_pool(&dlb::parallel::default_pool());
+  dlb::parallel::set_default_pool_threads(4);
+  EXPECT_EQ(dlb::parallel::default_pool().num_threads(), 4u);
+  const std::vector<double> large =
+      makespans_with_pool(&dlb::parallel::default_pool());
+  EXPECT_EQ(small, large);
+}
+
+}  // namespace

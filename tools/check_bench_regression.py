@@ -1,0 +1,203 @@
+#!/usr/bin/env python3
+"""Gate dlb_bench telemetry against a checked-in baseline.
+
+Usage:
+    check_bench_regression.py BASELINE.json FRESH.json [options]
+
+Compares two `dlb_bench --json` documents (schema "dlb-bench"). Exit code is
+0 when FRESH is within tolerance of BASELINE on every gated quantity,
+1 on any regression, and 2 on malformed input or a schema mismatch.
+
+What is gated:
+  * the experiment set — every baseline experiment must be present and "ok";
+  * quality metrics — relative deviation beyond --metric-tol fails (these are
+    seeded and thread-count invariant, so the default tolerance is tiny and
+    only absorbs cross-compiler floating-point noise);
+  * work counters — same, with --counter-tol;
+  * wall time — only when BOTH documents carry a timing block and
+    --timing-tol is given (timing is machine-dependent, so the perf-smoke CI
+    job compares deterministic `--no-timing` documents and never gates time).
+
+New experiments present only in FRESH are reported but never fail the gate:
+adding a bench must not require regenerating the baseline in the same change
+unless its numbers are part of the baseline.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import math
+import sys
+
+SCHEMA = "dlb-bench"
+SUPPORTED_SCHEMA_VERSIONS = {1}
+
+
+def input_error(message: str) -> None:
+    print(f"error: {message}", file=sys.stderr)
+    sys.exit(2)
+
+
+def load_document(path: str) -> dict:
+    try:
+        with open(path, encoding="utf-8") as handle:
+            doc = json.load(handle)
+    except (OSError, json.JSONDecodeError) as exc:
+        input_error(f"cannot read {path}: {exc}")
+    if doc.get("schema") != SCHEMA:
+        input_error(f"{path}: not a {SCHEMA} document")
+    version = doc.get("schema_version")
+    if version not in SUPPORTED_SCHEMA_VERSIONS:
+        input_error(
+            f"{path}: unsupported schema_version {version!r} "
+            f"(supported: {sorted(SUPPORTED_SCHEMA_VERSIONS)})"
+        )
+    return doc
+
+
+def by_name(doc: dict) -> dict[str, dict]:
+    return {entry["name"]: entry for entry in doc.get("experiments", [])}
+
+
+def relative_deviation(baseline: float, fresh: float) -> float:
+    if baseline == fresh:
+        return 0.0
+    if math.isnan(baseline) or math.isnan(fresh):
+        return math.inf
+    scale = max(abs(baseline), abs(fresh))
+    if scale == 0.0:
+        return 0.0
+    return abs(fresh - baseline) / scale
+
+
+def compare_values(
+    name: str,
+    kind: str,
+    baseline: dict[str, float],
+    fresh: dict[str, float],
+    tolerance: float,
+    failures: list[str],
+) -> None:
+    for key, base_value in baseline.items():
+        if key not in fresh:
+            failures.append(f"{name}: {kind} '{key}' missing from fresh run")
+            continue
+        deviation = relative_deviation(base_value, fresh[key])
+        if deviation > tolerance:
+            failures.append(
+                f"{name}: {kind} '{key}' moved {base_value!r} -> "
+                f"{fresh[key]!r} (relative deviation {deviation:.3e} > "
+                f"tolerance {tolerance:.3e})"
+            )
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(
+        description=__doc__, formatter_class=argparse.RawDescriptionHelpFormatter
+    )
+    parser.add_argument("baseline", help="checked-in baseline JSON")
+    parser.add_argument("fresh", help="freshly produced JSON")
+    parser.add_argument(
+        "--metric-tol",
+        type=float,
+        default=1e-6,
+        help="relative tolerance for quality metrics (default: %(default)s)",
+    )
+    parser.add_argument(
+        "--counter-tol",
+        type=float,
+        default=1e-6,
+        help="relative tolerance for work counters (default: %(default)s)",
+    )
+    parser.add_argument(
+        "--timing-tol",
+        type=float,
+        default=None,
+        help="when set, fail if median wall time exceeds baseline by more "
+        "than this fraction (e.g. 0.5 = 50%% slower); requires timing "
+        "blocks in both documents",
+    )
+    args = parser.parse_args()
+
+    baseline_doc = load_document(args.baseline)
+    fresh_doc = load_document(args.fresh)
+    baseline = by_name(baseline_doc)
+    fresh = by_name(fresh_doc)
+
+    failures: list[str] = []
+    for name, base_entry in baseline.items():
+        fresh_entry = fresh.get(name)
+        if fresh_entry is None:
+            failures.append(f"{name}: experiment missing from fresh run")
+            continue
+        if fresh_entry.get("status") != "ok":
+            failures.append(
+                f"{name}: status '{fresh_entry.get('status')}'"
+                + (
+                    f" ({fresh_entry['error']})"
+                    if fresh_entry.get("error")
+                    else ""
+                )
+            )
+            continue
+        if base_entry.get("status") != "ok":
+            continue  # baseline recorded a known failure; nothing to gate
+        compare_values(
+            name,
+            "metric",
+            base_entry.get("metrics", {}),
+            fresh_entry.get("metrics", {}),
+            args.metric_tol,
+            failures,
+        )
+        compare_values(
+            name,
+            "counter",
+            base_entry.get("counters", {}),
+            fresh_entry.get("counters", {}),
+            args.counter_tol,
+            failures,
+        )
+        if args.timing_tol is not None:
+            base_timing = base_entry.get("timing", {}).get("wall_s")
+            fresh_timing = fresh_entry.get("timing", {}).get("wall_s")
+            if base_timing is None or fresh_timing is None:
+                failures.append(
+                    f"{name}: --timing-tol given but a document lacks timing"
+                )
+            elif fresh_timing["median"] > base_timing["median"] * (
+                1.0 + args.timing_tol
+            ):
+                failures.append(
+                    f"{name}: median wall time {fresh_timing['median']:.4f}s "
+                    f"exceeds baseline {base_timing['median']:.4f}s by more "
+                    f"than {args.timing_tol:.0%}"
+                )
+
+    new_experiments = sorted(set(fresh) - set(baseline))
+    if new_experiments:
+        print(
+            "note: experiments not in baseline (not gated): "
+            + ", ".join(new_experiments)
+        )
+
+    if failures:
+        print(f"REGRESSION: {len(failures)} check(s) failed", file=sys.stderr)
+        for failure in failures:
+            print(f"  {failure}", file=sys.stderr)
+        return 1
+
+    print(
+        f"ok: {len(baseline)} baseline experiment(s) within tolerance "
+        f"(metric {args.metric_tol:g}, counter {args.counter_tol:g}"
+        + (
+            f", timing {args.timing_tol:g}" if args.timing_tol is not None else ""
+        )
+        + ")"
+    )
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
