@@ -15,8 +15,7 @@
 
 namespace {
 
-void run(const dlb::bench::RunContext& /*ctx*/,
-         dlb::bench::MetricSet& metrics) {
+void run(const dlb::bench::RunContext& ctx, dlb::bench::MetricSet& metrics) {
   using dlb::stats::TablePrinter;
 
   std::cout << "Extension — asynchronous DLB2C vs message latency "
@@ -40,6 +39,7 @@ void run(const dlb::bench::RunContext& /*ctx*/,
     options.message_latency = latency;
     options.duration = 40.0;
     options.seed = 9;
+    options.obs = ctx.obs;
     const dlb::dist::AsyncRunResult result =
         dlb::dist::run_async(s, kernel, options);
     if (latency == 0.0) zero_latency_ratio = result.final_makespan / cent;

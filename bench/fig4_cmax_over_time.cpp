@@ -24,7 +24,8 @@ struct TraceStats {
 };
 
 TraceStats trace_run(const char* name, const dlb::Instance& inst,
-                     bool two_clusters, std::uint64_t seed) {
+                     bool two_clusters, std::uint64_t seed,
+                     const dlb::obs::Context* obs) {
   using dlb::stats::TablePrinter;
   const std::size_t m = inst.num_machines();
   dlb::Schedule s(inst, dlb::gen::random_assignment(inst, seed));
@@ -33,6 +34,7 @@ TraceStats trace_run(const char* name, const dlb::Instance& inst,
   dlb::dist::EngineOptions options;
   options.max_exchanges = 40 * m;
   options.record_trace = true;
+  options.obs = obs;
   const dlb::dist::RunResult result =
       two_clusters ? dlb::dist::run_dlb2c(s, options, rng)
                    : dlb::dist::run_ojtb(s, options, rng);
@@ -84,8 +86,8 @@ void run(const dlb::bench::RunContext& ctx, dlb::bench::MetricSet& metrics) {
   for (const std::uint64_t seed : het_seeds) {
     const dlb::Instance het =
         dlb::gen::two_cluster_uniform(64, 32, 768, 1.0, 1000.0, seed);
-    const TraceStats stats =
-        trace_run("two clusters 64+32 (DLB2C)", het, true, seed * 10);
+    const TraceStats stats = trace_run("two clusters 64+32 (DLB2C)", het,
+                                       true, seed * 10, ctx.obs);
     ratio_sum += stats.best_over_lb;
     exchanges += stats.exchanges;
     ++runs;
@@ -93,8 +95,8 @@ void run(const dlb::bench::RunContext& ctx, dlb::bench::MetricSet& metrics) {
   for (const std::uint64_t seed : hom_seeds) {
     const dlb::Instance hom =
         dlb::gen::identical_uniform(96, 768, 1.0, 1000.0, seed);
-    const TraceStats stats =
-        trace_run("one cluster 96 (pairwise greedy)", hom, false, seed * 10);
+    const TraceStats stats = trace_run("one cluster 96 (pairwise greedy)",
+                                       hom, false, seed * 10, ctx.obs);
     ratio_sum += stats.best_over_lb;
     exchanges += stats.exchanges;
     ++runs;

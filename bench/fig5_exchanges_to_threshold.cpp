@@ -41,8 +41,9 @@ dlb::stats::SampleSet exchanges_to_threshold(const dlb::bench::RunContext& ctx,
                                              std::uint64_t seed,
                                              std::uint64_t& total_exchanges) {
   const std::size_t m = config.m1 + config.m2;
+  const dlb::obs::Context* obs = ctx.obs;
   const std::function<RepOutcome(std::size_t, dlb::stats::Rng&)> body =
-      [&config, m](std::size_t rep, dlb::stats::Rng& rng) {
+      [&config, m, obs](std::size_t rep, dlb::stats::Rng& rng) {
         const dlb::Instance inst =
             config.two_clusters
                 ? dlb::gen::two_cluster_uniform(config.m1, config.m2, 768,
@@ -59,6 +60,7 @@ dlb::stats::SampleSet exchanges_to_threshold(const dlb::bench::RunContext& ctx,
         dlb::dist::EngineOptions options;
         options.max_exchanges = 60 * m;  // generous horizon
         options.stop_threshold = 1.5 * cent;
+        options.obs = obs;
         const dlb::dist::RunResult result =
             config.two_clusters ? dlb::dist::run_dlb2c(s, options, rng)
                                 : dlb::dist::run_ojtb(s, options, rng);

@@ -28,6 +28,7 @@ void run_dlb2c_exchanges(const dlb::bench::RunContext& ctx,
       dlb::stats::Rng rng(3);
       dlb::dist::EngineOptions options;
       options.max_exchanges = 5 * machines;
+      options.obs = ctx.obs;
       const dlb::dist::RunResult result =
           dlb::dist::run_dlb2c(s, options, rng);
       exchanges += result.exchanges;

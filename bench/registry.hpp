@@ -13,6 +13,7 @@
 #include <utility>
 #include <vector>
 
+#include "obs/obs.hpp"
 #include "parallel/thread_pool.hpp"
 
 namespace dlb::bench {
@@ -29,6 +30,12 @@ struct RunContext {
   /// Thread pool for `parallel::run_replications`; nullptr = sequential.
   /// Results are pool-size-invariant by construction (per-rep RNG streams).
   parallel::ThreadPool* pool = nullptr;
+  /// Observability sinks for this repetition (src/obs). Experiments forward
+  /// it into EngineOptions/AsyncOptions; the runner exports the counter
+  /// totals as `obs.*` telemetry counters afterwards. Counter totals are
+  /// atomic sums over deterministic per-replication work, so they stay
+  /// thread-count-invariant. Null when observability is disabled (--no-obs).
+  const obs::Context* obs = nullptr;
 
   /// Convenience: pick the full-size or the smoke-size value of a knob.
   [[nodiscard]] std::size_t scale(std::size_t full,

@@ -2,6 +2,7 @@
 
 #include <chrono>
 #include <exception>
+#include <filesystem>
 #include <fstream>
 #include <iomanip>
 #include <iostream>
@@ -10,6 +11,8 @@
 #include <thread>
 
 #include "cli/args.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "parallel/monte_carlo.hpp"
 #include "stats/summary.hpp"
 
@@ -108,12 +111,47 @@ std::vector<ExperimentResult> run_experiments(const Registry& registry,
         ctx.pool = pool;
         if (reporting) ctx.csv_dir = options.csv_dir;
 
+        // Fresh observability sinks per repetition: counter totals are
+        // per-run sums, not accumulated across warmup + timed reps.
+        obs::Metrics obs_metrics;
+        obs::Tracer obs_tracer;
+        obs::Context obs_context;
+        if (options.with_obs) {
+          obs_context.metrics = &obs_metrics;
+          if (reporting && options.trace_dir) {
+            obs_context.tracer = &obs_tracer;
+          }
+          ctx.obs = &obs_context;
+        }
+
         result.metrics.clear();
-        std::optional<SuppressCout> silence;
-        if (options.quiet || !reporting) silence.emplace();
-        const auto start = std::chrono::steady_clock::now();
-        experiment->fn(ctx, result.metrics);
-        if (timed) rep_seconds.push_back(seconds_since(start));
+        {
+          std::optional<SuppressCout> silence;
+          if (options.quiet || !reporting) silence.emplace();
+          const auto start = std::chrono::steady_clock::now();
+          experiment->fn(ctx, result.metrics);
+          if (timed) rep_seconds.push_back(seconds_since(start));
+        }
+        if (options.with_obs) {
+          // Sorted by name inside counter_values(), appended after the
+          // experiment's own counters: insertion order — and therefore the
+          // JSON — is byte-deterministic regardless of thread count.
+          for (const auto& [name, total] : obs_metrics.counter_values()) {
+            result.metrics.counter("obs." + name,
+                                   static_cast<double>(total));
+          }
+        }
+        if (obs_context.tracer != nullptr && options.trace_dir) {
+          const std::filesystem::path trace_path =
+              std::filesystem::path(*options.trace_dir) /
+              (experiment->name + ".trace.json");
+          std::ofstream trace_out(trace_path);
+          if (trace_out) {
+            trace_out << obs_tracer.to_chrome_json().dump(2) << "\n";
+          } else {
+            log << "  (cannot write " << trace_path.string() << ")";
+          }
+        }
       }
     } catch (const std::exception& e) {
       result.ok = false;
@@ -218,6 +256,10 @@ void print_usage(std::ostream& out) {
          "  --json FILE     write the telemetry document to FILE\n"
          "  --no-timing     omit timing + environment from the JSON\n"
          "                  (deterministic output for a fixed build)\n"
+         "  --no-obs        disable the src/obs metrics registry (the\n"
+         "                  baseline side of the observability overhead "
+         "gate)\n"
+         "  --trace-dir D   write a Chrome trace per experiment into D\n"
          "  --quiet         suppress the experiments' reports\n"
          "  --help          this message\n";
 }
@@ -242,6 +284,7 @@ int bench_main(int argc, const char* const* argv) {
     options.smoke = args.has("smoke");
     options.quiet = args.has("quiet");
     options.with_timing = !args.has("no-timing");
+    options.with_obs = !args.has("no-obs");
     options.filter = args.get("filter", "");
     options.reps = static_cast<std::size_t>(
         args.get_int("reps", options.smoke ? 1 : 3));
@@ -250,6 +293,10 @@ int bench_main(int argc, const char* const* argv) {
     options.threads =
         static_cast<std::size_t>(args.get_int("threads", 0));
     if (args.has("csv")) options.csv_dir = args.require("csv");
+    if (args.has("trace-dir")) {
+      options.trace_dir = args.require("trace-dir");
+      std::filesystem::create_directories(*options.trace_dir);
+    }
     if (args.has("json")) json_path = args.require("json");
     const std::vector<std::string> unused = args.unused();
     if (!unused.empty() || !args.positional().empty()) {

@@ -37,6 +37,14 @@ struct RunnerOptions {
   /// environment block, leaving only deterministic content — byte-identical
   /// across thread counts and repetition counts for a fixed build.
   bool with_timing = true;
+  /// When true (default) the runner hands every repetition a fresh
+  /// obs::Metrics registry and exports its counter totals into the
+  /// telemetry as `obs.*` counters. `--no-obs` turns this off — the
+  /// baseline side of the CI observability-overhead gate.
+  bool with_obs = true;
+  /// When set, the reporting repetition also records a Chrome trace per
+  /// experiment and writes it to `<trace_dir>/<name>.trace.json`.
+  std::optional<std::string> trace_dir;
 };
 
 struct TimingSummary {

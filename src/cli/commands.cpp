@@ -17,11 +17,15 @@
 #include "core/instance_io.hpp"
 #include "core/lower_bounds.hpp"
 #include "core/validation.hpp"
+#include "dist/async_runner.hpp"
 #include "dist/dlb2c.hpp"
 #include "dist/dlbkc.hpp"
 #include "dist/mjtb.hpp"
 #include "dist/ojtb.hpp"
 #include "markov/makespan_pdf.hpp"
+#include "obs/obs.hpp"
+#include "pairwise/basic_greedy.hpp"
+#include "pairwise/typed_greedy.hpp"
 #include "stats/csv.hpp"
 #include "stats/table.hpp"
 
@@ -169,6 +173,57 @@ int cmd_solve(const Args& args, std::ostream& out, std::ostream& err) {
   return 0;
 }
 
+// ----- balance / simulate shared observability plumbing -----
+
+/// Owns the sinks behind --trace-json / --metrics-json for one command
+/// invocation and writes the requested files afterwards.
+struct ObsFiles {
+  std::string trace_path;
+  std::string metrics_path;
+  obs::Metrics metrics;
+  obs::Tracer tracer;
+  obs::Context context;
+
+  ObsFiles(const Args& args, const char* trace_key, const char* metrics_key)
+      : trace_path(args.get(trace_key, "")),
+        metrics_path(args.get(metrics_key, "")) {
+    if (!trace_path.empty()) context.tracer = &tracer;
+    if (!metrics_path.empty() || !trace_path.empty()) {
+      context.metrics = &metrics;
+    }
+  }
+
+  [[nodiscard]] bool enabled() const noexcept {
+    return context.metrics != nullptr || context.tracer != nullptr;
+  }
+
+  /// Writes the requested files; returns 0 or an exit code on I/O failure.
+  int write(std::ostream& out, std::ostream& err) const {
+    if (!trace_path.empty()) {
+      std::ofstream file(trace_path);
+      if (!file) {
+        err << "dlbsim: cannot write " << trace_path << "\n";
+        return 1;
+      }
+      file << tracer.to_chrome_json().dump(2) << "\n";
+      out << "trace-json      : " << trace_path << " (" << tracer.size()
+          << " events";
+      if (tracer.dropped() > 0) out << ", " << tracer.dropped() << " dropped";
+      out << ")\n";
+    }
+    if (!metrics_path.empty()) {
+      std::ofstream file(metrics_path);
+      if (!file) {
+        err << "dlbsim: cannot write " << metrics_path << "\n";
+        return 1;
+      }
+      file << metrics.snapshot().dump(2) << "\n";
+      out << "metrics-json    : " << metrics_path << "\n";
+    }
+    return 0;
+  }
+};
+
 // ----- balance -----
 
 int cmd_balance(const Args& args, std::ostream& out, std::ostream& err) {
@@ -177,6 +232,7 @@ int cmd_balance(const Args& args, std::ostream& out, std::ostream& err) {
   const std::uint64_t seed = args.get_seed("seed", 1);
   const auto per_machine = args.get_int("exchanges-per-machine", 10);
   const std::string trace_path = args.get("trace", "");
+  ObsFiles obs_files(args, "trace-json", "metrics-json");
   if (const int rc = check_unused(args, err)) return rc;
 
   const Instance instance = io::load_instance_file(path);
@@ -184,6 +240,7 @@ int cmd_balance(const Args& args, std::ostream& out, std::ostream& err) {
   dist::EngineOptions options;
   options.max_exchanges = instance.num_machines() * per_machine;
   options.record_trace = !trace_path.empty();
+  if (obs_files.enabled()) options.obs = &obs_files.context;
   stats::Rng rng(seed + 1);
 
   dist::RunResult result = [&] {
@@ -212,15 +269,91 @@ int cmd_balance(const Args& args, std::ostream& out, std::ostream& err) {
       return 1;
     }
     stats::CsvWriter csv(trace);
-    csv.header({"exchange", "makespan"});
-    for (std::size_t x = 0; x < result.makespan_trace.size(); ++x) {
+    // The first two columns are the original format; `changed` and
+    // `migrations` (cumulative job moves) are appended so old scripts keep
+    // parsing and Figure 4/5-style analyses get the per-exchange detail.
+    csv.header({"exchange", "makespan", "changed", "migrations"});
+    for (std::size_t x = 0; x < result.exchange_trace.size(); ++x) {
+      const dist::ExchangeTracePoint& point = result.exchange_trace[x];
       csv.row({stats::CsvWriter::num(x + 1),
-               stats::CsvWriter::num(result.makespan_trace[x])});
+               stats::CsvWriter::num(point.makespan),
+               std::string(point.changed ? "1" : "0"),
+               stats::CsvWriter::num(
+                   static_cast<std::size_t>(point.migrations))});
     }
     out << "trace written   : " << trace_path << " ("
-        << result.makespan_trace.size() << " rows)\n";
+        << result.exchange_trace.size() << " rows)\n";
   }
-  return 0;
+  return obs_files.write(out, err);
+}
+
+// ----- simulate -----
+
+int cmd_simulate(const Args& args, std::ostream& out, std::ostream& err) {
+  const std::string path = args.require("in");
+  const std::string alg = args.get("alg", "dlb2c");
+  const std::uint64_t seed = args.get_seed("seed", 1);
+  const std::string trace_path = args.get("trace", "");
+  ObsFiles obs_files(args, "trace-json", "metrics-json");
+  dist::AsyncOptions options;
+  options.duration = args.get_double("duration", 40.0);
+  options.message_latency = args.get_double("latency", 0.1);
+  options.mean_think_time = args.get_double("think", 1.0);
+  options.reject_backoff = args.get_double("backoff", 1.0);
+  options.seed = seed;
+  options.record_trace = !trace_path.empty();
+  if (obs_files.enabled()) options.obs = &obs_files.context;
+  if (const int rc = check_unused(args, err)) return rc;
+
+  const Instance instance = io::load_instance_file(path);
+  Schedule schedule(instance, gen::random_assignment(instance, seed));
+
+  const pairwise::PairKernel& kernel = [&]() -> const pairwise::PairKernel& {
+    static const dist::Dlb2cKernel dlb2c;
+    static const dist::DlbKcKernel dlbkc;
+    static const pairwise::BasicGreedyKernel ojtb;
+    static const pairwise::TypedGreedyKernel mjtb;
+    if (alg == "dlb2c") return dlb2c;
+    if (alg == "dlbkc") return dlbkc;
+    if (alg == "ojtb") return ojtb;
+    if (alg == "mjtb") return mjtb;
+    throw std::invalid_argument("unknown --alg '" + alg +
+                                "' (dlb2c|dlbkc|ojtb|mjtb)");
+  }();
+
+  const dist::AsyncRunResult result =
+      dist::run_async(schedule, kernel, options);
+
+  const Cost lb = makespan_lower_bound(instance);
+  const std::size_t m = instance.num_machines();
+  out << "algorithm       : " << alg << " (async)\n"
+      << "virtual time    : " << result.end_time << "\n"
+      << "initial Cmax    : " << result.initial_makespan << "\n"
+      << "final Cmax      : " << result.final_makespan << "\n"
+      << "best Cmax       : " << result.best_makespan << "\n"
+      << "sessions        : " << result.sessions_completed << " completed, "
+      << result.sessions_rejected << " rejected ("
+      << result.sessions_per_machine(m) << " per machine)\n"
+      << "messages        : " << result.messages << "\n"
+      << "migrations      : " << result.migrations << "\n"
+      << "LB              : " << lb << "\n"
+      << "final factor    : " << result.final_makespan / lb << "\n";
+  if (!trace_path.empty()) {
+    std::ofstream trace(trace_path);
+    if (!trace) {
+      err << "dlbsim: cannot write " << trace_path << "\n";
+      return 1;
+    }
+    stats::CsvWriter csv(trace);
+    csv.header({"time", "makespan"});
+    for (const dist::AsyncTracePoint& point : result.trace) {
+      csv.row({stats::CsvWriter::num(point.time),
+               stats::CsvWriter::num(point.makespan)});
+    }
+    out << "trace written   : " << trace_path << " (" << result.trace.size()
+        << " rows)\n";
+  }
+  return obs_files.write(out, err);
 }
 
 // ----- markov -----
@@ -259,6 +392,11 @@ commands:
            [--alg list|lpt|ect|minmin|maxmin|sufferage|clb2c|lenstra|exact]
   balance  --in FILE [--alg dlb2c|dlbkc|ojtb|mjtb]
            [--exchanges-per-machine N] [--seed S] [--trace FILE.csv]
+           [--trace-json FILE.json] [--metrics-json FILE.json]
+  simulate --in FILE [--alg dlb2c|dlbkc|ojtb|mjtb] [--duration T]
+           [--latency T] [--think T] [--backoff T] [--seed S]
+           [--trace FILE.csv] [--trace-json FILE.json]
+           [--metrics-json FILE.json]
   markov   [--m N] [--pmax P]
   help
 )";
@@ -275,6 +413,7 @@ int run_command(const std::vector<std::string>& argv, std::ostream& out,
     if (command == "info") return cmd_info(args, out, err);
     if (command == "solve") return cmd_solve(args, out, err);
     if (command == "balance") return cmd_balance(args, out, err);
+    if (command == "simulate") return cmd_simulate(args, out, err);
     if (command == "markov") return cmd_markov(args, out, err);
     if (command == "help") {
       out << usage();

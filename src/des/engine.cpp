@@ -21,9 +21,19 @@ std::uint64_t Engine::run(std::uint64_t max_events) {
     now_ = event.time;
     ++fired;
     ++processed_;
+    if (obs_events_) {
+      obs_events_->add();
+      obs_queue_depth_->set(static_cast<double>(queue_.size()));
+    }
     event.callback();
   }
   return fired;
+}
+
+void Engine::attach_obs(const obs::Context* context) {
+  obs::Metrics* metrics = obs::metrics_of(context);
+  obs_events_ = metrics ? &metrics->counter("des.events") : nullptr;
+  obs_queue_depth_ = metrics ? &metrics->gauge("des.queue_depth") : nullptr;
 }
 
 }  // namespace dlb::des

@@ -9,6 +9,8 @@
 #include <queue>
 #include <vector>
 
+#include "obs/obs.hpp"
+
 namespace dlb::des {
 
 using SimTime = double;
@@ -38,6 +40,10 @@ class Engine {
     return processed_;
   }
 
+  /// Attaches observability sinks (counter des.events, gauge
+  /// des.queue_depth). `context` must outlive the engine; null detaches.
+  void attach_obs(const obs::Context* context);
+
  private:
   struct Event {
     SimTime time;
@@ -56,6 +62,8 @@ class Engine {
   std::uint64_t next_seq_ = 0;
   std::uint64_t processed_ = 0;
   bool stopped_ = false;
+  obs::Counter* obs_events_ = nullptr;
+  obs::Gauge* obs_queue_depth_ = nullptr;
 };
 
 }  // namespace dlb::des

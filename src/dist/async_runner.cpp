@@ -24,6 +24,16 @@ class AsyncSimulation {
     if (!(options.mean_think_time > 0.0) || !(options.duration > 0.0)) {
       throw std::invalid_argument("run_async: times must be positive");
     }
+    obs::Metrics* metrics = obs::metrics_of(options.obs);
+    tracer_ = obs::tracer_of(options.obs);
+    if (metrics) {
+      engine_.attach_obs(options.obs);
+      network_.attach_obs(options.obs);
+      c_completed_ = &metrics->counter("async.sessions.completed");
+      c_rejected_ = &metrics->counter("async.sessions.rejected");
+      c_backoffs_ = &metrics->counter("async.backoffs");
+      g_cmax_ = &metrics->gauge("async.cmax");
+    }
   }
 
   AsyncRunResult run() {
@@ -45,6 +55,17 @@ class AsyncSimulation {
   }
 
  private:
+  [[nodiscard]] double ts() const noexcept {
+    return obs::sim_time_us(engine_.now());
+  }
+
+  void message_event(const char* kind, MachineId from, MachineId to) {
+    if (!tracer_) return;
+    tracer_->instant(ts(), from, kind, "net.msg",
+                     {{"from", static_cast<std::int64_t>(from)},
+                      {"to", static_cast<std::int64_t>(to)}});
+  }
+
   void schedule_wakeup(MachineId i) {
     const des::SimTime delay =
         rng_.exponential(1.0 / options_.mean_think_time);
@@ -63,16 +84,31 @@ class AsyncSimulation {
         rng_.below(schedule_->num_machines() - 1));
     if (peer >= initiator) ++peer;
     locked_[initiator] = true;
+    if (tracer_) {
+      tracer_->begin(ts(), initiator, "session", "dist",
+                     {{"peer", static_cast<std::int64_t>(peer)}});
+    }
+    message_event("REQUEST", initiator, peer);
     network_.send(initiator, peer, [this, initiator, peer] {
       handle_request(initiator, peer);
     });
   }
 
+  void end_session(MachineId initiator, bool completed, Cost cmax) {
+    if (!tracer_) return;
+    tracer_->end(ts(), initiator, "session",
+                 {{"completed", completed}, {"cmax", cmax}});
+  }
+
   void handle_request(MachineId initiator, MachineId peer) {
     if (locked_[peer]) {
       ++result_.sessions_rejected;
+      if (c_rejected_) c_rejected_->add();
+      message_event("REJECT", peer, initiator);
       network_.send(peer, initiator, [this, initiator] {
         locked_[initiator] = false;
+        end_session(initiator, false, schedule_->makespan());
+        if (c_backoffs_) c_backoffs_->add();
         engine_.schedule_after(rng_.uniform(0.0, options_.reject_backoff),
                                [this, initiator] { try_initiate(initiator); });
       });
@@ -83,7 +119,9 @@ class AsyncSimulation {
     // then computes the split and the TRANSFER ships the moved jobs. Both
     // steps cost one message each; the state mutation happens at transfer
     // delivery time (both machines stay locked meanwhile).
+    message_event("ACCEPT", peer, initiator);
     network_.send(peer, initiator, [this, initiator, peer] {
+      message_event("TRANSFER", initiator, peer);
       network_.send(initiator, peer, [this, initiator, peer] {
         kernel_->balance(*schedule_, initiator, peer);
         ++result_.sessions_completed;
@@ -92,8 +130,13 @@ class AsyncSimulation {
         if (options_.record_trace) {
           result_.trace.push_back({engine_.now(), cmax});
         }
+        if (c_completed_) {
+          c_completed_->add();
+          g_cmax_->set(cmax);
+        }
         locked_[initiator] = false;
         locked_[peer] = false;
+        end_session(initiator, true, cmax);
         schedule_wakeup(initiator);
       });
     });
@@ -108,6 +151,11 @@ class AsyncSimulation {
   net::Network network_;
   std::vector<char> locked_;
   AsyncRunResult result_;
+  obs::Tracer* tracer_ = nullptr;
+  obs::Counter* c_completed_ = nullptr;
+  obs::Counter* c_rejected_ = nullptr;
+  obs::Counter* c_backoffs_ = nullptr;
+  obs::Gauge* g_cmax_ = nullptr;
 };
 
 }  // namespace

@@ -20,6 +20,7 @@
 
 #include "core/schedule.hpp"
 #include "net/network.hpp"
+#include "obs/obs.hpp"
 #include "pairwise/pair_kernel.hpp"
 #include "stats/rng.hpp"
 
@@ -37,6 +38,11 @@ struct AsyncOptions {
   std::uint64_t seed = 1;
   /// Record (time, makespan) after every completed session.
   bool record_trace = false;
+  /// Optional observability sinks (must outlive the run). Counters:
+  /// async.sessions.completed / .rejected, async.backoffs, net.messages,
+  /// des.events; tracer spans "session" plus REQUEST/ACCEPT/REJECT/TRANSFER
+  /// instants on the virtual DES clock (1 sim time unit = 1 second).
+  const obs::Context* obs = nullptr;
 };
 
 struct AsyncTracePoint {
@@ -56,8 +62,9 @@ struct AsyncRunResult {
   std::vector<AsyncTracePoint> trace;
 
   /// Completed sessions per machine — comparable to the sequential model's
-  /// exchanges per machine.
+  /// exchanges per machine. 0 for an empty machine set.
   [[nodiscard]] double sessions_per_machine(std::size_t machines) const {
+    if (machines == 0) return 0.0;
     return static_cast<double>(sessions_completed) /
            static_cast<double>(machines);
   }

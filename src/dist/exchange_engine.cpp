@@ -1,10 +1,20 @@
 #include "dist/exchange_engine.hpp"
 
+#include <algorithm>
 #include <numeric>
 
 #include "dist/convergence.hpp"
 
 namespace dlb::dist {
+
+namespace {
+
+/// Initial trace reservation: enough for every small instance, while a
+/// max_exchanges in the hundreds of thousands (the default cap) no longer
+/// forces a multi-megabyte allocation up front — the vectors grow instead.
+constexpr std::size_t kTraceReserveCap = 4096;
+
+}  // namespace
 
 RunResult ExchangeEngine::run(Schedule& schedule, const EngineOptions& options,
                               stats::Rng& rng) const {
@@ -14,8 +24,52 @@ RunResult ExchangeEngine::run(Schedule& schedule, const EngineOptions& options,
   result.initial_makespan = schedule.makespan();
   result.best_makespan = result.initial_makespan;
   if (options.record_trace) {
-    result.makespan_trace.reserve(options.max_exchanges);
+    const std::size_t reserve =
+        std::min(options.max_exchanges, kTraceReserveCap);
+    result.makespan_trace.reserve(reserve);
+    result.exchange_trace.reserve(reserve);
   }
+
+  // Resolve observability handles once; every hot-loop use below is a
+  // single null test (disabled) or a relaxed atomic / ring append.
+  obs::Metrics* metrics = obs::metrics_of(options.obs);
+  obs::Tracer* tracer = obs::tracer_of(options.obs);
+  obs::Counter* c_exchanges =
+      metrics ? &metrics->counter("exchange.count") : nullptr;
+  obs::Counter* c_changed =
+      metrics ? &metrics->counter("exchange.changed") : nullptr;
+  obs::Counter* c_migrations =
+      metrics ? &metrics->counter("exchange.migrations") : nullptr;
+  obs::Gauge* g_cmax = metrics ? &metrics->gauge("exchange.cmax") : nullptr;
+
+  // One recording path feeds the RunResult vectors and the tracer, so the
+  // legacy makespan_trace stays in lockstep with every other sink.
+  const auto record = [&](MachineId initiator, MachineId peer, bool changed,
+                          std::uint64_t moved, Cost cmax) {
+    if (options.record_trace) {
+      result.makespan_trace.push_back(cmax);
+      result.exchange_trace.push_back(
+          {cmax, changed, schedule.migrations() - migrations_before});
+    }
+    if (c_exchanges) {
+      c_exchanges->add();
+      if (changed) c_changed->add();
+      c_migrations->add(moved);
+      g_cmax->set(cmax);
+    }
+    if (tracer) {
+      // Virtual time: exchange k spans [k, k+1) microseconds.
+      const auto ts = static_cast<double>(result.exchanges - 1);
+      tracer->begin(ts, initiator, "exchange", "dist",
+                    {{"initiator", static_cast<std::int64_t>(initiator)},
+                     {"peer", static_cast<std::int64_t>(peer)},
+                     {"kernel", std::string(kernel_->name())}});
+      tracer->end(ts + 1.0, initiator, "exchange",
+                  {{"changed", changed},
+                   {"jobs_moved", static_cast<std::int64_t>(moved)},
+                   {"cmax", cmax}});
+    }
+  };
 
   // Threshold may already hold before any exchange.
   if (options.stop_threshold > 0.0 &&
@@ -43,13 +97,15 @@ RunResult ExchangeEngine::run(Schedule& schedule, const EngineOptions& options,
     }
     const MachineId peer = selector_->select(initiator, m, rng);
 
+    const std::uint64_t migrations_pre = schedule.migrations();
     const bool changed = kernel_->balance(schedule, initiator, peer);
     ++result.exchanges;
     if (changed) ++result.changed_exchanges;
 
     const Cost cmax = schedule.makespan();
     result.best_makespan = std::min(result.best_makespan, cmax);
-    if (options.record_trace) result.makespan_trace.push_back(cmax);
+    record(initiator, peer, changed, schedule.migrations() - migrations_pre,
+           cmax);
 
     if (options.stop_threshold > 0.0 && !result.reached_threshold &&
         cmax <= options.stop_threshold) {

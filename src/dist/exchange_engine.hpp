@@ -6,10 +6,12 @@
 // "number of exchanges per machine" is `exchanges / num_machines` here).
 
 #include <cstddef>
+#include <cstdint>
 #include <vector>
 
 #include "core/schedule.hpp"
 #include "dist/peer_selector.hpp"
+#include "obs/obs.hpp"
 #include "pairwise/pair_kernel.hpp"
 #include "stats/rng.hpp"
 
@@ -35,6 +37,17 @@ struct EngineOptions {
   /// pair sweep on a copy; stop if stable (Theorem 7's precondition).
   std::size_t stability_check_interval = 0;
   InitiatorPolicy initiator = InitiatorPolicy::kRoundRobinShuffled;
+  /// Optional observability sinks (must outlive the run). Counters:
+  /// exchange.count / .changed / .migrations; gauge exchange.cmax; tracer
+  /// spans "exchange" on the virtual axis of one microsecond per exchange.
+  const obs::Context* obs = nullptr;
+};
+
+/// Per-exchange record captured when EngineOptions::record_trace is set.
+struct ExchangeTracePoint {
+  Cost makespan = 0.0;            ///< Cmax after the exchange.
+  bool changed = false;           ///< Did the kernel move any job?
+  std::uint64_t migrations = 0;   ///< Cumulative job moves within the run.
 };
 
 struct RunResult {
@@ -47,11 +60,18 @@ struct RunResult {
   bool converged = false;             ///< Certified stable before the cap.
   bool reached_threshold = false;
   std::size_t exchanges_to_threshold = 0;  ///< Valid iff reached_threshold.
-  std::vector<Cost> makespan_trace;   ///< Cmax after each exchange (optional).
+  /// Cmax after each exchange (optional). Kept as a plain vector for the
+  /// existing fig4/fig5 callers; it is a view of the same per-exchange
+  /// recording that feeds `exchange_trace` and the obs tracer.
+  std::vector<Cost> makespan_trace;
+  /// Full per-exchange trace (same length as makespan_trace).
+  std::vector<ExchangeTracePoint> exchange_trace;
 
-  /// Exchanges per machine until the threshold (Figure 5's X axis).
+  /// Exchanges per machine until the threshold (Figure 5's X axis);
+  /// 0 for an empty machine set.
   [[nodiscard]] double normalized_threshold_time(
       std::size_t num_machines) const {
+    if (num_machines == 0) return 0.0;
     return static_cast<double>(exchanges_to_threshold) /
            static_cast<double>(num_machines);
   }

@@ -58,6 +58,10 @@
 #include "markov/stationary.hpp"     // IWYU pragma: export
 #include "markov/transitions.hpp"    // IWYU pragma: export
 
+#include "obs/metrics.hpp"           // IWYU pragma: export
+#include "obs/obs.hpp"               // IWYU pragma: export
+#include "obs/trace.hpp"             // IWYU pragma: export
+
 #include "parallel/monte_carlo.hpp"  // IWYU pragma: export
 #include "parallel/thread_pool.hpp"  // IWYU pragma: export
 

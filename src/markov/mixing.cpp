@@ -42,6 +42,12 @@ SpectralGapResult spectral_gap(const TransitionMatrix& matrix,
   };
   project_and_normalize(z);
 
+  obs::Metrics* obs_metrics = obs::metrics_of(options.obs);
+  obs::Counter* c_iterations =
+      obs_metrics ? &obs_metrics->counter("markov.power.iterations") : nullptr;
+  obs::Gauge* g_residual =
+      obs_metrics ? &obs_metrics->gauge("markov.power.residual") : nullptr;
+
   SpectralGapResult result;
   double previous = 0.0;
   for (std::size_t it = 0; it < options.max_iterations; ++it) {
@@ -58,6 +64,10 @@ SpectralGapResult spectral_gap(const TransitionMatrix& matrix,
     z.swap(next);
     result.iterations = it + 1;
     result.lambda2 = norm;
+    if (c_iterations) {
+      c_iterations->add();
+      g_residual->set(std::abs(norm - previous));
+    }
     // The growth factor settles once the subdominant mode dominates. Use a
     // relative change criterion on the estimate.
     if (it > 10 && std::abs(norm - previous) <

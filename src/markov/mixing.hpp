@@ -15,12 +15,16 @@
 
 #include "markov/state_space.hpp"
 #include "markov/transitions.hpp"
+#include "obs/obs.hpp"
 
 namespace dlb::markov {
 
 struct SpectralGapOptions {
   std::size_t max_iterations = 200'000;
   double tolerance = 1e-10;
+  /// Optional observability sinks (counter markov.power.iterations, gauge
+  /// markov.power.residual). Must outlive the call.
+  const obs::Context* obs = nullptr;
 };
 
 struct SpectralGapResult {

@@ -18,6 +18,12 @@ StationaryResult stationary_distribution(const TransitionMatrix& matrix,
     result.pi[s] = 1.0 / static_cast<double>(support.size());
   }
 
+  obs::Metrics* metrics = obs::metrics_of(options.obs);
+  obs::Counter* c_iterations =
+      metrics ? &metrics->counter("markov.stationary.iterations") : nullptr;
+  obs::Gauge* g_residual =
+      metrics ? &metrics->gauge("markov.stationary.residual") : nullptr;
+
   std::vector<double> next(n, 0.0);
   for (std::size_t it = 0; it < options.max_iterations; ++it) {
     std::fill(next.begin(), next.end(), 0.0);
@@ -36,6 +42,10 @@ StationaryResult stationary_distribution(const TransitionMatrix& matrix,
     result.pi.swap(next);
     result.iterations = it + 1;
     result.residual = diff;
+    if (c_iterations) {
+      c_iterations->add();
+      g_residual->set(diff);
+    }
     if (diff < options.tolerance) {
       result.converged = true;
       break;

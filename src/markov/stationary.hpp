@@ -10,6 +10,7 @@
 #include <vector>
 
 #include "markov/transitions.hpp"
+#include "obs/obs.hpp"
 
 namespace dlb::markov {
 
@@ -17,6 +18,9 @@ struct StationaryOptions {
   std::size_t max_iterations = 100'000;
   /// Stop when the L1 change between successive iterates drops below this.
   double tolerance = 1e-12;
+  /// Optional observability sinks (counter markov.stationary.iterations,
+  /// gauge markov.stationary.residual). Must outlive the call.
+  const obs::Context* obs = nullptr;
 };
 
 struct StationaryResult {

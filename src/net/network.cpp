@@ -6,7 +6,17 @@ void Network::send(MachineId from, MachineId to,
                    std::function<void()> deliver) {
   ++messages_;
   const des::SimTime latency = latency_->sample(from, to, *rng_);
+  if (obs_messages_) {
+    obs_messages_->add();
+    obs_last_latency_->set(latency);
+  }
   engine_->schedule_after(latency, std::move(deliver));
+}
+
+void Network::attach_obs(const obs::Context* context) {
+  obs::Metrics* metrics = obs::metrics_of(context);
+  obs_messages_ = metrics ? &metrics->counter("net.messages") : nullptr;
+  obs_last_latency_ = metrics ? &metrics->gauge("net.last_latency") : nullptr;
 }
 
 }  // namespace dlb::net

@@ -10,6 +10,7 @@
 
 #include "core/types.hpp"
 #include "des/engine.hpp"
+#include "obs/obs.hpp"
 #include "stats/rng.hpp"
 
 namespace dlb::net {
@@ -63,11 +64,17 @@ class Network {
     return messages_;
   }
 
+  /// Attaches observability sinks (counter net.messages, gauge
+  /// net.last_latency). `context` must outlive the network; null detaches.
+  void attach_obs(const obs::Context* context);
+
  private:
   des::Engine* engine_;
   const LatencyModel* latency_;
   stats::Rng* rng_;
   std::uint64_t messages_ = 0;
+  obs::Counter* obs_messages_ = nullptr;
+  obs::Gauge* obs_last_latency_ = nullptr;
 };
 
 }  // namespace dlb::net

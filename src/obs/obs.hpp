@@ -1,0 +1,28 @@
+#pragma once
+
+// Umbrella for the observability layer: a Context bundles the two optional
+// sinks every instrumented engine accepts. Engines take a
+// `const obs::Context*` (null = fully disabled) and resolve their metric
+// handles once up front, so the disabled path costs one pointer test per
+// hot-loop iteration and the enabled path costs relaxed atomics plus, when
+// a tracer is attached, one mutexed ring append per event.
+
+#include "obs/metrics.hpp"  // IWYU pragma: export
+#include "obs/trace.hpp"    // IWYU pragma: export
+
+namespace dlb::obs {
+
+struct Context {
+  Metrics* metrics = nullptr;
+  Tracer* tracer = nullptr;
+};
+
+/// The sinks of `context` (both null when `context` itself is null).
+[[nodiscard]] inline Metrics* metrics_of(const Context* context) noexcept {
+  return context == nullptr ? nullptr : context->metrics;
+}
+[[nodiscard]] inline Tracer* tracer_of(const Context* context) noexcept {
+  return context == nullptr ? nullptr : context->tracer;
+}
+
+}  // namespace dlb::obs

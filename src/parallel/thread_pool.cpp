@@ -1,6 +1,7 @@
 #include "parallel/thread_pool.hpp"
 
 #include <algorithm>
+#include <chrono>
 
 namespace dlb::parallel {
 
@@ -28,8 +29,20 @@ void ThreadPool::submit(std::function<void()> task) {
     std::lock_guard lock(mutex_);
     queue_.push_back(std::move(task));
     ++in_flight_;
+    if (obs_queue_depth_) {
+      obs_queue_depth_->set(static_cast<double>(queue_.size()));
+    }
   }
   task_ready_.notify_one();
+}
+
+void ThreadPool::attach_obs(const obs::Context* context) {
+  obs::Metrics* metrics = obs::metrics_of(context);
+  std::lock_guard lock(mutex_);
+  obs_tasks_ = metrics ? &metrics->counter("pool.tasks") : nullptr;
+  obs_queue_depth_ = metrics ? &metrics->gauge("pool.queue_depth") : nullptr;
+  obs_task_seconds_ =
+      metrics ? &metrics->histogram("pool.task_seconds") : nullptr;
 }
 
 void ThreadPool::wait_idle() {
@@ -40,6 +53,8 @@ void ThreadPool::wait_idle() {
 void ThreadPool::worker_loop() {
   for (;;) {
     std::function<void()> task;
+    obs::Histogram* task_seconds = nullptr;
+    obs::Counter* tasks = nullptr;
     {
       std::unique_lock lock(mutex_);
       task_ready_.wait(lock,
@@ -47,8 +62,21 @@ void ThreadPool::worker_loop() {
       if (queue_.empty()) return;  // shutting down and drained
       task = std::move(queue_.front());
       queue_.pop_front();
+      // Snapshot the sinks under the lock: attach_obs may race with idle
+      // workers, and the handles themselves are lock-free afterwards.
+      task_seconds = obs_task_seconds_;
+      tasks = obs_tasks_;
     }
-    task();
+    if (task_seconds) {
+      const auto start = std::chrono::steady_clock::now();
+      task();
+      const std::chrono::duration<double> elapsed =
+          std::chrono::steady_clock::now() - start;
+      task_seconds->observe(elapsed.count());
+      tasks->add();
+    } else {
+      task();
+    }
     {
       std::lock_guard lock(mutex_);
       if (--in_flight_ == 0) all_done_.notify_all();

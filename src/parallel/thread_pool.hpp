@@ -14,6 +14,8 @@
 #include <thread>
 #include <vector>
 
+#include "obs/obs.hpp"
+
 namespace dlb::parallel {
 
 class ThreadPool {
@@ -38,6 +40,12 @@ class ThreadPool {
   /// Blocks until every submitted task has finished.
   void wait_idle();
 
+  /// Attaches observability sinks (counter pool.tasks, gauge
+  /// pool.queue_depth, histogram pool.task_seconds). `context` must
+  /// outlive the pool; null detaches. Not thread-safe against concurrent
+  /// submit(): attach before handing the pool to producers.
+  void attach_obs(const obs::Context* context);
+
  private:
   void worker_loop();
 
@@ -48,6 +56,9 @@ class ThreadPool {
   std::condition_variable all_done_;
   std::size_t in_flight_ = 0;
   bool shutting_down_ = false;
+  obs::Counter* obs_tasks_ = nullptr;
+  obs::Gauge* obs_queue_depth_ = nullptr;
+  obs::Histogram* obs_task_seconds_ = nullptr;
 };
 
 /// Splits [0, count) into roughly even chunks and runs `body(begin, end)`

@@ -3,8 +3,11 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <fstream>
 #include <sstream>
+
+#include "stats/json.hpp"
 
 namespace dlb::cli {
 namespace {
@@ -111,7 +114,103 @@ TEST(Commands, GenInfoSolveBalancePipeline) {
   std::ifstream trace_file(trace);
   std::string header;
   std::getline(trace_file, header);
-  EXPECT_EQ(header, "exchange,makespan");
+  // Old 2-column format first, new columns appended (script compatibility).
+  EXPECT_EQ(header, "exchange,makespan,changed,migrations");
+  std::string first_row;
+  std::getline(trace_file, first_row);
+  EXPECT_EQ(first_row.rfind("1,", 0), 0u);
+  EXPECT_EQ(std::count(first_row.begin(), first_row.end(), ','), 3);
+}
+
+std::string slurp(const std::string& path) {
+  std::ifstream file(path);
+  std::ostringstream text;
+  text << file.rdbuf();
+  return text.str();
+}
+
+TEST(Commands, BalanceWritesStructurallyValidObsJson) {
+  const std::string path = temp_path("cli_obs.inst");
+  ASSERT_EQ(run({"gen", "--kind", "two-cluster", "--m1", "4", "--m2", "2",
+                 "--jobs", "48", "--hi", "100", "--out", path})
+                .code,
+            0);
+  const std::string trace_json = temp_path("cli_obs_trace.json");
+  const std::string metrics_json = temp_path("cli_obs_metrics.json");
+  const auto balance =
+      run({"balance", "--in", path, "--exchanges-per-machine", "4",
+           "--trace-json", trace_json, "--metrics-json", metrics_json});
+  ASSERT_EQ(balance.code, 0) << balance.err;
+  EXPECT_NE(balance.out.find("trace-json"), std::string::npos);
+  EXPECT_NE(balance.out.find("metrics-json"), std::string::npos);
+
+  // The Chrome trace must parse, carry the expected top-level shape, and
+  // every exchange span must contribute a begin and an end event.
+  const stats::Json trace_doc = stats::Json::parse(slurp(trace_json));
+  ASSERT_TRUE(trace_doc.is_object());
+  EXPECT_EQ(trace_doc.find("displayTimeUnit")->as_string(), "ms");
+  const stats::Json* events = trace_doc.find("traceEvents");
+  ASSERT_NE(events, nullptr);
+  ASSERT_TRUE(events->is_array());
+  ASSERT_EQ(events->size(), 2 * 6 * 4u);  // m machines * 4 exchanges, B+E
+  double previous_ts = 0.0;
+  std::size_t begins = 0;
+  std::size_t ends = 0;
+  for (const stats::Json& event : events->as_array()) {
+    const std::string& phase = event.find("ph")->as_string();
+    if (phase == "B") ++begins;
+    if (phase == "E") ++ends;
+    const double ts = event.find("ts")->as_number();
+    EXPECT_GE(ts, previous_ts);  // export sorts by timestamp
+    previous_ts = ts;
+  }
+  EXPECT_EQ(begins, ends);
+
+  const stats::Json metrics_doc = stats::Json::parse(slurp(metrics_json));
+  ASSERT_TRUE(metrics_doc.is_object());
+  const stats::Json* counters = metrics_doc.find("counters");
+  ASSERT_NE(counters, nullptr);
+  EXPECT_DOUBLE_EQ(counters->find("exchange.count")->as_number(), 24.0);
+  EXPECT_NE(metrics_doc.find("gauges")->find("exchange.cmax"), nullptr);
+}
+
+TEST(Commands, SimulateRunsAsyncProtocolWithObsOutputs) {
+  const std::string path = temp_path("cli_sim.inst");
+  ASSERT_EQ(run({"gen", "--kind", "two-cluster", "--m1", "4", "--m2", "2",
+                 "--jobs", "48", "--hi", "100", "--out", path})
+                .code,
+            0);
+  const std::string trace = temp_path("cli_sim_trace.csv");
+  const std::string metrics_json = temp_path("cli_sim_metrics.json");
+  const auto simulate = run({"simulate", "--in", path, "--duration", "10",
+                             "--trace", trace, "--metrics-json",
+                             metrics_json});
+  ASSERT_EQ(simulate.code, 0) << simulate.err;
+  EXPECT_NE(simulate.out.find("(async)"), std::string::npos);
+  EXPECT_NE(simulate.out.find("sessions"), std::string::npos);
+
+  std::ifstream trace_file(trace);
+  std::string header;
+  std::getline(trace_file, header);
+  EXPECT_EQ(header, "time,makespan");
+
+  const stats::Json metrics_doc = stats::Json::parse(slurp(metrics_json));
+  const stats::Json* counters = metrics_doc.find("counters");
+  ASSERT_NE(counters, nullptr);
+  EXPECT_NE(counters->find("async.sessions.completed"), nullptr);
+  EXPECT_NE(counters->find("net.messages"), nullptr);
+  EXPECT_NE(counters->find("des.events"), nullptr);
+}
+
+TEST(Commands, SimulateRejectsUnknownAlgorithm) {
+  const std::string path = temp_path("cli_sim_bad.inst");
+  ASSERT_EQ(run({"gen", "--kind", "identical", "--m", "3", "--jobs", "12",
+                 "--out", path})
+                .code,
+            0);
+  const auto result = run({"simulate", "--in", path, "--alg", "nope"});
+  EXPECT_EQ(result.code, 2);
+  EXPECT_NE(result.err.find("unknown --alg"), std::string::npos);
 }
 
 TEST(Commands, SolveEveryAlgorithmOnASmallInstance) {

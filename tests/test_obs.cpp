@@ -1,0 +1,257 @@
+#include "obs/metrics.hpp"
+#include "obs/obs.hpp"
+#include "obs/trace.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <map>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "core/generators.hpp"
+#include "dist/dlb2c.hpp"
+#include "parallel/thread_pool.hpp"
+#include "stats/json.hpp"
+#include "stats/rng.hpp"
+
+namespace dlb::obs {
+namespace {
+
+// ---- metrics registry ----
+
+TEST(Metrics, CounterGaugeHistogramBasics) {
+  Metrics metrics;
+  Counter& c = metrics.counter("events");
+  c.add();
+  c.add(41);
+  EXPECT_EQ(c.value(), 42u);
+  EXPECT_EQ(&metrics.counter("events"), &c);  // stable handle
+
+  Gauge& g = metrics.gauge("depth");
+  g.set(3.5);
+  EXPECT_DOUBLE_EQ(g.value(), 3.5);
+
+  Histogram& h = metrics.histogram("latency");
+  h.observe(0.5);
+  h.observe(1.0);
+  h.observe(2.0);
+  EXPECT_EQ(h.count(), 3u);
+  EXPECT_DOUBLE_EQ(h.sum(), 3.5);
+  const Histogram::Snapshot snap = h.snapshot();
+  EXPECT_EQ(snap.count, 3u);
+  // Every recorded sample sits at or below the p99 bucket bound.
+  EXPECT_GE(snap.quantile_bound(0.99), 2.0);
+  EXPECT_GT(snap.quantile_bound(0.0), 0.0);
+}
+
+TEST(Metrics, NamespacesAreIndependentPerKind) {
+  Metrics metrics;
+  metrics.counter("x").add(7);
+  metrics.gauge("x").set(1.25);
+  EXPECT_EQ(metrics.counter("x").value(), 7u);
+  EXPECT_DOUBLE_EQ(metrics.gauge("x").value(), 1.25);
+}
+
+TEST(Metrics, CounterValuesAreSortedByName) {
+  Metrics metrics;
+  metrics.counter("zebra").add(1);
+  metrics.counter("alpha").add(2);
+  metrics.counter("mid").add(3);
+  const auto values = metrics.counter_values();
+  ASSERT_EQ(values.size(), 3u);
+  EXPECT_EQ(values[0].first, "alpha");
+  EXPECT_EQ(values[1].first, "mid");
+  EXPECT_EQ(values[2].first, "zebra");
+}
+
+TEST(Metrics, SnapshotIsByteDeterministicAcrossInsertionOrder) {
+  Metrics forward;
+  forward.counter("a").add(1);
+  forward.counter("b").add(2);
+  forward.gauge("g").set(0.5);
+  forward.histogram("h").observe(1.0);
+
+  Metrics reversed;
+  reversed.histogram("h").observe(1.0);
+  reversed.gauge("g").set(0.5);
+  reversed.counter("b").add(2);
+  reversed.counter("a").add(1);
+
+  EXPECT_EQ(forward.snapshot().dump(2), reversed.snapshot().dump(2));
+}
+
+TEST(Metrics, SnapshotParsesAndCarriesAllSections) {
+  Metrics metrics;
+  metrics.counter("c").add(9);
+  metrics.gauge("g").set(-1.5);
+  metrics.histogram("h").observe(4.0);
+  const stats::Json doc = stats::Json::parse(metrics.snapshot().dump(2));
+  EXPECT_DOUBLE_EQ(doc.find("counters")->find("c")->as_number(), 9.0);
+  EXPECT_DOUBLE_EQ(doc.find("gauges")->find("g")->as_number(), -1.5);
+  const stats::Json* h = doc.find("histograms")->find("h");
+  ASSERT_NE(h, nullptr);
+  EXPECT_DOUBLE_EQ(h->find("count")->as_number(), 1.0);
+  EXPECT_DOUBLE_EQ(h->find("sum")->as_number(), 4.0);
+}
+
+// ---- null-safe context helpers ----
+
+TEST(ObsContext, NullContextYieldsNullSinks) {
+  EXPECT_EQ(metrics_of(nullptr), nullptr);
+  EXPECT_EQ(tracer_of(nullptr), nullptr);
+  Context context;
+  EXPECT_EQ(metrics_of(&context), nullptr);
+  EXPECT_EQ(tracer_of(&context), nullptr);
+  Metrics metrics;
+  context.metrics = &metrics;
+  EXPECT_EQ(metrics_of(&context), &metrics);
+}
+
+// ---- tracer ----
+
+TEST(Tracer, RecordsAndSortsEvents) {
+  Tracer tracer;
+  tracer.begin(2.0, 1, "span", "cat");
+  tracer.instant(1.0, 0, "point", "cat", {{"k", std::int64_t{7}}});
+  tracer.end(3.0, 1, "span");
+  ASSERT_EQ(tracer.size(), 3u);
+  const std::vector<TraceEvent> events = tracer.events();
+  EXPECT_EQ(events[0].name, "point");  // sorted by timestamp
+  EXPECT_EQ(events[1].phase, Phase::kBegin);
+  EXPECT_EQ(events[2].phase, Phase::kEnd);
+  ASSERT_EQ(events[0].args.size(), 1u);
+  EXPECT_EQ(events[0].args[0].key, "k");
+}
+
+TEST(Tracer, RingBufferDropsNewestAndCounts) {
+  Tracer tracer({/*capacity=*/4});
+  for (int i = 0; i < 10; ++i) {
+    tracer.instant(static_cast<double>(i), 0, "e", "c");
+  }
+  EXPECT_EQ(tracer.size(), 4u);
+  EXPECT_EQ(tracer.dropped(), 6u);
+  EXPECT_EQ(tracer.capacity(), 4u);
+  // The retained prefix is the oldest events, so timestamps 0..3 survive.
+  const std::vector<TraceEvent> events = tracer.events();
+  EXPECT_DOUBLE_EQ(events.back().ts_us, 3.0);
+  tracer.clear();
+  EXPECT_EQ(tracer.size(), 0u);
+  EXPECT_EQ(tracer.dropped(), 0u);
+}
+
+TEST(Tracer, ScopedSpanEmitsBeginAndEndWithAnnotations) {
+  Tracer tracer;
+  {
+    ScopedSpan span(&tracer, 3, "work", "test", {{"in", std::int64_t{1}}});
+    span.annotate({"out", true});
+  }
+  ASSERT_EQ(tracer.size(), 2u);
+  const std::vector<TraceEvent> events = tracer.events();
+  EXPECT_EQ(events[0].phase, Phase::kBegin);
+  EXPECT_EQ(events[1].phase, Phase::kEnd);
+  EXPECT_EQ(events[1].tid, 3u);
+  ASSERT_EQ(events[1].args.size(), 1u);
+  EXPECT_EQ(events[1].args[0].key, "out");
+
+  // A null tracer makes the span a no-op rather than a crash.
+  ScopedSpan noop(nullptr, 0, "x", "y");
+  noop.annotate({"k", 1.0});
+}
+
+TEST(Tracer, CsvExportHasHeaderAndOneLinePerEvent) {
+  Tracer tracer;
+  tracer.begin(0.0, 0, "s", "c");
+  tracer.end(1.0, 0, "s");
+  std::ostringstream out;
+  tracer.write_csv(out);
+  std::istringstream in(out.str());
+  std::string line;
+  std::getline(in, line);
+  EXPECT_EQ(line, "ts_us,phase,tid,name,category,args");
+  std::size_t rows = 0;
+  while (std::getline(in, line)) ++rows;
+  EXPECT_EQ(rows, 2u);
+}
+
+// ---- Chrome trace round trip through a real engine run ----
+
+TEST(Tracer, ChromeTraceRoundTripsFromExchangeEngine) {
+  const Instance inst = gen::two_cluster_uniform(4, 2, 48, 1.0, 100.0, 1);
+  Schedule schedule(inst, gen::random_assignment(inst, 2));
+  Metrics metrics;
+  Tracer tracer;
+  Context context{&metrics, &tracer};
+  dist::EngineOptions options;
+  options.max_exchanges = 30;
+  options.obs = &context;
+  stats::Rng rng(3);
+  const dist::RunResult result = dist::run_dlb2c(schedule, options, rng);
+  ASSERT_EQ(result.exchanges, 30u);
+
+  const stats::Json doc = stats::Json::parse(tracer.to_chrome_json().dump(2));
+  EXPECT_EQ(doc.find("displayTimeUnit")->as_string(), "ms");
+  const stats::Json* events = doc.find("traceEvents");
+  ASSERT_NE(events, nullptr);
+  ASSERT_EQ(events->size(), 60u);  // one B + one E per exchange
+
+  // Timestamps are monotone and the B/E events pair up per tid (LIFO
+  // nesting per track is what the Chrome viewer requires).
+  double previous_ts = 0.0;
+  std::map<std::uint32_t, int> open_spans;
+  for (const stats::Json& event : events->as_array()) {
+    const double ts = event.find("ts")->as_number();
+    EXPECT_GE(ts, previous_ts);
+    previous_ts = ts;
+    const auto tid = static_cast<std::uint32_t>(
+        event.find("tid")->as_number());
+    const std::string& phase = event.find("ph")->as_string();
+    if (phase == "B") ++open_spans[tid];
+    if (phase == "E") {
+      --open_spans[tid];
+      EXPECT_GE(open_spans[tid], 0);
+    }
+  }
+  for (const auto& [tid, open] : open_spans) EXPECT_EQ(open, 0) << tid;
+
+  // Metrics recorded the same run.
+  EXPECT_EQ(metrics.counter("exchange.count").value(), 30u);
+  EXPECT_EQ(metrics.counter("exchange.migrations").value(),
+            result.migrations);
+}
+
+// ---- thread safety: hammer one counter from pool workers (TSan tier) ----
+
+TEST(Metrics, ThreadPoolWorkersHammerOneCounter) {
+  Metrics metrics;
+  Context context{&metrics, nullptr};
+  Counter& hits = metrics.counter("hits");
+  Gauge& depth = metrics.gauge("depth");
+  Histogram& latency = metrics.histogram("latency");
+  parallel::ThreadPool pool(4);
+  pool.attach_obs(&context);  // exercises pool.* instrumentation too
+  constexpr int kTasks = 64;
+  constexpr int kAddsPerTask = 1000;
+  for (int t = 0; t < kTasks; ++t) {
+    pool.submit([&hits, &depth, &latency] {
+      for (int i = 0; i < kAddsPerTask; ++i) hits.add();
+      depth.set(1.0);
+      latency.observe(1e-6);
+    });
+  }
+  pool.wait_idle();
+  EXPECT_EQ(hits.value(),
+            static_cast<std::uint64_t>(kTasks) * kAddsPerTask);
+  EXPECT_EQ(latency.count(), static_cast<std::uint64_t>(kTasks));
+  EXPECT_EQ(metrics.counter("pool.tasks").value(),
+            static_cast<std::uint64_t>(kTasks));
+  EXPECT_EQ(metrics.histogram("pool.task_seconds").count(),
+            static_cast<std::uint64_t>(kTasks));
+  // Snapshotting while workers are alive must also be race-free.
+  const stats::Json doc = stats::Json::parse(metrics.snapshot().dump());
+  EXPECT_DOUBLE_EQ(doc.find("counters")->find("hits")->as_number(), 64000.0);
+}
+
+}  // namespace
+}  // namespace dlb::obs
