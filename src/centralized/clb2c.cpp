@@ -10,9 +10,12 @@
 namespace dlb::centralized {
 
 Schedule clb2c_schedule(const Instance& instance, Clb2cOrdering ordering) {
-  if (instance.num_groups() != 2 || !instance.unit_scales()) {
+  if (instance.num_groups() != 2 || !instance.unit_scales() ||
+      instance.machines_in_group(0).empty() ||
+      instance.machines_in_group(1).empty()) {
     throw std::invalid_argument(
-        "clb2c_schedule: needs two clusters of identical machines");
+        "clb2c_schedule: needs two populated clusters of identical "
+        "machines");
   }
   std::vector<JobId> jobs(instance.num_jobs());
   std::iota(jobs.begin(), jobs.end(), 0);

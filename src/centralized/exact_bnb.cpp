@@ -59,7 +59,10 @@ class Solver {
       best_ = lpt.makespan();
       best_assignment_ = lpt.assignment().raw();
     }
-    if (instance_.num_groups() == 2 && instance_.unit_scales()) {
+    // CLB2C's two-pointer walk needs a machine on each side.
+    if (instance_.num_groups() == 2 && instance_.unit_scales() &&
+        !instance_.machines_in_group(0).empty() &&
+        !instance_.machines_in_group(1).empty()) {
       Schedule clb2c = clb2c_schedule(instance_);
       if (clb2c.makespan() < best_) {
         best_ = clb2c.makespan();

@@ -1,0 +1,178 @@
+#include "check/case_gen.hpp"
+
+#include <stdexcept>
+#include <utility>
+
+#include "core/generators.hpp"
+#include "stats/rng.hpp"
+
+namespace dlb::check {
+
+namespace {
+
+constexpr Regime kAllRegimes[kNumRegimes] = {
+    Regime::kIdentical,   Regime::kRelated,    Regime::kTwoCluster,
+    Regime::kMultiCluster, Regime::kUnrelated, Regime::kTyped,
+    Regime::kSingleType,  Regime::kExtremeRatio, Regime::kDegenerate,
+};
+
+/// Machine count in [2, 6] and job count in [lo_jobs, 14]; skewed small so
+/// a sizable fraction of cases stays inside the exact solver's reach.
+struct Shape {
+  std::size_t machines;
+  std::size_t jobs;
+};
+
+Shape draw_shape(stats::Rng& rng, std::size_t lo_jobs) {
+  Shape shape{};
+  shape.machines = static_cast<std::size_t>(rng.range(2, 6));
+  // Half the cases stay tiny (exactly solvable), half stretch to 14 jobs.
+  if (rng.bernoulli(0.5)) {
+    shape.jobs = static_cast<std::size_t>(
+        rng.range(static_cast<std::int64_t>(lo_jobs), 7));
+  } else {
+    shape.jobs = static_cast<std::size_t>(
+        rng.range(static_cast<std::int64_t>(lo_jobs), 14));
+  }
+  return shape;
+}
+
+/// Splits m machines into two non-empty clusters.
+std::pair<std::size_t, std::size_t> split_two(stats::Rng& rng,
+                                              std::size_t machines) {
+  const auto m1 = static_cast<std::size_t>(
+      rng.range(1, static_cast<std::int64_t>(machines) - 1));
+  return {m1, machines - m1};
+}
+
+Instance degenerate_instance(stats::Rng& rng, std::uint64_t sub,
+                             std::uint64_t seed) {
+  switch (sub % 3) {
+    case 0:
+      // Zero jobs on a handful of machines.
+      return Instance::identical(static_cast<std::size_t>(rng.range(1, 4)),
+                                 {});
+    case 1:
+      // A single machine holding everything.
+      return gen::identical_uniform(
+          1, static_cast<std::size_t>(rng.range(1, 6)), 1.0, 100.0, seed);
+    default: {
+      // Two declared groups but every machine lives in group 0 — the
+      // "empty cluster" shape that used to crash the cost caches.
+      const auto jobs = static_cast<std::size_t>(rng.range(1, 6));
+      std::vector<std::vector<Cost>> rows(2, std::vector<Cost>(jobs));
+      for (std::size_t j = 0; j < jobs; ++j) {
+        rows[0][j] = rng.uniform(1.0, 100.0);
+        rows[1][j] = rng.uniform(1.0, 100.0);
+      }
+      const auto machines = static_cast<std::size_t>(rng.range(1, 4));
+      return Instance(std::move(rows),
+                      std::vector<GroupId>(machines, 0));
+    }
+  }
+}
+
+Instance instance_for(Regime regime, stats::Rng& rng, std::uint64_t seed,
+                      std::uint64_t index) {
+  switch (regime) {
+    case Regime::kIdentical: {
+      const Shape s = draw_shape(rng, 1);
+      return gen::identical_uniform(s.machines, s.jobs, 1.0, 100.0, seed);
+    }
+    case Regime::kRelated: {
+      const Shape s = draw_shape(rng, 1);
+      return gen::related_uniform(s.machines, s.jobs, 1.0, 100.0, 0.25, 4.0,
+                                  seed);
+    }
+    case Regime::kTwoCluster: {
+      const Shape s = draw_shape(rng, 1);
+      const auto [m1, m2] = split_two(rng, s.machines);
+      return gen::two_cluster_uniform(m1, m2, s.jobs, 1.0, 100.0, seed);
+    }
+    case Regime::kMultiCluster: {
+      const Shape s = draw_shape(rng, 1);
+      const auto k = static_cast<std::size_t>(rng.range(3, 4));
+      std::vector<std::size_t> sizes(k, 1);
+      for (std::size_t extra = k; extra < std::max(s.machines, k); ++extra) {
+        ++sizes[rng.below(k)];
+      }
+      return gen::multi_cluster_uniform(sizes, s.jobs, 1.0, 100.0, seed);
+    }
+    case Regime::kUnrelated: {
+      const Shape s = draw_shape(rng, 1);
+      return gen::uniform_unrelated(s.machines, s.jobs, 1.0, 100.0, seed);
+    }
+    case Regime::kTyped: {
+      const Shape s = draw_shape(rng, 2);
+      const auto types = static_cast<std::size_t>(
+          rng.range(2, static_cast<std::int64_t>(std::min<std::size_t>(
+                           s.jobs, 4))));
+      return gen::typed_uniform(s.machines, s.jobs, types, 1.0, 100.0, seed);
+    }
+    case Regime::kSingleType: {
+      const Shape s = draw_shape(rng, 1);
+      return gen::typed_uniform(s.machines, s.jobs, 1, 1.0, 100.0, seed);
+    }
+    case Regime::kExtremeRatio: {
+      const Shape s = draw_shape(rng, 1);
+      const auto [m1, m2] = split_two(rng, s.machines);
+      const double ratio = rng.uniform(10.0, 1000.0);
+      return gen::two_cluster_extreme_ratio(m1, m2, s.jobs, 1.0, 100.0,
+                                            ratio, rng.uniform(), seed);
+    }
+    case Regime::kDegenerate:
+      return degenerate_instance(rng, index, seed);
+  }
+  throw std::invalid_argument("make_case: unknown regime");
+}
+
+}  // namespace
+
+const char* regime_name(Regime regime) {
+  switch (regime) {
+    case Regime::kIdentical: return "identical";
+    case Regime::kRelated: return "related";
+    case Regime::kTwoCluster: return "two_cluster";
+    case Regime::kMultiCluster: return "multi_cluster";
+    case Regime::kUnrelated: return "unrelated";
+    case Regime::kTyped: return "typed";
+    case Regime::kSingleType: return "single_type";
+    case Regime::kExtremeRatio: return "extreme_ratio";
+    case Regime::kDegenerate: return "degenerate";
+  }
+  return "unknown";
+}
+
+Regime regime_by_name(const std::string& name) {
+  for (Regime regime : kAllRegimes) {
+    if (name == regime_name(regime)) return regime;
+  }
+  throw std::invalid_argument("unknown regime: " + name);
+}
+
+GeneratedCase make_case(std::uint64_t seed, std::uint64_t index) {
+  return make_case(seed, index, kAllRegimes[index % kNumRegimes]);
+}
+
+GeneratedCase make_case(std::uint64_t seed, std::uint64_t index,
+                        Regime regime) {
+  // One independent stream per case: the battery for case i is identical
+  // whether or not cases 0..i-1 ran (what seed-replay depends on).
+  stats::Rng rng = stats::Rng::stream(seed, index);
+  const std::uint64_t instance_seed = rng();
+  const std::uint64_t assignment_seed = rng();
+
+  GeneratedCase result{regime,
+                       std::string(regime_name(regime)) + "/" +
+                           std::to_string(index),
+                       instance_for(regime, rng, instance_seed, index),
+                       Assignment(),
+                       false};
+  result.initial =
+      gen::random_assignment(result.instance, assignment_seed);
+  result.exact_solvable = result.instance.num_jobs() <= 7 &&
+                          result.instance.num_machines() <= 4;
+  return result;
+}
+
+}  // namespace dlb::check

@@ -1,0 +1,406 @@
+#include "check/oracles.hpp"
+
+#include <cmath>
+#include <sstream>
+
+#include "centralized/clb2c.hpp"
+#include "core/instance_io.hpp"
+#include "core/lower_bounds.hpp"
+#include "core/validation.hpp"
+#include "dist/convergence.hpp"
+#include "dist/mjtb.hpp"
+#include "dist/ojtb.hpp"
+
+namespace dlb::check {
+
+namespace {
+
+/// lhs <= rhs up to relative tolerance.
+bool leq(Cost lhs, Cost rhs) {
+  return lhs <= rhs + kRelTol * std::max(std::abs(lhs), std::abs(rhs));
+}
+
+std::string num(Cost value) {
+  std::ostringstream out;
+  out.precision(17);
+  out << value;
+  return out.str();
+}
+
+}  // namespace
+
+void Report::fail(std::string_view oracle, std::string detail) {
+  failures_.push_back(Failure{std::string(oracle), std::move(detail)});
+}
+
+std::string Report::to_string() const {
+  std::string text;
+  for (const Failure& failure : failures_) {
+    text += failure.oracle;
+    text += ": ";
+    text += failure.detail;
+    text += '\n';
+  }
+  return text;
+}
+
+// ----- structural state oracles -----
+
+void check_schedule_state(const Schedule& schedule, Report& report) {
+  std::string why;
+  if (!is_complete_partition(schedule, &why)) {
+    report.fail("state.partition", why);
+  }
+  if (!schedule.check_consistency()) {
+    report.fail("state.load_table",
+                "incremental loads/job lists drifted from a from-scratch "
+                "recomputation");
+  }
+  Cost max_load = 0.0;
+  for (MachineId i = 0; i < schedule.num_machines(); ++i) {
+    max_load = std::max(max_load, schedule.load(i));
+  }
+  if (schedule.makespan() != max_load) {
+    report.fail("state.makespan_cache",
+                "cached makespan " + num(schedule.makespan()) +
+                    " != max load " + num(max_load));
+  }
+}
+
+void check_io_roundtrip(const Instance& instance, const Assignment& initial,
+                        Report& report) {
+  std::stringstream buffer;
+  io::save_instance(instance, buffer);
+  bool load_ok = true;
+  Instance loaded = [&]() -> Instance {
+    try {
+      return io::load_instance(buffer);
+    } catch (const std::exception& e) {
+      report.fail("io.instance_load", e.what());
+      load_ok = false;
+      return Instance::identical(1, {1.0});
+    }
+  }();
+  if (!load_ok) return;
+
+  if (loaded.num_machines() != instance.num_machines() ||
+      loaded.num_groups() != instance.num_groups() ||
+      loaded.num_jobs() != instance.num_jobs()) {
+    report.fail("io.instance_shape", "shape changed across save/load");
+    return;
+  }
+  for (MachineId i = 0; i < instance.num_machines(); ++i) {
+    if (loaded.group_of(i) != instance.group_of(i) ||
+        loaded.scale(i) != instance.scale(i)) {
+      report.fail("io.instance_machines",
+                  "group/scale of machine " + std::to_string(i) +
+                      " changed across save/load");
+      return;
+    }
+  }
+  for (GroupId g = 0; g < instance.num_groups(); ++g) {
+    for (JobId j = 0; j < instance.num_jobs(); ++j) {
+      if (loaded.group_cost(g, j) != instance.group_cost(g, j)) {
+        report.fail("io.instance_costs",
+                    "cost(" + std::to_string(g) + ", " + std::to_string(j) +
+                        ") changed across save/load");
+        return;
+      }
+    }
+  }
+  if (loaded.has_job_types() != instance.has_job_types()) {
+    report.fail("io.instance_types", "job-type declaration lost");
+  } else if (instance.has_job_types()) {
+    for (JobId j = 0; j < instance.num_jobs(); ++j) {
+      if (loaded.job_type(j) != instance.job_type(j)) {
+        report.fail("io.instance_types",
+                    "type of job " + std::to_string(j) + " changed");
+        break;
+      }
+    }
+  }
+
+  std::stringstream assignment_buffer;
+  io::save_assignment(initial, assignment_buffer);
+  try {
+    const Assignment loaded_assignment =
+        io::load_assignment(assignment_buffer);
+    if (loaded_assignment != initial) {
+      report.fail("io.assignment", "assignment changed across save/load");
+    }
+  } catch (const std::exception& e) {
+    report.fail("io.assignment_load", e.what());
+  }
+}
+
+// ----- pair kernel contract oracles -----
+
+void check_kernel_contract(const Schedule& schedule,
+                           const pairwise::PairKernel& kernel, MachineId a,
+                           MachineId b, Report& report) {
+  Schedule copy = schedule;
+  const bool changed = kernel.balance(copy, a, b);
+
+  if (changed == (copy.assignment() == schedule.assignment())) {
+    report.fail("kernel.honesty",
+                std::string(kernel.name()) + " returned changed=" +
+                    (changed ? "true" : "false") +
+                    " but the assignment says otherwise");
+  }
+  if (!copy.check_consistency()) {
+    report.fail("kernel.load_table", std::string(kernel.name()) +
+                                         " left an inconsistent LoadTable");
+  }
+  for (MachineId i = 0; i < schedule.num_machines(); ++i) {
+    if (i == a || i == b) continue;
+    if (copy.load(i) != schedule.load(i)) {
+      report.fail("kernel.locality",
+                  std::string(kernel.name()) + " changed the load of " +
+                      "uninvolved machine " + std::to_string(i));
+    }
+  }
+  for (JobId j = 0; j < schedule.num_jobs(); ++j) {
+    const MachineId before = schedule.machine_of(j);
+    const MachineId after = copy.machine_of(j);
+    const bool pooled = before == a || before == b;
+    if (!pooled && after != before) {
+      report.fail("kernel.locality",
+                  std::string(kernel.name()) + " moved job " +
+                      std::to_string(j) + " that was on neither machine");
+    }
+    if (pooled && after != a && after != b) {
+      report.fail("kernel.conservation",
+                  std::string(kernel.name()) + " moved pooled job " +
+                      std::to_string(j) + " off the pair");
+    }
+  }
+
+  const bool changed_again = kernel.balance(copy, a, b);
+  if (changed_again) {
+    report.fail("kernel.idempotent",
+                std::string(kernel.name()) +
+                    " changed the schedule on an immediate second "
+                    "application to the same pair");
+  }
+}
+
+// ----- bound oracles -----
+
+void check_lower_bound_soundness(const Instance& instance,
+                                 Cost feasible_makespan, Report& report) {
+  const struct {
+    const char* name;
+    Cost value;
+  } bounds[] = {
+      {"max_min_cost", max_min_cost_bound(instance)},
+      {"min_work", min_work_bound(instance)},
+      {"combined", makespan_lower_bound(instance)},
+  };
+  for (const auto& bound : bounds) {
+    if (!leq(bound.value, feasible_makespan)) {
+      report.fail("bound.soundness",
+                  std::string(bound.name) + " bound " + num(bound.value) +
+                      " exceeds feasible makespan " +
+                      num(feasible_makespan));
+    }
+  }
+}
+
+void check_lower_bounds_vs_opt(const Instance& instance, Cost opt,
+                               Report& report) {
+  if (!leq(makespan_lower_bound(instance), opt)) {
+    report.fail("bound.vs_opt", "combined lower bound " +
+                                    num(makespan_lower_bound(instance)) +
+                                    " exceeds exact OPT " + num(opt));
+  }
+}
+
+// ----- theorem oracles -----
+
+void check_clb2c_two_approx(const Instance& instance, Cost opt,
+                            Report& report) {
+  if (!leq(instance.max_cost(), opt)) return;  // Theorem 6 precondition.
+  const Schedule schedule = centralized::clb2c_schedule(instance);
+  if (!leq(schedule.makespan(), 2.0 * opt)) {
+    report.fail("theorem6.clb2c",
+                "CLB2C makespan " + num(schedule.makespan()) + " > 2 * OPT " +
+                    num(2.0 * opt) + " despite max cost <= OPT");
+  }
+}
+
+void check_stable_two_approx(const Schedule& stable, Cost opt,
+                             Report& report) {
+  if (!leq(stable.instance().max_cost(), opt)) return;
+  if (!leq(stable.makespan(), 2.0 * opt)) {
+    report.fail("theorem7.stable_dlb2c",
+                "stable DLB2C makespan " + num(stable.makespan()) +
+                    " > 2 * OPT " + num(2.0 * opt) +
+                    " despite max cost <= OPT");
+  }
+}
+
+void check_stable_single_type_optimal(const Schedule& stable,
+                                      Report& report) {
+  const Instance& instance = stable.instance();
+  if (instance.num_jobs() == 0) return;
+  std::vector<Cost> per_job(instance.num_machines());
+  for (MachineId i = 0; i < instance.num_machines(); ++i) {
+    per_job[i] = instance.cost(i, 0);
+  }
+  const Cost optimal =
+      dist::single_type_optimal_makespan(per_job, instance.num_jobs());
+  // Lemma 4: converged OJTB is optimal — equality up to fp noise.
+  if (!leq(stable.makespan(), optimal) || !leq(optimal, stable.makespan())) {
+    report.fail("lemma4.single_type",
+                "stable single-type makespan " + num(stable.makespan()) +
+                    " != single-type optimum " + num(optimal));
+  }
+}
+
+void check_stable_mjtb_bound(const Schedule& stable, Report& report) {
+  const Cost bound = dist::mjtb_convergence_bound(stable.instance());
+  if (!leq(stable.makespan(), bound)) {
+    report.fail("theorem5.mjtb",
+                "stable MJTB makespan " + num(stable.makespan()) +
+                    " > sum of per-type optima " + num(bound));
+  }
+}
+
+// ----- run result oracles -----
+
+void check_run_result(const dist::RunResult& result, const Instance& instance,
+                      Report& report) {
+  const Cost lb = makespan_lower_bound(instance);
+  if (!leq(lb, result.final_makespan)) {
+    report.fail("run.lower_bound", "final makespan " +
+                                       num(result.final_makespan) +
+                                       " beats the lower bound " + num(lb));
+  }
+  if (!leq(lb, result.best_makespan)) {
+    report.fail("run.lower_bound", "best makespan " +
+                                       num(result.best_makespan) +
+                                       " beats the lower bound " + num(lb));
+  }
+  if (!leq(result.best_makespan, result.initial_makespan) ||
+      !leq(result.best_makespan, result.final_makespan)) {
+    report.fail("run.best_monotone",
+                "best makespan " + num(result.best_makespan) +
+                    " exceeds initial " + num(result.initial_makespan) +
+                    " or final " + num(result.final_makespan));
+  }
+  if (result.changed_exchanges > result.exchanges) {
+    report.fail("run.counters", "more changed exchanges than exchanges");
+  }
+
+  if (result.makespan_trace.size() != result.exchange_trace.size()) {
+    report.fail("run.trace_aligned",
+                "makespan_trace and exchange_trace lengths differ");
+    return;
+  }
+  Cost best_seen = result.initial_makespan;
+  Cost previous = result.initial_makespan;
+  std::uint64_t previous_migrations = 0;
+  for (std::size_t x = 0; x < result.exchange_trace.size(); ++x) {
+    const dist::ExchangeTracePoint& point = result.exchange_trace[x];
+    if (result.makespan_trace[x] != point.makespan) {
+      report.fail("run.trace_aligned",
+                  "trace " + std::to_string(x) + " disagrees between "
+                  "makespan_trace and exchange_trace");
+      return;
+    }
+    if (point.migrations < previous_migrations) {
+      report.fail("run.migrations_monotone",
+                  "cumulative migrations decreased at exchange " +
+                      std::to_string(x));
+      return;
+    }
+    if (!point.changed && point.makespan != previous) {
+      report.fail("run.noop_makespan",
+                  "exchange " + std::to_string(x) +
+                      " reported changed=false but the makespan moved");
+      return;
+    }
+    previous = point.makespan;
+    previous_migrations = point.migrations;
+    best_seen = std::min(best_seen, point.makespan);
+  }
+  if (!result.exchange_trace.empty()) {
+    if (result.best_makespan != best_seen) {
+      report.fail("run.best_monotone",
+                  "best makespan " + num(result.best_makespan) +
+                      " is not the running minimum " + num(best_seen));
+    }
+    if (result.final_makespan != result.exchange_trace.back().makespan) {
+      report.fail("run.trace_final",
+                  "final makespan differs from the last trace point");
+    }
+    if (result.reached_threshold) {
+      if (result.exchanges_to_threshold == 0 ||
+          result.exchanges_to_threshold > result.exchange_trace.size()) {
+        report.fail("run.threshold", "exchanges_to_threshold out of range");
+      }
+    }
+  }
+}
+
+void check_async_result(const dist::AsyncRunResult& result,
+                        const Schedule& schedule,
+                        const dist::AsyncOptions& options, Report& report) {
+  check_schedule_state(schedule, report);
+  if (result.final_makespan != schedule.makespan()) {
+    report.fail("async.final",
+                "result final makespan " + num(result.final_makespan) +
+                    " != schedule makespan " + num(schedule.makespan()));
+  }
+  const Cost lb = makespan_lower_bound(schedule.instance());
+  if (!leq(lb, result.final_makespan)) {
+    report.fail("async.lower_bound",
+                "final makespan " + num(result.final_makespan) +
+                    " beats the lower bound " + num(lb));
+  }
+  if (!leq(result.best_makespan, result.initial_makespan) ||
+      !leq(result.best_makespan, result.final_makespan)) {
+    report.fail("async.best_monotone", "best makespan is not a minimum");
+  }
+  if (result.end_time > options.duration + kRelTol) {
+    report.fail("async.horizon",
+                "virtual clock " + num(result.end_time) +
+                    " overran the horizon " + num(options.duration));
+  }
+  if (options.fault_plan == nullptr) {
+    // Reliable network: every completed session took exactly 3 messages
+    // and every rejection 2; in-flight messages at the horizon only add.
+    const std::uint64_t floor_messages =
+        3 * result.sessions_completed + 2 * result.sessions_rejected;
+    if (result.messages < floor_messages) {
+      report.fail("async.messages",
+                  std::to_string(result.messages) +
+                      " messages cannot carry " +
+                      std::to_string(result.sessions_completed) +
+                      " completed + " +
+                      std::to_string(result.sessions_rejected) +
+                      " rejected sessions");
+    }
+    if (result.faults.total() != 0) {
+      report.fail("async.faults", "faults reported without a fault plan");
+    }
+    if (result.stale_messages != 0 && options.session_timeout <= 0.0) {
+      report.fail("async.stale",
+                  "stale messages on a reliable network without timeouts");
+    }
+  }
+}
+
+void check_converged_is_stable(const dist::RunResult& result,
+                               const Schedule& schedule,
+                               const pairwise::PairKernel& kernel,
+                               Report& report) {
+  if (!result.converged) return;
+  if (!dist::is_stable(schedule, kernel)) {
+    report.fail("convergence.detector",
+                "run reported converged but a pairwise exchange still "
+                "changes the schedule");
+  }
+}
+
+}  // namespace dlb::check

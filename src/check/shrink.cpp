@@ -1,0 +1,198 @@
+#include "check/shrink.hpp"
+
+#include <cmath>
+#include <optional>
+#include <utility>
+#include <vector>
+
+namespace dlb::check {
+
+namespace {
+
+struct Candidate {
+  Instance instance;
+  Assignment initial;
+};
+
+/// Rebuilds the instance fields into plain vectors we can edit.
+struct Pieces {
+  std::vector<std::vector<Cost>> group_costs;
+  std::vector<GroupId> group_of;
+  std::vector<double> scales;
+  bool had_types = false;
+
+  explicit Pieces(const Instance& instance) {
+    group_costs.resize(instance.num_groups());
+    for (GroupId g = 0; g < instance.num_groups(); ++g) {
+      group_costs[g].resize(instance.num_jobs());
+      for (JobId j = 0; j < instance.num_jobs(); ++j) {
+        group_costs[g][j] = instance.group_cost(g, j);
+      }
+    }
+    group_of.resize(instance.num_machines());
+    scales.resize(instance.num_machines());
+    for (MachineId i = 0; i < instance.num_machines(); ++i) {
+      group_of[i] = instance.group_of(i);
+      scales[i] = instance.scale(i);
+    }
+    had_types = instance.has_job_types();
+  }
+
+  [[nodiscard]] std::optional<Instance> build() const {
+    try {
+      Instance instance(group_costs, group_of, scales);
+      // Keep typed properties meaningful on the shrunk case: equal cost
+      // columns regroup into (possibly fewer) types.
+      if (had_types) instance.infer_job_types();
+      return instance;
+    } catch (const std::exception&) {
+      return std::nullopt;  // Candidate violates Instance invariants.
+    }
+  }
+};
+
+std::optional<Candidate> drop_job(const Instance& instance,
+                                  const Assignment& initial, JobId victim) {
+  Pieces pieces(instance);
+  for (auto& row : pieces.group_costs) {
+    row.erase(row.begin() + victim);
+  }
+  std::vector<MachineId> machine_of;
+  machine_of.reserve(initial.num_jobs() - 1);
+  for (JobId j = 0; j < initial.num_jobs(); ++j) {
+    if (j != victim) machine_of.push_back(initial.machine_of(j));
+  }
+  auto built = pieces.build();
+  if (!built) return std::nullopt;
+  return Candidate{std::move(*built), Assignment(std::move(machine_of))};
+}
+
+std::optional<Candidate> drop_machine(const Instance& instance,
+                                      const Assignment& initial,
+                                      MachineId victim) {
+  if (instance.num_machines() < 2) return std::nullopt;
+  Pieces pieces(instance);
+  pieces.group_of.erase(pieces.group_of.begin() + victim);
+  pieces.scales.erase(pieces.scales.begin() + victim);
+  std::vector<MachineId> machine_of(initial.num_jobs());
+  for (JobId j = 0; j < initial.num_jobs(); ++j) {
+    const MachineId old = initial.machine_of(j);
+    if (old == kUnassigned) {
+      machine_of[j] = kUnassigned;
+    } else if (old == victim) {
+      machine_of[j] = 0;  // Evicted jobs land on the first machine left.
+    } else {
+      machine_of[j] = old > victim ? old - 1 : old;
+    }
+  }
+  auto built = pieces.build();
+  if (!built) return std::nullopt;
+  return Candidate{std::move(*built), Assignment(std::move(machine_of))};
+}
+
+std::optional<Candidate> round_costs(const Instance& instance,
+                                     const Assignment& initial) {
+  Pieces pieces(instance);
+  bool changed = false;
+  for (auto& row : pieces.group_costs) {
+    for (Cost& c : row) {
+      const Cost rounded = std::ceil(c);
+      changed = changed || rounded != c;
+      c = rounded;
+    }
+  }
+  if (!changed) return std::nullopt;
+  auto built = pieces.build();
+  if (!built) return std::nullopt;
+  return Candidate{std::move(*built), initial};
+}
+
+std::optional<Candidate> unit_costs(const Instance& instance,
+                                    const Assignment& initial) {
+  Pieces pieces(instance);
+  bool changed = false;
+  for (auto& row : pieces.group_costs) {
+    for (Cost& c : row) {
+      changed = changed || c != 1.0;
+      c = 1.0;
+    }
+  }
+  if (!changed) return std::nullopt;
+  auto built = pieces.build();
+  if (!built) return std::nullopt;
+  return Candidate{std::move(*built), initial};
+}
+
+std::optional<Candidate> unit_scales(const Instance& instance,
+                                     const Assignment& initial) {
+  if (instance.unit_scales()) return std::nullopt;
+  Pieces pieces(instance);
+  pieces.scales.assign(pieces.scales.size(), 1.0);
+  auto built = pieces.build();
+  if (!built) return std::nullopt;
+  return Candidate{std::move(*built), initial};
+}
+
+/// True when the property REJECTS the candidate (what shrinking preserves);
+/// a throwing property marks the candidate invalid, not failing.
+bool still_fails(const Property& property, const Candidate& candidate) {
+  try {
+    return !property(candidate.instance, candidate.initial);
+  } catch (const std::exception&) {
+    return false;
+  }
+}
+
+}  // namespace
+
+ShrinkResult shrink(const Instance& instance, const Assignment& initial,
+                    const Property& property, std::size_t max_candidates) {
+  ShrinkResult result{instance, initial, 0, 0};
+
+  bool improved = true;
+  while (improved && result.candidates < max_candidates) {
+    improved = false;
+
+    const auto accept = [&](std::optional<Candidate> candidate) {
+      if (!candidate) return false;
+      ++result.candidates;
+      if (!still_fails(property, *candidate)) return false;
+      result.instance = std::move(candidate->instance);
+      result.initial = std::move(candidate->initial);
+      ++result.rounds;
+      improved = true;
+      return true;
+    };
+
+    // Jobs first — fewer jobs shrinks every later candidate too. Restart
+    // the victim scan after each acceptance (indices shifted).
+    for (JobId j = 0; j < result.instance.num_jobs();) {
+      if (result.candidates >= max_candidates) break;
+      if (accept(drop_job(result.instance, result.initial, j))) {
+        j = 0;
+      } else {
+        ++j;
+      }
+    }
+    for (MachineId i = 0; i < result.instance.num_machines();) {
+      if (result.candidates >= max_candidates) break;
+      if (accept(drop_machine(result.instance, result.initial, i))) {
+        i = 0;
+      } else {
+        ++i;
+      }
+    }
+    if (result.candidates < max_candidates) {
+      accept(round_costs(result.instance, result.initial));
+    }
+    if (result.candidates < max_candidates) {
+      accept(unit_costs(result.instance, result.initial));
+    }
+    if (result.candidates < max_candidates) {
+      accept(unit_scales(result.instance, result.initial));
+    }
+  }
+  return result;
+}
+
+}  // namespace dlb::check

@@ -1,0 +1,41 @@
+#pragma once
+
+// Greedy test-case minimization: given an instance + initial distribution
+// that a property rejects, repeatedly try simpler candidates (fewer jobs,
+// fewer machines, rounder costs) and keep any candidate the property still
+// rejects, until no simplification helps. The result is the small
+// reproducer a human actually debugs — the harness writes it out in the
+// instance_io text format next to the seed that found it.
+
+#include <cstdint>
+#include <functional>
+
+#include "core/assignment.hpp"
+#include "core/instance.hpp"
+
+namespace dlb::check {
+
+/// The predicate under test: returns true when the case PASSES. A thrown
+/// exception from the property marks the candidate invalid (skipped), so
+/// properties may freely call code with preconditions.
+using Property =
+    std::function<bool(const Instance&, const Assignment&)>;
+
+struct ShrinkResult {
+  Instance instance;
+  Assignment initial;
+  std::size_t rounds = 0;       ///< Accepted simplification steps.
+  std::size_t candidates = 0;   ///< Candidates evaluated in total.
+};
+
+/// Minimizes a failing case: `property(instance, initial)` must already be
+/// false. First-improvement greedy loop over, in order: drop one job, drop
+/// one machine (its jobs move to machine 0 of the candidate), round every
+/// cost up to an integer, set every cost to 1, set every scale to 1.
+/// Terminates at a fixpoint or after `max_candidates` evaluations.
+[[nodiscard]] ShrinkResult shrink(const Instance& instance,
+                                  const Assignment& initial,
+                                  const Property& property,
+                                  std::size_t max_candidates = 10'000);
+
+}  // namespace dlb::check

@@ -1,0 +1,301 @@
+#include "check/suite.hpp"
+
+#include <algorithm>
+#include <fstream>
+#include <vector>
+
+#include "centralized/exact_bnb.hpp"
+#include "check/shrink.hpp"
+#include "core/instance_io.hpp"
+#include "core/lower_bounds.hpp"
+#include "core/validation.hpp"
+#include "dist/convergence.hpp"
+#include "dist/dlb2c.hpp"
+#include "dist/dlbkc.hpp"
+#include "dist/exchange_engine.hpp"
+#include "pairwise/basic_greedy.hpp"
+#include "pairwise/typed_greedy.hpp"
+#include "stats/rng.hpp"
+
+namespace dlb::check {
+
+namespace {
+
+/// Exact solver budget per case: tiny shapes prove in far fewer nodes;
+/// an unproven result silently skips the theorem oracles (never a
+/// failure — the bound discipline forbids asserting against estimates).
+constexpr std::uint64_t kExactNodeLimit = 500'000;
+
+bool two_populated_clusters(const Instance& instance) {
+  return instance.num_groups() == 2 && instance.unit_scales() &&
+         !instance.machines_in_group(0).empty() &&
+         !instance.machines_in_group(1).empty();
+}
+
+/// The regime-appropriate engine kernel: the most specific algorithm whose
+/// preconditions the instance satisfies.
+const pairwise::PairKernel& kernel_for(const Instance& instance) {
+  static const dist::Dlb2cKernel dlb2c;
+  static const dist::DlbKcKernel dlbkc;
+  static const pairwise::TypedGreedyKernel typed;
+  static const pairwise::BasicGreedyKernel basic;
+  if (two_populated_clusters(instance)) return dlb2c;
+  if (instance.unit_scales() && instance.num_groups() >= 2) return dlbkc;
+  if (instance.has_job_types()) return typed;
+  return basic;
+}
+
+/// Every kernel whose preconditions the instance satisfies, for the
+/// per-pair contract oracle.
+std::vector<const pairwise::PairKernel*> applicable_kernels(
+    const Instance& instance) {
+  static const dist::Dlb2cKernel dlb2c;
+  static const dist::DlbKcKernel dlbkc;
+  static const pairwise::TypedGreedyKernel typed;
+  static const pairwise::BasicGreedyKernel basic;
+  std::vector<const pairwise::PairKernel*> kernels{&basic};
+  if (instance.has_job_types()) kernels.push_back(&typed);
+  if (instance.num_groups() == 2 && instance.unit_scales()) {
+    kernels.push_back(&dlb2c);
+  }
+  if (instance.unit_scales() && instance.num_groups() >= 1) {
+    kernels.push_back(&dlbkc);
+  }
+  return kernels;
+}
+
+void check_kernels(const Schedule& schedule, stats::Rng& rng,
+                   Report& report) {
+  const auto m = static_cast<std::uint64_t>(schedule.num_machines());
+  if (m < 2) return;
+  for (const pairwise::PairKernel* kernel :
+       applicable_kernels(schedule.instance())) {
+    // Two random ordered pairs per kernel per case; across thousands of
+    // cases that covers the pair space densely.
+    for (int draw = 0; draw < 2; ++draw) {
+      const auto a = static_cast<MachineId>(rng.below(m));
+      auto b = static_cast<MachineId>(rng.below(m - 1));
+      if (b >= a) ++b;
+      check_kernel_contract(schedule, *kernel, a, b, report);
+    }
+  }
+}
+
+void check_engine(const Instance& instance, const Assignment& initial,
+                  const CaseContext& context, Report& report,
+                  SuiteSummary* summary) {
+  if (instance.num_machines() < 2) return;
+  const pairwise::PairKernel& kernel = kernel_for(instance);
+  const dist::UniformPeerSelector selector;
+  const dist::ExchangeEngine engine(kernel, selector);
+
+  dist::EngineOptions options;
+  options.max_exchanges = 24 * instance.num_machines();
+  options.record_trace = true;
+  options.stability_check_interval = 8;
+
+  Schedule schedule(instance, initial);
+  stats::Rng rng = stats::Rng::stream(context.seed, context.index * 8 + 1);
+  const dist::RunResult result = engine.run(schedule, options, rng);
+  if (summary != nullptr) ++summary->engine_runs;
+
+  check_schedule_state(schedule, report);
+  check_run_result(result, instance, report);
+  check_converged_is_stable(result, schedule, kernel, report);
+
+  // Differential determinism: the same seed must reproduce the run
+  // bit-for-bit (what --seed replay and the shrinker rely on).
+  Schedule replay(instance, initial);
+  stats::Rng replay_rng =
+      stats::Rng::stream(context.seed, context.index * 8 + 1);
+  const dist::RunResult again = engine.run(replay, options, replay_rng);
+  if (replay.fingerprint() != schedule.fingerprint() ||
+      again.exchanges != result.exchanges ||
+      again.migrations != result.migrations ||
+      again.final_makespan != result.final_makespan) {
+    report.fail("diff.engine_determinism",
+                "two runs with the same seed diverged");
+  }
+}
+
+void check_async(const Instance& instance, const Assignment& initial,
+                 const CaseContext& context, Report& report,
+                 SuiteSummary* summary) {
+  if (instance.num_machines() < 2) return;
+  const pairwise::PairKernel& kernel = kernel_for(instance);
+
+  dist::AsyncOptions options;
+  options.duration = 30.0;
+  options.seed = context.seed ^ (context.index * 0x9E3779B97F4A7C15ULL);
+  options.fault_plan = context.fault_plan;
+  // Timeouts keep the protocol live under drops; without faults stay on
+  // the timer-free path (byte-identical to the pre-fault event stream).
+  options.session_timeout = context.fault_plan != nullptr ? 3.0 : 0.0;
+
+  Schedule schedule(instance, initial);
+  const dist::AsyncRunResult result =
+      dist::run_async(schedule, kernel, options);
+  if (summary != nullptr) {
+    ++summary->async_runs;
+    summary->faults.dropped += result.faults.dropped;
+    summary->faults.delayed += result.faults.delayed;
+    summary->faults.duplicated += result.faults.duplicated;
+    summary->faults.reordered += result.faults.reordered;
+  }
+
+  check_async_result(result, schedule, options, report);
+  if (context.fault_plan != nullptr) {
+    // The fault-tolerance claim: whatever the network does, the protocol
+    // terminates with every job still placed exactly once.
+    std::string why;
+    if (!is_complete_partition(schedule, &why)) {
+      report.fail("fault.job_conservation", why);
+    }
+  }
+
+  // Async runs must also replay deterministically from their seed, faults
+  // included (the plan draws from its own seeded stream).
+  Schedule replay(instance, initial);
+  const dist::AsyncRunResult again =
+      dist::run_async(replay, kernel, options);
+  if (replay.fingerprint() != schedule.fingerprint() ||
+      again.messages != result.messages ||
+      again.sessions_completed != result.sessions_completed ||
+      again.faults.total() != result.faults.total()) {
+    report.fail("diff.async_determinism",
+                "two async runs with the same seed diverged");
+  }
+}
+
+void check_exact(const Instance& instance, const Assignment& initial,
+                 Report& report, SuiteSummary* summary) {
+  if (instance.num_jobs() == 0 || instance.num_jobs() > 7 ||
+      instance.num_machines() > 4) {
+    return;
+  }
+  centralized::ExactOptions exact_options;
+  exact_options.node_limit = kExactNodeLimit;
+  const centralized::ExactResult exact =
+      centralized::solve_exact(instance, exact_options);
+  if (!exact.proven) return;
+  if (summary != nullptr) ++summary->exact_solved;
+  const Cost opt = exact.optimal;
+
+  check_lower_bounds_vs_opt(instance, opt, report);
+
+  if (two_populated_clusters(instance)) {
+    check_clb2c_two_approx(instance, opt, report);
+    Schedule stable(instance, initial);
+    if (dist::run_to_stability(stable, dist::Dlb2cKernel(), 64)) {
+      check_stable_two_approx(stable, opt, report);
+    }
+  }
+  if (instance.has_job_types()) {
+    Schedule stable(instance, initial);
+    if (dist::run_to_stability(stable, pairwise::TypedGreedyKernel(), 64)) {
+      check_stable_mjtb_bound(stable, report);
+      if (instance.num_job_types() == 1) {
+        check_stable_single_type_optimal(stable, report);
+      }
+    }
+  }
+}
+
+net::FaultPlan plan_for_case(const SuiteOptions& options,
+                             std::uint64_t index) {
+  const std::uint64_t plan_seed = options.seed ^ (index * 0xFA17u + 1);
+  if (options.faults == "rotate") {
+    static const char* kRotation[6] = {"none",      "drop",    "delay",
+                                       "duplicate", "reorder", "chaos"};
+    return net::fault_plan_by_name(kRotation[index % 6], options.fault_p,
+                                   plan_seed);
+  }
+  return net::fault_plan_by_name(options.faults, options.fault_p, plan_seed);
+}
+
+std::string sanitized(const std::string& name) {
+  std::string out = name;
+  std::replace(out.begin(), out.end(), '/', '_');
+  return out;
+}
+
+}  // namespace
+
+void run_case_oracles(const Instance& instance, const Assignment& initial,
+                      const CaseContext& context, Report& report,
+                      SuiteSummary* summary) {
+  check_io_roundtrip(instance, initial, report);
+
+  Schedule schedule(instance, initial);
+  check_schedule_state(schedule, report);
+  check_lower_bound_soundness(instance, schedule.makespan(), report);
+
+  stats::Rng pair_rng = stats::Rng::stream(context.seed, context.index * 8);
+  check_kernels(schedule, pair_rng, report);
+
+  check_engine(instance, initial, context, report, summary);
+  check_async(instance, initial, context, report, summary);
+  check_exact(instance, initial, report, summary);
+}
+
+SuiteSummary run_suite(const SuiteOptions& options) {
+  SuiteSummary summary;
+  for (std::uint64_t index = 0; index < options.cases; ++index) {
+    GeneratedCase test_case =
+        options.regime.has_value()
+            ? make_case(options.seed, index, *options.regime)
+            : make_case(options.seed, index);
+    const net::FaultPlan plan = plan_for_case(options, index);
+    CaseContext context;
+    context.seed = options.seed;
+    context.index = index;
+    context.fault_plan = plan.trivial() ? nullptr : &plan;
+
+    Report report;
+    run_case_oracles(test_case.instance, test_case.initial, context, report,
+                     &summary);
+    ++summary.cases_run;
+    if (report.ok()) continue;
+
+    CaseFailure failure;
+    failure.index = index;
+    failure.name = test_case.name;
+    failure.report = report.to_string();
+
+    Instance culprit = test_case.instance;
+    Assignment culprit_initial = test_case.initial;
+    if (options.shrink_failures) {
+      const ShrinkResult shrunk = shrink(
+          test_case.instance, test_case.initial,
+          [&](const Instance& candidate, const Assignment& start) {
+            Report candidate_report;
+            run_case_oracles(candidate, start, context, candidate_report,
+                             nullptr);
+            return candidate_report.ok();
+          });
+      culprit = shrunk.instance;
+      culprit_initial = shrunk.initial;
+      // Re-diagnose on the minimized case so the report names it.
+      Report shrunk_report;
+      run_case_oracles(culprit, culprit_initial, context, shrunk_report,
+                       nullptr);
+      if (!shrunk_report.ok()) failure.report = shrunk_report.to_string();
+    }
+    failure.shrunk_jobs = culprit.num_jobs();
+    failure.shrunk_machines = culprit.num_machines();
+
+    if (!options.dump_dir.empty()) {
+      const std::string stem =
+          options.dump_dir + "/" + sanitized(test_case.name);
+      io::save_instance_file(culprit, stem + ".instance");
+      std::ofstream out(stem + ".assignment");
+      io::save_assignment(culprit_initial, out);
+      failure.repro_path = stem + ".instance";
+    }
+    summary.failures.push_back(std::move(failure));
+    if (summary.failures.size() >= options.max_failures) break;
+  }
+  return summary;
+}
+
+}  // namespace dlb::check

@@ -1,0 +1,78 @@
+#pragma once
+
+// The property harness: for every generated case, run the full oracle
+// battery — io round-trip, schedule-state and kernel contracts, a
+// sequential exchange run with trace/convergence oracles, the async
+// protocol under a rotating network fault plan, and (on exactly solvable
+// cases) the paper's approximation theorems against the true optimum.
+// Failing cases are greedily shrunk and dumped as replayable instance
+// files. tools/dlb_check is a thin CLI over run_suite.
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "check/case_gen.hpp"
+#include "check/oracles.hpp"
+#include "net/fault.hpp"
+
+namespace dlb::check {
+
+struct SuiteOptions {
+  std::uint64_t seed = 42;
+  std::uint64_t cases = 1000;
+  /// Pin every case to one regime instead of cycling through all of them.
+  std::optional<Regime> regime;
+  /// "rotate" cycles none/drop/delay/duplicate/reorder/chaos per case;
+  /// any fault_plan_by_name name pins the plan for every case.
+  std::string faults = "rotate";
+  double fault_p = 0.15;
+  bool shrink_failures = true;
+  /// When non-empty, failing (shrunk) cases are written here as
+  /// "<case>.instance" / "<case>.assignment" replay files.
+  std::string dump_dir;
+  std::size_t max_failures = 10;  ///< Stop the sweep after this many.
+};
+
+struct CaseFailure {
+  std::uint64_t index = 0;
+  std::string name;
+  std::string report;      ///< "oracle: detail" lines.
+  std::string repro_path;  ///< Instance dump path ("" if not dumped).
+  std::size_t shrunk_jobs = 0;
+  std::size_t shrunk_machines = 0;
+};
+
+struct SuiteSummary {
+  std::uint64_t cases_run = 0;
+  std::uint64_t exact_solved = 0;   ///< Cases checked against true OPT.
+  std::uint64_t engine_runs = 0;
+  std::uint64_t async_runs = 0;
+  net::FaultStats faults;           ///< Faults injected across all cases.
+  std::vector<CaseFailure> failures;
+
+  [[nodiscard]] bool ok() const noexcept { return failures.empty(); }
+};
+
+/// Everything that parameterises one case's battery besides the instance
+/// itself, so a shrink re-runs the exact same checks on each candidate.
+struct CaseContext {
+  std::uint64_t seed = 0;
+  std::uint64_t index = 0;
+  /// Null = reliable network for this case's async run.
+  const net::FaultPlan* fault_plan = nullptr;
+};
+
+/// Runs the full oracle battery on one (instance, initial) pair,
+/// accumulating failures into `report` and counters into `summary` (null
+/// is allowed — the shrinker passes null to keep counts honest).
+void run_case_oracles(const Instance& instance, const Assignment& initial,
+                      const CaseContext& context, Report& report,
+                      SuiteSummary* summary);
+
+/// The full sweep: `options.cases` generated cases, shrinking and dumping
+/// failures per `options`.
+[[nodiscard]] SuiteSummary run_suite(const SuiteOptions& options);
+
+}  // namespace dlb::check

@@ -58,6 +58,30 @@ Instance multi_cluster_uniform(const std::vector<std::size_t>& cluster_sizes,
   return Instance::clustered(cluster_sizes, std::move(costs));
 }
 
+Instance two_cluster_extreme_ratio(std::size_t m1, std::size_t m2,
+                                   std::size_t num_jobs, Cost lo, Cost hi,
+                                   double ratio, double favor1_fraction,
+                                   std::uint64_t seed) {
+  check_range(lo, hi);
+  if (!(ratio >= 1.0)) {
+    throw std::invalid_argument("two_cluster_extreme_ratio: ratio must be "
+                                ">= 1");
+  }
+  if (!(0.0 <= favor1_fraction && favor1_fraction <= 1.0)) {
+    throw std::invalid_argument(
+        "two_cluster_extreme_ratio: favor1_fraction must be in [0, 1]");
+  }
+  stats::Rng rng(seed);
+  std::vector<std::vector<Cost>> costs(2, std::vector<Cost>(num_jobs));
+  for (JobId j = 0; j < num_jobs; ++j) {
+    const Cost base = rng.uniform(lo, hi);
+    const bool favors_first = rng.bernoulli(favor1_fraction);
+    costs[0][j] = favors_first ? base : base * ratio;
+    costs[1][j] = favors_first ? base * ratio : base;
+  }
+  return Instance::clustered({m1, m2}, std::move(costs));
+}
+
 Instance identical_uniform(std::size_t num_machines, std::size_t num_jobs,
                            Cost lo, Cost hi, std::uint64_t seed) {
   check_range(lo, hi);

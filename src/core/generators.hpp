@@ -86,6 +86,19 @@ namespace dlb::gen {
                                         double gpu_affine, double speedup,
                                         std::uint64_t seed);
 
+/// Adversarial cost-ratio workload (the regime where decentralized
+/// balancers break, cf. Tchiboukdjian et al.): two clusters where each job
+/// strongly favours one side — cost ~ U[lo, hi] on its preferred cluster
+/// and `ratio` times that on the other. `favor1_fraction` of the jobs
+/// favour cluster 1. ratio >= 1; large ratios make every cross-cluster
+/// misplacement catastrophic, stressing the approximation oracles.
+[[nodiscard]] Instance two_cluster_extreme_ratio(std::size_t m1,
+                                                 std::size_t m2,
+                                                 std::size_t num_jobs, Cost lo,
+                                                 Cost hi, double ratio,
+                                                 double favor1_fraction,
+                                                 std::uint64_t seed);
+
 /// A perturbed copy of an instance: every group cost is multiplied by an
 /// independent factor U[1 - noise, 1 + noise] (0 <= noise < 1). Used to
 /// model prediction error — balance on the original ("predicted") costs,

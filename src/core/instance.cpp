@@ -68,16 +68,16 @@ void Instance::compute_caches() {
       std::all_of(scales_.begin(), scales_.end(),
                   [](double s) { return s == 1.0; });
   max_cost_ = 0.0;
-  double max_scale = *std::max_element(scales_.begin(), scales_.end());
   // The true max over (i, j) needs per-group max scale; compute exactly.
   std::vector<double> group_max_scale(group_costs_.size(), 0.0);
   for (MachineId i = 0; i < group_of_.size(); ++i) {
     group_max_scale[group_of_[i]] =
         std::max(group_max_scale[group_of_[i]], scales_[i]);
   }
-  (void)max_scale;
   for (GroupId g = 0; g < group_costs_.size(); ++g) {
-    if (machines_by_group_[g].empty()) continue;
+    // Empty groups (no machines) and empty rows (zero jobs) contribute no
+    // (machine, job) pair — skipping them also keeps max_element legal.
+    if (machines_by_group_[g].empty() || group_costs_[g].empty()) continue;
     const Cost row_max =
         *std::max_element(group_costs_[g].begin(), group_costs_[g].end());
     max_cost_ = std::max(max_cost_, row_max * group_max_scale[g]);

@@ -73,7 +73,11 @@ Cost two_cluster_fractional_opt(const Instance& instance,
 Cost makespan_lower_bound(const Instance& instance) {
   Cost bound = std::max(max_min_cost_bound(instance),
                         min_work_bound(instance));
-  if (instance.num_groups() == 2 && instance.unit_scales()) {
+  // The fractional bound divides by each cluster's machine count, so it
+  // only applies when both clusters actually have machines.
+  if (instance.num_groups() == 2 && instance.unit_scales() &&
+      !instance.machines_in_group(0).empty() &&
+      !instance.machines_in_group(1).empty()) {
     bound = std::max(bound, two_cluster_fractional_opt(instance));
   }
   return bound;

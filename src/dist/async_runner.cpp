@@ -7,6 +7,16 @@ namespace dlb::dist {
 
 namespace {
 
+/// One machine's session bookkeeping. `token` identifies the session the
+/// machine is currently locked in (0 = none); every protocol message
+/// carries its session's token so stale deliveries are detected instead of
+/// flipping locks that belong to a newer session.
+struct SessionSlot {
+  bool locked = false;
+  std::uint64_t token = 0;
+  bool transfer_pending = false;
+};
+
 class AsyncSimulation {
  public:
   AsyncSimulation(Schedule& schedule, const pairwise::PairKernel& kernel,
@@ -17,7 +27,7 @@ class AsyncSimulation {
         rng_(options.seed),
         latency_(options.message_latency),
         network_(engine_, latency_, rng_),
-        locked_(schedule.num_machines(), false) {
+        slots_(schedule.num_machines()) {
     if (schedule.num_machines() < 2) {
       throw std::invalid_argument("run_async: need at least two machines");
     }
@@ -33,6 +43,13 @@ class AsyncSimulation {
       c_rejected_ = &metrics->counter("async.sessions.rejected");
       c_backoffs_ = &metrics->counter("async.backoffs");
       g_cmax_ = &metrics->gauge("async.cmax");
+      if (options.fault_plan != nullptr || options.session_timeout > 0.0) {
+        c_timeouts_ = &metrics->counter("async.sessions.timeout");
+        c_stale_ = &metrics->counter("async.stale_messages");
+      }
+    }
+    if (options.fault_plan != nullptr) {
+      network_.set_fault_plan(options.fault_plan);
     }
   }
 
@@ -51,6 +68,7 @@ class AsyncSimulation {
     result_.migrations = schedule_->migrations() - migrations_before;
     result_.messages = network_.messages_sent();
     result_.end_time = engine_.now();
+    result_.faults = network_.fault_stats();
     return result_;
   }
 
@@ -72,9 +90,37 @@ class AsyncSimulation {
     engine_.schedule_after(delay, [this, i] { try_initiate(i); });
   }
 
+  void unlock(MachineId i) { slots_[i] = SessionSlot{}; }
+
+  void stale_message() {
+    ++result_.stale_messages;
+    if (c_stale_) c_stale_->add();
+  }
+
+  /// True iff machine i is still locked in session `token`.
+  [[nodiscard]] bool in_session(MachineId i, std::uint64_t token) const {
+    return slots_[i].locked && slots_[i].token == token;
+  }
+
+  /// Arms the session-abandon timer for machine i (no-op when disabled).
+  void arm_timeout(MachineId i, std::uint64_t token, bool initiator) {
+    if (!(options_.session_timeout > 0.0)) return;
+    engine_.schedule_after(options_.session_timeout,
+                           [this, i, token, initiator] {
+                             if (!in_session(i, token)) return;
+                             unlock(i);
+                             ++result_.sessions_timed_out;
+                             if (c_timeouts_) c_timeouts_->add();
+                             if (initiator) {
+                               end_session(i, false, schedule_->makespan());
+                               schedule_wakeup(i);
+                             }
+                           });
+  }
+
   void try_initiate(MachineId initiator) {
     if (engine_.now() >= options_.duration) return;
-    if (locked_[initiator]) {
+    if (slots_[initiator].locked) {
       // Mid-session (as a peer); try again later.
       schedule_wakeup(initiator);
       return;
@@ -83,15 +129,17 @@ class AsyncSimulation {
     auto peer = static_cast<MachineId>(
         rng_.below(schedule_->num_machines() - 1));
     if (peer >= initiator) ++peer;
-    locked_[initiator] = true;
+    const std::uint64_t token = ++next_token_;
+    slots_[initiator] = SessionSlot{true, token, false};
     if (tracer_) {
       tracer_->begin(ts(), initiator, "session", "dist",
                      {{"peer", static_cast<std::int64_t>(peer)}});
     }
     message_event("REQUEST", initiator, peer);
-    network_.send(initiator, peer, [this, initiator, peer] {
-      handle_request(initiator, peer);
+    network_.send(initiator, peer, [this, initiator, peer, token] {
+      handle_request(initiator, peer, token);
     });
+    arm_timeout(initiator, token, true);
   }
 
   void end_session(MachineId initiator, bool completed, Cost cmax) {
@@ -100,46 +148,94 @@ class AsyncSimulation {
                  {{"completed", completed}, {"cmax", cmax}});
   }
 
-  void handle_request(MachineId initiator, MachineId peer) {
-    if (locked_[peer]) {
+  void handle_request(MachineId initiator, MachineId peer,
+                      std::uint64_t token) {
+    if (slots_[peer].locked) {
+      if (slots_[peer].token == token) {
+        // Duplicate REQUEST of the session the peer already accepted.
+        stale_message();
+        return;
+      }
       ++result_.sessions_rejected;
       if (c_rejected_) c_rejected_->add();
       message_event("REJECT", peer, initiator);
-      network_.send(peer, initiator, [this, initiator] {
-        locked_[initiator] = false;
-        end_session(initiator, false, schedule_->makespan());
-        if (c_backoffs_) c_backoffs_->add();
-        engine_.schedule_after(rng_.uniform(0.0, options_.reject_backoff),
-                               [this, initiator] { try_initiate(initiator); });
+      network_.send(peer, initiator, [this, initiator, token] {
+        handle_reject(initiator, token);
       });
       return;
     }
-    locked_[peer] = true;
+    slots_[peer] = SessionSlot{true, token, false};
+    arm_timeout(peer, token, false);
     // ACCEPT carries the peer's job list back to the initiator; the kernel
     // then computes the split and the TRANSFER ships the moved jobs. Both
     // steps cost one message each; the state mutation happens at transfer
     // delivery time (both machines stay locked meanwhile).
     message_event("ACCEPT", peer, initiator);
-    network_.send(peer, initiator, [this, initiator, peer] {
-      message_event("TRANSFER", initiator, peer);
-      network_.send(initiator, peer, [this, initiator, peer] {
-        kernel_->balance(*schedule_, initiator, peer);
-        ++result_.sessions_completed;
-        const Cost cmax = schedule_->makespan();
-        result_.best_makespan = std::min(result_.best_makespan, cmax);
-        if (options_.record_trace) {
-          result_.trace.push_back({engine_.now(), cmax});
-        }
-        if (c_completed_) {
-          c_completed_->add();
-          g_cmax_->set(cmax);
-        }
-        locked_[initiator] = false;
-        locked_[peer] = false;
-        end_session(initiator, true, cmax);
-        schedule_wakeup(initiator);
-      });
+    network_.send(peer, initiator, [this, initiator, peer, token] {
+      handle_accept(initiator, peer, token);
     });
+  }
+
+  void handle_reject(MachineId initiator, std::uint64_t token) {
+    if (!in_session(initiator, token) ||
+        slots_[initiator].transfer_pending) {
+      stale_message();
+      return;
+    }
+    unlock(initiator);
+    end_session(initiator, false, schedule_->makespan());
+    if (c_backoffs_) c_backoffs_->add();
+    engine_.schedule_after(rng_.uniform(0.0, options_.reject_backoff),
+                           [this, initiator] { try_initiate(initiator); });
+  }
+
+  void handle_accept(MachineId initiator, MachineId peer,
+                     std::uint64_t token) {
+    if (!in_session(initiator, token) ||
+        slots_[initiator].transfer_pending) {
+      // The initiator gave up (timeout) or this ACCEPT is a duplicate; the
+      // peer stays locked until its own timer releases it.
+      stale_message();
+      return;
+    }
+    slots_[initiator].transfer_pending = true;
+    message_event("TRANSFER", initiator, peer);
+    network_.send(initiator, peer, [this, initiator, peer, token] {
+      handle_transfer(initiator, peer, token);
+    });
+  }
+
+  void handle_transfer(MachineId initiator, MachineId peer,
+                       std::uint64_t token) {
+    if (!in_session(peer, token)) {
+      // The peer abandoned the session; abort the initiator's half too so
+      // it does not wait for a completion that can no longer happen.
+      stale_message();
+      if (in_session(initiator, token) &&
+          slots_[initiator].transfer_pending) {
+        unlock(initiator);
+        end_session(initiator, false, schedule_->makespan());
+        schedule_wakeup(initiator);
+      }
+      return;
+    }
+    kernel_->balance(*schedule_, initiator, peer);
+    ++result_.sessions_completed;
+    const Cost cmax = schedule_->makespan();
+    result_.best_makespan = std::min(result_.best_makespan, cmax);
+    if (options_.record_trace) {
+      result_.trace.push_back({engine_.now(), cmax});
+    }
+    if (c_completed_) {
+      c_completed_->add();
+      g_cmax_->set(cmax);
+    }
+    unlock(peer);
+    if (in_session(initiator, token)) {
+      unlock(initiator);
+      end_session(initiator, true, cmax);
+      schedule_wakeup(initiator);
+    }
   }
 
   Schedule* schedule_;
@@ -149,12 +245,15 @@ class AsyncSimulation {
   des::Engine engine_;
   net::ConstantLatency latency_;
   net::Network network_;
-  std::vector<char> locked_;
+  std::vector<SessionSlot> slots_;
+  std::uint64_t next_token_ = 0;
   AsyncRunResult result_;
   obs::Tracer* tracer_ = nullptr;
   obs::Counter* c_completed_ = nullptr;
   obs::Counter* c_rejected_ = nullptr;
   obs::Counter* c_backoffs_ = nullptr;
+  obs::Counter* c_timeouts_ = nullptr;
+  obs::Counter* c_stale_ = nullptr;
   obs::Gauge* g_cmax_ = nullptr;
 };
 

@@ -14,11 +14,21 @@
 // Locking makes each session's view consistent; rejections and latency are
 // where this model differs from (and degrades against) the paper's
 // sequential abstraction — bench/ext_async_latency quantifies that gap.
+//
+// Every protocol message carries its session's token, so deliveries that
+// arrive out of context (duplicates, reordered stragglers — see
+// net/fault.hpp) are recognised as stale and ignored instead of corrupting
+// the lock state. An optional session timeout releases machines whose
+// session lost a message to a drop fault; without it a dropped message
+// parks both participants until the horizon (the run still terminates and
+// no job is ever lost either way — the schedule only mutates atomically at
+// TRANSFER delivery).
 
 #include <cstdint>
 #include <vector>
 
 #include "core/schedule.hpp"
+#include "net/fault.hpp"
 #include "net/network.hpp"
 #include "obs/obs.hpp"
 #include "pairwise/pair_kernel.hpp"
@@ -35,13 +45,22 @@ struct AsyncOptions {
   des::SimTime duration = 100.0;
   /// Backoff after a rejected request (uniform in [0, backoff)).
   des::SimTime reject_backoff = 1.0;
+  /// When > 0: a machine still locked in the same session after this long
+  /// abandons it (the initiator also schedules its next attempt). Keeps
+  /// the protocol live under message-drop faults; 0 disables the timers
+  /// entirely, preserving the exact fault-free event sequence.
+  des::SimTime session_timeout = 0.0;
+  /// Optional seeded fault injection on every message (must outlive the
+  /// run; null = reliable network).
+  const net::FaultPlan* fault_plan = nullptr;
   std::uint64_t seed = 1;
   /// Record (time, makespan) after every completed session.
   bool record_trace = false;
   /// Optional observability sinks (must outlive the run). Counters:
-  /// async.sessions.completed / .rejected, async.backoffs, net.messages,
-  /// des.events; tracer spans "session" plus REQUEST/ACCEPT/REJECT/TRANSFER
-  /// instants on the virtual DES clock (1 sim time unit = 1 second).
+  /// async.sessions.completed / .rejected / .timeout, async.backoffs,
+  /// async.stale_messages, net.messages, net.faults.*, des.events; tracer
+  /// spans "session" plus REQUEST/ACCEPT/REJECT/TRANSFER instants on the
+  /// virtual DES clock (1 sim time unit = 1 second).
   const obs::Context* obs = nullptr;
 };
 
@@ -56,9 +75,16 @@ struct AsyncRunResult {
   Cost best_makespan = 0.0;
   std::uint64_t sessions_completed = 0;
   std::uint64_t sessions_rejected = 0;
+  /// Sessions abandoned by the timeout timer (only with session_timeout).
+  std::uint64_t sessions_timed_out = 0;
+  /// Deliveries ignored because their session token was no longer current
+  /// (duplicate / reordered / post-timeout messages).
+  std::uint64_t stale_messages = 0;
   std::uint64_t messages = 0;
   std::uint64_t migrations = 0;
   des::SimTime end_time = 0.0;
+  /// Faults the attached plan injected (all zero without a plan).
+  net::FaultStats faults;
   std::vector<AsyncTracePoint> trace;
 
   /// Completed sessions per machine — comparable to the sequential model's

@@ -1,0 +1,58 @@
+#include "net/fault.hpp"
+
+#include <stdexcept>
+
+namespace dlb::net {
+
+FaultPlan FaultPlan::drops(double p, std::uint64_t seed) {
+  FaultPlan plan;
+  plan.drop_probability = p;
+  plan.seed = seed;
+  return plan;
+}
+
+FaultPlan FaultPlan::delays(double p, std::uint64_t seed) {
+  FaultPlan plan;
+  plan.delay_probability = p;
+  plan.seed = seed;
+  return plan;
+}
+
+FaultPlan FaultPlan::duplicates(double p, std::uint64_t seed) {
+  FaultPlan plan;
+  plan.duplicate_probability = p;
+  plan.seed = seed;
+  return plan;
+}
+
+FaultPlan FaultPlan::reorders(double p, std::uint64_t seed) {
+  FaultPlan plan;
+  plan.reorder_probability = p;
+  plan.seed = seed;
+  return plan;
+}
+
+FaultPlan FaultPlan::chaos(double p, std::uint64_t seed) {
+  FaultPlan plan;
+  plan.drop_probability = p;
+  plan.delay_probability = p;
+  plan.duplicate_probability = p;
+  plan.reorder_probability = p;
+  plan.seed = seed;
+  return plan;
+}
+
+FaultPlan fault_plan_by_name(const std::string& name, double p,
+                             std::uint64_t seed) {
+  if (name == "none") return FaultPlan{.seed = seed};
+  if (name == "drop") return FaultPlan::drops(p, seed);
+  if (name == "delay") return FaultPlan::delays(p, seed);
+  if (name == "duplicate") return FaultPlan::duplicates(p, seed);
+  if (name == "reorder") return FaultPlan::reorders(p, seed);
+  if (name == "chaos") return FaultPlan::chaos(p, seed);
+  throw std::invalid_argument(
+      "fault_plan_by_name: unknown plan '" + name +
+      "' (none|drop|delay|duplicate|reorder|chaos)");
+}
+
+}  // namespace dlb::net

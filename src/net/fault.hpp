@@ -1,0 +1,72 @@
+#pragma once
+
+// Seeded network fault injection for the simulated message layer. A
+// FaultPlan attaches to net::Network and perturbs every send() with
+// independent Bernoulli draws from a dedicated fault stream: messages can
+// be dropped, delayed by extra latency, duplicated, or reordered behind a
+// later send. The decisions are a deterministic function of the plan's
+// seed, so a failing run replays exactly from (instance seed, fault seed).
+//
+// The balancing protocols must tolerate every plan: the property harness
+// (src/check) asserts the async runners still terminate and conserve all
+// jobs under arbitrary fault mixes — the decentralized analogue of the
+// "unreliable machines" caveat the paper's conclusion raises.
+
+#include <cstdint>
+#include <string>
+
+#include "des/engine.hpp"
+
+namespace dlb::net {
+
+/// Per-message fault probabilities plus the dedicated fault stream seed.
+/// All probabilities are independent; a message can be both delayed and
+/// duplicated. Reordering holds the message back until the next send()
+/// schedules, so it arrives after a message sent later than it.
+struct FaultPlan {
+  double drop_probability = 0.0;
+  double delay_probability = 0.0;
+  double duplicate_probability = 0.0;
+  double reorder_probability = 0.0;
+  /// Extra latency added to delayed messages, uniform in [lo, hi).
+  des::SimTime delay_lo = 0.5;
+  des::SimTime delay_hi = 2.0;
+  /// Seed of the fault decision stream (independent of the protocol rng).
+  std::uint64_t seed = 0;
+
+  // ----- named single-fault plans (the harness's standard battery) -----
+
+  static FaultPlan drops(double p, std::uint64_t seed);
+  static FaultPlan delays(double p, std::uint64_t seed);
+  static FaultPlan duplicates(double p, std::uint64_t seed);
+  static FaultPlan reorders(double p, std::uint64_t seed);
+  /// All four faults at probability p each.
+  static FaultPlan chaos(double p, std::uint64_t seed);
+
+  /// True when every probability is zero (the plan is a no-op).
+  [[nodiscard]] bool trivial() const noexcept {
+    return drop_probability <= 0.0 && delay_probability <= 0.0 &&
+           duplicate_probability <= 0.0 && reorder_probability <= 0.0;
+  }
+};
+
+/// Counts of injected faults, kept by the Network alongside the obs
+/// counters (net.faults.*) so callers without a metrics registry still see
+/// what the plan did.
+struct FaultStats {
+  std::uint64_t dropped = 0;
+  std::uint64_t delayed = 0;
+  std::uint64_t duplicated = 0;
+  std::uint64_t reordered = 0;
+
+  [[nodiscard]] std::uint64_t total() const noexcept {
+    return dropped + delayed + duplicated + reordered;
+  }
+};
+
+/// "drop" / "delay" / "duplicate" / "reorder" / "chaos" / "none" -> plan
+/// with probability p. Throws std::invalid_argument on an unknown name.
+[[nodiscard]] FaultPlan fault_plan_by_name(const std::string& name, double p,
+                                           std::uint64_t seed);
+
+}  // namespace dlb::net

@@ -4,12 +4,18 @@
 // point-to-point messages with a pluggable latency model. The asynchronous
 // DLB2C runner (dist/async_runner) exchanges its balancing protocol over
 // this; the paper's sequential exchange model corresponds to zero latency.
+//
+// An optional FaultPlan (net/fault.hpp) perturbs deliveries with seeded
+// drop/delay/duplicate/reorder decisions; without a plan the send path is
+// byte-identical to the fault-free implementation.
 
 #include <cstdint>
 #include <functional>
+#include <vector>
 
 #include "core/types.hpp"
 #include "des/engine.hpp"
+#include "net/fault.hpp"
 #include "obs/obs.hpp"
 #include "stats/rng.hpp"
 
@@ -57,24 +63,53 @@ class Network {
   Network(des::Engine& engine, const LatencyModel& latency, stats::Rng& rng)
       : engine_(&engine), latency_(&latency), rng_(&rng) {}
 
-  /// Schedules `deliver` to run after the sampled latency from -> to.
+  /// Schedules `deliver` to run after the sampled latency from -> to,
+  /// subject to the attached fault plan (dropped messages never run).
   void send(MachineId from, MachineId to, std::function<void()> deliver);
 
   [[nodiscard]] std::uint64_t messages_sent() const noexcept {
     return messages_;
   }
 
+  /// Attaches a fault plan (`nullptr` detaches). The plan must outlive the
+  /// network; its decisions draw from a dedicated rng seeded by plan->seed,
+  /// so protocol determinism is unaffected.
+  void set_fault_plan(const FaultPlan* plan);
+
+  [[nodiscard]] const FaultStats& fault_stats() const noexcept {
+    return fault_stats_;
+  }
+
+  /// Messages held back by reorder faults and not yet released behind a
+  /// later send (they deliver on the next send, or never if none follows).
+  [[nodiscard]] std::size_t held_messages() const noexcept {
+    return held_.size();
+  }
+
   /// Attaches observability sinks (counter net.messages, gauge
-  /// net.last_latency). `context` must outlive the network; null detaches.
+  /// net.last_latency, counters net.faults.dropped / .delayed /
+  /// .duplicated / .reordered). `context` must outlive the network; null
+  /// detaches.
   void attach_obs(const obs::Context* context);
 
  private:
+  void resolve_fault_counters();
+
   des::Engine* engine_;
   const LatencyModel* latency_;
   stats::Rng* rng_;
   std::uint64_t messages_ = 0;
+  const obs::Context* obs_context_ = nullptr;
+  const FaultPlan* fault_plan_ = nullptr;
+  stats::Rng fault_rng_;
+  FaultStats fault_stats_;
+  std::vector<std::function<void()>> held_;
   obs::Counter* obs_messages_ = nullptr;
   obs::Gauge* obs_last_latency_ = nullptr;
+  obs::Counter* obs_dropped_ = nullptr;
+  obs::Counter* obs_delayed_ = nullptr;
+  obs::Counter* obs_duplicated_ = nullptr;
+  obs::Counter* obs_reordered_ = nullptr;
 };
 
 }  // namespace dlb::net

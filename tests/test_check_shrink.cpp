@@ -1,0 +1,98 @@
+#include "check/shrink.hpp"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+#include "core/generators.hpp"
+
+namespace dlb::check {
+namespace {
+
+TEST(Shrink, MinimizesJobCountToTheFailureBoundary) {
+  // Property fails whenever >= 3 jobs exist: greedy job dropping must stop
+  // at exactly 3 (dropping a 3rd would make the case pass).
+  const Property property = [](const Instance& inst, const Assignment&) {
+    return inst.num_jobs() < 3;
+  };
+  const Instance inst = gen::uniform_unrelated(4, 12, 1.0, 100.0, 1);
+  const Assignment initial = gen::random_assignment(inst, 2);
+  ASSERT_FALSE(property(inst, initial));
+
+  const ShrinkResult result = shrink(inst, initial, property);
+  EXPECT_EQ(result.instance.num_jobs(), 3u);
+  EXPECT_FALSE(property(result.instance, result.initial));
+  EXPECT_GT(result.rounds, 0u);
+}
+
+TEST(Shrink, MinimizesMachinesAndReassignsTheirJobs) {
+  const Property property = [](const Instance& inst, const Assignment&) {
+    return inst.num_machines() < 2;
+  };
+  const Instance inst = gen::identical_uniform(6, 8, 1.0, 10.0, 3);
+  const Assignment initial = gen::random_assignment(inst, 4);
+
+  const ShrinkResult result = shrink(inst, initial, property);
+  EXPECT_EQ(result.instance.num_machines(), 2u);
+  // Every surviving job is still validly placed on a surviving machine.
+  for (JobId j = 0; j < result.initial.num_jobs(); ++j) {
+    ASSERT_TRUE(result.initial.is_assigned(j));
+    EXPECT_LT(result.initial.machine_of(j),
+              result.instance.num_machines());
+  }
+}
+
+TEST(Shrink, SimplifiesCostsWhenTheFailureSurvives) {
+  // Failure independent of the costs: the cost-simplification candidates
+  // must flatten everything to 1.
+  const Property property = [](const Instance&, const Assignment&) {
+    return false;  // Always failing.
+  };
+  const Instance inst = gen::uniform_unrelated(3, 6, 1.5, 99.5, 5);
+  const ShrinkResult result =
+      shrink(inst, gen::random_assignment(inst, 6), property);
+  // Fully minimized: no jobs left, costs trivialized along the way.
+  EXPECT_EQ(result.instance.num_jobs(), 0u);
+  EXPECT_EQ(result.instance.num_machines(), 1u);
+}
+
+TEST(Shrink, AThrowingPropertyMarksCandidatesInvalidNotFailing) {
+  // The property requires >= 2 machines (throws below); failure needs
+  // >= 4 jobs. The shrinker must respect the precondition and never
+  // return a 1-machine case.
+  const Property property = [](const Instance& inst, const Assignment&) {
+    if (inst.num_machines() < 2) throw std::invalid_argument("need pair");
+    return inst.num_jobs() < 4;
+  };
+  const Instance inst = gen::identical_uniform(5, 10, 1.0, 10.0, 7);
+  const ShrinkResult result =
+      shrink(inst, gen::random_assignment(inst, 8), property);
+  EXPECT_EQ(result.instance.num_machines(), 2u);
+  EXPECT_EQ(result.instance.num_jobs(), 4u);
+}
+
+TEST(Shrink, RespectsTheCandidateBudget) {
+  const Property property = [](const Instance&, const Assignment&) {
+    return false;
+  };
+  const Instance inst = gen::uniform_unrelated(4, 12, 1.0, 100.0, 9);
+  const ShrinkResult result =
+      shrink(inst, gen::random_assignment(inst, 10), property,
+             /*max_candidates=*/5);
+  EXPECT_LE(result.candidates, 5u);
+}
+
+TEST(Shrink, KeepsJobTypesMeaningfulOnTypedInstances) {
+  const Property property = [](const Instance& inst, const Assignment&) {
+    return inst.num_jobs() < 2;
+  };
+  const Instance inst = gen::typed_uniform(3, 9, 3, 1.0, 10.0, 11);
+  ASSERT_TRUE(inst.has_job_types());
+  const ShrinkResult result =
+      shrink(inst, gen::random_assignment(inst, 12), property);
+  EXPECT_EQ(result.instance.num_jobs(), 2u);
+  EXPECT_TRUE(result.instance.has_job_types());
+}
+
+}  // namespace
+}  // namespace dlb::check

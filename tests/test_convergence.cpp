@@ -46,6 +46,53 @@ TEST(RunToStability, ConvergesOnSingleType) {
   EXPECT_DOUBLE_EQ(s.makespan(), 6.0);
 }
 
+TEST(RunToStability, AlreadyStableScheduleConvergesInOneSweep) {
+  // Early edge: the very first sweep finds nothing to do and must report
+  // convergence without touching the schedule.
+  const Instance inst = Instance::identical(2, {3.0, 3.0});
+  Schedule s(inst);
+  s.assign(0, 0);
+  s.assign(1, 1);
+  const auto fingerprint = s.fingerprint();
+  EXPECT_TRUE(run_to_stability(s, pairwise::BasicGreedyKernel{}, 1));
+  EXPECT_EQ(s.fingerprint(), fingerprint);
+}
+
+TEST(RunToStability, ZeroSweepBudgetStillCertifiesAStableStart) {
+  // Late edge: with no mutating sweeps allowed, the final non-mutating
+  // certification check still recognises an already-stable schedule.
+  const Instance inst = Instance::identical(2, {3.0, 3.0});
+  Schedule s(inst);
+  s.assign(0, 0);
+  s.assign(1, 1);
+  const auto fingerprint = s.fingerprint();
+  EXPECT_TRUE(run_to_stability(s, pairwise::BasicGreedyKernel{}, 0));
+  EXPECT_EQ(s.fingerprint(), fingerprint);
+}
+
+TEST(RunToStability, ZeroSweepBudgetOnAnUnbalancedStartReportsFalse) {
+  // ...whereas an unstable start must neither be certified nor mutated
+  // (the certification sweep works on a copy).
+  const Instance inst = Instance::identical(3, std::vector<Cost>(9, 1.0));
+  Schedule s(inst, Assignment::all_on(9, 0));
+  const auto fingerprint = s.fingerprint();
+  EXPECT_FALSE(run_to_stability(s, pairwise::BasicGreedyKernel{}, 0));
+  EXPECT_EQ(s.fingerprint(), fingerprint);
+}
+
+TEST(ExploreReachable, SingleStateBudgetStillClassifiesTheStart) {
+  // max_states = 1: only the start state is visited. If it is stable the
+  // closure is exhausted; either way the result must stay honest.
+  const Instance inst = Instance::identical(2, {1.0, 1.0});
+  Assignment balanced(2);
+  balanced.assign(0, 0);
+  balanced.assign(1, 1);
+  const ReachabilityResult r = explore_reachable(
+      inst, balanced, pairwise::BasicGreedyKernel{}, /*max_states=*/1);
+  EXPECT_TRUE(r.found_stable);
+  EXPECT_EQ(r.states_explored, 1u);
+}
+
 TEST(ExploreReachable, FindsStableStateOnEasyInstance) {
   const Instance inst = Instance::identical(2, {1.0, 1.0});
   const ReachabilityResult r = explore_reachable(

@@ -6,6 +6,7 @@
 
 #include "core/generators.hpp"
 #include "pairwise/basic_greedy.hpp"
+#include "pairwise/pairwise_optimal.hpp"
 
 namespace dlb::dist {
 namespace {
@@ -156,6 +157,67 @@ TEST(ExchangeEngine, ReportsMigrations) {
       ExchangeEngine(kernel, selector).run(s, capped(100), rng);
   EXPECT_GT(result.migrations, 0u);
   EXPECT_EQ(result.migrations, s.migrations());
+}
+
+// ----- no-op paths -----
+//
+// When no exchange can improve anything, the kernels must take the no-op
+// path: not merely "end near where they started" but leave the LoadTable
+// bitwise untouched — a remove-then-re-add of the same job would
+// accumulate floating-point drift that the exactly-zero checks below
+// would catch.
+
+std::vector<Cost> loads_of(const Schedule& s) {
+  std::vector<Cost> loads(s.num_machines());
+  for (MachineId i = 0; i < s.num_machines(); ++i) loads[i] = s.load(i);
+  return loads;
+}
+
+TEST(ExchangeEngine, EqualLoadsAreABitwiseNoOp) {
+  // 4 identical machines, one job of cost 2 each: perfectly balanced.
+  const Instance inst = Instance::identical(4, {2.0, 2.0, 2.0, 2.0});
+  Schedule s(inst);
+  for (JobId j = 0; j < 4; ++j) s.assign(j, j);
+  const std::vector<Cost> before = loads_of(s);
+  const pairwise::BasicGreedyKernel kernel;
+  const UniformPeerSelector selector;
+  stats::Rng rng(25);
+  const RunResult result =
+      ExchangeEngine(kernel, selector).run(s, capped(50), rng);
+  EXPECT_EQ(result.migrations, 0u);
+  EXPECT_EQ(result.changed_exchanges, 0u);
+  const std::vector<Cost> after = loads_of(s);
+  for (MachineId i = 0; i < 4; ++i) {
+    EXPECT_EQ(after[i], before[i]);  // Exact, not approximate.
+  }
+}
+
+TEST(ExchangeEngine, SingleJobMachinesAreABitwiseNoOp) {
+  // One job per machine, each strictly cheapest on its host (no ties, so
+  // Basic Greedy's tie-to-initiator rule never fires): every ordered pair
+  // must refuse to touch the schedule.
+  const Instance inst({{1.0, 9.0, 9.0}, {9.0, 1.0, 9.0}, {9.0, 9.0, 1.0}},
+                      {0, 1, 2}, {1.0, 1.0, 1.0});
+  Schedule s(inst);
+  for (JobId j = 0; j < 3; ++j) s.assign(j, j);
+  const std::vector<Cost> before = loads_of(s);
+  const pairwise::BasicGreedyKernel greedy;
+  const pairwise::PairwiseOptimalKernel optimal;
+  for (const pairwise::PairKernel* kernel :
+       {static_cast<const pairwise::PairKernel*>(&greedy),
+        static_cast<const pairwise::PairKernel*>(&optimal)}) {
+    for (MachineId a = 0; a < 3; ++a) {
+      for (MachineId b = 0; b < 3; ++b) {
+        if (a == b) continue;
+        EXPECT_FALSE(kernel->balance(s, a, b)) << kernel->name();
+      }
+    }
+    const std::vector<Cost> after = loads_of(s);
+    for (MachineId i = 0; i < 3; ++i) {
+      EXPECT_EQ(after[i], before[i]) << kernel->name();
+    }
+  }
+  EXPECT_EQ(s.migrations(), 0u);
 }
 
 TEST(ExchangeEngine, NormalizedThresholdTime) {

@@ -65,6 +65,38 @@ TEST(InstanceIo, RoundTripExactDoubleValues) {
   }
 }
 
+// Regression: these degenerate shapes used to die inside the Instance
+// cache rebuild on load (empty cost rows / groups with no machines).
+TEST(InstanceIo, RoundTripZeroJobs) {
+  const Instance original = Instance::identical(3, {});
+  std::stringstream buffer;
+  save_instance(original, buffer);
+  const Instance loaded = load_instance(buffer);
+  expect_instances_equal(original, loaded);
+  EXPECT_EQ(loaded.num_jobs(), 0u);
+}
+
+TEST(InstanceIo, RoundTripSingleMachine) {
+  const Instance original = Instance::identical(1, {3.0, 1.0, 4.0});
+  std::stringstream buffer;
+  save_instance(original, buffer);
+  const Instance loaded = load_instance(buffer);
+  expect_instances_equal(original, loaded);
+  EXPECT_EQ(loaded.num_machines(), 1u);
+}
+
+TEST(InstanceIo, RoundTripEmptyGroup) {
+  // Two cost rows but every machine in group 0: group 1 exists in the
+  // cost matrix yet owns no machine.
+  const Instance original({{2.0, 5.0}, {1.0, 1.0}}, {0, 0}, {1.0, 1.0});
+  ASSERT_TRUE(original.machines_in_group(1).empty());
+  std::stringstream buffer;
+  save_instance(original, buffer);
+  const Instance loaded = load_instance(buffer);
+  expect_instances_equal(original, loaded);
+  EXPECT_TRUE(loaded.machines_in_group(1).empty());
+}
+
 TEST(InstanceIo, RejectsCorruptHeader) {
   std::stringstream buffer("not-an-instance v1\n");
   EXPECT_THROW(load_instance(buffer), std::runtime_error);

@@ -40,6 +40,45 @@ TEST(UniformPeerSelector, TwoMachinesAlwaysPickTheOther) {
   }
 }
 
+TEST(UniformPeerSelector, DrawsPassAChiSquaredUniformityTest) {
+  // 7 machines -> 6 peer cells, df = 5. Critical value at alpha = 0.001
+  // is 20.52; a correct uniform selector fails this roughly once per
+  // thousand seeds, and a modulo-biased or off-by-one selector fails it
+  // essentially always.
+  const UniformPeerSelector selector;
+  stats::Rng rng(6);
+  constexpr int kDraws = 60'000;
+  std::vector<int> counts(7, 0);
+  for (int i = 0; i < kDraws; ++i) {
+    ++counts[selector.select(3, 7, rng)];
+  }
+  ASSERT_EQ(counts[3], 0);
+  const double expected = kDraws / 6.0;
+  double chi2 = 0.0;
+  for (MachineId i = 0; i < 7; ++i) {
+    if (i == 3) continue;
+    const double diff = counts[i] - expected;
+    chi2 += diff * diff / expected;
+  }
+  EXPECT_LT(chi2, 20.52) << "chi^2 = " << chi2;
+}
+
+TEST(RingPeerSelector, NeighbourDrawsAreBalanced) {
+  // Two cells (left/right neighbour), df = 1: critical value 10.83 at
+  // alpha = 0.001.
+  const RingPeerSelector selector;
+  stats::Rng rng(7);
+  constexpr int kDraws = 20'000;
+  int left = 0;
+  for (int i = 0; i < kDraws; ++i) {
+    if (selector.select(4, 9, rng) == 3) ++left;
+  }
+  const double expected = kDraws / 2.0;
+  const double diff = left - expected;
+  const double chi2 = 2.0 * diff * diff / expected;
+  EXPECT_LT(chi2, 10.83) << "left = " << left;
+}
+
 TEST(RingPeerSelector, OnlyNeighbours) {
   const RingPeerSelector selector;
   stats::Rng rng(4);
