@@ -2,7 +2,8 @@
 # replication-heavy experiments and require byte-identical JSON once the
 # timing/environment blocks are stripped via --no-timing.
 
-set(filter "^(fig5_exchanges_to_threshold|fig3_equilibrium_distribution)$")
+set(filter
+    "^(fig5_exchanges_to_threshold|fig3_equilibrium_distribution|perf_parallel_engine)$")
 set(common --smoke --quiet --no-timing --reps 1 --warmup 0
     --filter ${filter})
 

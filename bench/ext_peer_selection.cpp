@@ -8,7 +8,9 @@
 
 #include "centralized/clb2c.hpp"
 #include "core/generators.hpp"
-#include "dist/dlb2c.hpp"
+#include "dist/exchange_engine.hpp"
+#include "dist/selector_registry.hpp"
+#include "pairwise/kernel_registry.hpp"
 #include "registry.hpp"
 #include "stats/summary.hpp"
 #include "stats/table.hpp"
@@ -27,15 +29,16 @@ void run(const dlb::bench::RunContext& ctx, dlb::bench::MetricSet& metrics) {
                "jobs, threshold 1.5x cent)\n"
                "=====================================================\n\n";
 
-  const dlb::dist::Dlb2cKernel kernel;
-  const dlb::dist::UniformPeerSelector uniform;
-  const dlb::dist::RingPeerSelector ring;
-  const dlb::dist::PeerSelector* selectors[] = {&uniform, &ring};
+  const dlb::pairwise::PairKernel& kernel =
+      dlb::pairwise::kernel_registry().get("dlb2c");
 
   std::uint64_t exchanges = 0;
   TablePrinter table({"topology", "reached", "median_xchg/mach",
                       "p90_xchg/mach"});
-  for (const dlb::dist::PeerSelector* selector : selectors) {
+  // Every registered topology rides along automatically.
+  for (const std::string& name : dlb::dist::selector_registry().names()) {
+    const dlb::dist::PeerSelector* selector =
+        &dlb::dist::selector_registry().get(name);
     dlb::stats::SampleSet times;
     std::size_t reached = 0;
     for (std::uint64_t rep = 0; rep < reps; ++rep) {

@@ -57,12 +57,12 @@ void run(const dlb::bench::RunContext& /*ctx*/,
       options.seed = 4;
       const auto result = dlb::ws::simulate_work_stealing(
           inst, dlb::Assignment::all_on(256, 0), options);
-      attempts += result.steal_attempts;
-      worst_vs_lb = std::max(worst_vs_lb, result.makespan / lb);
-      table.add_row({policy.name, TablePrinter::fixed(result.makespan, 0),
-                     TablePrinter::fixed(result.makespan / lb, 3),
+      attempts += result.exchanges;
+      worst_vs_lb = std::max(worst_vs_lb, result.final_makespan / lb);
+      table.add_row({policy.name, TablePrinter::fixed(result.final_makespan, 0),
+                     TablePrinter::fixed(result.final_makespan / lb, 3),
                      std::to_string(result.successful_steals),
-                     std::to_string(result.steal_attempts)});
+                     std::to_string(result.exchanges)});
     }
     table.print(std::cout);
     metrics.metric("identical_worst_vs_lb", worst_vs_lb);
@@ -81,14 +81,14 @@ void run(const dlb::bench::RunContext& /*ctx*/,
       options.seed = 5;
       const auto result = dlb::ws::simulate_work_stealing(
           trap.instance, trap.initial, options);
-      attempts += result.steal_attempts;
-      best_trap_ratio =
-          std::min(best_trap_ratio, result.makespan / trap.optimal_makespan);
+      attempts += result.exchanges;
+      const double ratio = result.final_makespan / trap.optimal_makespan;
+      best_trap_ratio = std::min(best_trap_ratio, ratio);
       table.add_row(
           {policy.name,
            TablePrinter::fixed(result.first_successful_steal, 2),
-           TablePrinter::fixed(result.makespan, 2),
-           TablePrinter::fixed(result.makespan / trap.optimal_makespan, 1)});
+           TablePrinter::fixed(result.final_makespan, 2),
+           TablePrinter::fixed(ratio, 1)});
     }
     table.print(std::cout);
     metrics.metric("trap_best_ratio_vs_opt", best_trap_ratio);

@@ -53,8 +53,8 @@ void run_work_stealing_sim(const dlb::bench::RunContext& ctx,
     for (std::size_t i = 0; i < iters; ++i) {
       dlb::ws::WsOptions options;
       options.retry_delay = 1.0;
-      checksum +=
-          dlb::ws::simulate_work_stealing(inst, initial, options).makespan;
+      checksum += dlb::ws::simulate_work_stealing(inst, initial, options)
+                      .final_makespan;
       jobs_run += 768;
     }
     std::cout << "work-stealing sim, " << machines << " machines x " << iters

@@ -1,0 +1,60 @@
+// Perf: the sharded parallel exchange engine at scale. A two-cluster
+// instance (the paper's heterogeneous regime) large enough that the
+// execute phase dominates: full size is 10k machines / 1M jobs, so each
+// epoch runs up to 5000 independent pairwise sessions — the workload the
+// `parallel_speedup` CI gate times at 1 vs 8 threads. The JSON payload
+// carries only deterministic quantities (the harness adds timing), so the
+// document is byte-identical at any --threads value.
+
+#include <cstdint>
+#include <iostream>
+
+#include "core/generators.hpp"
+#include "dist/parallel_exchange_engine.hpp"
+#include "dist/selector_registry.hpp"
+#include "pairwise/kernel_registry.hpp"
+#include "registry.hpp"
+
+namespace {
+
+void run(const dlb::bench::RunContext& ctx, dlb::bench::MetricSet& metrics) {
+  const std::size_t machines = ctx.scale(10'000, 512);
+  const std::size_t jobs = ctx.scale(1'000'000, 20'000);
+
+  const dlb::Instance inst = dlb::gen::two_cluster_uniform(
+      machines * 2 / 3, machines - machines * 2 / 3, jobs, 1.0, 1000.0, 1);
+  dlb::Schedule s(inst, dlb::gen::random_assignment(inst, 2));
+
+  dlb::dist::ParallelEngineOptions options;
+  options.max_exchanges = 2 * machines;  // ~4 epochs of m/2 sessions
+  options.pool = ctx.pool;
+  options.obs = ctx.obs;
+  const dlb::dist::ParallelRunResult result =
+      dlb::dist::ParallelExchangeEngine(
+          dlb::pairwise::kernel_registry().get("basic-greedy"),
+          dlb::dist::selector_registry().get("uniform"))
+          .run(s, options, 3);
+
+  std::cout << "parallel exchange engine, " << machines << " machines, "
+            << jobs << " jobs: " << result.exchanges << " sessions in "
+            << result.epochs << " epochs, Cmax " << result.initial_makespan
+            << " -> " << result.final_makespan << "\n";
+
+  // Deterministic payload only — identical at every thread count.
+  metrics.metric("final_makespan", result.final_makespan);
+  metrics.metric("best_makespan", result.best_makespan);
+  metrics.counter("sessions", static_cast<double>(result.exchanges));
+  metrics.counter("changed_sessions",
+                  static_cast<double>(result.changed_exchanges));
+  metrics.counter("epochs", static_cast<double>(result.epochs));
+  metrics.counter("conflicts", static_cast<double>(result.conflicts));
+  metrics.counter("peer_retries", static_cast<double>(result.peer_retries));
+  metrics.counter("migrations", static_cast<double>(result.migrations));
+}
+
+}  // namespace
+
+DLB_BENCH_REGISTER("perf_parallel_engine",
+                   "Perf: parallel exchange engine throughput (the "
+                   "parallel_speedup gate's workload)",
+                   run);

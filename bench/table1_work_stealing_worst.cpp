@@ -33,15 +33,15 @@ void run(const dlb::bench::RunContext& /*ctx*/,
     options.retry_delay = 0.01;
     const auto result =
         dlb::ws::simulate_work_stealing(trap.instance, trap.initial, options);
-    largest_ratio = result.makespan / trap.optimal_makespan;
+    largest_ratio = result.final_makespan / trap.optimal_makespan;
     largest_n = n;
-    steal_attempts += result.steal_attempts;
+    steal_attempts += result.exchanges;
     table.add_row({TablePrinter::fixed(n, 0),
                    TablePrinter::fixed(result.first_successful_steal, 2),
-                   TablePrinter::fixed(result.makespan, 2),
+                   TablePrinter::fixed(result.final_makespan, 2),
                    TablePrinter::fixed(trap.optimal_makespan, 0),
                    TablePrinter::fixed(
-                       result.makespan / trap.optimal_makespan, 1),
+                       result.final_makespan / trap.optimal_makespan, 1),
                    "~n/2 (unbounded)"});
   }
   table.print(std::cout);

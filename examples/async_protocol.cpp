@@ -37,7 +37,7 @@ int main() {
     options.record_trace = true;
     const auto result = dlb::dist::run_async(s, kernel, options);
     table.add_row({TablePrinter::fixed(latency, 2),
-                   std::to_string(result.sessions_completed),
+                   std::to_string(result.exchanges),
                    std::to_string(result.sessions_rejected),
                    std::to_string(result.messages),
                    TablePrinter::fixed(result.final_makespan, 0),

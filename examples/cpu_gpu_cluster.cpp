@@ -57,7 +57,7 @@ int main() {
   ws_options.seed = 7;
   const auto stealing =
       dlb::ws::simulate_work_stealing(instance, scattered, ws_options);
-  report("work stealing (a posteriori)", stealing.makespan);
+  report("work stealing (a posteriori)", stealing.final_makespan);
 
   report("CLB2C (centralized 2-approx)",
          dlb::centralized::clb2c_schedule(instance).makespan());

@@ -371,12 +371,12 @@ void check_async_result(const dist::AsyncRunResult& result,
     // Reliable network: every completed session took exactly 3 messages
     // and every rejection 2; in-flight messages at the horizon only add.
     const std::uint64_t floor_messages =
-        3 * result.sessions_completed + 2 * result.sessions_rejected;
+        3 * result.exchanges + 2 * result.sessions_rejected;
     if (result.messages < floor_messages) {
       report.fail("async.messages",
                   std::to_string(result.messages) +
                       " messages cannot carry " +
-                      std::to_string(result.sessions_completed) +
+                      std::to_string(result.exchanges) +
                       " completed + " +
                       std::to_string(result.sessions_rejected) +
                       " rejected sessions");
@@ -384,7 +384,7 @@ void check_async_result(const dist::AsyncRunResult& result,
     if (result.faults.total() != 0) {
       report.fail("async.faults", "faults reported without a fault plan");
     }
-    if (result.stale_messages != 0 && options.session_timeout <= 0.0) {
+    if (result.stale_messages != 0 && !options.session_timeout.has_value()) {
       report.fail("async.stale",
                   "stale messages on a reliable network without timeouts");
     }

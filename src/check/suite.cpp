@@ -10,11 +10,8 @@
 #include "core/lower_bounds.hpp"
 #include "core/validation.hpp"
 #include "dist/convergence.hpp"
-#include "dist/dlb2c.hpp"
-#include "dist/dlbkc.hpp"
 #include "dist/exchange_engine.hpp"
-#include "pairwise/basic_greedy.hpp"
-#include "pairwise/typed_greedy.hpp"
+#include "pairwise/kernel_registry.hpp"
 #include "stats/rng.hpp"
 
 namespace dlb::check {
@@ -33,33 +30,34 @@ bool two_populated_clusters(const Instance& instance) {
 }
 
 /// The regime-appropriate engine kernel: the most specific algorithm whose
-/// preconditions the instance satisfies.
+/// preconditions the instance satisfies. Instances come from the shared
+/// kernel registry, so the suite exercises the exact objects the CLI and
+/// benches hand out.
 const pairwise::PairKernel& kernel_for(const Instance& instance) {
-  static const dist::Dlb2cKernel dlb2c;
-  static const dist::DlbKcKernel dlbkc;
-  static const pairwise::TypedGreedyKernel typed;
-  static const pairwise::BasicGreedyKernel basic;
-  if (two_populated_clusters(instance)) return dlb2c;
-  if (instance.unit_scales() && instance.num_groups() >= 2) return dlbkc;
-  if (instance.has_job_types()) return typed;
-  return basic;
+  const pairwise::KernelRegistry& registry = pairwise::kernel_registry();
+  if (two_populated_clusters(instance)) return registry.get("dlb2c");
+  if (instance.unit_scales() && instance.num_groups() >= 2) {
+    return registry.get("dlbkc");
+  }
+  if (instance.has_job_types()) return registry.get("typed-greedy");
+  return registry.get("basic-greedy");
 }
 
 /// Every kernel whose preconditions the instance satisfies, for the
 /// per-pair contract oracle.
 std::vector<const pairwise::PairKernel*> applicable_kernels(
     const Instance& instance) {
-  static const dist::Dlb2cKernel dlb2c;
-  static const dist::DlbKcKernel dlbkc;
-  static const pairwise::TypedGreedyKernel typed;
-  static const pairwise::BasicGreedyKernel basic;
-  std::vector<const pairwise::PairKernel*> kernels{&basic};
-  if (instance.has_job_types()) kernels.push_back(&typed);
+  const pairwise::KernelRegistry& registry = pairwise::kernel_registry();
+  std::vector<const pairwise::PairKernel*> kernels{
+      &registry.get("basic-greedy")};
+  if (instance.has_job_types()) {
+    kernels.push_back(&registry.get("typed-greedy"));
+  }
   if (instance.num_groups() == 2 && instance.unit_scales()) {
-    kernels.push_back(&dlb2c);
+    kernels.push_back(&registry.get("dlb2c"));
   }
   if (instance.unit_scales() && instance.num_groups() >= 1) {
-    kernels.push_back(&dlbkc);
+    kernels.push_back(&registry.get("dlbkc"));
   }
   return kernels;
 }
@@ -130,7 +128,7 @@ void check_async(const Instance& instance, const Assignment& initial,
   options.fault_plan = context.fault_plan;
   // Timeouts keep the protocol live under drops; without faults stay on
   // the timer-free path (byte-identical to the pre-fault event stream).
-  options.session_timeout = context.fault_plan != nullptr ? 3.0 : 0.0;
+  if (context.fault_plan != nullptr) options.session_timeout = 3.0;
 
   Schedule schedule(instance, initial);
   const dist::AsyncRunResult result =
@@ -160,7 +158,7 @@ void check_async(const Instance& instance, const Assignment& initial,
       dist::run_async(replay, kernel, options);
   if (replay.fingerprint() != schedule.fingerprint() ||
       again.messages != result.messages ||
-      again.sessions_completed != result.sessions_completed ||
+      again.exchanges != result.exchanges ||
       again.faults.total() != result.faults.total()) {
     report.fail("diff.async_determinism",
                 "two async runs with the same seed diverged");
@@ -186,13 +184,15 @@ void check_exact(const Instance& instance, const Assignment& initial,
   if (two_populated_clusters(instance)) {
     check_clb2c_two_approx(instance, opt, report);
     Schedule stable(instance, initial);
-    if (dist::run_to_stability(stable, dist::Dlb2cKernel(), 64)) {
+    if (dist::run_to_stability(stable, pairwise::kernel_registry().get("dlb2c"),
+                               64)) {
       check_stable_two_approx(stable, opt, report);
     }
   }
   if (instance.has_job_types()) {
     Schedule stable(instance, initial);
-    if (dist::run_to_stability(stable, pairwise::TypedGreedyKernel(), 64)) {
+    if (dist::run_to_stability(
+            stable, pairwise::kernel_registry().get("typed-greedy"), 64)) {
       check_stable_mjtb_bound(stable, report);
       if (instance.num_job_types() == 1) {
         check_stable_single_type_optimal(stable, report);

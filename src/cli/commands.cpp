@@ -18,14 +18,13 @@
 #include "core/lower_bounds.hpp"
 #include "core/validation.hpp"
 #include "dist/async_runner.hpp"
-#include "dist/dlb2c.hpp"
-#include "dist/dlbkc.hpp"
-#include "dist/mjtb.hpp"
-#include "dist/ojtb.hpp"
+#include "dist/exchange_engine.hpp"
+#include "dist/parallel_exchange_engine.hpp"
+#include "dist/selector_registry.hpp"
 #include "markov/makespan_pdf.hpp"
 #include "obs/obs.hpp"
-#include "pairwise/basic_greedy.hpp"
-#include "pairwise/typed_greedy.hpp"
+#include "pairwise/kernel_registry.hpp"
+#include "parallel/thread_pool.hpp"
 #include "stats/csv.hpp"
 #include "stats/table.hpp"
 
@@ -224,65 +223,132 @@ struct ObsFiles {
   }
 };
 
+/// Third trace-CSV column: per-exchange it is the changed flag, per-epoch
+/// the number of committed sessions.
+std::string row_detail(const dist::ExchangeTracePoint& point) {
+  return point.changed ? "1" : "0";
+}
+std::string row_detail(const dist::EpochTracePoint& point) {
+  return std::to_string(point.sessions);
+}
+
+/// Resolves --alg against the shared kernel registry, keeping the
+/// CLI-specific error shape ("unknown --alg ...") the scripts grep for.
+const pairwise::PairKernel& kernel_by_alg(const std::string& alg) {
+  const pairwise::KernelRegistry& registry = pairwise::kernel_registry();
+  if (!registry.contains(alg)) {
+    throw std::invalid_argument("unknown --alg '" + alg + "' (" +
+                                registry.names_joined() + ")");
+  }
+  return registry.get(alg);
+}
+
+/// Resolves --peer against the shared selector registry.
+const dist::PeerSelector& selector_by_name(const std::string& name) {
+  const dist::SelectorRegistry& registry = dist::selector_registry();
+  if (!registry.contains(name)) {
+    throw std::invalid_argument("unknown --peer '" + name + "' (" +
+                                registry.names_joined() + ")");
+  }
+  return registry.get(name);
+}
+
 // ----- balance -----
 
 int cmd_balance(const Args& args, std::ostream& out, std::ostream& err) {
   const std::string path = args.require("in");
   const std::string alg = args.get("alg", "dlb2c");
+  const std::string peer = args.get("peer", "uniform");
+  const std::string engine_kind = args.get("engine", "seq");
+  const auto threads = static_cast<std::size_t>(args.get_int("threads", 0));
   const std::uint64_t seed = args.get_seed("seed", 1);
   const auto per_machine = args.get_int("exchanges-per-machine", 10);
   const std::string trace_path = args.get("trace", "");
   ObsFiles obs_files(args, "trace-json", "metrics-json");
   if (const int rc = check_unused(args, err)) return rc;
+  if (engine_kind != "seq" && engine_kind != "parallel") {
+    throw std::invalid_argument("unknown --engine '" + engine_kind +
+                                "' (seq|parallel)");
+  }
 
+  const pairwise::PairKernel& kernel = kernel_by_alg(alg);
+  const dist::PeerSelector& selector = selector_by_name(peer);
   const Instance instance = io::load_instance_file(path);
   Schedule schedule(instance, gen::random_assignment(instance, seed));
-  dist::EngineOptions options;
-  options.max_exchanges = instance.num_machines() * per_machine;
-  options.record_trace = !trace_path.empty();
-  if (obs_files.enabled()) options.obs = &obs_files.context;
-  stats::Rng rng(seed + 1);
-
-  dist::RunResult result = [&] {
-    if (alg == "dlb2c") return dist::run_dlb2c(schedule, options, rng);
-    if (alg == "dlbkc") return dist::run_dlbkc(schedule, options, rng);
-    if (alg == "ojtb") return dist::run_ojtb(schedule, options, rng);
-    if (alg == "mjtb") return dist::run_mjtb(schedule, options, rng);
-    throw std::invalid_argument("unknown --alg '" + alg +
-                                "' (dlb2c|dlbkc|ojtb|mjtb)");
-  }();
-
   const Cost lb = makespan_lower_bound(instance);
-  out << "algorithm       : " << alg << "\n"
-      << "initial Cmax    : " << result.initial_makespan << "\n"
-      << "final Cmax      : " << result.final_makespan << "\n"
-      << "best Cmax       : " << result.best_makespan << "\n"
-      << "exchanges       : " << result.exchanges << " ("
-      << result.changed_exchanges << " effective)\n"
-      << "migrations      : " << result.migrations << "\n"
-      << "LB              : " << lb << "\n"
-      << "final factor    : " << result.final_makespan / lb << "\n";
-  if (!trace_path.empty()) {
+
+  const auto write_trace = [&](const char* kind, const char* detail_col,
+                               const auto& rows) -> int {
     std::ofstream trace(trace_path);
     if (!trace) {
       err << "dlbsim: cannot write " << trace_path << "\n";
       return 1;
     }
     stats::CsvWriter csv(trace);
-    // The first two columns are the original format; `changed` and
+    // The first two columns are the original format; the detail column and
     // `migrations` (cumulative job moves) are appended so old scripts keep
-    // parsing and Figure 4/5-style analyses get the per-exchange detail.
-    csv.header({"exchange", "makespan", "changed", "migrations"});
-    for (std::size_t x = 0; x < result.exchange_trace.size(); ++x) {
-      const dist::ExchangeTracePoint& point = result.exchange_trace[x];
+    // parsing and Figure 4/5-style analyses get the per-row detail. The
+    // parallel engine only has epoch-granular state, so its trace is per
+    // epoch with the session count in place of `changed`.
+    csv.header({kind, "makespan", detail_col, "migrations"});
+    for (std::size_t x = 0; x < rows.size(); ++x) {
       csv.row({stats::CsvWriter::num(x + 1),
-               stats::CsvWriter::num(point.makespan),
-               std::string(point.changed ? "1" : "0"),
+               stats::CsvWriter::num(rows[x].makespan), row_detail(rows[x]),
                stats::CsvWriter::num(
-                   static_cast<std::size_t>(point.migrations))});
+                   static_cast<std::size_t>(rows[x].migrations))});
     }
-    out << "trace written   : " << trace_path << " ("
-        << result.exchange_trace.size() << " rows)\n";
+    out << "trace written   : " << trace_path << " (" << rows.size()
+        << " rows)\n";
+    return 0;
+  };
+
+  if (engine_kind == "parallel") {
+    dist::ParallelEngineOptions options;
+    options.max_exchanges = instance.num_machines() * per_machine;
+    options.record_trace = !trace_path.empty();
+    if (obs_files.enabled()) options.obs = &obs_files.context;
+    parallel::ThreadPool pool(threads);
+    options.pool = &pool;
+    const dist::ParallelExchangeEngine engine(kernel, selector);
+    const dist::ParallelRunResult result =
+        engine.run(schedule, options, seed + 1);
+
+    out << "algorithm       : " << alg << " (parallel, "
+        << pool.num_threads() << " threads)\n";
+    result.print(out);
+    out << "effective       : " << result.changed_exchanges << "\n"
+        << "epochs          : " << result.epochs << " ("
+        << result.conflicts << " conflicts, " << result.peer_retries
+        << " peer retries)\n"
+        << "LB              : " << lb << "\n"
+        << "final factor    : " << result.final_makespan / lb << "\n";
+    if (!trace_path.empty()) {
+      if (const int rc =
+              write_trace("epoch", "sessions", result.epoch_trace)) {
+        return rc;
+      }
+    }
+    return obs_files.write(out, err);
+  }
+
+  dist::EngineOptions options;
+  options.max_exchanges = instance.num_machines() * per_machine;
+  options.record_trace = !trace_path.empty();
+  if (obs_files.enabled()) options.obs = &obs_files.context;
+  stats::Rng rng(seed + 1);
+  const dist::ExchangeEngine engine(kernel, selector);
+  const dist::RunResult result = engine.run(schedule, options, rng);
+
+  out << "algorithm       : " << alg << "\n";
+  result.print(out);
+  out << "effective       : " << result.changed_exchanges << "\n"
+      << "LB              : " << lb << "\n"
+      << "final factor    : " << result.final_makespan / lb << "\n";
+  if (!trace_path.empty()) {
+    if (const int rc =
+            write_trace("exchange", "changed", result.exchange_trace)) {
+      return rc;
+    }
   }
   return obs_files.write(out, err);
 }
@@ -308,18 +374,7 @@ int cmd_simulate(const Args& args, std::ostream& out, std::ostream& err) {
   const Instance instance = io::load_instance_file(path);
   Schedule schedule(instance, gen::random_assignment(instance, seed));
 
-  const pairwise::PairKernel& kernel = [&]() -> const pairwise::PairKernel& {
-    static const dist::Dlb2cKernel dlb2c;
-    static const dist::DlbKcKernel dlbkc;
-    static const pairwise::BasicGreedyKernel ojtb;
-    static const pairwise::TypedGreedyKernel mjtb;
-    if (alg == "dlb2c") return dlb2c;
-    if (alg == "dlbkc") return dlbkc;
-    if (alg == "ojtb") return ojtb;
-    if (alg == "mjtb") return mjtb;
-    throw std::invalid_argument("unknown --alg '" + alg +
-                                "' (dlb2c|dlbkc|ojtb|mjtb)");
-  }();
+  const pairwise::PairKernel& kernel = kernel_by_alg(alg);
 
   const dist::AsyncRunResult result =
       dist::run_async(schedule, kernel, options);
@@ -327,15 +382,12 @@ int cmd_simulate(const Args& args, std::ostream& out, std::ostream& err) {
   const Cost lb = makespan_lower_bound(instance);
   const std::size_t m = instance.num_machines();
   out << "algorithm       : " << alg << " (async)\n"
-      << "virtual time    : " << result.end_time << "\n"
-      << "initial Cmax    : " << result.initial_makespan << "\n"
-      << "final Cmax      : " << result.final_makespan << "\n"
-      << "best Cmax       : " << result.best_makespan << "\n"
-      << "sessions        : " << result.sessions_completed << " completed, "
+      << "virtual time    : " << result.end_time << "\n";
+  result.print(out);
+  out << "sessions        : " << result.exchanges << " completed, "
       << result.sessions_rejected << " rejected ("
       << result.sessions_per_machine(m) << " per machine)\n"
       << "messages        : " << result.messages << "\n"
-      << "migrations      : " << result.migrations << "\n"
       << "LB              : " << lb << "\n"
       << "final factor    : " << result.final_makespan / lb << "\n";
   if (!trace_path.empty()) {
@@ -390,15 +442,20 @@ commands:
   info     --in FILE
   solve    --in FILE
            [--alg list|lpt|ect|minmin|maxmin|sufferage|clb2c|lenstra|exact]
-  balance  --in FILE [--alg dlb2c|dlbkc|ojtb|mjtb]
+  balance  --in FILE [--alg KERNEL] [--peer uniform|ring]
+           [--engine seq|parallel] [--threads N]
            [--exchanges-per-machine N] [--seed S] [--trace FILE.csv]
            [--trace-json FILE.json] [--metrics-json FILE.json]
-  simulate --in FILE [--alg dlb2c|dlbkc|ojtb|mjtb] [--duration T]
+  simulate --in FILE [--alg KERNEL] [--duration T]
            [--latency T] [--think T] [--backoff T] [--seed S]
            [--trace FILE.csv] [--trace-json FILE.json]
            [--metrics-json FILE.json]
+
   markov   [--m N] [--pmax P]
   help
+
+KERNEL is any registered pair kernel (dlbsim balance --alg ? lists them);
+the classic names dlb2c|dlbkc|ojtb|mjtb all resolve.
 )";
 }
 

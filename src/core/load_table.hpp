@@ -1,0 +1,141 @@
+#pragma once
+
+// LoadTable: the per-machine half of a Schedule — machine loads and
+// per-machine job membership — stored as contiguous pooled arrays instead
+// of one heap vector per machine. Each job owns one slot in the shared
+// next/prev arrays (an intrusive doubly-linked list threaded through flat
+// storage), so:
+//   * moving a job between machines is O(1) with zero allocation — the old
+//     vector-of-vectors layout paid an O(k) linear find plus occasional
+//     push_back reallocation on every move;
+//   * the whole table is four flat arrays (SoA), so a pairwise session
+//     touches two small slabs of machine state plus the shared link pool
+//     rather than pointer-chasing per-machine heap blocks;
+//   * two sessions on disjoint machine pairs touch disjoint entries of
+//     every array, which is what lets ParallelExchangeEngine run sessions
+//     concurrently without synchronising on the table itself.
+//
+// Iteration order over a machine's jobs is the insertion order of the
+// current residents (most recently attached first). Nothing in the library
+// depends on that order: kernels sort their pooled jobs by id, and all
+// consistency checks are order-insensitive.
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "core/types.hpp"
+
+namespace dlb {
+
+class LoadTable {
+ public:
+  /// Sentinel link meaning "end of list" / "not on any machine".
+  static constexpr JobId kNil = kUnassigned;
+
+  LoadTable() = default;
+  LoadTable(std::size_t num_machines, std::size_t num_jobs)
+      : next_(num_jobs, kNil),
+        prev_(num_jobs, kNil),
+        head_(num_machines, kNil),
+        count_(num_machines, 0),
+        loads_(num_machines, 0.0),
+        arrivals_(num_machines, 0) {}
+
+  [[nodiscard]] std::size_t num_machines() const noexcept {
+    return head_.size();
+  }
+
+  [[nodiscard]] Cost load(MachineId i) const noexcept { return loads_[i]; }
+  [[nodiscard]] const std::vector<Cost>& loads() const noexcept {
+    return loads_;
+  }
+  [[nodiscard]] std::size_t count(MachineId i) const noexcept {
+    return count_[i];
+  }
+
+  /// Jobs that ever arrived on machine i via attach() (monotone). Disjoint
+  /// pair sessions update disjoint entries, so the parallel engine reads
+  /// race-free per-session migration deltas from the two machines it owns.
+  [[nodiscard]] std::uint64_t arrivals(MachineId i) const noexcept {
+    return arrivals_[i];
+  }
+
+  /// Lightweight forward range over the jobs currently on one machine.
+  /// Invalidated by any attach/detach on that machine.
+  class JobList {
+   public:
+    class iterator {
+     public:
+      using value_type = JobId;
+      iterator(const JobId* next, JobId at) noexcept : next_(next), at_(at) {}
+      JobId operator*() const noexcept { return at_; }
+      iterator& operator++() noexcept {
+        at_ = next_[at_];
+        return *this;
+      }
+      bool operator==(const iterator& other) const noexcept {
+        return at_ == other.at_;
+      }
+
+     private:
+      const JobId* next_;
+      JobId at_;
+    };
+
+    JobList(const JobId* next, JobId head, std::size_t size) noexcept
+        : next_(next), head_(head), size_(size) {}
+
+    [[nodiscard]] iterator begin() const noexcept { return {next_, head_}; }
+    [[nodiscard]] iterator end() const noexcept { return {next_, kNil}; }
+    [[nodiscard]] std::size_t size() const noexcept { return size_; }
+    [[nodiscard]] bool empty() const noexcept { return size_ == 0; }
+
+   private:
+    const JobId* next_;
+    JobId head_;
+    std::size_t size_;
+  };
+
+  [[nodiscard]] JobList jobs(MachineId i) const noexcept {
+    return {next_.data(), head_[i], count_[i]};
+  }
+
+  /// Links job j onto machine i and adds `cost` to its load. j must not be
+  /// attached anywhere. `migrated` marks reassignments (counted in
+  /// arrivals) as opposed to first placements.
+  void attach(JobId j, MachineId i, Cost cost, bool migrated) noexcept {
+    next_[j] = head_[i];
+    prev_[j] = kNil;
+    if (head_[i] != kNil) prev_[head_[i]] = j;
+    head_[i] = j;
+    ++count_[i];
+    loads_[i] += cost;
+    if (migrated) ++arrivals_[i];
+  }
+
+  /// Unlinks job j from machine i and subtracts `cost` from its load. O(1).
+  void detach(JobId j, MachineId i, Cost cost) noexcept {
+    if (prev_[j] != kNil) {
+      next_[prev_[j]] = next_[j];
+    } else {
+      head_[i] = next_[j];
+    }
+    if (next_[j] != kNil) prev_[next_[j]] = prev_[j];
+    next_[j] = kNil;
+    prev_[j] = kNil;
+    --count_[i];
+    loads_[i] -= cost;
+  }
+
+ private:
+  // Job-indexed link pool (size n), machine-indexed state (size m).
+  std::vector<JobId> next_;
+  std::vector<JobId> prev_;
+  std::vector<JobId> head_;
+  std::vector<std::size_t> count_;
+  std::vector<Cost> loads_;
+  std::vector<std::uint64_t> arrivals_;
+};
+
+}  // namespace dlb

@@ -1,0 +1,129 @@
+#pragma once
+
+// NameRegistry<T>: the one name->factory mechanism behind
+// pairwise::kernel_registry() and dist::selector_registry(). Every consumer
+// that used to hand-roll an if/else chain over algorithm names (CLI,
+// benches, dlb_check) resolves through a registry instead, so adding an
+// implementation is one registration line and every "unknown name" error
+// automatically reports the valid set.
+
+#include <functional>
+#include <map>
+#include <memory>
+#include <stdexcept>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+namespace dlb {
+
+template <typename T>
+class NameRegistry {
+ public:
+  using Factory = std::function<std::unique_ptr<T>()>;
+
+  /// `kind` names the registered concept in error messages ("kernel",
+  /// "peer selector").
+  explicit NameRegistry(std::string kind) : kind_(std::move(kind)) {}
+
+  /// Registers a canonical name. Eagerly constructs one shared instance
+  /// (implementations are stateless const objects), keeps the factory for
+  /// create(). Throws std::logic_error on a duplicate.
+  void add(std::string name, Factory factory) {
+    if (entries_.count(name) != 0 || aliases_.count(name) != 0) {
+      throw std::logic_error(kind_ + " registry: duplicate name '" + name +
+                             "'");
+    }
+    Entry entry;
+    entry.shared = factory();
+    entry.factory = std::move(factory);
+    entries_.emplace(std::move(name), std::move(entry));
+  }
+
+  /// Registers an alternative name resolving to the canonical `target`
+  /// (which must already be registered).
+  void alias(std::string name, const std::string& target) {
+    if (entries_.count(name) != 0 || aliases_.count(name) != 0) {
+      throw std::logic_error(kind_ + " registry: duplicate name '" + name +
+                             "'");
+    }
+    if (entries_.count(target) == 0) {
+      throw std::logic_error(kind_ + " registry: alias '" + name +
+                             "' targets unknown '" + target + "'");
+    }
+    aliases_.emplace(std::move(name), target);
+  }
+
+  [[nodiscard]] bool contains(std::string_view name) const {
+    return find(name) != nullptr;
+  }
+
+  /// The shared (stateless, const) instance behind `name`; throws
+  /// std::invalid_argument listing the valid set on an unknown name.
+  [[nodiscard]] const T& get(std::string_view name) const {
+    return *resolve(name).shared;
+  }
+
+  /// A fresh instance of `name`; same error contract as get().
+  [[nodiscard]] std::unique_ptr<T> create(std::string_view name) const {
+    return resolve(name).factory();
+  }
+
+  /// Canonical names, sorted (aliases excluded).
+  [[nodiscard]] std::vector<std::string> names() const {
+    std::vector<std::string> out;
+    out.reserve(entries_.size());
+    for (const auto& [name, entry] : entries_) out.push_back(name);
+    return out;
+  }
+
+  /// Every accepted name — canonical and alias — sorted and joined for
+  /// usage/help text ("a|b|c").
+  [[nodiscard]] std::string names_joined(char separator = '|') const {
+    std::map<std::string, const Entry*> all;
+    for (const auto& [name, entry] : entries_) all.emplace(name, &entry);
+    for (const auto& [name, target] : aliases_) {
+      all.emplace(name, &entries_.at(target));
+    }
+    std::string out;
+    for (const auto& [name, entry] : all) {
+      if (!out.empty()) out += separator;
+      out += name;
+    }
+    return out;
+  }
+
+ private:
+  struct Entry {
+    Factory factory;
+    std::unique_ptr<T> shared;
+  };
+
+  [[nodiscard]] const Entry* find(std::string_view name) const {
+    const auto it = entries_.find(name);
+    if (it != entries_.end()) return &it->second;
+    const auto alias_it = aliases_.find(name);
+    if (alias_it != aliases_.end()) {
+      return &entries_.at(alias_it->second);
+    }
+    return nullptr;
+  }
+
+  [[nodiscard]] const Entry& resolve(std::string_view name) const {
+    const Entry* entry = find(name);
+    if (entry == nullptr) {
+      throw std::invalid_argument("unknown " + kind_ + " '" +
+                                  std::string(name) + "' (" + names_joined() +
+                                  ")");
+    }
+    return *entry;
+  }
+
+  std::string kind_;
+  // Transparent comparators so string_view lookups avoid a temporary.
+  std::map<std::string, Entry, std::less<>> entries_;
+  std::map<std::string, std::string, std::less<>> aliases_;
+};
+
+}  // namespace dlb

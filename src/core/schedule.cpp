@@ -11,14 +11,12 @@ namespace dlb {
 Schedule::Schedule(const Instance& instance)
     : instance_(&instance),
       assignment_(instance.num_jobs()),
-      loads_(instance.num_machines(), 0.0),
-      jobs_on_(instance.num_machines()) {}
+      table_(instance.num_machines(), instance.num_jobs()) {}
 
 Schedule::Schedule(const Instance& instance, Assignment assignment)
     : instance_(&instance),
       assignment_(std::move(assignment)),
-      loads_(instance.num_machines(), 0.0),
-      jobs_on_(instance.num_machines()) {
+      table_(instance.num_machines(), instance.num_jobs()) {
   if (assignment_.num_jobs() != instance.num_jobs()) {
     throw std::invalid_argument("Schedule: assignment/instance job mismatch");
   }
@@ -29,23 +27,46 @@ Schedule::Schedule(const Instance& instance, Assignment assignment)
       throw std::invalid_argument(
           "Schedule: assignment references bad machine");
     }
-    loads_[i] += instance.cost(i, j);
-    jobs_on_[i].push_back(j);
+    table_.attach(j, i, instance.cost(i, j), /*migrated=*/false);
   }
 }
 
+Schedule::Schedule(const Schedule& other)
+    : instance_(other.instance_),
+      assignment_(other.assignment_),
+      table_(other.table_),
+      migrations_(other.migrations()),
+      cached_makespan_(other.cached_makespan_),
+      makespan_dirty_(
+          other.makespan_dirty_.load(std::memory_order_relaxed)) {}
+
+Schedule& Schedule::operator=(const Schedule& other) {
+  if (this == &other) return *this;
+  instance_ = other.instance_;
+  assignment_ = other.assignment_;
+  table_ = other.table_;
+  migrations_.store(other.migrations(), std::memory_order_relaxed);
+  cached_makespan_ = other.cached_makespan_;
+  makespan_dirty_.store(
+      other.makespan_dirty_.load(std::memory_order_relaxed),
+      std::memory_order_relaxed);
+  return *this;
+}
+
 Cost Schedule::makespan() const {
-  if (makespan_dirty_) {
+  if (makespan_dirty_.load(std::memory_order_relaxed)) {
+    const std::vector<Cost>& loads = table_.loads();
     cached_makespan_ =
-        loads_.empty() ? 0.0 : *std::max_element(loads_.begin(), loads_.end());
-    makespan_dirty_ = false;
+        loads.empty() ? 0.0 : *std::max_element(loads.begin(), loads.end());
+    makespan_dirty_.store(false, std::memory_order_relaxed);
   }
   return cached_makespan_;
 }
 
 MachineId Schedule::argmax_load() const {
+  const std::vector<Cost>& loads = table_.loads();
   return static_cast<MachineId>(
-      std::max_element(loads_.begin(), loads_.end()) - loads_.begin());
+      std::max_element(loads.begin(), loads.end()) - loads.begin());
 }
 
 void Schedule::assign(JobId j, MachineId i) {
@@ -53,19 +74,8 @@ void Schedule::assign(JobId j, MachineId i) {
     throw std::logic_error("Schedule::assign: job already assigned");
   }
   assignment_.assign(j, i);
-  loads_[i] += instance_->cost(i, j);
-  jobs_on_[i].push_back(j);
-  makespan_dirty_ = true;
-}
-
-void Schedule::detach(JobId j) {
-  const MachineId from = assignment_.machine_of(j);
-  loads_[from] -= instance_->cost(from, j);
-  auto& list = jobs_on_[from];
-  const auto it = std::find(list.begin(), list.end(), j);
-  // The job is guaranteed present; swap-erase keeps the removal O(1).
-  *it = list.back();
-  list.pop_back();
+  table_.attach(j, i, instance_->cost(i, j), /*migrated=*/false);
+  mark_dirty();
 }
 
 void Schedule::move(JobId j, MachineId to) {
@@ -75,19 +85,19 @@ void Schedule::move(JobId j, MachineId to) {
     return;
   }
   if (from == to) return;
-  detach(j);
+  table_.detach(j, from, instance_->cost(from, j));
   assignment_.assign(j, to);
-  loads_[to] += instance_->cost(to, j);
-  jobs_on_[to].push_back(j);
-  ++migrations_;
-  makespan_dirty_ = true;
+  table_.attach(j, to, instance_->cost(to, j), /*migrated=*/true);
+  migrations_.fetch_add(1, std::memory_order_relaxed);
+  mark_dirty();
 }
 
 void Schedule::unassign(JobId j) {
-  if (assignment_.machine_of(j) == kUnassigned) return;
-  detach(j);
+  const MachineId from = assignment_.machine_of(j);
+  if (from == kUnassigned) return;
+  table_.detach(j, from, instance_->cost(from, j));
   assignment_.unassign(j);
-  makespan_dirty_ = true;
+  mark_dirty();
 }
 
 std::uint64_t Schedule::fingerprint() const {
@@ -104,26 +114,30 @@ std::uint64_t Schedule::fingerprint() const {
 
 Cost Schedule::total_load() const noexcept {
   Cost total = 0.0;
-  for (Cost l : loads_) total += l;
+  for (Cost l : table_.loads()) total += l;
   return total;
 }
 
 bool Schedule::check_consistency(double tol) const {
-  std::vector<Cost> expected(loads_.size(), 0.0);
+  const std::size_t m = table_.num_machines();
+  std::vector<Cost> expected(m, 0.0);
   std::vector<char> seen(assignment_.num_jobs(), 0);
-  for (MachineId i = 0; i < jobs_on_.size(); ++i) {
-    for (JobId j : jobs_on_[i]) {
+  for (MachineId i = 0; i < m; ++i) {
+    std::size_t listed = 0;
+    for (JobId j : table_.jobs(i)) {
       if (assignment_.machine_of(j) != i) return false;
       if (seen[j]) return false;
       seen[j] = 1;
       expected[i] += instance_->cost(i, j);
+      ++listed;
     }
+    if (listed != table_.count(i)) return false;
   }
   for (JobId j = 0; j < assignment_.num_jobs(); ++j) {
     if (assignment_.machine_of(j) != kUnassigned && !seen[j]) return false;
   }
-  for (MachineId i = 0; i < loads_.size(); ++i) {
-    if (std::abs(expected[i] - loads_[i]) > tol) return false;
+  for (MachineId i = 0; i < m; ++i) {
+    if (std::abs(expected[i] - table_.load(i)) > tol) return false;
   }
   return true;
 }

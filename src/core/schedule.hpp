@@ -4,12 +4,23 @@
 // maintained machine loads (completion times C(i)), per-machine job lists,
 // and a fingerprint for cycle detection. This is the mutable state every
 // balancing kernel and simulator operates on.
+//
+// Storage: per-machine state lives in a LoadTable (contiguous pooled
+// arrays), so moving a job is O(1) and allocation-free. Concurrency
+// contract (what ParallelExchangeEngine relies on; see
+// docs/parallelism.md): mutations on disjoint machine pairs may run
+// concurrently — they touch disjoint LoadTable entries and disjoint
+// assignment slots, while the global migration total and the
+// makespan-dirty flag are relaxed atomics. makespan(), fingerprint() and
+// the other whole-schedule reads must not race with any mutation.
 
+#include <atomic>
 #include <cstdint>
 #include <vector>
 
 #include "core/assignment.hpp"
 #include "core/instance.hpp"
+#include "core/load_table.hpp"
 #include "core/types.hpp"
 
 namespace dlb {
@@ -25,22 +36,30 @@ class Schedule {
   /// assignment.
   Schedule(const Instance& instance, Assignment assignment);
 
+  // The atomic members (migration total, makespan cache flag) are not
+  // copyable by default; copies snapshot their current values.
+  Schedule(const Schedule& other);
+  Schedule& operator=(const Schedule& other);
+
   [[nodiscard]] const Instance& instance() const noexcept { return *instance_; }
   [[nodiscard]] const Assignment& assignment() const noexcept {
     return assignment_;
   }
 
   [[nodiscard]] std::size_t num_machines() const noexcept {
-    return loads_.size();
+    return table_.num_machines();
   }
   [[nodiscard]] std::size_t num_jobs() const noexcept {
     return assignment_.num_jobs();
   }
 
   /// Completion time C(i) = sum of p(i, j) over jobs on i.
-  [[nodiscard]] Cost load(MachineId i) const noexcept { return loads_[i]; }
+  [[nodiscard]] Cost load(MachineId i) const noexcept {
+    return table_.load(i);
+  }
 
   /// Cmax = max_i C(i). O(m) on first call after a mutation, then cached.
+  /// Whole-schedule read: never call concurrently with a mutation.
   [[nodiscard]] Cost makespan() const;
 
   /// Machine currently holding the makespan (smallest id on ties).
@@ -50,10 +69,10 @@ class Schedule {
     return assignment_.machine_of(j);
   }
 
-  /// Jobs on machine i, in unspecified order. The reference is invalidated
-  /// by any mutation of this Schedule.
-  [[nodiscard]] const std::vector<JobId>& jobs_on(MachineId i) const noexcept {
-    return jobs_on_[i];
+  /// Jobs on machine i, in unspecified order. The view is invalidated by
+  /// any mutation touching machine i.
+  [[nodiscard]] LoadTable::JobList jobs_on(MachineId i) const noexcept {
+    return table_.jobs(i);
   }
 
   /// Places an unassigned job.
@@ -77,7 +96,14 @@ class Schedule {
   /// cares about this as a proxy for network usage (the paper's conclusion
   /// singles out minimizing the number of tasks exchanged).
   [[nodiscard]] std::uint64_t migrations() const noexcept {
-    return migrations_;
+    return migrations_.load(std::memory_order_relaxed);
+  }
+
+  /// Migrations that delivered a job onto machine i (monotone). Disjoint
+  /// pair sessions update disjoint entries; the parallel engine diffs the
+  /// two machines it owns for a race-free per-session migration count.
+  [[nodiscard]] std::uint64_t arrivals(MachineId i) const noexcept {
+    return table_.arrivals(i);
   }
 
   /// Recomputes loads from scratch and checks internal consistency.
@@ -86,15 +112,16 @@ class Schedule {
   [[nodiscard]] bool check_consistency(double tol = 1e-6) const;
 
  private:
-  void detach(JobId j);
+  void mark_dirty() noexcept {
+    makespan_dirty_.store(true, std::memory_order_relaxed);
+  }
 
   const Instance* instance_;
   Assignment assignment_;
-  std::vector<Cost> loads_;
-  std::vector<std::vector<JobId>> jobs_on_;
-  std::uint64_t migrations_ = 0;
+  LoadTable table_;
+  std::atomic<std::uint64_t> migrations_{0};
   mutable Cost cached_makespan_ = 0.0;
-  mutable bool makespan_dirty_ = true;
+  mutable std::atomic<bool> makespan_dirty_{true};
 };
 
 }  // namespace dlb

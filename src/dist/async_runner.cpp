@@ -34,6 +34,11 @@ class AsyncSimulation {
     if (!(options.mean_think_time > 0.0) || !(options.duration > 0.0)) {
       throw std::invalid_argument("run_async: times must be positive");
     }
+    if (options.session_timeout.has_value() &&
+        !(*options.session_timeout > 0.0)) {
+      throw std::invalid_argument(
+          "run_async: session_timeout must be positive when set");
+    }
     obs::Metrics* metrics = obs::metrics_of(options.obs);
     tracer_ = obs::tracer_of(options.obs);
     if (metrics) {
@@ -43,7 +48,8 @@ class AsyncSimulation {
       c_rejected_ = &metrics->counter("async.sessions.rejected");
       c_backoffs_ = &metrics->counter("async.backoffs");
       g_cmax_ = &metrics->gauge("async.cmax");
-      if (options.fault_plan != nullptr || options.session_timeout > 0.0) {
+      if (options.fault_plan != nullptr ||
+          options.session_timeout.has_value()) {
         c_timeouts_ = &metrics->counter("async.sessions.timeout");
         c_stale_ = &metrics->counter("async.stale_messages");
       }
@@ -104,8 +110,8 @@ class AsyncSimulation {
 
   /// Arms the session-abandon timer for machine i (no-op when disabled).
   void arm_timeout(MachineId i, std::uint64_t token, bool initiator) {
-    if (!(options_.session_timeout > 0.0)) return;
-    engine_.schedule_after(options_.session_timeout,
+    if (!options_.session_timeout.has_value()) return;
+    engine_.schedule_after(*options_.session_timeout,
                            [this, i, token, initiator] {
                              if (!in_session(i, token)) return;
                              unlock(i);
@@ -220,7 +226,7 @@ class AsyncSimulation {
       return;
     }
     kernel_->balance(*schedule_, initiator, peer);
-    ++result_.sessions_completed;
+    ++result_.exchanges;
     const Cost cmax = schedule_->makespan();
     result_.best_makespan = std::min(result_.best_makespan, cmax);
     if (options_.record_trace) {

@@ -25,9 +25,11 @@
 // TRANSFER delivery).
 
 #include <cstdint>
+#include <optional>
 #include <vector>
 
 #include "core/schedule.hpp"
+#include "dist/run_report.hpp"
 #include "net/fault.hpp"
 #include "net/network.hpp"
 #include "obs/obs.hpp"
@@ -45,11 +47,12 @@ struct AsyncOptions {
   des::SimTime duration = 100.0;
   /// Backoff after a rejected request (uniform in [0, backoff)).
   des::SimTime reject_backoff = 1.0;
-  /// When > 0: a machine still locked in the same session after this long
-  /// abandons it (the initiator also schedules its next attempt). Keeps
-  /// the protocol live under message-drop faults; 0 disables the timers
-  /// entirely, preserving the exact fault-free event sequence.
-  des::SimTime session_timeout = 0.0;
+  /// When set (must be > 0): a machine still locked in the same session
+  /// after this long abandons it (the initiator also schedules its next
+  /// attempt). Keeps the protocol live under message-drop faults; unset
+  /// disables the timers entirely, preserving the exact fault-free event
+  /// sequence.
+  std::optional<des::SimTime> session_timeout;
   /// Optional seeded fault injection on every message (must outlive the
   /// run; null = reliable network).
   const net::FaultPlan* fault_plan = nullptr;
@@ -69,11 +72,10 @@ struct AsyncTracePoint {
   Cost makespan = 0.0;
 };
 
-struct AsyncRunResult {
-  Cost initial_makespan = 0.0;
-  Cost final_makespan = 0.0;
-  Cost best_makespan = 0.0;
-  std::uint64_t sessions_completed = 0;
+/// Shared fields live on the RunReport base: `exchanges` counts completed
+/// balancing sessions (comparable to the sequential engine's exchanges),
+/// `converged` stays false — the async protocol never certifies stability.
+struct AsyncRunResult : RunReport {
   std::uint64_t sessions_rejected = 0;
   /// Sessions abandoned by the timeout timer (only with session_timeout).
   std::uint64_t sessions_timed_out = 0;
@@ -81,18 +83,15 @@ struct AsyncRunResult {
   /// (duplicate / reordered / post-timeout messages).
   std::uint64_t stale_messages = 0;
   std::uint64_t messages = 0;
-  std::uint64_t migrations = 0;
   des::SimTime end_time = 0.0;
   /// Faults the attached plan injected (all zero without a plan).
   net::FaultStats faults;
   std::vector<AsyncTracePoint> trace;
 
-  /// Completed sessions per machine — comparable to the sequential model's
-  /// exchanges per machine. 0 for an empty machine set.
+  /// Completed sessions per machine — the shared normalisation under its
+  /// protocol-level name. 0 for an empty machine set.
   [[nodiscard]] double sessions_per_machine(std::size_t machines) const {
-    if (machines == 0) return 0.0;
-    return static_cast<double>(sessions_completed) /
-           static_cast<double>(machines);
+    return exchanges_per_machine(machines);
   }
 };
 

@@ -20,7 +20,7 @@ class DlbKcKernel final : public pairwise::PairKernel {
  public:
   bool balance(Schedule& schedule, MachineId a, MachineId b) const override;
   [[nodiscard]] std::string_view name() const noexcept override {
-    return "dlb-kc";
+    return "dlbkc";
   }
 };
 

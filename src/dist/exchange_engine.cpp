@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <numeric>
+#include <stdexcept>
 
 #include "dist/convergence.hpp"
 
@@ -18,6 +19,11 @@ constexpr std::size_t kTraceReserveCap = 4096;
 
 RunResult ExchangeEngine::run(Schedule& schedule, const EngineOptions& options,
                               stats::Rng& rng) const {
+  if (options.stability_check_interval.has_value() &&
+      *options.stability_check_interval == 0) {
+    throw std::invalid_argument(
+        "ExchangeEngine: stability_check_interval must be >= 1 when set");
+  }
   const std::size_t m = schedule.num_machines();
   const std::uint64_t migrations_before = schedule.migrations();
   RunResult result;
@@ -72,8 +78,8 @@ RunResult ExchangeEngine::run(Schedule& schedule, const EngineOptions& options,
   };
 
   // Threshold may already hold before any exchange.
-  if (options.stop_threshold > 0.0 &&
-      schedule.makespan() <= options.stop_threshold) {
+  if (options.stop_threshold.has_value() &&
+      schedule.makespan() <= *options.stop_threshold) {
     result.reached_threshold = true;
     result.exchanges_to_threshold = 0;
     result.final_makespan = schedule.makespan();
@@ -107,14 +113,14 @@ RunResult ExchangeEngine::run(Schedule& schedule, const EngineOptions& options,
     record(initiator, peer, changed, schedule.migrations() - migrations_pre,
            cmax);
 
-    if (options.stop_threshold > 0.0 && !result.reached_threshold &&
-        cmax <= options.stop_threshold) {
+    if (options.stop_threshold.has_value() && !result.reached_threshold &&
+        cmax <= *options.stop_threshold) {
       result.reached_threshold = true;
       result.exchanges_to_threshold = result.exchanges;
       break;
     }
-    if (options.stability_check_interval > 0 &&
-        result.exchanges % options.stability_check_interval == 0 &&
+    if (options.stability_check_interval.has_value() &&
+        result.exchanges % *options.stability_check_interval == 0 &&
         is_stable(schedule, *kernel_)) {
       result.converged = true;
       break;

@@ -7,10 +7,12 @@
 
 #include <cstddef>
 #include <cstdint>
+#include <optional>
 #include <vector>
 
 #include "core/schedule.hpp"
 #include "dist/peer_selector.hpp"
+#include "dist/run_report.hpp"
 #include "obs/obs.hpp"
 #include "pairwise/pair_kernel.hpp"
 #include "stats/rng.hpp"
@@ -31,11 +33,12 @@ struct EngineOptions {
   std::size_t max_exchanges = 100'000;
   /// Record Cmax after every exchange (Figure 4's trajectory).
   bool record_trace = false;
-  /// When > 0: stop as soon as Cmax <= stop_threshold (Figure 5's metric).
-  Cost stop_threshold = 0.0;
-  /// When > 0: every this-many exchanges, certify stability by a full
-  /// pair sweep on a copy; stop if stable (Theorem 7's precondition).
-  std::size_t stability_check_interval = 0;
+  /// When set: stop as soon as Cmax <= stop_threshold (Figure 5's metric).
+  std::optional<Cost> stop_threshold;
+  /// When set (must be >= 1): every this-many exchanges, certify stability
+  /// by a full pair sweep on a copy; stop if stable (Theorem 7's
+  /// precondition).
+  std::optional<std::size_t> stability_check_interval;
   InitiatorPolicy initiator = InitiatorPolicy::kRoundRobinShuffled;
   /// Optional observability sinks (must outlive the run). Counters:
   /// exchange.count / .changed / .migrations; gauge exchange.cmax; tracer
@@ -50,14 +53,11 @@ struct ExchangeTracePoint {
   std::uint64_t migrations = 0;   ///< Cumulative job moves within the run.
 };
 
-struct RunResult {
-  Cost initial_makespan = 0.0;
-  Cost final_makespan = 0.0;
-  Cost best_makespan = 0.0;
-  std::size_t exchanges = 0;          ///< Pair operations performed.
+/// Shared fields (initial/final/best Cmax, exchanges, migrations,
+/// converged) live on the RunReport base; the engine-specific extras below
+/// are members of this result only.
+struct RunResult : RunReport {
   std::size_t changed_exchanges = 0;  ///< Pair operations that moved a job.
-  std::uint64_t migrations = 0;       ///< Individual job moves (network cost).
-  bool converged = false;             ///< Certified stable before the cap.
   bool reached_threshold = false;
   std::size_t exchanges_to_threshold = 0;  ///< Valid iff reached_threshold.
   /// Cmax after each exchange (optional). Kept as a plain vector for the

@@ -1,0 +1,213 @@
+#include "dist/parallel_exchange_engine.hpp"
+
+#include <algorithm>
+#include <memory>
+#include <mutex>
+#include <numeric>
+#include <stdexcept>
+
+#include "dist/convergence.hpp"
+#include "stats/rng.hpp"
+
+namespace dlb::dist {
+
+namespace {
+
+/// Salt for the per-epoch initiator shuffle stream, so it never collides
+/// with the per-session streams derived from the bare seed.
+constexpr std::uint64_t kEpochSalt = 0xA5A5'5A5A'C3C3'3C3CULL;
+
+/// One planned disjoint session: fixed in the sequential plan phase,
+/// executed in parallel, committed in session order.
+struct Session {
+  MachineId initiator = 0;
+  MachineId peer = 0;
+  std::uint64_t retries = 0;  ///< Claimed-peer redraws spent planning it.
+};
+
+/// Outcome slot, written by exactly one worker and read by the committer.
+struct Outcome {
+  bool changed = false;
+  std::uint64_t moved = 0;
+};
+
+}  // namespace
+
+ParallelRunResult ParallelExchangeEngine::run(
+    Schedule& schedule, const ParallelEngineOptions& options,
+    std::uint64_t seed) const {
+  const std::size_t m = schedule.num_machines();
+  if (m < 2) {
+    throw std::invalid_argument(
+        "ParallelExchangeEngine: need at least two machines");
+  }
+  if (options.stability_check_interval.has_value() &&
+      *options.stability_check_interval == 0) {
+    throw std::invalid_argument(
+        "ParallelExchangeEngine: stability_check_interval must be >= 1 "
+        "when set");
+  }
+  const std::size_t batch_cap =
+      options.sessions_per_epoch != 0
+          ? std::min(options.sessions_per_epoch, m / 2)
+          : m / 2;
+
+  const std::uint64_t migrations_before = schedule.migrations();
+  ParallelRunResult result;
+  result.initial_makespan = schedule.makespan();
+  result.best_makespan = result.initial_makespan;
+
+  obs::Metrics* metrics = obs::metrics_of(options.obs);
+  obs::Tracer* tracer = obs::tracer_of(options.obs);
+  obs::Counter* c_sessions =
+      metrics ? &metrics->counter("parexchange.sessions") : nullptr;
+  obs::Counter* c_conflicts =
+      metrics ? &metrics->counter("parexchange.conflicts") : nullptr;
+  obs::Counter* c_retries =
+      metrics ? &metrics->counter("parexchange.retries") : nullptr;
+  obs::Counter* c_epochs =
+      metrics ? &metrics->counter("parexchange.epochs") : nullptr;
+  obs::Gauge* g_cmax =
+      metrics ? &metrics->gauge("parexchange.cmax") : nullptr;
+
+  if (options.stop_threshold.has_value() &&
+      schedule.makespan() <= *options.stop_threshold) {
+    result.reached_threshold = true;
+    result.exchanges_to_threshold = 0;
+    result.final_makespan = schedule.makespan();
+    return result;
+  }
+
+  // Defense-in-depth per-machine locks, always taken in (min, max) id
+  // order. Planned pairs are disjoint, so they never contend — they exist
+  // to keep the execute phase safe-by-construction (and visibly ordered
+  // under TSan) even if a future kernel reads beyond its own pair.
+  const auto locks = std::make_unique<std::mutex[]>(m);
+
+  // Epoch-stamped claim marks: claimed[i] == epoch means machine i is in
+  // this epoch's batch. Resets for free when the epoch number advances.
+  std::vector<std::uint64_t> claimed(m, 0);
+  std::vector<MachineId> order(m);
+  std::iota(order.begin(), order.end(), 0);
+
+  std::vector<Session> batch;
+  std::vector<Outcome> outcomes;
+  batch.reserve(batch_cap);
+  outcomes.reserve(batch_cap);
+  std::uint64_t next_session = 0;  // Global id feeding per-session streams.
+
+  while (result.exchanges < options.max_exchanges) {
+    const std::uint64_t epoch = result.epochs + 1;
+
+    // ---- plan (sequential): pick disjoint pairs for this epoch ----
+    batch.clear();
+    stats::Rng epoch_rng = stats::Rng::stream(seed ^ kEpochSalt, epoch);
+    stats::shuffle(order.begin(), order.end(), epoch_rng);
+    const std::size_t budget =
+        std::min(batch_cap, options.max_exchanges - result.exchanges);
+    for (const MachineId initiator : order) {
+      if (batch.size() == budget) break;
+      if (claimed[initiator] == epoch) continue;
+      stats::Rng srng = stats::Rng::stream(seed, next_session++);
+      Session session;
+      session.initiator = initiator;
+      bool planned = false;
+      for (std::size_t attempt = 0;
+           attempt <= options.max_peer_retries; ++attempt) {
+        const MachineId peer = selector_->select(initiator, m, srng);
+        if (claimed[peer] != epoch) {
+          session.peer = peer;
+          planned = true;
+          break;
+        }
+        ++session.retries;
+      }
+      result.peer_retries += session.retries;
+      if (c_retries && session.retries != 0) c_retries->add(session.retries);
+      if (!planned) {
+        // Every draw hit a machine already in the batch: abandon. The
+        // first session of an epoch always plans (nothing is claimed
+        // yet), so the loop cannot stall.
+        ++result.conflicts;
+        if (c_conflicts) c_conflicts->add();
+        continue;
+      }
+      claimed[initiator] = epoch;
+      claimed[session.peer] = epoch;
+      batch.push_back(session);
+    }
+    if (batch.empty()) break;  // Only possible when budget == 0.
+
+    // ---- execute (parallel): disjoint pairs, outcomes into fixed slots --
+    outcomes.assign(batch.size(), Outcome{});
+    const auto run_range = [&](std::size_t begin, std::size_t end) {
+      for (std::size_t s = begin; s < end; ++s) {
+        const Session& session = batch[s];
+        const MachineId lo = std::min(session.initiator, session.peer);
+        const MachineId hi = std::max(session.initiator, session.peer);
+        const std::scoped_lock guard(locks[lo], locks[hi]);
+        const std::uint64_t arrivals_pre =
+            schedule.arrivals(session.initiator) +
+            schedule.arrivals(session.peer);
+        outcomes[s].changed =
+            kernel_->balance(schedule, session.initiator, session.peer);
+        outcomes[s].moved = schedule.arrivals(session.initiator) +
+                            schedule.arrivals(session.peer) - arrivals_pre;
+      }
+    };
+    if (options.pool != nullptr && batch.size() > 1) {
+      parallel::parallel_for(*options.pool, batch.size(), run_range);
+    } else {
+      run_range(0, batch.size());
+    }
+
+    // ---- commit (sequential, in session order) ----
+    for (std::size_t s = 0; s < batch.size(); ++s) {
+      ++result.exchanges;
+      if (outcomes[s].changed) ++result.changed_exchanges;
+      if (c_sessions) c_sessions->add();
+      if (tracer) {
+        // Virtual time: session k spans [k, k+1) microseconds.
+        const auto ts = static_cast<double>(result.exchanges - 1);
+        tracer->begin(
+            ts, batch[s].initiator, "session", "dist",
+            {{"initiator", static_cast<std::int64_t>(batch[s].initiator)},
+             {"peer", static_cast<std::int64_t>(batch[s].peer)},
+             {"kernel", std::string(kernel_->name())}});
+        tracer->end(
+            ts + 1.0, batch[s].initiator, "session",
+            {{"changed", outcomes[s].changed},
+             {"jobs_moved", static_cast<std::int64_t>(outcomes[s].moved)},
+             {"epoch", static_cast<std::int64_t>(epoch)}});
+      }
+    }
+    ++result.epochs;
+    if (c_epochs) c_epochs->add();
+    const Cost cmax = schedule.makespan();
+    result.best_makespan = std::min(result.best_makespan, cmax);
+    if (g_cmax) g_cmax->set(cmax);
+    if (options.record_trace) {
+      result.epoch_trace.push_back(
+          {cmax, static_cast<std::uint64_t>(batch.size()),
+           schedule.migrations() - migrations_before});
+    }
+
+    if (options.stop_threshold.has_value() &&
+        cmax <= *options.stop_threshold) {
+      result.reached_threshold = true;
+      result.exchanges_to_threshold = result.exchanges;
+      break;
+    }
+    if (options.stability_check_interval.has_value() &&
+        result.epochs % *options.stability_check_interval == 0 &&
+        is_stable(schedule, *kernel_)) {
+      result.converged = true;
+      break;
+    }
+  }
+  result.final_makespan = schedule.makespan();
+  result.migrations = schedule.migrations() - migrations_before;
+  return result;
+}
+
+}  // namespace dlb::dist

@@ -1,0 +1,108 @@
+#pragma once
+
+// The random-exchange dynamic of Section VII run as many *simultaneous*
+// pairwise sessions. Each epoch the coordinator plans a batch of disjoint
+// machine pairs (no machine appears twice), the batch executes in parallel
+// on a thread pool, and the outcomes are committed sequentially in session
+// order. Because
+//
+//   * all randomness (initiator order, peer draws) is consumed in the
+//     sequential plan phase from per-session streams, and
+//   * sessions in a batch touch disjoint machine pairs, so their effects
+//     commute regardless of execution interleaving, and
+//   * every counter, trace event and makespan evaluation happens in the
+//     sequential commit phase,
+//
+// the result — schedule, RunReport, obs counters and trace bytes — is
+// bitwise identical at any thread count, including pool == nullptr.
+// docs/parallelism.md spells out the full argument.
+
+#include <cstddef>
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "core/schedule.hpp"
+#include "dist/peer_selector.hpp"
+#include "dist/run_report.hpp"
+#include "obs/obs.hpp"
+#include "pairwise/pair_kernel.hpp"
+#include "parallel/thread_pool.hpp"
+
+namespace dlb::dist {
+
+struct ParallelEngineOptions {
+  /// Hard cap on executed pairwise sessions (the parallel analogue of
+  /// EngineOptions::max_exchanges).
+  std::size_t max_exchanges = 100'000;
+  /// Disjoint sessions planned per epoch; 0 selects num_machines / 2 (the
+  /// maximum possible, since every session claims two machines).
+  std::size_t sessions_per_epoch = 0;
+  /// A planned initiator whose drawn peer is already claimed redraws up to
+  /// this many times before the session is abandoned as a conflict.
+  std::size_t max_peer_retries = 2;
+  /// When set: stop at the first epoch boundary with Cmax <= threshold.
+  std::optional<Cost> stop_threshold;
+  /// When set (must be >= 1): every this-many epochs, certify stability by
+  /// a full pair sweep on a copy; stop if stable.
+  std::optional<std::size_t> stability_check_interval;
+  /// Record one EpochTracePoint per epoch.
+  bool record_trace = false;
+  /// Pool to execute each epoch's batch on; null runs the batch inline on
+  /// the calling thread (the result is identical either way).
+  parallel::ThreadPool* pool = nullptr;
+  /// Optional observability sinks (must outlive the run). Counters:
+  /// parexchange.sessions / .conflicts / .retries / .epochs; gauge
+  /// parexchange.cmax; tracer spans "session" on the virtual axis of one
+  /// microsecond per session.
+  const obs::Context* obs = nullptr;
+};
+
+/// Per-epoch record captured when ParallelEngineOptions::record_trace is
+/// set. Cmax is only evaluated at epoch boundaries — mid-epoch values do
+/// not exist in the parallel model.
+struct EpochTracePoint {
+  Cost makespan = 0.0;           ///< Cmax after the epoch committed.
+  std::uint64_t sessions = 0;    ///< Sessions executed in this epoch.
+  std::uint64_t migrations = 0;  ///< Cumulative job moves within the run.
+};
+
+/// Shared fields (initial/final/best Cmax, exchanges, migrations,
+/// converged) live on the RunReport base. `exchanges` counts executed
+/// sessions; best/threshold bookkeeping works at epoch granularity.
+struct ParallelRunResult : RunReport {
+  std::size_t changed_exchanges = 0;  ///< Sessions that moved a job.
+  std::uint64_t epochs = 0;
+  /// Planned initiators abandoned because every peer draw was claimed.
+  std::uint64_t conflicts = 0;
+  /// Peer redraws caused by claimed peers (<= conflicts * max_peer_retries
+  /// plus the redraws that eventually succeeded).
+  std::uint64_t peer_retries = 0;
+  bool reached_threshold = false;
+  /// Executed sessions when the threshold epoch committed.
+  std::size_t exchanges_to_threshold = 0;  ///< Valid iff reached_threshold.
+  std::vector<EpochTracePoint> epoch_trace;
+};
+
+class ParallelExchangeEngine {
+ public:
+  /// Kernel and selector must outlive the engine. The kernel must be safe
+  /// to call concurrently on disjoint machine pairs (all in-tree kernels
+  /// are: they only touch the two machines they are given).
+  ParallelExchangeEngine(const pairwise::PairKernel& kernel,
+                         const PeerSelector& selector)
+      : kernel_(&kernel), selector_(&selector) {}
+
+  /// Runs the epoch loop on `schedule` in place. Takes a seed rather than
+  /// an Rng: every session derives its own stream from it, so the draw
+  /// sequence cannot depend on scheduling.
+  ParallelRunResult run(Schedule& schedule,
+                        const ParallelEngineOptions& options,
+                        std::uint64_t seed) const;
+
+ private:
+  const pairwise::PairKernel* kernel_;
+  const PeerSelector* selector_;
+};
+
+}  // namespace dlb::dist

@@ -1,0 +1,25 @@
+#include "dist/run_report.hpp"
+
+namespace dlb::dist {
+
+stats::Json RunReport::to_json() const {
+  stats::Json doc = stats::Json::object();
+  doc["initial_makespan"] = initial_makespan;
+  doc["final_makespan"] = final_makespan;
+  doc["best_makespan"] = best_makespan;
+  doc["exchanges"] = exchanges;
+  doc["migrations"] = migrations;
+  doc["converged"] = converged;
+  return doc;
+}
+
+void RunReport::print(std::ostream& out) const {
+  out << "initial Cmax    : " << initial_makespan << "\n"
+      << "final Cmax      : " << final_makespan << "\n"
+      << "best Cmax       : " << best_makespan << "\n"
+      << "exchanges       : " << exchanges << "\n"
+      << "migrations      : " << migrations << "\n"
+      << "converged       : " << (converged ? "yes" : "no") << "\n";
+}
+
+}  // namespace dlb::dist

@@ -1,0 +1,50 @@
+#pragma once
+
+// RunReport: the balancer-run result fields every engine shares. The
+// sequential exchange engine, the parallel epoch engine, the asynchronous
+// protocol runner and the work-stealing simulator all report the same core
+// story — where the makespan started, where it ended, how much pairwise
+// work was done and how many jobs moved — so the CLI and the bench
+// telemetry consume this one struct instead of four divergent shapes.
+// Engine-specific extras stay on the derived result types as members.
+
+#include <cstdint>
+#include <ostream>
+
+#include "core/types.hpp"
+#include "stats/json.hpp"
+
+namespace dlb::dist {
+
+struct RunReport {
+  Cost initial_makespan = 0.0;
+  Cost final_makespan = 0.0;
+  Cost best_makespan = 0.0;
+  /// Pairwise operations: exchanges (sequential/parallel engines),
+  /// completed sessions (async runner), steal attempts (work stealing).
+  std::uint64_t exchanges = 0;
+  /// Individual job moves — the network-cost proxy the paper's conclusion
+  /// singles out (number of tasks exchanged).
+  std::uint64_t migrations = 0;
+  /// The run certified a terminal state (stable schedule / all jobs done).
+  bool converged = false;
+
+  /// Exchanges per machine (Figure 5's X axis normalisation, shared by
+  /// every engine); 0 for an empty machine set.
+  [[nodiscard]] double exchanges_per_machine(std::size_t num_machines) const {
+    if (num_machines == 0) return 0.0;
+    return static_cast<double>(exchanges) /
+           static_cast<double>(num_machines);
+  }
+
+  /// The shared fields as an ordered JSON object. Key set and order are a
+  /// stable schema consumed by bench telemetry and covered by a
+  /// byte-identity test — extend only by appending.
+  [[nodiscard]] stats::Json to_json() const;
+
+  /// The shared CLI block (aligned "key : value" lines, the `dlbsim
+  /// balance` format). Derived results print their extras after this.
+  void print(std::ostream& out) const;
+};
+
+}  // namespace dlb::dist

@@ -1,0 +1,28 @@
+#include "dist/selector_registry.hpp"
+
+#include <memory>
+
+namespace dlb::dist {
+
+namespace {
+
+template <typename S>
+SelectorRegistry::Factory make() {
+  return [] { return std::unique_ptr<PeerSelector>(std::make_unique<S>()); };
+}
+
+SelectorRegistry build() {
+  SelectorRegistry registry("peer selector");
+  registry.add("uniform", make<UniformPeerSelector>());
+  registry.add("ring", make<RingPeerSelector>());
+  return registry;
+}
+
+}  // namespace
+
+const SelectorRegistry& selector_registry() {
+  static const SelectorRegistry registry = build();
+  return registry;
+}
+
+}  // namespace dlb::dist

@@ -1,0 +1,19 @@
+#pragma once
+
+// The peer-selector registry: PeerSelector policies resolvable by name,
+// mirroring pairwise::kernel_registry(). The CLI's --peer option and the
+// selector-sweep benches iterate names() instead of hand-rolling selector
+// lists.
+
+#include "core/name_registry.hpp"
+#include "dist/peer_selector.hpp"
+
+namespace dlb::dist {
+
+using SelectorRegistry = NameRegistry<PeerSelector>;
+
+/// The registry of built-in peer selectors (constructed once, never
+/// mutated).
+[[nodiscard]] const SelectorRegistry& selector_registry();
+
+}  // namespace dlb::dist

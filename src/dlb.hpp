@@ -9,8 +9,10 @@
 #include "core/generators.hpp"       // IWYU pragma: export
 #include "core/instance.hpp"         // IWYU pragma: export
 #include "core/instance_io.hpp"      // IWYU pragma: export
+#include "core/load_table.hpp"       // IWYU pragma: export
 #include "core/lower_bounds.hpp"     // IWYU pragma: export
 #include "core/metrics.hpp"          // IWYU pragma: export
+#include "core/name_registry.hpp"    // IWYU pragma: export
 #include "core/schedule.hpp"         // IWYU pragma: export
 #include "core/types.hpp"            // IWYU pragma: export
 #include "core/validation.hpp"       // IWYU pragma: export
@@ -25,20 +27,24 @@
 
 #include "pairwise/basic_greedy.hpp"        // IWYU pragma: export
 #include "pairwise/greedy_pair_balance.hpp" // IWYU pragma: export
+#include "pairwise/kernel_registry.hpp"     // IWYU pragma: export
 #include "pairwise/pair_clb2c.hpp"          // IWYU pragma: export
 #include "pairwise/pair_kernel.hpp"         // IWYU pragma: export
 #include "pairwise/pairwise_optimal.hpp"    // IWYU pragma: export
 #include "pairwise/typed_greedy.hpp"        // IWYU pragma: export
 
-#include "dist/async_runner.hpp"     // IWYU pragma: export
-#include "dist/convergence.hpp"      // IWYU pragma: export
-#include "dist/dlb2c.hpp"            // IWYU pragma: export
-#include "dist/dlbkc.hpp"            // IWYU pragma: export
-#include "dist/dynamic_workload.hpp" // IWYU pragma: export
-#include "dist/exchange_engine.hpp"  // IWYU pragma: export
-#include "dist/mjtb.hpp"             // IWYU pragma: export
-#include "dist/ojtb.hpp"             // IWYU pragma: export
-#include "dist/peer_selector.hpp"    // IWYU pragma: export
+#include "dist/async_runner.hpp"              // IWYU pragma: export
+#include "dist/convergence.hpp"               // IWYU pragma: export
+#include "dist/dlb2c.hpp"                     // IWYU pragma: export
+#include "dist/dlbkc.hpp"                     // IWYU pragma: export
+#include "dist/dynamic_workload.hpp"          // IWYU pragma: export
+#include "dist/exchange_engine.hpp"           // IWYU pragma: export
+#include "dist/mjtb.hpp"                      // IWYU pragma: export
+#include "dist/ojtb.hpp"                      // IWYU pragma: export
+#include "dist/parallel_exchange_engine.hpp"  // IWYU pragma: export
+#include "dist/peer_selector.hpp"             // IWYU pragma: export
+#include "dist/run_report.hpp"                // IWYU pragma: export
+#include "dist/selector_registry.hpp"         // IWYU pragma: export
 
 #include "centralized/lenstra.hpp"       // IWYU pragma: export
 #include "centralized/local_search.hpp"  // IWYU pragma: export

@@ -7,9 +7,12 @@ namespace dlb::pairwise {
 
 std::vector<JobId> pooled_jobs(const Schedule& schedule, MachineId a,
                                MachineId b) {
-  std::vector<JobId> pool = schedule.jobs_on(a);
-  const auto& on_b = schedule.jobs_on(b);
-  pool.insert(pool.end(), on_b.begin(), on_b.end());
+  const auto on_a = schedule.jobs_on(a);
+  const auto on_b = schedule.jobs_on(b);
+  std::vector<JobId> pool;
+  pool.reserve(on_a.size() + on_b.size());
+  for (JobId j : on_a) pool.push_back(j);
+  for (JobId j : on_b) pool.push_back(j);
   std::sort(pool.begin(), pool.end());
   return pool;
 }

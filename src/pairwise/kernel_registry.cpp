@@ -1,0 +1,48 @@
+#include "pairwise/kernel_registry.hpp"
+
+#include <memory>
+
+// The registry is the one translation unit that names every kernel in the
+// library, including the dist-layer balancers built on pairwise primitives
+// (the headers do not cycle: dist/*.hpp depend on pairwise/pair_kernel.hpp
+// only).
+#include "dist/dlb2c.hpp"
+#include "dist/dlbkc.hpp"
+#include "pairwise/basic_greedy.hpp"
+#include "pairwise/greedy_pair_balance.hpp"
+#include "pairwise/pair_clb2c.hpp"
+#include "pairwise/pairwise_optimal.hpp"
+#include "pairwise/typed_greedy.hpp"
+
+namespace dlb::pairwise {
+
+namespace {
+
+template <typename K>
+KernelRegistry::Factory make() {
+  return [] { return std::unique_ptr<PairKernel>(std::make_unique<K>()); };
+}
+
+KernelRegistry build() {
+  KernelRegistry registry("kernel");
+  registry.add("basic-greedy", make<BasicGreedyKernel>());
+  registry.add("typed-greedy", make<TypedGreedyKernel>());
+  registry.add("greedy-pair-balance", make<GreedyPairBalanceKernel>());
+  registry.add("pair-clb2c", make<PairClb2cKernel>());
+  registry.add("pairwise-optimal", make<PairwiseOptimalKernel>());
+  registry.add("dlb2c", make<dist::Dlb2cKernel>());
+  registry.add("dlbkc", make<dist::DlbKcKernel>());
+  // The paper's algorithm names (Sections V-VI) for the generic kernels.
+  registry.alias("ojtb", "basic-greedy");
+  registry.alias("mjtb", "typed-greedy");
+  return registry;
+}
+
+}  // namespace
+
+const KernelRegistry& kernel_registry() {
+  static const KernelRegistry registry = build();
+  return registry;
+}
+
+}  // namespace dlb::pairwise

@@ -1,0 +1,24 @@
+#pragma once
+
+// The process-wide pair-kernel registry: every PairKernel the library
+// ships, resolvable by name. This replaces the string-switch factories the
+// CLI, the benches and dlb_check each grew independently — unknown names
+// throw std::invalid_argument listing the valid set, and help text derives
+// from names_joined().
+//
+// Canonical names are the kernels' own name() strings; the paper's
+// algorithm names from Sections V-VI register as aliases (ojtb ->
+// basic-greedy, mjtb -> typed-greedy) so existing CLI invocations keep
+// working.
+
+#include "core/name_registry.hpp"
+#include "pairwise/pair_kernel.hpp"
+
+namespace dlb::pairwise {
+
+using KernelRegistry = NameRegistry<PairKernel>;
+
+/// The registry of built-in kernels (constructed once, never mutated).
+[[nodiscard]] const KernelRegistry& kernel_registry();
+
+}  // namespace dlb::pairwise

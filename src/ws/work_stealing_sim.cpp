@@ -30,6 +30,15 @@ class Simulation {
       pending_[initial.machine_of(j)].push_back(j);
     }
     remaining_ = instance.num_jobs();
+    // No-steal completion time of the initial distribution: each machine
+    // runs exactly its own queue.
+    Cost initial_cmax = 0.0;
+    for (MachineId i = 0; i < instance.num_machines(); ++i) {
+      Cost load = 0.0;
+      for (const JobId j : pending_[i]) load += instance.cost(i, j);
+      initial_cmax = std::max(initial_cmax, load);
+    }
+    result_.initial_makespan = initial_cmax;
   }
 
   WsResult run() {
@@ -37,9 +46,10 @@ class Simulation {
       engine_.schedule_at(0.0, [this, i] { activate(i); });
     }
     engine_.run(options_.max_events);
-    result_.completed = remaining_ == 0;
-    result_.makespan = *std::max_element(result_.machine_finish.begin(),
-                                         result_.machine_finish.end());
+    result_.converged = remaining_ == 0;
+    result_.final_makespan = *std::max_element(
+        result_.machine_finish.begin(), result_.machine_finish.end());
+    result_.best_makespan = result_.final_makespan;
     return result_;
   }
 
@@ -82,7 +92,7 @@ class Simulation {
   }
 
   void attempt_steal(MachineId thief) {
-    ++result_.steal_attempts;
+    ++result_.exchanges;
     result_.first_steal_attempt =
         std::min(result_.first_steal_attempt, engine_.now());
     const MachineId victim = pick_victim(thief);
@@ -109,6 +119,7 @@ class Simulation {
         pending_[thief].push_back(queue.back());
         queue.pop_back();
       }
+      result_.migrations += take;
       activate(thief);
     });
   }

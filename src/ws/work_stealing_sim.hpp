@@ -14,6 +14,7 @@
 #include "core/assignment.hpp"
 #include "core/instance.hpp"
 #include "des/engine.hpp"
+#include "dist/run_report.hpp"
 #include "stats/rng.hpp"
 
 namespace dlb::ws {
@@ -43,11 +44,15 @@ struct WsOptions {
   std::uint64_t seed = 1;
 };
 
-struct WsResult {
-  /// Time when the last job completed.
-  des::SimTime makespan = 0.0;
-  bool completed = false;  ///< All jobs finished within the event budget.
-  std::uint64_t steal_attempts = 0;
+/// Shared fields live on the RunReport base with this mapping:
+///   * initial_makespan — the no-steal completion time of the initial
+///     distribution (each machine runs only its own jobs);
+///   * final_makespan / best_makespan — the simulated completion time
+///     (when the last job finished);
+///   * exchanges — steal attempts (the pairwise interactions);
+///   * migrations — jobs actually stolen;
+///   * converged — all jobs finished within the event budget.
+struct WsResult : dist::RunReport {
   std::uint64_t successful_steals = 0;
   /// Time of the first steal attempt / first successful steal
   /// (infinity when none happened).

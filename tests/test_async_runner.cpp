@@ -45,8 +45,8 @@ TEST(AsyncRunner, ImprovesThePiledDistribution) {
   const AsyncRunResult result = run_async(s, kernel, options);
   EXPECT_TRUE(is_complete_partition(s));
   EXPECT_LT(result.final_makespan, result.initial_makespan / 2.0);
-  EXPECT_GT(result.sessions_completed, 0u);
-  EXPECT_GT(result.messages, result.sessions_completed);
+  EXPECT_GT(result.exchanges, 0u);
+  EXPECT_GT(result.messages, result.exchanges);
 }
 
 TEST(AsyncRunner, DeterministicGivenSeed) {
@@ -61,7 +61,7 @@ TEST(AsyncRunner, DeterministicGivenSeed) {
   const AsyncRunResult r1 = run_async(s1, kernel, options);
   const AsyncRunResult r2 = run_async(s2, kernel, options);
   EXPECT_EQ(s1.assignment(), s2.assignment());
-  EXPECT_EQ(r1.sessions_completed, r2.sessions_completed);
+  EXPECT_EQ(r1.exchanges, r2.exchanges);
   EXPECT_EQ(r1.messages, r2.messages);
   EXPECT_DOUBLE_EQ(r1.final_makespan, r2.final_makespan);
 }
@@ -82,7 +82,7 @@ TEST(AsyncRunner, HigherLatencyCompletesFewerSessions) {
   Schedule s_slow(inst, gen::random_assignment(inst, 10));
   const AsyncRunResult r_slow = run_async(s_slow, kernel, slow);
 
-  EXPECT_GT(r_fast.sessions_completed, r_slow.sessions_completed);
+  EXPECT_GT(r_fast.exchanges, r_slow.exchanges);
 }
 
 TEST(AsyncRunner, TraceIsTimeOrderedWithinHorizon) {
@@ -131,7 +131,7 @@ TEST(AsyncRunner, RejectsBadOptions) {
 
 TEST(AsyncRunner, SessionsPerMachineNormalization) {
   AsyncRunResult result;
-  result.sessions_completed = 60;
+  result.exchanges = 60;
   EXPECT_DOUBLE_EQ(result.sessions_per_machine(12), 5.0);
 }
 

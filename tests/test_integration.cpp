@@ -68,7 +68,7 @@ TEST(Integration, WorkStealingVersusDlb2cOnTheTrap) {
   const auto trap = gen::table1_work_stealing_trap(200.0);
   const ws::WsResult stealing =
       ws::simulate_work_stealing(trap.instance, trap.initial);
-  EXPECT_GE(stealing.makespan, 200.0);
+  EXPECT_GE(stealing.final_makespan, 200.0);
 
   // A single full sweep of pairwise-optimal exchanges fixes the instance
   // (it is not a two-cluster instance, so use OJTB's greedy kernel).

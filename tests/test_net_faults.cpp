@@ -2,6 +2,7 @@
 
 #include <gtest/gtest.h>
 
+#include <optional>
 #include <vector>
 
 #include "core/generators.hpp"
@@ -165,7 +166,8 @@ TEST(Network, NoPlanMeansNoFaultMetricKeys) {
 // ----- protocol-level fault tolerance -----
 
 dist::AsyncRunResult run_protocol(const FaultPlan* plan,
-                                  des::SimTime timeout, Schedule& schedule) {
+                                  std::optional<des::SimTime> timeout,
+                                  Schedule& schedule) {
   const pairwise::BasicGreedyKernel kernel;
   dist::AsyncOptions options;
   options.duration = 60.0;
@@ -197,7 +199,8 @@ TEST(AsyncFaults, DropsWithoutTimeoutStillConserveJobs) {
   const Instance inst = gen::identical_uniform(4, 12, 1.0, 10.0, 33);
   const FaultPlan plan = FaultPlan::drops(0.5, 21);
   Schedule schedule(inst, gen::random_assignment(inst, 34));
-  const dist::AsyncRunResult result = run_protocol(&plan, 0.0, schedule);
+  const dist::AsyncRunResult result =
+      run_protocol(&plan, std::nullopt, schedule);
   EXPECT_GT(result.faults.dropped, 0u);
   std::string why;
   EXPECT_TRUE(is_complete_partition(schedule, &why)) << why;
@@ -234,7 +237,7 @@ TEST(AsyncFaults, FaultyRunsReplayDeterministically) {
   const dist::AsyncRunResult r2 = run_protocol(&plan, 3.0, second);
   EXPECT_EQ(first.assignment(), second.assignment());
   EXPECT_EQ(r1.messages, r2.messages);
-  EXPECT_EQ(r1.sessions_completed, r2.sessions_completed);
+  EXPECT_EQ(r1.exchanges, r2.exchanges);
   EXPECT_EQ(r1.faults.total(), r2.faults.total());
 }
 
@@ -244,7 +247,7 @@ TEST(AsyncFaults, ReliableRunUnchangedByTheFaultMachinery) {
   const Instance inst = gen::identical_uniform(5, 20, 1.0, 10.0, 43);
   Schedule schedule(inst, gen::random_assignment(inst, 44));
   const dist::AsyncRunResult result =
-      run_protocol(nullptr, 0.0, schedule);
+      run_protocol(nullptr, std::nullopt, schedule);
   EXPECT_EQ(result.faults.total(), 0u);
   EXPECT_EQ(result.stale_messages, 0u);
   EXPECT_EQ(result.sessions_timed_out, 0u);

@@ -1,0 +1,127 @@
+#include "dist/selector_registry.hpp"
+#include "pairwise/kernel_registry.hpp"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <string>
+
+namespace dlb {
+namespace {
+
+// Canonical names are the implementations' own name() strings, so every
+// registered name must round-trip through create().
+TEST(KernelRegistry, CanonicalNamesRoundTrip) {
+  const pairwise::KernelRegistry& registry = pairwise::kernel_registry();
+  const std::vector<std::string> names = registry.names();
+  ASSERT_FALSE(names.empty());
+  for (const std::string& name : names) {
+    EXPECT_TRUE(registry.contains(name));
+    const std::unique_ptr<pairwise::PairKernel> fresh = registry.create(name);
+    ASSERT_NE(fresh, nullptr);
+    EXPECT_EQ(fresh->name(), name);
+    // The shared instance agrees with a fresh one on identity.
+    EXPECT_EQ(registry.get(name).name(), name);
+  }
+}
+
+TEST(KernelRegistry, ShipsEveryInTreeKernel) {
+  const pairwise::KernelRegistry& registry = pairwise::kernel_registry();
+  for (const char* name :
+       {"basic-greedy", "typed-greedy", "greedy-pair-balance", "pair-clb2c",
+        "pairwise-optimal", "dlb2c", "dlbkc"}) {
+    EXPECT_TRUE(registry.contains(name)) << name;
+  }
+}
+
+TEST(KernelRegistry, PaperAliasesResolve) {
+  const pairwise::KernelRegistry& registry = pairwise::kernel_registry();
+  EXPECT_EQ(registry.get("ojtb").name(), "basic-greedy");
+  EXPECT_EQ(registry.get("mjtb").name(), "typed-greedy");
+  // Aliases are accepted names but not canonical ones.
+  const std::vector<std::string> names = registry.names();
+  for (const std::string& name : names) {
+    EXPECT_NE(name, "ojtb");
+    EXPECT_NE(name, "mjtb");
+  }
+}
+
+TEST(KernelRegistry, UnknownNameListsTheValidSet) {
+  const pairwise::KernelRegistry& registry = pairwise::kernel_registry();
+  try {
+    (void)registry.get("no-such-kernel");
+    FAIL() << "expected std::invalid_argument";
+  } catch (const std::invalid_argument& error) {
+    const std::string what = error.what();
+    EXPECT_NE(what.find("no-such-kernel"), std::string::npos);
+    EXPECT_NE(what.find("basic-greedy"), std::string::npos);
+    EXPECT_NE(what.find("ojtb"), std::string::npos);  // aliases listed too
+  }
+}
+
+TEST(SelectorRegistry, CanonicalNamesRoundTrip) {
+  const dist::SelectorRegistry& registry = dist::selector_registry();
+  const std::vector<std::string> names = registry.names();
+  ASSERT_FALSE(names.empty());
+  for (const std::string& name : names) {
+    const std::unique_ptr<dist::PeerSelector> fresh = registry.create(name);
+    ASSERT_NE(fresh, nullptr);
+    EXPECT_EQ(fresh->name(), name);
+  }
+}
+
+TEST(SelectorRegistry, ShipsUniformAndRing) {
+  const dist::SelectorRegistry& registry = dist::selector_registry();
+  EXPECT_TRUE(registry.contains("uniform"));
+  EXPECT_TRUE(registry.contains("ring"));
+}
+
+TEST(SelectorRegistry, UnknownNameListsTheValidSet) {
+  const dist::SelectorRegistry& registry = dist::selector_registry();
+  try {
+    (void)registry.get("torus");
+    FAIL() << "expected std::invalid_argument";
+  } catch (const std::invalid_argument& error) {
+    const std::string what = error.what();
+    EXPECT_NE(what.find("torus"), std::string::npos);
+    EXPECT_NE(what.find("uniform"), std::string::npos);
+    EXPECT_NE(what.find("ring"), std::string::npos);
+  }
+}
+
+TEST(NameRegistry, NamesJoinedIsSortedAndComplete) {
+  // names_joined drives CLI usage text; it must include aliases and be
+  // deterministically ordered.
+  const std::string joined = pairwise::kernel_registry().names_joined();
+  EXPECT_NE(joined.find("basic-greedy"), std::string::npos);
+  EXPECT_NE(joined.find("ojtb"), std::string::npos);
+  std::string previous;
+  std::string current;
+  for (const char c : joined + "|") {
+    if (c == '|') {
+      EXPECT_LT(previous, current);
+      previous = current;
+      current.clear();
+    } else {
+      current += c;
+    }
+  }
+}
+
+TEST(NameRegistry, DuplicateRegistrationThrows) {
+  NameRegistry<pairwise::PairKernel> registry("kernel");
+  registry.add("dup", [] {
+    return pairwise::kernel_registry().create("basic-greedy");
+  });
+  EXPECT_THROW(registry.add("dup",
+                            [] {
+                              return pairwise::kernel_registry().create(
+                                  "basic-greedy");
+                            }),
+               std::logic_error);
+  EXPECT_THROW(registry.alias("dup", "dup"), std::logic_error);
+  EXPECT_THROW(registry.alias("other", "missing"), std::logic_error);
+}
+
+}  // namespace
+}  // namespace dlb

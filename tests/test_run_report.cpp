@@ -1,0 +1,61 @@
+#include "dist/run_report.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+namespace dlb::dist {
+namespace {
+
+// The JSON shape is a published schema: bench telemetry and downstream
+// scripts key on these names, so key set AND order are byte-stable.
+// Extend only by appending.
+TEST(RunReport, JsonSchemaIsByteStable) {
+  RunReport report;
+  report.initial_makespan = 10.0;
+  report.final_makespan = 4.5;
+  report.best_makespan = 4.0;
+  report.exchanges = 17;
+  report.migrations = 23;
+  report.converged = true;
+  EXPECT_EQ(report.to_json().dump(),
+            "{\"initial_makespan\":10,\"final_makespan\":4.5,"
+            "\"best_makespan\":4,\"exchanges\":17,\"migrations\":23,"
+            "\"converged\":true}");
+}
+
+TEST(RunReport, JsonDefaultsAreZeroAndFalse) {
+  const RunReport report;
+  EXPECT_EQ(report.to_json().dump(),
+            "{\"initial_makespan\":0,\"final_makespan\":0,"
+            "\"best_makespan\":0,\"exchanges\":0,\"migrations\":0,"
+            "\"converged\":false}");
+}
+
+TEST(RunReport, PrintEmitsTheSharedCliBlock) {
+  RunReport report;
+  report.initial_makespan = 12.0;
+  report.final_makespan = 6.0;
+  report.best_makespan = 5.5;
+  report.exchanges = 3;
+  report.migrations = 4;
+  std::ostringstream out;
+  report.print(out);
+  EXPECT_EQ(out.str(),
+            "initial Cmax    : 12\n"
+            "final Cmax      : 6\n"
+            "best Cmax       : 5.5\n"
+            "exchanges       : 3\n"
+            "migrations      : 4\n"
+            "converged       : no\n");
+}
+
+TEST(RunReport, ExchangesPerMachineNormalisation) {
+  RunReport report;
+  report.exchanges = 96;
+  EXPECT_DOUBLE_EQ(report.exchanges_per_machine(32), 3.0);
+  EXPECT_DOUBLE_EQ(report.exchanges_per_machine(0), 0.0);
+}
+
+}  // namespace
+}  // namespace dlb::dist

@@ -14,8 +14,8 @@ TEST(WorkStealing, SingleMachineRunsSequentially) {
   const Instance inst2 = Instance::identical(2, {2.0, 3.0, 4.0});
   const WsResult result =
       simulate_work_stealing(inst2, Assignment::all_on(3, 0));
-  EXPECT_TRUE(result.completed);
-  EXPECT_GT(result.steal_attempts, 0u);
+  EXPECT_TRUE(result.converged);
+  EXPECT_GT(result.exchanges, 0u);
   (void)inst;
 }
 
@@ -25,8 +25,8 @@ TEST(WorkStealing, BalancedStartNeedsNoSteals) {
   a.assign(0, 0);
   a.assign(1, 1);
   const WsResult result = simulate_work_stealing(inst, a);
-  EXPECT_TRUE(result.completed);
-  EXPECT_DOUBLE_EQ(result.makespan, 5.0);
+  EXPECT_TRUE(result.converged);
+  EXPECT_DOUBLE_EQ(result.final_makespan, 5.0);
   EXPECT_EQ(result.successful_steals, 0u);
 }
 
@@ -39,9 +39,9 @@ TEST(WorkStealing, IdleMachineStealsPendingWork) {
   options.retry_delay = 0.01;
   const WsResult result =
       simulate_work_stealing(inst, Assignment::all_on(4, 0), options);
-  EXPECT_TRUE(result.completed);
+  EXPECT_TRUE(result.converged);
   EXPECT_GE(result.successful_steals, 1u);
-  EXPECT_LE(result.makespan, 3.0 + 1e-9);
+  EXPECT_LE(result.final_makespan, 3.0 + 1e-9);
 }
 
 TEST(WorkStealing, CompletesOnRandomHeterogeneousInstances) {
@@ -51,10 +51,10 @@ TEST(WorkStealing, CompletesOnRandomHeterogeneousInstances) {
     options.seed = seed;
     const WsResult result = simulate_work_stealing(
         inst, gen::random_assignment(inst, seed + 7), options);
-    EXPECT_TRUE(result.completed);
+    EXPECT_TRUE(result.converged);
     // Makespan is at least the best any single machine could need for its
     // heaviest job.
-    EXPECT_GT(result.makespan, 0.0);
+    EXPECT_GT(result.final_makespan, 0.0);
   }
 }
 
@@ -84,9 +84,9 @@ TEST(WorkStealing, StealLatencyDelaysCompletion) {
       simulate_work_stealing(inst, Assignment::all_on(4, 0), fast);
   const WsResult delayed =
       simulate_work_stealing(inst, Assignment::all_on(4, 0), slow);
-  EXPECT_TRUE(quick.completed);
-  EXPECT_TRUE(delayed.completed);
-  EXPECT_LE(quick.makespan, delayed.makespan + 1e-9);
+  EXPECT_TRUE(quick.converged);
+  EXPECT_TRUE(delayed.converged);
+  EXPECT_LE(quick.final_makespan, delayed.final_makespan + 1e-9);
 }
 
 TEST(WorkStealing, StealOneTakesExactlyOneJob) {
@@ -96,7 +96,7 @@ TEST(WorkStealing, StealOneTakesExactlyOneJob) {
   options.steal_latency = 0.0;
   const WsResult result =
       simulate_work_stealing(inst, Assignment::all_on(5, 0), options);
-  EXPECT_TRUE(result.completed);
+  EXPECT_TRUE(result.converged);
   // Steal-one needs more successful steals than steal-half would.
   WsOptions half = options;
   half.steal_amount = StealAmount::kHalf;
@@ -114,11 +114,11 @@ TEST(WorkStealing, MaxPendingVictimAlwaysFindsTheLoadedMachine) {
   options.steal_latency = 0.0;
   const WsResult result =
       simulate_work_stealing(inst, Assignment::all_on(32, 0), options);
-  EXPECT_TRUE(result.completed);
+  EXPECT_TRUE(result.converged);
   // 7 idle machines all target machine 0 immediately: the first wave of
   // attempts is all successful (no empty-victim retries at time zero).
   EXPECT_GE(result.successful_steals, 7u);
-  EXPECT_LE(result.makespan, 10.0);
+  EXPECT_LE(result.final_makespan, 10.0);
 }
 
 // ---- Theorem 1: the Table I trap makes work stealing unboundedly bad ----
@@ -133,13 +133,13 @@ TEST_P(Table1Sweep, FirstStealWaitsUntilNAndMakespanIsAboutN) {
   options.retry_delay = 0.01;
   const WsResult result =
       simulate_work_stealing(trap.instance, trap.initial, options);
-  ASSERT_TRUE(result.completed);
+  ASSERT_TRUE(result.converged);
   // Every machine is busy until n: no successful steal can happen earlier.
   EXPECT_GE(result.first_successful_steal, n - 1e-9);
   // Work stealing finishes around n + 1 while OPT = 2: unbounded ratio.
-  EXPECT_GE(result.makespan, n);
-  EXPECT_LE(result.makespan, n + 2.0);
-  EXPECT_GE(result.makespan / trap.optimal_makespan, n / 2.0);
+  EXPECT_GE(result.final_makespan, n);
+  EXPECT_LE(result.final_makespan, n + 2.0);
+  EXPECT_GE(result.final_makespan / trap.optimal_makespan, n / 2.0);
 }
 
 INSTANTIATE_TEST_SUITE_P(GrowingN, Table1Sweep,

@@ -1,0 +1,131 @@
+#!/usr/bin/env python3
+"""Gate the parallel exchange engine's thread scaling.
+
+Usage:
+    check_parallel_speedup.py SERIAL.json PARALLEL.json [options]
+
+Both inputs are timed `dlb_bench --json` documents (schema "dlb-bench") of
+the same experiment run at different `--threads` values — in CI, 1 and 8.
+The gate computes
+
+    speedup = serial median wall time / parallel median wall time
+
+and fails (exit 1) when it falls below --min-speedup. Exit 2 means
+malformed input.
+
+Two things are checked besides the ratio:
+
+  * determinism — the experiment's metrics and counters must be identical
+    between the two documents. A parallel run that changes the science is
+    a correctness bug, not a perf result, and fails immediately;
+  * honesty about cores — when the parallel document reports fewer
+    hardware threads than --threads-needed (CI runners vary; laptops and
+    1-core containers cannot exhibit any speedup), the ratio check is
+    SKIPPED with a notice rather than failed, exactly like the timing leg
+    of the obs-overhead gate. The determinism check always runs.
+
+The floor is deliberately below the ideal ratio: the target for 8 threads
+is >= --min-speedup (default 4.0), conceding scheduling noise, the
+sequential plan/commit phases (Amdahl) and shared-runner interference.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+
+SCHEMA = "dlb-bench"
+
+
+def fail_input(message: str) -> None:
+    print(f"error: {message}", file=sys.stderr)
+    sys.exit(2)
+
+
+def load_document(path: str) -> dict:
+    try:
+        with open(path, encoding="utf-8") as handle:
+            doc = json.load(handle)
+    except (OSError, json.JSONDecodeError) as exc:
+        fail_input(f"cannot read {path}: {exc}")
+    if doc.get("schema") != SCHEMA:
+        fail_input(f"{path}: not a {SCHEMA} document")
+    return doc
+
+
+def experiment(doc: dict, path: str, name: str) -> dict:
+    for entry in doc.get("experiments", []):
+        if entry.get("name") == name:
+            if entry.get("status") != "ok":
+                fail_input(f"{path}: experiment '{name}' status is "
+                           f"{entry.get('status')!r}, not 'ok'")
+            return entry
+    fail_input(f"{path}: no experiment named '{name}'")
+    raise AssertionError  # unreachable
+
+
+def median_wall_s(entry: dict, path: str) -> float:
+    timing = entry.get("timing")
+    if not isinstance(timing, dict):
+        fail_input(f"{path}: experiment carries no timing block "
+                   "(was it run with --no-timing?)")
+    median = timing.get("wall_s", {}).get("median")
+    if not isinstance(median, (int, float)) or median <= 0:
+        fail_input(f"{path}: missing or non-positive wall_s.median")
+    return float(median)
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(
+        description="Gate parallel-engine speedup between two timed "
+        "dlb_bench documents.")
+    parser.add_argument("serial", help="timed JSON from the --threads 1 run")
+    parser.add_argument("parallel",
+                        help="timed JSON from the --threads N run")
+    parser.add_argument("--experiment", default="perf_parallel_engine",
+                        help="experiment name to compare "
+                        "(default: %(default)s)")
+    parser.add_argument("--min-speedup", type=float, default=4.0,
+                        help="fail when serial/parallel median wall time "
+                        "is below this (default: %(default)s)")
+    parser.add_argument("--threads-needed", type=int, default=8,
+                        help="skip the ratio check (determinism still "
+                        "gated) when the parallel run's machine has fewer "
+                        "hardware threads than this (default: %(default)s)")
+    args = parser.parse_args()
+
+    serial_doc = load_document(args.serial)
+    parallel_doc = load_document(args.parallel)
+    serial = experiment(serial_doc, args.serial, args.experiment)
+    parallel = experiment(parallel_doc, args.parallel, args.experiment)
+
+    # Determinism first: thread count must not change the science.
+    for block in ("metrics", "counters"):
+        if serial.get(block, {}) != parallel.get(block, {}):
+            print(f"FAIL: {args.experiment}: {block} differ between the "
+                  "serial and parallel runs — the engine is not "
+                  "thread-count invariant", file=sys.stderr)
+            return 1
+    print(f"ok: {args.experiment}: metrics and counters identical across "
+          "thread counts")
+
+    cores = parallel_doc.get("environment", {}).get("hardware_concurrency")
+    if isinstance(cores, int) and cores < args.threads_needed:
+        print(f"SKIP: ratio check needs >= {args.threads_needed} hardware "
+              f"threads, machine reports {cores}; speedup not measurable "
+              "here")
+        return 0
+
+    serial_s = median_wall_s(serial, args.serial)
+    parallel_s = median_wall_s(parallel, args.parallel)
+    speedup = serial_s / parallel_s
+    verdict = "ok" if speedup >= args.min_speedup else "FAIL"
+    print(f"{verdict}: {args.experiment}: {serial_s * 1e3:.1f} ms serial / "
+          f"{parallel_s * 1e3:.1f} ms parallel = {speedup:.2f}x "
+          f"(floor {args.min_speedup:.2f}x)")
+    return 0 if speedup >= args.min_speedup else 1
+
+
+if __name__ == "__main__":
+    sys.exit(main())
