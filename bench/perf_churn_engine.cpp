@@ -1,0 +1,78 @@
+// Perf: the parallel exchange engine under elastic machine churn. A
+// two-cluster instance runs with a seeded ChurnPlan dense enough that the
+// elastic bookkeeping (orphan queue, live-set rebuilds, drain migrations)
+// is on the hot path, plus one mid-run checkpoint save so the snapshot
+// cost is part of what the harness times. Churn events apply in the
+// sequential plan phase, so the JSON payload stays byte-identical at any
+// --threads value (the harness adds timing separately).
+
+#include <cstdint>
+#include <iostream>
+
+#include "core/generators.hpp"
+#include "dist/checkpoint.hpp"
+#include "dist/churn.hpp"
+#include "dist/parallel_exchange_engine.hpp"
+#include "dist/selector_registry.hpp"
+#include "pairwise/kernel_registry.hpp"
+#include "registry.hpp"
+
+namespace {
+
+void run(const dlb::bench::RunContext& ctx, dlb::bench::MetricSet& metrics) {
+  const std::size_t machines = ctx.scale(4'000, 256);
+  const std::size_t jobs = ctx.scale(400'000, 10'000);
+
+  const dlb::Instance inst = dlb::gen::two_cluster_uniform(
+      machines * 2 / 3, machines - machines * 2 / 3, jobs, 1.0, 1000.0, 1);
+  dlb::Schedule s(inst, dlb::gen::random_assignment(inst, 2));
+
+  // ~1 churn event per 4 epochs of the run below, weighted towards crashes
+  // so the orphan/redispatch queue stays populated.
+  const dlb::dist::ChurnPlan plan =
+      dlb::dist::ChurnPlan::random(machines, 8, 0.30, 0.30, 0.40, 7);
+  dlb::dist::Checkpoint snapshot;
+
+  dlb::dist::ParallelEngineOptions options;
+  options.max_exchanges = 2 * machines;  // ~4 epochs of m/2 sessions
+  options.pool = ctx.pool;
+  options.obs = ctx.obs;
+  options.churn = &plan;
+  options.checkpoint_every = 2;
+  options.checkpoint_out = &snapshot;
+  const dlb::dist::ParallelRunResult result =
+      dlb::dist::ParallelExchangeEngine(
+          dlb::pairwise::kernel_registry().get("basic-greedy"),
+          dlb::dist::selector_registry().get("uniform"))
+          .run(s, options, 3);
+
+  std::cout << "elastic parallel engine, " << machines << " machines, "
+            << jobs << " jobs: " << result.exchanges << " sessions in "
+            << result.epochs << " epochs ("
+            << result.churn_joins + result.churn_drains + result.churn_crashes
+            << " churn events), Cmax " << result.initial_makespan << " -> "
+            << result.final_makespan << "\n";
+
+  // Deterministic payload only — identical at every thread count.
+  metrics.metric("final_makespan", result.final_makespan);
+  metrics.metric("best_makespan", result.best_makespan);
+  metrics.counter("sessions", static_cast<double>(result.exchanges));
+  metrics.counter("epochs", static_cast<double>(result.epochs));
+  metrics.counter("migrations", static_cast<double>(result.migrations));
+  metrics.counter("churn_joins", static_cast<double>(result.churn_joins));
+  metrics.counter("churn_drains", static_cast<double>(result.churn_drains));
+  metrics.counter("churn_crashes", static_cast<double>(result.churn_crashes));
+  metrics.counter("churn_orphaned",
+                  static_cast<double>(result.churn_orphaned));
+  metrics.counter("churn_redispatched",
+                  static_cast<double>(result.churn_redispatched));
+  metrics.counter("checkpoint_epoch",
+                  static_cast<double>(snapshot.epochs));
+}
+
+}  // namespace
+
+DLB_BENCH_REGISTER("perf_churn_engine",
+                   "Perf: parallel exchange engine under elastic churn with "
+                   "mid-run checkpointing",
+                   run);

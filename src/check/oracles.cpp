@@ -403,4 +403,59 @@ void check_converged_is_stable(const dist::RunResult& result,
   }
 }
 
+void check_churn_conservation(const Schedule& schedule,
+                              const dist::RunReport& result, Report& report) {
+  std::uint64_t unassigned = 0;
+  for (JobId j = 0; j < schedule.num_jobs(); ++j) {
+    const MachineId machine = schedule.machine_of(j);
+    if (machine == kUnassigned) {
+      ++unassigned;
+      continue;
+    }
+    if (machine >= schedule.num_machines()) {
+      report.fail("churn.assignment_range",
+                  "job " + std::to_string(j) + " assigned to machine " +
+                      std::to_string(machine) + " of " +
+                      std::to_string(schedule.num_machines()));
+      continue;
+    }
+    if (!schedule.is_live(machine)) {
+      report.fail("churn.dead_resident",
+                  "job " + std::to_string(j) +
+                      " still resident on dead machine " +
+                      std::to_string(machine));
+    }
+  }
+  if (unassigned != result.churn_pending) {
+    report.fail("churn.job_conservation",
+                std::to_string(unassigned) +
+                    " unassigned jobs in the schedule but churn_pending = " +
+                    std::to_string(result.churn_pending));
+  }
+  if (result.churn_orphaned !=
+      result.churn_redispatched + result.churn_pending) {
+    report.fail("churn.orphan_ledger",
+                "orphaned = " + std::to_string(result.churn_orphaned) +
+                    " but redispatched + pending = " +
+                    std::to_string(result.churn_redispatched) + " + " +
+                    std::to_string(result.churn_pending));
+  }
+  // Duplicates would double-list a job on some machine: the per-machine
+  // lists plus the pending queue must tile the job set exactly.
+  std::size_t listed = 0;
+  for (MachineId i = 0; i < schedule.num_machines(); ++i) {
+    listed += schedule.jobs_on(i).size();
+  }
+  if (listed + unassigned != schedule.num_jobs()) {
+    report.fail("churn.duplicate_or_lost",
+                std::to_string(listed) + " listed + " +
+                    std::to_string(unassigned) + " pending != " +
+                    std::to_string(schedule.num_jobs()) + " jobs");
+  }
+  if (!schedule.check_consistency()) {
+    report.fail("churn.load_table",
+                "incremental LoadTable state drifted during the elastic run");
+  }
+}
+
 }  // namespace dlb::check

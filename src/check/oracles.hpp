@@ -136,4 +136,12 @@ void check_converged_is_stable(const dist::RunResult& result,
                                const pairwise::PairKernel& kernel,
                                Report& report);
 
+/// Elastic-run conservation (src/dist/churn): after a run under a churn
+/// plan, every job is either assigned to a *live* machine exactly once or
+/// accounted for in the pending re-dispatch queue — never lost, never
+/// duplicated, never resident on a dead machine — and the orphan ledger
+/// balances (orphaned == redispatched + pending).
+void check_churn_conservation(const Schedule& schedule,
+                              const dist::RunReport& result, Report& report);
+
 }  // namespace dlb::check

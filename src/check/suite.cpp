@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <fstream>
+#include <sstream>
 #include <vector>
 
 #include "centralized/exact_bnb.hpp"
@@ -9,8 +10,10 @@
 #include "core/instance_io.hpp"
 #include "core/lower_bounds.hpp"
 #include "core/validation.hpp"
+#include "dist/churn.hpp"
 #include "dist/convergence.hpp"
 #include "dist/exchange_engine.hpp"
+#include "dist/parallel_exchange_engine.hpp"
 #include "pairwise/kernel_registry.hpp"
 #include "stats/rng.hpp"
 
@@ -114,6 +117,80 @@ void check_engine(const Instance& instance, const Assignment& initial,
     report.fail("diff.engine_determinism",
                 "two runs with the same seed diverged");
   }
+}
+
+/// Elastic fuzzing: every case also runs both engines under a seeded
+/// random churn plan (joins/drains/crashes), asserting job conservation
+/// through crash + redispatch, and proves the checkpoint contract by
+/// halting the sequential run mid-flight, round-tripping the checkpoint
+/// through its text format, resuming, and demanding the finished run be
+/// bitwise identical to one that never stopped.
+void check_churn(const Instance& instance, const Assignment& initial,
+                 const CaseContext& context, Report& report,
+                 SuiteSummary* summary) {
+  if (instance.num_machines() < 2) return;
+  const pairwise::PairKernel& kernel = kernel_for(instance);
+  const dist::UniformPeerSelector selector;
+
+  const std::uint64_t churn_seed =
+      context.seed ^ (context.index * 0xC0FFEEULL + 7);
+  const dist::ChurnPlan plan = dist::ChurnPlan::random(
+      instance.num_machines(), /*epochs=*/6, /*join_p=*/0.35,
+      /*drain_p=*/0.25, /*crash_p=*/0.4, churn_seed);
+  if (plan.trivial()) return;
+
+  const dist::ExchangeEngine engine(kernel, selector);
+  dist::EngineOptions options;
+  options.max_exchanges = 16 * instance.num_machines();
+  options.churn = &plan;
+
+  Schedule schedule(instance, initial);
+  stats::Rng rng = stats::Rng::stream(context.seed, context.index * 8 + 2);
+  const dist::RunResult result = engine.run(schedule, options, rng);
+  if (summary != nullptr) ++summary->churn_runs;
+  check_churn_conservation(schedule, result, report);
+
+  // Interrupted == uninterrupted: halt at an interior epoch, snapshot,
+  // restore from the serialized bytes, finish, compare everything.
+  if (result.epochs > 1) {
+    dist::Checkpoint checkpoint;
+    dist::EngineOptions halt_options = options;
+    halt_options.halt_after_epoch = result.epochs / 2;
+    halt_options.checkpoint_out = &checkpoint;
+    Schedule halted(instance, initial);
+    stats::Rng halted_rng =
+        stats::Rng::stream(context.seed, context.index * 8 + 2);
+    const dist::RunResult partial =
+        engine.run(halted, halt_options, halted_rng);
+    if (partial.halted) {
+      std::stringstream bytes;
+      checkpoint.save(bytes);
+      const dist::Checkpoint restored = dist::Checkpoint::load(bytes);
+      Schedule resumed = restored.make_schedule(instance);
+      dist::EngineOptions resume_options = options;
+      resume_options.resume = &restored;
+      stats::Rng resume_rng =
+          stats::Rng::stream(context.seed, context.index * 8 + 2);
+      const dist::RunResult finished =
+          engine.run(resumed, resume_options, resume_rng);
+      if (resumed.fingerprint() != schedule.fingerprint() ||
+          finished.to_json().dump() != result.to_json().dump()) {
+        report.fail("churn.checkpoint_equivalence",
+                    "restore-then-run diverged from the uninterrupted run");
+      }
+    }
+  }
+
+  // The parallel engine must uphold the same conservation law under the
+  // same plan (null pool: bitwise identical to any thread count).
+  const dist::ParallelExchangeEngine parallel(kernel, selector);
+  dist::ParallelEngineOptions par_options;
+  par_options.max_exchanges = 16 * instance.num_machines();
+  par_options.churn = &plan;
+  Schedule par_schedule(instance, initial);
+  const dist::ParallelRunResult par_result =
+      parallel.run(par_schedule, par_options, churn_seed);
+  check_churn_conservation(par_schedule, par_result, report);
 }
 
 void check_async(const Instance& instance, const Assignment& initial,
@@ -234,6 +311,7 @@ void run_case_oracles(const Instance& instance, const Assignment& initial,
   check_kernels(schedule, pair_rng, report);
 
   check_engine(instance, initial, context, report, summary);
+  check_churn(instance, initial, context, report, summary);
   check_async(instance, initial, context, report, summary);
   check_exact(instance, initial, report, summary);
 }

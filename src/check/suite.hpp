@@ -48,6 +48,7 @@ struct SuiteSummary {
   std::uint64_t cases_run = 0;
   std::uint64_t exact_solved = 0;   ///< Cases checked against true OPT.
   std::uint64_t engine_runs = 0;
+  std::uint64_t churn_runs = 0;     ///< Elastic (churn-plan) engine runs.
   std::uint64_t async_runs = 0;
   net::FaultStats faults;           ///< Faults injected across all cases.
   std::vector<CaseFailure> failures;

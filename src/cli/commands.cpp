@@ -3,6 +3,7 @@
 #include <fstream>
 #include <functional>
 #include <map>
+#include <optional>
 #include <stdexcept>
 
 #include "centralized/clb2c.hpp"
@@ -18,6 +19,8 @@
 #include "core/lower_bounds.hpp"
 #include "core/validation.hpp"
 #include "dist/async_runner.hpp"
+#include "dist/checkpoint.hpp"
+#include "dist/churn.hpp"
 #include "dist/exchange_engine.hpp"
 #include "dist/parallel_exchange_engine.hpp"
 #include "dist/selector_registry.hpp"
@@ -264,18 +267,70 @@ int cmd_balance(const Args& args, std::ostream& out, std::ostream& err) {
   const std::uint64_t seed = args.get_seed("seed", 1);
   const auto per_machine = args.get_int("exchanges-per-machine", 10);
   const std::string trace_path = args.get("trace", "");
+  const std::string churn_path = args.get("churn-plan", "");
+  const auto checkpoint_every =
+      static_cast<std::uint64_t>(args.get_int("checkpoint-every", 0));
+  const std::string checkpoint_path = args.get("checkpoint", "");
+  const std::string resume_path = args.get("resume", "");
   ObsFiles obs_files(args, "trace-json", "metrics-json");
   if (const int rc = check_unused(args, err)) return rc;
   if (engine_kind != "seq" && engine_kind != "parallel") {
     throw std::invalid_argument("unknown --engine '" + engine_kind +
                                 "' (seq|parallel)");
   }
+  if (checkpoint_every != 0 && checkpoint_path.empty()) {
+    throw std::invalid_argument(
+        "--checkpoint-every needs --checkpoint FILE to write to");
+  }
 
   const pairwise::PairKernel& kernel = kernel_by_alg(alg);
   const dist::PeerSelector& selector = selector_by_name(peer);
   const Instance instance = io::load_instance_file(path);
-  Schedule schedule(instance, gen::random_assignment(instance, seed));
+
+  // Elasticity: an on-disk churn plan drives joins/drains/crashes, and a
+  // resumed run rebuilds its schedule from the checkpoint instead of the
+  // seeded random placement (the engines guarantee the finished run is
+  // bitwise identical to one that never stopped).
+  std::optional<dist::ChurnPlan> churn_plan;
+  if (!churn_path.empty()) {
+    churn_plan = dist::ChurnPlan::load_file(churn_path);
+  }
+  std::optional<dist::Checkpoint> resume_from;
+  if (!resume_path.empty()) {
+    resume_from = dist::Checkpoint::load_file(resume_path);
+  }
+  dist::Checkpoint snapshot;
+
+  Schedule schedule =
+      resume_from.has_value()
+          ? resume_from->make_schedule(instance)
+          : Schedule(instance, gen::random_assignment(instance, seed));
   const Cost lb = makespan_lower_bound(instance);
+
+  const auto describe_elasticity = [&] {
+    if (churn_plan.has_value()) {
+      out << "churn plan      : " << churn_path << " ("
+          << churn_plan->events.size() << " events)\n";
+    }
+    if (resume_from.has_value()) {
+      out << "resumed from    : " << resume_path << " (epoch "
+          << resume_from->epochs << ")\n";
+    }
+  };
+  // A snapshot was taken iff the engine filled it (cadence hit at least
+  // one epoch boundary); a default-constructed Checkpoint has no machines.
+  const auto write_snapshot = [&]() -> int {
+    if (checkpoint_path.empty()) return 0;
+    if (snapshot.num_machines == 0) {
+      out << "checkpoint      : not taken (run ended before epoch "
+          << checkpoint_every << ")\n";
+      return 0;
+    }
+    snapshot.save_file(checkpoint_path);
+    out << "checkpoint      : " << checkpoint_path << " (epoch "
+        << snapshot.epochs << ")\n";
+    return 0;
+  };
 
   const auto write_trace = [&](const char* kind, const char* detail_col,
                                const auto& rows) -> int {
@@ -307,6 +362,12 @@ int cmd_balance(const Args& args, std::ostream& out, std::ostream& err) {
     options.max_exchanges = instance.num_machines() * per_machine;
     options.record_trace = !trace_path.empty();
     if (obs_files.enabled()) options.obs = &obs_files.context;
+    if (churn_plan.has_value()) options.churn = &*churn_plan;
+    if (resume_from.has_value()) options.resume = &*resume_from;
+    if (checkpoint_every != 0) {
+      options.checkpoint_every = checkpoint_every;
+      options.checkpoint_out = &snapshot;
+    }
     parallel::ThreadPool pool(threads);
     options.pool = &pool;
     const dist::ParallelExchangeEngine engine(kernel, selector);
@@ -315,6 +376,7 @@ int cmd_balance(const Args& args, std::ostream& out, std::ostream& err) {
 
     out << "algorithm       : " << alg << " (parallel, "
         << pool.num_threads() << " threads)\n";
+    describe_elasticity();
     result.print(out);
     out << "effective       : " << result.changed_exchanges << "\n"
         << "epochs          : " << result.epochs << " ("
@@ -328,6 +390,7 @@ int cmd_balance(const Args& args, std::ostream& out, std::ostream& err) {
         return rc;
       }
     }
+    if (const int rc = write_snapshot()) return rc;
     return obs_files.write(out, err);
   }
 
@@ -335,11 +398,18 @@ int cmd_balance(const Args& args, std::ostream& out, std::ostream& err) {
   options.max_exchanges = instance.num_machines() * per_machine;
   options.record_trace = !trace_path.empty();
   if (obs_files.enabled()) options.obs = &obs_files.context;
+  if (churn_plan.has_value()) options.churn = &*churn_plan;
+  if (resume_from.has_value()) options.resume = &*resume_from;
+  if (checkpoint_every != 0) {
+    options.checkpoint_every = checkpoint_every;
+    options.checkpoint_out = &snapshot;
+  }
   stats::Rng rng(seed + 1);
   const dist::ExchangeEngine engine(kernel, selector);
   const dist::RunResult result = engine.run(schedule, options, rng);
 
   out << "algorithm       : " << alg << "\n";
+  describe_elasticity();
   result.print(out);
   out << "effective       : " << result.changed_exchanges << "\n"
       << "LB              : " << lb << "\n"
@@ -350,6 +420,7 @@ int cmd_balance(const Args& args, std::ostream& out, std::ostream& err) {
       return rc;
     }
   }
+  if (const int rc = write_snapshot()) return rc;
   return obs_files.write(out, err);
 }
 
@@ -446,6 +517,8 @@ commands:
            [--engine seq|parallel] [--threads N]
            [--exchanges-per-machine N] [--seed S] [--trace FILE.csv]
            [--trace-json FILE.json] [--metrics-json FILE.json]
+           [--churn-plan FILE] [--checkpoint FILE --checkpoint-every N]
+           [--resume FILE]
   simulate --in FILE [--alg KERNEL] [--duration T]
            [--latency T] [--think T] [--backoff T] [--seed S]
            [--trace FILE.csv] [--trace-json FILE.json]

@@ -40,16 +40,42 @@ class LoadTable {
         head_(num_machines, kNil),
         count_(num_machines, 0),
         loads_(num_machines, 0.0),
-        arrivals_(num_machines, 0) {}
+        arrivals_(num_machines, 0),
+        live_(num_machines, 1),
+        num_live_(num_machines) {}
 
   [[nodiscard]] std::size_t num_machines() const noexcept {
     return head_.size();
+  }
+
+  // ----- elastic machine-set membership (src/dist/churn) -----
+  //
+  // A dead machine keeps its slots (ids stay stable across churn) but is
+  // expected to hold no jobs: crashes orphan their residents and drains
+  // migrate them out before the mask flips. Nothing here enforces that —
+  // the churn runtime does, and check::check_churn_conservation verifies.
+
+  [[nodiscard]] bool is_live(MachineId i) const noexcept {
+    return live_[i] != 0;
+  }
+  [[nodiscard]] std::size_t num_live() const noexcept { return num_live_; }
+  [[nodiscard]] const std::vector<std::uint8_t>& live_mask() const noexcept {
+    return live_;
+  }
+  void set_live(MachineId i, bool live) noexcept {
+    if ((live_[i] != 0) == live) return;
+    live_[i] = live ? 1 : 0;
+    num_live_ += live ? 1 : std::size_t(-1);
   }
 
   [[nodiscard]] Cost load(MachineId i) const noexcept { return loads_[i]; }
   [[nodiscard]] const std::vector<Cost>& loads() const noexcept {
     return loads_;
   }
+  /// Overwrites one load accumulator (src/dist/checkpoint restore): the
+  /// incremental sum is order-dependent in the last ulp, so a resumed run
+  /// must inherit the accumulator bits, not a from-scratch recomputation.
+  void set_load(MachineId i, Cost load) noexcept { loads_[i] = load; }
   [[nodiscard]] std::size_t count(MachineId i) const noexcept {
     return count_[i];
   }
@@ -136,6 +162,8 @@ class LoadTable {
   std::vector<std::size_t> count_;
   std::vector<Cost> loads_;
   std::vector<std::uint64_t> arrivals_;
+  std::vector<std::uint8_t> live_;  // 1 = in the active machine set
+  std::size_t num_live_ = 0;
 };
 
 }  // namespace dlb

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 #include <stdexcept>
+#include <string>
 
 #include "stats/rng.hpp"
 
@@ -97,6 +98,19 @@ void Schedule::unassign(JobId j) {
   if (from == kUnassigned) return;
   table_.detach(j, from, instance_->cost(from, j));
   assignment_.unassign(j);
+  mark_dirty();
+}
+
+void Schedule::restore_loads(const std::vector<Cost>& loads) {
+  if (loads.size() != table_.num_machines()) {
+    throw std::invalid_argument(
+        "Schedule::restore_loads: expected " +
+        std::to_string(table_.num_machines()) + " loads, got " +
+        std::to_string(loads.size()));
+  }
+  for (MachineId i = 0; i < loads.size(); ++i) {
+    table_.set_load(i, loads[i]);
+  }
   mark_dirty();
 }
 

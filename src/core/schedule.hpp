@@ -106,6 +106,28 @@ class Schedule {
     return table_.arrivals(i);
   }
 
+  // ----- elastic machine-set membership (src/dist/churn) -----
+  // Every machine starts live; the churn runtime flips the mask as
+  // machines join, drain, or crash. A dead machine must hold no jobs —
+  // the churn runtime evacuates/orphans residents before flipping.
+
+  [[nodiscard]] bool is_live(MachineId i) const noexcept {
+    return table_.is_live(i);
+  }
+  [[nodiscard]] std::size_t num_live() const noexcept {
+    return table_.num_live();
+  }
+  [[nodiscard]] const std::vector<std::uint8_t>& live_mask() const noexcept {
+    return table_.live_mask();
+  }
+  void set_live(MachineId i, bool live) noexcept { table_.set_live(i, live); }
+
+  /// Overwrites every per-machine load accumulator (src/dist/checkpoint
+  /// restore). Incremental load sums are order-dependent in the last ulp,
+  /// so bitwise-identical resumption needs the frozen accumulator bits —
+  /// recomputing from the assignment is only equal up to rounding.
+  void restore_loads(const std::vector<Cost>& loads);
+
   /// Recomputes loads from scratch and checks internal consistency.
   /// Returns true if the incremental state matches (tests use this to
   /// guard against drift; tolerance covers FP accumulation error).

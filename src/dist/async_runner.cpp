@@ -27,7 +27,8 @@ class AsyncSimulation {
         rng_(options.seed),
         latency_(options.message_latency),
         network_(engine_, latency_, rng_),
-        slots_(schedule.num_machines()) {
+        slots_(schedule.num_machines()),
+        last_token_(schedule.num_machines(), 0) {
     if (schedule.num_machines() < 2) {
       throw std::invalid_argument("run_async: need at least two machines");
     }
@@ -137,6 +138,7 @@ class AsyncSimulation {
     if (peer >= initiator) ++peer;
     const std::uint64_t token = ++next_token_;
     slots_[initiator] = SessionSlot{true, token, false};
+    last_token_[initiator] = token;
     if (tracer_) {
       tracer_->begin(ts(), initiator, "session", "dist",
                      {{"peer", static_cast<std::int64_t>(peer)}});
@@ -156,6 +158,14 @@ class AsyncSimulation {
 
   void handle_request(MachineId initiator, MachineId peer,
                       std::uint64_t token) {
+    if (!slots_[peer].locked && token <= last_token_[peer]) {
+      // A free peer seeing a token no newer than one it already handled is
+      // reading a duplicated (or hopelessly late) REQUEST: accepting it
+      // would re-open a finished session, and a still-in-flight duplicate
+      // TRANSFER for that token would then commit its exchange twice.
+      stale_message();
+      return;
+    }
     if (slots_[peer].locked) {
       if (slots_[peer].token == token) {
         // Duplicate REQUEST of the session the peer already accepted.
@@ -171,6 +181,7 @@ class AsyncSimulation {
       return;
     }
     slots_[peer] = SessionSlot{true, token, false};
+    last_token_[peer] = std::max(last_token_[peer], token);
     arm_timeout(peer, token, false);
     // ACCEPT carries the peer's job list back to the initiator; the kernel
     // then computes the split and the TRANSFER ships the moved jobs. Both
@@ -252,6 +263,10 @@ class AsyncSimulation {
   net::ConstantLatency latency_;
   net::Network network_;
   std::vector<SessionSlot> slots_;
+  /// Highest session token each machine has ever been locked with; a free
+  /// machine treats a REQUEST at or below this as stale (see
+  /// handle_request) so duplicated requests cannot resurrect a session.
+  std::vector<std::uint64_t> last_token_;
   std::uint64_t next_token_ = 0;
   AsyncRunResult result_;
   obs::Tracer* tracer_ = nullptr;

@@ -1,0 +1,250 @@
+#include "dist/checkpoint.hpp"
+
+#include <algorithm>
+#include <bit>
+#include <fstream>
+#include <initializer_list>
+#include <istream>
+#include <ostream>
+#include <stdexcept>
+#include <string>
+
+#include "core/assignment.hpp"
+
+namespace dlb::dist {
+
+namespace {
+
+[[noreturn]] void parse_error(const std::string& why) {
+  throw std::runtime_error("Checkpoint::load: " + why);
+}
+
+/// Doubles travel as their bit patterns: formatted decimal round-trips are
+/// not guaranteed to be exact, bit patterns are.
+std::uint64_t bits_of(double v) noexcept {
+  return std::bit_cast<std::uint64_t>(v);
+}
+double double_of(std::uint64_t bits) noexcept {
+  return std::bit_cast<double>(bits);
+}
+
+void expect_key(std::istream& in, const char* key) {
+  std::string token;
+  if (!(in >> token) || token != key) {
+    parse_error(std::string("expected \"") + key + "\" (got \"" + token +
+                "\")");
+  }
+}
+
+template <typename T>
+T read_value(std::istream& in, const char* key) {
+  expect_key(in, key);
+  T value{};
+  if (!(in >> value)) parse_error(std::string("bad value for ") + key);
+  return value;
+}
+
+const char* engine_name(Checkpoint::Engine engine) noexcept {
+  return engine == Checkpoint::Engine::kSequential ? "seq" : "parallel";
+}
+
+}  // namespace
+
+Schedule Checkpoint::make_schedule(const Instance& instance) const {
+  if (instance.num_machines() != num_machines ||
+      instance.num_jobs() != num_jobs) {
+    throw std::invalid_argument(
+        "Checkpoint::make_schedule: instance shape mismatch (checkpoint "
+        "is for " +
+        std::to_string(num_machines) + " machines / " +
+        std::to_string(num_jobs) + " jobs, instance has " +
+        std::to_string(instance.num_machines()) + " / " +
+        std::to_string(instance.num_jobs()) + ")");
+  }
+  Schedule schedule(instance, Assignment(assignment));
+  for (MachineId i = 0; i < live.size(); ++i) {
+    if (live[i] == 0) schedule.set_live(i, false);
+  }
+  if (!loads.empty()) schedule.restore_loads(loads);
+  return schedule;
+}
+
+void Checkpoint::save(std::ostream& out) const {
+  out << "dlb-checkpoint v1\n";
+  out << "engine " << engine_name(engine) << "\n";
+  out << "seed " << seed << "\n";
+  out << "machines " << num_machines << " jobs " << num_jobs << "\n";
+  out << "rng " << rng_state[0] << ' ' << rng_state[1] << ' ' << rng_state[2]
+      << ' ' << rng_state[3] << "\n";
+  out << "epochs " << epochs << " next_session " << next_session << "\n";
+  out << "exchanges " << exchanges << " changed " << changed_exchanges
+      << " migrations " << migrations << "\n";
+  out << "conflicts " << conflicts << " peer_retries " << peer_retries
+      << "\n";
+  out << "initial_makespan " << bits_of(initial_makespan)
+      << " best_makespan " << bits_of(best_makespan) << "\n";
+  out << "order " << order.size() << "\n";
+  for (std::size_t k = 0; k < order.size(); ++k) {
+    out << (k == 0 ? "" : " ") << order[k];
+  }
+  if (!order.empty()) out << "\n";
+  out << "live " << live.size() << "\n";
+  for (std::size_t i = 0; i < live.size(); ++i) {
+    out << (i == 0 ? "" : " ") << static_cast<int>(live[i]);
+  }
+  if (!live.empty()) out << "\n";
+  out << "assignment " << assignment.size() << "\n";
+  for (std::size_t j = 0; j < assignment.size(); ++j) {
+    if (j != 0) out << ' ';
+    if (assignment[j] == kUnassigned) {
+      out << '-';
+    } else {
+      out << assignment[j];
+    }
+  }
+  if (!assignment.empty()) out << "\n";
+  out << "loads " << loads.size() << "\n";
+  for (std::size_t i = 0; i < loads.size(); ++i) {
+    out << (i == 0 ? "" : " ") << bits_of(loads[i]);
+  }
+  if (!loads.empty()) out << "\n";
+  out << "churn_cursor " << churn_cursor << "\n";
+  out << "churn_queue " << churn_queue.size() << "\n";
+  for (std::size_t k = 0; k < churn_queue.size(); ++k) {
+    out << (k == 0 ? "" : " ") << churn_queue[k];
+  }
+  if (!churn_queue.empty()) out << "\n";
+  out << "churn_counters " << churn.joins << ' ' << churn.drains << ' '
+      << churn.crashes << ' ' << churn.orphaned << ' ' << churn.redispatched
+      << "\n";
+  out << "obs_counters " << obs_counters.size() << "\n";
+  for (const auto& [name, value] : obs_counters) {
+    out << name << ' ' << value << "\n";
+  }
+}
+
+Checkpoint Checkpoint::load(std::istream& in) {
+  std::string magic;
+  std::string version;
+  if (!(in >> magic >> version) || magic != "dlb-checkpoint" ||
+      version != "v1") {
+    parse_error("expected header \"dlb-checkpoint v1\"");
+  }
+  Checkpoint ck;
+  const auto kind = read_value<std::string>(in, "engine");
+  if (kind == "seq") {
+    ck.engine = Engine::kSequential;
+  } else if (kind == "parallel") {
+    ck.engine = Engine::kParallel;
+  } else {
+    parse_error("unknown engine kind \"" + kind + "\"");
+  }
+  ck.seed = read_value<std::uint64_t>(in, "seed");
+  ck.num_machines = read_value<std::size_t>(in, "machines");
+  ck.num_jobs = read_value<std::size_t>(in, "jobs");
+  expect_key(in, "rng");
+  for (auto& word : ck.rng_state) {
+    if (!(in >> word)) parse_error("truncated rng state");
+  }
+  ck.epochs = read_value<std::uint64_t>(in, "epochs");
+  ck.next_session = read_value<std::uint64_t>(in, "next_session");
+  ck.exchanges = read_value<std::uint64_t>(in, "exchanges");
+  ck.changed_exchanges = read_value<std::uint64_t>(in, "changed");
+  ck.migrations = read_value<std::uint64_t>(in, "migrations");
+  ck.conflicts = read_value<std::uint64_t>(in, "conflicts");
+  ck.peer_retries = read_value<std::uint64_t>(in, "peer_retries");
+  ck.initial_makespan =
+      double_of(read_value<std::uint64_t>(in, "initial_makespan"));
+  ck.best_makespan =
+      double_of(read_value<std::uint64_t>(in, "best_makespan"));
+
+  const auto order_size = read_value<std::size_t>(in, "order");
+  ck.order.resize(order_size);
+  for (auto& machine : ck.order) {
+    if (!(in >> machine)) parse_error("truncated order permutation");
+  }
+  const auto live_size = read_value<std::size_t>(in, "live");
+  ck.live.resize(live_size);
+  for (auto& flag : ck.live) {
+    int bit = 0;
+    if (!(in >> bit) || (bit != 0 && bit != 1)) {
+      parse_error("bad live mask entry");
+    }
+    flag = static_cast<std::uint8_t>(bit);
+  }
+  const auto num_jobs = read_value<std::size_t>(in, "assignment");
+  ck.assignment.resize(num_jobs);
+  for (auto& machine : ck.assignment) {
+    std::string token;
+    if (!(in >> token)) parse_error("truncated assignment");
+    if (token == "-") {
+      machine = kUnassigned;
+    } else {
+      try {
+        machine = static_cast<MachineId>(std::stoul(token));
+      } catch (const std::exception&) {
+        parse_error("bad assignment entry \"" + token + "\"");
+      }
+    }
+  }
+  const auto loads_size = read_value<std::size_t>(in, "loads");
+  ck.loads.resize(loads_size);
+  for (auto& load : ck.loads) {
+    std::uint64_t bits = 0;
+    if (!(in >> bits)) parse_error("truncated loads");
+    load = double_of(bits);
+  }
+  ck.churn_cursor = read_value<std::size_t>(in, "churn_cursor");
+  const auto queue_size = read_value<std::size_t>(in, "churn_queue");
+  ck.churn_queue.resize(queue_size);
+  for (auto& job : ck.churn_queue) {
+    if (!(in >> job)) parse_error("truncated churn queue");
+  }
+  expect_key(in, "churn_counters");
+  if (!(in >> ck.churn.joins >> ck.churn.drains >> ck.churn.crashes >>
+        ck.churn.orphaned >> ck.churn.redispatched)) {
+    parse_error("truncated churn counters");
+  }
+  const auto obs_size = read_value<std::size_t>(in, "obs_counters");
+  ck.obs_counters.resize(obs_size);
+  for (auto& [name, value] : ck.obs_counters) {
+    if (!(in >> name >> value)) parse_error("truncated obs counters");
+  }
+  return ck;
+}
+
+std::vector<std::pair<std::string, std::uint64_t>> checkpoint_obs_counters(
+    std::initializer_list<std::pair<const char*, std::uint64_t>> engine,
+    const ChurnCounters& churn) {
+  std::vector<std::pair<std::string, std::uint64_t>> out;
+  for (const auto& [name, value] : engine) {
+    if (value != 0) out.emplace_back(name, value);
+  }
+  if (churn.joins != 0) out.emplace_back("churn.joins", churn.joins);
+  if (churn.drains != 0) out.emplace_back("churn.drains", churn.drains);
+  if (churn.crashes != 0) out.emplace_back("churn.crashes", churn.crashes);
+  if (churn.orphaned != 0) out.emplace_back("churn.orphaned", churn.orphaned);
+  if (churn.redispatched != 0) {
+    out.emplace_back("churn.redispatched", churn.redispatched);
+  }
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+void Checkpoint::save_file(const std::string& path) const {
+  std::ofstream out(path);
+  if (!out) {
+    throw std::runtime_error("Checkpoint::save_file: cannot open " + path);
+  }
+  save(out);
+}
+
+Checkpoint Checkpoint::load_file(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) {
+    throw std::runtime_error("Checkpoint::load_file: cannot open " + path);
+  }
+  return load(in);
+}
+
+}  // namespace dlb::dist

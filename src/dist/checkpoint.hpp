@@ -1,0 +1,106 @@
+#pragma once
+
+// Byte-deterministic engine checkpoints. A Checkpoint freezes everything a
+// run needs to continue exactly where it stopped: the assignment, the live
+// mask, the RNG state (sequential engine) or stream counters (parallel
+// engine), the persistent round/order permutation (Fisher-Yates output
+// depends on its input permutation, so it cannot be rebuilt), the partial
+// result tallies, the churn cursor/queue, and the obs counter deltas the
+// run has accrued. The contract, covered by test_checkpoint.cpp:
+//
+//   checkpoint at epoch k  +  restore  +  run to completion
+//     ==  (bitwise)  one uninterrupted run,
+//
+// for the report JSON, the final schedule, the engine + churn counters,
+// and the post-k trace events — at any thread count. Checkpoints are only
+// taken at epoch boundaries (the engines' sequential phase), which is why
+// no thread or in-flight-session state appears here.
+//
+// The on-disk form is a line-oriented text file ("dlb-checkpoint v1",
+// same family as dlb-instance / dlb-churn-plan). Doubles are stored as
+// their IEEE-754 bit patterns in decimal, not as formatted decimals —
+// round-tripping through text must not perturb a single bit.
+
+#include <cstddef>
+#include <cstdint>
+#include <initializer_list>
+#include <iosfwd>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "core/instance.hpp"
+#include "core/schedule.hpp"
+#include "dist/churn.hpp"
+#include "stats/rng.hpp"
+
+namespace dlb::dist {
+
+struct Checkpoint {
+  enum class Engine : std::uint8_t { kSequential, kParallel };
+
+  Engine engine = Engine::kSequential;
+  /// The parallel engine's stream seed (the sequential engine carries its
+  /// generator in rng_state instead and leaves this 0).
+  std::uint64_t seed = 0;
+  std::size_t num_machines = 0;
+  std::size_t num_jobs = 0;
+
+  /// Sequential engine generator state at the boundary.
+  stats::Rng::State rng_state{};
+  /// The persistent initiator permutation (sequential round / parallel
+  /// order) exactly as the next epoch will shuffle it.
+  std::vector<MachineId> order;
+  std::uint64_t epochs = 0;
+  /// Parallel engine: next per-session stream index.
+  std::uint64_t next_session = 0;
+
+  // Partial result tallies (cumulative over the whole logical run).
+  Cost initial_makespan = 0.0;
+  Cost best_makespan = 0.0;
+  std::uint64_t exchanges = 0;
+  std::uint64_t changed_exchanges = 0;
+  std::uint64_t migrations = 0;
+  std::uint64_t conflicts = 0;     ///< Parallel engine.
+  std::uint64_t peer_retries = 0;  ///< Parallel engine.
+
+  // Schedule state.
+  std::vector<std::uint8_t> live;
+  /// machine_of per job; kUnassigned marks queued orphans.
+  std::vector<MachineId> assignment;
+  /// Frozen per-machine load accumulators. The incremental sums are
+  /// order-dependent in the last ulp, so the resumed schedule inherits the
+  /// exact bits instead of recomputing from the assignment.
+  std::vector<Cost> loads;
+
+  // Churn runtime state.
+  std::size_t churn_cursor = 0;
+  std::vector<JobId> churn_queue;
+  ChurnCounters churn;
+
+  /// Engine-owned obs counter deltas accrued during the checkpointed run
+  /// (sorted by name, zero entries omitted). Restoring into a fresh
+  /// Metrics pre-adds these, so the resumed run's counter totals equal the
+  /// uninterrupted run's.
+  std::vector<std::pair<std::string, std::uint64_t>> obs_counters;
+
+  /// Rebuilds the frozen schedule: assignment applied, live mask restored.
+  /// Throws std::invalid_argument if the instance shape does not match.
+  [[nodiscard]] Schedule make_schedule(const Instance& instance) const;
+
+  void save(std::ostream& out) const;
+  [[nodiscard]] static Checkpoint load(std::istream& in);
+  void save_file(const std::string& path) const;
+  [[nodiscard]] static Checkpoint load_file(const std::string& path);
+};
+
+/// Builds Checkpoint::obs_counters: the engine's own name/value deltas
+/// plus the churn counters, sorted by name with zero entries omitted
+/// (matching lazy counter registration, so a restore into fresh Metrics
+/// reproduces the uninterrupted run's registry exactly).
+[[nodiscard]] std::vector<std::pair<std::string, std::uint64_t>>
+checkpoint_obs_counters(
+    std::initializer_list<std::pair<const char*, std::uint64_t>> engine,
+    const ChurnCounters& churn);
+
+}  // namespace dlb::dist

@@ -1,0 +1,189 @@
+#pragma once
+
+// Elastic machine churn: a seeded plan of machine join / graceful drain /
+// hard crash events on an epoch timeline, consumed by both exchange
+// engines (the design mirrors net::FaultPlan — one plan object, replayable
+// forever from its own seed, attached to a run without changing anything
+// when absent). Semantics per event, applied at the *start* of its epoch:
+//
+//   * join   — the machine (dead until now) enters the live set and starts
+//              receiving exchanges and re-dispatched jobs;
+//   * drain  — the machine's jobs migrate to the least-loaded live
+//              machines (counted as migrations: the work really moves over
+//              the network), then the machine leaves the live set;
+//   * crash  — the machine dies instantly; its jobs are orphaned into a
+//              FIFO re-dispatch queue that the *next* epochs drain onto
+//              surviving machines (a crashed job is never lost: the
+//              conservation oracle in src/check asserts assigned + queued
+//              == all jobs at every point).
+//
+// Every stochastic decision (re-dispatch targets) draws from a per-epoch
+// stream derived from the plan's seed, so churn recovery is deterministic,
+// thread-count invariant, and — because no generator state persists across
+// epochs — checkpoint/restore needs only the queue and the event cursor
+// (see dist/checkpoint.hpp and docs/elasticity.md).
+
+#include <cstddef>
+#include <cstdint>
+#include <iosfwd>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "core/schedule.hpp"
+#include "obs/obs.hpp"
+
+namespace dlb::dist {
+
+enum class ChurnKind : std::uint8_t { kJoin, kDrain, kCrash };
+
+[[nodiscard]] const char* churn_kind_name(ChurnKind kind) noexcept;
+/// "join" / "drain" / "crash" -> kind; throws std::invalid_argument.
+[[nodiscard]] ChurnKind churn_kind_by_name(const std::string& name);
+
+struct ChurnEvent {
+  std::uint64_t epoch = 1;  ///< Applied at the start of this epoch (1-based).
+  ChurnKind kind = ChurnKind::kCrash;
+  MachineId machine = 0;
+
+  [[nodiscard]] bool operator==(const ChurnEvent&) const = default;
+};
+
+struct ChurnPlan {
+  /// Events ordered by epoch (ties keep list order). A machine whose first
+  /// event is a join starts the run dead (see initial_live).
+  std::vector<ChurnEvent> events;
+  /// Seed of the re-dispatch placement stream (independent of the engine
+  /// seed, like FaultPlan's fault stream).
+  std::uint64_t seed = 0;
+  /// Queued orphans re-dispatched per epoch; 0 = drain the whole backlog
+  /// every epoch.
+  std::size_t redispatch_per_epoch = 0;
+
+  /// True when the plan changes nothing (no events).
+  [[nodiscard]] bool trivial() const noexcept { return events.empty(); }
+
+  /// Structural validation against a machine count. Throws a single
+  /// std::invalid_argument of the shape
+  ///   "ChurnPlan: invalid <field>: <diagnosis>"
+  /// naming the offending field/event. Checks: epoch ordering and >= 1,
+  /// machine ids in range, event sequencing per machine (join only while
+  /// dead, drain/crash only while live), and that the live set never
+  /// empties (a re-dispatch target must always exist).
+  void validate(std::size_t num_machines) const;
+
+  /// The run's starting mask: 1 everywhere except machines whose first
+  /// event is a join (they are "not provisioned yet").
+  [[nodiscard]] std::vector<std::uint8_t> initial_live(
+      std::size_t num_machines) const;
+
+  /// Seeded random plan: each epoch in [1, epochs] draws at most one event
+  /// per kind with the given probabilities, on machines picked so the plan
+  /// always validates. Joins re-add previously departed machines.
+  [[nodiscard]] static ChurnPlan random(std::size_t num_machines,
+                                        std::uint64_t epochs, double join_p,
+                                        double drain_p, double crash_p,
+                                        std::uint64_t seed);
+
+  // ----- line-oriented text persistence (CLI --churn-plan) -----
+  //
+  //   dlb-churn-plan v1
+  //   seed <s> redispatch_per_epoch <k>
+  //   events <count>
+  //   <epoch> <join|drain|crash> <machine>
+  //   ...
+
+  void save(std::ostream& out) const;
+  [[nodiscard]] static ChurnPlan load(std::istream& in);
+  void save_file(const std::string& path) const;
+  [[nodiscard]] static ChurnPlan load_file(const std::string& path);
+};
+
+/// Churn counters accumulated over a run; the engines copy them onto the
+/// RunReport's churn/recovery fields.
+struct ChurnCounters {
+  std::uint64_t joins = 0;
+  std::uint64_t drains = 0;
+  std::uint64_t crashes = 0;
+  std::uint64_t orphaned = 0;      ///< Jobs pushed to the re-dispatch queue.
+  std::uint64_t redispatched = 0;  ///< Jobs placed back from the queue.
+};
+
+/// Per-run churn state machine owned by an engine: walks the plan's event
+/// cursor, maintains the live-machine list and the orphan queue, and
+/// mutates the schedule at epoch boundaries (always in a sequential engine
+/// phase — nothing here is thread-aware, which is what keeps churn runs
+/// bitwise identical at any thread count).
+class ChurnRuntime {
+ public:
+  /// `plan` may be null or trivial: the runtime then reports inactive and
+  /// the engines keep their original (byte-identical) fast path.
+  ChurnRuntime(const ChurnPlan* plan, std::size_t num_machines);
+
+  [[nodiscard]] bool active() const noexcept { return active_; }
+
+  /// Marks pre-join machines dead on a *fresh* schedule, orphaning any
+  /// jobs the initial distribution placed on them into the re-dispatch
+  /// queue (eligible from epoch 1). Restored runs skip this — their mask
+  /// comes from the checkpoint.
+  void apply_initial(Schedule& schedule, const obs::Context* obs);
+
+  /// Applies every event scheduled for `epoch`, then re-dispatches queued
+  /// orphans (only those queued *before* this epoch's crashes). Emits
+  /// churn.* counters and JOIN/DRAIN/CRASH/REDISPATCH trace instants at
+  /// virtual time `ts_us`. Returns true when the live set changed, so the
+  /// engine knows to rebuild its round/order vector.
+  bool begin_epoch(std::uint64_t epoch, Schedule& schedule,
+                   const obs::Context* obs, double ts_us);
+
+  /// Live machine ids, ascending. Valid whether or not the plan is active
+  /// (inactive = all machines).
+  [[nodiscard]] const std::vector<MachineId>& live_machines() const noexcept {
+    return live_;
+  }
+  /// Position of machine i in live_machines() (valid only while live).
+  [[nodiscard]] std::size_t live_index(MachineId i) const noexcept {
+    return live_index_[i];
+  }
+
+  /// No future events and nothing queued: the machine set is final.
+  [[nodiscard]] bool exhausted() const noexcept {
+    return cursor_ == (plan_ ? plan_->events.size() : 0) && queue_.empty();
+  }
+
+  /// Epoch of the next unapplied event, if any. Engines that cannot make
+  /// exchange progress (one live machine) fast-forward to it instead of
+  /// spinning one epoch at a time.
+  [[nodiscard]] std::optional<std::uint64_t> next_event_epoch() const {
+    if (plan_ == nullptr || cursor_ >= plan_->events.size()) {
+      return std::nullopt;
+    }
+    return plan_->events[cursor_].epoch;
+  }
+
+  [[nodiscard]] const ChurnCounters& counters() const noexcept {
+    return counters_;
+  }
+  [[nodiscard]] const std::vector<JobId>& pending() const noexcept {
+    return queue_;
+  }
+  [[nodiscard]] std::size_t cursor() const noexcept { return cursor_; }
+
+  /// Checkpoint restore: event cursor, orphan queue and counters from the
+  /// checkpoint, live list rebuilt from the restored schedule's mask.
+  void restore(std::size_t cursor, std::vector<JobId> queue,
+               const ChurnCounters& counters, const Schedule& schedule);
+
+ private:
+  void rebuild_live(const Schedule& schedule);
+
+  const ChurnPlan* plan_;
+  bool active_ = false;
+  std::size_t cursor_ = 0;
+  std::vector<JobId> queue_;
+  std::vector<MachineId> live_;
+  std::vector<std::size_t> live_index_;
+  ChurnCounters counters_;
+};
+
+}  // namespace dlb::dist

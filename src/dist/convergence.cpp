@@ -25,6 +25,25 @@ bool is_stable(const Schedule& schedule, const pairwise::PairKernel& kernel) {
   return sweep_all_pairs(copy, kernel) == 0;
 }
 
+std::size_t sweep_all_pairs(Schedule& schedule,
+                            const pairwise::PairKernel& kernel,
+                            const std::vector<MachineId>& machines) {
+  std::size_t changes = 0;
+  for (const MachineId a : machines) {
+    for (const MachineId b : machines) {
+      if (a == b) continue;
+      if (kernel.balance(schedule, a, b)) ++changes;
+    }
+  }
+  return changes;
+}
+
+bool is_stable(const Schedule& schedule, const pairwise::PairKernel& kernel,
+               const std::vector<MachineId>& machines) {
+  Schedule copy = schedule;
+  return sweep_all_pairs(copy, kernel, machines) == 0;
+}
+
 bool run_to_stability(Schedule& schedule, const pairwise::PairKernel& kernel,
                       std::size_t max_sweeps) {
   for (std::size_t sweep = 0; sweep < max_sweeps; ++sweep) {

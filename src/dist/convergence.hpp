@@ -28,6 +28,16 @@ std::size_t sweep_all_pairs(Schedule& schedule,
 [[nodiscard]] bool is_stable(const Schedule& schedule,
                              const pairwise::PairKernel& kernel);
 
+/// Live-set restricted variants for elastic runs (src/dist/churn): only
+/// ordered pairs drawn from `machines` are swept, so dead machines —
+/// which can neither give nor receive jobs — do not veto stability.
+std::size_t sweep_all_pairs(Schedule& schedule,
+                            const pairwise::PairKernel& kernel,
+                            const std::vector<MachineId>& machines);
+[[nodiscard]] bool is_stable(const Schedule& schedule,
+                             const pairwise::PairKernel& kernel,
+                             const std::vector<MachineId>& machines);
+
 /// Runs deterministic sweeps until a sweep makes no change or `max_sweeps`
 /// is hit. Returns true iff a stable state was reached.
 bool run_to_stability(Schedule& schedule, const pairwise::PairKernel& kernel,

@@ -2,21 +2,53 @@
 
 #include <numeric>
 #include <stdexcept>
+#include <string>
 
 #include "core/lower_bounds.hpp"
 #include "core/schedule.hpp"
 
 namespace dlb::dist {
 
-std::vector<EpochStats> run_dynamic(const Instance& instance,
-                                    const pairwise::PairKernel& kernel,
-                                    const DynamicOptions& options) {
+namespace {
+
+/// One error shape for every bad option: the exception names the
+/// offending DynamicOptions field so callers (and test assertions) can
+/// rely on the text.
+[[noreturn]] void reject(const char* field, const std::string& why) {
+  throw std::invalid_argument("run_dynamic: invalid DynamicOptions." +
+                              std::string(field) + ": " + why);
+}
+
+void validate(const Instance& instance, const DynamicOptions& options) {
+  if (instance.num_machines() < 2) {
+    throw std::invalid_argument("run_dynamic: need at least two machines");
+  }
+  // The active set holds initial_active jobs at every epoch boundary, so a
+  // per-epoch churn above that drains it mid-epoch and the departure
+  // picker would sample an empty set (rng.below(0) is undefined).
+  if (options.churn_per_epoch > options.initial_active) {
+    reject("churn_per_epoch",
+           "must be <= initial_active (" +
+               std::to_string(options.initial_active) + "), got " +
+               std::to_string(options.churn_per_epoch));
+  }
   const std::size_t needed =
       options.initial_active + options.epochs * options.churn_per_epoch;
   if (instance.num_jobs() < needed) {
-    throw std::invalid_argument(
-        "run_dynamic: instance job pool too small for the churn schedule");
+    reject("initial_active",
+           "job pool too small: initial_active + epochs * churn_per_epoch "
+           "= " +
+               std::to_string(needed) + " exceeds the instance's " +
+               std::to_string(instance.num_jobs()) + " jobs");
   }
+}
+
+}  // namespace
+
+std::vector<EpochStats> run_dynamic(const Instance& instance,
+                                    const pairwise::PairKernel& kernel,
+                                    const DynamicOptions& options) {
+  validate(instance, options);
   stats::Rng rng(options.seed);
   const std::size_t m = instance.num_machines();
 

@@ -1,8 +1,11 @@
 #include "dist/exchange_engine.hpp"
 
 #include <algorithm>
-#include <numeric>
+#include <initializer_list>
 #include <stdexcept>
+#include <string>
+#include <utility>
+#include <vector>
 
 #include "dist/convergence.hpp"
 
@@ -25,16 +28,21 @@ RunResult ExchangeEngine::run(Schedule& schedule, const EngineOptions& options,
         "ExchangeEngine: stability_check_interval must be >= 1 when set");
   }
   const std::size_t m = schedule.num_machines();
-  const std::uint64_t migrations_before = schedule.migrations();
-  RunResult result;
-  result.initial_makespan = schedule.makespan();
-  result.best_makespan = result.initial_makespan;
-  if (options.record_trace) {
-    const std::size_t reserve =
-        std::min(options.max_exchanges, kTraceReserveCap);
-    result.makespan_trace.reserve(reserve);
-    result.exchange_trace.reserve(reserve);
+  if (options.churn != nullptr) options.churn->validate(m);
+  ChurnRuntime churn(options.churn, m);
+  if (options.resume != nullptr &&
+      (options.resume->engine != Checkpoint::Engine::kSequential ||
+       options.resume->num_machines != m ||
+       options.resume->num_jobs != schedule.num_jobs())) {
+    throw std::invalid_argument(
+        "ExchangeEngine: checkpoint does not match this run (engine kind or "
+        "instance shape differs)");
   }
+
+  const std::uint64_t migrations_before = schedule.migrations();
+  const std::uint64_t resumed_migrations =
+      options.resume != nullptr ? options.resume->migrations : 0;
+  RunResult result;
 
   // Resolve observability handles once; every hot-loop use below is a
   // single null test (disabled) or a relaxed atomic / ring append.
@@ -48,14 +56,64 @@ RunResult ExchangeEngine::run(Schedule& schedule, const EngineOptions& options,
       metrics ? &metrics->counter("exchange.migrations") : nullptr;
   obs::Gauge* g_cmax = metrics ? &metrics->gauge("exchange.cmax") : nullptr;
 
+  std::vector<MachineId> round;
+  std::uint64_t epoch = 0;
+  // Kernel-driven job moves only — what the exchange.migrations counter
+  // accumulates. Distinct from RunResult::migrations, which also counts
+  // churn drains (the work really crosses the network either way, but the
+  // counter is attributed to the exchange dynamic).
+  std::uint64_t kernel_moves = 0;
+
+  if (options.resume != nullptr) {
+    const Checkpoint& ck = *options.resume;
+    // The checkpointed generator continues the exact draw sequence; the
+    // caller's rng is overwritten so its pre-resume state cannot leak in.
+    rng = stats::Rng::from_state(ck.rng_state);
+    round = ck.order;
+    epoch = ck.epochs;
+    result.initial_makespan = ck.initial_makespan;
+    result.best_makespan = ck.best_makespan;
+    result.exchanges = ck.exchanges;
+    result.changed_exchanges = ck.changed_exchanges;
+    churn.restore(ck.churn_cursor, ck.churn_queue, ck.churn, schedule);
+    for (const auto& [name, value] : ck.obs_counters) {
+      if (name == "exchange.migrations") kernel_moves = value;
+      if (metrics != nullptr) metrics->counter(name).add(value);
+    }
+  } else {
+    churn.apply_initial(schedule, options.obs);
+    result.initial_makespan = schedule.makespan();
+    result.best_makespan = result.initial_makespan;
+    round.assign(churn.live_machines().begin(), churn.live_machines().end());
+    // Threshold may already hold before any exchange (resumed runs passed
+    // this gate when they started, so they skip it).
+    if (options.stop_threshold.has_value() &&
+        schedule.makespan() <= *options.stop_threshold) {
+      result.reached_threshold = true;
+      result.exchanges_to_threshold = 0;
+      result.final_makespan = schedule.makespan();
+      return result;
+    }
+  }
+
+  if (options.record_trace) {
+    const std::size_t reserve =
+        std::min(options.max_exchanges, kTraceReserveCap);
+    result.makespan_trace.reserve(reserve);
+    result.exchange_trace.reserve(reserve);
+  }
+
   // One recording path feeds the RunResult vectors and the tracer, so the
   // legacy makespan_trace stays in lockstep with every other sink.
   const auto record = [&](MachineId initiator, MachineId peer, bool changed,
                           std::uint64_t moved, Cost cmax) {
+    kernel_moves += moved;
     if (options.record_trace) {
       result.makespan_trace.push_back(cmax);
-      result.exchange_trace.push_back(
-          {cmax, changed, schedule.migrations() - migrations_before});
+      result.exchange_trace.push_back({cmax, changed,
+                                       schedule.migrations() -
+                                           migrations_before +
+                                           resumed_migrations});
     }
     if (c_exchanges) {
       c_exchanges->add();
@@ -77,57 +135,134 @@ RunResult ExchangeEngine::run(Schedule& schedule, const EngineOptions& options,
     }
   };
 
-  // Threshold may already hold before any exchange.
-  if (options.stop_threshold.has_value() &&
-      schedule.makespan() <= *options.stop_threshold) {
-    result.reached_threshold = true;
-    result.exchanges_to_threshold = 0;
-    result.final_makespan = schedule.makespan();
-    return result;
-  }
+  const auto fill_checkpoint = [&](Checkpoint& ck) {
+    ck = Checkpoint{};
+    ck.engine = Checkpoint::Engine::kSequential;
+    ck.num_machines = m;
+    ck.num_jobs = schedule.num_jobs();
+    ck.rng_state = rng.state();
+    ck.order = round;
+    ck.epochs = epoch;
+    ck.initial_makespan = result.initial_makespan;
+    ck.best_makespan = result.best_makespan;
+    ck.exchanges = result.exchanges;
+    ck.changed_exchanges = result.changed_exchanges;
+    ck.migrations =
+        schedule.migrations() - migrations_before + resumed_migrations;
+    ck.live = schedule.live_mask();
+    ck.assignment = schedule.assignment().raw();
+    ck.loads.resize(m);
+    for (MachineId i = 0; i < m; ++i) ck.loads[i] = schedule.load(i);
+    ck.churn_cursor = churn.cursor();
+    ck.churn_queue = churn.pending();
+    ck.churn = churn.counters();
+    ck.obs_counters = checkpoint_obs_counters(
+        {{"exchange.count", ck.exchanges},
+         {"exchange.changed", ck.changed_exchanges},
+         {"exchange.migrations", kernel_moves}},
+        ck.churn);
+    if (metrics) metrics->counter("checkpoint.saves").add();
+    if (tracer) {
+      tracer->instant(static_cast<double>(result.exchanges), 0, "CHECKPOINT",
+                      "checkpoint",
+                      {{"epoch", static_cast<std::int64_t>(epoch)}});
+    }
+  };
 
-  std::vector<MachineId> round(m);
-  std::iota(round.begin(), round.end(), 0);
-  std::size_t round_pos = m;  // force a reshuffle on first use
-
-  while (result.exchanges < options.max_exchanges) {
-    MachineId initiator;
-    if (options.initiator == InitiatorPolicy::kRoundRobinShuffled) {
-      if (round_pos == m) {
-        stats::shuffle(round.begin(), round.end(), rng);
-        round_pos = 0;
+  bool stop = false;
+  while (!stop && result.exchanges < options.max_exchanges) {
+    if (round.empty()) break;  // No machines at all: nothing can ever run.
+    ++epoch;
+    if (churn.active()) {
+      const bool mask_changed = churn.begin_epoch(
+          epoch, schedule, options.obs,
+          static_cast<double>(result.exchanges));
+      if (mask_changed) {
+        round.assign(churn.live_machines().begin(),
+                     churn.live_machines().end());
       }
-      initiator = round[round_pos++];
-    } else {
-      initiator = static_cast<MachineId>(rng.below(m));
+      if (round.size() < 2) {
+        // A single live machine has no exchange partner. Once the orphan
+        // queue is drained, fast-forward to the next event instead of
+        // spinning one empty epoch at a time.
+        if (churn.exhausted()) break;
+        const auto next = churn.next_event_epoch();
+        if (churn.pending().empty() && next.has_value() &&
+            *next > epoch + 1) {
+          epoch = *next - 1;
+        }
+        continue;
+      }
     }
-    const MachineId peer = selector_->select(initiator, m, rng);
-
-    const std::uint64_t migrations_pre = schedule.migrations();
-    const bool changed = kernel_->balance(schedule, initiator, peer);
-    ++result.exchanges;
-    if (changed) ++result.changed_exchanges;
-
-    const Cost cmax = schedule.makespan();
-    result.best_makespan = std::min(result.best_makespan, cmax);
-    record(initiator, peer, changed, schedule.migrations() - migrations_pre,
-           cmax);
-
-    if (options.stop_threshold.has_value() && !result.reached_threshold &&
-        cmax <= *options.stop_threshold) {
-      result.reached_threshold = true;
-      result.exchanges_to_threshold = result.exchanges;
-      break;
+    if (options.initiator == InitiatorPolicy::kRoundRobinShuffled) {
+      stats::shuffle(round.begin(), round.end(), rng);
     }
-    if (options.stability_check_interval.has_value() &&
-        result.exchanges % *options.stability_check_interval == 0 &&
-        is_stable(schedule, *kernel_)) {
-      result.converged = true;
+    const std::vector<MachineId>& live = churn.live_machines();
+    const std::size_t live_count = live.size();
+    for (std::size_t pos = 0;
+         pos < round.size() && result.exchanges < options.max_exchanges;
+         ++pos) {
+      const MachineId initiator =
+          options.initiator == InitiatorPolicy::kRoundRobinShuffled
+              ? round[pos]
+              : live[rng.below(live_count)];
+      // Peer selection runs over the compacted live machine set; with the
+      // whole cluster live the mapping is the identity.
+      const MachineId peer = live[selector_->select(
+          static_cast<MachineId>(churn.live_index(initiator)), live_count,
+          rng)];
+
+      const std::uint64_t migrations_pre = schedule.migrations();
+      const bool changed = kernel_->balance(schedule, initiator, peer);
+      ++result.exchanges;
+      if (changed) ++result.changed_exchanges;
+
+      const Cost cmax = schedule.makespan();
+      result.best_makespan = std::min(result.best_makespan, cmax);
+      record(initiator, peer, changed,
+             schedule.migrations() - migrations_pre, cmax);
+
+      if (options.stop_threshold.has_value() && !result.reached_threshold &&
+          cmax <= *options.stop_threshold) {
+        result.reached_threshold = true;
+        result.exchanges_to_threshold = result.exchanges;
+        stop = true;
+        break;
+      }
+      if (options.stability_check_interval.has_value() &&
+          result.exchanges % *options.stability_check_interval == 0 &&
+          (!churn.active() || churn.exhausted()) &&
+          (churn.active() ? is_stable(schedule, *kernel_, live)
+                          : is_stable(schedule, *kernel_))) {
+        result.converged = true;
+        stop = true;
+        break;
+      }
+    }
+    if (stop) break;
+    const bool halt_here = options.halt_after_epoch.has_value() &&
+                           *options.halt_after_epoch == epoch;
+    if (options.checkpoint_out != nullptr &&
+        (halt_here || (options.checkpoint_every != 0 &&
+                       epoch % options.checkpoint_every == 0))) {
+      fill_checkpoint(*options.checkpoint_out);
+    }
+    if (halt_here) {
+      result.halted = true;
       break;
     }
   }
   result.final_makespan = schedule.makespan();
-  result.migrations = schedule.migrations() - migrations_before;
+  result.migrations =
+      schedule.migrations() - migrations_before + resumed_migrations;
+  result.epochs = epoch;
+  const ChurnCounters& cc = churn.counters();
+  result.churn_joins = cc.joins;
+  result.churn_drains = cc.drains;
+  result.churn_crashes = cc.crashes;
+  result.churn_orphaned = cc.orphaned;
+  result.churn_redispatched = cc.redispatched;
+  result.churn_pending = churn.pending().size();
   return result;
 }
 

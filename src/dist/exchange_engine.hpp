@@ -11,6 +11,8 @@
 #include <vector>
 
 #include "core/schedule.hpp"
+#include "dist/checkpoint.hpp"
+#include "dist/churn.hpp"
 #include "dist/peer_selector.hpp"
 #include "dist/run_report.hpp"
 #include "obs/obs.hpp"
@@ -44,6 +46,26 @@ struct EngineOptions {
   /// exchange.count / .changed / .migrations; gauge exchange.cmax; tracer
   /// spans "exchange" on the virtual axis of one microsecond per exchange.
   const obs::Context* obs = nullptr;
+
+  // ----- elasticity (src/dist/churn, src/dist/checkpoint) -----
+
+  /// Optional churn plan (must outlive the run). One engine epoch — a full
+  /// pass over the live initiator round — is one plan epoch. Null or
+  /// trivial keeps the classic fixed-cluster behaviour byte-for-byte.
+  const ChurnPlan* churn = nullptr;
+  /// When nonzero: snapshot the run into *checkpoint_out every this-many
+  /// epochs (at the epoch boundary) and emit a CHECKPOINT trace instant.
+  std::uint64_t checkpoint_every = 0;
+  Checkpoint* checkpoint_out = nullptr;
+  /// When set: stop after this epoch completes (snapshotting into
+  /// checkpoint_out if provided) with RunResult::halted true. The
+  /// checkpoint/restore tests interrupt runs this way.
+  std::optional<std::uint64_t> halt_after_epoch;
+  /// When set: continue the checkpointed run instead of starting fresh.
+  /// `schedule` must come from Checkpoint::make_schedule and `rng` is
+  /// overwritten with the checkpointed generator state. The finished run
+  /// is bitwise identical to one that never stopped.
+  const Checkpoint* resume = nullptr;
 };
 
 /// Per-exchange record captured when EngineOptions::record_trace is set.
@@ -60,6 +82,12 @@ struct RunResult : RunReport {
   std::size_t changed_exchanges = 0;  ///< Pair operations that moved a job.
   bool reached_threshold = false;
   std::size_t exchanges_to_threshold = 0;  ///< Valid iff reached_threshold.
+  /// Initiator rounds completed (the sequential engine's epoch count —
+  /// cumulative across resume).
+  std::uint64_t epochs = 0;
+  /// The run stopped at EngineOptions::halt_after_epoch, not a terminal
+  /// condition; continue it from the checkpoint.
+  bool halted = false;
   /// Cmax after each exchange (optional). Kept as a plain vector for the
   /// existing fig4/fig5 callers; it is a view of the same per-exchange
   /// recording that feeds `exchange_trace` and the obs tracer.

@@ -47,15 +47,22 @@ ParallelRunResult ParallelExchangeEngine::run(
         "ParallelExchangeEngine: stability_check_interval must be >= 1 "
         "when set");
   }
-  const std::size_t batch_cap =
-      options.sessions_per_epoch != 0
-          ? std::min(options.sessions_per_epoch, m / 2)
-          : m / 2;
+  if (options.churn != nullptr) options.churn->validate(m);
+  ChurnRuntime churn(options.churn, m);
+  if (options.resume != nullptr &&
+      (options.resume->engine != Checkpoint::Engine::kParallel ||
+       options.resume->num_machines != m ||
+       options.resume->num_jobs != schedule.num_jobs() ||
+       options.resume->seed != seed)) {
+    throw std::invalid_argument(
+        "ParallelExchangeEngine: checkpoint does not match this run "
+        "(engine kind, seed, or instance shape differs)");
+  }
 
   const std::uint64_t migrations_before = schedule.migrations();
+  const std::uint64_t resumed_migrations =
+      options.resume != nullptr ? options.resume->migrations : 0;
   ParallelRunResult result;
-  result.initial_makespan = schedule.makespan();
-  result.best_makespan = result.initial_makespan;
 
   obs::Metrics* metrics = obs::metrics_of(options.obs);
   obs::Tracer* tracer = obs::tracer_of(options.obs);
@@ -70,12 +77,40 @@ ParallelRunResult ParallelExchangeEngine::run(
   obs::Gauge* g_cmax =
       metrics ? &metrics->gauge("parexchange.cmax") : nullptr;
 
-  if (options.stop_threshold.has_value() &&
-      schedule.makespan() <= *options.stop_threshold) {
-    result.reached_threshold = true;
-    result.exchanges_to_threshold = 0;
-    result.final_makespan = schedule.makespan();
-    return result;
+  std::vector<MachineId> order;
+  std::uint64_t next_session = 0;  // Global id feeding per-session streams.
+
+  if (options.resume != nullptr) {
+    const Checkpoint& ck = *options.resume;
+    order = ck.order;
+    next_session = ck.next_session;
+    result.epochs = ck.epochs;
+    result.conflicts = ck.conflicts;
+    result.peer_retries = ck.peer_retries;
+    result.initial_makespan = ck.initial_makespan;
+    result.best_makespan = ck.best_makespan;
+    result.exchanges = ck.exchanges;
+    result.changed_exchanges = ck.changed_exchanges;
+    churn.restore(ck.churn_cursor, ck.churn_queue, ck.churn, schedule);
+    if (metrics != nullptr) {
+      for (const auto& [name, value] : ck.obs_counters) {
+        metrics->counter(name).add(value);
+      }
+    }
+  } else {
+    churn.apply_initial(schedule, options.obs);
+    result.initial_makespan = schedule.makespan();
+    result.best_makespan = result.initial_makespan;
+    order.assign(churn.live_machines().begin(), churn.live_machines().end());
+    // Threshold may already hold before any session (resumed runs passed
+    // this gate when they started, so they skip it).
+    if (options.stop_threshold.has_value() &&
+        schedule.makespan() <= *options.stop_threshold) {
+      result.reached_threshold = true;
+      result.exchanges_to_threshold = 0;
+      result.final_makespan = schedule.makespan();
+      return result;
+    }
   }
 
   // Defense-in-depth per-machine locks, always taken in (min, max) id
@@ -85,19 +120,73 @@ ParallelRunResult ParallelExchangeEngine::run(
   const auto locks = std::make_unique<std::mutex[]>(m);
 
   // Epoch-stamped claim marks: claimed[i] == epoch means machine i is in
-  // this epoch's batch. Resets for free when the epoch number advances.
+  // this epoch's batch. Resets for free when the epoch number advances
+  // (resumed runs continue the epoch numbering, so a fresh zero vector
+  // can never collide).
   std::vector<std::uint64_t> claimed(m, 0);
-  std::vector<MachineId> order(m);
-  std::iota(order.begin(), order.end(), 0);
 
   std::vector<Session> batch;
   std::vector<Outcome> outcomes;
-  batch.reserve(batch_cap);
-  outcomes.reserve(batch_cap);
-  std::uint64_t next_session = 0;  // Global id feeding per-session streams.
+  batch.reserve(m / 2);
+  outcomes.reserve(m / 2);
+
+  const auto fill_checkpoint = [&](Checkpoint& ck) {
+    ck = Checkpoint{};
+    ck.engine = Checkpoint::Engine::kParallel;
+    ck.seed = seed;
+    ck.num_machines = m;
+    ck.num_jobs = schedule.num_jobs();
+    ck.order = order;
+    ck.epochs = result.epochs;
+    ck.next_session = next_session;
+    ck.initial_makespan = result.initial_makespan;
+    ck.best_makespan = result.best_makespan;
+    ck.exchanges = result.exchanges;
+    ck.changed_exchanges = result.changed_exchanges;
+    ck.migrations =
+        schedule.migrations() - migrations_before + resumed_migrations;
+    ck.conflicts = result.conflicts;
+    ck.peer_retries = result.peer_retries;
+    ck.live = schedule.live_mask();
+    ck.assignment = schedule.assignment().raw();
+    ck.loads.resize(m);
+    for (MachineId i = 0; i < m; ++i) ck.loads[i] = schedule.load(i);
+    ck.churn_cursor = churn.cursor();
+    ck.churn_queue = churn.pending();
+    ck.churn = churn.counters();
+    ck.obs_counters = checkpoint_obs_counters(
+        {{"parexchange.sessions", ck.exchanges},
+         {"parexchange.conflicts", ck.conflicts},
+         {"parexchange.retries", ck.peer_retries},
+         {"parexchange.epochs", ck.epochs}},
+        ck.churn);
+    if (metrics) metrics->counter("checkpoint.saves").add();
+    if (tracer) {
+      tracer->instant(static_cast<double>(result.exchanges), 0, "CHECKPOINT",
+                      "checkpoint",
+                      {{"epoch", static_cast<std::int64_t>(result.epochs)}});
+    }
+  };
 
   while (result.exchanges < options.max_exchanges) {
     const std::uint64_t epoch = result.epochs + 1;
+
+    // ---- churn (sequential): membership events at the epoch boundary ----
+    if (churn.active()) {
+      const bool mask_changed = churn.begin_epoch(
+          epoch, schedule, options.obs,
+          static_cast<double>(result.exchanges));
+      if (mask_changed) {
+        order.assign(churn.live_machines().begin(),
+                     churn.live_machines().end());
+      }
+    }
+    const std::vector<MachineId>& live = churn.live_machines();
+    const std::size_t live_count = live.size();
+    const std::size_t batch_cap =
+        options.sessions_per_epoch != 0
+            ? std::min(options.sessions_per_epoch, live_count / 2)
+            : live_count / 2;
 
     // ---- plan (sequential): pick disjoint pairs for this epoch ----
     batch.clear();
@@ -114,7 +203,11 @@ ParallelRunResult ParallelExchangeEngine::run(
       bool planned = false;
       for (std::size_t attempt = 0;
            attempt <= options.max_peer_retries; ++attempt) {
-        const MachineId peer = selector_->select(initiator, m, srng);
+        // Peer selection runs over the compacted live machine set; with
+        // the whole cluster live the mapping is the identity.
+        const MachineId peer = live[selector_->select(
+            static_cast<MachineId>(churn.live_index(initiator)), live_count,
+            srng)];
         if (claimed[peer] != epoch) {
           session.peer = peer;
           planned = true;
@@ -136,7 +229,30 @@ ParallelRunResult ParallelExchangeEngine::run(
       claimed[session.peer] = epoch;
       batch.push_back(session);
     }
-    if (batch.empty()) break;  // Only possible when budget == 0.
+    if (batch.empty()) {
+      if (!churn.active()) break;  // Only possible when budget == 0.
+      if (churn.exhausted()) break;
+      // Fewer than two live machines: the epoch still happened on the
+      // churn timeline (events applied, orphans re-dispatched above), it
+      // just held no sessions. Fast-forward over the gap to the next
+      // event once the orphan queue is drained.
+      ++result.epochs;
+      if (c_epochs) c_epochs->add();
+      const Cost cmax = schedule.makespan();
+      if (g_cmax) g_cmax->set(cmax);
+      if (options.record_trace) {
+        result.epoch_trace.push_back(
+            {cmax, 0,
+             schedule.migrations() - migrations_before +
+                 resumed_migrations});
+      }
+      const auto next = churn.next_event_epoch();
+      if (churn.pending().empty() && next.has_value() &&
+          *next > result.epochs + 1) {
+        result.epochs = *next - 1;
+      }
+      continue;
+    }
 
     // ---- execute (parallel): disjoint pairs, outcomes into fixed slots --
     outcomes.assign(batch.size(), Outcome{});
@@ -189,7 +305,7 @@ ParallelRunResult ParallelExchangeEngine::run(
     if (options.record_trace) {
       result.epoch_trace.push_back(
           {cmax, static_cast<std::uint64_t>(batch.size()),
-           schedule.migrations() - migrations_before});
+           schedule.migrations() - migrations_before + resumed_migrations});
     }
 
     if (options.stop_threshold.has_value() &&
@@ -200,13 +316,34 @@ ParallelRunResult ParallelExchangeEngine::run(
     }
     if (options.stability_check_interval.has_value() &&
         result.epochs % *options.stability_check_interval == 0 &&
-        is_stable(schedule, *kernel_)) {
+        (!churn.active() || churn.exhausted()) &&
+        (churn.active() ? is_stable(schedule, *kernel_, live)
+                        : is_stable(schedule, *kernel_))) {
       result.converged = true;
+      break;
+    }
+    const bool halt_here = options.halt_after_epoch.has_value() &&
+                           *options.halt_after_epoch == result.epochs;
+    if (options.checkpoint_out != nullptr &&
+        (halt_here || (options.checkpoint_every != 0 &&
+                       result.epochs % options.checkpoint_every == 0))) {
+      fill_checkpoint(*options.checkpoint_out);
+    }
+    if (halt_here) {
+      result.halted = true;
       break;
     }
   }
   result.final_makespan = schedule.makespan();
-  result.migrations = schedule.migrations() - migrations_before;
+  result.migrations =
+      schedule.migrations() - migrations_before + resumed_migrations;
+  const ChurnCounters& cc = churn.counters();
+  result.churn_joins = cc.joins;
+  result.churn_drains = cc.drains;
+  result.churn_crashes = cc.crashes;
+  result.churn_orphaned = cc.orphaned;
+  result.churn_redispatched = cc.redispatched;
+  result.churn_pending = churn.pending().size();
   return result;
 }
 

@@ -23,6 +23,8 @@
 #include <vector>
 
 #include "core/schedule.hpp"
+#include "dist/checkpoint.hpp"
+#include "dist/churn.hpp"
 #include "dist/peer_selector.hpp"
 #include "dist/run_report.hpp"
 #include "obs/obs.hpp"
@@ -56,6 +58,27 @@ struct ParallelEngineOptions {
   /// parexchange.cmax; tracer spans "session" on the virtual axis of one
   /// microsecond per session.
   const obs::Context* obs = nullptr;
+
+  // ----- elasticity (src/dist/churn, src/dist/checkpoint) -----
+  // Churn events apply in the sequential plan phase at epoch start, so an
+  // elastic run keeps the engine's thread-count invariance.
+
+  /// Optional churn plan (must outlive the run); the engine's native epoch
+  /// is the plan's epoch. Null or trivial keeps the classic fixed-cluster
+  /// behaviour byte-for-byte.
+  const ChurnPlan* churn = nullptr;
+  /// When nonzero: snapshot the run into *checkpoint_out every this-many
+  /// epochs (at the epoch boundary) and emit a CHECKPOINT trace instant.
+  std::uint64_t checkpoint_every = 0;
+  Checkpoint* checkpoint_out = nullptr;
+  /// When set: stop after this epoch commits (snapshotting into
+  /// checkpoint_out if provided) with ParallelRunResult::halted true.
+  std::optional<std::uint64_t> halt_after_epoch;
+  /// When set: continue the checkpointed run instead of starting fresh.
+  /// `schedule` must come from Checkpoint::make_schedule and the same seed
+  /// must be passed to run(). The finished run is bitwise identical to one
+  /// that never stopped, at any thread count.
+  const Checkpoint* resume = nullptr;
 };
 
 /// Per-epoch record captured when ParallelEngineOptions::record_trace is
@@ -82,6 +105,9 @@ struct ParallelRunResult : RunReport {
   /// Executed sessions when the threshold epoch committed.
   std::size_t exchanges_to_threshold = 0;  ///< Valid iff reached_threshold.
   std::vector<EpochTracePoint> epoch_trace;
+  /// The run stopped at ParallelEngineOptions::halt_after_epoch, not a
+  /// terminal condition; continue it from the checkpoint.
+  bool halted = false;
 };
 
 class ParallelExchangeEngine {

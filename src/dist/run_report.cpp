@@ -10,6 +10,12 @@ stats::Json RunReport::to_json() const {
   doc["exchanges"] = exchanges;
   doc["migrations"] = migrations;
   doc["converged"] = converged;
+  doc["churn_joins"] = churn_joins;
+  doc["churn_drains"] = churn_drains;
+  doc["churn_crashes"] = churn_crashes;
+  doc["churn_orphaned"] = churn_orphaned;
+  doc["churn_redispatched"] = churn_redispatched;
+  doc["churn_pending"] = churn_pending;
   return doc;
 }
 
@@ -20,6 +26,17 @@ void RunReport::print(std::ostream& out) const {
       << "exchanges       : " << exchanges << "\n"
       << "migrations      : " << migrations << "\n"
       << "converged       : " << (converged ? "yes" : "no") << "\n";
+  // The churn block only appears for elastic runs, so the classic
+  // fixed-cluster output stays byte-identical.
+  if (churn_joins != 0 || churn_drains != 0 || churn_crashes != 0 ||
+      churn_orphaned != 0 || churn_redispatched != 0 || churn_pending != 0) {
+    out << "joins           : " << churn_joins << "\n"
+        << "drains          : " << churn_drains << "\n"
+        << "crashes         : " << churn_crashes << "\n"
+        << "orphaned        : " << churn_orphaned << "\n"
+        << "redispatched    : " << churn_redispatched << "\n"
+        << "pending         : " << churn_pending << "\n";
+  }
 }
 
 }  // namespace dlb::dist

@@ -29,6 +29,21 @@ struct RunReport {
   /// The run certified a terminal state (stable schedule / all jobs done).
   bool converged = false;
 
+  // ----- elastic churn / recovery tallies (src/dist/churn) -----
+  // All zero for a run without a churn plan; appended to the JSON schema
+  // after the original six keys.
+
+  std::uint64_t churn_joins = 0;
+  std::uint64_t churn_drains = 0;
+  std::uint64_t churn_crashes = 0;
+  /// Jobs orphaned by crashes (plus any initially parked on pre-join
+  /// machines).
+  std::uint64_t churn_orphaned = 0;
+  /// Orphans placed back onto live machines by the recovery path.
+  std::uint64_t churn_redispatched = 0;
+  /// Orphans still queued when the run ended (orphaned - redispatched).
+  std::uint64_t churn_pending = 0;
+
   /// Exchanges per machine (Figure 5's X axis normalisation, shared by
   /// every engine); 0 for an empty machine set.
   [[nodiscard]] double exchanges_per_machine(std::size_t num_machines) const {

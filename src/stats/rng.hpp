@@ -84,6 +84,16 @@ class Rng {
   /// Exponential with rate lambda (> 0).
   [[nodiscard]] double exponential(double lambda) noexcept;
 
+  /// The four xoshiro256** state words, for checkpointing. A generator
+  /// rebuilt with from_state() continues the exact draw sequence.
+  using State = std::array<std::uint64_t, 4>;
+  [[nodiscard]] constexpr State state() const noexcept { return state_; }
+  [[nodiscard]] static constexpr Rng from_state(const State& state) noexcept {
+    Rng rng;
+    rng.state_ = state;
+    return rng;
+  }
+
   /// Derives an independent child stream. Stream `i` of seed `s` is
   /// reproducible regardless of how many numbers the parent generated.
   [[nodiscard]] static Rng stream(std::uint64_t seed,

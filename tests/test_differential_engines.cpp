@@ -1,0 +1,137 @@
+// Differential determinism across every check regime: the two exchange
+// engines must emit byte-identical RunReport JSON when nothing varies but
+// the thing that is supposed to be irrelevant — a repeated seed, the
+// thread count, or a churn-free ChurnPlan versus no plan at all. The
+// property harness fuzzes the same invariants case by case; this test
+// pins one deterministic instance per regime so a violation names the
+// regime directly, and its name keeps it inside the TSan job's regex.
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <memory>
+#include <string>
+
+#include "check/case_gen.hpp"
+#include "core/schedule.hpp"
+#include "dist/churn.hpp"
+#include "dist/exchange_engine.hpp"
+#include "dist/parallel_exchange_engine.hpp"
+#include "dist/selector_registry.hpp"
+#include "pairwise/kernel_registry.hpp"
+#include "parallel/thread_pool.hpp"
+#include "stats/rng.hpp"
+
+namespace dlb {
+namespace {
+
+constexpr std::uint64_t kSeed = 2026;
+
+struct Outcome {
+  std::string report_json;        ///< RunReport::to_json() bytes.
+  std::uint64_t fingerprint = 0;  ///< Final schedule fingerprint.
+};
+
+dist::ExchangeEngine seq_engine() {
+  return dist::ExchangeEngine(pairwise::kernel_registry().get("basic-greedy"),
+                              dist::selector_registry().get("uniform"));
+}
+
+dist::ParallelExchangeEngine par_engine() {
+  return dist::ParallelExchangeEngine(
+      pairwise::kernel_registry().get("basic-greedy"),
+      dist::selector_registry().get("uniform"));
+}
+
+Outcome run_seq(const check::GeneratedCase& c, const dist::ChurnPlan* plan) {
+  Schedule s(c.instance, c.initial);
+  dist::EngineOptions options;
+  options.max_exchanges = 12 * c.instance.num_machines();
+  options.churn = plan;
+  stats::Rng rng(kSeed);
+  const dist::RunResult result = seq_engine().run(s, options, rng);
+  return {static_cast<const dist::RunReport&>(result).to_json().dump(),
+          s.fingerprint()};
+}
+
+Outcome run_par(const check::GeneratedCase& c, const dist::ChurnPlan* plan,
+                parallel::ThreadPool* pool) {
+  Schedule s(c.instance, c.initial);
+  dist::ParallelEngineOptions options;
+  options.max_exchanges = 12 * c.instance.num_machines();
+  options.churn = plan;
+  options.pool = pool;
+  const dist::ParallelRunResult result =
+      par_engine().run(s, options, kSeed);
+  return {static_cast<const dist::RunReport&>(result).to_json().dump(),
+          s.fingerprint()};
+}
+
+class DifferentialEngines
+    : public ::testing::TestWithParam<check::Regime> {};
+
+// (a) The sequential engine is a pure function of (instance, seed).
+TEST_P(DifferentialEngines, SequentialRunsAreReproducible) {
+  for (std::uint64_t index = 0; index < 3; ++index) {
+    const check::GeneratedCase c = check::make_case(kSeed, index, GetParam());
+    if (c.instance.num_machines() < 2) continue;
+    const Outcome first = run_seq(c, nullptr);
+    const Outcome second = run_seq(c, nullptr);
+    EXPECT_EQ(first.report_json, second.report_json) << c.name;
+    EXPECT_EQ(first.fingerprint, second.fingerprint) << c.name;
+  }
+}
+
+// (b) The parallel engine's report is thread-count invariant: the inline
+// (null-pool) run and an 8-thread run serialize to the same bytes.
+TEST_P(DifferentialEngines, ParallelReportIsThreadCountInvariant) {
+  parallel::ThreadPool pool(8);
+  for (std::uint64_t index = 0; index < 3; ++index) {
+    const check::GeneratedCase c = check::make_case(kSeed, index, GetParam());
+    if (c.instance.num_machines() < 2) continue;
+    const Outcome inline_run = run_par(c, nullptr, nullptr);
+    const Outcome pooled_run = run_par(c, nullptr, &pool);
+    EXPECT_EQ(inline_run.report_json, pooled_run.report_json) << c.name;
+    EXPECT_EQ(inline_run.fingerprint, pooled_run.fingerprint) << c.name;
+  }
+}
+
+// (c) A churn-free ChurnPlan is observationally absent: both engines must
+// produce the bytes of a plan-less run.
+TEST_P(DifferentialEngines, ChurnFreePlanMatchesNoPlan) {
+  dist::ChurnPlan empty_plan;
+  ASSERT_TRUE(empty_plan.trivial());
+  parallel::ThreadPool pool(8);
+  for (std::uint64_t index = 0; index < 3; ++index) {
+    const check::GeneratedCase c = check::make_case(kSeed, index, GetParam());
+    if (c.instance.num_machines() < 2) continue;
+    const Outcome seq_none = run_seq(c, nullptr);
+    const Outcome seq_plan = run_seq(c, &empty_plan);
+    EXPECT_EQ(seq_none.report_json, seq_plan.report_json) << c.name;
+    EXPECT_EQ(seq_none.fingerprint, seq_plan.fingerprint) << c.name;
+
+    const Outcome par_none = run_par(c, nullptr, &pool);
+    const Outcome par_plan = run_par(c, &empty_plan, &pool);
+    EXPECT_EQ(par_none.report_json, par_plan.report_json) << c.name;
+    EXPECT_EQ(par_none.fingerprint, par_plan.fingerprint) << c.name;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllRegimes, DifferentialEngines,
+    ::testing::Values(check::Regime::kIdentical, check::Regime::kRelated,
+                      check::Regime::kTwoCluster,
+                      check::Regime::kMultiCluster, check::Regime::kUnrelated,
+                      check::Regime::kTyped, check::Regime::kSingleType,
+                      check::Regime::kExtremeRatio,
+                      check::Regime::kDegenerate),
+    [](const ::testing::TestParamInfo<check::Regime>& param_info) {
+      std::string name = check::regime_name(param_info.param);
+      for (char& ch : name) {
+        if (ch == '-' || ch == '/') ch = '_';
+      }
+      return name;
+    });
+
+}  // namespace
+}  // namespace dlb

@@ -20,6 +20,59 @@ TEST(DynamicWorkload, RejectsUndersizedJobPool) {
   EXPECT_THROW(run_dynamic(tiny, kernel, options), std::invalid_argument);
 }
 
+TEST(DynamicWorkload, RejectsChurnAboveTheActiveSet) {
+  // churn_per_epoch > initial_active used to drain the active set mid-
+  // epoch and feed rng.below(0) — undefined behaviour. It must instead be
+  // rejected up front with the single error shape naming the field.
+  const Instance inst = pool_instance(3);
+  const Dlb2cKernel kernel;
+  DynamicOptions options;
+  options.initial_active = 16;
+  options.churn_per_epoch = 17;
+  options.epochs = 2;
+  try {
+    run_dynamic(inst, kernel, options);
+    FAIL() << "expected std::invalid_argument";
+  } catch (const std::invalid_argument& e) {
+    EXPECT_STREQ(e.what(),
+                 "run_dynamic: invalid DynamicOptions.churn_per_epoch: "
+                 "must be <= initial_active (16), got 17");
+  }
+}
+
+TEST(DynamicWorkload, UndersizedPoolErrorNamesTheField) {
+  const Instance tiny = gen::two_cluster_uniform(2, 2, 10, 1.0, 10.0, 1);
+  const Dlb2cKernel kernel;
+  DynamicOptions options;
+  options.initial_active = 8;
+  options.churn_per_epoch = 4;
+  options.epochs = 3;
+  try {
+    run_dynamic(tiny, kernel, options);
+    FAIL() << "expected std::invalid_argument";
+  } catch (const std::invalid_argument& e) {
+    EXPECT_STREQ(e.what(),
+                 "run_dynamic: invalid DynamicOptions.initial_active: job "
+                 "pool too small: initial_active + epochs * "
+                 "churn_per_epoch = 20 exceeds the instance's 10 jobs");
+  }
+}
+
+TEST(DynamicWorkload, ChurnEqualToActiveSetIsTheBoundaryAndRuns) {
+  const Instance inst = pool_instance(5);
+  const Dlb2cKernel kernel;
+  DynamicOptions options;
+  options.initial_active = 8;
+  options.churn_per_epoch = 8;  // Drains to empty, then refills.
+  options.epochs = 4;
+  options.exchanges_per_epoch = 8;
+  const auto history = run_dynamic(inst, kernel, options);
+  ASSERT_EQ(history.size(), 4u);
+  for (const auto& stats : history) {
+    EXPECT_EQ(stats.active_jobs, 8u);
+  }
+}
+
 TEST(DynamicWorkload, ReportsOneEntryPerEpochWithStableActiveCount) {
   const Instance inst = pool_instance(2);
   const Dlb2cKernel kernel;

@@ -2,6 +2,7 @@
 
 #include <gtest/gtest.h>
 
+#include <cstdint>
 #include <optional>
 #include <vector>
 
@@ -9,6 +10,9 @@
 #include "core/validation.hpp"
 #include "dist/async_runner.hpp"
 #include "net/network.hpp"
+#include "obs/metrics.hpp"
+#include "obs/obs.hpp"
+#include "obs/trace.hpp"
 #include "pairwise/basic_greedy.hpp"
 
 namespace dlb::net {
@@ -226,6 +230,58 @@ TEST(AsyncFaults, DuplicatesAndReordersAreRecognisedAsStale) {
   EXPECT_GT(result.stale_messages, 0u);
   std::string why;
   EXPECT_TRUE(is_complete_partition(schedule, &why)) << why;
+}
+
+TEST(AsyncFaults, ReorderedDuplicatesNeverReachTheAcceptPathTwice) {
+  // Every message is duplicated AND may be reordered behind a later send,
+  // while the 3.0s session timeout keeps retiring sessions whose replies
+  // went missing in the shuffle. The accept path must see each logical
+  // message at most once: every spurious copy lands in the stale counter,
+  // and a committed exchange still needs at least one TRANSFER instant,
+  // so exchanges can never exceed the TRANSFER count.
+  const Instance inst = gen::identical_uniform(6, 30, 1.0, 10.0, 45);
+  FaultPlan plan = FaultPlan::reorders(0.5, 47);
+  plan.duplicate_probability = 1.0;
+
+  obs::Metrics metrics;
+  obs::Tracer tracer;
+  const obs::Context obs{&metrics, &tracer};
+  const pairwise::BasicGreedyKernel kernel;
+  dist::AsyncOptions options;
+  options.duration = 60.0;
+  options.seed = 99;
+  options.fault_plan = &plan;
+  options.session_timeout = 3.0;
+  options.obs = &obs;
+
+  Schedule schedule(inst, gen::random_assignment(inst, 46));
+  const dist::AsyncRunResult result = dist::run_async(schedule, kernel,
+                                                      options);
+
+  // Each message went out twice, so at least one copy per completed
+  // session arrived after its session moved on.
+  EXPECT_EQ(result.faults.duplicated, result.messages);
+  EXPECT_GT(result.stale_messages, 0u);
+
+  // The struct tally and the metrics registry must agree on staleness.
+  bool found_stale_counter = false;
+  for (const auto& [name, value] : metrics.counter_values()) {
+    if (name != "async.stale_messages") continue;
+    found_stale_counter = true;
+    EXPECT_EQ(value, result.stale_messages);
+  }
+  EXPECT_TRUE(found_stale_counter);
+
+  std::uint64_t transfers = 0;
+  for (const auto& event : tracer.events()) {
+    if (event.name == "TRANSFER") ++transfers;
+  }
+  EXPECT_GT(transfers, 0u);
+  EXPECT_LE(result.exchanges, transfers);
+
+  std::string why;
+  EXPECT_TRUE(is_complete_partition(schedule, &why)) << why;
+  EXPECT_TRUE(schedule.check_consistency());
 }
 
 TEST(AsyncFaults, FaultyRunsReplayDeterministically) {

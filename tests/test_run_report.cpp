@@ -18,10 +18,18 @@ TEST(RunReport, JsonSchemaIsByteStable) {
   report.exchanges = 17;
   report.migrations = 23;
   report.converged = true;
+  report.churn_joins = 1;
+  report.churn_drains = 2;
+  report.churn_crashes = 3;
+  report.churn_orphaned = 9;
+  report.churn_redispatched = 8;
+  report.churn_pending = 1;
   EXPECT_EQ(report.to_json().dump(),
             "{\"initial_makespan\":10,\"final_makespan\":4.5,"
             "\"best_makespan\":4,\"exchanges\":17,\"migrations\":23,"
-            "\"converged\":true}");
+            "\"converged\":true,\"churn_joins\":1,\"churn_drains\":2,"
+            "\"churn_crashes\":3,\"churn_orphaned\":9,"
+            "\"churn_redispatched\":8,\"churn_pending\":1}");
 }
 
 TEST(RunReport, JsonDefaultsAreZeroAndFalse) {
@@ -29,7 +37,9 @@ TEST(RunReport, JsonDefaultsAreZeroAndFalse) {
   EXPECT_EQ(report.to_json().dump(),
             "{\"initial_makespan\":0,\"final_makespan\":0,"
             "\"best_makespan\":0,\"exchanges\":0,\"migrations\":0,"
-            "\"converged\":false}");
+            "\"converged\":false,\"churn_joins\":0,\"churn_drains\":0,"
+            "\"churn_crashes\":0,\"churn_orphaned\":0,"
+            "\"churn_redispatched\":0,\"churn_pending\":0}");
 }
 
 TEST(RunReport, PrintEmitsTheSharedCliBlock) {
@@ -48,6 +58,31 @@ TEST(RunReport, PrintEmitsTheSharedCliBlock) {
             "exchanges       : 3\n"
             "migrations      : 4\n"
             "converged       : no\n");
+}
+
+// The CLI block for a churn-free run must not grow lines: the churn
+// section only appears when some churn tally is nonzero.
+TEST(RunReport, PrintAppendsChurnBlockOnlyForElasticRuns) {
+  RunReport report;
+  report.churn_crashes = 1;
+  report.churn_orphaned = 5;
+  report.churn_redispatched = 4;
+  report.churn_pending = 1;
+  std::ostringstream out;
+  report.print(out);
+  EXPECT_EQ(out.str(),
+            "initial Cmax    : 0\n"
+            "final Cmax      : 0\n"
+            "best Cmax       : 0\n"
+            "exchanges       : 0\n"
+            "migrations      : 0\n"
+            "converged       : no\n"
+            "joins           : 0\n"
+            "drains          : 0\n"
+            "crashes         : 1\n"
+            "orphaned        : 5\n"
+            "redispatched    : 4\n"
+            "pending         : 1\n");
 }
 
 TEST(RunReport, ExchangesPerMachineNormalisation) {

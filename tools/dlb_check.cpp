@@ -8,6 +8,7 @@
 
 #include <cstdint>
 #include <exception>
+#include <fstream>
 #include <iostream>
 #include <optional>
 #include <string>
@@ -16,13 +17,20 @@
 #include "check/case_gen.hpp"
 #include "check/suite.hpp"
 #include "cli/args.hpp"
+#include "core/instance_io.hpp"
 
 namespace {
 
 constexpr const char* kUsage = R"(usage: dlb_check [options]
+       dlb_check replay FILE... [--seed S] [--index I] [--faults NAME]
 
 Property-based correctness harness: seeded random instances across every
 cost regime, checked against the library's invariant oracles.
+
+The replay form runs the full oracle battery on saved reproducer files
+instead of generated cases: each FILE is a .inst/.instance dump; a
+sibling .assign/.assignment file supplies the initial placement (falling
+back to round-robin). tests/corpus/ holds the regression corpus.
 
 options:
   --cases N          number of generated cases (default 1000)
@@ -39,6 +47,75 @@ options:
   --max-failures N   stop after N failing cases (default 10)
   --verbose          print a progress line every 1000 cases
 )";
+
+/// The companion assignment for a reproducer: the same stem with the
+/// matching assignment extension, or round-robin when no such file exists.
+dlb::Assignment initial_for(const std::string& instance_path,
+                            const dlb::Instance& instance) {
+  std::string stem = instance_path;
+  for (const char* ext : {".instance", ".inst"}) {
+    const std::string suffix(ext);
+    if (stem.size() > suffix.size() &&
+        stem.compare(stem.size() - suffix.size(), suffix.size(), suffix) ==
+            0) {
+      stem.resize(stem.size() - suffix.size());
+      break;
+    }
+  }
+  for (const char* ext : {".assignment", ".assign"}) {
+    std::ifstream in(stem + ext);
+    if (in) return dlb::io::load_assignment(in);
+  }
+  return dlb::Assignment::round_robin(instance.num_jobs(),
+                                      instance.num_machines());
+}
+
+/// `dlb_check replay FILE...`: the regression-corpus gate. Every saved
+/// reproducer must pass the battery it once failed.
+int run_replay(const std::vector<std::string>& tokens) {
+  std::vector<std::string> files;
+  std::vector<std::string> flags;
+  for (const std::string& token : tokens) {
+    (token.rfind("--", 0) == 0 || !flags.empty() ? flags : files)
+        .push_back(token);
+  }
+  const dlb::cli::Args args = dlb::cli::Args::parse(flags);
+  if (files.empty()) {
+    std::cerr << "dlb_check replay: no reproducer files given\n" << kUsage;
+    return 2;
+  }
+
+  dlb::check::CaseContext context;
+  context.seed = args.get_seed("seed", 42);
+  context.index = static_cast<std::uint64_t>(args.get_int("index", 0));
+  const std::string fault_name = args.get("faults", "none");
+  const dlb::net::FaultPlan plan = dlb::net::fault_plan_by_name(
+      fault_name, args.get_double("fault-p", 0.15), context.seed ^ 0xFA17u);
+  if (!plan.trivial()) context.fault_plan = &plan;
+  for (const std::string& key : args.unused()) {
+    std::cerr << "dlb_check replay: unknown option --" << key << "\n"
+              << kUsage;
+    return 2;
+  }
+
+  int failures = 0;
+  for (const std::string& path : files) {
+    const dlb::Instance instance = dlb::io::load_instance_file(path);
+    const dlb::Assignment initial = initial_for(path, instance);
+    dlb::check::Report report;
+    dlb::check::run_case_oracles(instance, initial, context, report,
+                                 nullptr);
+    if (report.ok()) {
+      std::cout << "PASS " << path << "\n";
+    } else {
+      ++failures;
+      std::cout << "FAIL " << path << "\n" << report.to_string();
+    }
+  }
+  std::cout << "dlb_check replay: " << files.size() - failures << "/"
+            << files.size() << " reproducers passed\n";
+  return failures == 0 ? 0 : 1;
+}
 
 int run(const dlb::cli::Args& args) {
   dlb::check::SuiteOptions options;
@@ -68,8 +145,8 @@ int run(const dlb::cli::Args& args) {
 
   std::cout << "dlb_check: " << summary.cases_run << " cases ("
             << summary.exact_solved << " vs exact OPT, "
-            << summary.engine_runs << " engine runs, " << summary.async_runs
-            << " async runs)\n"
+            << summary.engine_runs << " engine runs, " << summary.churn_runs
+            << " churn runs, " << summary.async_runs << " async runs)\n"
             << "dlb_check: injected faults: " << summary.faults.dropped
             << " dropped, " << summary.faults.delayed << " delayed, "
             << summary.faults.duplicated << " duplicated, "
@@ -103,6 +180,9 @@ int main(int argc, char** argv) {
     return 0;
   }
   try {
+    if (!tokens.empty() && tokens[0] == "replay") {
+      return run_replay({tokens.begin() + 1, tokens.end()});
+    }
     return run(dlb::cli::Args::parse(tokens));
   } catch (const std::exception& e) {
     std::cerr << "dlb_check: " << e.what() << "\n" << kUsage;
