@@ -1,5 +1,7 @@
 #include "cli/commands.hpp"
 
+#include <algorithm>
+#include <cstdio>
 #include <fstream>
 #include <functional>
 #include <map>
@@ -24,7 +26,9 @@
 #include "dist/exchange_engine.hpp"
 #include "dist/parallel_exchange_engine.hpp"
 #include "dist/selector_registry.hpp"
+#include "dist/transport_runner.hpp"
 #include "markov/makespan_pdf.hpp"
+#include "net/transport.hpp"
 #include "obs/obs.hpp"
 #include "pairwise/kernel_registry.hpp"
 #include "parallel/thread_pool.hpp"
@@ -479,6 +483,92 @@ int cmd_simulate(const Args& args, std::ostream& out, std::ostream& err) {
   return obs_files.write(out, err);
 }
 
+// ----- transport -----
+
+/// %.17g: the shortest form that round-trips a double exactly — status
+/// lines compare these byte-for-byte across processes and backends.
+std::string exact_double(double value) {
+  char buffer[64];
+  std::snprintf(buffer, sizeof buffer, "%.17g", value);
+  return buffer;
+}
+
+/// The simulated reference run of the lockstep transport protocol: the
+/// multi-process CI job launches a real-socket cluster on the same
+/// (instance, seed, rounds) and requires bitwise-equal cmax / load lines
+/// and an equal migration total from this command.
+int cmd_transport(const Args& args, std::ostream& out, std::ostream& err) {
+  const std::string path = args.require("in");
+  const std::string alg = args.get("alg", "dlb2c");
+  const std::uint64_t seed = args.get_seed("seed", 1);
+  const auto rounds = static_cast<std::size_t>(args.get_int("rounds", 10));
+  const double latency = args.get_double("latency", 0.05);
+  const double retry = args.get_double("retry-timeout", 0.5);
+  const std::string fault_kind = args.get("fault", "none");
+  const double fault_p = args.get_double("fault-p", 0.1);
+  const std::uint64_t fault_seed = args.get_seed("fault-seed", seed + 1);
+  ObsFiles obs_files(args, "trace-json", "metrics-json");
+  if (const int rc = check_unused(args, err)) return rc;
+
+  const pairwise::PairKernel& kernel = kernel_by_alg(alg);
+  const Instance instance = io::load_instance_file(path);
+  Schedule replica(instance, gen::random_assignment(instance, seed));
+
+  des::Engine engine;
+  net::ConstantLatency latency_model(latency);
+  stats::Rng net_rng = stats::Rng::stream(seed, 0x7A115B0A7ULL);
+  net::Network network(engine, latency_model, net_rng);
+  const net::FaultPlan plan =
+      net::fault_plan_by_name(fault_kind, fault_p, fault_seed);
+  if (!plan.trivial()) network.set_fault_plan(&plan);
+
+  net::SimTransport transport(engine, network, instance.num_machines());
+  dist::TransportRunnerOptions options;
+  options.kernel = &kernel;
+  options.seed = seed;
+  options.rounds = rounds;
+  options.retry_timeout = retry;
+  if (obs_files.enabled()) options.obs = &obs_files.context;
+  dist::TransportRunner runner(replica, transport, options);
+  runner.start();
+  runner.run_to_completion();
+
+  const auto& counters = runner.counters();
+  Cost cmax = 0.0;
+  for (MachineId i = 0; i < instance.num_machines(); ++i) {
+    cmax = std::max(cmax, runner.canonical_load(i));
+  }
+  out << "transport       : sim\n"
+      << "alg             : " << alg << "\n"
+      << "machines        : " << instance.num_machines() << "\n"
+      << "jobs            : " << instance.num_jobs() << "\n"
+      << "seed            : " << seed << "\n"
+      << "rounds          : " << rounds << "\n"
+      << "sessions        : " << counters.sessions_completed << " of "
+      << runner.total() << "\n"
+      << "exchanges       : " << counters.exchanges << "\n"
+      << "migrations      : " << counters.migrations << "\n"
+      << "transfers       : " << counters.transfers_sent << " sent, "
+      << counters.transfers_applied << " applied\n"
+      << "retries         : " << counters.retries << "\n"
+      << "duplicates      : " << counters.duplicates_ignored << "\n";
+  if (!plan.trivial()) {
+    const net::FaultStats& faults = network.fault_stats();
+    out << "faults          : dropped=" << faults.dropped
+        << " delayed=" << faults.delayed
+        << " duplicated=" << faults.duplicated
+        << " reordered=" << faults.reordered << "\n";
+  }
+  out << "cmax            : " << exact_double(cmax) << "\n";
+  for (MachineId i = 0; i < instance.num_machines(); ++i) {
+    std::string label = "load " + std::to_string(i);
+    label.resize(16, ' ');
+    out << label << ": " << exact_double(runner.canonical_load(i))
+        << " jobs=" << runner.sorted_jobs(i).size() << "\n";
+  }
+  return obs_files.write(out, err);
+}
+
 // ----- markov -----
 
 int cmd_markov(const Args& args, std::ostream& out, std::ostream& err) {
@@ -524,6 +614,11 @@ commands:
            [--trace FILE.csv] [--trace-json FILE.json]
            [--metrics-json FILE.json]
 
+  transport --in FILE [--alg KERNEL] [--seed S] [--rounds N]
+           [--latency T] [--retry-timeout T]
+           [--fault none|drop|delay|duplicate|reorder|chaos]
+           [--fault-p P] [--fault-seed S]
+           [--trace-json FILE.json] [--metrics-json FILE.json]
   markov   [--m N] [--pmax P]
   help
 
@@ -544,6 +639,7 @@ int run_command(const std::vector<std::string>& argv, std::ostream& out,
     if (command == "solve") return cmd_solve(args, out, err);
     if (command == "balance") return cmd_balance(args, out, err);
     if (command == "simulate") return cmd_simulate(args, out, err);
+    if (command == "transport") return cmd_transport(args, out, err);
     if (command == "markov") return cmd_markov(args, out, err);
     if (command == "help") {
       out << usage();

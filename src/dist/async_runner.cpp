@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <stdexcept>
 
+#include "net/transport.hpp"
+
 namespace dlb::dist {
 
 namespace {
@@ -27,6 +29,7 @@ class AsyncSimulation {
         rng_(options.seed),
         latency_(options.message_latency),
         network_(engine_, latency_, rng_),
+        transport_(engine_, network_, schedule.num_machines()),
         slots_(schedule.num_machines()),
         last_token_(schedule.num_machines(), 0) {
     if (schedule.num_machines() < 2) {
@@ -58,6 +61,11 @@ class AsyncSimulation {
     if (options.fault_plan != nullptr) {
       network_.set_fault_plan(options.fault_plan);
     }
+    // All protocol messages ride the Transport seam as typed frames; the
+    // sim backend forwards them through the same net::Network call the
+    // runner used to make directly, so the event sequence is unchanged.
+    transport_.set_handler(
+        [this](const net::Frame& frame) { dispatch(frame); });
   }
 
   AsyncRunResult run() {
@@ -81,7 +89,39 @@ class AsyncSimulation {
 
  private:
   [[nodiscard]] double ts() const noexcept {
-    return obs::sim_time_us(engine_.now());
+    return obs::sim_time_us(transport_.now());
+  }
+
+  /// Frames carry (type, from, to, token) — exactly the context the
+  /// handlers need, so the dispatch is a pure re-labelling of the lambda
+  /// captures the runner used to ship through net::Network.
+  void dispatch(const net::Frame& frame) {
+    switch (frame.type) {
+      case net::FrameType::kRequest:
+        handle_request(frame.from, frame.to, frame.token);
+        return;
+      case net::FrameType::kAccept:
+        handle_accept(frame.to, frame.from, frame.token);
+        return;
+      case net::FrameType::kReject:
+        handle_reject(frame.to, frame.token);
+        return;
+      case net::FrameType::kTransfer:
+        handle_transfer(frame.from, frame.to, frame.token);
+        return;
+      default:
+        return;  // No other frame type is ever sent here.
+    }
+  }
+
+  void send_frame(net::FrameType type, MachineId from, MachineId to,
+                  std::uint64_t token) {
+    net::Frame frame;
+    frame.type = type;
+    frame.from = from;
+    frame.to = to;
+    frame.token = token;
+    transport_.send(frame);
   }
 
   void message_event(const char* kind, MachineId from, MachineId to) {
@@ -94,7 +134,7 @@ class AsyncSimulation {
   void schedule_wakeup(MachineId i) {
     const des::SimTime delay =
         rng_.exponential(1.0 / options_.mean_think_time);
-    engine_.schedule_after(delay, [this, i] { try_initiate(i); });
+    transport_.schedule_after(delay, [this, i] { try_initiate(i); });
   }
 
   void unlock(MachineId i) { slots_[i] = SessionSlot{}; }
@@ -112,8 +152,10 @@ class AsyncSimulation {
   /// Arms the session-abandon timer for machine i (no-op when disabled).
   void arm_timeout(MachineId i, std::uint64_t token, bool initiator) {
     if (!options_.session_timeout.has_value()) return;
-    engine_.schedule_after(*options_.session_timeout,
-                           [this, i, token, initiator] {
+    // Armed against the transport's clock: virtual time here, a monotonic
+    // wall-clock deadline when the same state machine runs on sockets.
+    transport_.schedule_after(*options_.session_timeout,
+                              [this, i, token, initiator] {
                              if (!in_session(i, token)) return;
                              unlock(i);
                              ++result_.sessions_timed_out;
@@ -126,7 +168,7 @@ class AsyncSimulation {
   }
 
   void try_initiate(MachineId initiator) {
-    if (engine_.now() >= options_.duration) return;
+    if (transport_.now() >= options_.duration) return;
     if (slots_[initiator].locked) {
       // Mid-session (as a peer); try again later.
       schedule_wakeup(initiator);
@@ -144,9 +186,7 @@ class AsyncSimulation {
                      {{"peer", static_cast<std::int64_t>(peer)}});
     }
     message_event("REQUEST", initiator, peer);
-    network_.send(initiator, peer, [this, initiator, peer, token] {
-      handle_request(initiator, peer, token);
-    });
+    send_frame(net::FrameType::kRequest, initiator, peer, token);
     arm_timeout(initiator, token, true);
   }
 
@@ -175,9 +215,7 @@ class AsyncSimulation {
       ++result_.sessions_rejected;
       if (c_rejected_) c_rejected_->add();
       message_event("REJECT", peer, initiator);
-      network_.send(peer, initiator, [this, initiator, token] {
-        handle_reject(initiator, token);
-      });
+      send_frame(net::FrameType::kReject, peer, initiator, token);
       return;
     }
     slots_[peer] = SessionSlot{true, token, false};
@@ -188,9 +226,7 @@ class AsyncSimulation {
     // steps cost one message each; the state mutation happens at transfer
     // delivery time (both machines stay locked meanwhile).
     message_event("ACCEPT", peer, initiator);
-    network_.send(peer, initiator, [this, initiator, peer, token] {
-      handle_accept(initiator, peer, token);
-    });
+    send_frame(net::FrameType::kAccept, peer, initiator, token);
   }
 
   void handle_reject(MachineId initiator, std::uint64_t token) {
@@ -202,8 +238,9 @@ class AsyncSimulation {
     unlock(initiator);
     end_session(initiator, false, schedule_->makespan());
     if (c_backoffs_) c_backoffs_->add();
-    engine_.schedule_after(rng_.uniform(0.0, options_.reject_backoff),
-                           [this, initiator] { try_initiate(initiator); });
+    transport_.schedule_after(
+        rng_.uniform(0.0, options_.reject_backoff),
+        [this, initiator] { try_initiate(initiator); });
   }
 
   void handle_accept(MachineId initiator, MachineId peer,
@@ -217,9 +254,7 @@ class AsyncSimulation {
     }
     slots_[initiator].transfer_pending = true;
     message_event("TRANSFER", initiator, peer);
-    network_.send(initiator, peer, [this, initiator, peer, token] {
-      handle_transfer(initiator, peer, token);
-    });
+    send_frame(net::FrameType::kTransfer, initiator, peer, token);
   }
 
   void handle_transfer(MachineId initiator, MachineId peer,
@@ -241,7 +276,7 @@ class AsyncSimulation {
     const Cost cmax = schedule_->makespan();
     result_.best_makespan = std::min(result_.best_makespan, cmax);
     if (options_.record_trace) {
-      result_.trace.push_back({engine_.now(), cmax});
+      result_.trace.push_back({transport_.now(), cmax});
     }
     if (c_completed_) {
       c_completed_->add();
@@ -262,6 +297,7 @@ class AsyncSimulation {
   des::Engine engine_;
   net::ConstantLatency latency_;
   net::Network network_;
+  net::SimTransport transport_;
   std::vector<SessionSlot> slots_;
   /// Highest session token each machine has ever been locked with; a free
   /// machine treats a REQUEST at or below this as stale (see

@@ -18,7 +18,12 @@
 // Every protocol message carries its session's token, so deliveries that
 // arrive out of context (duplicates, reordered stragglers — see
 // net/fault.hpp) are recognised as stale and ignored instead of corrupting
-// the lock state. An optional session timeout releases machines whose
+// the lock state. Messages travel as net::Frame through the Transport
+// seam and every timer (session timeout, wake-up, backoff) is armed via
+// Transport::schedule_after against its Clock — virtual time on the DES
+// backend here, a monotonic wall-clock deadline when the state machine
+// runs on sockets (net/clock.hpp). An optional session timeout releases
+// machines whose
 // session lost a message to a drop fault; without it a dropped message
 // parks both participants until the horizon (the run still terminates and
 // no job is ever lost either way — the schedule only mutates atomically at

@@ -1,0 +1,60 @@
+#pragma once
+
+// The clock seam between the two transport backends (net/transport.hpp).
+// Protocol timeouts — session abandonment, retransmission deadlines — are
+// expressed against an abstract Clock so the same state machine runs on
+// virtual time inside the discrete-event simulator and on a monotonic
+// wall clock against real sockets. Times are seconds as a double in both
+// domains (the DES already equates one sim time unit with one second; see
+// obs::sim_time_us).
+
+#include <chrono>
+
+#include "des/engine.hpp"
+
+namespace dlb::net {
+
+class Clock {
+ public:
+  virtual ~Clock() = default;
+
+  /// Seconds since an arbitrary, monotonically non-decreasing origin.
+  [[nodiscard]] virtual double now() const = 0;
+
+  /// True when now() advances with real time even while the caller does
+  /// nothing (socket backend); false when time only moves as events are
+  /// processed (DES backend). Pollers use this to decide whether blocking
+  /// in the OS is meaningful.
+  [[nodiscard]] virtual bool is_realtime() const noexcept = 0;
+};
+
+/// Virtual time: reads the discrete-event engine's current time. Events
+/// scheduled on the engine advance it; between events it is frozen, which
+/// is exactly what keeps simulated retries deterministic.
+class SimClock final : public Clock {
+ public:
+  explicit SimClock(const des::Engine& engine) : engine_(&engine) {}
+  [[nodiscard]] double now() const override { return engine_->now(); }
+  [[nodiscard]] bool is_realtime() const noexcept override { return false; }
+
+ private:
+  const des::Engine* engine_;
+};
+
+/// Wall time: std::chrono::steady_clock seconds since construction.
+/// Immune to system clock adjustments, so a retransmission deadline armed
+/// before an NTP step still fires on schedule.
+class MonotonicClock final : public Clock {
+ public:
+  MonotonicClock() : origin_(std::chrono::steady_clock::now()) {}
+  [[nodiscard]] double now() const override {
+    const auto elapsed = std::chrono::steady_clock::now() - origin_;
+    return std::chrono::duration<double>(elapsed).count();
+  }
+  [[nodiscard]] bool is_realtime() const noexcept override { return true; }
+
+ private:
+  std::chrono::steady_clock::time_point origin_;
+};
+
+}  // namespace dlb::net

@@ -1,0 +1,162 @@
+#pragma once
+
+// Wire format of the balancing protocol: the REQUEST/ACCEPT/REJECT/
+// TRANSFER messages the async runner has always exchanged, made explicit
+// as byte frames so the same state machine can run over the in-process
+// simulator and over real sockets (net/transport.hpp). The lockstep
+// distributed runner adds DONE (transfer acknowledgement), TOKEN /
+// TOKEN_ACK (round-robin initiation right) and HELLO (connection
+// handshake identifying the sending host).
+//
+// A frame is a fixed 28-byte little-endian header followed by an optional
+// payload:
+//
+//   offset  size  field
+//        0     4  magic "DLBF"
+//        4     1  version (1)
+//        5     1  type (FrameType)
+//        6     2  reserved (zero)
+//        8     4  from machine id
+//       12     4  to machine id
+//       16     8  token (session / token-position identifier)
+//       24     4  payload size (bytes, <= kMaxFramePayload)
+//
+// Decoding is strict: bad magic, unknown version or type, an oversized
+// declared payload, or a buffer shorter than its declared size all raise
+// FrameError with a typed reason — a daemon fed garbage must fail the
+// connection, never read past a frame boundary.
+
+#include <cstddef>
+#include <cstdint>
+#include <deque>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "core/types.hpp"
+
+namespace dlb::net {
+
+enum class FrameType : std::uint8_t {
+  kRequest = 1,   ///< Initiator asks peer to open a session.
+  kAccept = 2,    ///< Peer locks in; payload: peer's job ids.
+  kReject = 3,    ///< Peer is busy (free-running protocol only).
+  kTransfer = 4,  ///< Moved jobs; payload: TransferMoves.
+  kDone = 5,      ///< Peer applied the transfer (lockstep ack).
+  kToken = 6,     ///< Initiation right for session index token-1.
+  kTokenAck = 7,  ///< Token receipt acknowledgement.
+  kHello = 8,     ///< Host handshake; payload: HelloPayload.
+};
+
+/// True for the eight known frame type codes.
+[[nodiscard]] bool frame_type_valid(std::uint8_t code) noexcept;
+[[nodiscard]] const char* frame_type_name(FrameType type) noexcept;
+
+inline constexpr std::size_t kFrameHeaderSize = 28;
+inline constexpr std::size_t kMaxFramePayload = 1u << 20;
+inline constexpr std::uint8_t kFrameVersion = 1;
+
+struct Frame {
+  FrameType type = FrameType::kRequest;
+  MachineId from = 0;
+  MachineId to = 0;
+  /// Session token (REQUEST/ACCEPT/REJECT/TRANSFER/DONE), token position
+  /// + 1 (TOKEN/TOKEN_ACK) or host index (HELLO).
+  std::uint64_t token = 0;
+  std::vector<std::uint8_t> payload;
+
+  [[nodiscard]] bool operator==(const Frame&) const = default;
+};
+
+/// Typed decode failure. The kind tells a transport whether the stream is
+/// garbage (fail the connection) versus merely incomplete (wait for more
+/// bytes — FrameReader handles that case internally and never throws it).
+class FrameError : public std::runtime_error {
+ public:
+  enum class Kind {
+    kBadMagic,
+    kBadVersion,
+    kBadType,
+    kOversized,
+    kTruncated,
+  };
+
+  FrameError(Kind kind, const std::string& message)
+      : std::runtime_error(message), kind_(kind) {}
+
+  [[nodiscard]] Kind kind() const noexcept { return kind_; }
+
+ private:
+  Kind kind_;
+};
+
+/// Serializes header + payload. Throws FrameError{kOversized} when the
+/// payload exceeds kMaxFramePayload.
+[[nodiscard]] std::vector<std::uint8_t> encode_frame(const Frame& frame);
+
+/// Decodes exactly one frame occupying the whole buffer. Throws FrameError
+/// on any malformation, including trailing bytes (kTruncated names both
+/// "too short" and "length mismatch" — the buffer does not hold exactly
+/// one well-formed frame).
+[[nodiscard]] Frame decode_frame(const std::uint8_t* data, std::size_t size);
+
+/// Incremental decoder for a byte stream: feed() arbitrary chunks, pop()
+/// complete frames. Malformed input throws FrameError from feed() and
+/// poisons the reader (the connection must be dropped).
+class FrameReader {
+ public:
+  /// Appends bytes and extracts every complete frame they finish.
+  void feed(const std::uint8_t* data, std::size_t size);
+
+  [[nodiscard]] bool has_frame() const noexcept { return !frames_.empty(); }
+  [[nodiscard]] Frame pop();
+
+  /// Bytes buffered that do not yet form a complete frame.
+  [[nodiscard]] std::size_t pending_bytes() const noexcept {
+    return buffer_.size();
+  }
+
+ private:
+  std::vector<std::uint8_t> buffer_;
+  std::deque<Frame> frames_;
+};
+
+// ----- typed payloads -----
+
+/// ACCEPT payload: the peer's current job list, ascending job ids.
+[[nodiscard]] std::vector<std::uint8_t> encode_jobs(
+    const std::vector<JobId>& jobs);
+[[nodiscard]] std::vector<JobId> decode_jobs(
+    const std::vector<std::uint8_t>& payload);
+
+/// TRANSFER payload: the jobs the session moved, split by destination.
+struct TransferMoves {
+  std::vector<JobId> to_initiator;
+  std::vector<JobId> to_peer;
+
+  [[nodiscard]] bool operator==(const TransferMoves&) const = default;
+  [[nodiscard]] std::size_t total() const noexcept {
+    return to_initiator.size() + to_peer.size();
+  }
+};
+
+[[nodiscard]] std::vector<std::uint8_t> encode_moves(
+    const TransferMoves& moves);
+[[nodiscard]] TransferMoves decode_moves(
+    const std::vector<std::uint8_t>& payload);
+
+/// HELLO payload: which host connected and which machines it speaks for.
+struct HelloPayload {
+  std::uint32_t host = 0;
+  MachineId machine_lo = 0;
+  MachineId machine_hi = 0;  ///< Exclusive.
+
+  [[nodiscard]] bool operator==(const HelloPayload&) const = default;
+};
+
+[[nodiscard]] std::vector<std::uint8_t> encode_hello(
+    const HelloPayload& hello);
+[[nodiscard]] HelloPayload decode_hello(
+    const std::vector<std::uint8_t>& payload);
+
+}  // namespace dlb::net

@@ -1,0 +1,117 @@
+#pragma once
+
+// Transport: the seam ROADMAP item 2 asks for, factored out of
+// net::Network. A transport moves protocol Frames between machines, owns
+// the clock its timers run on (net/clock.hpp), and is polled for work.
+// Two backends exist:
+//
+//   * SimTransport (this header) — frames ride the existing simulated
+//     net::Network over the discrete-event engine: deterministic latency,
+//     deterministic FaultPlan injection, virtual time. Byte-identical to
+//     the pre-Transport message layer; every legacy test keeps passing
+//     unchanged.
+//   * SocketTransport (net/socket_transport.hpp) — frames ride real
+//     TCP or Unix-domain-socket streams between OS processes; timers use
+//     a monotonic wall clock.
+//
+// The protocol state machines (dist/async_runner, dist/transport_runner)
+// are written against this interface only, so the same code balances a
+// simulated cluster and a live one.
+
+#include <cstddef>
+#include <functional>
+#include <vector>
+
+#include "core/types.hpp"
+#include "net/clock.hpp"
+#include "net/frame.hpp"
+#include "net/network.hpp"
+
+namespace dlb::net {
+
+class Transport {
+ public:
+  /// Receives every frame addressed to one of the local machines.
+  using FrameHandler = std::function<void(const Frame&)>;
+  using TimerCallback = std::function<void()>;
+
+  virtual ~Transport() = default;
+
+  /// Installs the delivery callback. Must be set before the first send.
+  virtual void set_handler(FrameHandler handler) = 0;
+
+  /// Establishes connectivity to every peer host. Blocking, idempotent;
+  /// a no-op for the simulated backend. Throws on failure.
+  virtual void connect() = 0;
+
+  /// Queues `frame` for delivery to frame.to. Never blocks on the peer;
+  /// delivery happens during poll() (local loopback included).
+  virtual void send(const Frame& frame) = 0;
+
+  /// Arms a one-shot timer `delay` seconds from clock().now(). Timers
+  /// fire during poll(), after due frames.
+  virtual void schedule_after(double delay, TimerCallback callback) = 0;
+
+  [[nodiscard]] virtual const Clock& clock() const = 0;
+  [[nodiscard]] double now() const { return clock().now(); }
+
+  /// Machine ids this endpoint speaks for, ascending.
+  [[nodiscard]] virtual const std::vector<MachineId>& local_machines()
+      const = 0;
+
+  /// Total machines across the whole deployment (local + remote).
+  [[nodiscard]] virtual std::size_t num_machines() const = 0;
+
+  /// True while frames to `machine` can still be delivered: local
+  /// machines always, remote ones until their host's link is down.
+  [[nodiscard]] virtual bool reachable(MachineId machine) const = 0;
+
+  /// Delivers due frames and fires due timers, waiting up to `max_wait`
+  /// seconds for something to become due (only meaningful on a realtime
+  /// clock; the DES backend advances virtual time instead of waiting).
+  /// Returns the number of frames + timers processed: 0 means the
+  /// transport is idle — nothing in flight and no timer pending.
+  virtual std::size_t poll(double max_wait) = 0;
+};
+
+/// The deterministic in-process backend: one transport hosts *all*
+/// machines of a run and delivers frames through a net::Network (latency
+/// model + optional FaultPlan) on a des::Engine. Binding to an external
+/// engine/network lets dist/async_runner keep sole ownership of its
+/// simulation while routing its messages through the Transport seam.
+class SimTransport final : public Transport {
+ public:
+  /// Non-owning: frames and timers are scheduled on the caller's engine
+  /// and network. Both must outlive the transport.
+  SimTransport(des::Engine& engine, Network& network,
+               std::size_t num_machines);
+
+  void set_handler(FrameHandler handler) override {
+    handler_ = std::move(handler);
+  }
+  void connect() override {}
+  void send(const Frame& frame) override;
+  void schedule_after(double delay, TimerCallback callback) override;
+  [[nodiscard]] const Clock& clock() const override { return clock_; }
+  [[nodiscard]] const std::vector<MachineId>& local_machines()
+      const override {
+    return machines_;
+  }
+  [[nodiscard]] std::size_t num_machines() const override {
+    return machines_.size();
+  }
+  [[nodiscard]] bool reachable(MachineId) const override { return true; }
+
+  /// Runs one pending DES event (a frame delivery or a timer). The
+  /// simulated clock jumps to the event's time, so max_wait is ignored.
+  std::size_t poll(double max_wait) override;
+
+ private:
+  des::Engine* engine_;
+  Network* network_;
+  std::vector<MachineId> machines_;
+  SimClock clock_;
+  FrameHandler handler_;
+};
+
+}  // namespace dlb::net

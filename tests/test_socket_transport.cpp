@@ -1,0 +1,220 @@
+// The socket backend exercised hermetically: two SocketTransports in one
+// process speak real Unix-domain / TCP streams, run the lockstep
+// protocol, and must converge to the bitwise-identical assignment the
+// simulated backend produces — with and without the chaos proxy.
+//
+// Connect ordering makes this single-threaded: the higher-ranked host
+// dials first (the listener's OS backlog accepts before the peer polls),
+// then the lower-ranked host's connect() promotes the queued HELLO.
+
+#include "net/socket_transport.hpp"
+
+#include <gtest/gtest.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <chrono>
+#include <cstdint>
+#include <filesystem>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/generators.hpp"
+#include "des/engine.hpp"
+#include "dist/dlb2c.hpp"
+#include "dist/transport_runner.hpp"
+#include "net/fault.hpp"
+#include "net/network.hpp"
+#include "net/transport.hpp"
+#include "stats/rng.hpp"
+
+namespace dlb::net {
+namespace {
+
+std::uint16_t free_tcp_port() {
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = 0;
+  EXPECT_EQ(::bind(fd, reinterpret_cast<sockaddr*>(&addr), sizeof addr), 0);
+  socklen_t len = sizeof addr;
+  EXPECT_EQ(::getsockname(fd, reinterpret_cast<sockaddr*>(&addr), &len), 0);
+  const std::uint16_t port = ntohs(addr.sin_port);
+  ::close(fd);
+  return port;
+}
+
+std::vector<HostSpec> make_hosts(bool use_unix, const std::string& tag,
+                                 std::size_t machines) {
+  const MachineId split = static_cast<MachineId>(machines / 2);
+  std::vector<HostSpec> hosts(2);
+  if (use_unix) {
+    const std::string dir =
+        std::filesystem::temp_directory_path().string();
+    const std::string unique = tag + "_" + std::to_string(::getpid());
+    hosts[0].address = "unix:" + dir + "/dlb_test_" + unique + "_a.sock";
+    hosts[1].address = "unix:" + dir + "/dlb_test_" + unique + "_b.sock";
+  } else {
+    hosts[0].address =
+        "tcp:127.0.0.1:" + std::to_string(free_tcp_port());
+    hosts[1].address =
+        "tcp:127.0.0.1:" + std::to_string(free_tcp_port());
+  }
+  hosts[0].machine_lo = 0;
+  hosts[0].machine_hi = split;
+  hosts[1].machine_lo = split;
+  hosts[1].machine_hi = static_cast<MachineId>(machines);
+  return hosts;
+}
+
+struct SimBaseline {
+  std::vector<std::vector<JobId>> jobs;
+  std::vector<Cost> loads;
+  std::uint64_t exchanges = 0;
+  std::uint64_t migrations = 0;
+};
+
+SimBaseline sim_baseline(const Instance& instance, std::uint64_t seed,
+                         std::size_t rounds) {
+  Schedule replica(instance, gen::random_assignment(instance, seed));
+  des::Engine engine;
+  ConstantLatency latency(0.01);
+  stats::Rng rng = stats::Rng::stream(seed, 0x7E57);
+  Network network(engine, latency, rng);
+  SimTransport transport(engine, network, instance.num_machines());
+  const dist::Dlb2cKernel kernel;
+  dist::TransportRunnerOptions options;
+  options.kernel = &kernel;
+  options.seed = seed;
+  options.rounds = rounds;
+  dist::TransportRunner runner(replica, transport, options);
+  runner.start();
+  runner.run_to_completion();
+  SimBaseline baseline;
+  for (MachineId m = 0; m < instance.num_machines(); ++m) {
+    baseline.jobs.push_back(runner.sorted_jobs(m));
+    baseline.loads.push_back(runner.canonical_load(m));
+  }
+  baseline.exchanges = runner.counters().exchanges;
+  baseline.migrations = runner.counters().migrations;
+  return baseline;
+}
+
+void run_two_host_cluster(const Instance& instance, std::uint64_t seed,
+                          std::size_t rounds, bool use_unix,
+                          const std::string& tag,
+                          const FaultPlan* chaos) {
+  const SimBaseline baseline = sim_baseline(instance, seed, rounds);
+
+  const std::vector<HostSpec> hosts =
+      make_hosts(use_unix, tag, instance.num_machines());
+  SocketTransportOptions options_a;
+  options_a.hosts = hosts;
+  options_a.self = 0;
+  options_a.chaos = chaos;
+  SocketTransportOptions options_b = options_a;
+  options_b.self = 1;
+
+  SocketTransport transport_a(options_a);
+  SocketTransport transport_b(options_b);
+
+  Schedule replica_a(instance, gen::random_assignment(instance, seed));
+  Schedule replica_b(instance, gen::random_assignment(instance, seed));
+  const dist::Dlb2cKernel kernel;
+  dist::TransportRunnerOptions runner_options;
+  runner_options.kernel = &kernel;
+  runner_options.seed = seed;
+  runner_options.rounds = rounds;
+  runner_options.retry_timeout = 0.05;
+  dist::TransportRunner runner_a(replica_a, transport_a, runner_options);
+  dist::TransportRunner runner_b(replica_b, transport_b, runner_options);
+
+  // Higher rank dials first; the lower rank's connect() then drains the
+  // backlog and promotes the HELLO — no second thread needed.
+  transport_b.connect();
+  transport_a.connect();
+  runner_a.start();
+  runner_b.start();
+
+  const auto deadline =
+      std::chrono::steady_clock::now() + std::chrono::seconds(60);
+  while (!(runner_a.done() && runner_b.done())) {
+    ASSERT_LT(std::chrono::steady_clock::now(), deadline)
+        << "cluster did not converge";
+    transport_a.poll(0.005);
+    transport_b.poll(0.005);
+  }
+
+  // Authoritative rows, stitched across the two runners, must match the
+  // simulated baseline bit for bit.
+  std::uint64_t exchanges = 0;
+  std::uint64_t migrations = 0;
+  for (MachineId m = 0; m < instance.num_machines(); ++m) {
+    dist::TransportRunner& owner =
+        m < hosts[0].machine_hi ? runner_a : runner_b;
+    EXPECT_EQ(owner.sorted_jobs(m), baseline.jobs[m]) << "machine " << m;
+    EXPECT_EQ(owner.canonical_load(m), baseline.loads[m])
+        << "machine " << m;
+  }
+  exchanges = runner_a.counters().exchanges + runner_b.counters().exchanges;
+  migrations =
+      runner_a.counters().migrations + runner_b.counters().migrations;
+  EXPECT_EQ(exchanges, baseline.exchanges);
+  EXPECT_EQ(migrations, baseline.migrations);
+}
+
+TEST(SocketTransport, UnixClusterMatchesSimBitwise) {
+  const Instance instance =
+      gen::two_cluster_uniform(2, 2, 32, 1.0, 100.0, 12);
+  run_two_host_cluster(instance, 13, 3, /*use_unix=*/true, "unix",
+                       nullptr);
+}
+
+TEST(SocketTransport, TcpClusterMatchesSimBitwise) {
+  const Instance instance =
+      gen::two_cluster_uniform(2, 2, 32, 1.0, 100.0, 12);
+  run_two_host_cluster(instance, 13, 3, /*use_unix=*/false, "tcp",
+                       nullptr);
+}
+
+TEST(SocketTransport, ChaosProxyPreservesOutcome) {
+  const Instance instance =
+      gen::two_cluster_uniform(2, 2, 32, 1.0, 100.0, 12);
+  const FaultPlan chaos = fault_plan_by_name("chaos", 0.2, 77);
+  run_two_host_cluster(instance, 13, 3, /*use_unix=*/true, "chaos",
+                       &chaos);
+}
+
+TEST(SocketTransport, RejectsBadManifest) {
+  SocketTransportOptions options;
+  options.hosts.resize(2);
+  options.hosts[0] = {"unix:/tmp/dlb_gap_a.sock", 0, 2};
+  options.hosts[1] = {"unix:/tmp/dlb_gap_b.sock", 3, 4};  // gap: machine 2
+  options.self = 0;
+  EXPECT_THROW(SocketTransport{options}, std::invalid_argument);
+
+  // The listener address must parse; a malformed scheme fails fast.
+  options.hosts[0] = {"nonsense-address", 0, 3};
+  options.hosts[1] = {"unix:/tmp/dlb_gap_b.sock", 3, 4};
+  EXPECT_THROW(SocketTransport{options}, std::invalid_argument);
+}
+
+TEST(SocketTransport, ListenAddressIsConcrete) {
+  // Port 0 asks the OS for an ephemeral port; listen_address() must
+  // report the port actually bound, which is what a launcher advertises.
+  SocketTransportOptions options;
+  options.hosts.resize(2);
+  options.hosts[0] = {"tcp:127.0.0.1:0", 0, 1};
+  options.hosts[1] = {"tcp:127.0.0.1:0", 1, 2};
+  options.self = 0;
+  SocketTransport transport(options);
+  const std::string address = transport.listen_address();
+  EXPECT_EQ(address.rfind("tcp:", 0), 0u);
+  EXPECT_NE(address, "tcp:127.0.0.1:0");
+}
+
+}  // namespace
+}  // namespace dlb::net

@@ -1,0 +1,170 @@
+// The lockstep transport runner on the simulated backend: the session
+// plan is a pure function of (seed, machines, rounds), repeated runs are
+// bitwise identical, and a chaos fault plan perturbs frame timing without
+// perturbing the converged assignment — the property the CI differential
+// and chaos-smoke gates rely on.
+
+#include "dist/transport_runner.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <vector>
+
+#include "core/generators.hpp"
+#include "des/engine.hpp"
+#include "dist/dlb2c.hpp"
+#include "net/fault.hpp"
+#include "net/network.hpp"
+#include "net/transport.hpp"
+#include "stats/rng.hpp"
+
+namespace dlb::dist {
+namespace {
+
+struct SimResult {
+  std::vector<std::vector<JobId>> jobs;
+  std::vector<Cost> loads;
+  TransportRunner::Counters counters;
+};
+
+SimResult run_sim(const Instance& instance, std::uint64_t seed,
+                  std::size_t rounds, const net::FaultPlan* plan) {
+  Schedule replica(instance, gen::random_assignment(instance, seed));
+  des::Engine engine;
+  net::ConstantLatency latency(0.01);
+  stats::Rng rng = stats::Rng::stream(seed, 0x7E57);
+  net::Network network(engine, latency, rng);
+  if (plan != nullptr) network.set_fault_plan(plan);
+  net::SimTransport transport(engine, network, instance.num_machines());
+
+  const Dlb2cKernel kernel;
+  TransportRunnerOptions options;
+  options.kernel = &kernel;
+  options.seed = seed;
+  options.rounds = rounds;
+  options.retry_timeout = 0.5;
+  TransportRunner runner(replica, transport, options);
+  runner.start();
+  runner.run_to_completion();
+
+  SimResult result;
+  for (MachineId m = 0; m < instance.num_machines(); ++m) {
+    result.jobs.push_back(runner.sorted_jobs(m));
+    result.loads.push_back(runner.canonical_load(m));
+  }
+  result.counters = runner.counters();
+  return result;
+}
+
+TEST(TransportRunnerPlan, PureAndWellFormed) {
+  const std::uint64_t seed = 11;
+  const std::size_t machines = 6;
+  EXPECT_EQ(TransportRunner::total_sessions(machines, 4), 24u);
+  EXPECT_EQ(TransportRunner::total_sessions(1, 4), 0u);
+  for (std::uint64_t token = 0; token < 24; ++token) {
+    const MachineId initiator =
+        TransportRunner::initiator_of(seed, machines, token);
+    const MachineId peer =
+        TransportRunner::peer_of(seed, machines, token, initiator);
+    ASSERT_LT(initiator, machines);
+    ASSERT_LT(peer, machines);
+    EXPECT_NE(initiator, peer) << "token " << token;
+    // Pure: a second evaluation agrees.
+    EXPECT_EQ(TransportRunner::initiator_of(seed, machines, token),
+              initiator);
+    EXPECT_EQ(TransportRunner::peer_of(seed, machines, token, initiator),
+              peer);
+  }
+  // Each round visits every machine exactly once.
+  const std::vector<MachineId> order =
+      TransportRunner::round_order(seed, machines, 2);
+  std::vector<int> seen(machines, 0);
+  for (const MachineId m : order) ++seen[m];
+  EXPECT_EQ(seen, std::vector<int>(machines, 1));
+}
+
+TEST(TransportRunner, RepeatedRunsBitwiseIdentical) {
+  const Instance instance =
+      gen::two_cluster_uniform(3, 3, 48, 1.0, 100.0, 5);
+  const SimResult a = run_sim(instance, 9, 4, nullptr);
+  const SimResult b = run_sim(instance, 9, 4, nullptr);
+  EXPECT_EQ(a.jobs, b.jobs);
+  EXPECT_EQ(a.loads, b.loads);
+  EXPECT_EQ(a.counters.exchanges, b.counters.exchanges);
+  EXPECT_EQ(a.counters.migrations, b.counters.migrations);
+}
+
+TEST(TransportRunner, CompletesEveryPlannedSession) {
+  const Instance instance =
+      gen::two_cluster_uniform(2, 2, 24, 1.0, 50.0, 2);
+  const SimResult result = run_sim(instance, 3, 5, nullptr);
+  EXPECT_EQ(result.counters.sessions_initiated, 20u);
+  EXPECT_EQ(result.counters.sessions_completed, 20u);
+  // Conservation: every job placed exactly once.
+  std::vector<int> placed(24, 0);
+  for (const auto& row : result.jobs) {
+    for (const JobId job : row) ++placed[job];
+  }
+  EXPECT_EQ(placed, std::vector<int>(24, 1));
+}
+
+TEST(TransportRunner, ChaosPerturbsTimingNotOutcome) {
+  const Instance instance =
+      gen::two_cluster_uniform(3, 3, 60, 1.0, 200.0, 8);
+  const SimResult clean = run_sim(instance, 21, 5, nullptr);
+
+  for (const std::uint64_t fault_seed : {101u, 202u, 303u}) {
+    net::FaultPlan plan =
+        net::fault_plan_by_name("chaos", 0.25, fault_seed);
+    const SimResult chaotic = run_sim(instance, 21, 5, &plan);
+    EXPECT_EQ(chaotic.jobs, clean.jobs) << "fault seed " << fault_seed;
+    EXPECT_EQ(chaotic.loads, clean.loads) << "fault seed " << fault_seed;
+    EXPECT_EQ(chaotic.counters.exchanges, clean.counters.exchanges);
+    EXPECT_EQ(chaotic.counters.migrations, clean.counters.migrations);
+    // The chaos run must not double-commit: each exchange applies once,
+    // however many TRANSFER retransmissions the drops forced.
+    EXPECT_LE(chaotic.counters.exchanges,
+              chaotic.counters.transfers_sent);
+  }
+}
+
+TEST(TransportRunner, DeadPeerSessionsSkipMovelessly) {
+  const Instance instance =
+      gen::two_cluster_uniform(2, 2, 24, 1.0, 50.0, 4);
+  Schedule replica(instance, gen::random_assignment(instance, 6));
+  des::Engine engine;
+  net::ConstantLatency latency(0.01);
+  stats::Rng rng = stats::Rng::stream(6, 0x7E57);
+  net::Network network(engine, latency, rng);
+  net::SimTransport transport(engine, network, instance.num_machines());
+
+  const Dlb2cKernel kernel;
+  TransportRunnerOptions options;
+  options.kernel = &kernel;
+  options.seed = 6;
+  options.rounds = 3;
+  TransportRunner runner(replica, transport, options);
+  const std::vector<JobId> dead_row_before = runner.sorted_jobs(3);
+  runner.mark_dead(3);
+  runner.start();
+  runner.run_to_completion();
+
+  EXPECT_TRUE(runner.done());
+  // The dead machine neither gained nor lost jobs, and no job was lost
+  // overall — its orphans await adoption, exactly what the churn
+  // re-dispatch path consumes.
+  EXPECT_EQ(runner.sorted_jobs(3), dead_row_before);
+  std::vector<int> placed(24, 0);
+  for (MachineId m = 0; m < 4; ++m) {
+    for (const JobId job : runner.sorted_jobs(m)) ++placed[job];
+  }
+  EXPECT_EQ(placed, std::vector<int>(24, 1));
+
+  // Adoption moves the orphans onto a live machine.
+  runner.adopt(dead_row_before, 0);
+  EXPECT_TRUE(runner.sorted_jobs(3).empty());
+}
+
+}  // namespace
+}  // namespace dlb::dist

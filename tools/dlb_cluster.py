@@ -1,0 +1,475 @@
+#!/usr/bin/env python3
+"""Launch and drive a multi-process dlbd cluster.
+
+Modes:
+  run           launch a cluster, wait for the protocol to finish, print
+                the combined status.
+  differential  run the cluster AND the simulated reference
+                (`dlbsim transport`) on the same instance/seed/rounds;
+                fail unless per-machine loads are byte-identical and the
+                migration/exchange totals match.
+  chaos         differential with a fault plan injected into every
+                daemon's socket transport (the sim reference stays
+                fault-free); additionally asserts protocol invariants:
+                job conservation (no loss, no double-commit) and
+                exchanges <= TRANSFER frames sent.
+  kill          SIGKILL one daemon mid-run, then recover on the
+                survivors: mark-dead its machines, adopt the orphaned
+                jobs (PR 5 churn re-dispatch), re-inject the session
+                token, and assert the survivors finish with every job
+                placed exactly once.
+
+Example:
+  python3 tools/dlb_cluster.py differential \
+      --dlbd build/tools/dlbd --dlbsim build/tools/dlbsim \
+      --daemons 4 --transport unix --seed 7 --rounds 6
+"""
+
+import argparse
+import os
+import re
+import signal
+import socket
+import subprocess
+import sys
+import tempfile
+import time
+
+
+def log(message):
+    print(f"dlb_cluster: {message}", flush=True)
+
+
+def free_tcp_port():
+    with socket.socket(socket.AF_INET, socket.SOCK_STREAM) as probe:
+        probe.bind(("127.0.0.1", 0))
+        return probe.getsockname()[1]
+
+
+class Daemon:
+    """One dlbd process driven over its stdin/stdout command channel."""
+
+    def __init__(self, idx, cmd, log_path):
+        self.idx = idx
+        self.log_path = log_path
+        self.log_file = open(log_path, "w")
+        self.proc = subprocess.Popen(
+            cmd,
+            stdin=subprocess.PIPE,
+            stdout=subprocess.PIPE,
+            stderr=self.log_file,
+            text=True,
+            bufsize=1,
+        )
+
+    def wait_ready(self):
+        line = self.proc.stdout.readline()
+        if line.strip() != "ready":
+            raise RuntimeError(
+                f"daemon {self.idx} failed to start (got {line!r}); "
+                f"see {self.log_path}"
+            )
+
+    def command(self, line):
+        """Sends one command; returns its data lines (terminator
+        stripped). Raises on an error reply or a dead daemon."""
+        self.proc.stdin.write(line + "\n")
+        self.proc.stdin.flush()
+        reply = []
+        while True:
+            out = self.proc.stdout.readline()
+            if not out:
+                raise RuntimeError(
+                    f"daemon {self.idx} closed its command channel; "
+                    f"see {self.log_path}"
+                )
+            out = out.rstrip("\n")
+            if out == "ok":
+                return reply
+            if out.startswith("error:"):
+                raise RuntimeError(f"daemon {self.idx}: {out}")
+            reply.append(out)
+
+    def kill(self):
+        self.proc.kill()
+        self.proc.wait()
+
+    def shutdown(self):
+        if self.proc.poll() is not None:
+            return
+        try:
+            self.command("shutdown")
+        except (RuntimeError, BrokenPipeError, OSError):
+            pass
+        try:
+            self.proc.wait(timeout=5)
+        except subprocess.TimeoutExpired:
+            self.kill()
+
+    def close(self):
+        if self.proc.poll() is None:
+            self.kill()
+        self.log_file.close()
+
+
+def parse_status(lines):
+    status = {"machines": {}}
+    for line in lines:
+        fields = line.split()
+        if fields[0] == "state":
+            status["state"] = fields[1]
+        elif fields[0] == "watermark":
+            status["watermark"] = int(fields[1])
+            status["total"] = int(fields[3])
+        elif fields[0] == "migrations":
+            status["migrations"] = int(fields[1])
+        elif fields[0] == "exchanges":
+            status["exchanges"] = int(fields[1])
+        elif fields[0] == "transfers":
+            status["transfers_sent"] = int(fields[1])
+            status["transfers_applied"] = int(fields[3])
+        elif fields[0] == "faults":
+            status["faults"] = line
+        elif fields[0] == "machine":
+            machine = int(fields[1])
+            load = fields[2].split("=", 1)[1]
+            jobs = int(fields[3].split("=", 1)[1])
+            status["machines"][machine] = (load, jobs)
+    return status
+
+
+def parse_jobs(lines):
+    jobs = {}
+    for line in lines:
+        head, _, rest = line.partition(":")
+        machine = int(head.split()[1])
+        jobs[machine] = [int(j) for j in rest.split()]
+    return jobs
+
+
+def parse_reference(text):
+    reference = {"machines": {}}
+    for line in text.splitlines():
+        match = re.match(r"(\w[\w ]*?)\s*: (.*)", line)
+        if not match:
+            continue
+        key, value = match.group(1), match.group(2)
+        if key == "migrations":
+            reference["migrations"] = int(value)
+        elif key == "exchanges":
+            reference["exchanges"] = int(value)
+        elif key == "cmax":
+            reference["cmax"] = value
+        elif key.startswith("load "):
+            machine = int(key.split()[1])
+            load, jobs = value.split(" jobs=")
+            reference["machines"][machine] = (load, int(jobs))
+    return reference
+
+
+class Cluster:
+    def __init__(self, args, workdir):
+        self.args = args
+        self.workdir = workdir
+        self.daemons = []
+        self.instance = args.instance
+        if not self.instance:
+            self.instance = os.path.join(workdir, "cluster.inst")
+            subprocess.run(
+                [
+                    args.dlbsim, "gen", "--out", self.instance,
+                    "--kind", "two-cluster",
+                    "--m1", str(args.machines // 2),
+                    "--m2", str(args.machines - args.machines // 2),
+                    "--jobs", str(args.jobs),
+                    "--seed", str(args.gen_seed),
+                ],
+                check=True,
+                stdout=subprocess.DEVNULL,
+            )
+        self.manifest = self.build_manifest()
+
+    def build_manifest(self):
+        entries = []
+        m, n = self.args.machines, self.args.daemons
+        for i in range(n):
+            lo, hi = i * m // n, (i + 1) * m // n - 1
+            if self.args.transport == "unix":
+                address = f"unix:{self.workdir}/d{i}.sock"
+            else:
+                address = f"tcp:127.0.0.1:{free_tcp_port()}"
+            entries.append(f"{address}={lo}-{hi}")
+        return ",".join(entries)
+
+    def launch(self, fault="none"):
+        for i in range(self.args.daemons):
+            cmd = [
+                self.args.dlbd,
+                "--in", self.instance,
+                "--hosts", self.manifest,
+                "--self", str(i),
+                "--alg", self.args.alg,
+                "--seed", str(self.args.seed),
+                "--rounds", str(self.args.rounds),
+                "--retry-timeout", str(self.args.retry_timeout),
+                "--fault", fault,
+                "--fault-p", str(self.args.fault_p),
+                "--fault-seed", str(self.args.fault_seed),
+            ]
+            log_path = os.path.join(self.args.log_dir, f"dlbd-{i}.log")
+            self.daemons.append(Daemon(i, cmd, log_path))
+        for daemon in self.daemons:
+            daemon.wait_ready()
+        log(f"{len(self.daemons)} daemons ready ({self.args.transport})")
+
+    def survivors(self):
+        return [d for d in self.daemons if d.proc.poll() is None]
+
+    def wait_done(self, deadline):
+        while time.time() < deadline:
+            states = [
+                parse_status(d.command("status"))
+                for d in self.survivors()
+            ]
+            if all(s["state"] == "done" for s in states):
+                return states
+            time.sleep(0.1)
+        raise RuntimeError("timed out waiting for the protocol to finish")
+
+    def combined(self, states):
+        machines = {}
+        for state in states:
+            machines.update(state["machines"])
+        return {
+            "machines": machines,
+            "migrations": sum(s["migrations"] for s in states),
+            "exchanges": sum(s["exchanges"] for s in states),
+            "transfers_sent": sum(s["transfers_sent"] for s in states),
+        }
+
+    def all_jobs(self):
+        placed = {}
+        for daemon in self.survivors():
+            for machine, jobs in parse_jobs(
+                daemon.command("jobs")
+            ).items():
+                placed[machine] = jobs
+        return placed
+
+    def teardown(self):
+        for daemon in self.daemons:
+            daemon.shutdown()
+        for daemon in self.daemons:
+            daemon.close()
+
+
+def check_conservation(placed, num_jobs):
+    """Every job exactly once: catches both loss and double-commit."""
+    seen = {}
+    for machine, jobs in placed.items():
+        for job in jobs:
+            if job in seen:
+                raise RuntimeError(
+                    f"job {job} is on machines {seen[job]} and {machine}"
+                    " (double-commit)"
+                )
+            seen[job] = machine
+    missing = [j for j in range(num_jobs) if j not in seen]
+    if missing:
+        raise RuntimeError(f"{len(missing)} jobs lost: {missing[:10]}...")
+
+
+def run_reference(args):
+    result = subprocess.run(
+        [
+            args.dlbsim, "transport",
+            "--in", args.instance,
+            "--alg", args.alg,
+            "--seed", str(args.seed),
+            "--rounds", str(args.rounds),
+        ],
+        check=True,
+        capture_output=True,
+        text=True,
+    )
+    return parse_reference(result.stdout)
+
+
+def compare(reference, combined):
+    failures = []
+    for machine, (load, jobs) in sorted(reference["machines"].items()):
+        got = combined["machines"].get(machine)
+        if got is None:
+            failures.append(f"machine {machine}: missing from cluster")
+        elif got != (load, jobs):
+            failures.append(
+                f"machine {machine}: cluster load={got[0]} jobs={got[1]}"
+                f" != reference load={load} jobs={jobs}"
+            )
+    for key in ("migrations", "exchanges"):
+        if reference[key] != combined[key]:
+            failures.append(
+                f"{key}: cluster {combined[key]} != "
+                f"reference {reference[key]}"
+            )
+    return failures
+
+
+def mode_run(cluster, args, deadline):
+    cluster.launch()
+    states = cluster.wait_done(deadline)
+    combined = cluster.combined(states)
+    log(
+        f"done: exchanges={combined['exchanges']} "
+        f"migrations={combined['migrations']}"
+    )
+    return 0
+
+
+def mode_differential(cluster, args, deadline, fault="none"):
+    cluster.launch(fault=fault)
+    states = cluster.wait_done(deadline)
+    combined = cluster.combined(states)
+    args.instance = cluster.instance
+    reference = run_reference(args)
+    failures = compare(reference, combined)
+
+    if fault != "none":
+        check_conservation(cluster.all_jobs(), args.jobs)
+        if combined["exchanges"] > combined["transfers_sent"]:
+            failures.append(
+                f"invariant broken: exchanges {combined['exchanges']} > "
+                f"TRANSFER frames {combined['transfers_sent']}"
+            )
+        for state in states:
+            log(f"chaos: {state.get('faults', 'faults none')}")
+
+    if failures:
+        for failure in failures:
+            log(f"MISMATCH: {failure}")
+        return 1
+    log(
+        f"match: {len(reference['machines'])} machines byte-identical, "
+        f"migrations={combined['migrations']} "
+        f"exchanges={combined['exchanges']}"
+    )
+    return 0
+
+
+def mode_kill(cluster, args, deadline):
+    cluster.launch()
+    victim = cluster.daemons[-1]
+    victim_machines = None
+
+    # Let the protocol reach the midpoint before pulling the plug.
+    while time.time() < deadline:
+        status = parse_status(cluster.daemons[0].command("status"))
+        if status["watermark"] >= status["total"] // 2:
+            break
+        if status["state"] == "done":
+            break
+        time.sleep(0.05)
+    victim_status = parse_status(victim.command("status"))
+    victim_machines = sorted(victim_status["machines"])
+    victim.kill()
+    log(f"killed daemon {victim.idx} (machines {victim_machines})")
+
+    survivors = cluster.survivors()
+    for daemon in survivors:
+        for machine in victim_machines:
+            daemon.command(f"mark-dead {machine}")
+
+    # Orphans = every job no survivor holds; adopt them onto the first
+    # surviving machine (the churn runtime's re-dispatch, operator
+    # edition).
+    placed = cluster.all_jobs()
+    held = {job for jobs in placed.values() for job in jobs}
+    orphans = [j for j in range(args.jobs) if j not in held]
+    adopter = survivors[0]
+    target = min(parse_status(adopter.command("status"))["machines"])
+    if orphans:
+        adopter.command(
+            "adopt " + str(target) + " " + " ".join(map(str, orphans))
+        )
+    log(f"adopted {len(orphans)} orphans onto machine {target}")
+
+    # Re-inject the token in case it died with the victim.
+    watermark = max(
+        parse_status(d.command("status"))["watermark"] for d in survivors
+    )
+    adopter.command(f"inject {watermark}")
+    log(f"token re-injected at session {watermark}")
+
+    states = cluster.wait_done(deadline)
+    check_conservation(cluster.all_jobs(), args.jobs)
+    combined = cluster.combined(states)
+    log(
+        f"survivors finished: exchanges={combined['exchanges']} "
+        f"migrations={combined['migrations']}, all {args.jobs} jobs "
+        "placed exactly once"
+    )
+    return 0
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "mode", choices=["run", "differential", "chaos", "kill"]
+    )
+    parser.add_argument("--dlbd", required=True)
+    parser.add_argument("--dlbsim", required=True)
+    parser.add_argument("--daemons", type=int, default=4)
+    parser.add_argument(
+        "--transport", choices=["unix", "tcp"], default="unix"
+    )
+    parser.add_argument("--machines", type=int, default=8)
+    parser.add_argument("--jobs", type=int, default=96)
+    parser.add_argument("--instance", default="")
+    parser.add_argument("--gen-seed", type=int, default=3)
+    parser.add_argument("--alg", default="dlb2c")
+    parser.add_argument("--seed", type=int, default=1)
+    parser.add_argument("--rounds", type=int, default=6)
+    parser.add_argument("--retry-timeout", type=float, default=0.5)
+    parser.add_argument("--fault", default="chaos")
+    parser.add_argument("--fault-p", type=float, default=0.1)
+    parser.add_argument("--fault-seed", type=int, default=99)
+    parser.add_argument("--timeout", type=float, default=120.0)
+    parser.add_argument("--log-dir", default="")
+    args = parser.parse_args()
+
+    if args.daemons < 2 or args.machines < args.daemons:
+        parser.error("need >= 2 daemons and >= 1 machine per daemon")
+
+    with tempfile.TemporaryDirectory(prefix="dlb_cluster.") as workdir:
+        if not args.log_dir:
+            args.log_dir = workdir
+        os.makedirs(args.log_dir, exist_ok=True)
+        deadline = time.time() + args.timeout
+        cluster = Cluster(args, workdir)
+        try:
+            if args.mode == "run":
+                return mode_run(cluster, args, deadline)
+            if args.mode == "differential":
+                return mode_differential(cluster, args, deadline)
+            if args.mode == "chaos":
+                return mode_differential(
+                    cluster, args, deadline, fault=args.fault
+                )
+            return mode_kill(cluster, args, deadline)
+        except Exception as error:  # noqa: BLE001 - report and fail the job
+            log(f"FAILED: {error}")
+            for daemon in cluster.daemons:
+                daemon.log_file.flush()
+                if os.path.exists(daemon.log_path):
+                    with open(daemon.log_path) as handle:
+                        tail = handle.readlines()[-15:]
+                    log(f"--- log tail of daemon {daemon.idx} ---")
+                    for line in tail:
+                        print("  " + line.rstrip(), flush=True)
+            return 1
+        finally:
+            cluster.teardown()
+
+
+if __name__ == "__main__":
+    sys.exit(main())
