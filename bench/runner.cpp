@@ -11,6 +11,7 @@
 #include <thread>
 
 #include "cli/args.hpp"
+#include "obs/flight_recorder.hpp"
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
 #include "parallel/monte_carlo.hpp"
@@ -115,12 +116,16 @@ std::vector<ExperimentResult> run_experiments(const Registry& registry,
         // per-run sums, not accumulated across warmup + timed reps.
         obs::Metrics obs_metrics;
         obs::Tracer obs_tracer;
+        obs::FlightRecorder obs_flight;
         obs::Context obs_context;
         if (options.with_obs) {
           obs_context.metrics = &obs_metrics;
           if (reporting && options.trace_dir) {
             obs_context.tracer = &obs_tracer;
           }
+          // The flight recorder rides along whenever obs is on, so the
+          // perf-smoke overhead gate prices its per-epoch sampling too.
+          obs_context.flight = &obs_flight;
           ctx.obs = &obs_context;
         }
 
@@ -150,6 +155,18 @@ std::vector<ExperimentResult> run_experiments(const Registry& registry,
             trace_out << obs_tracer.to_chrome_json().dump(2) << "\n";
           } else {
             log << "  (cannot write " << trace_path.string() << ")";
+          }
+        }
+        if (reporting && options.with_obs && options.trace_dir &&
+            obs_flight.size() != 0) {
+          const std::filesystem::path flight_path =
+              std::filesystem::path(*options.trace_dir) /
+              (experiment->name + ".flight.json");
+          std::ofstream flight_out(flight_path);
+          if (flight_out) {
+            flight_out << obs_flight.to_json().dump(2) << "\n";
+          } else {
+            log << "  (cannot write " << flight_path.string() << ")";
           }
         }
       }

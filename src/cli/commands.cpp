@@ -6,6 +6,7 @@
 #include <functional>
 #include <map>
 #include <optional>
+#include <sstream>
 #include <stdexcept>
 
 #include "centralized/clb2c.hpp"
@@ -29,9 +30,12 @@
 #include "dist/transport_runner.hpp"
 #include "markov/makespan_pdf.hpp"
 #include "net/transport.hpp"
+#include "obs/aggregate.hpp"
 #include "obs/obs.hpp"
+#include "obs/trace_merge.hpp"
 #include "pairwise/kernel_registry.hpp"
 #include "parallel/thread_pool.hpp"
+#include "stats/ascii_plot.hpp"
 #include "stats/csv.hpp"
 #include "stats/table.hpp"
 
@@ -181,26 +185,32 @@ int cmd_solve(const Args& args, std::ostream& out, std::ostream& err) {
 
 // ----- balance / simulate shared observability plumbing -----
 
-/// Owns the sinks behind --trace-json / --metrics-json for one command
-/// invocation and writes the requested files afterwards.
+/// Owns the sinks behind --trace-json / --metrics-json / --flight-json
+/// for one command invocation and writes the requested files afterwards.
 struct ObsFiles {
   std::string trace_path;
   std::string metrics_path;
+  std::string flight_path;
   obs::Metrics metrics;
   obs::Tracer tracer;
+  obs::FlightRecorder flight;
   obs::Context context;
 
   ObsFiles(const Args& args, const char* trace_key, const char* metrics_key)
       : trace_path(args.get(trace_key, "")),
-        metrics_path(args.get(metrics_key, "")) {
+        metrics_path(args.get(metrics_key, "")),
+        flight_path(args.get("flight-json", "")) {
     if (!trace_path.empty()) context.tracer = &tracer;
-    if (!metrics_path.empty() || !trace_path.empty()) {
+    if (!flight_path.empty()) context.flight = &flight;
+    if (!metrics_path.empty() || !trace_path.empty() ||
+        !flight_path.empty()) {
       context.metrics = &metrics;
     }
   }
 
   [[nodiscard]] bool enabled() const noexcept {
-    return context.metrics != nullptr || context.tracer != nullptr;
+    return context.metrics != nullptr || context.tracer != nullptr ||
+           context.flight != nullptr;
   }
 
   /// Writes the requested files; returns 0 or an exit code on I/O failure.
@@ -225,6 +235,18 @@ struct ObsFiles {
       }
       file << metrics.snapshot().dump(2) << "\n";
       out << "metrics-json    : " << metrics_path << "\n";
+    }
+    if (!flight_path.empty()) {
+      std::ofstream file(flight_path);
+      if (!file) {
+        err << "dlbsim: cannot write " << flight_path << "\n";
+        return 1;
+      }
+      file << flight.to_json().dump(2) << "\n";
+      out << "flight-json     : " << flight_path << " (" << flight.size()
+          << " samples";
+      if (flight.dropped() > 0) out << ", " << flight.dropped() << " dropped";
+      out << ")\n";
     }
     return 0;
   }
@@ -569,6 +591,190 @@ int cmd_transport(const Args& args, std::ostream& out, std::ostream& err) {
   return obs_files.write(out, err);
 }
 
+// ----- cluster observability: trace-merge / metrics-merge / flight -----
+
+stats::Json load_json_file(const std::string& path) {
+  std::ifstream file(path);
+  if (!file) throw std::invalid_argument("cannot read " + path);
+  std::ostringstream text;
+  text << file.rdbuf();
+  return stats::Json::parse(text.str());
+}
+
+std::vector<std::string> split_comma_list(const std::string& text) {
+  std::vector<std::string> items;
+  std::size_t begin = 0;
+  while (begin <= text.size()) {
+    std::size_t comma = text.find(',', begin);
+    if (comma == std::string::npos) comma = text.size();
+    if (comma > begin) items.push_back(text.substr(begin, comma - begin));
+    if (comma == text.size()) break;
+    begin = comma + 1;
+  }
+  return items;
+}
+
+int write_text_file(const std::string& path, const std::string& text,
+                    std::ostream& err) {
+  std::ofstream file(path);
+  if (!file) {
+    err << "dlbsim: cannot write " << path << "\n";
+    return 1;
+  }
+  file << text;
+  return 0;
+}
+
+/// Stitches N per-daemon Chrome traces into one cluster trace. Exit code
+/// 1 when the merged trace fails causal validation (orphan spans, orphan
+/// receives, or non-monotone session ordering) so CI can gate on it.
+int cmd_trace_merge(const Args& args, std::ostream& out, std::ostream& err) {
+  const std::vector<std::string> paths =
+      split_comma_list(args.require("in"));
+  const std::string out_path = args.get("out", "");
+  if (const int rc = check_unused(args, err)) return rc;
+  if (paths.empty()) {
+    throw std::invalid_argument("--in needs at least one trace file");
+  }
+
+  std::vector<obs::ProcessTrace> processes;
+  processes.reserve(paths.size());
+  for (std::size_t i = 0; i < paths.size(); ++i) {
+    obs::ProcessTrace process;
+    process.pid = static_cast<std::uint32_t>(i);
+    process.name = "dlbd[" + std::to_string(i) + "]";
+    process.events = obs::events_from_chrome_json(load_json_file(paths[i]));
+    processes.push_back(std::move(process));
+  }
+  const obs::MergedTrace merged = obs::merge_cluster_trace(processes);
+  const obs::MergeReport& report = merged.report;
+  if (!out_path.empty()) {
+    if (const int rc =
+            write_text_file(out_path, merged.chrome.dump(2) + "\n", err)) {
+      return rc;
+    }
+    out << "merged trace    : " << out_path << "\n";
+  }
+  out << "processes       : " << report.processes << "\n"
+      << "events          : " << report.events << "\n"
+      << "sessions        : " << report.sessions << " ("
+      << report.cross_host_sessions << " cross-host)\n"
+      << "flow links      : " << report.flow_links << "\n"
+      << "orphan spans    : " << report.orphan_spans << "\n"
+      << "orphan receives : " << report.orphan_receives << "\n";
+  for (const std::string& violation : report.ordering_violations) {
+    out << "ordering        : " << violation << "\n";
+  }
+  out << "causal check    : " << (report.ok() ? "ok" : "FAILED") << "\n";
+  return report.ok() ? 0 : 1;
+}
+
+/// Merges N per-daemon metrics snapshots into the cluster documents the
+/// launcher uploads: full merge, deterministic stable view, Prometheus
+/// text exposition.
+int cmd_metrics_merge(const Args& args, std::ostream& out,
+                      std::ostream& err) {
+  const std::vector<std::string> paths =
+      split_comma_list(args.require("in"));
+  const std::string out_path = args.get("out", "");
+  const std::string stable_path = args.get("stable-out", "");
+  const std::string prom_path = args.get("prom", "");
+  if (const int rc = check_unused(args, err)) return rc;
+  if (paths.empty()) {
+    throw std::invalid_argument("--in needs at least one snapshot file");
+  }
+
+  std::vector<stats::Json> snapshots;
+  snapshots.reserve(paths.size());
+  for (const std::string& path : paths) {
+    snapshots.push_back(load_json_file(path));
+  }
+  const stats::Json merged = obs::merge_metrics_snapshots(snapshots);
+  out << "daemons         : " << snapshots.size() << "\n";
+  if (!out_path.empty()) {
+    if (const int rc =
+            write_text_file(out_path, merged.dump(2) + "\n", err)) {
+      return rc;
+    }
+    out << "merged snapshot : " << out_path << "\n";
+  }
+  if (!stable_path.empty()) {
+    const stats::Json stable = obs::stable_cluster_view(merged);
+    if (const int rc =
+            write_text_file(stable_path, stable.dump(2) + "\n", err)) {
+      return rc;
+    }
+    out << "stable view     : " << stable_path << "\n";
+  }
+  if (!prom_path.empty()) {
+    if (const int rc =
+            write_text_file(prom_path, obs::prometheus_exposition(merged),
+                            err)) {
+      return rc;
+    }
+    out << "prometheus      : " << prom_path << "\n";
+  }
+  return 0;
+}
+
+/// dlb_top-style console rendering of a flight-recorder dump: the
+/// convergence series as an ASCII plot plus the latest sample's numbers.
+int cmd_flight(const Args& args, std::ostream& out, std::ostream& err) {
+  const std::string path = args.require("in");
+  const std::string series_name = args.get("series", "cmax");
+  stats::LinePlotOptions plot;
+  plot.width = static_cast<std::size_t>(
+      args.get_int("width", static_cast<std::int64_t>(plot.width)));
+  plot.height = static_cast<std::size_t>(
+      args.get_int("height", static_cast<std::int64_t>(plot.height)));
+  plot.axis_precision = 2;
+  if (const int rc = check_unused(args, err)) return rc;
+
+  const std::vector<obs::FlightSample> samples =
+      obs::FlightRecorder::samples_from_json(load_json_file(path));
+  if (samples.empty()) {
+    out << "flight recorder : empty (run with obs enabled)\n";
+    return 0;
+  }
+
+  std::vector<double> series;
+  series.reserve(samples.size());
+  for (const obs::FlightSample& sample : samples) {
+    if (series_name == "cmax") {
+      series.push_back(sample.cmax);
+    } else if (series_name == "imbalance") {
+      series.push_back(sample.imbalance);
+    } else if (series_name == "migrations") {
+      series.push_back(static_cast<double>(sample.migrations));
+    } else if (series_name == "exchanges") {
+      series.push_back(static_cast<double>(sample.exchanges));
+    } else if (series_name == "queue-max") {
+      series.push_back(static_cast<double>(sample.queue_max));
+    } else if (series_name == "frames") {
+      series.push_back(static_cast<double>(sample.frames));
+    } else if (series_name == "retries") {
+      series.push_back(static_cast<double>(sample.retries));
+    } else {
+      throw std::invalid_argument(
+          "unknown --series '" + series_name +
+          "' (cmax|imbalance|migrations|exchanges|queue-max|frames|"
+          "retries)");
+    }
+  }
+
+  const obs::FlightSample& last = samples.back();
+  out << "samples         : " << samples.size() << " (rounds "
+      << samples.front().round << ".." << last.round << ")\n"
+      << "latest          : cmax=" << last.cmax
+      << " imbalance=" << last.imbalance
+      << " exchanges=" << last.exchanges
+      << " migrations=" << last.migrations
+      << " queue-max=" << last.queue_max << "\n"
+      << series_name << " over rounds:\n"
+      << stats::line_plot_string(series, plot);
+  return 0;
+}
+
 // ----- markov -----
 
 int cmd_markov(const Args& args, std::ostream& out, std::ostream& err) {
@@ -607,6 +813,7 @@ commands:
            [--engine seq|parallel] [--threads N]
            [--exchanges-per-machine N] [--seed S] [--trace FILE.csv]
            [--trace-json FILE.json] [--metrics-json FILE.json]
+           [--flight-json FILE.json]
            [--churn-plan FILE] [--checkpoint FILE --checkpoint-every N]
            [--resume FILE]
   simulate --in FILE [--alg KERNEL] [--duration T]
@@ -619,6 +826,14 @@ commands:
            [--fault none|drop|delay|duplicate|reorder|chaos]
            [--fault-p P] [--fault-seed S]
            [--trace-json FILE.json] [--metrics-json FILE.json]
+           [--flight-json FILE.json]
+  trace-merge   --in a.json,b.json,... [--out merged.json]
+           (exit 1 when causal validation fails)
+  metrics-merge --in a.json,b.json,... [--out merged.json]
+           [--stable-out stable.json] [--prom metrics.prom]
+  flight   --in flight.json
+           [--series cmax|imbalance|migrations|exchanges|queue-max|
+            frames|retries] [--width N] [--height N]
   markov   [--m N] [--pmax P]
   help
 
@@ -640,6 +855,11 @@ int run_command(const std::vector<std::string>& argv, std::ostream& out,
     if (command == "balance") return cmd_balance(args, out, err);
     if (command == "simulate") return cmd_simulate(args, out, err);
     if (command == "transport") return cmd_transport(args, out, err);
+    if (command == "trace-merge") return cmd_trace_merge(args, out, err);
+    if (command == "metrics-merge") {
+      return cmd_metrics_merge(args, out, err);
+    }
+    if (command == "flight") return cmd_flight(args, out, err);
     if (command == "markov") return cmd_markov(args, out, err);
     if (command == "help") {
       out << usage();

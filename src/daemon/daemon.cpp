@@ -14,6 +14,7 @@
 
 #include "core/generators.hpp"
 #include "dist/checkpoint.hpp"
+#include "obs/aggregate.hpp"
 
 namespace dlb::daemon {
 
@@ -77,6 +78,13 @@ constexpr CommandSpec kCommands[] = {
      &Daemon::cmd_inject},
     {"metrics", "metrics", "metrics registry snapshot as JSON",
      &Daemon::cmd_metrics},
+    {"scrape", "scrape",
+     "metrics snapshot as Prometheus text exposition",
+     &Daemon::cmd_scrape},
+    {"flight", "flight", "convergence flight-recorder ring as JSON",
+     &Daemon::cmd_flight},
+    {"trace", "trace", "trace ring as Chrome/Perfetto JSON",
+     &Daemon::cmd_trace},
     {"shutdown", "shutdown", "stop serving and exit",
      &Daemon::cmd_shutdown},
 };
@@ -122,6 +130,7 @@ Daemon::Daemon(const Instance& instance, DaemonOptions options)
                gen::random_assignment(instance, options_.seed)) {
   obs_.metrics = &metrics_;
   if (options_.trace) obs_.tracer = &tracer_;
+  obs_.flight = &flight_;
 
   net::SocketTransportOptions transport_options;
   transport_options.hosts = options_.hosts;
@@ -142,6 +151,7 @@ Daemon::Daemon(const Instance& instance, DaemonOptions options)
   runner_options.obs = &obs_;
   runner_ = std::make_unique<dist::TransportRunner>(replica_, *transport_,
                                                     runner_options);
+  started_at_ = transport_->now();
 }
 
 Daemon::~Daemon() = default;
@@ -154,6 +164,12 @@ void Daemon::connect_and_start() {
 std::string Daemon::execute(const std::string& line) {
   const std::vector<std::string> words = split_words(line);
   if (words.empty()) return "ok\n";
+  if (shutdown_) {
+    // Exports (metrics/scrape/flight/trace) stream from rings the exit
+    // path tears down; refusing everything after shutdown keeps a racing
+    // scraper from ever seeing a truncated reply.
+    return "error: daemon is shutting down\n";
+  }
   for (const CommandSpec& command : kCommands) {
     if (words.front() != command.name) continue;
     try {
@@ -376,8 +392,31 @@ std::string Daemon::cmd_inject(const std::vector<std::string>& args) {
   return "";
 }
 
+void Daemon::refresh_uptime() {
+  metrics_.gauge("daemon.uptime_seconds")
+      .set(transport_->now() - started_at_);
+}
+
 std::string Daemon::cmd_metrics(const std::vector<std::string>&) {
+  refresh_uptime();
   return metrics_.snapshot().dump(2) + "\n";
+}
+
+std::string Daemon::cmd_scrape(const std::vector<std::string>&) {
+  refresh_uptime();
+  return obs::prometheus_exposition(metrics_.snapshot());
+}
+
+std::string Daemon::cmd_flight(const std::vector<std::string>&) {
+  return flight_.to_json().dump(2) + "\n";
+}
+
+std::string Daemon::cmd_trace(const std::vector<std::string>&) {
+  if (obs_.tracer == nullptr) {
+    throw std::invalid_argument(
+        "tracing is disabled; start dlbd with --trace");
+  }
+  return tracer_.to_chrome_json().dump(2) + "\n";
 }
 
 std::string Daemon::cmd_shutdown(const std::vector<std::string>&) {

@@ -8,9 +8,12 @@
 // operations through a static command table: `help`, `status`, `jobs`,
 // `drain`, `checkpoint <path>`, `resume <path>`, `adopt <machine>
 // <job>...`, `mark-dead <machine>`, `inject <token>`, `metrics`,
-// `shutdown`. Every command's reply is zero or more data lines followed
-// by a terminator line: "ok" or "error: <message>" — the cluster
-// launcher (tools/dlb_cluster.py) reads until the terminator.
+// `scrape`, `flight`, `trace`, `shutdown`. Every command's reply is zero
+// or more data lines followed by a terminator line: "ok" or "error:
+// <message>" — the cluster launcher (tools/dlb_cluster.py) reads until
+// the terminator. Once `shutdown` has been accepted, every further
+// command is refused with a clean error, so a scrape racing the daemon's
+// exit can never observe a truncated reply.
 //
 // The channel rides the transport's own poll loop (add_watch on the
 // input fd), so the daemon stays single-threaded: protocol frames,
@@ -97,6 +100,9 @@ class Daemon {
   [[nodiscard]] const obs::Tracer& tracer() const noexcept {
     return tracer_;
   }
+  [[nodiscard]] const obs::FlightRecorder& flight() const noexcept {
+    return flight_;
+  }
 
   // Command handlers — public so the command table in daemon.cpp can
   // bind names to them; use execute() rather than calling these.
@@ -110,17 +116,26 @@ class Daemon {
   std::string cmd_mark_dead(const std::vector<std::string>& args);
   std::string cmd_inject(const std::vector<std::string>& args);
   std::string cmd_metrics(const std::vector<std::string>& args);
+  std::string cmd_scrape(const std::vector<std::string>& args);
+  std::string cmd_flight(const std::vector<std::string>& args);
+  std::string cmd_trace(const std::vector<std::string>& args);
   std::string cmd_shutdown(const std::vector<std::string>& args);
 
  private:
+  /// Refreshes the daemon.uptime_seconds gauge (scrape-time, not a
+  /// background timer: the channel is single-threaded anyway).
+  void refresh_uptime();
+
   const Instance* instance_;
   DaemonOptions options_;
   obs::Metrics metrics_;
   obs::Tracer tracer_;
+  obs::FlightRecorder flight_;
   obs::Context obs_;
   Schedule replica_;
   std::unique_ptr<net::SocketTransport> transport_;
   std::unique_ptr<dist::TransportRunner> runner_;
+  double started_at_ = 0.0;  ///< transport clock at construction
   bool shutdown_ = false;
 };
 

@@ -1,7 +1,9 @@
 #include "dist/exchange_engine.hpp"
 
 #include <algorithm>
+#include <cmath>
 #include <initializer_list>
+#include <limits>
 #include <stdexcept>
 #include <string>
 #include <utility>
@@ -55,6 +57,7 @@ RunResult ExchangeEngine::run(Schedule& schedule, const EngineOptions& options,
   obs::Counter* c_migrations =
       metrics ? &metrics->counter("exchange.migrations") : nullptr;
   obs::Gauge* g_cmax = metrics ? &metrics->gauge("exchange.cmax") : nullptr;
+  obs::FlightRecorder* flight = obs::flight_of(options.obs);
 
   std::vector<MachineId> round;
   std::uint64_t epoch = 0;
@@ -238,6 +241,30 @@ RunResult ExchangeEngine::run(Schedule& schedule, const EngineOptions& options,
         stop = true;
         break;
       }
+    }
+    if (flight != nullptr) {
+      // One convergence sample per epoch (the engine's "round"): the
+      // recorder keeps the newest window, so long runs retain the tail
+      // of the descent rather than its first moments.
+      obs::FlightSample sample;
+      sample.round = epoch;
+      Cost cmax_now = 0.0;
+      Cost cmin = std::numeric_limits<Cost>::infinity();
+      std::size_t queue_max = 0;
+      for (const MachineId machine : live) {
+        const Cost load = schedule.load(machine);
+        cmax_now = std::max(cmax_now, load);
+        cmin = std::min(cmin, load);
+        queue_max = std::max(queue_max, schedule.jobs_on(machine).size());
+      }
+      if (!std::isfinite(cmin)) cmin = cmax_now;
+      sample.cmax = cmax_now;
+      sample.imbalance = cmax_now - cmin;
+      sample.exchanges = result.exchanges;
+      sample.migrations =
+          schedule.migrations() - migrations_before + resumed_migrations;
+      sample.queue_max = queue_max;
+      flight->record(sample);
     }
     if (stop) break;
     const bool halt_here = options.halt_after_epoch.has_value() &&

@@ -1,6 +1,8 @@
 #include "dist/parallel_exchange_engine.hpp"
 
 #include <algorithm>
+#include <cmath>
+#include <limits>
 #include <memory>
 #include <mutex>
 #include <numeric>
@@ -76,6 +78,7 @@ ParallelRunResult ParallelExchangeEngine::run(
       metrics ? &metrics->counter("parexchange.epochs") : nullptr;
   obs::Gauge* g_cmax =
       metrics ? &metrics->gauge("parexchange.cmax") : nullptr;
+  obs::FlightRecorder* flight = obs::flight_of(options.obs);
 
   std::vector<MachineId> order;
   std::uint64_t next_session = 0;  // Global id feeding per-session streams.
@@ -306,6 +309,26 @@ ParallelRunResult ParallelExchangeEngine::run(
       result.epoch_trace.push_back(
           {cmax, static_cast<std::uint64_t>(batch.size()),
            schedule.migrations() - migrations_before + resumed_migrations});
+    }
+    if (flight != nullptr) {
+      // One convergence sample per committed epoch; the recorder keeps the
+      // newest window, so long runs retain the tail of the descent.
+      obs::FlightSample sample;
+      sample.round = epoch;
+      Cost cmin = std::numeric_limits<Cost>::infinity();
+      std::size_t queue_max = 0;
+      for (const MachineId machine : live) {
+        cmin = std::min(cmin, schedule.load(machine));
+        queue_max = std::max(queue_max, schedule.jobs_on(machine).size());
+      }
+      if (!std::isfinite(cmin)) cmin = cmax;
+      sample.cmax = cmax;
+      sample.imbalance = cmax - cmin;
+      sample.exchanges = result.exchanges;
+      sample.migrations =
+          schedule.migrations() - migrations_before + resumed_migrations;
+      sample.queue_max = queue_max;
+      flight->record(sample);
     }
 
     if (options.stop_threshold.has_value() &&

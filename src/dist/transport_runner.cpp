@@ -1,6 +1,8 @@
 #include "dist/transport_runner.hpp"
 
 #include <algorithm>
+#include <cmath>
+#include <limits>
 #include <numeric>
 #include <stdexcept>
 #include <string>
@@ -18,6 +20,11 @@ namespace {
 // of every other stream the seed feeds.
 constexpr std::uint64_t kRoundStreamTag = 0x0D15B0A7ULL;
 constexpr std::uint64_t kPeerStreamTag = 0x0D15BEE2ULL;
+
+// Token/TOKEN_ACK chains carry a session *index* in their token field, so
+// without a salt their trace ids would collide with the session whose
+// token value matches. Domain-separate them.
+constexpr std::uint64_t kTokenTraceTag = 0x0D15707EULL;
 
 }  // namespace
 
@@ -77,8 +84,10 @@ TransportRunner::TransportRunner(Schedule& replica,
         &metrics->counter("dist.transport.transfers_applied");
     c_retries_ = &metrics->counter("dist.transport.retries");
     c_duplicates_ = &metrics->counter("dist.transport.duplicates");
+    c_frames_sent_ = &metrics->counter("dist.transport.frames_sent");
   }
   tracer_ = obs::tracer_of(options_.obs);
+  flight_ = obs::flight_of(options_.obs);
 
   transport_->set_handler(
       [this](const net::Frame& frame) { handle_frame(frame); });
@@ -127,6 +136,17 @@ void TransportRunner::canonicalize_rows(MachineId a, MachineId b) {
 }
 
 void TransportRunner::start() {
+  if (tracer_) {
+    // The skew anchor of the cluster trace merger: every daemon emits
+    // READY right after its mesh handshake, so per-process clock streams
+    // can be aligned on it (docs/cluster-observability.md).
+    const MachineId self = transport_->local_machines().empty()
+                               ? 0
+                               : transport_->local_machines().front();
+    tracer_->instant(transport_->now() * 1e6, self, "READY", "dist.session",
+                     {{"seed", static_cast<std::int64_t>(options_.seed)},
+                      {"total", static_cast<std::int64_t>(total_)}});
+  }
   if (total_ == 0) {
     done_ = true;
     watermark_ = 0;
@@ -154,7 +174,35 @@ void TransportRunner::run_to_completion(std::size_t max_steps) {
   }
 }
 
-void TransportRunner::send_frame(const net::Frame& frame) {
+std::uint64_t TransportRunner::frame_trace_id(
+    const net::Frame& frame) const noexcept {
+  const bool token_chain = frame.type == net::FrameType::kToken ||
+                           frame.type == net::FrameType::kTokenAck;
+  const std::uint64_t domain =
+      token_chain ? options_.seed ^ kTokenTraceTag : options_.seed;
+  return obs::derive_trace_id(domain, frame.token);
+}
+
+void TransportRunner::send_frame(net::Frame frame) {
+  // Stamp causal metadata on the outgoing copy: both endpoints derive
+  // the same trace id from (seed, token), and the Lamport stamp makes
+  // per-session frame order reconstructible after the fact. Stored
+  // frames (outstanding_, answer_) stay unstamped, so a retransmission
+  // is a fresh causal event with a fresh stamp.
+  frame.trace = frame_trace_id(frame);
+  frame.lclock = lamport_.tick();
+  ++counters_.frames_sent;
+  if (c_frames_sent_) c_frames_sent_->add();
+  if (tracer_) {
+    tracer_->instant(
+        transport_->now() * 1e6, frame.from,
+        std::string("SEND ") + net::frame_type_name(frame.type),
+        "net.frame",
+        {{"trace", static_cast<std::int64_t>(frame.trace)},
+         {"lclock", static_cast<std::int64_t>(frame.lclock)},
+         {"token", static_cast<std::int64_t>(frame.token)},
+         {"peer", static_cast<std::int64_t>(frame.to)}});
+  }
   transport_->send(frame);
 }
 
@@ -212,6 +260,17 @@ void TransportRunner::start_session(std::uint64_t token) {
   watermark_ = std::max(watermark_, token);
   ++counters_.sessions_initiated;
   if (c_sessions_) c_sessions_->add();
+  if (tracer_) {
+    // The session span lives on the initiator's track; every code path
+    // out of a session funnels through complete_session, so begin/end
+    // always pair (the merger asserts zero orphans on this).
+    tracer_->begin(
+        transport_->now() * 1e6, initiator, "session", "dist.session",
+        {{"trace", static_cast<std::int64_t>(
+              obs::derive_trace_id(options_.seed, token))},
+         {"token", static_cast<std::int64_t>(token)},
+         {"peer", static_cast<std::int64_t>(peer)}});
+  }
   if (is_dead(peer)) {
     // The peer is gone for good: the session runs moveless so the token
     // keeps moving. Every runner skips it the same way, so the plan
@@ -238,9 +297,16 @@ void TransportRunner::start_session(std::uint64_t token) {
 void TransportRunner::complete_session(std::uint64_t token) {
   ++counters_.sessions_completed;
   ++timer_generation_;  // Invalidate the phase's retransmit timer.
+  if (tracer_) {
+    tracer_->end(transport_->now() * 1e6, active_initiator_, "session",
+                 {{"trace", static_cast<std::int64_t>(
+                       obs::derive_trace_id(options_.seed, token))},
+                  {"token", static_cast<std::int64_t>(token)}});
+  }
   phase_ = Phase::kIdle;
   active_ = kNoToken;
   watermark_ = std::max(watermark_, token + 1);
+  record_flight_rounds();
   advance_token(token + 1);
 }
 
@@ -269,6 +335,7 @@ void TransportRunner::advance_token(std::uint64_t token) {
 
 void TransportRunner::begin_finish_broadcast() {
   watermark_ = total_;
+  record_flight_rounds();
   finish_unacked_.clear();
   for (MachineId machine = 0; machine < local_.size(); ++machine) {
     if (!is_local(machine) && !is_dead(machine)) {
@@ -313,7 +380,55 @@ void TransportRunner::resync_peer_row(
   }
 }
 
+void TransportRunner::record_flight_rounds() {
+  if (flight_ == nullptr) return;
+  const std::size_t machines = replica_->num_machines();
+  if (machines == 0) return;
+  // watermark_ = first unfinished session index, so watermark_ / machines
+  // counts the protocol rounds known fully complete.
+  const std::uint64_t complete =
+      std::min<std::uint64_t>(watermark_ / machines, options_.rounds);
+  while (flight_round_ < complete) {
+    obs::FlightSample sample;
+    sample.round = flight_round_;
+    Cost cmax = 0.0;
+    Cost cmin = std::numeric_limits<Cost>::infinity();
+    std::size_t queue_max = 0;
+    for (MachineId m = 0; m < machines; ++m) {
+      if (is_dead(m)) continue;
+      const Cost load = replica_->load(m);
+      cmax = std::max(cmax, load);
+      cmin = std::min(cmin, load);
+      queue_max = std::max(queue_max, replica_->jobs_on(m).size());
+    }
+    if (!std::isfinite(cmin)) cmin = cmax;  // everyone dead
+    sample.cmax = cmax;
+    sample.imbalance = cmax - cmin;
+    sample.exchanges = counters_.exchanges;
+    sample.migrations = counters_.migrations;
+    sample.frames = counters_.frames_sent;
+    sample.retries = counters_.retries;
+    sample.queue_max = queue_max;
+    flight_->record(sample);
+    ++flight_round_;
+  }
+}
+
 void TransportRunner::handle_frame(const net::Frame& frame) {
+  if (frame.type != net::FrameType::kHello) {
+    lamport_.observe(frame.lclock);
+    if (tracer_) {
+      tracer_->instant(
+          transport_->now() * 1e6, frame.to,
+          std::string("RECV ") + net::frame_type_name(frame.type),
+          "net.frame",
+          {{"trace", static_cast<std::int64_t>(frame.trace)},
+           {"lclock", static_cast<std::int64_t>(frame.lclock)},
+           {"token", static_cast<std::int64_t>(frame.token)},
+           {"peer", static_cast<std::int64_t>(frame.from)},
+           {"at", static_cast<std::int64_t>(lamport_.now())}});
+    }
+  }
   switch (frame.type) {
     case net::FrameType::kRequest:
       handle_request(frame);
@@ -357,6 +472,7 @@ void TransportRunner::handle_request(const net::Frame& frame) {
     return;
   }
   watermark_ = std::max(watermark_, token);
+  record_flight_rounds();
   net::Frame reply;
   reply.from = frame.to;
   reply.to = frame.from;
@@ -476,6 +592,7 @@ void TransportRunner::handle_transfer(const net::Frame& frame) {
   }
   applied_ = token;
   watermark_ = std::max(watermark_, token + 1);
+  record_flight_rounds();
   ++counters_.transfers_applied;
   if (c_transfers_applied_) c_transfers_applied_->add();
   net::Frame ack;
@@ -512,6 +629,7 @@ void TransportRunner::handle_token(const net::Frame& frame) {
   send_frame(ack);
   if (token >= total_) {
     watermark_ = total_;
+    record_flight_rounds();
     done_ = true;
     return;
   }

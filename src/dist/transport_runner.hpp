@@ -37,6 +37,7 @@
 #include "net/frame.hpp"
 #include "net/transport.hpp"
 #include "obs/obs.hpp"
+#include "obs/span.hpp"
 #include "pairwise/pair_kernel.hpp"
 
 namespace dlb::dist {
@@ -135,6 +136,7 @@ class TransportRunner {
     std::uint64_t transfers_applied = 0;   ///< distinct sessions applied
     std::uint64_t duplicates_ignored = 0;  ///< deduped receipts
     std::uint64_t retries = 0;             ///< retransmission timeouts
+    std::uint64_t frames_sent = 0;         ///< every frame, retries incl.
   };
   [[nodiscard]] const Counters& counters() const noexcept {
     return counters_;
@@ -190,7 +192,15 @@ class TransportRunner {
   void canonicalize_rows(MachineId a, MachineId b);
   void arm_retry();
   void on_retry(std::uint64_t generation);
-  void send_frame(const net::Frame& frame);
+  /// Stamps causal metadata (trace id + Lamport clock) onto a copy and
+  /// transmits it. Every frame the runner emits goes through here.
+  void send_frame(net::Frame frame);
+  /// Trace id of the causal chain `frame` belongs to (session chains and
+  /// token chains are domain-separated).
+  [[nodiscard]] std::uint64_t frame_trace_id(
+      const net::Frame& frame) const noexcept;
+  /// Flight-records every protocol round the watermark has fully passed.
+  void record_flight_rounds();
   [[nodiscard]] bool is_local(MachineId machine) const noexcept;
   [[nodiscard]] bool is_dead(MachineId machine) const noexcept {
     return dead_[machine] != 0;
@@ -233,7 +243,15 @@ class TransportRunner {
   obs::Counter* c_transfers_applied_ = nullptr;
   obs::Counter* c_retries_ = nullptr;
   obs::Counter* c_duplicates_ = nullptr;
+  obs::Counter* c_frames_sent_ = nullptr;
   obs::Tracer* tracer_ = nullptr;
+  obs::FlightRecorder* flight_ = nullptr;
+
+  /// Causal clock: ticked on send, folded on receive. Stamps annotate
+  /// frames and trace events only — the protocol never branches on them,
+  /// so outcome determinism is untouched.
+  obs::LamportClock lamport_;
+  std::uint64_t flight_round_ = 0;  ///< next round to flight-record
 };
 
 }  // namespace dlb::dist

@@ -39,7 +39,7 @@ void put_u64(std::vector<std::uint8_t>& out, std::uint64_t value) {
 }
 
 /// Validates a header and returns the declared payload size. Everything
-/// the fixed 28 bytes can prove wrong is diagnosed here, so both the
+/// the fixed 44 bytes can prove wrong is diagnosed here, so both the
 /// one-shot decoder and the streaming reader reject garbage before
 /// trusting the length field.
 std::size_t check_header(const std::uint8_t* data) {
@@ -55,7 +55,7 @@ std::size_t check_header(const std::uint8_t* data) {
     throw FrameError(FrameError::Kind::kBadType,
                      "frame: unknown type " + std::to_string(data[5]));
   }
-  const std::size_t payload_size = get_u32(data + 24);
+  const std::size_t payload_size = get_u32(data + 40);
   if (payload_size > kMaxFramePayload) {
     throw FrameError(FrameError::Kind::kOversized,
                      "frame: declared payload of " +
@@ -71,6 +71,8 @@ Frame parse(const std::uint8_t* data, std::size_t payload_size) {
   frame.from = get_u32(data + 8);
   frame.to = get_u32(data + 12);
   frame.token = get_u64(data + 16);
+  frame.trace = get_u64(data + 24);
+  frame.lclock = get_u64(data + 32);
   frame.payload.assign(data + kFrameHeaderSize,
                        data + kFrameHeaderSize + payload_size);
   return frame;
@@ -156,6 +158,8 @@ std::vector<std::uint8_t> encode_frame(const Frame& frame) {
   put_u32(out, frame.from);
   put_u32(out, frame.to);
   put_u64(out, frame.token);
+  put_u64(out, frame.trace);
+  put_u64(out, frame.lclock);
   put_u32(out, static_cast<std::uint32_t>(frame.payload.size()));
   out.insert(out.end(), frame.payload.begin(), frame.payload.end());
   return out;

@@ -8,18 +8,25 @@
 // TOKEN_ACK (round-robin initiation right) and HELLO (connection
 // handshake identifying the sending host).
 //
-// A frame is a fixed 28-byte little-endian header followed by an optional
+// A frame is a fixed 44-byte little-endian header followed by an optional
 // payload:
 //
 //   offset  size  field
 //        0     4  magic "DLBF"
-//        4     1  version (1)
+//        4     1  version (2)
 //        5     1  type (FrameType)
 //        6     2  reserved (zero)
 //        8     4  from machine id
 //       12     4  to machine id
 //       16     8  token (session / token-position identifier)
-//       24     4  payload size (bytes, <= kMaxFramePayload)
+//       24     8  trace id (causal span context, 0 = unstamped)
+//       32     8  Lamport clock stamp (0 = unstamped)
+//       40     4  payload size (bytes, <= kMaxFramePayload)
+//
+// Version 2 added the trace/lclock fields (cluster-wide causal tracing,
+// docs/cluster-observability.md). The version byte is checked strictly:
+// mixed-version clusters fail the connection on the first frame rather
+// than silently misparsing offsets.
 //
 // Decoding is strict: bad magic, unknown version or type, an oversized
 // declared payload, or a buffer shorter than its declared size all raise
@@ -52,9 +59,9 @@ enum class FrameType : std::uint8_t {
 [[nodiscard]] bool frame_type_valid(std::uint8_t code) noexcept;
 [[nodiscard]] const char* frame_type_name(FrameType type) noexcept;
 
-inline constexpr std::size_t kFrameHeaderSize = 28;
+inline constexpr std::size_t kFrameHeaderSize = 44;
 inline constexpr std::size_t kMaxFramePayload = 1u << 20;
-inline constexpr std::uint8_t kFrameVersion = 1;
+inline constexpr std::uint8_t kFrameVersion = 2;
 
 struct Frame {
   FrameType type = FrameType::kRequest;
@@ -63,6 +70,13 @@ struct Frame {
   /// Session token (REQUEST/ACCEPT/REJECT/TRANSFER/DONE), token position
   /// + 1 (TOKEN/TOKEN_ACK) or host index (HELLO).
   std::uint64_t token = 0;
+  /// Causal trace id of the session this frame belongs to (48-bit,
+  /// derived deterministically by the runner; 0 = unstamped).
+  std::uint64_t trace = 0;
+  /// Sender's Lamport clock at transmission (0 = unstamped). Receivers
+  /// fold it into their own clock, which is what makes per-session frame
+  /// order reconstructible from merged traces.
+  std::uint64_t lclock = 0;
   std::vector<std::uint8_t> payload;
 
   [[nodiscard]] bool operator==(const Frame&) const = default;

@@ -1,0 +1,85 @@
+#pragma once
+
+// Convergence flight recorder (docs/cluster-observability.md): a bounded
+// per-round time series of the quantities that show a cluster converging —
+// Cmax, imbalance, cumulative migrations/exchanges, frame and retransmit
+// counts, and the deepest per-machine queue. The transport runner records
+// one sample per protocol round; both exchange engines record one per
+// epoch. Unlike the tracer ring (which keeps the *oldest* events so a
+// trace's head is never rewritten), the flight recorder keeps the *newest*
+// samples: like an aircraft recorder, the last moments before landing —
+// or before a crash — are the ones worth replaying.
+//
+// Recording is guarded by the same compile-time `DLB_OBS` switch as the
+// tracer: with the switch off, record() compiles to nothing.
+
+#include <cstddef>
+#include <cstdint>
+#include <mutex>
+#include <vector>
+
+#include "obs/trace.hpp"  // DLB_OBS_ENABLED default
+#include "stats/json.hpp"
+
+namespace dlb::obs {
+
+/// One point of the convergence time series. All cumulative fields count
+/// from the start of the run, so differencing adjacent samples yields
+/// per-round rates.
+struct FlightSample {
+  std::uint64_t round = 0;      ///< protocol round / engine epoch
+  double cmax = 0.0;            ///< makespan at the sample point
+  double imbalance = 0.0;       ///< cmax minus the least-loaded machine
+  std::uint64_t exchanges = 0;  ///< cumulative sessions completed
+  std::uint64_t migrations = 0;  ///< cumulative jobs moved
+  std::uint64_t frames = 0;      ///< cumulative frames sent (0 in-process)
+  std::uint64_t retries = 0;     ///< cumulative retransmissions
+  std::uint64_t queue_max = 0;   ///< deepest per-machine job queue
+
+  friend bool operator==(const FlightSample&, const FlightSample&) = default;
+};
+
+struct FlightRecorderOptions {
+  std::size_t capacity = 1 << 12;  ///< samples retained (newest win)
+};
+
+/// Bounded ring of FlightSamples; overwrites the oldest when full and
+/// counts what it evicted. Mutexed like the tracer ring: recording happens
+/// at round/epoch granularity, far off any hot path.
+class FlightRecorder {
+ public:
+  explicit FlightRecorder(FlightRecorderOptions options = {});
+
+  /// False when the library was built with -DDLB_OBS=OFF; record() is a
+  /// no-op then and exports are empty.
+  [[nodiscard]] static constexpr bool compiled_in() noexcept {
+    return DLB_OBS_ENABLED != 0;
+  }
+
+  void record(const FlightSample& sample);
+
+  /// Retained samples, oldest first.
+  [[nodiscard]] std::vector<FlightSample> samples() const;
+  [[nodiscard]] std::size_t size() const;
+  [[nodiscard]] std::size_t capacity() const { return capacity_; }
+  /// Samples evicted to make room (total recorded = size + dropped).
+  [[nodiscard]] std::uint64_t dropped() const;
+  void clear();
+
+  /// `{"schema": "dlb-flight-v1", "capacity", "dropped", "samples": [...]}`
+  /// — ordered and byte-deterministic for a deterministic run.
+  [[nodiscard]] stats::Json to_json() const;
+
+  /// Inverse of to_json() (tolerant: missing fields default to 0). Throws
+  /// std::runtime_error when `doc` is not a flight document.
+  static std::vector<FlightSample> samples_from_json(const stats::Json& doc);
+
+ private:
+  mutable std::mutex mutex_;
+  std::vector<FlightSample> ring_;
+  std::size_t head_ = 0;  ///< next write slot once the ring has wrapped
+  std::size_t capacity_;
+  std::uint64_t dropped_ = 0;
+};
+
+}  // namespace dlb::obs

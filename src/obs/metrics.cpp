@@ -107,6 +107,7 @@ stats::Json Metrics::snapshot() const {
     entry["count"] = snap.count;
     entry["sum"] = snap.sum;
     entry["p50_bound"] = snap.quantile_bound(0.5);
+    entry["p95_bound"] = snap.quantile_bound(0.95);
     entry["p99_bound"] = snap.quantile_bound(0.99);
     stats::Json buckets = stats::Json::array();
     for (const auto& [bound, n] : snap.buckets) {

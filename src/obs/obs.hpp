@@ -7,22 +7,28 @@
 // hot-loop iteration and the enabled path costs relaxed atomics plus, when
 // a tracer is attached, one mutexed ring append per event.
 
-#include "obs/metrics.hpp"  // IWYU pragma: export
-#include "obs/trace.hpp"    // IWYU pragma: export
+#include "obs/flight_recorder.hpp"  // IWYU pragma: export
+#include "obs/metrics.hpp"          // IWYU pragma: export
+#include "obs/trace.hpp"            // IWYU pragma: export
 
 namespace dlb::obs {
 
 struct Context {
   Metrics* metrics = nullptr;
   Tracer* tracer = nullptr;
+  FlightRecorder* flight = nullptr;
 };
 
-/// The sinks of `context` (both null when `context` itself is null).
+/// The sinks of `context` (all null when `context` itself is null).
 [[nodiscard]] inline Metrics* metrics_of(const Context* context) noexcept {
   return context == nullptr ? nullptr : context->metrics;
 }
 [[nodiscard]] inline Tracer* tracer_of(const Context* context) noexcept {
   return context == nullptr ? nullptr : context->tracer;
+}
+[[nodiscard]] inline FlightRecorder* flight_of(
+    const Context* context) noexcept {
+  return context == nullptr ? nullptr : context->flight;
 }
 
 }  // namespace dlb::obs

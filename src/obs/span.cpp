@@ -1,0 +1,22 @@
+#include "obs/span.hpp"
+
+namespace dlb::obs {
+namespace {
+
+// splitmix64 finalizer: full-avalanche, so consecutive tokens land far
+// apart and seed/token pairs never collide within one run in practice.
+std::uint64_t mix64(std::uint64_t x) noexcept {
+  x += 0x9E3779B97F4A7C15ULL;
+  x = (x ^ (x >> 30)) * 0xBF58476D1CE4E5B9ULL;
+  x = (x ^ (x >> 27)) * 0x94D049BB133111EBULL;
+  return x ^ (x >> 31);
+}
+
+}  // namespace
+
+std::uint64_t derive_trace_id(std::uint64_t seed,
+                              std::uint64_t token) noexcept {
+  return mix64(mix64(seed) ^ token) & kTraceIdMask;
+}
+
+}  // namespace dlb::obs

@@ -1,0 +1,57 @@
+#pragma once
+
+// Causal span context for distributed tracing (docs/cluster-observability.md).
+//
+// Every frame the lockstep transport runner sends carries two values that
+// let a post-hoc merger stitch per-daemon trace rings into one causally
+// ordered cluster trace:
+//
+//  * a **trace id** naming the exchange session the frame belongs to.
+//    Both endpoints derive the same id from (seed, token) without any
+//    negotiation, so a REQUEST and the ACCEPT answering it agree on the
+//    id even when they were stamped on different hosts.
+//  * a **Lamport clock** value. Each runner ticks its clock on send and
+//    folds the remote stamp in on receive, so `a happened-before b`
+//    implies `stamp(a) < stamp(b)` across the whole cluster — the only
+//    ordering guarantee a merger needs, and one that survives duplicated
+//    and reordered frames untouched.
+//
+// Trace ids are masked to 48 bits so they survive a round trip through
+// stats::Json, whose numbers are IEEE-754 doubles (exact up to 2^53).
+
+#include <algorithm>
+#include <cstdint>
+
+namespace dlb::obs {
+
+/// Trace ids fit in a double exactly: 48 bits < the 53-bit mantissa.
+inline constexpr std::uint64_t kTraceIdBits = 48;
+inline constexpr std::uint64_t kTraceIdMask =
+    (std::uint64_t{1} << kTraceIdBits) - 1;
+
+/// Deterministic 48-bit trace id for one exchange session. Pure function
+/// of (seed, token): every replica of the plan derives identical ids.
+[[nodiscard]] std::uint64_t derive_trace_id(std::uint64_t seed,
+                                            std::uint64_t token) noexcept;
+
+/// Scalar Lamport clock. Single-threaded by design — each TransportRunner
+/// owns one and only touches it from the transport poll loop.
+class LamportClock {
+ public:
+  /// Advance for a local event (a send); returns the new stamp.
+  std::uint64_t tick() noexcept { return ++now_; }
+
+  /// Fold in a remote stamp on receive; returns the new local stamp,
+  /// strictly greater than both the previous local value and `remote`.
+  std::uint64_t observe(std::uint64_t remote) noexcept {
+    now_ = std::max(now_, remote) + 1;
+    return now_;
+  }
+
+  [[nodiscard]] std::uint64_t now() const noexcept { return now_; }
+
+ private:
+  std::uint64_t now_ = 0;
+};
+
+}  // namespace dlb::obs

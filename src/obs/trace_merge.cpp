@@ -1,0 +1,347 @@
+#include "obs/trace_merge.hpp"
+
+#include <algorithm>
+#include <array>
+#include <cmath>
+#include <cstdint>
+#include <limits>
+#include <map>
+#include <optional>
+#include <set>
+#include <string_view>
+#include <tuple>
+#include <utility>
+#include <variant>
+
+namespace dlb::obs {
+namespace {
+
+// Event vocabulary emitted by dist::TransportRunner (kept in sync there).
+constexpr std::string_view kSendPrefix = "SEND ";
+constexpr std::string_view kRecvPrefix = "RECV ";
+constexpr std::string_view kFrameCategory = "net.frame";
+constexpr std::string_view kReadyName = "READY";
+
+std::optional<std::uint64_t> arg_u64(const TraceEvent& event,
+                                     std::string_view key) {
+  for (const TraceArg& arg : event.args) {
+    if (arg.key != key) continue;
+    if (const auto* i = std::get_if<std::int64_t>(&arg.value)) {
+      return static_cast<std::uint64_t>(*i);
+    }
+    if (const auto* d = std::get_if<double>(&arg.value)) {
+      return static_cast<std::uint64_t>(*d);
+    }
+    return std::nullopt;
+  }
+  return std::nullopt;
+}
+
+/// Protocol rank of a frame type within one session: any frame of rank r
+/// is causally after every frame of rank < r, so min Lamport stamps per
+/// rank must be strictly increasing. TOKEN/TOKEN_ACK live in their own
+/// trace ids and form their own two-rank chain.
+std::optional<int> type_rank(std::string_view type) {
+  if (type == "REQUEST" || type == "TOKEN") return 0;
+  if (type == "ACCEPT" || type == "REJECT" || type == "TOKEN_ACK") return 1;
+  if (type == "TRANSFER") return 2;
+  if (type == "DONE") return 3;
+  return std::nullopt;
+}
+
+struct FrameRef {
+  std::size_t proc = 0;
+  std::uint32_t tid = 0;
+  double ts_us = 0.0;
+  std::uint64_t trace = 0;
+  std::uint64_t lclock = 0;
+  std::uint64_t sender = 0;  ///< machine id that transmitted the frame
+  std::string type;
+};
+
+/// (sender, trace, type, lclock) uniquely names one transmitted frame: a
+/// process's Lamport clock never repeats a stamp, and the sender machine
+/// disambiguates same-trace same-type frames from different endpoints
+/// (the finish broadcast's TOKEN_ACKs all share one trace id, and two
+/// processes' clocks can emit the same stamp value). Duplicate deliveries
+/// yield several RECVs that all match the one SEND.
+using FrameKey =
+    std::tuple<std::uint64_t, std::uint64_t, std::string, std::uint64_t>;
+
+FrameKey key_of(const FrameRef& ref) {
+  return {ref.sender, ref.trace, ref.type, ref.lclock};
+}
+
+stats::Json event_to_json(const TraceEvent& event, std::uint32_t pid,
+                          double offset_us) {
+  stats::Json entry = stats::Json::object();
+  entry["name"] = event.name;
+  if (!event.category.empty()) entry["cat"] = event.category;
+  entry["ph"] = std::string(1, static_cast<char>(event.phase));
+  entry["ts"] = event.ts_us + offset_us;
+  entry["pid"] = pid;
+  entry["tid"] = event.tid;
+  if (!event.args.empty()) {
+    stats::Json args = stats::Json::object();
+    for (const TraceArg& arg : event.args) {
+      args[arg.key] = std::visit(
+          [](const auto& v) { return stats::Json(v); }, arg.value);
+    }
+    entry["args"] = std::move(args);
+  }
+  return entry;
+}
+
+}  // namespace
+
+std::vector<TraceEvent> events_from_chrome_json(const stats::Json& doc) {
+  std::vector<TraceEvent> events;
+  const stats::Json* entries = doc.find("traceEvents");
+  if (entries == nullptr || !entries->is_array()) return events;
+  for (const stats::Json& entry : entries->as_array()) {
+    const stats::Json* ph = entry.find("ph");
+    if (ph == nullptr || ph->as_string().size() != 1) continue;
+    const char phase = ph->as_string()[0];
+    if (phase != 'B' && phase != 'E' && phase != 'i' && phase != 'C') {
+      continue;  // metadata, flows, and anything from the future
+    }
+    TraceEvent event;
+    event.phase = static_cast<Phase>(phase);
+    if (const stats::Json* name = entry.find("name")) {
+      event.name = name->as_string();
+    }
+    if (const stats::Json* cat = entry.find("cat")) {
+      event.category = cat->as_string();
+    }
+    if (const stats::Json* ts = entry.find("ts")) {
+      event.ts_us = ts->as_number();
+    }
+    if (const stats::Json* tid = entry.find("tid")) {
+      event.tid = static_cast<std::uint32_t>(tid->as_number());
+    }
+    if (const stats::Json* args = entry.find("args")) {
+      for (const auto& [key, value] : args->as_object()) {
+        if (value.is_number()) {
+          event.args.push_back({key, value.as_number()});
+        } else if (value.is_string()) {
+          event.args.push_back({key, value.as_string()});
+        } else {
+          event.args.push_back({key, value.as_bool()});
+        }
+      }
+    }
+    events.push_back(std::move(event));
+  }
+  return events;
+}
+
+MergedTrace merge_cluster_trace(const std::vector<ProcessTrace>& processes) {
+  MergedTrace merged;
+  MergeReport& report = merged.report;
+  report.processes = processes.size();
+  const std::size_t P = processes.size();
+
+  // ---- pass 1: coarse skew removal — align each READY at t = 0 ----
+  std::vector<double> offset(P, 0.0);
+  for (std::size_t p = 0; p < P; ++p) {
+    double base = std::numeric_limits<double>::infinity();
+    double min_ts = std::numeric_limits<double>::infinity();
+    for (const TraceEvent& event : processes[p].events) {
+      min_ts = std::min(min_ts, event.ts_us);
+      if (event.name == kReadyName) base = std::min(base, event.ts_us);
+    }
+    if (!std::isfinite(base)) base = min_ts;  // no READY: align the start
+    offset[p] = std::isfinite(base) ? -base : 0.0;
+  }
+
+  // ---- index frame sends/receives ----
+  std::map<FrameKey, FrameRef> sends;
+  std::vector<FrameRef> recvs;
+  for (std::size_t p = 0; p < P; ++p) {
+    for (const TraceEvent& event : processes[p].events) {
+      if (event.category != kFrameCategory) continue;
+      const bool is_send = event.name.rfind(kSendPrefix, 0) == 0;
+      const bool is_recv = event.name.rfind(kRecvPrefix, 0) == 0;
+      if (!is_send && !is_recv) continue;
+      FrameRef ref;
+      ref.proc = p;
+      ref.tid = event.tid;
+      ref.ts_us = event.ts_us;
+      ref.type = event.name.substr(kSendPrefix.size());
+      ref.trace = arg_u64(event, "trace").value_or(0);
+      ref.lclock = arg_u64(event, "lclock").value_or(0);
+      // The sender machine is the SEND's tid and the RECV's peer arg
+      // (dist::TransportRunner stamps both; see send_frame/handle_frame).
+      ref.sender = is_send ? event.tid
+                           : arg_u64(event, "peer").value_or(
+                                 ~std::uint64_t{0});
+      if (is_send) {
+        sends.emplace(key_of(ref), ref);
+      } else {
+        recvs.push_back(std::move(ref));
+      }
+    }
+  }
+
+  // ---- pass 2: causal correction — every RECV at or after its SEND ----
+  // Bellman-Ford-style relaxation over per-process offsets; the constraint
+  // graph is cycle-free in real executions (same-rate clocks, causal
+  // timestamps), so P passes suffice. A loop guard turns pathological
+  // input into a reported violation, never a hang. kSlackUs (1 ns in the
+  // trace's microsecond unit) absorbs floating-point residue: bumping an
+  // offset by the exact deficit can leave an ULP-sized violation behind,
+  // which without the slack ping-pongs between two processes forever.
+  constexpr double kSlackUs = 1e-3;
+  bool converged = false;
+  for (std::size_t pass = 0; pass < 2 * P + 2 && !converged; ++pass) {
+    converged = true;
+    for (const FrameRef& recv : recvs) {
+      const auto it = sends.find(key_of(recv));
+      if (it == sends.end()) continue;
+      const FrameRef& send = it->second;
+      const double deficit = (send.ts_us + offset[send.proc]) -
+                             (recv.ts_us + offset[recv.proc]);
+      if (deficit > kSlackUs) {
+        offset[recv.proc] += deficit + kSlackUs;
+        converged = false;
+      }
+    }
+  }
+  if (!converged) {
+    report.ordering_violations.push_back(
+        "clock alignment did not converge (cyclic send/recv constraints)");
+  }
+
+  // ---- validation: orphan spans ----
+  // Span begin/end pair LIFO per (process, tid); per-process event order
+  // is the tracer's, which offsets never change.
+  for (std::size_t p = 0; p < P; ++p) {
+    std::map<std::uint32_t, int> depth;
+    for (const TraceEvent& event : processes[p].events) {
+      if (event.phase == Phase::kBegin) ++depth[event.tid];
+      if (event.phase == Phase::kEnd) {
+        if (depth[event.tid] == 0) {
+          ++report.orphan_spans;  // end with no open begin
+        } else {
+          --depth[event.tid];
+        }
+      }
+    }
+    for (const auto& [tid, open] : depth) {
+      report.orphan_spans += static_cast<std::size_t>(open);
+    }
+  }
+
+  // ---- validation: orphan receives + per-session Lamport ordering ----
+  for (const FrameRef& recv : recvs) {
+    if (sends.find(key_of(recv)) == sends.end()) ++report.orphan_receives;
+  }
+  struct SessionOrder {
+    // min send stamp per protocol rank; rank 0 = REQUEST/TOKEN.
+    std::array<std::uint64_t, 4> min_stamp{};
+    std::array<bool, 4> present{};
+  };
+  std::map<std::uint64_t, SessionOrder> sessions;
+  std::set<std::uint64_t> request_traces;
+  std::set<std::uint64_t> cross_traces;
+  for (const auto& [key, send] : sends) {
+    const std::optional<int> rank = type_rank(send.type);
+    if (!rank.has_value()) continue;
+    SessionOrder& order = sessions[send.trace];
+    const auto r = static_cast<std::size_t>(*rank);
+    if (!order.present[r] || send.lclock < order.min_stamp[r]) {
+      order.min_stamp[r] = send.lclock;
+    }
+    order.present[r] = true;
+    if (send.type == "REQUEST") request_traces.insert(send.trace);
+  }
+  for (const FrameRef& recv : recvs) {
+    const auto it = sends.find(key_of(recv));
+    if (it != sends.end() && it->second.proc != recv.proc &&
+        request_traces.count(recv.trace) != 0) {
+      cross_traces.insert(recv.trace);
+    }
+  }
+  for (const auto& [trace, order] : sessions) {
+    std::uint64_t previous = 0;
+    bool seen = false;
+    for (std::size_t r = 0; r < order.present.size(); ++r) {
+      if (!order.present[r]) continue;
+      if (seen && order.min_stamp[r] <= previous) {
+        report.ordering_violations.push_back(
+            "trace " + std::to_string(trace) + ": rank " +
+            std::to_string(r) + " stamp " +
+            std::to_string(order.min_stamp[r]) +
+            " not after previous rank stamp " + std::to_string(previous));
+      }
+      previous = order.min_stamp[r];
+      seen = true;
+    }
+  }
+  report.sessions = request_traces.size();
+  report.cross_host_sessions = cross_traces.size();
+
+  // ---- emit the merged document ----
+  std::vector<std::pair<double, stats::Json>> timeline;
+  for (std::size_t p = 0; p < P; ++p) {
+    for (const TraceEvent& event : processes[p].events) {
+      timeline.emplace_back(
+          event.ts_us + offset[p],
+          event_to_json(event, processes[p].pid, offset[p]));
+    }
+  }
+  std::uint64_t next_flow = 1;
+  for (const FrameRef& recv : recvs) {
+    const auto it = sends.find(key_of(recv));
+    if (it == sends.end()) continue;
+    const FrameRef& send = it->second;
+    const double send_ts = send.ts_us + offset[send.proc];
+    const double recv_ts = recv.ts_us + offset[recv.proc];
+    const auto emit = [&](const char* phase, const FrameRef& at, double ts,
+                          bool binding_end) {
+      stats::Json flow = stats::Json::object();
+      flow["name"] = "frame " + send.type;
+      flow["cat"] = "net.flow";
+      flow["ph"] = phase;
+      if (binding_end) flow["bp"] = "e";
+      flow["id"] = static_cast<double>(next_flow);
+      flow["ts"] = ts;
+      flow["pid"] = processes[at.proc].pid;
+      flow["tid"] = at.tid;
+      timeline.emplace_back(ts, std::move(flow));
+    };
+    emit("s", send, send_ts, false);
+    emit("f", recv, recv_ts, true);
+    ++next_flow;
+    ++report.flow_links;
+  }
+  std::stable_sort(timeline.begin(), timeline.end(),
+                   [](const auto& a, const auto& b) {
+                     return a.first < b.first;
+                   });
+
+  stats::Json doc = stats::Json::object();
+  doc["displayTimeUnit"] = "ms";
+  stats::Json trace_events = stats::Json::array();
+  for (std::size_t p = 0; p < P; ++p) {
+    stats::Json meta = stats::Json::object();
+    meta["name"] = "process_name";
+    meta["ph"] = "M";
+    meta["pid"] = processes[p].pid;
+    stats::Json args = stats::Json::object();
+    args["name"] = processes[p].name.empty()
+                       ? "dlbd[" + std::to_string(processes[p].pid) + "]"
+                       : processes[p].name;
+    meta["args"] = std::move(args);
+    trace_events.push_back(std::move(meta));
+  }
+  for (auto& [ts, entry] : timeline) {
+    trace_events.push_back(std::move(entry));
+  }
+  report.events = trace_events.size();
+  doc["traceEvents"] = std::move(trace_events);
+  merged.chrome = std::move(doc);
+  return merged;
+}
+
+}  // namespace dlb::obs

@@ -1,0 +1,75 @@
+#pragma once
+
+// Cluster trace merger (docs/cluster-observability.md): stitches the
+// per-daemon tracer rings into one Perfetto-loadable trace in which every
+// exchange session is a single causally-linked span tree spanning both
+// endpoints.
+//
+// Inputs are the Chrome trace documents each daemon exports (`Tracer::
+// to_chrome_json()`, where every process hard-codes pid 1 because a lone
+// tracer has no cluster identity). The merger:
+//
+//  1. rewrites pids so daemon i owns pid i, with process_name metadata;
+//  2. removes clock skew — each process's clock starts at an arbitrary
+//     epoch, so streams are first aligned on their READY instant (emitted
+//     when the runner starts, right after the HELLO handshake) and then
+//     nudged by a causal correction until every RECV sits at or after the
+//     SEND it matches (matched by the frame's sender machine, trace id,
+//     and Lamport stamp);
+//  3. synthesizes Chrome flow events ("s"/"f" arrows) from each SEND to
+//     every RECV of the same frame, which is what makes one session read
+//     as a connected tree across two pid tracks in the Perfetto UI;
+//  4. validates causal integrity: no orphan spans (unpaired B/E), no
+//     orphan receives (a RECV whose frame nobody sent), and per-session
+//     monotone protocol order under the Lamport clock
+//     (REQUEST < ACCEPT/REJECT < TRANSFER < DONE).
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "obs/trace.hpp"
+#include "stats/json.hpp"
+
+namespace dlb::obs {
+
+/// One daemon's trace ring, with the cluster identity its own tracer
+/// lacked.
+struct ProcessTrace {
+  std::uint32_t pid = 0;            ///< daemon index in the merged view
+  std::string name;                 ///< process label, e.g. "dlbd[0]"
+  std::vector<TraceEvent> events;   ///< from Tracer::events() or JSON
+};
+
+/// Parses a Tracer::to_chrome_json() document back into events. Metadata
+/// entries and unknown phases are skipped; integer-valued args come back
+/// as doubles (JSON has one number type), which the merger tolerates.
+[[nodiscard]] std::vector<TraceEvent> events_from_chrome_json(
+    const stats::Json& doc);
+
+struct MergeReport {
+  std::size_t processes = 0;
+  std::size_t events = 0;               ///< merged events incl. flows
+  std::size_t sessions = 0;             ///< distinct session trace ids
+  std::size_t cross_host_sessions = 0;  ///< REQUEST crossed a pid boundary
+  std::size_t flow_links = 0;           ///< SEND->RECV arrows synthesized
+  std::size_t orphan_spans = 0;         ///< unpaired span begin/end
+  std::size_t orphan_receives = 0;      ///< RECV with no matching SEND
+  std::vector<std::string> ordering_violations;
+
+  [[nodiscard]] bool ok() const noexcept {
+    return orphan_spans == 0 && orphan_receives == 0 &&
+           ordering_violations.empty();
+  }
+};
+
+struct MergedTrace {
+  stats::Json chrome;  ///< merged Perfetto-loadable document
+  MergeReport report;
+};
+
+[[nodiscard]] MergedTrace merge_cluster_trace(
+    const std::vector<ProcessTrace>& processes);
+
+}  // namespace dlb::obs

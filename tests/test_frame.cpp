@@ -20,6 +20,10 @@ std::vector<Frame> sample_frames() {
   request.from = 3;
   request.to = 7;
   request.token = 41;
+  // Causal metadata (v2) must survive the wire bit-exactly, including a
+  // full-width 48-bit trace id.
+  request.trace = (std::uint64_t{1} << 48) - 1;
+  request.lclock = 9001;
   frames.push_back(request);
 
   Frame accept;
@@ -27,6 +31,8 @@ std::vector<Frame> sample_frames() {
   accept.from = 7;
   accept.to = 3;
   accept.token = 41;
+  accept.trace = 0x1234'5678'9ABCULL;
+  accept.lclock = 1;
   accept.payload = encode_jobs({0, 5, 9, 1024, 999999});
   frames.push_back(accept);
 
@@ -84,6 +90,27 @@ TEST(Frame, EveryTypeRoundTrips) {
     const Frame back = decode_frame(wire.data(), wire.size());
     EXPECT_EQ(back, frame) << frame_type_name(frame.type);
   }
+}
+
+TEST(Frame, V2HeaderLayoutIsStable) {
+  // Pin the v2 byte offsets: trace at 24, lclock at 32, payload size at
+  // 40. A layout drift here silently desynchronizes mixed builds, so the
+  // raw bytes are asserted, not just the round trip.
+  Frame frame = sample_frames()[0];
+  const std::vector<std::uint8_t> wire = encode_frame(frame);
+  ASSERT_EQ(wire.size(), kFrameHeaderSize);
+  EXPECT_EQ(wire[4], kFrameVersion);
+  const auto read_u64 = [&wire](std::size_t at) {
+    std::uint64_t value = 0;
+    for (int i = 7; i >= 0; --i) {
+      value = (value << 8) | wire[at + static_cast<std::size_t>(i)];
+    }
+    return value;
+  };
+  EXPECT_EQ(read_u64(16), frame.token);
+  EXPECT_EQ(read_u64(24), frame.trace);
+  EXPECT_EQ(read_u64(32), frame.lclock);
+  EXPECT_EQ(wire[40], 0u);  // empty payload
 }
 
 TEST(Frame, ReaderReassemblesOneByteFeeds) {
@@ -160,10 +187,10 @@ TEST(Frame, OversizedPayloadRejectedOnEncodeAndDecode) {
   frame.payload.clear();
   std::vector<std::uint8_t> wire = encode_frame(frame);
   const std::uint32_t huge = kMaxFramePayload + 1;
-  wire[24] = static_cast<std::uint8_t>(huge);
-  wire[25] = static_cast<std::uint8_t>(huge >> 8);
-  wire[26] = static_cast<std::uint8_t>(huge >> 16);
-  wire[27] = static_cast<std::uint8_t>(huge >> 24);
+  wire[40] = static_cast<std::uint8_t>(huge);
+  wire[41] = static_cast<std::uint8_t>(huge >> 8);
+  wire[42] = static_cast<std::uint8_t>(huge >> 16);
+  wire[43] = static_cast<std::uint8_t>(huge >> 24);
   FrameReader reader;
   try {
     reader.feed(wire.data(), wire.size());

@@ -1,3 +1,5 @@
+#include "obs/aggregate.hpp"
+#include "obs/flight_recorder.hpp"
 #include "obs/metrics.hpp"
 #include "obs/obs.hpp"
 #include "obs/trace.hpp"
@@ -7,6 +9,7 @@
 #include <cstdint>
 #include <map>
 #include <sstream>
+#include <stdexcept>
 #include <string>
 #include <vector>
 
@@ -251,6 +254,170 @@ TEST(Metrics, ThreadPoolWorkersHammerOneCounter) {
   // Snapshotting while workers are alive must also be race-free.
   const stats::Json doc = stats::Json::parse(metrics.snapshot().dump());
   EXPECT_DOUBLE_EQ(doc.find("counters")->find("hits")->as_number(), 64000.0);
+}
+
+// ---- percentile export ----
+
+TEST(Metrics, HistogramSnapshotExportsP95Bound) {
+  Metrics metrics;
+  Histogram& h = metrics.histogram("latency");
+  for (int i = 1; i <= 100; ++i) h.observe(static_cast<double>(i));
+  const stats::Json doc = stats::Json::parse(metrics.snapshot().dump(2));
+  const stats::Json* entry = doc.find("histograms")->find("latency");
+  ASSERT_NE(entry, nullptr);
+  const stats::Json* p50 = entry->find("p50_bound");
+  const stats::Json* p95 = entry->find("p95_bound");
+  const stats::Json* p99 = entry->find("p99_bound");
+  ASSERT_NE(p50, nullptr);
+  ASSERT_NE(p95, nullptr);
+  ASSERT_NE(p99, nullptr);
+  // Bucket bounds are monotone in the quantile, and the p95 bound must
+  // cover at least the 95th sample.
+  EXPECT_LE(p50->as_number(), p95->as_number());
+  EXPECT_LE(p95->as_number(), p99->as_number());
+  EXPECT_GE(p95->as_number(), 95.0);
+}
+
+// ---- convergence flight recorder ----
+
+FlightSample sample_at(std::uint64_t round) {
+  FlightSample s;
+  s.round = round;
+  s.cmax = 100.0 - static_cast<double>(round);
+  s.imbalance = 10.0 - static_cast<double>(round % 10);
+  s.exchanges = round * 2;
+  s.migrations = round * 3;
+  s.queue_max = 32 - round % 8;
+  return s;
+}
+
+TEST(FlightRecorder, RecordsInOrderBelowCapacity) {
+  FlightRecorder flight;
+  for (std::uint64_t r = 0; r < 16; ++r) flight.record(sample_at(r));
+  EXPECT_EQ(flight.size(), 16u);
+  EXPECT_EQ(flight.dropped(), 0u);
+  const std::vector<FlightSample> samples = flight.samples();
+  ASSERT_EQ(samples.size(), 16u);
+  for (std::uint64_t r = 0; r < 16; ++r) {
+    EXPECT_EQ(samples[r], sample_at(r)) << "round " << r;
+  }
+}
+
+TEST(FlightRecorder, RingKeepsNewestSamplesAndCountsEvictions) {
+  FlightRecorderOptions options;
+  options.capacity = 8;
+  FlightRecorder flight(options);
+  for (std::uint64_t r = 0; r < 20; ++r) flight.record(sample_at(r));
+  EXPECT_EQ(flight.size(), 8u);
+  EXPECT_EQ(flight.dropped(), 12u);
+  const std::vector<FlightSample> samples = flight.samples();
+  ASSERT_EQ(samples.size(), 8u);
+  // Newest win (rounds 12..19), oldest first — the opposite policy of
+  // the tracer ring, which keeps the head of the stream.
+  for (std::size_t i = 0; i < samples.size(); ++i) {
+    EXPECT_EQ(samples[i].round, 12 + i);
+  }
+  flight.clear();
+  EXPECT_EQ(flight.size(), 0u);
+  EXPECT_EQ(flight.dropped(), 0u);
+}
+
+TEST(FlightRecorder, JsonRoundTripsThroughSamplesFromJson) {
+  FlightRecorder flight;
+  for (std::uint64_t r = 0; r < 5; ++r) flight.record(sample_at(r));
+  const stats::Json doc = stats::Json::parse(flight.to_json().dump(2));
+  EXPECT_EQ(doc.find("schema")->as_string(), "dlb-flight-v1");
+  const std::vector<FlightSample> parsed =
+      FlightRecorder::samples_from_json(doc);
+  EXPECT_EQ(parsed, flight.samples());
+  EXPECT_THROW(FlightRecorder::samples_from_json(stats::Json::object()),
+               std::runtime_error);
+}
+
+// ---- cluster metric aggregation ----
+
+stats::Json daemon_snapshot(std::uint64_t sessions, double uptime) {
+  Metrics metrics;
+  metrics.counter("dist.transport.sessions").add(sessions);
+  metrics.counter("dist.transport.retries").add(sessions / 2);
+  metrics.counter("net.socket.bytes_sent").add(sessions * 100);
+  metrics.gauge("daemon.uptime_seconds").set(uptime);
+  Histogram& h = metrics.histogram("session.frames");
+  for (std::uint64_t i = 0; i < sessions; ++i) {
+    h.observe(static_cast<double>(i % 7 + 1));
+  }
+  return metrics.snapshot();
+}
+
+TEST(Aggregate, MergeSumsCountersMaxesGaugesAndMergesHistograms) {
+  const stats::Json merged = merge_metrics_snapshots(
+      {daemon_snapshot(10, 1.5), daemon_snapshot(6, 3.25)});
+  EXPECT_DOUBLE_EQ(merged.find("daemons")->as_number(), 2.0);
+  const stats::Json* counters = merged.find("counters");
+  EXPECT_DOUBLE_EQ(
+      counters->find("dist.transport.sessions")->as_number(), 16.0);
+  EXPECT_DOUBLE_EQ(
+      counters->find("net.socket.bytes_sent")->as_number(), 1600.0);
+  // Gauges keep the worst (max) reading across the fleet.
+  EXPECT_DOUBLE_EQ(
+      merged.find("gauges")->find("daemon.uptime_seconds")->as_number(),
+      3.25);
+  // Histogram buckets sum; the merged count covers both daemons.
+  const stats::Json* hist =
+      merged.find("histograms")->find("session.frames");
+  ASSERT_NE(hist, nullptr);
+  EXPECT_DOUBLE_EQ(hist->find("count")->as_number(), 16.0);
+  EXPECT_NE(hist->find("p95_bound"), nullptr);
+}
+
+TEST(Aggregate, MergeIsByteDeterministicAcrossInputOrder) {
+  const stats::Json a = daemon_snapshot(10, 1.5);
+  const stats::Json b = daemon_snapshot(6, 3.25);
+  EXPECT_EQ(merge_metrics_snapshots({a, b}).dump(2),
+            merge_metrics_snapshots({b, a}).dump(2));
+}
+
+TEST(Aggregate, VolatileNamesAreClassified) {
+  EXPECT_TRUE(metric_is_volatile("net.socket.bytes_sent"));
+  EXPECT_TRUE(metric_is_volatile("daemon.uptime_seconds"));
+  EXPECT_TRUE(metric_is_volatile("dist.transport.retries"));
+  EXPECT_TRUE(metric_is_volatile("dist.transport.duplicates"));
+  EXPECT_TRUE(metric_is_volatile("dist.transport.frames_sent"));
+  EXPECT_FALSE(metric_is_volatile("dist.transport.sessions"));
+  EXPECT_FALSE(metric_is_volatile("dist.transport.migrations"));
+  EXPECT_FALSE(metric_is_volatile("dist.transport.exchanges"));
+}
+
+TEST(Aggregate, StableViewDropsTimingDependentSeries) {
+  const stats::Json merged = merge_metrics_snapshots(
+      {daemon_snapshot(10, 1.5), daemon_snapshot(6, 3.25)});
+  const stats::Json stable = stable_cluster_view(merged);
+  const stats::Json* counters = stable.find("counters");
+  ASSERT_NE(counters, nullptr);
+  EXPECT_NE(counters->find("dist.transport.sessions"), nullptr);
+  // Wire behaviour and wall-clock readings are projected out...
+  EXPECT_EQ(counters->find("dist.transport.retries"), nullptr);
+  EXPECT_EQ(counters->find("net.socket.bytes_sent"), nullptr);
+  EXPECT_EQ(stable.find("gauges"), nullptr);
+  EXPECT_EQ(stable.find("histograms"), nullptr);
+  // ...and the projection itself is byte-deterministic.
+  EXPECT_EQ(stable.dump(2), stable_cluster_view(merged).dump(2));
+}
+
+TEST(Aggregate, PrometheusExpositionRendersAllKinds) {
+  const std::string text = prometheus_exposition(daemon_snapshot(10, 1.5));
+  EXPECT_NE(text.find("# TYPE dlb_dist_transport_sessions counter"),
+            std::string::npos)
+      << text;
+  EXPECT_NE(text.find("dlb_dist_transport_sessions 10"), std::string::npos);
+  EXPECT_NE(text.find("# TYPE dlb_daemon_uptime_seconds gauge"),
+            std::string::npos);
+  EXPECT_NE(text.find("# TYPE dlb_session_frames histogram"),
+            std::string::npos);
+  EXPECT_NE(text.find("dlb_session_frames_bucket{le=\"+Inf\"} 10"),
+            std::string::npos)
+      << text;
+  EXPECT_NE(text.find("dlb_session_frames_count 10"), std::string::npos);
 }
 
 }  // namespace

@@ -1,0 +1,340 @@
+// The cluster trace merger exercised two ways: hand-built event streams
+// that poke each validation rule (orphan spans, orphan receives, clock
+// alignment), and the satellite integration demanded by the PR — two real
+// SocketTransports in one process, running the lockstep protocol under a
+// reordering / duplicating chaos proxy, whose per-runner tracer rings must
+// merge into a single causally-consistent cluster trace: every RECV sits
+// at or after its SEND, no span is unpaired, and each session's frames
+// respect the protocol order under the Lamport clock.
+
+#include "obs/trace_merge.hpp"
+
+#include <gtest/gtest.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <chrono>
+#include <cstdint>
+#include <filesystem>
+#include <string>
+#include <vector>
+
+#include "core/generators.hpp"
+#include "dist/dlb2c.hpp"
+#include "dist/transport_runner.hpp"
+#include "net/fault.hpp"
+#include "net/socket_transport.hpp"
+#include "obs/obs.hpp"
+#include "stats/json.hpp"
+
+namespace dlb::obs {
+namespace {
+
+// ---- hand-built streams: one rule each ----
+
+TraceEvent instant(double ts_us, std::uint32_t tid, std::string name,
+                   std::string category, TraceArgs args = {}) {
+  TraceEvent event;
+  event.ts_us = ts_us;
+  event.tid = tid;
+  event.phase = Phase::kInstant;
+  event.name = std::move(name);
+  event.category = std::move(category);
+  event.args = std::move(args);
+  return event;
+}
+
+TraceEvent send_frame(double ts_us, std::uint32_t from, std::uint32_t to,
+                      std::int64_t trace, std::int64_t lclock,
+                      const std::string& type) {
+  return instant(ts_us, from, "SEND " + type, "net.frame",
+                 {{"trace", trace},
+                  {"lclock", lclock},
+                  {"token", std::int64_t{0}},
+                  {"peer", static_cast<std::int64_t>(to)}});
+}
+
+TraceEvent recv_frame(double ts_us, std::uint32_t from, std::uint32_t to,
+                      std::int64_t trace, std::int64_t lclock,
+                      const std::string& type) {
+  return instant(ts_us, to, "RECV " + type, "net.frame",
+                 {{"trace", trace},
+                  {"lclock", lclock},
+                  {"token", std::int64_t{0}},
+                  {"peer", static_cast<std::int64_t>(from)},
+                  {"at", lclock}});
+}
+
+TEST(TraceMerge, EmptyInputYieldsEmptyOkReport) {
+  const MergedTrace merged = merge_cluster_trace({});
+  EXPECT_TRUE(merged.report.ok());
+  EXPECT_EQ(merged.report.processes, 0u);
+  EXPECT_EQ(merged.report.sessions, 0u);
+}
+
+TEST(TraceMerge, DetectsOrphanSpan) {
+  ProcessTrace proc;
+  proc.pid = 0;
+  proc.name = "dlbd[0]";
+  TraceEvent begin = instant(1.0, 0, "session", "dist.session");
+  begin.phase = Phase::kBegin;
+  proc.events.push_back(begin);  // B with no E
+  const MergedTrace merged = merge_cluster_trace({proc});
+  EXPECT_EQ(merged.report.orphan_spans, 1u);
+  EXPECT_FALSE(merged.report.ok());
+}
+
+TEST(TraceMerge, DetectsOrphanReceive) {
+  ProcessTrace proc;
+  proc.pid = 0;
+  proc.name = "dlbd[0]";
+  proc.events.push_back(recv_frame(5.0, 1, 0, 0x42, 7, "REQUEST"));
+  const MergedTrace merged = merge_cluster_trace({proc});
+  EXPECT_EQ(merged.report.orphan_receives, 1u);
+  EXPECT_FALSE(merged.report.ok());
+}
+
+TEST(TraceMerge, AlignsSkewedClocksUntilRecvFollowsSend) {
+  // Process 1's clock starts far behind: its RECV timestamp (2 us) sits
+  // long before process 0's SEND (1000 us). The READY anchors give a
+  // first-order alignment and the causal relaxation must finish the job.
+  ProcessTrace a;
+  a.pid = 0;
+  a.name = "dlbd[0]";
+  a.events.push_back(instant(0.0, 0, "READY", "dist.session"));
+  a.events.push_back(send_frame(1000.0, 0, 1, 0x1, 1, "REQUEST"));
+  ProcessTrace b;
+  b.pid = 1;
+  b.name = "dlbd[1]";
+  b.events.push_back(instant(0.0, 1, "READY", "dist.session"));
+  b.events.push_back(recv_frame(2.0, 0, 1, 0x1, 1, "REQUEST"));
+  const MergedTrace merged = merge_cluster_trace({a, b});
+  EXPECT_TRUE(merged.report.ok());
+  EXPECT_EQ(merged.report.flow_links, 1u);
+
+  double send_ts = -1.0;
+  double recv_ts = -1.0;
+  const stats::Json* events = merged.chrome.find("traceEvents");
+  ASSERT_NE(events, nullptr);
+  for (const stats::Json& event : events->as_array()) {
+    const stats::Json* name = event.find("name");
+    const stats::Json* ts = event.find("ts");
+    if (name == nullptr || ts == nullptr) continue;
+    if (name->as_string() == "SEND REQUEST") send_ts = ts->as_number();
+    if (name->as_string() == "RECV REQUEST") recv_ts = ts->as_number();
+  }
+  ASSERT_GE(send_ts, 0.0);
+  ASSERT_GE(recv_ts, 0.0);
+  EXPECT_GE(recv_ts, send_ts);
+}
+
+TEST(TraceMerge, SenderDisambiguatesIdenticalStamps) {
+  // Two different senders emit frames with the same trace id and Lamport
+  // stamp (the finish-broadcast TOKEN_ACK shape). Each RECV must match
+  // only its own sender's SEND — two flow links, no orphans, and no
+  // false cross-wiring that would raise an unsatisfiable constraint.
+  ProcessTrace a;
+  a.pid = 0;
+  a.name = "dlbd[0]";
+  a.events.push_back(instant(0.0, 0, "READY", "dist.session"));
+  a.events.push_back(send_frame(10.0, 0, 2, 0x9, 5, "TOKEN_ACK"));
+  a.events.push_back(recv_frame(30.0, 1, 0, 0x9, 5, "TOKEN_ACK"));
+  ProcessTrace b;
+  b.pid = 1;
+  b.name = "dlbd[1]";
+  b.events.push_back(instant(0.0, 1, "READY", "dist.session"));
+  b.events.push_back(send_frame(12.0, 1, 0, 0x9, 5, "TOKEN_ACK"));
+  b.events.push_back(recv_frame(28.0, 0, 1, 0x9, 5, "TOKEN_ACK"));
+  ProcessTrace c;
+  c.pid = 2;
+  c.name = "dlbd[2]";
+  c.events.push_back(instant(0.0, 2, "READY", "dist.session"));
+  c.events.push_back(recv_frame(25.0, 0, 2, 0x9, 5, "TOKEN_ACK"));
+  const MergedTrace merged = merge_cluster_trace({a, b, c});
+  EXPECT_TRUE(merged.report.ok()) << "orphan receives: "
+                                  << merged.report.orphan_receives;
+  EXPECT_EQ(merged.report.orphan_receives, 0u);
+  EXPECT_EQ(merged.report.flow_links, 3u);
+}
+
+TEST(TraceMerge, FlagsProtocolOrderInversion) {
+  // A TRANSFER carrying a smaller Lamport stamp than the session's
+  // REQUEST is causally impossible and must be reported.
+  ProcessTrace a;
+  a.pid = 0;
+  a.name = "dlbd[0]";
+  a.events.push_back(send_frame(1.0, 0, 1, 0x7, 9, "REQUEST"));
+  a.events.push_back(send_frame(2.0, 0, 1, 0x7, 3, "TRANSFER"));
+  ProcessTrace b;
+  b.pid = 1;
+  b.name = "dlbd[1]";
+  b.events.push_back(recv_frame(5.0, 0, 1, 0x7, 9, "REQUEST"));
+  b.events.push_back(recv_frame(6.0, 0, 1, 0x7, 3, "TRANSFER"));
+  const MergedTrace merged = merge_cluster_trace({a, b});
+  EXPECT_FALSE(merged.report.ordering_violations.empty());
+  EXPECT_FALSE(merged.report.ok());
+}
+
+TEST(TraceMerge, ChromeJsonRoundTripPreservesFrameEvents) {
+  Tracer tracer;
+  tracer.instant(1.0, 0, "READY", "dist.session", {});
+  tracer.begin(2.0, 0, "session", "dist.session",
+               {{"token", std::int64_t{0}}});
+  tracer.instant(3.0, 0, "SEND REQUEST", "net.frame",
+                 {{"trace", std::int64_t{0x42}},
+                  {"lclock", std::int64_t{1}},
+                  {"token", std::int64_t{0}},
+                  {"peer", std::int64_t{1}}});
+  tracer.end(4.0, 0, "session", {});
+  const std::vector<TraceEvent> parsed =
+      events_from_chrome_json(tracer.to_chrome_json());
+  ASSERT_EQ(parsed.size(), 4u);
+  EXPECT_EQ(parsed[2].name, "SEND REQUEST");
+  EXPECT_EQ(parsed[2].category, "net.frame");
+  EXPECT_EQ(parsed[0].phase, Phase::kInstant);
+  EXPECT_EQ(parsed[1].phase, Phase::kBegin);
+  EXPECT_EQ(parsed[3].phase, Phase::kEnd);
+  // Integer args survive as doubles (JSON has one number type); the
+  // merger reads them back through arg lookup, so just check presence.
+  bool saw_trace = false;
+  for (const TraceArg& arg : parsed[2].args) {
+    if (arg.key == "trace") saw_trace = true;
+  }
+  EXPECT_TRUE(saw_trace);
+}
+
+// ---- the satellite: two real socket transports under chaos ----
+
+std::uint16_t free_tcp_port() {
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = 0;
+  EXPECT_EQ(::bind(fd, reinterpret_cast<sockaddr*>(&addr), sizeof addr), 0);
+  socklen_t len = sizeof addr;
+  EXPECT_EQ(::getsockname(fd, reinterpret_cast<sockaddr*>(&addr), &len), 0);
+  const std::uint16_t port = ntohs(addr.sin_port);
+  ::close(fd);
+  return port;
+}
+
+std::vector<net::HostSpec> make_hosts(bool use_unix, const std::string& tag,
+                                      std::size_t machines) {
+  const MachineId split = static_cast<MachineId>(machines / 2);
+  std::vector<net::HostSpec> hosts(2);
+  if (use_unix) {
+    const std::string dir = std::filesystem::temp_directory_path().string();
+    const std::string unique = tag + "_" + std::to_string(::getpid());
+    hosts[0].address = "unix:" + dir + "/dlb_tm_" + unique + "_a.sock";
+    hosts[1].address = "unix:" + dir + "/dlb_tm_" + unique + "_b.sock";
+  } else {
+    hosts[0].address = "tcp:127.0.0.1:" + std::to_string(free_tcp_port());
+    hosts[1].address = "tcp:127.0.0.1:" + std::to_string(free_tcp_port());
+  }
+  hosts[0].machine_lo = 0;
+  hosts[0].machine_hi = split;
+  hosts[1].machine_lo = split;
+  hosts[1].machine_hi = static_cast<MachineId>(machines);
+  return hosts;
+}
+
+/// Runs the lockstep protocol over two in-process SocketTransports with
+/// per-runner tracers, merges the rings, and returns the merged trace.
+MergedTrace traced_two_host_cluster(const std::string& tag,
+                                    const net::FaultPlan* chaos) {
+  const Instance instance =
+      gen::two_cluster_uniform(2, 2, 32, 1.0, 100.0, 12);
+  const std::uint64_t seed = 13;
+
+  const std::vector<net::HostSpec> hosts =
+      make_hosts(/*use_unix=*/true, tag, instance.num_machines());
+  net::SocketTransportOptions options_a;
+  options_a.hosts = hosts;
+  options_a.self = 0;
+  options_a.chaos = chaos;
+  net::SocketTransportOptions options_b = options_a;
+  options_b.self = 1;
+  net::SocketTransport transport_a(options_a);
+  net::SocketTransport transport_b(options_b);
+
+  Tracer tracer_a;
+  Tracer tracer_b;
+  Metrics metrics_a;
+  Metrics metrics_b;
+  Context context_a{&metrics_a, &tracer_a, nullptr};
+  Context context_b{&metrics_b, &tracer_b, nullptr};
+
+  Schedule replica_a(instance, gen::random_assignment(instance, seed));
+  Schedule replica_b(instance, gen::random_assignment(instance, seed));
+  const dist::Dlb2cKernel kernel;
+  dist::TransportRunnerOptions runner_options;
+  runner_options.kernel = &kernel;
+  runner_options.seed = seed;
+  runner_options.rounds = 3;
+  runner_options.retry_timeout = 0.05;
+  runner_options.obs = &context_a;
+  dist::TransportRunner runner_a(replica_a, transport_a, runner_options);
+  runner_options.obs = &context_b;
+  dist::TransportRunner runner_b(replica_b, transport_b, runner_options);
+
+  // Higher rank dials first (see test_socket_transport.cpp).
+  transport_b.connect();
+  transport_a.connect();
+  runner_a.start();
+  runner_b.start();
+
+  const auto deadline =
+      std::chrono::steady_clock::now() + std::chrono::seconds(60);
+  while (!(runner_a.done() && runner_b.done())) {
+    EXPECT_LT(std::chrono::steady_clock::now(), deadline)
+        << "cluster did not converge";
+    if (std::chrono::steady_clock::now() >= deadline) break;
+    transport_a.poll(0.005);
+    transport_b.poll(0.005);
+  }
+
+  std::vector<ProcessTrace> processes(2);
+  processes[0].pid = 0;
+  processes[0].name = "dlbd[0]";
+  processes[0].events = tracer_a.events();
+  processes[1].pid = 1;
+  processes[1].name = "dlbd[1]";
+  processes[1].events = tracer_b.events();
+  return merge_cluster_trace(processes);
+}
+
+void expect_causally_consistent(const MergedTrace& merged) {
+  EXPECT_TRUE(merged.report.ok());
+  EXPECT_EQ(merged.report.orphan_spans, 0u);
+  EXPECT_EQ(merged.report.orphan_receives, 0u);
+  EXPECT_TRUE(merged.report.ordering_violations.empty())
+      << merged.report.ordering_violations.front();
+  EXPECT_EQ(merged.report.processes, 2u);
+  EXPECT_GT(merged.report.sessions, 0u);
+  EXPECT_GT(merged.report.cross_host_sessions, 0u);
+  EXPECT_GT(merged.report.flow_links, 0u);
+}
+
+TEST(TraceMerge, SocketClusterMergesCausally) {
+  expect_causally_consistent(traced_two_host_cluster("clean", nullptr));
+}
+
+TEST(TraceMerge, SocketClusterMergesUnderReorder) {
+  const net::FaultPlan plan = net::FaultPlan::reorders(0.3, 99);
+  expect_causally_consistent(traced_two_host_cluster("reorder", &plan));
+}
+
+TEST(TraceMerge, SocketClusterMergesUnderDuplicates) {
+  const net::FaultPlan plan = net::FaultPlan::duplicates(0.3, 99);
+  expect_causally_consistent(traced_two_host_cluster("dup", &plan));
+}
+
+TEST(TraceMerge, SocketClusterMergesUnderChaos) {
+  const net::FaultPlan plan = net::fault_plan_by_name("chaos", 0.2, 77);
+  expect_causally_consistent(traced_two_host_cluster("chaos", &plan));
+}
+
+}  // namespace
+}  // namespace dlb::obs

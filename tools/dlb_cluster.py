@@ -18,6 +18,16 @@ Modes:
                 jobs (PR 5 churn re-dispatch), re-inject the session
                 token, and assert the survivors finish with every job
                 placed exactly once.
+  scrape        run the cluster --runs times (same seed), pull every
+                daemon's metrics / Prometheus scrape / trace / flight
+                recorder over the command channel into --out-dir, merge
+                them with `dlbsim trace-merge` / `dlbsim metrics-merge`
+                (the merged trace must pass causal validation and span
+                hosts), and assert the stable cluster metrics view is
+                byte-identical across the runs.
+  top           poll the daemons' status while the protocol runs and
+                render a live convergence dashboard; on completion plot
+                the flight-recorder series via `dlbsim flight`.
 
 Example:
   python3 tools/dlb_cluster.py differential \
@@ -172,6 +182,7 @@ class Cluster:
         self.args = args
         self.workdir = workdir
         self.daemons = []
+        self.run_tag = ""
         self.instance = args.instance
         if not self.instance:
             self.instance = os.path.join(workdir, "cluster.inst")
@@ -195,13 +206,19 @@ class Cluster:
         for i in range(n):
             lo, hi = i * m // n, (i + 1) * m // n - 1
             if self.args.transport == "unix":
-                address = f"unix:{self.workdir}/d{i}.sock"
+                address = f"unix:{self.workdir}/{self.run_tag}d{i}.sock"
             else:
                 address = f"tcp:127.0.0.1:{free_tcp_port()}"
             entries.append(f"{address}={lo}-{hi}")
         return ",".join(entries)
 
-    def launch(self, fault="none"):
+    def reset(self, tag):
+        """Prepare a fresh same-seed launch (new sockets, same plan)."""
+        self.daemons = []
+        self.run_tag = tag
+        self.manifest = self.build_manifest()
+
+    def launch(self, fault="none", trace=False):
         for i in range(self.args.daemons):
             cmd = [
                 self.args.dlbd,
@@ -216,7 +233,11 @@ class Cluster:
                 "--fault-p", str(self.args.fault_p),
                 "--fault-seed", str(self.args.fault_seed),
             ]
-            log_path = os.path.join(self.args.log_dir, f"dlbd-{i}.log")
+            if trace:
+                cmd.append("--trace")
+            log_path = os.path.join(
+                self.args.log_dir, f"dlbd-{self.run_tag}{i}.log"
+            )
             self.daemons.append(Daemon(i, cmd, log_path))
         for daemon in self.daemons:
             daemon.wait_ready()
@@ -411,10 +432,132 @@ def mode_kill(cluster, args, deadline):
     return 0
 
 
+def pull_command(daemon, command, out_path):
+    """Pulls one command's reply and writes it verbatim to a file."""
+    text = "\n".join(daemon.command(command))
+    with open(out_path, "w") as handle:
+        handle.write(text + "\n" if text else "")
+    return out_path
+
+
+def mode_scrape(cluster, args, deadline):
+    """The cluster observability pipeline, run --runs times: scrape every
+    daemon, merge, validate causality, and assert that the deterministic
+    (stable) slice of the merged metrics is byte-identical across runs."""
+    out_dir = args.out_dir or os.path.join(args.log_dir, "scrape")
+    stable_bytes = []
+    for run in range(args.runs):
+        run_dir = os.path.join(out_dir, f"run{run}")
+        os.makedirs(run_dir, exist_ok=True)
+        if run > 0:
+            cluster.reset(f"r{run}-")
+        cluster.launch(trace=True)
+        cluster.wait_done(deadline)
+
+        metrics, traces = [], []
+        for daemon in cluster.daemons:
+            idx = daemon.idx
+            metrics.append(pull_command(
+                daemon, "metrics",
+                os.path.join(run_dir, f"metrics-{idx}.json")))
+            pull_command(
+                daemon, "scrape",
+                os.path.join(run_dir, f"scrape-{idx}.prom"))
+            traces.append(pull_command(
+                daemon, "trace",
+                os.path.join(run_dir, f"trace-{idx}.json")))
+            pull_command(
+                daemon, "flight",
+                os.path.join(run_dir, f"flight-{idx}.json"))
+        cluster.teardown()
+
+        merged_trace = os.path.join(run_dir, "cluster-trace.json")
+        merge = subprocess.run(
+            [args.dlbsim, "trace-merge",
+             "--in", ",".join(traces), "--out", merged_trace],
+            capture_output=True, text=True,
+        )
+        print(merge.stdout, end="", flush=True)
+        if merge.returncode != 0:
+            raise RuntimeError(
+                f"run {run}: merged trace failed causal validation:\n"
+                + merge.stdout + merge.stderr
+            )
+        match = re.search(r"\((\d+) cross-host\)", merge.stdout)
+        if not match or int(match.group(1)) == 0:
+            raise RuntimeError(
+                f"run {run}: no cross-host sessions in the merged trace"
+            )
+
+        stable_path = os.path.join(run_dir, "cluster-stable.json")
+        subprocess.run(
+            [args.dlbsim, "metrics-merge",
+             "--in", ",".join(metrics),
+             "--out", os.path.join(run_dir, "cluster-metrics.json"),
+             "--stable-out", stable_path,
+             "--prom", os.path.join(run_dir, "cluster-metrics.prom")],
+            check=True, capture_output=True, text=True,
+        )
+        with open(stable_path, "rb") as handle:
+            stable_bytes.append(handle.read())
+        log(f"run {run}: scraped {len(cluster.daemons)} daemons into "
+            f"{run_dir}")
+
+    for run, data in enumerate(stable_bytes[1:], start=1):
+        if data != stable_bytes[0]:
+            raise RuntimeError(
+                f"stable cluster view of run {run} differs from run 0 "
+                "(determinism broken)"
+            )
+    if args.runs > 1:
+        log(f"stable cluster view byte-identical across {args.runs} runs")
+    return 0
+
+
+def mode_top(cluster, args, deadline):
+    cluster.launch()
+    daemons = cluster.daemons
+    while time.time() < deadline:
+        states = [parse_status(d.command("status")) for d in daemons]
+        loads = [
+            float(load)
+            for s in states
+            for load, _jobs in s["machines"].values()
+        ]
+        cmax, cmin = max(loads), min(loads)
+        rows = []
+        for daemon, state in zip(daemons, states):
+            total = max(state["total"], 1)
+            fill = 20 * state["watermark"] // total
+            rows.append(
+                f"dlbd[{daemon.idx}] [{'#' * fill}{'.' * (20 - fill)}] "
+                f"{state['watermark']}/{state['total']} "
+                f"{state['state']:<8} exchanges={state['exchanges']}"
+            )
+        print("\n".join(rows), flush=True)
+        print(
+            f"cmax={cmax:.2f} imbalance={cmax - cmin:.2f}",
+            flush=True,
+        )
+        if all(s["state"] == "done" for s in states):
+            break
+        time.sleep(args.interval)
+    else:
+        raise RuntimeError("timed out waiting for the protocol to finish")
+
+    flight_path = os.path.join(args.log_dir, "flight-0.json")
+    pull_command(daemons[0], "flight", flight_path)
+    subprocess.run(
+        [args.dlbsim, "flight", "--in", flight_path], check=False
+    )
+    return 0
+
+
 def main():
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument(
-        "mode", choices=["run", "differential", "chaos", "kill"]
+        "mode",
+        choices=["run", "differential", "chaos", "kill", "scrape", "top"],
     )
     parser.add_argument("--dlbd", required=True)
     parser.add_argument("--dlbsim", required=True)
@@ -435,6 +578,14 @@ def main():
     parser.add_argument("--fault-seed", type=int, default=99)
     parser.add_argument("--timeout", type=float, default=120.0)
     parser.add_argument("--log-dir", default="")
+    parser.add_argument("--out-dir", default="", help="scrape artifacts")
+    parser.add_argument(
+        "--runs", type=int, default=2,
+        help="scrape repetitions for the determinism assertion",
+    )
+    parser.add_argument(
+        "--interval", type=float, default=0.5, help="top refresh period"
+    )
     args = parser.parse_args()
 
     if args.daemons < 2 or args.machines < args.daemons:
@@ -455,11 +606,16 @@ def main():
                 return mode_differential(
                     cluster, args, deadline, fault=args.fault
                 )
+            if args.mode == "scrape":
+                return mode_scrape(cluster, args, deadline)
+            if args.mode == "top":
+                return mode_top(cluster, args, deadline)
             return mode_kill(cluster, args, deadline)
         except Exception as error:  # noqa: BLE001 - report and fail the job
             log(f"FAILED: {error}")
             for daemon in cluster.daemons:
-                daemon.log_file.flush()
+                if not daemon.log_file.closed:
+                    daemon.log_file.flush()
                 if os.path.exists(daemon.log_path):
                     with open(daemon.log_path) as handle:
                         tail = handle.readlines()[-15:]

@@ -9,7 +9,12 @@
 //        [--alg dlb2c] [--seed 1] [--rounds 10] [--retry-timeout 0.5]
 //        [--connect-timeout 15] [--fault none|drop|delay|duplicate|
 //        reorder|chaos --fault-p P --fault-seed S]
-//        [--metrics-json FILE] [--trace-json FILE]
+//        [--trace] [--metrics-json FILE] [--trace-json FILE]
+//        [--flight-json FILE]
+//
+// --trace enables the in-memory trace ring (the `trace` command) without
+// requiring a shutdown dump path; --trace-json implies it. The *-json
+// flags dump metrics / trace / flight-recorder JSON on shutdown.
 //
 // The daemon prints "ready" on stdout once the mesh is connected and the
 // protocol is running, then serves commands until `shutdown` or stdin
@@ -46,6 +51,8 @@ int run(const std::vector<std::string>& argv) {
   const std::uint64_t fault_seed = args.get_seed("fault-seed", seed + 1);
   const std::string metrics_path = args.get("metrics-json", "");
   const std::string trace_path = args.get("trace-json", "");
+  const std::string flight_path = args.get("flight-json", "");
+  const bool trace_on = args.has("trace") || !trace_path.empty();
   for (const auto& key : args.unused()) {
     std::cerr << "dlbd: unknown option --" << key << "\n";
     return 2;
@@ -71,7 +78,7 @@ int run(const std::vector<std::string>& argv) {
   options.connect_timeout = connect_timeout;
   options.fault =
       dlb::net::fault_plan_by_name(fault_kind, fault_p, fault_seed);
-  options.trace = !trace_path.empty();
+  options.trace = trace_on;
 
   dlb::daemon::Daemon daemon(instance, options);
   std::cerr << "dlbd[" << self << "] listening on "
@@ -93,6 +100,10 @@ int run(const std::vector<std::string>& argv) {
   if (!trace_path.empty()) {
     std::ofstream file(trace_path);
     file << daemon.tracer().to_chrome_json().dump(2) << "\n";
+  }
+  if (!flight_path.empty()) {
+    std::ofstream file(flight_path);
+    file << daemon.flight().to_json().dump(2) << "\n";
   }
   return 0;
 }
