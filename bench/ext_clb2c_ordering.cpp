@@ -46,7 +46,7 @@ void run(const dlb::bench::RunContext& ctx, dlb::bench::MetricSet& metrics) {
     for (std::uint64_t rep = 0; rep < reps; ++rep) {
       const dlb::Instance inst = dlb::gen::cpu_gpu_affinity(
           16, 8, 192, 10.0, 100.0, level.gpu_affine, level.speedup,
-          3000 + rep);
+          dlb::bench::rep_seed(3000, rep));
       const dlb::Cost lb = dlb::makespan_lower_bound(inst);
       sorted_quality.add(
           dlb::centralized::clb2c_schedule(inst).makespan() / lb);

@@ -67,12 +67,13 @@ void run(const dlb::bench::RunContext& ctx, dlb::bench::MetricSet& metrics) {
     dlb::stats::SampleSet quality;
     std::size_t reached = 0;
     for (std::uint64_t rep = 0; rep < reps; ++rep) {
-      const dlb::Instance inst = workload.make(7000 + rep);
+      const dlb::Instance inst = workload.make(dlb::bench::rep_seed(7000, rep));
       const dlb::Cost cent =
           dlb::centralized::clb2c_schedule(inst).makespan();
       const dlb::Cost lb = dlb::makespan_lower_bound(inst);
 
-      dlb::Schedule s(inst, dlb::gen::random_assignment(inst, 8000 + rep));
+      dlb::Schedule s(inst, dlb::gen::random_assignment(
+                          inst, dlb::bench::rep_seed(8000, rep)));
       dlb::dist::EngineOptions options;
       options.max_exchanges = 60 * (kM1 + kM2);
       options.stop_threshold = 1.5 * cent;

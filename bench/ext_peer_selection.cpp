@@ -43,10 +43,11 @@ void run(const dlb::bench::RunContext& ctx, dlb::bench::MetricSet& metrics) {
     std::size_t reached = 0;
     for (std::uint64_t rep = 0; rep < reps; ++rep) {
       const dlb::Instance inst = dlb::gen::two_cluster_uniform(
-          kM1, kM2, 192, 1.0, 1000.0, 1700 + rep);
+          kM1, kM2, 192, 1.0, 1000.0, dlb::bench::rep_seed(1700, rep));
       const dlb::Cost cent =
           dlb::centralized::clb2c_schedule(inst).makespan();
-      dlb::Schedule s(inst, dlb::gen::random_assignment(inst, 1800 + rep));
+      dlb::Schedule s(inst, dlb::gen::random_assignment(
+                            inst, dlb::bench::rep_seed(1800, rep)));
       dlb::dist::EngineOptions options;
       options.max_exchanges = 100 * (kM1 + kM2);
       options.stop_threshold = 1.5 * cent;

@@ -46,17 +46,20 @@ dlb::stats::SampleSet exchanges_to_threshold(const dlb::bench::RunContext& ctx,
       [&config, m, obs](std::size_t rep, dlb::stats::Rng& rng) {
         const dlb::Instance inst =
             config.two_clusters
-                ? dlb::gen::two_cluster_uniform(config.m1, config.m2, 768,
-                                                1.0, 1000.0, 10'000 + rep)
-                : dlb::gen::identical_uniform(config.m1, 768, 1.0, 1000.0,
-                                              20'000 + rep);
+                ? dlb::gen::two_cluster_uniform(
+                      config.m1, config.m2, 768, 1.0, 1000.0,
+                      dlb::bench::rep_seed(10'000, rep))
+                : dlb::gen::identical_uniform(
+                      config.m1, 768, 1.0, 1000.0,
+                      dlb::bench::rep_seed(20'000, rep));
         const dlb::Cost cent =
             config.two_clusters
                 ? dlb::centralized::clb2c_schedule(inst).makespan()
                 : dlb::centralized::lpt_schedule(inst).makespan();
 
         dlb::Schedule s(inst,
-                        dlb::gen::random_assignment(inst, 30'000 + rep));
+                        dlb::gen::random_assignment(
+                            inst, dlb::bench::rep_seed(30'000, rep)));
         dlb::dist::EngineOptions options;
         options.max_exchanges = 60 * m;  // generous horizon
         options.stop_threshold = 1.5 * cent;

@@ -7,6 +7,7 @@
 // the driver directly, so no linker dead-stripping can drop them).
 
 #include <cstddef>
+#include <cstdint>
 #include <functional>
 #include <optional>
 #include <string>
@@ -15,8 +16,24 @@
 
 #include "obs/obs.hpp"
 #include "parallel/thread_pool.hpp"
+#include "stats/rng.hpp"
 
 namespace dlb::bench {
+
+/// Per-replication seed for experiment stream `domain`: both inputs pass
+/// through splitmix64, so streams for different (domain, rep) pairs are
+/// independent by construction. Replaces the historical `offset + rep`
+/// seeding, whose streams collide as soon as a replication count grows past
+/// the gap between two offsets (e.g. domains 500 and 600 overlap from
+/// rep 100 on). Domains keep the old offsets as tags, one per purpose
+/// (instance / perturbation / initial placement / ...) per experiment.
+[[nodiscard]] inline std::uint64_t rep_seed(std::uint64_t domain,
+                                            std::uint64_t rep) noexcept {
+  std::uint64_t sm = domain;
+  const std::uint64_t base = stats::splitmix64(sm);
+  std::uint64_t mix = base ^ (0x9e3779b97f4a7c15ULL * (rep + 1));
+  return stats::splitmix64(mix);
+}
 
 /// Per-run knobs handed to every experiment body.
 struct RunContext {

@@ -3,6 +3,7 @@
 #include <stdexcept>
 #include <utility>
 
+#include "core/cost_model.hpp"
 #include "core/generators.hpp"
 #include "stats/rng.hpp"
 
@@ -14,6 +15,8 @@ constexpr Regime kAllRegimes[kNumRegimes] = {
     Regime::kIdentical,   Regime::kRelated,    Regime::kTwoCluster,
     Regime::kMultiCluster, Regime::kUnrelated, Regime::kTyped,
     Regime::kSingleType,  Regime::kExtremeRatio, Regime::kDegenerate,
+    Regime::kStochasticNormal, Regime::kStochasticLognormal,
+    Regime::kStochasticPareto,
 };
 
 /// Machine count in [2, 6] and job count in [lo_jobs, 14]; skewed small so
@@ -72,6 +75,37 @@ Instance degenerate_instance(stats::Rng& rng, std::uint64_t sub,
   }
 }
 
+/// Attaches a per-job cost model of the given kind: each job draws its own
+/// parameters, with roughly a quarter kept as exact predictions (point
+/// masses) so mixed models are the norm, not the exception. The bases are
+/// untyped, so differing per-job distributions never violate the
+/// same-type-same-distribution invariant.
+Instance with_cost_model(Instance instance, cost::DistKind kind,
+                         stats::Rng& rng) {
+  std::vector<cost::Dist> dists(instance.num_jobs());
+  for (cost::Dist& dist : dists) {
+    if (rng.bernoulli(0.25)) continue;  // det:1 -- prediction exact.
+    dist.kind = kind;
+    switch (kind) {
+      case cost::DistKind::kNormal:
+        dist.sigma = rng.uniform(0.01, 0.5);
+        break;
+      case cost::DistKind::kLognormal:
+        dist.sigma = rng.uniform(0.01, 0.8);
+        break;
+      case cost::DistKind::kPareto:
+        dist.alpha = rng.uniform(1.2, 3.0);
+        dist.lo = rng.uniform(0.25, 1.0);
+        dist.hi = dist.lo * rng.uniform(2.0, 20.0);
+        break;
+      case cost::DistKind::kDeterministic:
+        break;
+    }
+  }
+  instance.set_cost_model(cost::CostModel(std::move(dists)));
+  return instance;
+}
+
 Instance instance_for(Regime regime, stats::Rng& rng, std::uint64_t seed,
                       std::uint64_t index) {
   switch (regime) {
@@ -122,6 +156,25 @@ Instance instance_for(Regime regime, stats::Rng& rng, std::uint64_t seed,
     }
     case Regime::kDegenerate:
       return degenerate_instance(rng, index, seed);
+    case Regime::kStochasticNormal: {
+      const Shape s = draw_shape(rng, 1);
+      return with_cost_model(
+          gen::identical_uniform(s.machines, s.jobs, 1.0, 100.0, seed),
+          cost::DistKind::kNormal, rng);
+    }
+    case Regime::kStochasticLognormal: {
+      const Shape s = draw_shape(rng, 1);
+      const auto [m1, m2] = split_two(rng, s.machines);
+      return with_cost_model(
+          gen::two_cluster_uniform(m1, m2, s.jobs, 1.0, 100.0, seed),
+          cost::DistKind::kLognormal, rng);
+    }
+    case Regime::kStochasticPareto: {
+      const Shape s = draw_shape(rng, 1);
+      return with_cost_model(
+          gen::uniform_unrelated(s.machines, s.jobs, 1.0, 100.0, seed),
+          cost::DistKind::kPareto, rng);
+    }
   }
   throw std::invalid_argument("make_case: unknown regime");
 }
@@ -139,6 +192,9 @@ const char* regime_name(Regime regime) {
     case Regime::kSingleType: return "single_type";
     case Regime::kExtremeRatio: return "extreme_ratio";
     case Regime::kDegenerate: return "degenerate";
+    case Regime::kStochasticNormal: return "stochastic_normal";
+    case Regime::kStochasticLognormal: return "stochastic_lognormal";
+    case Regime::kStochasticPareto: return "stochastic_pareto";
   }
   return "unknown";
 }

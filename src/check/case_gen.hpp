@@ -26,6 +26,14 @@ enum class Regime {
   kSingleType,    ///< Exactly one job type (Lemma 4's setting).
   kExtremeRatio,  ///< Adversarial two-cluster cost ratios.
   kDegenerate,    ///< Zero jobs / one machine / empty cluster.
+  // Stochastic regimes: the instance carries a per-job cost model
+  // (core/cost_model.hpp), mixing point masses with the named
+  // distribution, so the risk oracles (zero-variance equivalence,
+  // quantile monotonicity, realization consistency) have real variance
+  // to bite on.
+  kStochasticNormal,     ///< normal:S sizes on an identical-machines base.
+  kStochasticLognormal,  ///< lognormal:S sizes on a two-cluster base.
+  kStochasticPareto,     ///< pareto:A,L,H sizes on an unrelated base.
 };
 
 [[nodiscard]] const char* regime_name(Regime regime);
@@ -34,7 +42,7 @@ enum class Regime {
 /// std::invalid_argument on unknown names.
 [[nodiscard]] Regime regime_by_name(const std::string& name);
 
-inline constexpr std::size_t kNumRegimes = 9;
+inline constexpr std::size_t kNumRegimes = 12;
 
 struct GeneratedCase {
   Regime regime = Regime::kIdentical;

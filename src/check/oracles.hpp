@@ -32,6 +32,17 @@ namespace dlb::check {
 /// accumulation noise, not bugs.
 inline constexpr double kRelTol = 1e-9;
 
+/// Slack of the realization-consistency oracle: risk-aware balancing is a
+/// heuristic, not a theorem, so its empirical p95 makespan is only
+/// required not to be *grossly* worse than mean-based balancing under the
+/// same paired realizations. The oracle adds the mean schedule's own
+/// p95-p50 realization spread on top of this factor, so heavy-tailed
+/// cases (where one job's draw dominates Cmax and both placements sit
+/// inside the noise band) get proportionate slack while low-variance
+/// cases stay tight. 0.35 still catches a risk kernel that
+/// systematically inflates tail makespans.
+inline constexpr double kRealizationTol = 0.35;
+
 struct Failure {
   std::string oracle;  ///< Dotted oracle name, e.g. "kernel.idempotent".
   std::string detail;  ///< Human-readable diagnosis with the numbers.
@@ -143,5 +154,34 @@ void check_converged_is_stable(const dist::RunResult& result,
 /// balances (orphaned == redispatched + pending).
 void check_churn_conservation(const Schedule& schedule,
                               const dist::RunReport& result, Report& report);
+
+// ----- stochastic cost-model oracles (core/cost_model, core/risk) -----
+
+/// Zero-variance equivalence: attach an all-degenerate cost model (the
+/// shape cycles with `salt` over det:1, det:2.5, normal:0, lognormal:0
+/// and a point-mass Pareto) and demand that the risk-aware kernel and
+/// selector variants reproduce the mean-based run *byte for byte* —
+/// schedule fingerprint, RunReport JSON and exchange/epoch trace — on
+/// both the sequential and the parallel engine. Runs on every case; it
+/// needs no variance to be meaningful.
+void check_zero_variance_equivalence(const Instance& instance,
+                                     const Assignment& initial,
+                                     std::uint64_t salt, Report& report);
+
+/// Quantile monotonicity: on an instance with a cost model, the
+/// normal-approximation quantile makespan is non-decreasing over
+/// q in {0.5, 0.75, 0.9, 0.95, 0.99}, anchored bitwise at the median
+/// (quantile_makespan(0.5) == makespan()), and every per-machine
+/// quantile load at q >= 0.5 is >= the mean load.
+void check_quantile_monotonicity(const Schedule& schedule, Report& report);
+
+/// Realization consistency: balance once mean-based and once risk-aware
+/// (q95), then sample paired size realizations and compare the empirical
+/// p95 makespans — the risk-aware schedule must not be worse beyond
+/// kRealizationTol plus the mean schedule's p95-p50 realization spread.
+/// No-op without a model or with an all-degenerate one.
+void check_realization_consistency(const Instance& instance,
+                                   const Assignment& initial,
+                                   std::uint64_t salt, Report& report);
 
 }  // namespace dlb::check

@@ -5,6 +5,8 @@
 #include <utility>
 #include <vector>
 
+#include "core/cost_model.hpp"
+
 namespace dlb::check {
 
 namespace {
@@ -20,6 +22,11 @@ struct Pieces {
   std::vector<GroupId> group_of;
   std::vector<double> scales;
   bool had_types = false;
+  /// Per-job size distributions, parallel to the cost columns (empty when
+  /// the instance carries no cost model). Job-dropping candidates must
+  /// erase the matching entry or the rebuilt model would misalign.
+  std::vector<cost::Dist> dists;
+  bool had_cost_model = false;
 
   explicit Pieces(const Instance& instance) {
     group_costs.resize(instance.num_groups());
@@ -36,6 +43,8 @@ struct Pieces {
       scales[i] = instance.scale(i);
     }
     had_types = instance.has_job_types();
+    had_cost_model = instance.has_cost_model();
+    if (had_cost_model) dists = instance.cost_model().dists();
   }
 
   [[nodiscard]] std::optional<Instance> build() const {
@@ -44,6 +53,9 @@ struct Pieces {
       // Keep typed properties meaningful on the shrunk case: equal cost
       // columns regroup into (possibly fewer) types.
       if (had_types) instance.infer_job_types();
+      // Re-attach the surviving distributions; a candidate whose inferred
+      // types now conflict with unequal distributions is simply invalid.
+      if (had_cost_model) instance.set_cost_model(cost::CostModel(dists));
       return instance;
     } catch (const std::exception&) {
       return std::nullopt;  // Candidate violates Instance invariants.
@@ -56,6 +68,9 @@ std::optional<Candidate> drop_job(const Instance& instance,
   Pieces pieces(instance);
   for (auto& row : pieces.group_costs) {
     row.erase(row.begin() + victim);
+  }
+  if (pieces.had_cost_model) {
+    pieces.dists.erase(pieces.dists.begin() + victim);
   }
   std::vector<MachineId> machine_of;
   machine_of.reserve(initial.num_jobs() - 1);
@@ -118,6 +133,21 @@ std::optional<Candidate> unit_costs(const Instance& instance,
     }
   }
   if (!changed) return std::nullopt;
+  auto built = pieces.build();
+  if (!built) return std::nullopt;
+  return Candidate{std::move(*built), initial};
+}
+
+/// Collapses every job-size distribution to det:1 — when the failure
+/// survives, the cost model was irrelevant and the reproducer says so.
+std::optional<Candidate> degenerate_model(const Instance& instance,
+                                          const Assignment& initial) {
+  if (!instance.has_cost_model() ||
+      instance.cost_model().all_degenerate()) {
+    return std::nullopt;
+  }
+  Pieces pieces(instance);
+  pieces.dists.assign(pieces.dists.size(), cost::Dist{});
   auto built = pieces.build();
   if (!built) return std::nullopt;
   return Candidate{std::move(*built), initial};
@@ -190,6 +220,9 @@ ShrinkResult shrink(const Instance& instance, const Assignment& initial,
     }
     if (result.candidates < max_candidates) {
       accept(unit_scales(result.instance, result.initial));
+    }
+    if (result.candidates < max_candidates) {
+      accept(degenerate_model(result.instance, result.initial));
     }
   }
   return result;

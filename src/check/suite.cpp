@@ -314,6 +314,20 @@ void run_case_oracles(const Instance& instance, const Assignment& initial,
   check_churn(instance, initial, context, report, summary);
   check_async(instance, initial, context, report, summary);
   check_exact(instance, initial, report, summary);
+
+  // Stochastic oracles. Zero-variance equivalence runs on *every* case —
+  // it attaches its own degenerate model — while the quantile and
+  // realization oracles only bite when the case carries real variance.
+  check_zero_variance_equivalence(
+      instance, initial, context.seed + context.index * 8 + 3, report);
+  if (instance.has_cost_model()) {
+    check_quantile_monotonicity(schedule, report);
+    check_realization_consistency(
+        instance, initial, context.seed + context.index * 8 + 5, report);
+    if (summary != nullptr && !instance.cost_model().all_degenerate()) {
+      ++summary->stochastic_cases;
+    }
+  }
 }
 
 SuiteSummary run_suite(const SuiteOptions& options) {

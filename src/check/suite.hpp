@@ -50,6 +50,9 @@ struct SuiteSummary {
   std::uint64_t engine_runs = 0;
   std::uint64_t churn_runs = 0;     ///< Elastic (churn-plan) engine runs.
   std::uint64_t async_runs = 0;
+  /// Cases carrying a non-degenerate cost model (the stochastic regimes),
+  /// i.e. cases where the realization-consistency oracle had teeth.
+  std::uint64_t stochastic_cases = 0;
   net::FaultStats faults;           ///< Faults injected across all cases.
   std::vector<CaseFailure> failures;
 

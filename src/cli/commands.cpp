@@ -17,6 +17,7 @@
 #include "centralized/lpt.hpp"
 #include "centralized/min_min.hpp"
 #include "cli/args.hpp"
+#include "core/cost_model.hpp"
 #include "core/generators.hpp"
 #include "core/instance_io.hpp"
 #include "core/lower_bounds.hpp"
@@ -293,6 +294,7 @@ int cmd_balance(const Args& args, std::ostream& out, std::ostream& err) {
   const std::uint64_t seed = args.get_seed("seed", 1);
   const auto per_machine = args.get_int("exchanges-per-machine", 10);
   const std::string trace_path = args.get("trace", "");
+  const std::string cost_model_spec = args.get("cost-model", "");
   const std::string churn_path = args.get("churn-plan", "");
   const auto checkpoint_every =
       static_cast<std::uint64_t>(args.get_int("checkpoint-every", 0));
@@ -311,7 +313,23 @@ int cmd_balance(const Args& args, std::ostream& out, std::ostream& err) {
 
   const pairwise::PairKernel& kernel = kernel_by_alg(alg);
   const dist::PeerSelector& selector = selector_by_name(peer);
-  const Instance instance = io::load_instance_file(path);
+  Instance instance = io::load_instance_file(path);
+  // --cost-model SPEC attaches one size distribution to every job (the
+  // instance file's own `costmodel` line, if any, is replaced). The risk
+  // kernels (--alg *_q95 / *_effsize) and selectors read it; with a
+  // degenerate spec (det:V, sigma 0, ...) every engine's output is
+  // byte-identical to a run without it.
+  if (!cost_model_spec.empty()) {
+    const cost::Dist dist = [&] {
+      try {
+        return cost::parse_dist(cost_model_spec);
+      } catch (const std::invalid_argument& e) {
+        throw std::invalid_argument(std::string("--cost-model: ") + e.what());
+      }
+    }();
+    instance.set_cost_model(cost::CostModel(
+        std::vector<cost::Dist>(instance.num_jobs(), dist)));
+  }
 
   // Elasticity: an on-disk churn plan drives joins/drains/crashes, and a
   // resumed run rebuilds its schedule from the checkpoint instead of the
@@ -809,8 +827,9 @@ commands:
   info     --in FILE
   solve    --in FILE
            [--alg list|lpt|ect|minmin|maxmin|sufferage|clb2c|lenstra|exact]
-  balance  --in FILE [--alg KERNEL] [--peer uniform|ring]
+  balance  --in FILE [--alg KERNEL] [--peer uniform|ring|max-load]
            [--engine seq|parallel] [--threads N]
+           [--cost-model det:V|normal:S|lognormal:S|pareto:A,L,H]
            [--exchanges-per-machine N] [--seed S] [--trace FILE.csv]
            [--trace-json FILE.json] [--metrics-json FILE.json]
            [--flight-json FILE.json]
@@ -838,7 +857,10 @@ commands:
   help
 
 KERNEL is any registered pair kernel (dlbsim balance --alg ? lists them);
-the classic names dlb2c|dlbkc|ojtb|mjtb all resolve.
+the classic names dlb2c|dlbkc|ojtb|mjtb all resolve. Risk-aware variants
+(<kernel>_q95, <kernel>_effsize, --peer max-load_q95|max-load_effsize)
+balance quantile or effective-size loads from the instance's cost model
+(see --cost-model and docs/stochastic.md).
 )";
 }
 

@@ -1,0 +1,304 @@
+#include "core/cost_model.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <sstream>
+#include <stdexcept>
+
+namespace dlb::cost {
+
+namespace {
+
+[[noreturn]] void fail(const std::string& what) {
+  throw std::invalid_argument("cost_model: " + what);
+}
+
+void require(bool ok, const std::string& field, const std::string& rule,
+             double got) {
+  if (ok) return;
+  std::ostringstream msg;
+  msg.precision(std::numeric_limits<double>::max_digits10);
+  msg << field << " must be " << rule << " (got " << got << ")";
+  fail(msg.str());
+}
+
+/// k-th raw moment of the bounded Pareto(alpha) on [lo, hi], lo < hi.
+double pareto_moment(double alpha, double lo, double hi, double k) {
+  const double c = 1.0 - std::pow(lo / hi, alpha);
+  const double a = alpha * std::pow(lo, alpha) / c;
+  if (alpha == k) return a * std::log(hi / lo);
+  return a * (std::pow(hi, k - alpha) - std::pow(lo, k - alpha)) / (k - alpha);
+}
+
+}  // namespace
+
+std::string_view dist_kind_name(DistKind kind) noexcept {
+  switch (kind) {
+    case DistKind::kDeterministic:
+      return "det";
+    case DistKind::kNormal:
+      return "normal";
+    case DistKind::kLognormal:
+      return "lognormal";
+    case DistKind::kPareto:
+      return "pareto";
+  }
+  return "?";
+}
+
+void validate_dist(const Dist& dist) {
+  switch (dist.kind) {
+    case DistKind::kDeterministic:
+      require(dist.value > 0.0 && std::isfinite(dist.value), "det.value",
+              "> 0 and finite", dist.value);
+      break;
+    case DistKind::kNormal:
+      require(dist.sigma >= 0.0 && std::isfinite(dist.sigma), "normal.sigma",
+              ">= 0 and finite", dist.sigma);
+      break;
+    case DistKind::kLognormal:
+      require(dist.sigma >= 0.0 && std::isfinite(dist.sigma),
+              "lognormal.sigma", ">= 0 and finite", dist.sigma);
+      break;
+    case DistKind::kPareto:
+      require(dist.alpha > 0.0 && std::isfinite(dist.alpha), "pareto.alpha",
+              "> 0 and finite", dist.alpha);
+      require(dist.lo > 0.0 && std::isfinite(dist.lo), "pareto.lo",
+              "> 0 and finite", dist.lo);
+      require(dist.hi >= dist.lo && std::isfinite(dist.hi), "pareto.hi",
+              ">= pareto.lo and finite", dist.hi);
+      break;
+  }
+}
+
+bool dist_degenerate(const Dist& dist) noexcept {
+  switch (dist.kind) {
+    case DistKind::kDeterministic:
+      return true;
+    case DistKind::kNormal:
+    case DistKind::kLognormal:
+      return dist.sigma == 0.0;
+    case DistKind::kPareto:
+      return dist.lo == dist.hi;
+  }
+  return true;
+}
+
+double dist_mean(const Dist& dist) {
+  switch (dist.kind) {
+    case DistKind::kDeterministic:
+      return dist.value;
+    case DistKind::kNormal:
+      return 1.0;  // E[1 + sigma Z]; the kMinFactor floor is ignored here.
+    case DistKind::kLognormal:
+      return 1.0;  // exp(mu0 + sigma^2/2) with mu0 = -sigma^2/2.
+    case DistKind::kPareto:
+      // Mean-1 normalized like the other stochastic kinds: the raw
+      // bounded-Pareto draw is divided by its own mean in dist_quantile,
+      // so the factor is unbiased multiplicative noise around the
+      // prediction. Only det:V carries deliberate bias.
+      return 1.0;
+  }
+  return 1.0;
+}
+
+double dist_variance(const Dist& dist) {
+  switch (dist.kind) {
+    case DistKind::kDeterministic:
+      return 0.0;
+    case DistKind::kNormal:
+      return dist.sigma * dist.sigma;
+    case DistKind::kLognormal:
+      // Var = exp(2 mu0 + sigma^2)(exp(sigma^2) - 1) = exp(sigma^2) - 1
+      // since mean is pinned at 1. Exactly 0.0 at sigma = 0.
+      return std::expm1(dist.sigma * dist.sigma);
+    case DistKind::kPareto: {
+      if (dist.lo == dist.hi) return 0.0;
+      // Variance of the mean-normalized factor: m2/m1^2 - 1.
+      const double m1 = pareto_moment(dist.alpha, dist.lo, dist.hi, 1.0);
+      const double m2 = pareto_moment(dist.alpha, dist.lo, dist.hi, 2.0);
+      return std::max(0.0, m2 / (m1 * m1) - 1.0);
+    }
+  }
+  return 0.0;
+}
+
+double dist_stddev(const Dist& dist) { return std::sqrt(dist_variance(dist)); }
+
+double inverse_normal_cdf(double p) {
+  // Acklam's rational approximation (relative error < 1.15e-9). The
+  // central branch evaluates to r * P(r^2)/Q(r^2) with r = p - 0.5, so
+  // p = 0.5 maps to exactly 0.0 -- the zero-variance oracles rely on it.
+  constexpr double kA[6] = {-3.969683028665376e+01, 2.209460984245205e+02,
+                            -2.759285104469687e+02, 1.383577518672690e+02,
+                            -3.066479806614716e+01, 2.506628277459239e+00};
+  constexpr double kB[5] = {-5.447609879822406e+01, 1.615858368580409e+02,
+                            -1.556989798598866e+02, 6.680131188771972e+01,
+                            -1.328068155288572e+01};
+  constexpr double kC[6] = {-7.784894002430293e-03, -3.223964580411365e-01,
+                            -2.400758277161838e+00, -2.549732539343734e+00,
+                            4.374664141464968e+00,  2.938163982698783e+00};
+  constexpr double kD[4] = {7.784695709041462e-03, 3.224671290700398e-01,
+                            2.445134137142996e+00, 3.754408661907416e+00};
+  constexpr double kPLow = 0.02425;
+  p = std::clamp(p, 1e-12, 1.0 - 1e-12);
+  if (p < kPLow) {
+    const double q = std::sqrt(-2.0 * std::log(p));
+    return (((((kC[0] * q + kC[1]) * q + kC[2]) * q + kC[3]) * q + kC[4]) * q +
+            kC[5]) /
+           ((((kD[0] * q + kD[1]) * q + kD[2]) * q + kD[3]) * q + 1.0);
+  }
+  if (p > 1.0 - kPLow) {
+    const double q = std::sqrt(-2.0 * std::log(1.0 - p));
+    return -(((((kC[0] * q + kC[1]) * q + kC[2]) * q + kC[3]) * q + kC[4]) *
+                 q +
+             kC[5]) /
+           ((((kD[0] * q + kD[1]) * q + kD[2]) * q + kD[3]) * q + 1.0);
+  }
+  const double q = p - 0.5;
+  const double r = q * q;
+  return (((((kA[0] * r + kA[1]) * r + kA[2]) * r + kA[3]) * r + kA[4]) * r +
+          kA[5]) *
+         q /
+         (((((kB[0] * r + kB[1]) * r + kB[2]) * r + kB[3]) * r + kB[4]) * r +
+          1.0);
+}
+
+double dist_quantile(const Dist& dist, double q) {
+  switch (dist.kind) {
+    case DistKind::kDeterministic:
+      return dist.value;
+    case DistKind::kNormal:
+      // 1 + sigma * z is exactly 1.0 when sigma == 0 (z finite).
+      return std::max(kMinFactor, 1.0 + dist.sigma * inverse_normal_cdf(q));
+    case DistKind::kLognormal: {
+      // mu0 = -sigma^2/2 pins the mean at 1; exp(0) == 1.0 at sigma == 0.
+      const double mu0 = -0.5 * dist.sigma * dist.sigma;
+      return std::exp(mu0 + dist.sigma * inverse_normal_cdf(q));
+    }
+    case DistKind::kPareto: {
+      // lo/lo is exactly 1.0 in IEEE arithmetic, matching risk_factor's
+      // exact 1.0 for the degenerate point mass.
+      if (dist.lo == dist.hi) return 1.0;
+      q = std::clamp(q, 0.0, 1.0 - 1e-12);
+      const double c = 1.0 - std::pow(dist.lo / dist.hi, dist.alpha);
+      const double raw = dist.lo / std::pow(1.0 - q * c, 1.0 / dist.alpha);
+      // Normalize by the raw mean so E[factor] = 1 (see dist_mean).
+      return raw / pareto_moment(dist.alpha, dist.lo, dist.hi, 1.0);
+    }
+  }
+  return 1.0;
+}
+
+double risk_factor(const Dist& dist, double q) {
+  // Point masses contribute factor 1.0 *exactly*, never value/value: the
+  // zero-variance equivalence oracle compares the resulting costs bitwise.
+  if (dist_degenerate(dist)) return 1.0;
+  return std::max(kMinFactor, dist_quantile(dist, q) / dist_mean(dist));
+}
+
+double effective_factor(const Dist& dist) {
+  if (dist_degenerate(dist)) return 1.0;
+  return 1.0 + dist_stddev(dist) / dist_mean(dist);
+}
+
+double sample_factor(const Dist& dist, double u) {
+  return dist_quantile(dist, u);
+}
+
+Dist parse_dist(const std::string& spec) {
+  const auto colon = spec.find(':');
+  const std::string kind = spec.substr(0, colon);
+  std::vector<double> params;
+  if (colon != std::string::npos) {
+    std::string rest = spec.substr(colon + 1);
+    std::size_t pos = 0;
+    while (pos <= rest.size()) {
+      const auto comma = rest.find(',', pos);
+      const std::string tok =
+          rest.substr(pos, comma == std::string::npos ? comma : comma - pos);
+      std::size_t used = 0;
+      double value = 0.0;
+      try {
+        value = std::stod(tok, &used);
+      } catch (const std::exception&) {
+        fail("bad " + kind + " parameter '" + tok + "'");
+      }
+      if (used != tok.size()) {
+        fail("bad " + kind + " parameter '" + tok + "'");
+      }
+      params.push_back(value);
+      if (comma == std::string::npos) break;
+      pos = comma + 1;
+    }
+  }
+  const auto arity = [&](std::size_t want, const char* names) {
+    if (params.size() != want) {
+      fail(kind + " expects " + std::to_string(want) + " parameter" +
+           (want == 1 ? "" : "s") + " " + names + " (got " +
+           std::to_string(params.size()) + ")");
+    }
+  };
+  Dist dist;
+  if (kind == "det") {
+    dist.kind = DistKind::kDeterministic;
+    arity(1, "value");
+    dist.value = params[0];
+  } else if (kind == "normal") {
+    dist.kind = DistKind::kNormal;
+    arity(1, "sigma");
+    dist.sigma = params[0];
+  } else if (kind == "lognormal") {
+    dist.kind = DistKind::kLognormal;
+    arity(1, "sigma");
+    dist.sigma = params[0];
+  } else if (kind == "pareto") {
+    dist.kind = DistKind::kPareto;
+    arity(3, "alpha,lo,hi");
+    dist.alpha = params[0];
+    dist.lo = params[1];
+    dist.hi = params[2];
+  } else {
+    fail("unknown distribution '" + kind +
+         "' (valid: det, normal, lognormal, pareto)");
+  }
+  validate_dist(dist);
+  return dist;
+}
+
+std::string dist_spec(const Dist& dist) {
+  std::ostringstream out;
+  out.precision(std::numeric_limits<double>::max_digits10);
+  out << dist_kind_name(dist.kind) << ':';
+  switch (dist.kind) {
+    case DistKind::kDeterministic:
+      out << dist.value;
+      break;
+    case DistKind::kNormal:
+    case DistKind::kLognormal:
+      out << dist.sigma;
+      break;
+    case DistKind::kPareto:
+      out << dist.alpha << ',' << dist.lo << ',' << dist.hi;
+      break;
+  }
+  return out.str();
+}
+
+CostModel::CostModel(std::vector<Dist> dists) : dists_(std::move(dists)) {
+  for (const Dist& dist : dists_) validate_dist(dist);
+}
+
+bool CostModel::all_degenerate() const noexcept {
+  return std::all_of(dists_.begin(), dists_.end(),
+                     [](const Dist& d) { return dist_degenerate(d); });
+}
+
+std::size_t CostModel::num_stochastic_jobs() const noexcept {
+  return static_cast<std::size_t>(
+      std::count_if(dists_.begin(), dists_.end(),
+                    [](const Dist& d) { return !dist_degenerate(d); }));
+}
+
+}  // namespace dlb::cost

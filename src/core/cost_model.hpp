@@ -1,0 +1,138 @@
+#pragma once
+
+// Stochastic job-size model (ROADMAP item 4, after Gupta/Kumar/Nagarajan/
+// Shen, "Stochastic Load Balancing on Unrelated Machines").
+//
+// The Instance cost p(i, j) is the *predicted* processing time. A CostModel
+// attaches one multiplicative size distribution F_j per job: the realized
+// cost of job j on machine i is p(i, j) * F_j, with F_j drawn once per job
+// (the job's true size is uncertain; the machine's speed is not). The four
+// kinds cover the usual misprediction shapes:
+//
+//   det:V              point mass at V (V = 1 is "prediction exact")
+//   normal:S           F = 1 + S * Z, Z standard normal (floored at
+//                      kMinFactor so costs stay positive)
+//   lognormal:S        F = exp(-S^2/2 + S * Z)  -- mean exactly 1
+//   pareto:A,L,H       bounded Pareto on [L, H] with shape A (heavy
+//                      tail), divided by its own mean so E[F] = 1
+//
+// Every stochastic kind is mean-1 normalised -- the prediction is
+// unbiased and the distribution only describes its noise. det:V with
+// V != 1 is the one deliberate-bias knob (a systematically wrong
+// predictor), which is why the risk machinery ignores it: risk factors
+// price variance, not bias.
+//
+// Risk-aware balancing never samples: kernels and selectors consume the
+// closed-form quantile factor (risk_factor) or the mean-plus-stddev
+// effective-size factor (effective_factor), both normalised by the mean so
+// a zero-variance distribution yields the factor 1.0 *exactly* -- the
+// bit-for-bit anchor of the check:: zero-variance equivalence oracle.
+// Sampling (sample_factor) is inverse-CDF on a single uniform draw, so a
+// paired realization consumes exactly one draw per job for any kind.
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "core/types.hpp"
+
+namespace dlb::cost {
+
+/// Floor applied to every sampled or quantile factor: keeps realized and
+/// risk-adjusted costs positive even for normal tails that cross zero.
+inline constexpr double kMinFactor = 1e-6;
+
+enum class DistKind : std::uint8_t {
+  kDeterministic,
+  kNormal,
+  kLognormal,
+  kPareto,
+};
+
+/// One job-size distribution. Only the parameters of the active kind are
+/// meaningful; the others keep their (degenerate) defaults so that default
+/// comparison works for round-trip tests.
+struct Dist {
+  DistKind kind = DistKind::kDeterministic;
+  double value = 1.0;  ///< det: the point mass.
+  double sigma = 0.0;  ///< normal / lognormal: scale of Z.
+  double alpha = 2.0;  ///< pareto: tail shape (> 0).
+  double lo = 1.0;     ///< pareto: lower support bound (> 0).
+  double hi = 1.0;     ///< pareto: upper support bound (>= lo).
+
+  friend bool operator==(const Dist&, const Dist&) = default;
+};
+
+[[nodiscard]] std::string_view dist_kind_name(DistKind kind) noexcept;
+
+/// Throws std::invalid_argument naming the offending field, e.g.
+/// "cost_model: pareto.alpha must be > 0 (got -1)".
+void validate_dist(const Dist& dist);
+
+/// True when the distribution has zero variance (a point mass).
+[[nodiscard]] bool dist_degenerate(const Dist& dist) noexcept;
+
+[[nodiscard]] double dist_mean(const Dist& dist);
+[[nodiscard]] double dist_variance(const Dist& dist);
+[[nodiscard]] double dist_stddev(const Dist& dist);
+
+/// Inverse CDF of F at q in (0, 1), floored at kMinFactor.
+[[nodiscard]] double dist_quantile(const Dist& dist, double q);
+
+/// Mean-normalised q-quantile: dist_quantile(q) / dist_mean(). Exactly 1.0
+/// for every degenerate distribution (the zero-variance anchor).
+[[nodiscard]] double risk_factor(const Dist& dist, double q);
+
+/// Mean-normalised effective size, (mean + stddev) / mean -- the one-sigma
+/// safety-margin surrogate for the effective sizes of Gupta et al. (their
+/// log-MGF form diverges for the lognormal kind). Exactly 1.0 when
+/// degenerate.
+[[nodiscard]] double effective_factor(const Dist& dist);
+
+/// Inverse-CDF sample at uniform u in [0, 1). Consumes no randomness
+/// itself; callers pair realizations by reusing the same u across
+/// schedules.
+[[nodiscard]] double sample_factor(const Dist& dist, double u);
+
+/// Parses "det:V", "normal:S", "lognormal:S" or "pareto:A,L,H"; throws
+/// std::invalid_argument listing the valid kinds on an unknown name and
+/// naming the field on a bad parameter.
+[[nodiscard]] Dist parse_dist(const std::string& spec);
+
+/// Inverse of parse_dist: a spec token that round-trips bit-exactly.
+[[nodiscard]] std::string dist_spec(const Dist& dist);
+
+/// Acklam's rational approximation of the standard normal inverse CDF.
+/// Exact 0.0 at p = 0.5; p is clamped into (0, 1) at 1e-12 from each end.
+[[nodiscard]] double inverse_normal_cdf(double p);
+
+/// Per-job size distributions for one instance (index = JobId).
+class CostModel {
+ public:
+  CostModel() = default;
+
+  /// Validates every distribution (throws std::invalid_argument).
+  explicit CostModel(std::vector<Dist> dists);
+
+  [[nodiscard]] std::size_t num_jobs() const noexcept { return dists_.size(); }
+  [[nodiscard]] const Dist& dist(JobId j) const noexcept { return dists_[j]; }
+  [[nodiscard]] const std::vector<Dist>& dists() const noexcept {
+    return dists_;
+  }
+
+  /// True when every job's distribution is a point mass: risk-aware
+  /// balancing must then coincide bit-for-bit with mean-based balancing.
+  [[nodiscard]] bool all_degenerate() const noexcept;
+
+  /// Number of jobs whose distribution is *not* a point mass (the
+  /// RunReport risk_jobs field).
+  [[nodiscard]] std::size_t num_stochastic_jobs() const noexcept;
+
+  friend bool operator==(const CostModel&, const CostModel&) = default;
+
+ private:
+  std::vector<Dist> dists_;
+};
+
+}  // namespace dlb::cost

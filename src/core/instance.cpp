@@ -173,6 +173,12 @@ void Instance::set_job_types(std::vector<JobTypeId> type_of) {
             "cost rows");
       }
     }
+    if (cost_model_ &&
+        !(cost_model_->dist(j) == cost_model_->dist(representative[t]))) {
+      throw std::invalid_argument(
+          "Instance::set_job_types: jobs of equal type must have equal "
+          "size distributions");
+    }
   }
   for (std::size_t t = 0; t < num_types; ++t) {
     if (representative[t] == kUnassigned) {
@@ -182,6 +188,29 @@ void Instance::set_job_types(std::vector<JobTypeId> type_of) {
   }
   type_of_ = std::move(type_of);
   num_job_types_ = num_types;
+}
+
+void Instance::set_cost_model(cost::CostModel model) {
+  if (model.num_jobs() != num_jobs_) {
+    throw std::invalid_argument(
+        "Instance::set_cost_model: one distribution per job required");
+  }
+  if (has_job_types()) {
+    // Risk-adjusting multiplies each cost column by a per-job factor;
+    // types survive that only if equal-typed jobs share a distribution.
+    std::vector<JobId> representative(num_job_types_, kUnassigned);
+    for (JobId j = 0; j < num_jobs_; ++j) {
+      const JobTypeId t = type_of_[j];
+      if (representative[t] == kUnassigned) {
+        representative[t] = j;
+      } else if (!(model.dist(j) == model.dist(representative[t]))) {
+        throw std::invalid_argument(
+            "Instance::set_cost_model: jobs of equal type must have equal "
+            "size distributions");
+      }
+    }
+  }
+  cost_model_ = std::move(model);
 }
 
 std::size_t Instance::infer_job_types() {

@@ -17,9 +17,11 @@
 // have identical cost rows, which MJTB exploits.
 
 #include <cstddef>
+#include <optional>
 #include <span>
 #include <vector>
 
+#include "core/cost_model.hpp"
 #include "core/types.hpp"
 
 namespace dlb {
@@ -119,6 +121,25 @@ class Instance {
   /// bound ingredient).
   [[nodiscard]] Cost total_min_work() const;
 
+  // ----- stochastic job sizes (core/cost_model.hpp) -----
+  // Optional: one size distribution per job, interpreting cost(i, j) as
+  // the predicted mean-scale processing time. Jobs of equal type must
+  // carry equal distributions (so risk-adjusting costs preserves types).
+
+  /// Attaches per-job size distributions (size must equal num_jobs;
+  /// throws std::invalid_argument on shape or type-consistency errors).
+  void set_cost_model(cost::CostModel model);
+
+  void clear_cost_model() noexcept { cost_model_.reset(); }
+
+  [[nodiscard]] bool has_cost_model() const noexcept {
+    return cost_model_.has_value();
+  }
+  /// Requires has_cost_model().
+  [[nodiscard]] const cost::CostModel& cost_model() const noexcept {
+    return *cost_model_;
+  }
+
  private:
   void compute_caches();
 
@@ -131,6 +152,7 @@ class Instance {
   std::size_t num_job_types_ = 0;
   Cost max_cost_ = 0.0;
   bool unit_scales_ = true;
+  std::optional<cost::CostModel> cost_model_;
 };
 
 }  // namespace dlb

@@ -45,6 +45,13 @@ void save_instance(const Instance& instance, std::ostream& out) {
     }
     out << '\n';
   }
+  if (instance.has_cost_model()) {
+    out << "costmodel";
+    for (JobId j = 0; j < instance.num_jobs(); ++j) {
+      out << ' ' << cost::dist_spec(instance.cost_model().dist(j));
+    }
+    out << '\n';
+  }
   out << "costs\n";
   for (GroupId g = 0; g < instance.num_groups(); ++g) {
     for (JobId j = 0; j < instance.num_jobs(); ++j) {
@@ -87,6 +94,23 @@ Instance load_instance(std::istream& in) {
     }
     if (!(in >> token)) fail("missing costs section");
   }
+  std::vector<cost::Dist> dists;
+  bool saw_costmodel = false;
+  if (token == "costmodel") {
+    saw_costmodel = true;
+    dists.resize(n);
+    for (JobId j = 0; j < n; ++j) {
+      std::string spec;
+      if (!(in >> spec)) fail("bad costmodel entry");
+      try {
+        dists[j] = cost::parse_dist(spec);
+      } catch (const std::invalid_argument& e) {
+        fail("costmodel entry for job " + std::to_string(j) + ": " +
+             e.what());
+      }
+    }
+    if (!(in >> token)) fail("missing costs section");
+  }
   if (token != "costs") fail("expected 'costs'");
 
   std::vector<std::vector<Cost>> rows(g, std::vector<Cost>(n));
@@ -97,6 +121,9 @@ Instance load_instance(std::istream& in) {
   }
   Instance instance(std::move(rows), std::move(group_of), std::move(scales));
   if (!types.empty()) instance.set_job_types(std::move(types));
+  if (saw_costmodel) {
+    instance.set_cost_model(cost::CostModel(std::move(dists)));
+  }
   return instance;
 }
 

@@ -8,6 +8,9 @@
 //   group_of <g_0> ... <g_{m-1}>
 //   scales <s_0> ... <s_{m-1}>
 //   types <t_0> ... <t_{n-1}>          (optional line)
+//   costmodel <d_0> ... <d_{n-1}>      (optional line; per-job size
+//                                       distribution specs, see
+//                                       core/cost_model.hpp parse_dist)
 //   costs
 //   <row of group 0: n numbers>
 //   ...

@@ -34,6 +34,8 @@ Schedule::Schedule(const Instance& instance, Assignment assignment)
 
 Schedule::Schedule(const Schedule& other)
     : instance_(other.instance_),
+      decision_instance_(other.decision_instance_),
+      decision_loads_(other.decision_loads_),
       assignment_(other.assignment_),
       table_(other.table_),
       migrations_(other.migrations()),
@@ -44,6 +46,8 @@ Schedule::Schedule(const Schedule& other)
 Schedule& Schedule::operator=(const Schedule& other) {
   if (this == &other) return *this;
   instance_ = other.instance_;
+  decision_instance_ = other.decision_instance_;
+  decision_loads_ = other.decision_loads_;
   assignment_ = other.assignment_;
   table_ = other.table_;
   migrations_.store(other.migrations(), std::memory_order_relaxed);
@@ -52,6 +56,29 @@ Schedule& Schedule::operator=(const Schedule& other) {
       other.makespan_dirty_.load(std::memory_order_relaxed),
       std::memory_order_relaxed);
   return *this;
+}
+
+void Schedule::set_decision_instance(
+    std::shared_ptr<const Instance> surrogate) {
+  if (surrogate && (surrogate->num_machines() != instance_->num_machines() ||
+                    surrogate->num_jobs() != instance_->num_jobs())) {
+    throw std::invalid_argument(
+        "Schedule::set_decision_instance: shape mismatch with the real "
+        "instance");
+  }
+  decision_instance_ = std::move(surrogate);
+  if (!decision_instance_) {
+    decision_loads_.clear();
+    return;
+  }
+  // Canonical rebuild in ascending job id -- bitwise the constructor's
+  // billing order, so equal surrogate costs give equal accumulator bits.
+  decision_loads_.assign(instance_->num_machines(), 0.0);
+  for (JobId j = 0; j < assignment_.num_jobs(); ++j) {
+    const MachineId i = assignment_.machine_of(j);
+    if (i == kUnassigned) continue;
+    decision_loads_[i] += decision_instance_->cost(i, j);
+  }
 }
 
 Cost Schedule::makespan() const {
@@ -76,6 +103,7 @@ void Schedule::assign(JobId j, MachineId i) {
   }
   assignment_.assign(j, i);
   table_.attach(j, i, instance_->cost(i, j), /*migrated=*/false);
+  if (decision_instance_) decision_loads_[i] += decision_instance_->cost(i, j);
   mark_dirty();
 }
 
@@ -89,6 +117,10 @@ void Schedule::move(JobId j, MachineId to) {
   table_.detach(j, from, instance_->cost(from, j));
   assignment_.assign(j, to);
   table_.attach(j, to, instance_->cost(to, j), /*migrated=*/true);
+  if (decision_instance_) {
+    decision_loads_[from] -= decision_instance_->cost(from, j);
+    decision_loads_[to] += decision_instance_->cost(to, j);
+  }
   migrations_.fetch_add(1, std::memory_order_relaxed);
   mark_dirty();
 }
@@ -97,6 +129,9 @@ void Schedule::unassign(JobId j) {
   const MachineId from = assignment_.machine_of(j);
   if (from == kUnassigned) return;
   table_.detach(j, from, instance_->cost(from, j));
+  if (decision_instance_) {
+    decision_loads_[from] -= decision_instance_->cost(from, j);
+  }
   assignment_.unassign(j);
   mark_dirty();
 }

@@ -16,6 +16,7 @@
 
 #include <atomic>
 #include <cstdint>
+#include <memory>
 #include <vector>
 
 #include "core/assignment.hpp"
@@ -44,6 +45,41 @@ class Schedule {
   [[nodiscard]] const Instance& instance() const noexcept { return *instance_; }
   [[nodiscard]] const Assignment& assignment() const noexcept {
     return assignment_;
+  }
+
+  // ----- decision instance (risk-aware balancing, core/risk.hpp) -----
+  // Kernels and selectors *reason* about the decision instance while loads
+  // keep billing the real one -- the prediction/reality seam risk-aware
+  // balancing plugs a risk-adjusted surrogate into. Unset means decisions
+  // see the real instance. PairKernel::prepare() attaches it once per run
+  // from the engine's single-threaded setup path; mutating it while
+  // sessions are in flight is a race.
+
+  /// The instance balancing decisions are made against (the attached
+  /// surrogate, or instance() when none is attached).
+  [[nodiscard]] const Instance& decision_instance() const noexcept {
+    return decision_instance_ ? *decision_instance_ : *instance_;
+  }
+  [[nodiscard]] bool has_decision_instance() const noexcept {
+    return decision_instance_ != nullptr;
+  }
+  /// Attaches (or, with null, detaches) a surrogate decision instance. It
+  /// must match the real instance's machine/job shape. Attaching rebuilds
+  /// the decision-load accumulators canonically (ascending job id --
+  /// the same order the constructor billed the real loads in, so a
+  /// surrogate whose costs are bitwise equal to the real ones yields
+  /// bitwise-equal accumulators on a freshly built schedule).
+  void set_decision_instance(std::shared_ptr<const Instance> surrogate);
+
+  /// Machine i's load as the decision instance prices it. Maintained
+  /// incrementally alongside the real accumulator with the identical
+  /// sequence of += / -= operations, so kernels comparing decision loads
+  /// stay bitwise reproducible; falls back to load(i) (the same
+  /// accumulator bits the mean-based path reads) when no surrogate is
+  /// attached. NOT restored by restore_loads(): a resumed run rebuilds it
+  /// via PairKernel::prepare().
+  [[nodiscard]] Cost decision_load(MachineId i) const noexcept {
+    return decision_instance_ ? decision_loads_[i] : table_.load(i);
   }
 
   [[nodiscard]] std::size_t num_machines() const noexcept {
@@ -139,6 +175,10 @@ class Schedule {
   }
 
   const Instance* instance_;
+  std::shared_ptr<const Instance> decision_instance_;
+  /// Per-machine loads in decision-instance costs; empty when no
+  /// surrogate is attached. Updated in lockstep with table_'s loads.
+  std::vector<Cost> decision_loads_;
   Assignment assignment_;
   LoadTable table_;
   std::atomic<std::uint64_t> migrations_{0};

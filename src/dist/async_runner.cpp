@@ -69,6 +69,9 @@ class AsyncSimulation {
   }
 
   AsyncRunResult run() {
+    // Let the kernel attach (or detach) its decision instance before the
+    // event loop starts; handlers only ever call balance() after this.
+    kernel_->prepare(*schedule_);
     result_.initial_makespan = schedule_->makespan();
     result_.best_makespan = result_.initial_makespan;
     const std::uint64_t migrations_before = schedule_->migrations();
@@ -84,6 +87,7 @@ class AsyncSimulation {
     result_.messages = network_.messages_sent();
     result_.end_time = engine_.now();
     result_.faults = network_.fault_stats();
+    fill_risk_report(result_, *schedule_);
     return result_;
   }
 

@@ -8,7 +8,7 @@
 namespace dlb::dist {
 
 bool Dlb2cKernel::balance(Schedule& schedule, MachineId a, MachineId b) const {
-  const Instance& instance = schedule.instance();
+  const Instance& instance = schedule.decision_instance();
   if (instance.num_groups() != 2 || !instance.unit_scales()) {
     throw std::invalid_argument(
         "Dlb2cKernel: needs two clusters of identical machines");

@@ -8,7 +8,7 @@
 namespace dlb::dist {
 
 bool DlbKcKernel::balance(Schedule& schedule, MachineId a, MachineId b) const {
-  const Instance& instance = schedule.instance();
+  const Instance& instance = schedule.decision_instance();
   if (!instance.unit_scales()) {
     throw std::invalid_argument(
         "DlbKcKernel: needs clusters of identical machines (unit scales)");

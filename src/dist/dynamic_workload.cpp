@@ -60,6 +60,9 @@ std::vector<EpochStats> run_dynamic(const Instance& instance,
   std::size_t next_fresh = 0;
 
   Schedule schedule(instance);
+  // Decision-instance hook: risk-aware kernels attach their surrogate
+  // once, before the epoch loop ever calls balance().
+  kernel.prepare(schedule);
   std::vector<JobId> active;
   active.reserve(options.initial_active + options.churn_per_epoch);
   for (std::size_t k = 0; k < options.initial_active; ++k) {

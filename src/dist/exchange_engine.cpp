@@ -4,6 +4,7 @@
 #include <cmath>
 #include <initializer_list>
 #include <limits>
+#include <span>
 #include <stdexcept>
 #include <string>
 #include <utility>
@@ -40,6 +41,11 @@ RunResult ExchangeEngine::run(Schedule& schedule, const EngineOptions& options,
         "ExchangeEngine: checkpoint does not match this run (engine kind or "
         "instance shape differs)");
   }
+
+  // Let the kernel attach (or detach) its decision instance before any
+  // balance/stability probe; runs on fresh and resumed paths alike so a
+  // resume rebuilds the same surrogate deterministically.
+  kernel_->prepare(schedule);
 
   const std::uint64_t migrations_before = schedule.migrations();
   const std::uint64_t resumed_migrations =
@@ -95,6 +101,7 @@ RunResult ExchangeEngine::run(Schedule& schedule, const EngineOptions& options,
       result.reached_threshold = true;
       result.exchanges_to_threshold = 0;
       result.final_makespan = schedule.makespan();
+      fill_risk_report(result, schedule);
       return result;
     }
   }
@@ -211,9 +218,9 @@ RunResult ExchangeEngine::run(Schedule& schedule, const EngineOptions& options,
               : live[rng.below(live_count)];
       // Peer selection runs over the compacted live machine set; with the
       // whole cluster live the mapping is the identity.
-      const MachineId peer = live[selector_->select(
-          static_cast<MachineId>(churn.live_index(initiator)), live_count,
-          rng)];
+      const MachineId peer = live[selector_->select_on(
+          static_cast<MachineId>(churn.live_index(initiator)),
+          std::span<const MachineId>(live), schedule, rng)];
 
       const std::uint64_t migrations_pre = schedule.migrations();
       const bool changed = kernel_->balance(schedule, initiator, peer);
@@ -290,6 +297,7 @@ RunResult ExchangeEngine::run(Schedule& schedule, const EngineOptions& options,
   result.churn_orphaned = cc.orphaned;
   result.churn_redispatched = cc.redispatched;
   result.churn_pending = churn.pending().size();
+  fill_risk_report(result, schedule);
   return result;
 }
 

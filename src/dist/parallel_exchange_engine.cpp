@@ -6,6 +6,7 @@
 #include <memory>
 #include <mutex>
 #include <numeric>
+#include <span>
 #include <stdexcept>
 
 #include "dist/convergence.hpp"
@@ -61,6 +62,12 @@ ParallelRunResult ParallelExchangeEngine::run(
         "(engine kind, seed, or instance shape differs)");
   }
 
+  // Let the kernel attach (or detach) its decision instance before any
+  // balance/stability probe; runs on fresh and resumed paths alike so a
+  // resume rebuilds the same surrogate deterministically. Single-threaded
+  // here — the surrogate is immutable once the parallel phase starts.
+  kernel_->prepare(schedule);
+
   const std::uint64_t migrations_before = schedule.migrations();
   const std::uint64_t resumed_migrations =
       options.resume != nullptr ? options.resume->migrations : 0;
@@ -112,6 +119,7 @@ ParallelRunResult ParallelExchangeEngine::run(
       result.reached_threshold = true;
       result.exchanges_to_threshold = 0;
       result.final_makespan = schedule.makespan();
+      fill_risk_report(result, schedule);
       return result;
     }
   }
@@ -208,9 +216,9 @@ ParallelRunResult ParallelExchangeEngine::run(
            attempt <= options.max_peer_retries; ++attempt) {
         // Peer selection runs over the compacted live machine set; with
         // the whole cluster live the mapping is the identity.
-        const MachineId peer = live[selector_->select(
-            static_cast<MachineId>(churn.live_index(initiator)), live_count,
-            srng)];
+        const MachineId peer = live[selector_->select_on(
+            static_cast<MachineId>(churn.live_index(initiator)),
+            std::span<const MachineId>(live), schedule, srng)];
         if (claimed[peer] != epoch) {
           session.peer = peer;
           planned = true;
@@ -367,6 +375,7 @@ ParallelRunResult ParallelExchangeEngine::run(
   result.churn_orphaned = cc.orphaned;
   result.churn_redispatched = cc.redispatched;
   result.churn_pending = churn.pending().size();
+  fill_risk_report(result, schedule);
   return result;
 }
 

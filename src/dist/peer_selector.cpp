@@ -1,6 +1,10 @@
 #include "dist/peer_selector.hpp"
 
 #include <cassert>
+#include <stdexcept>
+
+#include "core/risk.hpp"
+#include "core/schedule.hpp"
 
 namespace dlb::dist {
 
@@ -21,6 +25,43 @@ MachineId RingPeerSelector::select(MachineId initiator,
   const auto m = static_cast<MachineId>(num_machines);
   const bool right = rng.bernoulli(0.5);
   return right ? (initiator + 1) % m : (initiator + m - 1) % m;
+}
+
+MachineId MaxLoadPeerSelector::select(MachineId /*initiator*/,
+                                      std::size_t /*num_machines*/,
+                                      stats::Rng& /*rng*/) const {
+  throw std::logic_error(
+      "MaxLoadPeerSelector: load-aware selection needs the schedule; use "
+      "select_on()");
+}
+
+MachineId MaxLoadPeerSelector::select_on(MachineId initiator,
+                                         std::span<const MachineId> live,
+                                         const Schedule& schedule,
+                                         stats::Rng& /*rng*/) const {
+  assert(live.size() >= 2);
+  const auto score = [&](MachineId machine) {
+    switch (mode_) {
+      case Mode::kQuantile:
+        return cost::quantile_load(schedule, machine, cost::kRiskQuantile);
+      case Mode::kEffectiveSize:
+        return cost::effective_load(schedule, machine);
+      case Mode::kMean:
+        break;
+    }
+    return schedule.load(machine);
+  };
+  MachineId best = kUnassigned;
+  double best_score = 0.0;
+  for (MachineId k = 0; k < live.size(); ++k) {
+    if (k == initiator) continue;
+    const double s = score(live[k]);
+    if (best == kUnassigned || s > best_score) {
+      best = k;
+      best_score = s;
+    }
+  }
+  return best;
 }
 
 }  // namespace dlb::dist

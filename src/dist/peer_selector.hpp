@@ -4,10 +4,15 @@
 // algorithms select targets uniformly at random (Algorithms 3, 4, 7); the
 // ring and cross-cluster variants exist for ablation benches.
 
+#include <span>
 #include <string_view>
 
 #include "core/types.hpp"
 #include "stats/rng.hpp"
+
+namespace dlb {
+class Schedule;
+}  // namespace dlb
 
 namespace dlb::dist {
 
@@ -16,9 +21,23 @@ class PeerSelector {
   virtual ~PeerSelector() = default;
 
   /// Returns a peer != initiator in [0, num_machines). num_machines >= 2.
+  /// Positions are *live indices* (the engines map them onto machine ids).
   [[nodiscard]] virtual MachineId select(MachineId initiator,
                                          std::size_t num_machines,
                                          stats::Rng& rng) const = 0;
+
+  /// Schedule-aware selection, what the engines actually call: `live`
+  /// maps live index -> machine id and `initiator` is a live index; the
+  /// result is a live index != initiator. The default forwards to the
+  /// positional select() (same draws, byte-identical behaviour);
+  /// load-aware selectors override this to inspect the schedule.
+  [[nodiscard]] virtual MachineId select_on(MachineId initiator,
+                                            std::span<const MachineId> live,
+                                            const Schedule& schedule,
+                                            stats::Rng& rng) const {
+    (void)schedule;
+    return select(initiator, live.size(), rng);
+  }
 
   [[nodiscard]] virtual std::string_view name() const noexcept = 0;
 };
@@ -41,6 +60,41 @@ class RingPeerSelector final : public PeerSelector {
   [[nodiscard]] std::string_view name() const noexcept override {
     return "ring";
   }
+};
+
+/// Greedy targeting: always pair with the most-loaded other live machine
+/// (first live position on ties). The risk variants rank peers by the
+/// q95-quantile or effective-size load of the instance's cost model
+/// (core/risk.hpp) instead of the mean load — with no model, or an
+/// all-degenerate one, all three rankings coincide. Consumes no RNG draws.
+class MaxLoadPeerSelector final : public PeerSelector {
+ public:
+  enum class Mode { kMean, kQuantile, kEffectiveSize };
+
+  explicit MaxLoadPeerSelector(Mode mode = Mode::kMean) : mode_(mode) {}
+
+  /// Load-aware selection needs the schedule; the positional overload
+  /// cannot see it and throws std::logic_error.
+  [[nodiscard]] MachineId select(MachineId initiator, std::size_t num_machines,
+                                 stats::Rng& rng) const override;
+  [[nodiscard]] MachineId select_on(MachineId initiator,
+                                    std::span<const MachineId> live,
+                                    const Schedule& schedule,
+                                    stats::Rng& rng) const override;
+  [[nodiscard]] std::string_view name() const noexcept override {
+    switch (mode_) {
+      case Mode::kQuantile:
+        return "max-load_q95";
+      case Mode::kEffectiveSize:
+        return "max-load_effsize";
+      case Mode::kMean:
+        break;
+    }
+    return "max-load";
+  }
+
+ private:
+  Mode mode_;
 };
 
 }  // namespace dlb::dist

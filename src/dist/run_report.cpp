@@ -1,5 +1,10 @@
 #include "dist/run_report.hpp"
 
+#include <algorithm>
+
+#include "core/risk.hpp"
+#include "core/schedule.hpp"
+
 namespace dlb::dist {
 
 stats::Json RunReport::to_json() const {
@@ -16,6 +21,9 @@ stats::Json RunReport::to_json() const {
   doc["churn_orphaned"] = churn_orphaned;
   doc["churn_redispatched"] = churn_redispatched;
   doc["churn_pending"] = churn_pending;
+  doc["risk_jobs"] = risk_jobs;
+  doc["risk_sigma_max"] = risk_sigma_max;
+  doc["risk_q95_excess"] = risk_q95_excess;
   return doc;
 }
 
@@ -37,6 +45,31 @@ void RunReport::print(std::ostream& out) const {
         << "redispatched    : " << churn_redispatched << "\n"
         << "pending         : " << churn_pending << "\n";
   }
+  // Likewise, the risk block only appears when the instance carries a
+  // non-degenerate cost model.
+  if (risk_jobs != 0 || risk_sigma_max != 0.0 || risk_q95_excess != 0.0) {
+    out << "risk jobs       : " << risk_jobs << "\n"
+        << "risk sigma max  : " << risk_sigma_max << "\n"
+        << "risk q95 excess : " << risk_q95_excess << "\n";
+  }
+}
+
+void fill_risk_report(RunReport& report, const Schedule& schedule) {
+  const Instance& instance = schedule.instance();
+  if (!instance.has_cost_model()) {
+    report.risk_jobs = 0;
+    report.risk_sigma_max = 0.0;
+    report.risk_q95_excess = 0.0;
+    return;
+  }
+  report.risk_jobs = instance.cost_model().num_stochastic_jobs();
+  double sigma_max = 0.0;
+  for (MachineId i = 0; i < schedule.num_machines(); ++i) {
+    sigma_max = std::max(sigma_max, cost::load_stddev(schedule, i));
+  }
+  report.risk_sigma_max = sigma_max;
+  report.risk_q95_excess =
+      cost::quantile_makespan(schedule, 0.95) - schedule.makespan();
 }
 
 }  // namespace dlb::dist

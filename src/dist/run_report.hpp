@@ -14,6 +14,10 @@
 #include "core/types.hpp"
 #include "stats/json.hpp"
 
+namespace dlb {
+class Schedule;
+}  // namespace dlb
+
 namespace dlb::dist {
 
 struct RunReport {
@@ -44,6 +48,21 @@ struct RunReport {
   /// Orphans still queued when the run ended (orphaned - redispatched).
   std::uint64_t churn_pending = 0;
 
+  // ----- stochastic cost-model tallies (core/cost_model.hpp) -----
+  // Appended to the JSON schema after the churn fields. All exactly zero
+  // for a run without a cost model *and* for one whose model is entirely
+  // degenerate — the zero-variance equivalence oracle compares report
+  // bytes across those two cases.
+
+  /// Jobs whose size distribution is not a point mass.
+  std::uint64_t risk_jobs = 0;
+  /// Largest per-machine completion-time standard deviation at the end of
+  /// the run (normal approximation; core/risk.hpp load_stddev).
+  double risk_sigma_max = 0.0;
+  /// quantile_makespan(0.95) - final makespan: the price of uncertainty
+  /// on the final schedule. Non-negative; 0 under zero variance.
+  double risk_q95_excess = 0.0;
+
   /// Exchanges per machine (Figure 5's X axis normalisation, shared by
   /// every engine); 0 for an empty machine set.
   [[nodiscard]] double exchanges_per_machine(std::size_t num_machines) const {
@@ -61,5 +80,10 @@ struct RunReport {
   /// balance` format). Derived results print their extras after this.
   void print(std::ostream& out) const;
 };
+
+/// Fills the appended risk_* fields from the schedule's instance cost
+/// model (leaves them zero when there is none). Every engine calls this
+/// once on its finished schedule.
+void fill_risk_report(RunReport& report, const Schedule& schedule);
 
 }  // namespace dlb::dist

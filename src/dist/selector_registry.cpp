@@ -15,6 +15,20 @@ SelectorRegistry build() {
   SelectorRegistry registry("peer selector");
   registry.add("uniform", make<UniformPeerSelector>());
   registry.add("ring", make<RingPeerSelector>());
+  registry.add("max-load", [] {
+    return std::unique_ptr<PeerSelector>(
+        std::make_unique<MaxLoadPeerSelector>());
+  });
+  // Risk-aware greedy targeting (ROADMAP item 4): rank peers by q95 or
+  // effective-size load instead of the mean load.
+  registry.add("max-load_q95", [] {
+    return std::unique_ptr<PeerSelector>(std::make_unique<MaxLoadPeerSelector>(
+        MaxLoadPeerSelector::Mode::kQuantile));
+  });
+  registry.add("max-load_effsize", [] {
+    return std::unique_ptr<PeerSelector>(std::make_unique<MaxLoadPeerSelector>(
+        MaxLoadPeerSelector::Mode::kEffectiveSize));
+  });
   return registry;
 }
 

@@ -64,6 +64,10 @@ TransportRunner::TransportRunner(Schedule& replica,
   if (options_.kernel == nullptr) {
     throw std::invalid_argument("TransportRunner: kernel is required");
   }
+  // Decision-instance hook: risk-aware kernels attach their surrogate to
+  // the replica once, before any session calls balance(). Every daemon
+  // derives the same surrogate from the same instance, so replicas agree.
+  options_.kernel->prepare(*replica_);
   if (replica.num_machines() != transport.num_machines()) {
     throw std::invalid_argument(
         "TransportRunner: replica and transport disagree on machines");

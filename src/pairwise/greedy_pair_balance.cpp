@@ -17,7 +17,7 @@ void sort_by_group_ratio(const Instance& instance, GroupId num, GroupId den,
 
 bool GreedyPairBalanceKernel::balance(Schedule& schedule, MachineId a,
                                       MachineId b) const {
-  const Instance& instance = schedule.instance();
+  const Instance& instance = schedule.decision_instance();
   if (instance.num_groups() != 2) {
     throw std::invalid_argument(
         "GreedyPairBalanceKernel: needs a two-cluster instance");

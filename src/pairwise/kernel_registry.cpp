@@ -12,6 +12,7 @@
 #include "pairwise/greedy_pair_balance.hpp"
 #include "pairwise/pair_clb2c.hpp"
 #include "pairwise/pairwise_optimal.hpp"
+#include "pairwise/risk_aware.hpp"
 #include "pairwise/typed_greedy.hpp"
 
 namespace dlb::pairwise {
@@ -23,6 +24,27 @@ KernelRegistry::Factory make() {
   return [] { return std::unique_ptr<PairKernel>(std::make_unique<K>()); };
 }
 
+template <typename K>
+KernelRegistry::Factory make_risk(cost::RiskMode mode) {
+  return [mode] {
+    return std::unique_ptr<PairKernel>(
+        std::make_unique<RiskAwareKernel>(std::make_unique<K>(), mode));
+  };
+}
+
+/// Registers the `<base>_q95` and `<base>_effsize` risk-aware variants of
+/// kernel K; the registered names come from the wrapper's own name() so
+/// CanonicalNamesRoundTrip holds by construction.
+template <typename K>
+void add_risk_variants(KernelRegistry& registry) {
+  for (const cost::RiskMode mode :
+       {cost::RiskMode::kQuantile, cost::RiskMode::kEffectiveSize}) {
+    KernelRegistry::Factory factory = make_risk<K>(mode);
+    std::string name(factory()->name());
+    registry.add(std::move(name), std::move(factory));
+  }
+}
+
 KernelRegistry build() {
   KernelRegistry registry("kernel");
   registry.add("basic-greedy", make<BasicGreedyKernel>());
@@ -32,6 +54,15 @@ KernelRegistry build() {
   registry.add("pairwise-optimal", make<PairwiseOptimalKernel>());
   registry.add("dlb2c", make<dist::Dlb2cKernel>());
   registry.add("dlbkc", make<dist::DlbKcKernel>());
+  // Risk-aware variants (ROADMAP item 4): every kernel balancing on the
+  // 95%-quantile or effective-size costs of the instance's cost model.
+  add_risk_variants<BasicGreedyKernel>(registry);
+  add_risk_variants<TypedGreedyKernel>(registry);
+  add_risk_variants<GreedyPairBalanceKernel>(registry);
+  add_risk_variants<PairClb2cKernel>(registry);
+  add_risk_variants<PairwiseOptimalKernel>(registry);
+  add_risk_variants<dist::Dlb2cKernel>(registry);
+  add_risk_variants<dist::DlbKcKernel>(registry);
   // The paper's algorithm names (Sections V-VI) for the generic kernels.
   registry.alias("ojtb", "basic-greedy");
   registry.alias("mjtb", "typed-greedy");

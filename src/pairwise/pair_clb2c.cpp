@@ -42,7 +42,7 @@ void pair_clb2c_split(const Instance& instance, MachineId a, MachineId b,
 
 bool PairClb2cKernel::balance(Schedule& schedule, MachineId a,
                               MachineId b) const {
-  const Instance& instance = schedule.instance();
+  const Instance& instance = schedule.decision_instance();
   if (instance.group_of(a) == instance.group_of(b)) {
     throw std::invalid_argument(
         "PairClb2cKernel: machines must be in different clusters");

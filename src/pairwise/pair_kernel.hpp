@@ -18,10 +18,21 @@ class PairKernel {
  public:
   virtual ~PairKernel() = default;
 
+  /// One-time per-run setup, called by every engine from its
+  /// single-threaded setup path before the first balance() (and again
+  /// after a checkpoint resume). Risk-aware kernels attach their
+  /// risk-adjusted decision instance to the schedule here; the default
+  /// detaches any surrogate a previous run left behind, so a plain kernel
+  /// always decides on the real instance.
+  virtual void prepare(Schedule& schedule) const {
+    schedule.set_decision_instance(nullptr);
+  }
+
   /// Rebalances the jobs currently on machines a and b (a != b). Returns
   /// true iff the assignment changed. Must be a deterministic function of
-  /// (instance, pooled job set, a, b): calling it twice in a row returns
-  /// false the second time.
+  /// (decision instance, pooled job set, a, b): calling it twice in a row
+  /// returns false the second time. Decisions read
+  /// schedule.decision_instance(); loads keep billing the real instance.
   virtual bool balance(Schedule& schedule, MachineId a, MachineId b) const = 0;
 
   [[nodiscard]] virtual std::string_view name() const noexcept = 0;
@@ -37,6 +48,12 @@ class PairKernel {
 bool apply_split(Schedule& schedule, MachineId a, MachineId b,
                  const std::vector<JobId>& to_a,
                  const std::vector<JobId>& to_b);
+
+/// Machine i's current load as the kernel's decision instance prices it:
+/// the incremental accumulator when no surrogate is attached (bitwise),
+/// otherwise the sum of decision costs over the resident jobs.
+[[nodiscard]] Cost decision_load(const Schedule& schedule,
+                                 MachineId i) noexcept;
 
 /// True when the split (load_a, load_b) equals the machines' current loads
 /// (within tolerance). Kernels use this to skip *lazy no-ops*: a

@@ -39,7 +39,7 @@ Cost optimal_pair_makespan(const Instance& instance, MachineId a, MachineId b,
 
 bool PairwiseOptimalKernel::balance(Schedule& schedule, MachineId a,
                                     MachineId b) const {
-  const Instance& instance = schedule.instance();
+  const Instance& instance = schedule.decision_instance();
   const std::vector<JobId> pool = pooled_jobs(schedule, a, b);
   if (pool.size() > max_pool_) {
     throw std::invalid_argument("PairwiseOptimalKernel: pool too large");

@@ -1,0 +1,35 @@
+#include "pairwise/risk_aware.hpp"
+
+#include <stdexcept>
+#include <utility>
+
+namespace dlb::pairwise {
+
+RiskAwareKernel::RiskAwareKernel(std::unique_ptr<PairKernel> base,
+                                 cost::RiskMode mode)
+    : base_(std::move(base)), mode_(mode) {
+  if (base_ == nullptr) {
+    throw std::invalid_argument("RiskAwareKernel: null base kernel");
+  }
+  name_ = std::string(base_->name()) +
+          (mode_ == cost::RiskMode::kQuantile ? "_q95" : "_effsize");
+}
+
+void RiskAwareKernel::prepare(Schedule& schedule) const {
+  if (!schedule.instance().has_cost_model()) {
+    // Nothing to adjust: behave exactly like the base kernel (and drop
+    // any surrogate a previous run may have left behind).
+    schedule.set_decision_instance(nullptr);
+    return;
+  }
+  schedule.set_decision_instance(
+      std::make_shared<const Instance>(cost::risk_adjusted_instance(
+          schedule.instance(), mode_, cost::kRiskQuantile)));
+}
+
+bool RiskAwareKernel::balance(Schedule& schedule, MachineId a,
+                              MachineId b) const {
+  return base_->balance(schedule, a, b);
+}
+
+}  // namespace dlb::pairwise

@@ -1,0 +1,43 @@
+#pragma once
+
+// RiskAwareKernel: turns any PairKernel into its `*_q95` / `*_effsize`
+// variant. prepare() attaches a risk-adjusted surrogate instance
+// (core/risk.hpp) as the schedule's decision instance; the wrapped kernel
+// then reasons about quantile or effective-size costs while the schedule's
+// load accounting keeps billing the real (predicted-mean) instance. With
+// no cost model — or an all-degenerate one — every risk factor is exactly
+// 1.0, so the surrogate costs are bitwise equal to the real ones and the
+// variant reproduces its base kernel byte-for-byte (the check:: zero-
+// variance equivalence oracle).
+
+#include <memory>
+#include <string>
+#include <string_view>
+
+#include "core/risk.hpp"
+#include "pairwise/pair_kernel.hpp"
+
+namespace dlb::pairwise {
+
+class RiskAwareKernel : public PairKernel {
+ public:
+  /// Takes ownership of the base kernel; name() is the base's name plus
+  /// "_q95" (quantile mode) or "_effsize" (effective-size mode).
+  RiskAwareKernel(std::unique_ptr<PairKernel> base, cost::RiskMode mode);
+
+  void prepare(Schedule& schedule) const override;
+  bool balance(Schedule& schedule, MachineId a, MachineId b) const override;
+  [[nodiscard]] std::string_view name() const noexcept override {
+    return name_;
+  }
+
+  [[nodiscard]] cost::RiskMode mode() const noexcept { return mode_; }
+  [[nodiscard]] const PairKernel& base() const noexcept { return *base_; }
+
+ private:
+  std::unique_ptr<PairKernel> base_;
+  cost::RiskMode mode_;
+  std::string name_;
+};
+
+}  // namespace dlb::pairwise

@@ -10,7 +10,7 @@ namespace dlb::pairwise {
 
 bool TypedGreedyKernel::balance(Schedule& schedule, MachineId a,
                                 MachineId b) const {
-  const Instance& instance = schedule.instance();
+  const Instance& instance = schedule.decision_instance();
   if (!instance.has_job_types()) {
     throw std::invalid_argument("TypedGreedyKernel: instance has no job types");
   }

@@ -213,6 +213,65 @@ TEST(Commands, SimulateRejectsUnknownAlgorithm) {
   EXPECT_NE(result.err.find("unknown --alg"), std::string::npos);
 }
 
+TEST(Commands, BalanceRejectsUnknownCostModelListingValidKinds) {
+  const std::string path = temp_path("cli_cm_bad.inst");
+  ASSERT_EQ(run({"gen", "--kind", "identical", "--m", "3", "--jobs", "12",
+                 "--out", path})
+                .code,
+            0);
+  const auto result =
+      run({"balance", "--in", path, "--cost-model", "gamma:2"});
+  EXPECT_EQ(result.code, 2);
+  EXPECT_NE(result.err.find("--cost-model"), std::string::npos);
+  EXPECT_NE(result.err.find("unknown distribution 'gamma'"),
+            std::string::npos);
+  EXPECT_NE(result.err.find("det, normal, lognormal, pareto"),
+            std::string::npos);
+}
+
+TEST(Commands, BalanceRejectsMalformedCostModelParameters) {
+  const std::string path = temp_path("cli_cm_arity.inst");
+  ASSERT_EQ(run({"gen", "--kind", "identical", "--m", "3", "--jobs", "12",
+                 "--out", path})
+                .code,
+            0);
+  const auto result =
+      run({"balance", "--in", path, "--cost-model", "pareto:2,1"});
+  EXPECT_EQ(result.code, 2);
+  EXPECT_NE(result.err.find("--cost-model"), std::string::npos);
+  EXPECT_NE(result.err.find("pareto expects 3 parameters alpha,lo,hi"),
+            std::string::npos);
+}
+
+TEST(Commands, BalanceRejectsUnknownStochasticKernelListingTheValidSet) {
+  const std::string path = temp_path("cli_cm_alg.inst");
+  ASSERT_EQ(run({"gen", "--kind", "identical", "--m", "3", "--jobs", "12",
+                 "--out", path})
+                .code,
+            0);
+  const auto result = run({"balance", "--in", path, "--alg", "dlb2c_q99",
+                           "--cost-model", "normal:0.3"});
+  EXPECT_EQ(result.code, 2);
+  EXPECT_NE(result.err.find("unknown --alg 'dlb2c_q99'"), std::string::npos);
+  EXPECT_NE(result.err.find("dlb2c_q95"), std::string::npos);
+  EXPECT_NE(result.err.find("dlb2c_effsize"), std::string::npos);
+}
+
+TEST(Commands, BalanceWithStochasticKernelReportsRiskFields) {
+  const std::string path = temp_path("cli_cm_risk.inst");
+  ASSERT_EQ(run({"gen", "--kind", "two-cluster", "--m1", "4", "--m2", "2",
+                 "--jobs", "48", "--hi", "100", "--out", path})
+                .code,
+            0);
+  const std::string metrics = temp_path("cli_cm_risk_metrics.json");
+  const auto result =
+      run({"balance", "--in", path, "--alg", "dlb2c_q95", "--peer",
+           "max-load_q95", "--cost-model", "lognormal:0.5",
+           "--exchanges-per-machine", "5", "--metrics-json", metrics});
+  ASSERT_EQ(result.code, 0) << result.err;
+  EXPECT_NE(result.out.find("final factor"), std::string::npos);
+}
+
 TEST(Commands, SolveEveryAlgorithmOnASmallInstance) {
   const std::string path = temp_path("cli_algs.inst");
   ASSERT_EQ(run({"gen", "--kind", "two-cluster", "--m1", "2", "--m2", "1",

@@ -3,8 +3,12 @@
 #include <gtest/gtest.h>
 
 #include <sstream>
+#include <string>
+#include <vector>
 
+#include "core/cost_model.hpp"
 #include "core/generators.hpp"
+#include "stats/rng.hpp"
 
 namespace dlb::io {
 namespace {
@@ -26,6 +30,10 @@ void expect_instances_equal(const Instance& a, const Instance& b) {
     for (JobId j = 0; j < a.num_jobs(); ++j) {
       EXPECT_EQ(a.job_type(j), b.job_type(j));
     }
+  }
+  ASSERT_EQ(a.has_cost_model(), b.has_cost_model());
+  if (a.has_cost_model()) {
+    EXPECT_EQ(a.cost_model(), b.cost_model());  // Bitwise, per-field.
   }
 }
 
@@ -95,6 +103,119 @@ TEST(InstanceIo, RoundTripEmptyGroup) {
   const Instance loaded = load_instance(buffer);
   expect_instances_equal(original, loaded);
   EXPECT_TRUE(loaded.machines_in_group(1).empty());
+}
+
+// ------------------------------------------------ cost-model persistence
+
+/// One random Dist with full-precision double parameters — the round-trip
+/// must survive max_digits10 formatting for every kind.
+cost::Dist random_dist(stats::Rng& rng) {
+  cost::Dist dist;
+  switch (rng.below(4)) {
+    case 0:
+      dist.kind = cost::DistKind::kDeterministic;
+      dist.value = 0.25 + 4.0 * rng.uniform();
+      break;
+    case 1:
+      dist.kind = cost::DistKind::kNormal;
+      dist.sigma = rng.uniform();
+      break;
+    case 2:
+      dist.kind = cost::DistKind::kLognormal;
+      dist.sigma = 1.5 * rng.uniform();
+      break;
+    default:
+      dist.kind = cost::DistKind::kPareto;
+      dist.alpha = 1.1 + 2.0 * rng.uniform();
+      dist.lo = 0.1 + rng.uniform();
+      dist.hi = dist.lo * (1.0 + 9.0 * rng.uniform());
+      break;
+  }
+  return dist;
+}
+
+TEST(InstanceIo, CostModelRoundTripFuzz) {
+  for (std::uint64_t seed = 0; seed < 25; ++seed) {
+    stats::Rng rng = stats::Rng::stream(0xC057, seed);
+    Instance original =
+        gen::uniform_unrelated(2 + seed % 4, 3 + seed % 9, 1.0, 50.0, seed);
+    std::vector<cost::Dist> dists(original.num_jobs());
+    for (auto& dist : dists) dist = random_dist(rng);
+    original.set_cost_model(cost::CostModel(std::move(dists)));
+    std::stringstream buffer;
+    save_instance(original, buffer);
+    const Instance loaded = load_instance(buffer);
+    expect_instances_equal(original, loaded);
+  }
+}
+
+TEST(InstanceIo, CostModelRoundTripWithJobTypes) {
+  // types and costmodel are both optional sections; when both are present
+  // they must coexist (types first, then costmodel, then costs).
+  Instance original = gen::typed_uniform(3, 12, 4, 1.0, 9.0, 5);
+  original.set_cost_model(cost::CostModel(std::vector<cost::Dist>(
+      original.num_jobs(), cost::parse_dist("normal:0.25"))));
+  std::stringstream buffer;
+  save_instance(original, buffer);
+  const Instance loaded = load_instance(buffer);
+  expect_instances_equal(original, loaded);
+}
+
+TEST(InstanceIo, AbsentCostModelStaysAbsent) {
+  const Instance original = gen::uniform_unrelated(3, 7, 1.0, 10.0, 11);
+  std::stringstream buffer;
+  save_instance(original, buffer);
+  EXPECT_EQ(buffer.str().find("costmodel"), std::string::npos);
+  EXPECT_FALSE(load_instance(buffer).has_cost_model());
+}
+
+/// Replaces the first costmodel spec of a saved instance with `spec`.
+std::string with_first_costmodel_spec(const Instance& instance,
+                                      const std::string& spec) {
+  std::stringstream buffer;
+  save_instance(instance, buffer);
+  std::string text = buffer.str();
+  const std::string tag = "costmodel ";
+  const std::size_t at = text.find(tag) + tag.size();
+  const std::size_t end = text.find(' ', at);
+  return text.substr(0, at) + spec + text.substr(end);
+}
+
+TEST(InstanceIo, RejectsCostModelErrorsNamingJobAndField) {
+  Instance original = gen::uniform_unrelated(2, 4, 1.0, 10.0, 13);
+  original.set_cost_model(cost::CostModel(
+      std::vector<cost::Dist>(original.num_jobs(), cost::Dist{})));
+  const std::vector<std::pair<std::string, std::string>> bad = {
+      {"gamma:2", "unknown distribution 'gamma'"},
+      {"pareto:2,1", "pareto expects 3 parameters alpha,lo,hi"},
+      {"normal:-0.5", "normal.sigma"},
+      {"pareto:2,3,2", "pareto.hi"}};
+  for (const auto& [spec, needle] : bad) {
+    std::stringstream corrupted(with_first_costmodel_spec(original, spec));
+    try {
+      static_cast<void>(load_instance(corrupted));
+      FAIL() << spec << ": expected std::runtime_error";
+    } catch (const std::runtime_error& e) {
+      const std::string what = e.what();
+      EXPECT_NE(what.find("costmodel entry for job 0"), std::string::npos)
+          << spec << " -> " << what;
+      EXPECT_NE(what.find(needle), std::string::npos) << spec << " -> "
+                                                      << what;
+    }
+  }
+}
+
+TEST(InstanceIo, RejectsTruncatedCostModelSection) {
+  Instance original = gen::uniform_unrelated(2, 4, 1.0, 10.0, 13);
+  original.set_cost_model(cost::CostModel(
+      std::vector<cost::Dist>(original.num_jobs(), cost::Dist{})));
+  std::stringstream buffer;
+  save_instance(original, buffer);
+  std::string text = buffer.str();
+  text.resize(text.find("costmodel ") + std::string("costmodel det:1").size());
+  std::stringstream truncated(text);
+  EXPECT_THROW(static_cast<void>(load_instance(truncated)),
+               std::runtime_error);
 }
 
 TEST(InstanceIo, RejectsCorruptHeader) {

@@ -59,6 +59,46 @@ TEST(KernelRegistry, UnknownNameListsTheValidSet) {
   }
 }
 
+TEST(KernelRegistry, ShipsRiskVariantsForEveryBaseKernel) {
+  const pairwise::KernelRegistry& registry = pairwise::kernel_registry();
+  for (const char* base :
+       {"basic-greedy", "typed-greedy", "greedy-pair-balance", "pair-clb2c",
+        "pairwise-optimal", "dlb2c", "dlbkc"}) {
+    EXPECT_TRUE(registry.contains(std::string(base) + "_q95")) << base;
+    EXPECT_TRUE(registry.contains(std::string(base) + "_effsize")) << base;
+  }
+}
+
+TEST(KernelRegistry, UnknownStochasticKernelListsTheRiskVariants) {
+  // A plausible-but-wrong risk suffix must fail with the full valid set,
+  // which includes every *_q95 / *_effsize entry the user could mean.
+  const pairwise::KernelRegistry& registry = pairwise::kernel_registry();
+  try {
+    (void)registry.get("basic-greedy_q99");
+    FAIL() << "expected std::invalid_argument";
+  } catch (const std::invalid_argument& error) {
+    const std::string what = error.what();
+    EXPECT_NE(what.find("basic-greedy_q99"), std::string::npos);
+    EXPECT_NE(what.find("basic-greedy_q95"), std::string::npos);
+    EXPECT_NE(what.find("dlb2c_effsize"), std::string::npos);
+  }
+}
+
+TEST(SelectorRegistry, ShipsRiskAwareMaxLoadVariants) {
+  const dist::SelectorRegistry& registry = dist::selector_registry();
+  EXPECT_TRUE(registry.contains("max-load_q95"));
+  EXPECT_TRUE(registry.contains("max-load_effsize"));
+  try {
+    (void)registry.get("max-load_q50");
+    FAIL() << "expected std::invalid_argument";
+  } catch (const std::invalid_argument& error) {
+    const std::string what = error.what();
+    EXPECT_NE(what.find("max-load_q50"), std::string::npos);
+    EXPECT_NE(what.find("max-load_q95"), std::string::npos);
+    EXPECT_NE(what.find("max-load_effsize"), std::string::npos);
+  }
+}
+
 TEST(SelectorRegistry, CanonicalNamesRoundTrip) {
   const dist::SelectorRegistry& registry = dist::selector_registry();
   const std::vector<std::string> names = registry.names();

@@ -24,12 +24,17 @@ TEST(RunReport, JsonSchemaIsByteStable) {
   report.churn_orphaned = 9;
   report.churn_redispatched = 8;
   report.churn_pending = 1;
+  report.risk_jobs = 5;
+  report.risk_sigma_max = 1.5;
+  report.risk_q95_excess = 0.25;
   EXPECT_EQ(report.to_json().dump(),
             "{\"initial_makespan\":10,\"final_makespan\":4.5,"
             "\"best_makespan\":4,\"exchanges\":17,\"migrations\":23,"
             "\"converged\":true,\"churn_joins\":1,\"churn_drains\":2,"
             "\"churn_crashes\":3,\"churn_orphaned\":9,"
-            "\"churn_redispatched\":8,\"churn_pending\":1}");
+            "\"churn_redispatched\":8,\"churn_pending\":1,"
+            "\"risk_jobs\":5,\"risk_sigma_max\":1.5,"
+            "\"risk_q95_excess\":0.25}");
 }
 
 TEST(RunReport, JsonDefaultsAreZeroAndFalse) {
@@ -39,7 +44,9 @@ TEST(RunReport, JsonDefaultsAreZeroAndFalse) {
             "\"best_makespan\":0,\"exchanges\":0,\"migrations\":0,"
             "\"converged\":false,\"churn_joins\":0,\"churn_drains\":0,"
             "\"churn_crashes\":0,\"churn_orphaned\":0,"
-            "\"churn_redispatched\":0,\"churn_pending\":0}");
+            "\"churn_redispatched\":0,\"churn_pending\":0,"
+            "\"risk_jobs\":0,\"risk_sigma_max\":0,"
+            "\"risk_q95_excess\":0}");
 }
 
 TEST(RunReport, PrintEmitsTheSharedCliBlock) {

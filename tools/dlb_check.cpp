@@ -37,7 +37,9 @@ options:
   --seed S           base seed; every case derives from it (default 42)
   --regime NAME      pin one regime: identical | related | two_cluster |
                      multi_cluster | unrelated | typed | single_type |
-                     extreme_ratio | degenerate (default: cycle through all)
+                     extreme_ratio | degenerate | stochastic_normal |
+                     stochastic_lognormal | stochastic_pareto
+                     (default: cycle through all)
   --faults NAME      fault plan for async runs: rotate | none | drop |
                      delay | duplicate | reorder | chaos (default rotate)
   --fault-p P        per-message fault probability (default 0.15)
@@ -146,7 +148,8 @@ int run(const dlb::cli::Args& args) {
   std::cout << "dlb_check: " << summary.cases_run << " cases ("
             << summary.exact_solved << " vs exact OPT, "
             << summary.engine_runs << " engine runs, " << summary.churn_runs
-            << " churn runs, " << summary.async_runs << " async runs)\n"
+            << " churn runs, " << summary.async_runs << " async runs, "
+            << summary.stochastic_cases << " stochastic cases)\n"
             << "dlb_check: injected faults: " << summary.faults.dropped
             << " dropped, " << summary.faults.delayed << " delayed, "
             << summary.faults.duplicated << " duplicated, "
