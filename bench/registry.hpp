@@ -40,6 +40,10 @@ struct RunContext {
   /// CI mode: experiments shrink replication counts and sweep ranges so the
   /// whole suite finishes in well under two minutes.
   bool smoke = false;
+  /// Nightly mode (`--full`): perf experiments that define a
+  /// million-machine tier run it. Experiments without such a tier treat
+  /// this as the default size. Never combined with smoke.
+  bool full = false;
   /// When set, experiments additionally dump their series as CSV files into
   /// this directory (the pre-registry `--csv DIR` behaviour). The runner
   /// only sets it on the reporting repetition, so files are written once.
@@ -55,9 +59,16 @@ struct RunContext {
   const obs::Context* obs = nullptr;
 
   /// Convenience: pick the full-size or the smoke-size value of a knob.
-  [[nodiscard]] std::size_t scale(std::size_t full,
+  [[nodiscard]] std::size_t scale(std::size_t full_size,
                                   std::size_t smoke_size) const {
-    return smoke ? smoke_size : full;
+    return smoke ? smoke_size : full_size;
+  }
+
+  /// Three-tier knob: `huge_size` under --full, otherwise scale().
+  [[nodiscard]] std::size_t scale3(std::size_t huge_size,
+                                   std::size_t full_size,
+                                   std::size_t smoke_size) const {
+    return full ? huge_size : scale(full_size, smoke_size);
   }
 };
 

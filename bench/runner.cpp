@@ -109,6 +109,7 @@ std::vector<ExperimentResult> run_experiments(const Registry& registry,
         const bool timed = rep >= options.warmup;
         RunContext ctx;
         ctx.smoke = options.smoke;
+        ctx.full = options.full;
         ctx.pool = pool;
         if (reporting) ctx.csv_dir = options.csv_dir;
 
@@ -195,6 +196,7 @@ stats::Json results_to_json(const std::vector<ExperimentResult>& results,
 
   stats::Json config = stats::Json::object();
   config["smoke"] = options.smoke;
+  config["full"] = options.full;
   config["filter"] = options.filter;
   config["reps"] = options.reps;
   config["warmup"] = options.warmup;
@@ -269,6 +271,8 @@ void print_usage(std::ostream& out) {
          "  --threads N     replication worker threads "
          "(0 = hardware, default 0)\n"
          "  --smoke         reduced sizes for CI (fast, same shapes)\n"
+         "  --full          million-machine tier for perf experiments\n"
+         "                  (nightly; mutually exclusive with --smoke)\n"
          "  --csv DIR       also dump per-experiment CSV series into DIR\n"
          "  --json FILE     write the telemetry document to FILE\n"
          "  --no-timing     omit timing + environment from the JSON\n"
@@ -299,6 +303,10 @@ int bench_main(int argc, const char* const* argv) {
     }
     list_only = args.has("list");
     options.smoke = args.has("smoke");
+    options.full = args.has("full");
+    if (options.smoke && options.full) {
+      throw std::invalid_argument("--smoke and --full are mutually exclusive");
+    }
     options.quiet = args.has("quiet");
     options.with_timing = !args.has("no-timing");
     options.with_obs = !args.has("no-obs");

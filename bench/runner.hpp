@@ -27,6 +27,9 @@ struct RunnerOptions {
   std::size_t warmup = 1;
   /// Smoke mode: experiments run their reduced CI-sized configuration.
   bool smoke = false;
+  /// Full-size mode: perf experiments that define a million-machine tier
+  /// run it (nightly CI; mutually exclusive with smoke).
+  bool full = false;
   /// Worker threads for replication sweeps (0 = hardware, 1 = sequential).
   std::size_t threads = 1;
   /// Forwarded to experiments for their CSV series dumps.

@@ -20,6 +20,7 @@
 #include "core/cost_model.hpp"
 #include "core/generators.hpp"
 #include "core/instance_io.hpp"
+#include "core/instance_store.hpp"
 #include "core/lower_bounds.hpp"
 #include "core/validation.hpp"
 #include "dist/async_runner.hpp"
@@ -116,8 +117,41 @@ int cmd_gen(const Args& args, std::ostream& out, std::ostream& err) {
   }();
   if (const int rc = check_unused(args, err)) return rc;
 
-  io::save_instance_file(instance, path);
+  // Extension picks the format: `.dlbi` writes the mmap-able binary,
+  // anything else the text format.
+  core::save_instance_auto(instance, path);
   out << "wrote " << path << ": " << instance.num_machines() << " machines ("
+      << instance.num_groups() << " groups), " << instance.num_jobs()
+      << " jobs\n";
+  return 0;
+}
+
+// ----- convert -----
+
+int cmd_convert(const Args& args, std::ostream& out, std::ostream& err) {
+  const std::string in_path = args.require("in");
+  const std::string out_path = args.require("out");
+  const std::string to = args.get("to", "auto");
+  if (const int rc = check_unused(args, err)) return rc;
+
+  const core::InstanceStore store = core::load_instance(in_path);
+  const Instance& instance = store.instance();
+  bool binary = false;
+  if (to == "auto") {
+    core::save_instance_auto(instance, out_path);
+    binary = out_path.size() >= 5 &&
+             out_path.compare(out_path.size() - 5, 5, ".dlbi") == 0;
+  } else if (to == "text") {
+    io::save_instance_file(instance, out_path);
+  } else if (to == "binary") {
+    core::save_dlbi(instance, out_path);
+    binary = true;
+  } else {
+    throw std::invalid_argument("--to expects auto|text|binary, got '" + to +
+                                "'");
+  }
+  out << "wrote " << out_path << " (" << (binary ? "binary" : "text")
+      << "): " << instance.num_machines() << " machines ("
       << instance.num_groups() << " groups), " << instance.num_jobs()
       << " jobs\n";
   return 0;
@@ -128,7 +162,8 @@ int cmd_gen(const Args& args, std::ostream& out, std::ostream& err) {
 int cmd_info(const Args& args, std::ostream& out, std::ostream& err) {
   const std::string path = args.require("in");
   if (const int rc = check_unused(args, err)) return rc;
-  const Instance instance = io::load_instance_file(path);
+  const core::InstanceStore store = core::load_instance(path);
+  const Instance& instance = store.instance();
   out << "machines      : " << instance.num_machines() << "\n"
       << "groups        : " << instance.num_groups() << "\n"
       << "jobs          : " << instance.num_jobs() << "\n"
@@ -151,7 +186,8 @@ int cmd_solve(const Args& args, std::ostream& out, std::ostream& err) {
   const std::string path = args.require("in");
   const std::string alg = args.get("alg", "ect");
   if (const int rc = check_unused(args, err)) return rc;
-  const Instance instance = io::load_instance_file(path);
+  const core::InstanceStore store = core::load_instance(path);
+  const Instance& instance = store.instance();
 
   const std::map<std::string, std::function<Schedule()>> algorithms = {
       {"list", [&] { return centralized::list_schedule(instance); }},
@@ -313,7 +349,8 @@ int cmd_balance(const Args& args, std::ostream& out, std::ostream& err) {
 
   const pairwise::PairKernel& kernel = kernel_by_alg(alg);
   const dist::PeerSelector& selector = selector_by_name(peer);
-  Instance instance = io::load_instance_file(path);
+  core::InstanceStore store = core::load_instance(path);
+  Instance& instance = store.mutable_instance();
   // --cost-model SPEC attaches one size distribution to every job (the
   // instance file's own `costmodel` line, if any, is replaced). The risk
   // kernels (--alg *_q95 / *_effsize) and selectors read it; with a
@@ -486,7 +523,8 @@ int cmd_simulate(const Args& args, std::ostream& out, std::ostream& err) {
   if (obs_files.enabled()) options.obs = &obs_files.context;
   if (const int rc = check_unused(args, err)) return rc;
 
-  const Instance instance = io::load_instance_file(path);
+  const core::InstanceStore store = core::load_instance(path);
+  const Instance& instance = store.instance();
   Schedule schedule(instance, gen::random_assignment(instance, seed));
 
   const pairwise::PairKernel& kernel = kernel_by_alg(alg);
@@ -551,7 +589,8 @@ int cmd_transport(const Args& args, std::ostream& out, std::ostream& err) {
   if (const int rc = check_unused(args, err)) return rc;
 
   const pairwise::PairKernel& kernel = kernel_by_alg(alg);
-  const Instance instance = io::load_instance_file(path);
+  const core::InstanceStore store = core::load_instance(path);
+  const Instance& instance = store.instance();
   Schedule replica(instance, gen::random_assignment(instance, seed));
 
   des::Engine engine;
@@ -824,6 +863,9 @@ commands:
   gen      --out FILE [--kind two-cluster|identical|unrelated|typed|multi]
            [--m1 N --m2 N | --m N | --sizes N,N,...] [--jobs N] [--types K]
            [--lo X --hi X] [--seed S]
+           (a .dlbi extension writes the mmap-able binary format)
+  convert  --in FILE --out FILE [--to auto|text|binary]
+           (lossless text <-> binary; auto picks binary for .dlbi)
   info     --in FILE
   solve    --in FILE
            [--alg list|lpt|ect|minmin|maxmin|sufferage|clb2c|lenstra|exact]
@@ -861,6 +903,9 @@ the classic names dlb2c|dlbkc|ojtb|mjtb all resolve. Risk-aware variants
 (<kernel>_q95, <kernel>_effsize, --peer max-load_q95|max-load_effsize)
 balance quantile or effective-size loads from the instance's cost model
 (see --cost-model and docs/stochastic.md).
+
+Every --in FILE accepts either format (text .inst or binary .dlbi),
+auto-detected by content; see docs/storage.md.
 )";
 }
 
@@ -872,6 +917,7 @@ int run_command(const std::vector<std::string>& argv, std::ostream& out,
       Args::parse(std::vector<std::string>(argv.begin() + 1, argv.end()));
   try {
     if (command == "gen") return cmd_gen(args, out, err);
+    if (command == "convert") return cmd_convert(args, out, err);
     if (command == "info") return cmd_info(args, out, err);
     if (command == "solve") return cmd_solve(args, out, err);
     if (command == "balance") return cmd_balance(args, out, err);

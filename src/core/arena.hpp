@@ -1,0 +1,147 @@
+#pragma once
+
+// Arena: a monotonic bump allocator for the engines' epoch plan buffers.
+// Every buffer an exchange engine needs across its plan/execute/commit
+// loop (initiator order, claim marks, session batch, outcome slots) is
+// carved out of one cache-line-aligned block sized up front from the
+// machine count — machine ids are stable under churn, so the capacities
+// are bounded for the whole run and the loop itself never allocates.
+// Overflows fall back to heap side-blocks (correctness first) but are
+// counted: the engines export the count as an obs counter and Debug
+// builds assert it stays zero.
+
+#include <cassert>
+#include <cstddef>
+#include <memory>
+#include <new>
+#include <span>
+#include <type_traits>
+#include <vector>
+
+namespace dlb::core {
+
+class Arena {
+ public:
+  /// Cache-line alignment for every allocation: adjacent buffers never
+  /// share a line, so parallel writers on different buffers don't
+  /// false-share.
+  static constexpr std::size_t kAlign = 64;
+
+  [[nodiscard]] static constexpr std::size_t align_up(
+      std::size_t bytes) noexcept {
+    return (bytes + kAlign - 1) / kAlign * kAlign;
+  }
+
+  /// Bytes an alloc<T>(count) consumes (for sizing the arena exactly).
+  template <typename T>
+  [[nodiscard]] static constexpr std::size_t bytes_for(
+      std::size_t count) noexcept {
+    return align_up(count * sizeof(T));
+  }
+
+  explicit Arena(std::size_t bytes) : capacity_(align_up(bytes)) {
+    if (capacity_ != 0) {
+      block_.reset(new (std::align_val_t{kAlign}) std::byte[capacity_]);
+    }
+  }
+
+  Arena(const Arena&) = delete;
+  Arena& operator=(const Arena&) = delete;
+
+  /// Value-initialized span of `count` Ts. Draws from the block when it
+  /// fits, otherwise from a counted heap side-block.
+  template <typename T>
+  [[nodiscard]] std::span<T> alloc(std::size_t count) {
+    static_assert(std::is_trivially_copyable_v<T> &&
+                      std::is_trivially_destructible_v<T>,
+                  "Arena hands out raw storage; T must be trivial enough");
+    static_assert(alignof(T) <= kAlign);
+    const std::size_t bytes = bytes_for<T>(count);
+    std::byte* raw = nullptr;
+    if (used_ + bytes <= capacity_) {
+      raw = block_.get() + used_;
+      used_ += bytes;
+    } else {
+      ++overflows_;
+      side_.emplace_back(new (std::align_val_t{kAlign})
+                             std::byte[bytes == 0 ? kAlign : bytes]);
+      raw = side_.back().get();
+    }
+    T* first = reinterpret_cast<T*>(raw);
+    for (std::size_t i = 0; i < count; ++i) {
+      ::new (static_cast<void*>(first + i)) T();
+    }
+    return {first, count};
+  }
+
+  [[nodiscard]] std::size_t capacity() const noexcept { return capacity_; }
+  [[nodiscard]] std::size_t used() const noexcept { return used_; }
+  /// Allocations that did not fit in the up-front block. The engines'
+  /// no-allocation-in-the-loop invariant is exactly `overflows() == 0`.
+  [[nodiscard]] std::size_t overflows() const noexcept { return overflows_; }
+
+ private:
+  struct AlignedDeleter {
+    void operator()(std::byte* p) const noexcept {
+      ::operator delete[](p, std::align_val_t{kAlign});
+    }
+  };
+  using Block = std::unique_ptr<std::byte[], AlignedDeleter>;
+
+  Block block_;
+  std::size_t capacity_ = 0;
+  std::size_t used_ = 0;
+  std::size_t overflows_ = 0;
+  std::vector<Block> side_;
+};
+
+/// Fixed-capacity vector over arena storage: the std::vector surface the
+/// engines use (assign/push_back/clear/iterate), minus growth. Exceeding
+/// the capacity is a precondition violation (asserted); callers size the
+/// backing span to the run-wide bound (machine count), which churn cannot
+/// exceed because machine ids are stable.
+template <typename T>
+class FixedVec {
+ public:
+  FixedVec() = default;
+  explicit FixedVec(std::span<T> storage) noexcept
+      : data_(storage.data()), capacity_(storage.size()) {}
+
+  void push_back(const T& value) noexcept {
+    assert(size_ < capacity_);
+    data_[size_++] = value;
+  }
+
+  template <typename It>
+  void assign(It first, It last) {
+    size_ = 0;
+    for (; first != last; ++first) push_back(*first);
+  }
+
+  void assign(std::size_t count, const T& value) noexcept {
+    assert(count <= capacity_);
+    size_ = count;
+    for (std::size_t i = 0; i < count; ++i) data_[i] = value;
+  }
+
+  void clear() noexcept { size_ = 0; }
+
+  [[nodiscard]] T* begin() noexcept { return data_; }
+  [[nodiscard]] T* end() noexcept { return data_ + size_; }
+  [[nodiscard]] const T* begin() const noexcept { return data_; }
+  [[nodiscard]] const T* end() const noexcept { return data_ + size_; }
+  [[nodiscard]] T& operator[](std::size_t i) noexcept { return data_[i]; }
+  [[nodiscard]] const T& operator[](std::size_t i) const noexcept {
+    return data_[i];
+  }
+  [[nodiscard]] std::size_t size() const noexcept { return size_; }
+  [[nodiscard]] std::size_t capacity() const noexcept { return capacity_; }
+  [[nodiscard]] bool empty() const noexcept { return size_ == 0; }
+
+ private:
+  T* data_ = nullptr;
+  std::size_t capacity_ = 0;
+  std::size_t size_ = 0;
+};
+
+}  // namespace dlb::core

@@ -5,81 +5,150 @@
 #include <map>
 #include <numeric>
 #include <stdexcept>
+#include <utility>
 
 namespace dlb {
 
-namespace {
-
-void check_positive_finite(const std::vector<std::vector<Cost>>& rows) {
-  for (const auto& row : rows) {
-    for (Cost c : row) {
-      if (!(c > 0.0) || !std::isfinite(c)) {
-        throw std::invalid_argument(
-            "Instance: costs must be positive and finite");
-      }
-    }
-  }
-}
-
-}  // namespace
-
 Instance::Instance(std::vector<std::vector<Cost>> group_costs,
                    std::vector<GroupId> group_of, std::vector<double> scales)
-    : group_costs_(std::move(group_costs)),
-      group_of_(std::move(group_of)),
-      scales_(std::move(scales)) {
-  if (group_costs_.empty()) {
+    : owned_group_of_(std::move(group_of)), owned_scales_(std::move(scales)) {
+  if (group_costs.empty()) {
     throw std::invalid_argument("Instance: need at least one group");
   }
-  if (group_of_.empty()) {
+  if (owned_group_of_.empty()) {
     throw std::invalid_argument("Instance: need at least one machine");
   }
-  num_jobs_ = group_costs_.front().size();
-  for (const auto& row : group_costs_) {
+  num_groups_ = group_costs.size();
+  num_machines_ = owned_group_of_.size();
+  num_jobs_ = group_costs.front().size();
+  for (const auto& row : group_costs) {
     if (row.size() != num_jobs_) {
       throw std::invalid_argument("Instance: ragged group cost rows");
     }
   }
-  check_positive_finite(group_costs_);
-  for (GroupId g : group_of_) {
-    if (g >= group_costs_.size()) {
+  owned_costs_.reserve(num_groups_ * num_jobs_);
+  for (const auto& row : group_costs) {
+    owned_costs_.insert(owned_costs_.end(), row.begin(), row.end());
+  }
+  for (Cost c : owned_costs_) {
+    if (!(c > 0.0) || !std::isfinite(c)) {
+      throw std::invalid_argument(
+          "Instance: costs must be positive and finite");
+    }
+  }
+  for (GroupId g : owned_group_of_) {
+    if (g >= num_groups_) {
       throw std::invalid_argument("Instance: machine references unknown group");
     }
   }
-  if (scales_.empty()) {
-    scales_.assign(group_of_.size(), 1.0);
-  } else if (scales_.size() != group_of_.size()) {
+  if (owned_scales_.empty()) {
+    owned_scales_.assign(num_machines_, 1.0);
+  } else if (owned_scales_.size() != num_machines_) {
     throw std::invalid_argument("Instance: scales size != machine count");
   }
-  for (double s : scales_) {
+  for (double s : owned_scales_) {
     if (!(s > 0.0) || !std::isfinite(s)) {
       throw std::invalid_argument("Instance: scales must be positive finite");
     }
   }
+  costs_ = owned_costs_.data();
+  group_of_ = owned_group_of_.data();
+  scales_ = owned_scales_.data();
   compute_caches();
 }
 
-void Instance::compute_caches() {
-  machines_by_group_.assign(group_costs_.size(), {});
-  for (MachineId i = 0; i < group_of_.size(); ++i) {
+Instance::Instance(Borrowed, const Cost* costs, const GroupId* group_of,
+                   const double* scales, const JobTypeId* types,
+                   std::size_t num_machines, std::size_t num_groups,
+                   std::size_t num_jobs, std::size_t num_job_types,
+                   Cost max_cost, bool unit_scales)
+    : costs_(costs),
+      group_of_(group_of),
+      scales_(scales),
+      types_(types),
+      borrowed_(true),
+      num_machines_(num_machines),
+      num_groups_(num_groups),
+      num_jobs_(num_jobs),
+      num_job_types_(num_job_types),
+      max_cost_(max_cost),
+      unit_scales_(unit_scales) {
+  if (num_groups_ == 0) {
+    throw std::invalid_argument("Instance: need at least one group");
+  }
+  if (num_machines_ == 0) {
+    throw std::invalid_argument("Instance: need at least one machine");
+  }
+  for (std::size_t i = 0; i < num_machines_; ++i) {
+    if (group_of_[i] >= num_groups_) {
+      throw std::invalid_argument("Instance: machine references unknown group");
+    }
+  }
+  build_machines_by_group();
+}
+
+Instance::Instance(const Instance& other)
+    : owned_costs_(other.owned_costs_),
+      owned_group_of_(other.owned_group_of_),
+      owned_scales_(other.owned_scales_),
+      owned_types_(other.owned_types_),
+      costs_(other.costs_),
+      group_of_(other.group_of_),
+      scales_(other.scales_),
+      types_(other.types_),
+      borrowed_(other.borrowed_),
+      num_machines_(other.num_machines_),
+      num_groups_(other.num_groups_),
+      num_jobs_(other.num_jobs_),
+      machines_by_group_(other.machines_by_group_),
+      num_job_types_(other.num_job_types_),
+      max_cost_(other.max_cost_),
+      unit_scales_(other.unit_scales_),
+      cost_model_(other.cost_model_) {
+  rebind();
+}
+
+Instance& Instance::operator=(const Instance& other) {
+  if (this != &other) {
+    Instance tmp(other);
+    *this = std::move(tmp);
+  }
+  return *this;
+}
+
+void Instance::rebind() {
+  if (!borrowed_) {
+    costs_ = owned_costs_.data();
+    group_of_ = owned_group_of_.data();
+    scales_ = owned_scales_.data();
+  }
+  if (!owned_types_.empty()) types_ = owned_types_.data();
+}
+
+void Instance::build_machines_by_group() {
+  machines_by_group_.assign(num_groups_, {});
+  for (MachineId i = 0; i < num_machines_; ++i) {
     machines_by_group_[group_of_[i]].push_back(i);
   }
-  unit_scales_ =
-      std::all_of(scales_.begin(), scales_.end(),
-                  [](double s) { return s == 1.0; });
+}
+
+void Instance::compute_caches() {
+  build_machines_by_group();
+  unit_scales_ = std::all_of(scales_, scales_ + num_machines_,
+                             [](double s) { return s == 1.0; });
   max_cost_ = 0.0;
   // The true max over (i, j) needs per-group max scale; compute exactly.
-  std::vector<double> group_max_scale(group_costs_.size(), 0.0);
-  for (MachineId i = 0; i < group_of_.size(); ++i) {
+  std::vector<double> group_max_scale(num_groups_, 0.0);
+  for (MachineId i = 0; i < num_machines_; ++i) {
     group_max_scale[group_of_[i]] =
         std::max(group_max_scale[group_of_[i]], scales_[i]);
   }
-  for (GroupId g = 0; g < group_costs_.size(); ++g) {
+  for (GroupId g = 0; g < num_groups_; ++g) {
     // Empty groups (no machines) and empty rows (zero jobs) contribute no
     // (machine, job) pair — skipping them also keeps max_element legal.
-    if (machines_by_group_[g].empty() || group_costs_[g].empty()) continue;
-    const Cost row_max =
-        *std::max_element(group_costs_[g].begin(), group_costs_[g].end());
+    if (machines_by_group_[g].empty() || num_jobs_ == 0) continue;
+    const auto row = group_row(g);
+    const Cost row_max = *std::max_element(row.begin(), row.end());
     max_cost_ = std::max(max_cost_, row_max * group_max_scale[g]);
   }
 }
@@ -167,7 +236,7 @@ void Instance::set_job_types(std::vector<JobTypeId> type_of) {
       continue;
     }
     for (GroupId g = 0; g < num_groups(); ++g) {
-      if (group_costs_[g][j] != group_costs_[g][representative[t]]) {
+      if (group_cost(g, j) != group_cost(g, representative[t])) {
         throw std::invalid_argument(
             "Instance::set_job_types: jobs of equal type must have equal "
             "cost rows");
@@ -186,7 +255,8 @@ void Instance::set_job_types(std::vector<JobTypeId> type_of) {
           "Instance::set_job_types: type ids must be dense");
     }
   }
-  type_of_ = std::move(type_of);
+  owned_types_ = std::move(type_of);
+  types_ = owned_types_.empty() ? nullptr : owned_types_.data();
   num_job_types_ = num_types;
 }
 
@@ -200,7 +270,7 @@ void Instance::set_cost_model(cost::CostModel model) {
     // types survive that only if equal-typed jobs share a distribution.
     std::vector<JobId> representative(num_job_types_, kUnassigned);
     for (JobId j = 0; j < num_jobs_; ++j) {
-      const JobTypeId t = type_of_[j];
+      const JobTypeId t = types_[j];
       if (representative[t] == kUnassigned) {
         representative[t] = j;
       } else if (!(model.dist(j) == model.dist(representative[t]))) {
@@ -218,7 +288,7 @@ std::size_t Instance::infer_job_types() {
   std::vector<JobTypeId> type_of(num_jobs_);
   for (JobId j = 0; j < num_jobs_; ++j) {
     std::vector<Cost> column(num_groups());
-    for (GroupId g = 0; g < num_groups(); ++g) column[g] = group_costs_[g][j];
+    for (GroupId g = 0; g < num_groups(); ++g) column[g] = group_cost(g, j);
     const auto [it, inserted] =
         seen.emplace(std::move(column), static_cast<JobTypeId>(seen.size()));
     type_of[j] = it->second;

@@ -15,6 +15,15 @@
 //
 // Jobs may carry a *type* (Section V): jobs of equal type are guaranteed to
 // have identical cost rows, which MJTB exploits.
+//
+// Storage: the group cost matrix is one flat row-major array (row = group),
+// and the per-machine columns are flat arrays too. The arrays are either
+// *owned* (the classic constructors, which flatten their input) or
+// *borrowed* — raw pointers into an mmap'd `.dlbi` file held by a
+// core::InstanceStore. Borrowing is what lets a million-machine instance
+// open in O(machines) without copying the O(groups * jobs) cost matrix;
+// the view must not outlive the store that maps it (a copy of a borrowed
+// instance is another borrowed view of the same mapping).
 
 #include <cstddef>
 #include <optional>
@@ -23,6 +32,10 @@
 
 #include "core/cost_model.hpp"
 #include "core/types.hpp"
+
+namespace dlb::core {
+class InstanceStore;
+}  // namespace dlb::core
 
 namespace dlb {
 
@@ -34,6 +47,14 @@ class Instance {
   Instance(std::vector<std::vector<Cost>> group_costs,
            std::vector<GroupId> group_of,
            std::vector<double> scales = {});
+
+  // Copies rebind the flat-array pointers: an owned instance deep-copies
+  // its arrays, a borrowed one stays a view into the same mapping.
+  Instance(const Instance& other);
+  Instance& operator=(const Instance& other);
+  // Moves transfer vector buffers, so the rebound pointers stay valid.
+  Instance(Instance&&) noexcept = default;
+  Instance& operator=(Instance&&) noexcept = default;
 
   // ----- named constructors for the paper's machine regimes -----
 
@@ -57,24 +78,33 @@ class Instance {
   // ----- shape -----
 
   [[nodiscard]] std::size_t num_machines() const noexcept {
-    return group_of_.size();
+    return num_machines_;
   }
   [[nodiscard]] std::size_t num_jobs() const noexcept { return num_jobs_; }
-  [[nodiscard]] std::size_t num_groups() const noexcept {
-    return group_costs_.size();
-  }
+  [[nodiscard]] std::size_t num_groups() const noexcept { return num_groups_; }
+
+  /// True when the cost/group/scale arrays are views into storage owned
+  /// elsewhere (an mmap'd core::InstanceStore) rather than this object.
+  [[nodiscard]] bool is_view() const noexcept { return borrowed_; }
 
   // ----- costs -----
 
   /// Processing time of job j on machine i.
   [[nodiscard]] Cost cost(MachineId i, JobId j) const noexcept {
-    return group_costs_[group_of_[i]][j] * scales_[i];
+    return costs_[static_cast<std::size_t>(group_of_[i]) * num_jobs_ + j] *
+           scales_[i];
   }
 
   /// Cost row of a group before per-machine scaling (the "cluster cost" the
   /// two-cluster algorithms reason about).
   [[nodiscard]] Cost group_cost(GroupId g, JobId j) const noexcept {
-    return group_costs_[g][j];
+    return costs_[static_cast<std::size_t>(g) * num_jobs_ + j];
+  }
+
+  /// Cost row of group g as a contiguous span (size = num jobs): the
+  /// SIMD-friendly bulk view the pairwise ratio-sort gathers from.
+  [[nodiscard]] std::span<const Cost> group_row(GroupId g) const noexcept {
+    return {costs_ + static_cast<std::size_t>(g) * num_jobs_, num_jobs_};
   }
 
   [[nodiscard]] GroupId group_of(MachineId i) const noexcept {
@@ -108,13 +138,13 @@ class Instance {
   std::size_t infer_job_types();
 
   [[nodiscard]] bool has_job_types() const noexcept {
-    return !type_of_.empty();
+    return types_ != nullptr;
   }
   [[nodiscard]] std::size_t num_job_types() const noexcept {
     return num_job_types_;
   }
   [[nodiscard]] JobTypeId job_type(JobId j) const noexcept {
-    return type_of_[j];
+    return types_[j];
   }
 
   /// Total work if every job ran at its cheapest machine (a classic lower
@@ -141,14 +171,41 @@ class Instance {
   }
 
  private:
-  void compute_caches();
+  friend class core::InstanceStore;
 
+  struct Borrowed {};
+
+  /// View constructor (core::InstanceStore::open): the arrays live in an
+  /// mmap'd `.dlbi` section that outlives this object. Structural
+  /// validation beyond group-id bounds happened at save time; `max_cost`
+  /// and `unit_scales` come precomputed from the file header, so opening
+  /// costs O(machines), never O(groups * jobs).
+  Instance(Borrowed, const Cost* costs, const GroupId* group_of,
+           const double* scales, const JobTypeId* types,
+           std::size_t num_machines, std::size_t num_groups,
+           std::size_t num_jobs, std::size_t num_job_types, Cost max_cost,
+           bool unit_scales);
+
+  void compute_caches();
+  void build_machines_by_group();
+  void rebind();
+
+  // Flat storage: either owned by the vectors below or borrowed from an
+  // InstanceStore mapping (owned vectors stay empty, `borrowed_` is set).
+  std::vector<Cost> owned_costs_;          // [group * num_jobs + job]
+  std::vector<GroupId> owned_group_of_;    // [machine]
+  std::vector<double> owned_scales_;       // [machine]
+  std::vector<JobTypeId> owned_types_;     // [job], empty if untyped/borrowed
+  const Cost* costs_ = nullptr;
+  const GroupId* group_of_ = nullptr;
+  const double* scales_ = nullptr;
+  const JobTypeId* types_ = nullptr;  // null if untyped
+  bool borrowed_ = false;
+
+  std::size_t num_machines_ = 0;
+  std::size_t num_groups_ = 0;
   std::size_t num_jobs_ = 0;
-  std::vector<std::vector<Cost>> group_costs_;    // [group][job]
-  std::vector<GroupId> group_of_;                 // [machine]
-  std::vector<double> scales_;                    // [machine]
   std::vector<std::vector<MachineId>> machines_by_group_;
-  std::vector<JobTypeId> type_of_;                // [job], empty if untyped
   std::size_t num_job_types_ = 0;
   Cost max_cost_ = 0.0;
   bool unit_scales_ = true;

@@ -83,7 +83,7 @@ void Schedule::set_decision_instance(
 
 Cost Schedule::makespan() const {
   if (makespan_dirty_.load(std::memory_order_relaxed)) {
-    const std::vector<Cost>& loads = table_.loads();
+    const std::span<const Cost> loads = table_.loads();
     cached_makespan_ =
         loads.empty() ? 0.0 : *std::max_element(loads.begin(), loads.end());
     makespan_dirty_.store(false, std::memory_order_relaxed);
@@ -92,7 +92,7 @@ Cost Schedule::makespan() const {
 }
 
 MachineId Schedule::argmax_load() const {
-  const std::vector<Cost>& loads = table_.loads();
+  const std::span<const Cost> loads = table_.loads();
   return static_cast<MachineId>(
       std::max_element(loads.begin(), loads.end()) - loads.begin());
 }

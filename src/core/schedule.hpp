@@ -17,6 +17,7 @@
 #include <atomic>
 #include <cstdint>
 #include <memory>
+#include <span>
 #include <vector>
 
 #include "core/assignment.hpp"
@@ -153,7 +154,7 @@ class Schedule {
   [[nodiscard]] std::size_t num_live() const noexcept {
     return table_.num_live();
   }
-  [[nodiscard]] const std::vector<std::uint8_t>& live_mask() const noexcept {
+  [[nodiscard]] std::span<const std::uint8_t> live_mask() const noexcept {
     return table_.live_mask();
   }
   void set_live(MachineId i, bool live) noexcept { table_.set_live(i, live); }

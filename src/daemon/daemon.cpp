@@ -304,7 +304,8 @@ std::string Daemon::cmd_checkpoint(const std::vector<std::string>& args) {
   checkpoint.migrations = counters.migrations;
   checkpoint.initial_makespan = replica_.makespan();
   checkpoint.best_makespan = replica_.makespan();
-  checkpoint.live = replica_.live_mask();
+  const auto live = replica_.live_mask();
+  checkpoint.live.assign(live.begin(), live.end());
   checkpoint.order.resize(replica_.num_machines());
   std::iota(checkpoint.order.begin(), checkpoint.order.end(),
             MachineId{0});

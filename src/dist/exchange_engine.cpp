@@ -1,6 +1,7 @@
 #include "dist/exchange_engine.hpp"
 
 #include <algorithm>
+#include <cassert>
 #include <cmath>
 #include <initializer_list>
 #include <limits>
@@ -10,6 +11,7 @@
 #include <utility>
 #include <vector>
 
+#include "core/arena.hpp"
 #include "dist/convergence.hpp"
 
 namespace dlb::dist {
@@ -65,7 +67,12 @@ RunResult ExchangeEngine::run(Schedule& schedule, const EngineOptions& options,
   obs::Gauge* g_cmax = metrics ? &metrics->gauge("exchange.cmax") : nullptr;
   obs::FlightRecorder* flight = obs::flight_of(options.obs);
 
-  std::vector<MachineId> round;
+  // The round buffer (this engine's only epoch plan state) comes from an
+  // arena sized once from the machine count — ids are stable under churn,
+  // so re-filling it on a mask change can never outgrow m and the epoch
+  // loop runs allocation-free (asserted after the loop).
+  core::Arena arena(core::Arena::bytes_for<MachineId>(m));
+  core::FixedVec<MachineId> round(arena.alloc<MachineId>(m));
   std::uint64_t epoch = 0;
   // Kernel-driven job moves only — what the exchange.migrations counter
   // accumulates. Distinct from RunResult::migrations, which also counts
@@ -78,7 +85,7 @@ RunResult ExchangeEngine::run(Schedule& schedule, const EngineOptions& options,
     // The checkpointed generator continues the exact draw sequence; the
     // caller's rng is overwritten so its pre-resume state cannot leak in.
     rng = stats::Rng::from_state(ck.rng_state);
-    round = ck.order;
+    round.assign(ck.order.begin(), ck.order.end());
     epoch = ck.epochs;
     result.initial_makespan = ck.initial_makespan;
     result.best_makespan = ck.best_makespan;
@@ -151,7 +158,7 @@ RunResult ExchangeEngine::run(Schedule& schedule, const EngineOptions& options,
     ck.num_machines = m;
     ck.num_jobs = schedule.num_jobs();
     ck.rng_state = rng.state();
-    ck.order = round;
+    ck.order.assign(round.begin(), round.end());
     ck.epochs = epoch;
     ck.initial_makespan = result.initial_makespan;
     ck.best_makespan = result.best_makespan;
@@ -159,7 +166,8 @@ RunResult ExchangeEngine::run(Schedule& schedule, const EngineOptions& options,
     ck.changed_exchanges = result.changed_exchanges;
     ck.migrations =
         schedule.migrations() - migrations_before + resumed_migrations;
-    ck.live = schedule.live_mask();
+    const auto live = schedule.live_mask();
+    ck.live.assign(live.begin(), live.end());
     ck.assignment = schedule.assignment().raw();
     ck.loads.resize(m);
     for (MachineId i = 0; i < m; ++i) ck.loads[i] = schedule.load(i);
@@ -286,6 +294,11 @@ RunResult ExchangeEngine::run(Schedule& schedule, const EngineOptions& options,
       break;
     }
   }
+  // No-allocation invariant for the exchange loop (see core/arena.hpp).
+  if (metrics != nullptr) {
+    metrics->counter("exchange.plan_arena_overflows").add(arena.overflows());
+  }
+  assert(arena.overflows() == 0);
   result.final_makespan = schedule.makespan();
   result.migrations =
       schedule.migrations() - migrations_before + resumed_migrations;

@@ -1,6 +1,7 @@
 #include "dist/parallel_exchange_engine.hpp"
 
 #include <algorithm>
+#include <cassert>
 #include <cmath>
 #include <limits>
 #include <memory>
@@ -9,6 +10,7 @@
 #include <span>
 #include <stdexcept>
 
+#include "core/arena.hpp"
 #include "dist/convergence.hpp"
 #include "stats/rng.hpp"
 
@@ -87,12 +89,21 @@ ParallelRunResult ParallelExchangeEngine::run(
       metrics ? &metrics->gauge("parexchange.cmax") : nullptr;
   obs::FlightRecorder* flight = obs::flight_of(options.obs);
 
-  std::vector<MachineId> order;
+  // Every epoch plan buffer is carved from one arena sized up front:
+  // machine ids are stable under churn, so `m` bounds the initiator order
+  // and the claim marks, and an epoch can never hold more than m/2
+  // disjoint sessions. The plan/execute/commit loop below therefore runs
+  // allocation-free (overflows() == 0, asserted after the loop).
+  core::Arena arena(core::Arena::bytes_for<MachineId>(m) +
+                    core::Arena::bytes_for<std::uint64_t>(m) +
+                    core::Arena::bytes_for<Session>(m / 2) +
+                    core::Arena::bytes_for<Outcome>(m / 2));
+  core::FixedVec<MachineId> order(arena.alloc<MachineId>(m));
   std::uint64_t next_session = 0;  // Global id feeding per-session streams.
 
   if (options.resume != nullptr) {
     const Checkpoint& ck = *options.resume;
-    order = ck.order;
+    order.assign(ck.order.begin(), ck.order.end());
     next_session = ck.next_session;
     result.epochs = ck.epochs;
     result.conflicts = ck.conflicts;
@@ -132,14 +143,12 @@ ParallelRunResult ParallelExchangeEngine::run(
 
   // Epoch-stamped claim marks: claimed[i] == epoch means machine i is in
   // this epoch's batch. Resets for free when the epoch number advances
-  // (resumed runs continue the epoch numbering, so a fresh zero vector
+  // (resumed runs continue the epoch numbering, so fresh zeroed marks
   // can never collide).
-  std::vector<std::uint64_t> claimed(m, 0);
+  const std::span<std::uint64_t> claimed = arena.alloc<std::uint64_t>(m);
 
-  std::vector<Session> batch;
-  std::vector<Outcome> outcomes;
-  batch.reserve(m / 2);
-  outcomes.reserve(m / 2);
+  core::FixedVec<Session> batch(arena.alloc<Session>(m / 2));
+  core::FixedVec<Outcome> outcomes(arena.alloc<Outcome>(m / 2));
 
   const auto fill_checkpoint = [&](Checkpoint& ck) {
     ck = Checkpoint{};
@@ -147,7 +156,7 @@ ParallelRunResult ParallelExchangeEngine::run(
     ck.seed = seed;
     ck.num_machines = m;
     ck.num_jobs = schedule.num_jobs();
-    ck.order = order;
+    ck.order.assign(order.begin(), order.end());
     ck.epochs = result.epochs;
     ck.next_session = next_session;
     ck.initial_makespan = result.initial_makespan;
@@ -158,7 +167,8 @@ ParallelRunResult ParallelExchangeEngine::run(
         schedule.migrations() - migrations_before + resumed_migrations;
     ck.conflicts = result.conflicts;
     ck.peer_retries = result.peer_retries;
-    ck.live = schedule.live_mask();
+    const auto live = schedule.live_mask();
+    ck.live.assign(live.begin(), live.end());
     ck.assignment = schedule.assignment().raw();
     ck.loads.resize(m);
     for (MachineId i = 0; i < m; ++i) ck.loads[i] = schedule.load(i);
@@ -365,6 +375,14 @@ ParallelRunResult ParallelExchangeEngine::run(
       break;
     }
   }
+  // The no-allocation invariant for the epoch loop: every plan buffer fit
+  // in the up-front arena block. Exported as a counter so release-build
+  // telemetry can watch it; Debug builds hard-assert.
+  if (metrics != nullptr) {
+    metrics->counter("parexchange.plan_arena_overflows")
+        .add(arena.overflows());
+  }
+  assert(arena.overflows() == 0);
   result.final_makespan = schedule.makespan();
   result.migrations =
       schedule.migrations() - migrations_before + resumed_migrations;

@@ -5,15 +5,23 @@
 
 namespace dlb::pairwise {
 
+PairScratch& pair_scratch() noexcept {
+  thread_local PairScratch scratch;
+  return scratch;
+}
+
+void pooled_jobs_into(const Schedule& schedule, MachineId a, MachineId b,
+                      std::vector<JobId>& pool) {
+  pool.clear();
+  for (JobId j : schedule.jobs_on(a)) pool.push_back(j);
+  for (JobId j : schedule.jobs_on(b)) pool.push_back(j);
+  std::sort(pool.begin(), pool.end());
+}
+
 std::vector<JobId> pooled_jobs(const Schedule& schedule, MachineId a,
                                MachineId b) {
-  const auto on_a = schedule.jobs_on(a);
-  const auto on_b = schedule.jobs_on(b);
   std::vector<JobId> pool;
-  pool.reserve(on_a.size() + on_b.size());
-  for (JobId j : on_a) pool.push_back(j);
-  for (JobId j : on_b) pool.push_back(j);
-  std::sort(pool.begin(), pool.end());
+  pooled_jobs_into(schedule, a, b, pool);
   return pool;
 }
 
@@ -54,8 +62,8 @@ bool apply_split(Schedule& schedule, MachineId a, MachineId b,
 }
 
 void basic_greedy_split(const Instance& instance, MachineId a, MachineId b,
-                        const std::vector<JobId>& pool,
-                        std::vector<JobId>& to_a, std::vector<JobId>& to_b) {
+                        std::span<const JobId> pool, std::vector<JobId>& to_a,
+                        std::vector<JobId>& to_b) {
   to_a.clear();
   to_b.clear();
   Cost load_a = 0.0;
@@ -77,16 +85,15 @@ void basic_greedy_split(const Instance& instance, MachineId a, MachineId b,
 bool BasicGreedyKernel::balance(Schedule& schedule, MachineId a,
                                 MachineId b) const {
   const Instance& instance = schedule.decision_instance();
-  const std::vector<JobId> pool = pooled_jobs(schedule, a, b);
-  std::vector<JobId> to_a;
-  std::vector<JobId> to_b;
-  basic_greedy_split(instance, a, b, pool, to_a, to_b);
+  PairScratch& s = pair_scratch();
+  pooled_jobs_into(schedule, a, b, s.pool);
+  basic_greedy_split(instance, a, b, s.pool, s.to_a, s.to_b);
   Cost load_a = 0.0;
   Cost load_b = 0.0;
-  for (JobId j : to_a) load_a += instance.cost(a, j);
-  for (JobId j : to_b) load_b += instance.cost(b, j);
+  for (JobId j : s.to_a) load_a += instance.cost(a, j);
+  for (JobId j : s.to_b) load_b += instance.cost(b, j);
   if (split_is_load_neutral(schedule, a, b, load_a, load_b)) return false;
-  return apply_split(schedule, a, b, to_a, to_b);
+  return apply_split(schedule, a, b, s.to_a, s.to_b);
 }
 
 }  // namespace dlb::pairwise

@@ -6,6 +6,8 @@
 // type (equal cost rows). For general jobs it is still a sensible ECT
 // heuristic and is the kernel OJTB (Algorithm 3) runs.
 
+#include <span>
+
 #include "pairwise/pair_kernel.hpp"
 
 namespace dlb::pairwise {
@@ -13,8 +15,8 @@ namespace dlb::pairwise {
 /// Computes the Basic Greedy split of `pool` (jobs in the given order)
 /// between machines a and b starting from empty loads; fills to_a/to_b.
 void basic_greedy_split(const Instance& instance, MachineId a, MachineId b,
-                        const std::vector<JobId>& pool,
-                        std::vector<JobId>& to_a, std::vector<JobId>& to_b);
+                        std::span<const JobId> pool, std::vector<JobId>& to_a,
+                        std::vector<JobId>& to_b);
 
 class BasicGreedyKernel final : public PairKernel {
  public:

@@ -1,6 +1,8 @@
 #include "pairwise/greedy_pair_balance.hpp"
 
 #include <algorithm>
+#include <cstdint>
+#include <numeric>
 #include <stdexcept>
 
 namespace dlb::pairwise {
@@ -13,6 +15,35 @@ void sort_by_group_ratio(const Instance& instance, GroupId num, GroupId den,
     if (lhs != rhs) return lhs < rhs;
     return x < y;
   });
+}
+
+void sort_by_group_ratio_flat(const Instance& instance, GroupId num,
+                              GroupId den, std::vector<JobId>& pool,
+                              PairScratch& scratch) {
+  const std::size_t k = pool.size();
+  const std::span<const Cost> row_num = instance.group_row(num);
+  const std::span<const Cost> row_den = instance.group_row(den);
+  scratch.key_num.resize(k);
+  scratch.key_den.resize(k);
+  for (std::size_t p = 0; p < k; ++p) {
+    scratch.key_num[p] = row_num[pool[p]];
+    scratch.key_den[p] = row_den[pool[p]];
+  }
+  scratch.order.resize(k);
+  std::iota(scratch.order.begin(), scratch.order.end(), 0u);
+  // Sorting positions with elementwise-equal keys runs the identical
+  // comparison (and therefore swap) sequence as sorting the job ids
+  // directly, so the permutation matches sort_by_group_ratio bitwise.
+  std::sort(scratch.order.begin(), scratch.order.end(),
+            [&](std::uint32_t x, std::uint32_t y) {
+              const Cost lhs = scratch.key_num[x] * scratch.key_den[y];
+              const Cost rhs = scratch.key_num[y] * scratch.key_den[x];
+              if (lhs != rhs) return lhs < rhs;
+              return pool[x] < pool[y];
+            });
+  scratch.tmp.resize(k);
+  for (std::size_t p = 0; p < k; ++p) scratch.tmp[p] = pool[scratch.order[p]];
+  pool.assign(scratch.tmp.begin(), scratch.tmp.end());
 }
 
 bool GreedyPairBalanceKernel::balance(Schedule& schedule, MachineId a,
@@ -29,26 +60,27 @@ bool GreedyPairBalanceKernel::balance(Schedule& schedule, MachineId a,
   }
   const GroupId other = own == 0 ? 1 : 0;
 
-  std::vector<JobId> pool = pooled_jobs(schedule, a, b);
-  sort_by_group_ratio(instance, own, other, pool);
+  PairScratch& s = pair_scratch();
+  pooled_jobs_into(schedule, a, b, s.pool);
+  sort_by_group_ratio_flat(instance, own, other, s.pool, s);
 
-  std::vector<JobId> to_a;
-  std::vector<JobId> to_b;
+  s.to_a.clear();
+  s.to_b.clear();
   Cost load_a = 0.0;
   Cost load_b = 0.0;
-  for (JobId j : pool) {
+  for (JobId j : s.pool) {
     // Identical machines within a cluster: same cost either way.
     const Cost c = instance.cost(a, j);
     if (load_a <= load_b) {
-      to_a.push_back(j);
+      s.to_a.push_back(j);
       load_a += c;
     } else {
-      to_b.push_back(j);
+      s.to_b.push_back(j);
       load_b += c;
     }
   }
   if (split_is_load_neutral(schedule, a, b, load_a, load_b)) return false;
-  return apply_split(schedule, a, b, to_a, to_b);
+  return apply_split(schedule, a, b, s.to_a, s.to_b);
 }
 
 }  // namespace dlb::pairwise

@@ -18,6 +18,15 @@ namespace dlb::pairwise {
 void sort_by_group_ratio(const Instance& instance, GroupId num, GroupId den,
                          std::vector<JobId>& pool);
 
+/// sort_by_group_ratio over flat gathered keys: the two group-cost columns
+/// are copied into scratch.key_num / scratch.key_den once (contiguous,
+/// SIMD/prefetch friendly) and the sort permutes pool positions whose
+/// comparator reads those arrays. Runs the exact same comparison sequence
+/// as sort_by_group_ratio — the resulting order is bitwise identical.
+void sort_by_group_ratio_flat(const Instance& instance, GroupId num,
+                              GroupId den, std::vector<JobId>& pool,
+                              PairScratch& scratch);
+
 class GreedyPairBalanceKernel final : public PairKernel {
  public:
   /// a and b must belong to the same group of a two-group instance.

@@ -1,21 +1,21 @@
 #include "pairwise/pair_clb2c.hpp"
 
+#include <span>
 #include <stdexcept>
 
 #include "pairwise/greedy_pair_balance.hpp"
 
 namespace dlb::pairwise {
 
-void pair_clb2c_split(const Instance& instance, MachineId a, MachineId b,
-                      std::vector<JobId> pool, std::vector<JobId>& to_a,
+namespace {
+
+/// The two-pointer dealing loop of Algorithm 5 over an already
+/// ratio-sorted pool (jobs favouring a's cluster first, b's last).
+void deal_sorted_pool(const Instance& instance, MachineId a, MachineId b,
+                      std::span<const JobId> pool, std::vector<JobId>& to_a,
                       std::vector<JobId>& to_b) {
   to_a.clear();
   to_b.clear();
-  const GroupId ga = instance.group_of(a);
-  const GroupId gb = instance.group_of(b);
-  // Jobs that favour a's cluster come first, jobs that favour b's come last.
-  sort_by_group_ratio(instance, ga, gb, pool);
-
   Cost load_a = 0.0;
   Cost load_b = 0.0;
   std::size_t front = 0;
@@ -40,6 +40,17 @@ void pair_clb2c_split(const Instance& instance, MachineId a, MachineId b,
   }
 }
 
+}  // namespace
+
+void pair_clb2c_split(const Instance& instance, MachineId a, MachineId b,
+                      std::vector<JobId> pool, std::vector<JobId>& to_a,
+                      std::vector<JobId>& to_b) {
+  // Jobs that favour a's cluster come first, jobs that favour b's come last.
+  sort_by_group_ratio(instance, instance.group_of(a), instance.group_of(b),
+                      pool);
+  deal_sorted_pool(instance, a, b, pool, to_a, to_b);
+}
+
 bool PairClb2cKernel::balance(Schedule& schedule, MachineId a,
                               MachineId b) const {
   const Instance& instance = schedule.decision_instance();
@@ -47,15 +58,17 @@ bool PairClb2cKernel::balance(Schedule& schedule, MachineId a,
     throw std::invalid_argument(
         "PairClb2cKernel: machines must be in different clusters");
   }
-  std::vector<JobId> to_a;
-  std::vector<JobId> to_b;
-  pair_clb2c_split(instance, a, b, pooled_jobs(schedule, a, b), to_a, to_b);
+  PairScratch& s = pair_scratch();
+  pooled_jobs_into(schedule, a, b, s.pool);
+  sort_by_group_ratio_flat(instance, instance.group_of(a),
+                           instance.group_of(b), s.pool, s);
+  deal_sorted_pool(instance, a, b, s.pool, s.to_a, s.to_b);
   Cost load_a = 0.0;
   Cost load_b = 0.0;
-  for (JobId j : to_a) load_a += instance.cost(a, j);
-  for (JobId j : to_b) load_b += instance.cost(b, j);
+  for (JobId j : s.to_a) load_a += instance.cost(a, j);
+  for (JobId j : s.to_b) load_b += instance.cost(b, j);
   if (split_is_load_neutral(schedule, a, b, load_a, load_b)) return false;
-  return apply_split(schedule, a, b, to_a, to_b);
+  return apply_split(schedule, a, b, s.to_a, s.to_b);
 }
 
 }  // namespace dlb::pairwise

@@ -6,6 +6,7 @@
 // makes exchanges idempotent per pair, which is what lets us define and
 // detect stable states (Section VII).
 
+#include <cstdint>
 #include <string_view>
 #include <vector>
 
@@ -13,6 +14,30 @@
 #include "core/types.hpp"
 
 namespace dlb::pairwise {
+
+/// Reusable per-thread scratch for the kernel hot path: the pooled-job
+/// buffer, the split outputs, and the flat key arrays the ratio-sort
+/// gathers group-cost columns into (contiguous, so the comparator reads
+/// sequential memory instead of striding the cost matrix). Kernels fetch
+/// it via pair_scratch(); after a short warm-up the capacities cover the
+/// largest pool seen and a balance() call allocates nothing. Determinism
+/// is unaffected: every buffer is (re)filled from scratch per call, so
+/// results never depend on what a previous session left behind.
+struct PairScratch {
+  std::vector<JobId> pool;
+  std::vector<JobId> to_a;
+  std::vector<JobId> to_b;
+  std::vector<JobId> tmp;              ///< permutation / bucket buffer
+  std::vector<std::uint32_t> order;    ///< pool positions / bucket cursors
+  std::vector<std::uint32_t> counts;   ///< per-type bucket bounds
+  std::vector<Cost> key_num;           ///< ratio-sort numerator column
+  std::vector<Cost> key_den;           ///< ratio-sort denominator column
+};
+
+/// The calling thread's scratch (thread_local — sessions on different
+/// pool workers never share one, and the parallel engine's outcomes are
+/// pure functions of their inputs, so recycled capacity is invisible).
+[[nodiscard]] PairScratch& pair_scratch() noexcept;
 
 class PairKernel {
  public:
@@ -42,6 +67,11 @@ class PairKernel {
 /// pool every kernel starts from).
 [[nodiscard]] std::vector<JobId> pooled_jobs(const Schedule& schedule,
                                              MachineId a, MachineId b);
+
+/// pooled_jobs into a caller-owned buffer (the allocation-free kernel
+/// path: pass pair_scratch().pool).
+void pooled_jobs_into(const Schedule& schedule, MachineId a, MachineId b,
+                      std::vector<JobId>& pool);
 
 /// Applies a computed split: every job in `to_a` moves to a, every job in
 /// `to_b` moves to b. Returns true iff any job actually moved.

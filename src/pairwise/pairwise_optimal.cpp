@@ -1,6 +1,7 @@
 #include "pairwise/pairwise_optimal.hpp"
 
 #include <algorithm>
+#include <span>
 #include <stdexcept>
 
 namespace dlb::pairwise {
@@ -9,7 +10,7 @@ namespace {
 
 /// Evaluates the split encoded by `mask` (bit set => job goes to a).
 Cost split_makespan(const Instance& instance, MachineId a, MachineId b,
-                    const std::vector<JobId>& pool, std::uint32_t mask) {
+                    std::span<const JobId> pool, std::uint32_t mask) {
   Cost load_a = 0.0;
   Cost load_b = 0.0;
   for (std::size_t k = 0; k < pool.size(); ++k) {
@@ -25,7 +26,7 @@ Cost split_makespan(const Instance& instance, MachineId a, MachineId b,
 }  // namespace
 
 Cost optimal_pair_makespan(const Instance& instance, MachineId a, MachineId b,
-                           const std::vector<JobId>& pool) {
+                           std::span<const JobId> pool) {
   if (pool.size() > 30) {
     throw std::invalid_argument("optimal_pair_makespan: pool too large");
   }
@@ -40,7 +41,9 @@ Cost optimal_pair_makespan(const Instance& instance, MachineId a, MachineId b,
 bool PairwiseOptimalKernel::balance(Schedule& schedule, MachineId a,
                                     MachineId b) const {
   const Instance& instance = schedule.decision_instance();
-  const std::vector<JobId> pool = pooled_jobs(schedule, a, b);
+  PairScratch& s = pair_scratch();
+  pooled_jobs_into(schedule, a, b, s.pool);
+  const std::vector<JobId>& pool = s.pool;
   if (pool.size() > max_pool_) {
     throw std::invalid_argument("PairwiseOptimalKernel: pool too large");
   }
@@ -65,12 +68,12 @@ bool PairwiseOptimalKernel::balance(Schedule& schedule, MachineId a,
   }
   if (best_mask == current_mask) return false;
 
-  std::vector<JobId> to_a;
-  std::vector<JobId> to_b;
+  s.to_a.clear();
+  s.to_b.clear();
   for (std::size_t k = 0; k < pool.size(); ++k) {
-    ((best_mask & (1u << k)) ? to_a : to_b).push_back(pool[k]);
+    ((best_mask & (1u << k)) ? s.to_a : s.to_b).push_back(pool[k]);
   }
-  return apply_split(schedule, a, b, to_a, to_b);
+  return apply_split(schedule, a, b, s.to_a, s.to_b);
 }
 
 }  // namespace dlb::pairwise

@@ -8,6 +8,7 @@
 // the greedy kernels.
 
 #include <cstddef>
+#include <span>
 
 #include "pairwise/pair_kernel.hpp"
 
@@ -17,7 +18,7 @@ namespace dlb::pairwise {
 /// between a and b. pool.size() must be <= 30.
 [[nodiscard]] Cost optimal_pair_makespan(const Instance& instance, MachineId a,
                                          MachineId b,
-                                         const std::vector<JobId>& pool);
+                                         std::span<const JobId> pool);
 
 class PairwiseOptimalKernel final : public PairKernel {
  public:

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <span>
 #include <stdexcept>
 
 #include "pairwise/basic_greedy.hpp"
@@ -14,17 +15,28 @@ bool TypedGreedyKernel::balance(Schedule& schedule, MachineId a,
   if (!instance.has_job_types()) {
     throw std::invalid_argument("TypedGreedyKernel: instance has no job types");
   }
-  const std::vector<JobId> pool = pooled_jobs(schedule, a, b);
+  PairScratch& s = pair_scratch();
+  pooled_jobs_into(schedule, a, b, s.pool);
 
-  // Bucket the pooled jobs by type, preserving job-id order (pooled_jobs
-  // sorts by id, so each bucket is deterministic).
-  std::vector<std::vector<JobId>> by_type(instance.num_job_types());
-  for (JobId j : pool) by_type[instance.job_type(j)].push_back(j);
+  // Bucket the pooled jobs by type with a counting sort into the flat
+  // scratch buffer: a stable scatter preserves job-id order within each
+  // bucket (pooled_jobs_into sorts by id, so each bucket is deterministic)
+  // without allocating a vector per type. Bucket t occupies
+  // tmp[counts[t], counts[t + 1]).
+  const std::size_t num_types = instance.num_job_types();
+  s.counts.assign(num_types + 1, 0);
+  for (JobId j : s.pool) ++s.counts[instance.job_type(j) + 1];
+  for (std::size_t t = 1; t <= num_types; ++t) s.counts[t] += s.counts[t - 1];
+  s.order.assign(s.counts.begin(), s.counts.end());
+  s.tmp.resize(s.pool.size());
+  for (JobId j : s.pool) s.tmp[s.order[instance.job_type(j)]++] = j;
 
   bool changed = false;
-  std::vector<JobId> to_a;
-  std::vector<JobId> to_b;
-  for (const auto& bucket : by_type) {
+  std::vector<JobId>& to_a = s.to_a;
+  std::vector<JobId>& to_b = s.to_b;
+  for (std::size_t t = 0; t < num_types; ++t) {
+    const std::span<const JobId> bucket(s.tmp.data() + s.counts[t],
+                                        s.counts[t + 1] - s.counts[t]);
     if (bucket.empty()) continue;
     // Each type is balanced from zero type-local load: Algorithm 2 on the
     // bucket alone (loads of other types are invisible by design).

@@ -1,0 +1,277 @@
+// InstanceStore and the `.dlbi` binary format: heap-vs-mapped equality of
+// every Instance accessor, lossless round-trips (including job types, cost
+// models, and initial assignments), the unified load_instance() format
+// auto-detection with its diagnostic error message, and corruption
+// rejection. The fuzz section drives every check:: regime through
+// text -> binary -> mapped -> text and demands byte-equal text back — the
+// strongest form of "nothing is lost or perturbed by the binary format".
+
+#include "core/instance_store.hpp"
+
+#include <gtest/gtest.h>
+#include <unistd.h>
+
+#include <cstdint>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "check/case_gen.hpp"
+#include "core/cost_model.hpp"
+#include "core/generators.hpp"
+#include "core/instance.hpp"
+#include "core/instance_io.hpp"
+
+namespace dlb::core {
+namespace {
+
+/// A unique temp path removed on scope exit.
+class TempFile {
+ public:
+  explicit TempFile(const std::string& tag) {
+    path_ = (std::filesystem::temp_directory_path() /
+             ("dlb_test_store_" + std::to_string(::getpid()) + "_" + tag))
+                .string();
+  }
+  ~TempFile() {
+    std::error_code ec;
+    std::filesystem::remove(path_, ec);
+  }
+  [[nodiscard]] const std::string& path() const noexcept { return path_; }
+
+ private:
+  std::string path_;
+};
+
+std::string read_file(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  std::stringstream buffer;
+  buffer << in.rdbuf();
+  return buffer.str();
+}
+
+/// Every observable quantity of the two instances, bit for bit. EXPECT_EQ
+/// on doubles is exact equality — that is the point: the binary format
+/// stores the IEEE-754 bits the heap instance holds.
+void expect_bitwise_equal(const Instance& a, const Instance& b) {
+  ASSERT_EQ(a.num_machines(), b.num_machines());
+  ASSERT_EQ(a.num_groups(), b.num_groups());
+  ASSERT_EQ(a.num_jobs(), b.num_jobs());
+  EXPECT_EQ(a.unit_scales(), b.unit_scales());
+  EXPECT_EQ(a.max_cost(), b.max_cost());
+  for (MachineId i = 0; i < a.num_machines(); ++i) {
+    EXPECT_EQ(a.group_of(i), b.group_of(i)) << "machine " << i;
+    EXPECT_EQ(a.scale(i), b.scale(i)) << "machine " << i;
+  }
+  for (GroupId g = 0; g < a.num_groups(); ++g) {
+    for (JobId j = 0; j < a.num_jobs(); ++j) {
+      EXPECT_EQ(a.group_cost(g, j), b.group_cost(g, j))
+          << "group " << g << " job " << j;
+    }
+  }
+  ASSERT_EQ(a.has_job_types(), b.has_job_types());
+  if (a.has_job_types()) {
+    ASSERT_EQ(a.num_job_types(), b.num_job_types());
+    for (JobId j = 0; j < a.num_jobs(); ++j) {
+      EXPECT_EQ(a.job_type(j), b.job_type(j)) << "job " << j;
+    }
+  }
+  ASSERT_EQ(a.has_cost_model(), b.has_cost_model());
+  if (a.has_cost_model()) {
+    for (JobId j = 0; j < a.num_jobs(); ++j) {
+      EXPECT_EQ(a.cost_model().dist(j), b.cost_model().dist(j))
+          << "job " << j;
+    }
+  }
+}
+
+Instance sample_instance() {
+  return gen::two_cluster_uniform(4, 3, 20, 1.0, 100.0, 7);
+}
+
+TEST(InstanceStore, FromInstanceIsHeapBacked) {
+  const InstanceStore store = InstanceStore::from_instance(sample_instance());
+  EXPECT_EQ(store.kind(), StorageKind::kHeap);
+  EXPECT_TRUE(store.path().empty());
+  EXPECT_EQ(store.mapped_bytes(), 0u);
+  EXPECT_FALSE(store.has_initial_assignment());
+  EXPECT_THROW((void)store.initial_assignment(), std::runtime_error);
+  EXPECT_FALSE(store.instance().is_view());
+}
+
+TEST(InstanceStore, MappedStoreIsABorrowedViewWithEqualBits) {
+  const Instance original = sample_instance();
+  TempFile file("mapped.dlbi");
+  save_dlbi(original, file.path());
+
+  const InstanceStore store = InstanceStore::open_mapped(file.path());
+  EXPECT_EQ(store.kind(), StorageKind::kMapped);
+  EXPECT_EQ(store.path(), file.path());
+  EXPECT_GT(store.mapped_bytes(), 0u);
+  EXPECT_TRUE(store.instance().is_view());
+  expect_bitwise_equal(original, store.instance());
+
+  // A copy of a borrowed instance is another view, not a detach.
+  const Instance copy = store.instance();
+  EXPECT_TRUE(copy.is_view());
+  expect_bitwise_equal(original, copy);
+}
+
+TEST(InstanceStore, MovingTheStoreKeepsViewsValid) {
+  const Instance original = sample_instance();
+  TempFile file("moved.dlbi");
+  save_dlbi(original, file.path());
+
+  InstanceStore store = InstanceStore::open_mapped(file.path());
+  const Instance& view = store.instance();
+  const InstanceStore moved = std::move(store);
+  expect_bitwise_equal(original, view);  // mapping address is stable
+  expect_bitwise_equal(original, moved.instance());
+}
+
+TEST(InstanceStore, AutoDetectionLoadsBothFormats) {
+  const Instance original = sample_instance();
+  TempFile text("auto.inst");
+  TempFile binary("auto.dlbi");
+  io::save_instance_file(original, text.path());
+  save_dlbi(original, binary.path());
+
+  const InstanceStore from_text = load_instance(text.path());
+  EXPECT_EQ(from_text.kind(), StorageKind::kHeap);
+  expect_bitwise_equal(original, from_text.instance());
+
+  const InstanceStore from_binary = load_instance(binary.path());
+  EXPECT_EQ(from_binary.kind(), StorageKind::kMapped);
+  expect_bitwise_equal(original, from_binary.instance());
+}
+
+TEST(InstanceStore, SaveInstanceAutoPicksFormatByExtension) {
+  const Instance original = sample_instance();
+  TempFile binary("ext.dlbi");
+  TempFile text("ext.inst");
+  save_instance_auto(original, binary.path());
+  save_instance_auto(original, text.path());
+  EXPECT_EQ(load_instance(binary.path()).kind(), StorageKind::kMapped);
+  EXPECT_EQ(load_instance(text.path()).kind(), StorageKind::kHeap);
+}
+
+TEST(InstanceStore, InitialAssignmentRoundTripsIncludingUnassigned) {
+  const Instance original = sample_instance();
+  Assignment initial = gen::random_assignment(original, 11);
+  initial.unassign(3);
+
+  TempFile file("assigned.dlbi");
+  save_dlbi(original, file.path(), &initial);
+  const InstanceStore store = InstanceStore::open_mapped(file.path());
+  ASSERT_TRUE(store.has_initial_assignment());
+  const Assignment loaded = store.initial_assignment();
+  ASSERT_EQ(loaded.num_jobs(), initial.num_jobs());
+  for (JobId j = 0; j < initial.num_jobs(); ++j) {
+    EXPECT_EQ(loaded.machine_of(j), initial.machine_of(j)) << "job " << j;
+  }
+}
+
+TEST(InstanceStore, UnknownFormatErrorNamesDetectedMagicAndValidSet) {
+  TempFile file("garbage.xyz");
+  {
+    std::ofstream out(file.path(), std::ios::binary);
+    out << "garbage-file\n1 2\xff";
+  }
+  try {
+    (void)load_instance(file.path());
+    FAIL() << "load_instance accepted a garbage file";
+  } catch (const std::runtime_error& error) {
+    const std::string message = error.what();
+    EXPECT_NE(message.find("garbage-file"), std::string::npos) << message;
+    EXPECT_NE(message.find(std::string(kDlbiMagic)), std::string::npos)
+        << message;
+    EXPECT_NE(message.find(std::string(kTextMagic)), std::string::npos)
+        << message;
+  }
+}
+
+TEST(InstanceStore, OpenMappedRejectsTruncationVersionAndBadMagic) {
+  const Instance original = sample_instance();
+  TempFile file("corrupt.dlbi");
+  save_dlbi(original, file.path());
+  const std::string good = read_file(file.path());
+
+  // Truncated: the header promises more bytes than the file holds.
+  {
+    std::ofstream out(file.path(), std::ios::binary | std::ios::trunc);
+    out.write(good.data(), 256);
+  }
+  EXPECT_THROW((void)InstanceStore::open_mapped(file.path()),
+               std::runtime_error);
+
+  // Unsupported version (the u32 after the 8-byte magic).
+  {
+    std::string bad = good;
+    bad[8] = '\x7f';
+    std::ofstream out(file.path(), std::ios::binary | std::ios::trunc);
+    out.write(bad.data(), static_cast<std::streamsize>(bad.size()));
+  }
+  EXPECT_THROW((void)InstanceStore::open_mapped(file.path()),
+               std::runtime_error);
+
+  // Wrong magic.
+  {
+    std::string bad = good;
+    bad[0] = 'X';
+    std::ofstream out(file.path(), std::ios::binary | std::ios::trunc);
+    out.write(bad.data(), static_cast<std::streamsize>(bad.size()));
+  }
+  EXPECT_THROW((void)InstanceStore::open_mapped(file.path()),
+               std::runtime_error);
+}
+
+// ----- fuzz: text -> binary -> mapped -> text over every regime -----
+//
+// For each check:: regime (including typed, stochastic, and degenerate
+// shapes): the binary round-trip must reproduce every bit the text file
+// holds, and re-serializing the *mapped view* as text must reproduce the
+// original text bytes exactly.
+
+class DlbiRoundTrip : public ::testing::TestWithParam<check::Regime> {};
+
+TEST_P(DlbiRoundTrip, TextBinaryTextIsByteLossless) {
+  for (std::uint64_t index = 0; index < 4; ++index) {
+    const check::GeneratedCase c = check::make_case(2026, index, GetParam());
+
+    TempFile text("fuzz.inst");
+    TempFile binary("fuzz.dlbi");
+    io::save_instance_file(c.instance, text.path());
+    save_dlbi(c.instance, binary.path());
+
+    const InstanceStore store = load_instance(binary.path());
+    ASSERT_EQ(store.kind(), StorageKind::kMapped) << c.name;
+    expect_bitwise_equal(c.instance, store.instance());
+
+    TempFile again("fuzz2.inst");
+    io::save_instance_file(store.instance(), again.path());
+    EXPECT_EQ(read_file(text.path()), read_file(again.path())) << c.name;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllRegimes, DlbiRoundTrip,
+    ::testing::Values(
+        check::Regime::kIdentical, check::Regime::kRelated,
+        check::Regime::kTwoCluster, check::Regime::kMultiCluster,
+        check::Regime::kUnrelated, check::Regime::kTyped,
+        check::Regime::kSingleType, check::Regime::kExtremeRatio,
+        check::Regime::kDegenerate, check::Regime::kStochasticNormal,
+        check::Regime::kStochasticLognormal,
+        check::Regime::kStochasticPareto),
+    [](const ::testing::TestParamInfo<check::Regime>& param_info) {
+      std::string name = check::regime_name(param_info.param);
+      for (char& ch : name) {
+        if (ch == '-' || ch == '/') ch = '_';
+      }
+      return name;
+    });
+
+}  // namespace
+}  // namespace dlb::core

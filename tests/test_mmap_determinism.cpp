@@ -1,0 +1,199 @@
+// The InstanceStore determinism invariant, end to end: a run over the
+// mmap-backed view of an instance is byte-identical to the same run over
+// the heap-backed original — schedule fingerprint, RunReport JSON, obs
+// metric snapshot, and every trace event — for both exchange engines and
+// at every thread count. A checkpoint taken through the mapped store must
+// resume into the uninterrupted heap run's bytes, so restart survival and
+// the storage backing compose.
+
+#include <gtest/gtest.h>
+#include <unistd.h>
+
+#include <cstdint>
+#include <filesystem>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "core/generators.hpp"
+#include "core/instance_store.hpp"
+#include "core/schedule.hpp"
+#include "dist/checkpoint.hpp"
+#include "dist/exchange_engine.hpp"
+#include "dist/parallel_exchange_engine.hpp"
+#include "dist/selector_registry.hpp"
+#include "obs/obs.hpp"
+#include "pairwise/kernel_registry.hpp"
+#include "parallel/thread_pool.hpp"
+#include "stats/rng.hpp"
+
+namespace dlb {
+namespace {
+
+constexpr std::uint64_t kSeed = 41;
+
+/// A unique temp path removed on scope exit.
+class TempFile {
+ public:
+  explicit TempFile(const std::string& tag) {
+    path_ = (std::filesystem::temp_directory_path() /
+             ("dlb_test_mmap_" + std::to_string(::getpid()) + "_" + tag))
+                .string();
+  }
+  ~TempFile() {
+    std::error_code ec;
+    std::filesystem::remove(path_, ec);
+  }
+  [[nodiscard]] const std::string& path() const noexcept { return path_; }
+
+ private:
+  std::string path_;
+};
+
+/// Everything a run emits, as comparable bytes.
+struct Outcome {
+  std::string report_json;
+  std::uint64_t fingerprint = 0;
+  std::string metrics_json;
+  std::vector<obs::TraceEvent> trace;
+};
+
+bool same_event(const obs::TraceEvent& a, const obs::TraceEvent& b) {
+  return a.ts_us == b.ts_us && a.tid == b.tid && a.phase == b.phase &&
+         a.name == b.name && a.category == b.category && a.args == b.args;
+}
+
+void expect_identical(const Outcome& heap, const Outcome& mapped) {
+  EXPECT_EQ(heap.report_json, mapped.report_json);
+  EXPECT_EQ(heap.fingerprint, mapped.fingerprint);
+  EXPECT_EQ(heap.metrics_json, mapped.metrics_json);
+  ASSERT_EQ(heap.trace.size(), mapped.trace.size());
+  for (std::size_t k = 0; k < heap.trace.size(); ++k) {
+    EXPECT_TRUE(same_event(heap.trace[k], mapped.trace[k]))
+        << "trace event " << k << " differs between heap and mapped runs";
+  }
+}
+
+Outcome run_seq(const Instance& inst) {
+  obs::Metrics metrics;
+  obs::Tracer tracer;
+  const obs::Context context{&metrics, &tracer};
+  Schedule s(inst, gen::random_assignment(inst, 2));
+  dist::EngineOptions options;
+  options.max_exchanges = 12 * inst.num_machines();
+  options.obs = &context;
+  stats::Rng rng(kSeed);
+  const dist::RunResult result =
+      dist::ExchangeEngine(pairwise::kernel_registry().get("basic-greedy"),
+                           dist::selector_registry().get("uniform"))
+          .run(s, options, rng);
+  return {static_cast<const dist::RunReport&>(result).to_json().dump(),
+          s.fingerprint(), metrics.snapshot().dump(), tracer.events()};
+}
+
+Outcome run_par(const Instance& inst, parallel::ThreadPool* pool) {
+  obs::Metrics metrics;
+  obs::Tracer tracer;
+  const obs::Context context{&metrics, &tracer};
+  Schedule s(inst, gen::random_assignment(inst, 2));
+  dist::ParallelEngineOptions options;
+  options.max_exchanges = 12 * inst.num_machines();
+  options.pool = pool;
+  options.obs = &context;
+  const dist::ParallelRunResult result =
+      dist::ParallelExchangeEngine(
+          pairwise::kernel_registry().get("basic-greedy"),
+          dist::selector_registry().get("uniform"))
+          .run(s, options, kSeed);
+  return {static_cast<const dist::RunReport&>(result).to_json().dump(),
+          s.fingerprint(), metrics.snapshot().dump(), tracer.events()};
+}
+
+Instance test_instance() {
+  // Two-cluster heterogeneous — the paper's regime and the perf bench's
+  // workload shape, large enough for several epochs of real migration.
+  return gen::two_cluster_uniform(6, 4, 80, 1.0, 100.0, 9);
+}
+
+TEST(MmapDeterminism, SequentialEngineIsBackingInvariant) {
+  const Instance heap = test_instance();
+  TempFile file("seq.dlbi");
+  core::save_dlbi(heap, file.path());
+  const core::InstanceStore store = core::InstanceStore::open_mapped(
+      file.path());
+  ASSERT_TRUE(store.instance().is_view());
+  expect_identical(run_seq(heap), run_seq(store.instance()));
+}
+
+TEST(MmapDeterminism, ParallelEngineIsBackingInvariantAtEveryThreadCount) {
+  const Instance heap = test_instance();
+  TempFile file("par.dlbi");
+  core::save_dlbi(heap, file.path());
+  const core::InstanceStore store = core::InstanceStore::open_mapped(
+      file.path());
+
+  const Outcome reference = run_par(heap, nullptr);
+  for (const std::size_t threads : {std::size_t{1}, std::size_t{4},
+                                    std::size_t{8}}) {
+    parallel::ThreadPool pool(threads);
+    const Outcome heap_run = run_par(heap, &pool);
+    const Outcome mapped_run = run_par(store.instance(), &pool);
+    expect_identical(heap_run, mapped_run);
+    // And thread-count invariance holds through the mapping too.
+    expect_identical(reference, mapped_run);
+  }
+}
+
+TEST(MmapDeterminism, CheckpointResumeThroughMappedStoreMatchesHeapRun) {
+  const Instance heap = test_instance();
+  TempFile file("ck.dlbi");
+  core::save_dlbi(heap, file.path());
+
+  const auto run = [](const Instance& inst, const dist::Checkpoint* resume,
+                      std::optional<std::uint64_t> halt,
+                      dist::Checkpoint* out) {
+    Schedule s = resume != nullptr
+                     ? resume->make_schedule(inst)
+                     : Schedule(inst, gen::random_assignment(inst, 2));
+    dist::ParallelEngineOptions options;
+    options.max_exchanges = 12 * inst.num_machines();
+    options.resume = resume;
+    options.halt_after_epoch = halt;
+    options.checkpoint_out = out;
+    const dist::ParallelRunResult result =
+        dist::ParallelExchangeEngine(
+            pairwise::kernel_registry().get("basic-greedy"),
+            dist::selector_registry().get("uniform"))
+            .run(s, options, kSeed);
+    return std::pair{result, s.fingerprint()};
+  };
+
+  const auto [uninterrupted, heap_fp] =
+      run(heap, nullptr, std::nullopt, nullptr);
+  ASSERT_GT(uninterrupted.epochs, 2u);
+
+  // Halt mid-run over the mapped store, reopen the store (a restart), and
+  // resume over the fresh mapping: the composite must reproduce the
+  // uninterrupted heap run bit for bit.
+  dist::Checkpoint snapshot;
+  {
+    const core::InstanceStore store =
+        core::InstanceStore::open_mapped(file.path());
+    const auto [halted, halted_fp] = run(store.instance(), nullptr,
+                                         uninterrupted.epochs / 2, &snapshot);
+    ASSERT_TRUE(halted.halted);
+  }
+  const core::InstanceStore reopened =
+      core::InstanceStore::open_mapped(file.path());
+  const auto [resumed, resumed_fp] =
+      run(reopened.instance(), &snapshot, std::nullopt, nullptr);
+
+  EXPECT_EQ(resumed_fp, heap_fp);
+  EXPECT_EQ(static_cast<const dist::RunReport&>(resumed).to_json().dump(),
+            static_cast<const dist::RunReport&>(uninterrupted)
+                .to_json()
+                .dump());
+}
+
+}  // namespace
+}  // namespace dlb

@@ -16,7 +16,12 @@ What is gated:
   * work counters — same, with --counter-tol;
   * wall time — only when BOTH documents carry a timing block and
     --timing-tol is given (timing is machine-dependent, so the perf-smoke CI
-    job compares deterministic `--no-timing` documents and never gates time).
+    job compares deterministic `--no-timing` documents and never gates time);
+  * throughput floors — each --min-rate EXPERIMENT:COUNTER:FLOOR requires
+    FRESH's timing.rates.<COUNTER>_per_s to be at least FLOOR (an absolute
+    lower bound, deliberately far below healthy hardware: it catches
+    order-of-magnitude collapses, not noise). Pass the same document as
+    both positionals to gate only rate floors.
 
 New experiments present only in FRESH are reported but never fail the gate:
 adding a bench must not require regenerating the baseline in the same change
@@ -118,7 +123,26 @@ def main() -> int:
         "than this fraction (e.g. 0.5 = 50%% slower); requires timing "
         "blocks in both documents",
     )
+    parser.add_argument(
+        "--min-rate",
+        action="append",
+        default=[],
+        metavar="EXPERIMENT:COUNTER:FLOOR",
+        help="require FRESH's timing.rates.<COUNTER>_per_s for EXPERIMENT "
+        "to be at least FLOOR (repeatable; absolute floor, requires a "
+        "timing block in FRESH)",
+    )
     args = parser.parse_args()
+
+    min_rates: list[tuple[str, str, float]] = []
+    for spec in args.min_rate:
+        parts = spec.rsplit(":", 2)
+        if len(parts) != 3:
+            input_error(f"--min-rate '{spec}': expected EXPERIMENT:COUNTER:FLOOR")
+        try:
+            min_rates.append((parts[0], parts[1], float(parts[2])))
+        except ValueError:
+            input_error(f"--min-rate '{spec}': FLOOR must be a number")
 
     baseline_doc = load_document(args.baseline)
     fresh_doc = load_document(args.fresh)
@@ -174,6 +198,28 @@ def main() -> int:
                     f"exceeds baseline {base_timing['median']:.4f}s by more "
                     f"than {args.timing_tol:.0%}"
                 )
+
+    for experiment, counter, floor in min_rates:
+        entry = fresh.get(experiment)
+        if entry is None:
+            failures.append(
+                f"{experiment}: experiment missing from fresh run "
+                f"(--min-rate {counter})"
+            )
+            continue
+        if entry.get("status") != "ok":
+            continue  # already reported above when gated by the baseline
+        rate_key = f"{counter}_per_s"
+        rate = entry.get("timing", {}).get("rates", {}).get(rate_key)
+        if rate is None:
+            failures.append(
+                f"{experiment}: timing.rates.{rate_key} absent "
+                f"(--min-rate needs a timed document)"
+            )
+        elif rate < floor:
+            failures.append(
+                f"{experiment}: {rate_key} {rate:.1f} below floor {floor:.1f}"
+            )
 
     new_experiments = sorted(set(fresh) - set(baseline))
     if new_experiments:

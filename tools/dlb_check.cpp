@@ -18,6 +18,7 @@
 #include "check/suite.hpp"
 #include "cli/args.hpp"
 #include "core/instance_io.hpp"
+#include "core/instance_store.hpp"
 
 namespace {
 
@@ -102,8 +103,13 @@ int run_replay(const std::vector<std::string>& tokens) {
 
   int failures = 0;
   for (const std::string& path : files) {
-    const dlb::Instance instance = dlb::io::load_instance_file(path);
-    const dlb::Assignment initial = initial_for(path, instance);
+    const dlb::core::InstanceStore store = dlb::core::load_instance(path);
+    const dlb::Instance& instance = store.instance();
+    // A .dlbi reproducer can embed its initial assignment; sidecar
+    // .assignment files keep working for text cases.
+    const dlb::Assignment initial = store.has_initial_assignment()
+                                        ? store.initial_assignment()
+                                        : initial_for(path, instance);
     dlb::check::Report report;
     dlb::check::run_case_oracles(instance, initial, context, report,
                                  nullptr);

@@ -29,6 +29,7 @@
 
 #include "cli/args.hpp"
 #include "core/instance_io.hpp"
+#include "core/instance_store.hpp"
 #include "daemon/daemon.hpp"
 #include "net/fault.hpp"
 #include "pairwise/kernel_registry.hpp"
@@ -66,7 +67,8 @@ int run(const std::vector<std::string>& argv) {
     return 2;
   }
 
-  const dlb::Instance instance = dlb::io::load_instance_file(in_path);
+  const dlb::core::InstanceStore store = dlb::core::load_instance(in_path);
+  const dlb::Instance& instance = store.instance();
 
   dlb::daemon::DaemonOptions options;
   options.hosts = dlb::daemon::parse_host_manifest(manifest);
