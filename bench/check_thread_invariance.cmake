@@ -4,9 +4,12 @@
 # ext_prediction_noise rides along for the stochastic kernels: its risk
 # section places with dlb2c_effsize on modeled instances, so the risk_*
 # metrics must be byte-identical across thread counts too.
+# ext_open_system rides along for the open-system engine: its repair bursts
+# run on the parallel epoch engine over the run's thread pool, so the
+# response-time percentiles must be byte-identical across thread counts.
 
 set(filter
-    "^(fig5_exchanges_to_threshold|fig3_equilibrium_distribution|perf_parallel_engine|ext_prediction_noise)$")
+    "^(fig5_exchanges_to_threshold|fig3_equilibrium_distribution|perf_parallel_engine|ext_prediction_noise|ext_open_system)$")
 set(common --smoke --quiet --no-timing --reps 1 --warmup 0
     --filter ${filter})
 

@@ -16,7 +16,7 @@ constexpr Regime kAllRegimes[kNumRegimes] = {
     Regime::kMultiCluster, Regime::kUnrelated, Regime::kTyped,
     Regime::kSingleType,  Regime::kExtremeRatio, Regime::kDegenerate,
     Regime::kStochasticNormal, Regime::kStochasticLognormal,
-    Regime::kStochasticPareto,
+    Regime::kStochasticPareto, Regime::kOpenPoisson, Regime::kOpenBursty,
 };
 
 /// Machine count in [2, 6] and job count in [lo_jobs, 14]; skewed small so
@@ -175,8 +175,55 @@ Instance instance_for(Regime regime, stats::Rng& rng, std::uint64_t seed,
           gen::uniform_unrelated(s.machines, s.jobs, 1.0, 100.0, seed),
           cost::DistKind::kPareto, rng);
     }
+    case Regime::kOpenPoisson: {
+      // Two populated clusters, so the repair bursts run the paper's
+      // DLB2C kernel. A few jobs minimum keeps queues non-degenerate.
+      const Shape s = draw_shape(rng, 3);
+      const auto [m1, m2] = split_two(rng, s.machines);
+      return gen::two_cluster_uniform(m1, m2, s.jobs, 1.0, 100.0, seed);
+    }
+    case Regime::kOpenBursty: {
+      // Stochastic base: the open run realizes service times through the
+      // cost model, so estimates mispredict.
+      const Shape s = draw_shape(rng, 3);
+      return with_cost_model(
+          gen::uniform_unrelated(s.machines, s.jobs, 1.0, 100.0, seed),
+          cost::DistKind::kLognormal, rng);
+    }
   }
   throw std::invalid_argument("make_case: unknown regime");
+}
+
+/// The arrival process for an open-regime case. Rates are absolute
+/// constants (mean service cost is ~50 time units), never derived from the
+/// instance shape, so a shrunk instance replays the identical plan.
+dist::ArrivalPlan arrival_plan_for(Regime regime, stats::Rng& rng,
+                                   std::uint64_t plan_seed,
+                                   std::uint64_t index) {
+  switch (regime) {
+    case Regime::kOpenPoisson:
+      return dist::ArrivalPlan::poisson(rng.uniform(0.02, 0.08), plan_seed);
+    case Regime::kOpenBursty: {
+      // Every third case exercises the diurnal kind instead, so both
+      // non-constant-rate arrival processes stay under fuzz.
+      if (index % 3 == 2) {
+        const auto bins = static_cast<std::size_t>(rng.range(2, 5));
+        std::vector<double> trace(bins);
+        for (double& rate : trace) {
+          rate = rng.bernoulli(0.25) ? 0.0 : rng.uniform(0.01, 0.1);
+        }
+        trace[rng.below(bins)] = rng.uniform(0.05, 0.1);  // Never all-zero.
+        return dist::ArrivalPlan::diurnal(std::move(trace),
+                                          rng.uniform(30.0, 80.0), plan_seed);
+      }
+      return dist::ArrivalPlan::bursty(
+          rng.uniform(0.05, 0.15),
+          rng.bernoulli(0.5) ? 0.0 : rng.uniform(0.005, 0.02),
+          rng.uniform(40.0, 120.0), rng.uniform(40.0, 120.0), plan_seed);
+    }
+    default:
+      return dist::ArrivalPlan{};
+  }
 }
 
 }  // namespace
@@ -195,6 +242,8 @@ const char* regime_name(Regime regime) {
     case Regime::kStochasticNormal: return "stochastic_normal";
     case Regime::kStochasticLognormal: return "stochastic_lognormal";
     case Regime::kStochasticPareto: return "stochastic_pareto";
+    case Regime::kOpenPoisson: return "open_poisson";
+    case Regime::kOpenBursty: return "open_bursty";
   }
   return "unknown";
 }
@@ -223,11 +272,13 @@ GeneratedCase make_case(std::uint64_t seed, std::uint64_t index,
                            std::to_string(index),
                        instance_for(regime, rng, instance_seed, index),
                        Assignment(),
-                       false};
+                       false,
+                       dist::ArrivalPlan{}};
   result.initial =
       gen::random_assignment(result.instance, assignment_seed);
   result.exact_solvable = result.instance.num_jobs() <= 7 &&
                           result.instance.num_machines() <= 4;
+  result.arrivals = arrival_plan_for(regime, rng, /*plan_seed=*/rng(), index);
   return result;
 }
 

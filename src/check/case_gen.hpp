@@ -12,6 +12,7 @@
 
 #include "core/assignment.hpp"
 #include "core/instance.hpp"
+#include "dist/open_system/arrival.hpp"
 
 namespace dlb::check {
 
@@ -34,6 +35,11 @@ enum class Regime {
   kStochasticNormal,     ///< normal:S sizes on an identical-machines base.
   kStochasticLognormal,  ///< lognormal:S sizes on a two-cluster base.
   kStochasticPareto,     ///< pareto:A,L,H sizes on an unrelated base.
+  // Open-system regimes: the case carries a non-trivial ArrivalPlan, so
+  // the suite also runs the OpenSystemEngine battery (conservation,
+  // response sanity, seq/parallel repair equality, halt/resume).
+  kOpenPoisson,  ///< Poisson arrivals on a two-cluster base (DLB2C repair).
+  kOpenBursty,   ///< Bursty/diurnal arrivals on a stochastic unrelated base.
 };
 
 [[nodiscard]] const char* regime_name(Regime regime);
@@ -42,7 +48,7 @@ enum class Regime {
 /// std::invalid_argument on unknown names.
 [[nodiscard]] Regime regime_by_name(const std::string& name);
 
-inline constexpr std::size_t kNumRegimes = 12;
+inline constexpr std::size_t kNumRegimes = 14;
 
 struct GeneratedCase {
   Regime regime = Regime::kIdentical;
@@ -52,6 +58,10 @@ struct GeneratedCase {
   /// Small enough for the exact branch-and-bound solver, so the
   /// approximation-theorem oracles apply.
   bool exact_solvable = false;
+  /// Non-trivial only for the open regimes. Its parameters never depend on
+  /// the instance shape, so the shrinker can drop jobs and machines while
+  /// re-running the same plan.
+  dist::ArrivalPlan arrivals;
 };
 
 /// Deterministic case `index` of the run seeded with `seed`, cycling

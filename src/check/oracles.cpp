@@ -751,4 +751,181 @@ void check_realization_consistency(const Instance& instance,
   }
 }
 
+// ----- open-system oracles (dist/open_system) -----
+
+void check_open_conservation(const dist::OpenRunReport& result,
+                             const Schedule& schedule, Report& report) {
+  if (result.jobs_submitted >
+      static_cast<std::uint64_t>(schedule.num_jobs())) {
+    report.fail("open.job_conservation",
+                "submitted " + std::to_string(result.jobs_submitted) +
+                    " jobs from a pool of " +
+                    std::to_string(schedule.num_jobs()));
+  }
+  if (result.jobs_completed + result.jobs_in_service + result.jobs_waiting !=
+      result.jobs_submitted) {
+    report.fail("open.job_conservation",
+                "submitted = " + std::to_string(result.jobs_submitted) +
+                    " but completed + in_service + waiting = " +
+                    std::to_string(result.jobs_completed) + " + " +
+                    std::to_string(result.jobs_in_service) + " + " +
+                    std::to_string(result.jobs_waiting));
+  }
+  std::uint64_t assigned = 0;
+  for (JobId j = 0; j < schedule.num_jobs(); ++j) {
+    if (schedule.machine_of(j) != kUnassigned) ++assigned;
+  }
+  if (assigned != result.jobs_waiting) {
+    report.fail("open.job_conservation",
+                std::to_string(assigned) +
+                    " jobs assigned in the final schedule but jobs_waiting "
+                    "= " +
+                    std::to_string(result.jobs_waiting));
+  }
+  if (!result.halted &&
+      (result.jobs_completed != result.jobs_submitted ||
+       result.jobs_in_service != 0 || result.jobs_waiting != 0)) {
+    report.fail("open.drained",
+                "run reported converged-by-draining but " +
+                    std::to_string(result.jobs_submitted) +
+                    " submitted != " +
+                    std::to_string(result.jobs_completed) + " completed (" +
+                    std::to_string(result.jobs_in_service) +
+                    " in service, " + std::to_string(result.jobs_waiting) +
+                    " waiting)");
+  }
+  // Every arrival and every completion is one event; repair bursts only
+  // add to the count.
+  if (result.events < result.jobs_submitted + result.jobs_completed) {
+    report.fail("open.event_count",
+                std::to_string(result.events) + " events cannot cover " +
+                    std::to_string(result.jobs_submitted) +
+                    " arrivals and " +
+                    std::to_string(result.jobs_completed) + " completions");
+  }
+}
+
+void check_open_response_sanity(const dist::OpenRunReport& result,
+                                Report& report) {
+  const auto finite_nonneg = [&](double value, const char* what) {
+    if (!std::isfinite(value) || value < 0.0) {
+      report.fail("open.response_sanity",
+                  std::string(what) + " = " + num(value) +
+                      " (want finite and >= 0)");
+    }
+  };
+  finite_nonneg(result.end_time, "end_time");
+  finite_nonneg(result.response_mean, "response_mean");
+  finite_nonneg(result.response_p50, "response_p50");
+  finite_nonneg(result.response_p95, "response_p95");
+  finite_nonneg(result.response_p99, "response_p99");
+  if (result.response_p50 > result.response_p95 ||
+      result.response_p95 > result.response_p99) {
+    report.fail("open.response_sanity",
+                "response percentiles not monotone: p50 " +
+                    num(result.response_p50) + ", p95 " +
+                    num(result.response_p95) + ", p99 " +
+                    num(result.response_p99));
+  }
+  if (result.queue_p50 > result.queue_p95 ||
+      result.queue_p95 > result.queue_p99) {
+    report.fail("open.response_sanity",
+                "queue percentiles not monotone: p50 " +
+                    num(result.queue_p50) + ", p95 " +
+                    num(result.queue_p95) + ", p99 " +
+                    num(result.queue_p99));
+  }
+  // completion >= arrival for every job (responses are non-negative) and
+  // arrivals start at t >= 0, so no mean response can exceed the clock.
+  if (result.jobs_completed > 0 && result.response_mean > result.end_time) {
+    report.fail("open.response_sanity",
+                "mean response " + num(result.response_mean) +
+                    " exceeds the virtual clock " + num(result.end_time));
+  }
+}
+
+void check_open_closed_equivalence(const Instance& instance,
+                                   const Assignment& initial,
+                                   std::uint64_t salt, Report& report) {
+  if (instance.num_machines() < 2) return;
+  const pairwise::PairKernel& kernel =
+      pairwise::kernel_registry().get("basic-greedy");
+  const dist::UniformPeerSelector selector;
+  const std::size_t budget = 12 * instance.num_machines();
+  const dist::OpenSystemEngine open_engine(kernel, selector);
+
+  // Sequential leg, null plan.
+  dist::EngineOptions seq_options;
+  seq_options.max_exchanges = budget;
+  seq_options.record_trace = true;
+  Schedule reference(instance, initial);
+  stats::Rng reference_rng(salt);
+  const dist::ExchangeEngine inner(kernel, selector);
+  const dist::RunResult expected =
+      inner.run(reference, seq_options, reference_rng);
+
+  dist::OpenSystemOptions open_options;
+  open_options.closed_max_exchanges = budget;
+  open_options.record_trace = true;
+  Schedule delegated(instance, initial);
+  const dist::OpenRunReport actual =
+      open_engine.run(delegated, open_options, salt);
+
+  const auto base_json = [](const dist::RunReport& run) {
+    return run.to_json().dump();
+  };
+  bool seq_trace_same =
+      actual.makespan_trace == expected.makespan_trace &&
+      actual.exchange_trace.size() == expected.exchange_trace.size();
+  for (std::size_t x = 0; seq_trace_same && x < actual.exchange_trace.size();
+       ++x) {
+    const dist::ExchangeTracePoint& a = actual.exchange_trace[x];
+    const dist::ExchangeTracePoint& b = expected.exchange_trace[x];
+    seq_trace_same = a.makespan == b.makespan && a.changed == b.changed &&
+                     a.migrations == b.migrations;
+  }
+  if (delegated.fingerprint() != reference.fingerprint() ||
+      base_json(actual) != base_json(expected) || !seq_trace_same) {
+    report.fail("open.closed_equivalence_seq",
+                "closed-mode delegation diverged from ExchangeEngine under "
+                "the same seed");
+  }
+
+  // Parallel leg, *trivial* (non-null) plan: the other half of the
+  // delegation predicate.
+  dist::ParallelEngineOptions par_options;
+  par_options.max_exchanges = budget;
+  par_options.record_trace = true;
+  Schedule par_reference(instance, initial);
+  const dist::ParallelExchangeEngine par_inner(kernel, selector);
+  const dist::ParallelRunResult par_expected =
+      par_inner.run(par_reference, par_options, salt);
+
+  const dist::ArrivalPlan trivial_plan;
+  dist::OpenSystemOptions par_open_options;
+  par_open_options.arrivals = &trivial_plan;
+  par_open_options.parallel_repair = true;
+  par_open_options.closed_max_exchanges = budget;
+  par_open_options.record_trace = true;
+  Schedule par_delegated(instance, initial);
+  const dist::OpenRunReport par_actual =
+      open_engine.run(par_delegated, par_open_options, salt);
+
+  bool par_trace_same =
+      par_actual.epoch_trace.size() == par_expected.epoch_trace.size();
+  for (std::size_t x = 0;
+       par_trace_same && x < par_actual.epoch_trace.size(); ++x) {
+    const dist::EpochTracePoint& a = par_actual.epoch_trace[x];
+    const dist::EpochTracePoint& b = par_expected.epoch_trace[x];
+    par_trace_same = a.makespan == b.makespan && a.sessions == b.sessions &&
+                     a.migrations == b.migrations;
+  }
+  if (par_delegated.fingerprint() != par_reference.fingerprint() ||
+      base_json(par_actual) != base_json(par_expected) || !par_trace_same) {
+    report.fail("open.closed_equivalence_parallel",
+                "closed-mode delegation diverged from "
+                "ParallelExchangeEngine under the same seed");
+  }
+}
+
 }  // namespace dlb::check

@@ -23,6 +23,7 @@
 #include "core/schedule.hpp"
 #include "dist/async_runner.hpp"
 #include "dist/exchange_engine.hpp"
+#include "dist/open_system/open_engine.hpp"
 #include "pairwise/pair_kernel.hpp"
 
 namespace dlb::check {
@@ -154,6 +155,33 @@ void check_converged_is_stable(const dist::RunResult& result,
 /// balances (orphaned == redispatched + pending).
 void check_churn_conservation(const Schedule& schedule,
                               const dist::RunReport& result, Report& report);
+
+// ----- open-system oracles (dist/open_system) -----
+
+/// Job conservation for an open-system run: submitted == completed +
+/// in_service + waiting, the waiting tally matches the jobs actually left
+/// assigned in the schedule, completed <= submitted <= the arrival pool,
+/// and a run that was not halted drained completely (every submitted job
+/// completed, schedule empty). The per-event version of the invariant is
+/// covered by fuzzing the halt point: every prefix of the event stream is
+/// some case's halt_after_events.
+void check_open_conservation(const dist::OpenRunReport& result,
+                             const Schedule& schedule, Report& report);
+
+/// Response-time and queue-length sanity on the report aggregates:
+/// percentiles non-decreasing in q, response_mean >= 0 (completion >=
+/// arrival for every job) and <= end_time, everything finite, and the
+/// event count at least accounts for every arrival and completion.
+void check_open_response_sanity(const dist::OpenRunReport& result,
+                                Report& report);
+
+/// Closed-system equivalence: with a null *or* trivial ArrivalPlan the
+/// OpenSystemEngine must delegate wholesale — schedule fingerprint, base
+/// RunReport JSON and trace bytes identical to ExchangeEngine (sequential)
+/// and ParallelExchangeEngine (parallel) under the same seed.
+void check_open_closed_equivalence(const Instance& instance,
+                                   const Assignment& initial,
+                                   std::uint64_t salt, Report& report);
 
 // ----- stochastic cost-model oracles (core/cost_model, core/risk) -----
 

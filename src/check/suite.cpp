@@ -13,8 +13,10 @@
 #include "dist/churn.hpp"
 #include "dist/convergence.hpp"
 #include "dist/exchange_engine.hpp"
+#include "dist/open_system/open_engine.hpp"
 #include "dist/parallel_exchange_engine.hpp"
 #include "pairwise/kernel_registry.hpp"
+#include "parallel/thread_pool.hpp"
 #include "stats/rng.hpp"
 
 namespace dlb::check {
@@ -193,6 +195,102 @@ void check_churn(const Instance& instance, const Assignment& initial,
   check_churn_conservation(par_schedule, par_result, report);
 }
 
+/// Open-system fuzzing: on cases carrying a non-trivial ArrivalPlan, run
+/// the event-driven engine with background repair and assert job
+/// conservation and response sanity; then pin the determinism contract by
+/// demanding (a) the parallel-repair run reproduce the sequential-repair
+/// report byte for byte, and (b) a halt / checkpoint-roundtrip / resume
+/// split reproduce the uninterrupted run byte for byte.
+void check_open_system(const Instance& instance, const Assignment& initial,
+                       const CaseContext& context, Report& report,
+                       SuiteSummary* summary) {
+  // The delegation-equivalence oracle is plan-free and runs on every case.
+  check_open_closed_equivalence(
+      instance, initial, context.seed + context.index * 8 + 6, report);
+  if (context.arrivals == nullptr || context.arrivals->trivial()) return;
+  if (instance.num_machines() < 2) return;
+
+  const pairwise::PairKernel& kernel = kernel_for(instance);
+  const dist::UniformPeerSelector selector;
+  const dist::OpenSystemEngine engine(kernel, selector);
+  const std::uint64_t open_seed =
+      context.seed ^ (context.index * 0x0BE11E5ULL + 11);
+
+  dist::OpenSystemOptions options;
+  options.arrivals = context.arrivals;
+  // One burst every ~half a mean service time, small budget: enough for
+  // repair to actually fire on these small cases without dominating.
+  options.repair_every = 25.0;
+  options.repair_budget = 8;
+  options.realize_service = instance.has_cost_model();
+  options.record_trace = true;
+
+  Schedule schedule(instance);
+  const dist::OpenRunReport result = engine.run(schedule, options, open_seed);
+  if (summary != nullptr) ++summary->open_runs;
+  check_open_conservation(result, schedule, report);
+  check_open_response_sanity(result, report);
+
+  const std::string result_json = result.to_json().dump();
+
+  // Same seed, same bytes: what --seed replay and the shrinker rely on.
+  Schedule replay(instance);
+  const dist::OpenRunReport again = engine.run(replay, options, open_seed);
+  if (replay.fingerprint() != schedule.fingerprint() ||
+      again.to_json().dump() != result_json) {
+    report.fail("diff.open_determinism",
+                "two open-system runs with the same seed diverged");
+  }
+
+  // Parallel repair draws one derived seed per burst, so its report must
+  // not depend on the thread count: inline (null pool) == 3 workers.
+  dist::OpenSystemOptions par_options = options;
+  par_options.parallel_repair = true;
+  Schedule par_schedule(instance);
+  const dist::OpenRunReport par_result =
+      engine.run(par_schedule, par_options, open_seed);
+  check_open_conservation(par_result, par_schedule, report);
+  parallel::ThreadPool pool(3);
+  dist::OpenSystemOptions pooled_options = par_options;
+  pooled_options.pool = &pool;
+  Schedule pooled_schedule(instance);
+  const dist::OpenRunReport pooled_result =
+      engine.run(pooled_schedule, pooled_options, open_seed);
+  if (pooled_schedule.fingerprint() != par_schedule.fingerprint() ||
+      pooled_result.to_json().dump() != par_result.to_json().dump() ||
+      pooled_result.makespan_trace != par_result.makespan_trace) {
+    report.fail("open.repair_thread_invariance",
+                "parallel-repair run changed bytes between the inline and "
+                "the 3-thread pool execution");
+  }
+
+  // Interrupted == uninterrupted, through the text checkpoint format.
+  if (result.events > 1) {
+    dist::OpenCheckpoint checkpoint;
+    dist::OpenSystemOptions halt_options = options;
+    halt_options.halt_after_events = result.events / 2;
+    halt_options.checkpoint_out = &checkpoint;
+    Schedule halted(instance);
+    const dist::OpenRunReport partial =
+        engine.run(halted, halt_options, open_seed);
+    if (partial.halted) {
+      std::stringstream bytes;
+      checkpoint.save(bytes);
+      const dist::OpenCheckpoint restored = dist::OpenCheckpoint::load(bytes);
+      Schedule resumed = restored.make_schedule(instance);
+      dist::OpenSystemOptions resume_options = options;
+      resume_options.resume = &restored;
+      const dist::OpenRunReport finished =
+          engine.run(resumed, resume_options, open_seed);
+      if (resumed.fingerprint() != schedule.fingerprint() ||
+          finished.to_json().dump() != result_json) {
+        report.fail("open.checkpoint_equivalence",
+                    "restore-then-run diverged from the uninterrupted run");
+      }
+    }
+  }
+}
+
 void check_async(const Instance& instance, const Assignment& initial,
                  const CaseContext& context, Report& report,
                  SuiteSummary* summary) {
@@ -312,6 +410,7 @@ void run_case_oracles(const Instance& instance, const Assignment& initial,
 
   check_engine(instance, initial, context, report, summary);
   check_churn(instance, initial, context, report, summary);
+  check_open_system(instance, initial, context, report, summary);
   check_async(instance, initial, context, report, summary);
   check_exact(instance, initial, report, summary);
 
@@ -342,6 +441,8 @@ SuiteSummary run_suite(const SuiteOptions& options) {
     context.seed = options.seed;
     context.index = index;
     context.fault_plan = plan.trivial() ? nullptr : &plan;
+    context.arrivals =
+        test_case.arrivals.trivial() ? nullptr : &test_case.arrivals;
 
     Report report;
     run_case_oracles(test_case.instance, test_case.initial, context, report,
@@ -382,6 +483,11 @@ SuiteSummary run_suite(const SuiteOptions& options) {
       io::save_instance_file(culprit, stem + ".instance");
       std::ofstream out(stem + ".assignment");
       io::save_assignment(culprit_initial, out);
+      // Open-regime failures also need their arrival process to replay;
+      // dlb_check replay picks the sidecar up by extension.
+      if (context.arrivals != nullptr) {
+        context.arrivals->save_file(stem + ".arrivals");
+      }
       failure.repro_path = stem + ".instance";
     }
     summary.failures.push_back(std::move(failure));

@@ -50,6 +50,7 @@ struct SuiteSummary {
   std::uint64_t engine_runs = 0;
   std::uint64_t churn_runs = 0;     ///< Elastic (churn-plan) engine runs.
   std::uint64_t async_runs = 0;
+  std::uint64_t open_runs = 0;      ///< Open-system (arrival-plan) runs.
   /// Cases carrying a non-degenerate cost model (the stochastic regimes),
   /// i.e. cases where the realization-consistency oracle had teeth.
   std::uint64_t stochastic_cases = 0;
@@ -66,6 +67,10 @@ struct CaseContext {
   std::uint64_t index = 0;
   /// Null = reliable network for this case's async run.
   const net::FaultPlan* fault_plan = nullptr;
+  /// Null or trivial = no open-system battery for this case (the closed
+  /// delegation-equivalence oracle still runs). Plan parameters are
+  /// instance-shape independent, so the shrinker reuses the pointer.
+  const dist::ArrivalPlan* arrivals = nullptr;
 };
 
 /// Runs the full oracle battery on one (instance, initial) pair,

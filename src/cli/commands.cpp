@@ -5,6 +5,7 @@
 #include <fstream>
 #include <functional>
 #include <map>
+#include <memory>
 #include <optional>
 #include <sstream>
 #include <stdexcept>
@@ -27,6 +28,7 @@
 #include "dist/checkpoint.hpp"
 #include "dist/churn.hpp"
 #include "dist/exchange_engine.hpp"
+#include "dist/open_system/open_engine.hpp"
 #include "dist/parallel_exchange_engine.hpp"
 #include "dist/selector_registry.hpp"
 #include "dist/transport_runner.hpp"
@@ -505,6 +507,211 @@ int cmd_balance(const Args& args, std::ostream& out, std::ostream& err) {
   return obs_files.write(out, err);
 }
 
+// ----- serve -----
+
+/// Parses a --arrivals value: an inline spec — "poisson:RATE",
+/// "bursty:RATE,OFF_RATE,ON_DUR,OFF_DUR", "diurnal:R1,R2,...@BIN" — or a
+/// path to a saved "dlb-arrival-plan v1" file. The plan seed is the run
+/// seed, so `serve` runs are reproducible from the command line alone.
+dist::ArrivalPlan arrivals_from_spec(const std::string& spec,
+                                     std::uint64_t seed) {
+  const auto parse_doubles = [&](const std::string& text, char sep) {
+    std::vector<double> values;
+    std::size_t begin = 0;
+    while (begin <= text.size()) {
+      std::size_t end = text.find(sep, begin);
+      if (end == std::string::npos) end = text.size();
+      const std::string part = text.substr(begin, end - begin);
+      std::size_t consumed = 0;
+      double value = 0.0;
+      try {
+        value = std::stod(part, &consumed);
+      } catch (const std::exception&) {
+        consumed = 0;
+      }
+      if (consumed != part.size() || part.empty()) {
+        throw std::invalid_argument("--arrivals: bad number '" + part +
+                                    "' in '" + spec + "'");
+      }
+      values.push_back(value);
+      if (end == text.size()) break;
+      begin = end + 1;
+    }
+    return values;
+  };
+
+  const auto colon = spec.find(':');
+  const std::string kind = spec.substr(0, colon);
+  if (colon != std::string::npos && kind == "poisson") {
+    const std::vector<double> v = parse_doubles(spec.substr(colon + 1), ',');
+    if (v.size() != 1) {
+      throw std::invalid_argument("--arrivals: poisson wants one rate, got '" +
+                                  spec + "'");
+    }
+    return dist::ArrivalPlan::poisson(v[0], seed);
+  }
+  if (colon != std::string::npos && kind == "bursty") {
+    const std::vector<double> v = parse_doubles(spec.substr(colon + 1), ',');
+    if (v.size() != 4) {
+      throw std::invalid_argument(
+          "--arrivals: bursty wants rate,off_rate,on_duration,off_duration, "
+          "got '" +
+          spec + "'");
+    }
+    return dist::ArrivalPlan::bursty(v[0], v[1], v[2], v[3], seed);
+  }
+  if (colon != std::string::npos && kind == "diurnal") {
+    const std::string body = spec.substr(colon + 1);
+    const auto at = body.find('@');
+    if (at == std::string::npos) {
+      throw std::invalid_argument(
+          "--arrivals: diurnal wants R1,R2,...@BIN_DURATION, got '" + spec +
+          "'");
+    }
+    std::vector<double> trace = parse_doubles(body.substr(0, at), ',');
+    const std::vector<double> bin = parse_doubles(body.substr(at + 1), ',');
+    if (bin.size() != 1) {
+      throw std::invalid_argument(
+          "--arrivals: diurnal wants one bin duration after '@' in '" + spec +
+          "'");
+    }
+    return dist::ArrivalPlan::diurnal(std::move(trace), bin[0], seed);
+  }
+  // Anything else is a saved plan file (dlbsim serve --arrivals plan.arrivals).
+  return dist::ArrivalPlan::load_file(spec);
+}
+
+/// `dlbsim serve`: the open-system service workload — online arrivals
+/// placed by a submission-time policy, FIFO service per machine, and
+/// background DLB2C-style repair bursts on a budget (docs/open-system.md).
+int cmd_serve(const Args& args, std::ostream& out, std::ostream& err) {
+  const std::string path = args.require("in");
+  const std::string arrivals_spec = args.require("arrivals");
+  const std::string alg = args.get("alg", "dlb2c");
+  const std::string peer = args.get("peer", "uniform");
+  const std::string placement_spec = args.get("placement", "random");
+  const std::uint64_t seed = args.get_seed("seed", 1);
+  const auto num_arrivals =
+      static_cast<std::size_t>(args.get_int("num-arrivals", 0));
+  const double repair_every = args.get_double("repair-every", 0.0);
+  const auto repair_budget =
+      static_cast<std::size_t>(args.get_int("repair-budget", 16));
+  const std::string repair_engine = args.get("repair-engine", "seq");
+  const auto threads = static_cast<std::size_t>(args.get_int("threads", 0));
+  const bool realize_service = args.has("realize-service");
+  const std::string trace_path = args.get("trace", "");
+  const auto checkpoint_every = static_cast<std::uint64_t>(
+      args.get_int("checkpoint-every-events", 0));
+  const auto halt_after =
+      static_cast<std::uint64_t>(args.get_int("halt-after-events", 0));
+  const std::string checkpoint_path = args.get("checkpoint", "");
+  const std::string resume_path = args.get("resume", "");
+  ObsFiles obs_files(args, "trace-json", "metrics-json");
+  if (const int rc = check_unused(args, err)) return rc;
+  if (repair_engine != "seq" && repair_engine != "parallel") {
+    throw std::invalid_argument("unknown --repair-engine '" + repair_engine +
+                                "' (seq|parallel)");
+  }
+  if ((checkpoint_every != 0 || halt_after != 0) && checkpoint_path.empty()) {
+    throw std::invalid_argument(
+        "--checkpoint-every-events / --halt-after-events need "
+        "--checkpoint FILE to write to");
+  }
+
+  const dist::ArrivalPlan plan = arrivals_from_spec(arrivals_spec, seed);
+  if (plan.trivial()) {
+    throw std::invalid_argument(
+        "--arrivals: the plan has no arrivals (closed runs are `dlbsim "
+        "balance`)");
+  }
+  const std::unique_ptr<dist::PlacementPolicy> placement =
+      dist::make_placement(placement_spec);
+  const pairwise::PairKernel& kernel = kernel_by_alg(alg);
+  const dist::PeerSelector& selector = selector_by_name(peer);
+  const core::InstanceStore store = core::load_instance(path);
+  const Instance& instance = store.instance();
+  if (realize_service && !instance.has_cost_model()) {
+    throw std::invalid_argument(
+        "--realize-service needs an instance with a cost model");
+  }
+
+  std::optional<dist::OpenCheckpoint> resume_from;
+  if (!resume_path.empty()) {
+    resume_from = dist::OpenCheckpoint::load_file(resume_path);
+  }
+  dist::OpenCheckpoint snapshot;
+
+  dist::OpenSystemOptions options;
+  options.arrivals = &plan;
+  options.num_arrivals = num_arrivals;
+  options.placement = placement.get();
+  options.repair_every = repair_every;
+  options.repair_budget = repair_budget;
+  options.parallel_repair = repair_engine == "parallel";
+  options.realize_service = realize_service;
+  options.record_trace = !trace_path.empty();
+  if (obs_files.enabled()) options.obs = &obs_files.context;
+  if (resume_from.has_value()) options.resume = &*resume_from;
+  if (checkpoint_every != 0) {
+    options.checkpoint_every_events = checkpoint_every;
+    options.checkpoint_out = &snapshot;
+  }
+  if (halt_after != 0) {
+    options.halt_after_events = halt_after;
+    options.checkpoint_out = &snapshot;
+  }
+
+  std::optional<parallel::ThreadPool> pool;
+  if (options.parallel_repair) {
+    pool.emplace(threads);
+    options.pool = &*pool;
+  }
+
+  Schedule schedule = resume_from.has_value()
+                          ? resume_from->make_schedule(instance)
+                          : Schedule(instance);
+  const dist::OpenSystemEngine engine(kernel, selector);
+  const dist::OpenRunReport result = engine.run(schedule, options, seed);
+
+  out << "algorithm       : " << alg << " (open system, "
+      << repair_engine << " repair";
+  if (options.parallel_repair) out << ", " << pool->num_threads() << " threads";
+  out << ")\n"
+      << "arrivals        : " << dist::arrival_kind_name(plan.kind) << " ("
+      << arrivals_spec << ")\n"
+      << "placement       : " << placement->name() << "\n";
+  if (resume_from.has_value()) {
+    out << "resumed from    : " << resume_path << " (event "
+        << resume_from->events << ")\n";
+  }
+  result.print(out);
+  if (!trace_path.empty()) {
+    std::ofstream trace(trace_path);
+    if (!trace) {
+      err << "dlbsim: cannot write " << trace_path << "\n";
+      return 1;
+    }
+    stats::CsvWriter csv(trace);
+    csv.header({"burst", "makespan"});
+    for (std::size_t x = 0; x < result.makespan_trace.size(); ++x) {
+      csv.row({stats::CsvWriter::num(x + 1),
+               stats::CsvWriter::num(result.makespan_trace[x])});
+    }
+    out << "trace written   : " << trace_path << " ("
+        << result.makespan_trace.size() << " rows)\n";
+  }
+  if (!checkpoint_path.empty()) {
+    if (snapshot.num_machines == 0) {
+      out << "checkpoint      : not taken (run drained first)\n";
+    } else {
+      snapshot.save_file(checkpoint_path);
+      out << "checkpoint      : " << checkpoint_path << " (event "
+          << snapshot.events << ")\n";
+    }
+  }
+  return obs_files.write(out, err);
+}
+
 // ----- simulate -----
 
 int cmd_simulate(const Args& args, std::ostream& out, std::ostream& err) {
@@ -877,6 +1084,18 @@ commands:
            [--flight-json FILE.json]
            [--churn-plan FILE] [--checkpoint FILE --checkpoint-every N]
            [--resume FILE]
+  serve    --in FILE --arrivals poisson:RATE|bursty:R,OFF,ON,OFF|
+           diurnal:R1,R2,...@BIN|FILE
+           [--alg KERNEL] [--peer NAME] [--placement random|two_choices:d|ect]
+           [--num-arrivals N] [--repair-every T] [--repair-budget N]
+           [--repair-engine seq|parallel] [--threads N] [--realize-service]
+           [--seed S] [--trace FILE.csv] [--trace-json FILE.json]
+           [--metrics-json FILE.json] [--flight-json FILE.json]
+           [--checkpoint FILE [--checkpoint-every-events N |
+            --halt-after-events N]] [--resume FILE]
+           (open-system service run: online arrivals, FIFO service,
+            background repair; bitwise identical at any thread count and
+            across halt/resume — docs/open-system.md)
   simulate --in FILE [--alg KERNEL] [--duration T]
            [--latency T] [--think T] [--backoff T] [--seed S]
            [--trace FILE.csv] [--trace-json FILE.json]
@@ -921,6 +1140,7 @@ int run_command(const std::vector<std::string>& argv, std::ostream& out,
     if (command == "info") return cmd_info(args, out, err);
     if (command == "solve") return cmd_solve(args, out, err);
     if (command == "balance") return cmd_balance(args, out, err);
+    if (command == "serve") return cmd_serve(args, out, err);
     if (command == "simulate") return cmd_simulate(args, out, err);
     if (command == "transport") return cmd_transport(args, out, err);
     if (command == "trace-merge") return cmd_trace_merge(args, out, err);

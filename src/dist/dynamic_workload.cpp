@@ -1,11 +1,12 @@
 #include "dist/dynamic_workload.hpp"
 
-#include <numeric>
+#include <limits>
 #include <stdexcept>
 #include <string>
 
 #include "core/lower_bounds.hpp"
 #include "core/schedule.hpp"
+#include "dist/open_system/job_pool.hpp"
 
 namespace dlb::dist {
 
@@ -32,9 +33,24 @@ void validate(const Instance& instance, const DynamicOptions& options) {
                std::to_string(options.initial_active) + "), got " +
                std::to_string(options.churn_per_epoch));
   }
-  const std::size_t needed =
-      options.initial_active + options.epochs * options.churn_per_epoch;
-  if (instance.num_jobs() < needed) {
+  if (!JobPool::demand_fits(instance.num_jobs(), options.initial_active,
+                            options.epochs, options.churn_per_epoch)) {
+    // The raw sum below is only printable when it does not wrap; the
+    // demand_fits check above already rejected the overflowing shapes the
+    // historical inline arithmetic silently accepted.
+    constexpr std::size_t kMax = std::numeric_limits<std::size_t>::max();
+    const bool overflows =
+        (options.churn_per_epoch != 0 &&
+         options.epochs > kMax / options.churn_per_epoch) ||
+        options.initial_active >
+            kMax - options.epochs * options.churn_per_epoch;
+    if (overflows) {
+      reject("initial_active",
+             "job pool too small: initial_active + epochs * churn_per_epoch "
+             "overflows size_t");
+    }
+    const std::size_t needed =
+        options.initial_active + options.epochs * options.churn_per_epoch;
     reject("initial_active",
            "job pool too small: initial_active + epochs * churn_per_epoch "
            "= " +
@@ -52,12 +68,10 @@ std::vector<EpochStats> run_dynamic(const Instance& instance,
   stats::Rng rng(options.seed);
   const std::size_t m = instance.num_machines();
 
-  // Job lifecycle: `fresh` is the queue of never-seen jobs; `active` the
-  // jobs currently in the system. Completed jobs never return.
-  std::vector<JobId> fresh(instance.num_jobs());
-  std::iota(fresh.begin(), fresh.end(), 0);
-  stats::shuffle(fresh.begin(), fresh.end(), rng);
-  std::size_t next_fresh = 0;
+  // Job lifecycle: the JobPool queues never-seen jobs in seeded-shuffle
+  // order (same bytes as the historical inline iota+shuffle); `active` is
+  // the set currently in the system. Completed jobs never return.
+  JobPool fresh(instance.num_jobs(), rng);
 
   Schedule schedule(instance);
   // Decision-instance hook: risk-aware kernels attach their surrogate
@@ -66,7 +80,7 @@ std::vector<EpochStats> run_dynamic(const Instance& instance,
   std::vector<JobId> active;
   active.reserve(options.initial_active + options.churn_per_epoch);
   for (std::size_t k = 0; k < options.initial_active; ++k) {
-    const JobId j = fresh[next_fresh++];
+    const JobId j = fresh.take();
     schedule.assign(j, static_cast<MachineId>(rng.below(m)));
     active.push_back(j);
   }
@@ -84,7 +98,7 @@ std::vector<EpochStats> run_dynamic(const Instance& instance,
     // Arrivals: fresh jobs appear on random machines (the decentralized
     // premise — no placement logic at submission).
     for (std::size_t k = 0; k < options.churn_per_epoch; ++k) {
-      const JobId j = fresh[next_fresh++];
+      const JobId j = fresh.take();
       schedule.assign(j, static_cast<MachineId>(rng.below(m)));
       active.push_back(j);
     }

@@ -1,0 +1,311 @@
+#include "dist/open_system/arrival.hpp"
+
+#include <algorithm>
+#include <bit>
+#include <cmath>
+#include <fstream>
+#include <istream>
+#include <limits>
+#include <ostream>
+#include <sstream>
+#include <stdexcept>
+#include <utility>
+
+#include "stats/rng.hpp"
+
+namespace dlb::dist {
+
+namespace {
+
+[[noreturn]] void invalid(const std::string& field, const std::string& why) {
+  throw std::invalid_argument("ArrivalPlan: invalid " + field + ": " + why);
+}
+
+[[noreturn]] void invalid_value(const std::string& field,
+                                const std::string& why, double got) {
+  std::ostringstream detail;
+  detail << why << ", got " << got;
+  invalid(field, detail.str());
+}
+
+[[noreturn]] void parse_error(const std::string& why) {
+  throw std::runtime_error("ArrivalPlan::load: " + why);
+}
+
+/// Doubles travel as their bit patterns: formatted decimal round-trips are
+/// not guaranteed to be exact, bit patterns are.
+std::uint64_t bits_of(double v) noexcept {
+  return std::bit_cast<std::uint64_t>(v);
+}
+double double_of(std::uint64_t bits) noexcept {
+  return std::bit_cast<double>(bits);
+}
+
+void expect_key(std::istream& in, const char* key) {
+  std::string token;
+  if (!(in >> token) || token != key) {
+    parse_error(std::string("expected \"") + key + "\" (got \"" + token +
+                "\")");
+  }
+}
+
+template <typename T>
+T read_value(std::istream& in, const char* key) {
+  expect_key(in, key);
+  T value{};
+  if (!(in >> value)) parse_error(std::string("bad value for ") + key);
+  return value;
+}
+
+double read_double(std::istream& in, const char* key) {
+  return double_of(read_value<std::uint64_t>(in, key));
+}
+
+bool positive_finite(double v) noexcept {
+  return std::isfinite(v) && v > 0.0;
+}
+
+}  // namespace
+
+const char* arrival_kind_name(ArrivalKind kind) noexcept {
+  switch (kind) {
+    case ArrivalKind::kNone:
+      return "none";
+    case ArrivalKind::kPoisson:
+      return "poisson";
+    case ArrivalKind::kBursty:
+      return "bursty";
+    case ArrivalKind::kDiurnal:
+      return "diurnal";
+  }
+  return "?";
+}
+
+ArrivalKind arrival_kind_by_name(const std::string& name) {
+  if (name == "none") return ArrivalKind::kNone;
+  if (name == "poisson") return ArrivalKind::kPoisson;
+  if (name == "bursty") return ArrivalKind::kBursty;
+  if (name == "diurnal") return ArrivalKind::kDiurnal;
+  throw std::invalid_argument("unknown arrival kind: " + name +
+                              " (expected none, poisson, bursty, or diurnal)");
+}
+
+void ArrivalPlan::validate() const {
+  switch (kind) {
+    case ArrivalKind::kNone:
+      return;
+    case ArrivalKind::kPoisson:
+      if (!positive_finite(rate)) {
+        invalid_value("rate", "must be > 0 and finite", rate);
+      }
+      return;
+    case ArrivalKind::kBursty:
+      if (!positive_finite(rate)) {
+        invalid_value("rate", "must be > 0 and finite", rate);
+      }
+      if (!std::isfinite(off_rate) || off_rate < 0.0) {
+        invalid_value("off_rate", "must be >= 0 and finite", off_rate);
+      }
+      if (!positive_finite(on_duration)) {
+        invalid_value("on_duration", "must be > 0 and finite", on_duration);
+      }
+      if (!positive_finite(off_duration)) {
+        invalid_value("off_duration", "must be > 0 and finite", off_duration);
+      }
+      return;
+    case ArrivalKind::kDiurnal: {
+      if (trace.empty()) invalid("trace", "must have at least one bin");
+      bool any_positive = false;
+      for (std::size_t k = 0; k < trace.size(); ++k) {
+        if (!std::isfinite(trace[k]) || trace[k] < 0.0) {
+          invalid_value("trace[" + std::to_string(k) + "]",
+                        "must be >= 0 and finite", trace[k]);
+        }
+        if (trace[k] > 0.0) any_positive = true;
+      }
+      if (!any_positive) {
+        invalid("trace", "every bin has rate 0, so no job would ever arrive");
+      }
+      if (!positive_finite(bin_duration)) {
+        invalid_value("bin_duration", "must be > 0 and finite", bin_duration);
+      }
+      return;
+    }
+  }
+  invalid("kind", "unknown arrival kind");
+}
+
+double ArrivalPlan::rate_at(double t) const {
+  switch (kind) {
+    case ArrivalKind::kNone:
+      return 0.0;
+    case ArrivalKind::kPoisson:
+      return rate;
+    case ArrivalKind::kBursty: {
+      const double period = on_duration + off_duration;
+      const double phase = std::fmod(t, period);
+      return phase < on_duration ? rate : off_rate;
+    }
+    case ArrivalKind::kDiurnal: {
+      const auto bin = static_cast<std::size_t>(
+          std::fmod(std::floor(t / bin_duration),
+                    static_cast<double>(trace.size())));
+      return trace[bin < trace.size() ? bin : 0];
+    }
+  }
+  return 0.0;
+}
+
+std::vector<double> ArrivalPlan::arrival_times(std::size_t count) const {
+  validate();
+  if (kind == ArrivalKind::kNone) {
+    invalid("kind", "a trivial plan has no arrival times");
+  }
+  // Bin b of the piecewise-constant rate function (bursty phases alternate,
+  // diurnal bins cycle; Poisson is one bin of infinite duration).
+  const auto bin_of = [&](std::uint64_t b) -> std::pair<double, double> {
+    switch (kind) {
+      case ArrivalKind::kPoisson:
+        return {rate, std::numeric_limits<double>::infinity()};
+      case ArrivalKind::kBursty:
+        return (b % 2 == 0) ? std::pair{rate, on_duration}
+                            : std::pair{off_rate, off_duration};
+      case ArrivalKind::kDiurnal:
+        return {trace[b % trace.size()], bin_duration};
+      case ArrivalKind::kNone:
+        break;
+    }
+    return {0.0, 0.0};
+  };
+
+  // Thinning-free time change: a unit-rate Poisson process pushed through
+  // the inverse cumulative intensity Lambda^-1 has exactly the plan's
+  // piecewise-constant rate. Gap k of the unit process is its own child
+  // stream, so arrival k is a pure function of (plan, k) — resume safety.
+  std::vector<double> times;
+  times.reserve(count);
+  std::uint64_t bin = 0;
+  double bin_start = 0.0;     // real time at the current bin's left edge
+  double unit_into_bin = 0.0; // unit intensity already consumed in the bin
+  double prev = 0.0;
+  for (std::size_t k = 0; k < count; ++k) {
+    double gap = stats::Rng::stream(seed, k).exponential(1.0);
+    for (;;) {
+      const auto [r, d] = bin_of(bin);
+      const double capacity = r * d;  // inf for the Poisson bin
+      const double avail = capacity - unit_into_bin;
+      if (gap < avail) {
+        unit_into_bin += gap;
+        break;
+      }
+      gap -= avail;
+      bin_start += d;
+      unit_into_bin = 0.0;
+      ++bin;
+    }
+    const double r = bin_of(bin).first;
+    // Clamp to the previous arrival: crossing a bin edge can lose an ulp,
+    // and the engine's oracles rely on a non-decreasing sequence.
+    prev = std::max(prev, bin_start + unit_into_bin / r);
+    times.push_back(prev);
+  }
+  return times;
+}
+
+ArrivalPlan ArrivalPlan::poisson(double rate, std::uint64_t seed) {
+  ArrivalPlan plan;
+  plan.kind = ArrivalKind::kPoisson;
+  plan.seed = seed;
+  plan.rate = rate;
+  plan.validate();
+  return plan;
+}
+
+ArrivalPlan ArrivalPlan::bursty(double rate, double off_rate,
+                                double on_duration, double off_duration,
+                                std::uint64_t seed) {
+  ArrivalPlan plan;
+  plan.kind = ArrivalKind::kBursty;
+  plan.seed = seed;
+  plan.rate = rate;
+  plan.off_rate = off_rate;
+  plan.on_duration = on_duration;
+  plan.off_duration = off_duration;
+  plan.validate();
+  return plan;
+}
+
+ArrivalPlan ArrivalPlan::diurnal(std::vector<double> trace,
+                                 double bin_duration, std::uint64_t seed) {
+  ArrivalPlan plan;
+  plan.kind = ArrivalKind::kDiurnal;
+  plan.seed = seed;
+  plan.trace = std::move(trace);
+  plan.bin_duration = bin_duration;
+  plan.validate();
+  return plan;
+}
+
+void ArrivalPlan::save(std::ostream& out) const {
+  out << "dlb-arrival-plan v1\n";
+  out << "kind " << arrival_kind_name(kind) << "\n";
+  out << "seed " << seed << "\n";
+  out << "rate " << bits_of(rate) << " off_rate " << bits_of(off_rate)
+      << "\n";
+  out << "on_duration " << bits_of(on_duration) << " off_duration "
+      << bits_of(off_duration) << "\n";
+  out << "bin_duration " << bits_of(bin_duration) << "\n";
+  out << "trace " << trace.size() << "\n";
+  for (std::size_t k = 0; k < trace.size(); ++k) {
+    out << (k == 0 ? "" : " ") << bits_of(trace[k]);
+  }
+  if (!trace.empty()) out << "\n";
+}
+
+ArrivalPlan ArrivalPlan::load(std::istream& in) {
+  std::string magic;
+  std::string version;
+  if (!(in >> magic >> version) || magic != "dlb-arrival-plan" ||
+      version != "v1") {
+    parse_error("expected header \"dlb-arrival-plan v1\"");
+  }
+  ArrivalPlan plan;
+  const auto kind = read_value<std::string>(in, "kind");
+  try {
+    plan.kind = arrival_kind_by_name(kind);
+  } catch (const std::invalid_argument& e) {
+    parse_error(e.what());
+  }
+  plan.seed = read_value<std::uint64_t>(in, "seed");
+  plan.rate = read_double(in, "rate");
+  plan.off_rate = read_double(in, "off_rate");
+  plan.on_duration = read_double(in, "on_duration");
+  plan.off_duration = read_double(in, "off_duration");
+  plan.bin_duration = read_double(in, "bin_duration");
+  const auto trace_size = read_value<std::size_t>(in, "trace");
+  plan.trace.resize(trace_size);
+  for (auto& entry : plan.trace) {
+    std::uint64_t bits = 0;
+    if (!(in >> bits)) parse_error("truncated trace");
+    entry = double_of(bits);
+  }
+  return plan;
+}
+
+void ArrivalPlan::save_file(const std::string& path) const {
+  std::ofstream out(path);
+  if (!out) {
+    throw std::runtime_error("ArrivalPlan::save_file: cannot open " + path);
+  }
+  save(out);
+}
+
+ArrivalPlan ArrivalPlan::load_file(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) {
+    throw std::runtime_error("ArrivalPlan::load_file: cannot open " + path);
+  }
+  return load(in);
+}
+
+}  // namespace dlb::dist

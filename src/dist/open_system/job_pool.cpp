@@ -1,0 +1,42 @@
+#include "dist/open_system/job_pool.hpp"
+
+#include <limits>
+#include <numeric>
+#include <stdexcept>
+#include <string>
+
+namespace dlb::dist {
+
+JobPool::JobPool(std::size_t num_jobs, stats::Rng& rng) : order_(num_jobs) {
+  std::iota(order_.begin(), order_.end(), 0);
+  stats::shuffle(order_.begin(), order_.end(), rng);
+}
+
+JobId JobPool::take() {
+  if (cursor_ == order_.size()) {
+    throw std::logic_error("JobPool: exhausted after " +
+                           std::to_string(order_.size()) +
+                           " jobs (demand_fits precondition violated)");
+  }
+  return order_[cursor_++];
+}
+
+void JobPool::restore(std::size_t cursor) {
+  if (cursor > order_.size()) {
+    throw std::invalid_argument(
+        "JobPool::restore: cursor " + std::to_string(cursor) +
+        " exceeds pool size " + std::to_string(order_.size()));
+  }
+  cursor_ = cursor;
+}
+
+bool JobPool::demand_fits(std::size_t pool_size, std::size_t initial,
+                          std::size_t epochs, std::size_t per_epoch) noexcept {
+  constexpr std::size_t kMax = std::numeric_limits<std::size_t>::max();
+  if (per_epoch != 0 && epochs > kMax / per_epoch) return false;
+  const std::size_t churn_total = epochs * per_epoch;
+  if (initial > kMax - churn_total) return false;
+  return initial + churn_total <= pool_size;
+}
+
+}  // namespace dlb::dist

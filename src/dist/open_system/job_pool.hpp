@@ -1,0 +1,66 @@
+#pragma once
+
+// JobPool: the one owner of "which fresh job enters the system next".
+// Both workload drivers — the epoch-batch `run_dynamic` and the
+// event-driven `OpenSystemEngine` — draw arrivals from a seeded shuffle of
+// the instance's job ids; this class centralizes that bookkeeping so the
+// shuffle bytes, the exhaustion backstop, and the overflow-safe capacity
+// precondition live in exactly one place.
+
+#include <cstddef>
+#include <vector>
+
+#include "core/types.hpp"
+#include "stats/rng.hpp"
+
+namespace dlb::dist {
+
+class JobPool {
+ public:
+  /// Shuffles job ids [0, num_jobs) with `rng` (Fisher-Yates via
+  /// stats::shuffle — consumes exactly the draws the historical inline
+  /// code in run_dynamic consumed, so existing seeds replay bit-for-bit).
+  JobPool(std::size_t num_jobs, stats::Rng& rng);
+
+  /// The next fresh job. Throws std::logic_error when the pool is
+  /// exhausted — a hard backstop behind the demand_fits() precondition,
+  /// never an expected path.
+  [[nodiscard]] JobId take();
+
+  /// Jobs handed out so far; checkpoint this and restore() it on resume
+  /// (the shuffle itself is a pure function of the seed, so it is
+  /// recomputed, not persisted).
+  [[nodiscard]] std::size_t cursor() const noexcept { return cursor_; }
+  [[nodiscard]] std::size_t size() const noexcept { return order_.size(); }
+  [[nodiscard]] std::size_t remaining() const noexcept {
+    return order_.size() - cursor_;
+  }
+  [[nodiscard]] bool exhausted() const noexcept {
+    return cursor_ == order_.size();
+  }
+
+  /// The full shuffled arrival order (stable for the pool's lifetime).
+  [[nodiscard]] const std::vector<JobId>& order() const noexcept {
+    return order_;
+  }
+
+  /// Rewinds/advances to an absolute cursor (checkpoint restore). Throws
+  /// std::invalid_argument if cursor exceeds the pool size.
+  void restore(std::size_t cursor);
+
+  /// Overflow-safe capacity check: does a run needing
+  /// `initial + epochs * per_epoch` fresh jobs fit in a pool of
+  /// `pool_size`? False when the demand arithmetic would overflow
+  /// std::size_t — the historical validation computed the product raw and
+  /// could wrap to a small number, silently passing.
+  [[nodiscard]] static bool demand_fits(std::size_t pool_size,
+                                        std::size_t initial,
+                                        std::size_t epochs,
+                                        std::size_t per_epoch) noexcept;
+
+ private:
+  std::vector<JobId> order_;
+  std::size_t cursor_ = 0;
+};
+
+}  // namespace dlb::dist

@@ -1,0 +1,536 @@
+#include "dist/open_system/open_engine.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <stdexcept>
+#include <string>
+#include <utility>
+
+#include "core/cost_model.hpp"
+#include "dist/open_system/job_pool.hpp"
+#include "obs/metrics.hpp"
+
+namespace dlb::dist {
+
+namespace {
+
+[[noreturn]] void reject(const char* field, const std::string& why) {
+  throw std::invalid_argument("OpenSystemEngine: invalid OpenSystemOptions." +
+                              std::string(field) + ": " + why);
+}
+
+/// Purpose keys of the run seed's substreams. Mixing through splitmix64
+/// keeps the domains statistically independent while every one stays a
+/// pure function of (seed, domain) — the checkpoint only persists the two
+/// generators that advance with the run.
+enum SeedDomain : std::uint64_t {
+  kPlaceDomain = 0,
+  kRepairDomain = 1,
+  kBurstDomain = 2,
+  kServiceDomain = 3,
+  kShuffleDomain = 4,
+};
+
+std::uint64_t sub_seed(std::uint64_t seed, std::uint64_t domain) noexcept {
+  std::uint64_t sm = seed + 0x9E3779B97F4A7C15ULL * (domain + 1);
+  return stats::splitmix64(sm);
+}
+
+/// The engine's placement view: every machine is a target, and the work a
+/// policy compares is the committed horizon — waiting load plus the
+/// remaining service of the job currently on the machine.
+class EngineView final : public PlacementView {
+ public:
+  EngineView(const Schedule& schedule, const std::vector<double>& busy_until,
+             const std::vector<JobId>& in_service, const double& now)
+      : schedule_(&schedule),
+        busy_until_(&busy_until),
+        in_service_(&in_service),
+        now_(&now) {}
+
+  [[nodiscard]] std::size_t num_targets() const override {
+    return schedule_->num_machines();
+  }
+  [[nodiscard]] MachineId target(std::size_t k) const override {
+    return static_cast<MachineId>(k);
+  }
+  [[nodiscard]] Cost work(MachineId i) const override {
+    Cost work = schedule_->load(i);
+    if ((*in_service_)[i] != kNoJob) {
+      work += (*busy_until_)[i] - *now_;
+    }
+    return work;
+  }
+  [[nodiscard]] Cost cost(MachineId i, JobId j) const override {
+    return schedule_->instance().cost(i, j);
+  }
+
+ private:
+  const Schedule* schedule_;
+  const std::vector<double>* busy_until_;
+  const std::vector<JobId>* in_service_;
+  const double* now_;
+};
+
+}  // namespace
+
+stats::Json OpenRunReport::to_json() const {
+  stats::Json doc = RunReport::to_json();
+  doc["open_jobs_submitted"] = jobs_submitted;
+  doc["open_jobs_completed"] = jobs_completed;
+  doc["open_jobs_in_service"] = jobs_in_service;
+  doc["open_jobs_waiting"] = jobs_waiting;
+  doc["open_repair_bursts"] = repair_bursts;
+  doc["open_events"] = events;
+  doc["open_end_time"] = end_time;
+  doc["open_response_mean"] = response_mean;
+  doc["open_response_p50"] = response_p50;
+  doc["open_response_p95"] = response_p95;
+  doc["open_response_p99"] = response_p99;
+  doc["open_queue_p50"] = queue_p50;
+  doc["open_queue_p95"] = queue_p95;
+  doc["open_queue_p99"] = queue_p99;
+  doc["open_queue_max"] = queue_max;
+  doc["open_halted"] = halted;
+  return doc;
+}
+
+void OpenRunReport::print(std::ostream& out) const {
+  RunReport::print(out);
+  // Closed-mode delegations leave every open field zero; keep their output
+  // byte-identical to the inner engines' classic block.
+  if (jobs_submitted == 0 && events == 0) return;
+  out << "jobs submitted  : " << jobs_submitted << "\n"
+      << "jobs completed  : " << jobs_completed << "\n"
+      << "repair bursts   : " << repair_bursts << "\n"
+      << "events          : " << events << "\n"
+      << "end time        : " << end_time << "\n"
+      << "response mean   : " << response_mean << "\n"
+      << "response p50    : " << response_p50 << "\n"
+      << "response p95    : " << response_p95 << "\n"
+      << "response p99    : " << response_p99 << "\n"
+      << "queue p50       : " << queue_p50 << "\n"
+      << "queue p95       : " << queue_p95 << "\n"
+      << "queue p99       : " << queue_p99 << "\n"
+      << "queue max       : " << queue_max << "\n"
+      << "halted          : " << (halted ? "yes" : "no") << "\n";
+}
+
+OpenRunReport OpenSystemEngine::run(Schedule& schedule,
+                                    const OpenSystemOptions& options,
+                                    std::uint64_t seed) const {
+  const Instance& instance = schedule.instance();
+  const std::size_t m = instance.num_machines();
+  const std::size_t n = instance.num_jobs();
+
+  // ----- closed-mode delegation -----
+  if (options.arrivals == nullptr || options.arrivals->trivial()) {
+    if (options.resume != nullptr || options.checkpoint_out != nullptr ||
+        options.checkpoint_every_events != 0 ||
+        options.halt_after_events.has_value()) {
+      reject("arrivals",
+             "open checkpoints need a non-trivial arrival plan (closed-mode "
+             "delegation uses the inner engines' own checkpoint path)");
+    }
+    OpenRunReport report;
+    if (options.parallel_repair) {
+      ParallelEngineOptions inner;
+      inner.max_exchanges = options.closed_max_exchanges;
+      inner.sessions_per_epoch = options.sessions_per_epoch;
+      inner.stop_threshold = options.stop_threshold;
+      inner.stability_check_interval = options.stability_check_interval;
+      inner.record_trace = options.record_trace;
+      inner.pool = options.pool;
+      inner.obs = options.obs;
+      ParallelRunResult result =
+          ParallelExchangeEngine(*kernel_, *selector_)
+              .run(schedule, inner, seed);
+      static_cast<RunReport&>(report) = result;
+      report.epoch_trace = std::move(result.epoch_trace);
+    } else {
+      EngineOptions inner;
+      inner.max_exchanges = options.closed_max_exchanges;
+      inner.record_trace = options.record_trace;
+      inner.stop_threshold = options.stop_threshold;
+      inner.stability_check_interval = options.stability_check_interval;
+      inner.obs = options.obs;
+      stats::Rng rng(seed);
+      RunResult result =
+          ExchangeEngine(*kernel_, *selector_).run(schedule, inner, rng);
+      static_cast<RunReport&>(report) = result;
+      report.makespan_trace = std::move(result.makespan_trace);
+      report.exchange_trace = std::move(result.exchange_trace);
+    }
+    return report;
+  }
+
+  // ----- open mode -----
+  const ArrivalPlan& plan = *options.arrivals;
+  plan.validate();
+  const std::size_t total =
+      options.num_arrivals == 0 ? n : options.num_arrivals;
+  if (total > n) {
+    reject("num_arrivals",
+           "wants " + std::to_string(total) + " arrivals but the instance "
+           "pool only has " + std::to_string(n) + " jobs");
+  }
+  if (!std::isfinite(options.repair_every) || options.repair_every < 0.0) {
+    reject("repair_every", "must be >= 0 and finite");
+  }
+
+  static const RandomPlacement kDefaultPlacement;
+  const PlacementPolicy& placement = options.placement != nullptr
+                                         ? *options.placement
+                                         : kDefaultPlacement;
+
+  // Pure substreams (see SeedDomain).
+  const std::uint64_t service_seed = sub_seed(seed, kServiceDomain);
+  const std::uint64_t burst_seed = sub_seed(seed, kBurstDomain);
+  const std::vector<double> arrivals = plan.arrival_times(total);
+  stats::Rng shuffle_rng(sub_seed(seed, kShuffleDomain));
+  JobPool pool(n, shuffle_rng);
+
+  // Mutable run state.
+  stats::Rng place_rng(sub_seed(seed, kPlaceDomain));
+  stats::Rng repair_rng(sub_seed(seed, kRepairDomain));
+  std::vector<JobId> in_service(m, kNoJob);
+  std::vector<double> busy_until(m, 0.0);
+  std::vector<double> arrival_time(n, -1.0);
+  std::vector<double> completion_time(n, -1.0);
+  std::vector<std::uint64_t> queue_seen(n, 0);
+  double now = 0.0;
+  std::uint64_t events = 0;
+  std::uint64_t bursts = 0;
+  std::size_t submitted = 0;
+  std::size_t completed = 0;
+  std::uint64_t repair_exchanges = 0;
+  std::uint64_t repair_migrations = 0;
+  std::uint64_t repair_changed = 0;
+
+  if (options.resume != nullptr) {
+    const OpenCheckpoint& ck = *options.resume;
+    if (ck.seed != seed) {
+      reject("resume", "checkpoint was taken under seed " +
+                           std::to_string(ck.seed) + ", run() got " +
+                           std::to_string(seed));
+    }
+    if (ck.num_machines != m || ck.num_jobs != n ||
+        ck.total_arrivals != total) {
+      reject("resume", "checkpoint does not match this run's instance shape "
+                       "or arrival count");
+    }
+    now = ck.now;
+    events = ck.events;
+    bursts = ck.bursts;
+    submitted = ck.submitted;
+    completed = ck.completed;
+    repair_exchanges = ck.repair_exchanges;
+    repair_migrations = ck.repair_migrations;
+    repair_changed = ck.repair_changed;
+    place_rng = stats::Rng::from_state(ck.place_rng);
+    repair_rng = stats::Rng::from_state(ck.repair_rng);
+    in_service = ck.in_service;
+    busy_until = ck.busy_until;
+    completion_time = ck.completion_time;
+    queue_seen = ck.queue_seen;
+    pool.restore(submitted);
+    // Arrival times of already-admitted jobs are pure data; replay them.
+    for (std::size_t k = 0; k < submitted; ++k) {
+      arrival_time[pool.order()[k]] = arrivals[k];
+    }
+  } else {
+    for (JobId j = 0; j < n; ++j) {
+      if (schedule.machine_of(j) != kUnassigned) {
+        reject("arrivals", "an open-system run starts on an empty schedule "
+                           "(job " + std::to_string(j) +
+                           " is already assigned)");
+      }
+    }
+  }
+
+  OpenRunReport report;
+  report.initial_makespan = 0.0;
+  if (options.record_trace) {
+    report.makespan_trace.reserve(64);
+  }
+
+  obs::Metrics* metrics = obs::metrics_of(options.obs);
+  obs::Tracer* tracer = obs::tracer_of(options.obs);
+  obs::FlightRecorder* flight = obs::flight_of(options.obs);
+
+  const EngineView view(schedule, busy_until, in_service, now);
+
+  const auto service_time = [&](MachineId i, JobId j) -> double {
+    double c = instance.cost(i, j);
+    if (options.realize_service && instance.has_cost_model()) {
+      const double u = stats::Rng::stream(service_seed, j).uniform();
+      c *= cost::sample_factor(instance.cost_model().dist(j), u);
+    }
+    return c;
+  };
+
+  // FIFO service: the waiting job that arrived first (job id breaks ties)
+  // enters service. Repair bursts may have migrated it here from another
+  // queue; its arrival stamp travels with it.
+  const auto start_next = [&](MachineId i) {
+    const auto jobs = schedule.jobs_on(i);
+    JobId next = kNoJob;
+    for (const JobId j : jobs) {
+      if (next == kNoJob || arrival_time[j] < arrival_time[next] ||
+          (arrival_time[j] == arrival_time[next] && j < next)) {
+        next = j;
+      }
+    }
+    if (next == kNoJob) return;
+    schedule.unassign(next);
+    in_service[i] = next;
+    busy_until[i] = now + service_time(i, next);
+  };
+
+  const bool repair_enabled = options.repair_every > 0.0 &&
+                              options.repair_budget > 0 && m >= 2;
+
+  const auto run_burst = [&]() {
+    const std::uint64_t migrations_pre = schedule.migrations();
+    if (options.parallel_repair) {
+      ParallelEngineOptions inner;
+      inner.max_exchanges = options.repair_budget;
+      inner.sessions_per_epoch = options.sessions_per_epoch;
+      inner.pool = options.pool;
+      // One derived seed per burst: pure in the burst index, so a resumed
+      // run replays the exact burst the uninterrupted run executed.
+      const std::uint64_t this_burst =
+          stats::Rng::stream(burst_seed, bursts - 1)();
+      const ParallelRunResult result =
+          ParallelExchangeEngine(*kernel_, *selector_)
+              .run(schedule, inner, this_burst);
+      repair_exchanges += result.exchanges;
+      repair_changed += result.changed_exchanges;
+    } else {
+      EngineOptions inner;
+      inner.max_exchanges = options.repair_budget;
+      const RunResult result =
+          ExchangeEngine(*kernel_, *selector_).run(schedule, inner,
+                                                   repair_rng);
+      repair_exchanges += result.exchanges;
+      repair_changed += result.changed_exchanges;
+    }
+    repair_migrations += schedule.migrations() - migrations_pre;
+    // Repair may have parked waiting jobs on idle machines; service is
+    // work-conserving, so they start immediately (ascending machine id).
+    for (MachineId i = 0; i < m; ++i) {
+      if (in_service[i] == kNoJob) start_next(i);
+    }
+    if (options.record_trace) {
+      report.makespan_trace.push_back(schedule.makespan());
+    }
+    if (tracer != nullptr) {
+      tracer->instant(
+          now, 0, "REPAIR", "open",
+          {{"burst", static_cast<std::int64_t>(bursts)},
+           {"waiting", static_cast<std::int64_t>(submitted - completed)}});
+    }
+    if (flight != nullptr) {
+      obs::FlightSample sample;
+      sample.round = bursts;
+      Cost cmax = 0.0;
+      Cost cmin = std::numeric_limits<Cost>::infinity();
+      std::size_t queue_peak = 0;
+      for (MachineId i = 0; i < m; ++i) {
+        const Cost load = schedule.load(i);
+        cmax = std::max(cmax, load);
+        cmin = std::min(cmin, load);
+        queue_peak = std::max(queue_peak, schedule.jobs_on(i).size());
+      }
+      if (!std::isfinite(cmin)) cmin = cmax;
+      sample.cmax = cmax;
+      sample.imbalance = cmax - cmin;
+      sample.exchanges = repair_exchanges;
+      sample.migrations = repair_migrations;
+      sample.queue_max = queue_peak;
+      flight->record(sample);
+    }
+  };
+
+  const auto fill_checkpoint = [&](OpenCheckpoint& ck) {
+    ck = OpenCheckpoint{};
+    ck.seed = seed;
+    ck.num_machines = m;
+    ck.num_jobs = n;
+    ck.total_arrivals = total;
+    ck.now = now;
+    ck.events = events;
+    ck.bursts = bursts;
+    ck.submitted = submitted;
+    ck.completed = completed;
+    ck.repair_exchanges = repair_exchanges;
+    ck.repair_migrations = repair_migrations;
+    ck.repair_changed = repair_changed;
+    ck.place_rng = place_rng.state();
+    ck.repair_rng = repair_rng.state();
+    ck.assignment = schedule.assignment().raw();
+    ck.loads.resize(m);
+    for (MachineId i = 0; i < m; ++i) ck.loads[i] = schedule.load(i);
+    ck.in_service = in_service;
+    ck.busy_until = busy_until;
+    ck.completion_time = completion_time;
+    ck.queue_seen = queue_seen;
+    if (metrics != nullptr) metrics->counter("checkpoint.saves").add();
+    if (tracer != nullptr) {
+      tracer->instant(now, 0, "CHECKPOINT", "checkpoint",
+                      {{"events", static_cast<std::int64_t>(events)}});
+    }
+  };
+
+  // ----- event loop: completion < arrival < repair on time ties -----
+  bool halted = false;
+  for (;;) {
+    double t_comp = 0.0;
+    MachineId comp_machine = 0;
+    bool have_comp = false;
+    for (MachineId i = 0; i < m; ++i) {
+      if (in_service[i] == kNoJob) continue;
+      if (!have_comp || busy_until[i] < t_comp) {
+        t_comp = busy_until[i];
+        comp_machine = i;
+        have_comp = true;
+      }
+    }
+    const bool have_arr = submitted < total;
+    if (!have_comp && !have_arr) break;  // Drained: nothing can happen.
+    const double t_arr = have_arr ? arrivals[submitted] : 0.0;
+    const bool have_rep = repair_enabled;
+    const double t_rep =
+        have_rep ? options.repair_every * static_cast<double>(bursts + 1)
+                 : 0.0;
+
+    enum class Kind { kCompletion, kArrival, kRepair };
+    Kind kind = Kind::kCompletion;
+    double t = t_comp;
+    if (!have_comp || (have_arr && t_arr < t)) {
+      kind = Kind::kArrival;
+      t = t_arr;
+    }
+    if (have_rep && t_rep < t) {
+      kind = Kind::kRepair;
+      t = t_rep;
+    }
+
+    now = t;
+    ++events;
+    switch (kind) {
+      case Kind::kCompletion: {
+        const JobId j = in_service[comp_machine];
+        completion_time[j] = now;
+        in_service[comp_machine] = kNoJob;
+        ++completed;
+        start_next(comp_machine);
+        break;
+      }
+      case Kind::kArrival: {
+        const JobId j = pool.take();
+        arrival_time[j] = now;
+        const MachineId target = placement.place(view, j, place_rng);
+        queue_seen[j] = schedule.jobs_on(target).size() +
+                        (in_service[target] != kNoJob ? 1 : 0);
+        schedule.assign(j, target);
+        ++submitted;
+        if (in_service[target] == kNoJob) start_next(target);
+        break;
+      }
+      case Kind::kRepair: {
+        ++bursts;
+        run_burst();
+        break;
+      }
+    }
+
+    const bool halt_here = options.halt_after_events.has_value() &&
+                           *options.halt_after_events == events;
+    if (options.checkpoint_out != nullptr &&
+        (halt_here || (options.checkpoint_every_events != 0 &&
+                       events % options.checkpoint_every_events == 0))) {
+      fill_checkpoint(*options.checkpoint_out);
+    }
+    if (halt_here) {
+      halted = true;
+      break;
+    }
+  }
+
+  // ----- report + observability (cumulative over the logical run) -----
+  report.final_makespan = schedule.makespan();
+  report.best_makespan = 0.0;
+  report.exchanges = repair_exchanges;
+  report.migrations = repair_migrations;
+  report.converged = !halted;
+  report.halted = halted;
+  report.jobs_submitted = submitted;
+  report.jobs_completed = completed;
+  std::uint64_t serving = 0;
+  for (MachineId i = 0; i < m; ++i) {
+    if (in_service[i] != kNoJob) ++serving;
+  }
+  report.jobs_in_service = serving;
+  report.jobs_waiting = submitted - completed - serving;
+  report.repair_bursts = bursts;
+  report.events = events;
+  report.end_time = now;
+
+  // Percentiles come from obs::Histogram buckets, and the mean from an
+  // exact sum accumulated in job-id order — both invariant across any
+  // halt/resume split because they are computed from the full per-job
+  // arrays at the end of the run, never incrementally.
+  obs::Histogram response_hist;
+  obs::Histogram queue_hist;
+  obs::Histogram* m_response =
+      metrics != nullptr ? &metrics->histogram("open.response_time") : nullptr;
+  obs::Histogram* m_queue =
+      metrics != nullptr ? &metrics->histogram("open.queue_len") : nullptr;
+  double response_sum = 0.0;
+  std::uint64_t response_count = 0;
+  std::uint64_t queue_max = 0;
+  for (JobId j = 0; j < n; ++j) {
+    if (completion_time[j] >= 0.0) {
+      const double response = completion_time[j] - arrival_time[j];
+      response_hist.observe(response);
+      if (m_response != nullptr) m_response->observe(response);
+      response_sum += response;
+      ++response_count;
+    }
+    if (arrival_time[j] >= 0.0) {
+      queue_hist.observe(static_cast<double>(queue_seen[j]));
+      if (m_queue != nullptr) m_queue->observe(
+          static_cast<double>(queue_seen[j]));
+      queue_max = std::max(queue_max, queue_seen[j]);
+    }
+  }
+  if (response_count > 0) {
+    report.response_mean = response_sum / static_cast<double>(response_count);
+  }
+  const auto response_snapshot = response_hist.snapshot();
+  report.response_p50 = response_snapshot.quantile_bound(0.50);
+  report.response_p95 = response_snapshot.quantile_bound(0.95);
+  report.response_p99 = response_snapshot.quantile_bound(0.99);
+  const auto queue_snapshot = queue_hist.snapshot();
+  report.queue_p50 = queue_snapshot.quantile_bound(0.50);
+  report.queue_p95 = queue_snapshot.quantile_bound(0.95);
+  report.queue_p99 = queue_snapshot.quantile_bound(0.99);
+  report.queue_max = queue_max;
+
+  if (metrics != nullptr) {
+    // Cumulative totals added once at the end: a resumed run lands the
+    // same totals in a fresh registry as the uninterrupted run did.
+    metrics->counter("open.arrivals").add(submitted);
+    metrics->counter("open.completions").add(completed);
+    metrics->counter("open.repair_bursts").add(bursts);
+    metrics->counter("open.repair_exchanges").add(repair_exchanges);
+    metrics->counter("open.repair_migrations").add(repair_migrations);
+    metrics->counter("open.events").add(events);
+  }
+  fill_risk_report(report, schedule);
+  return report;
+}
+
+}  // namespace dlb::dist

@@ -1,0 +1,94 @@
+#pragma once
+
+// Submission-time placement for the open-system workload: where does a job
+// that just arrived go, before any background repair has seen it? Policies
+// are pluggable through a NameRegistry (PR 4 pattern), so the CLI, bench
+// sweeps, and dlb_check resolve them by name:
+//
+//   random         uniform over the placement targets ([2]'s baseline)
+//   two_choices:d  power of d choices — probe d uniform targets, keep the
+//                  one with the least work + cost ([2]-[4]; draw-for-draw
+//                  compatible with centralized::two_choices_schedule)
+//   ect            deterministic earliest-completion-time argmin
+//
+// A PlacementView decouples the policies from the engine: it exposes the
+// current target set and per-machine work so the same policy code places
+// into a live queueing system or a plain batch Schedule.
+
+#include <cstddef>
+#include <memory>
+#include <string>
+
+#include "core/name_registry.hpp"
+#include "core/types.hpp"
+#include "stats/rng.hpp"
+
+namespace dlb::dist {
+
+/// What a placement policy may observe at submission time.
+class PlacementView {
+ public:
+  virtual ~PlacementView() = default;
+  /// Number of machines accepting jobs (> 0).
+  [[nodiscard]] virtual std::size_t num_targets() const = 0;
+  /// The k-th accepting machine, k in [0, num_targets()).
+  [[nodiscard]] virtual MachineId target(std::size_t k) const = 0;
+  /// Work already committed to machine i (queued + in service).
+  [[nodiscard]] virtual Cost work(MachineId i) const = 0;
+  /// Estimated cost of job j on machine i.
+  [[nodiscard]] virtual Cost cost(MachineId i, JobId j) const = 0;
+};
+
+class PlacementPolicy {
+ public:
+  virtual ~PlacementPolicy() = default;
+  [[nodiscard]] virtual std::string name() const = 0;
+  /// Picks the machine for job `job`. Randomized policies draw from `rng`
+  /// only (never from global state), so placement is replayable.
+  [[nodiscard]] virtual MachineId place(const PlacementView& view, JobId job,
+                                        stats::Rng& rng) const = 0;
+};
+
+/// Uniformly random target.
+class RandomPlacement final : public PlacementPolicy {
+ public:
+  [[nodiscard]] std::string name() const override { return "random"; }
+  [[nodiscard]] MachineId place(const PlacementView& view, JobId job,
+                                stats::Rng& rng) const override;
+};
+
+/// Power of d choices. With every machine a target and work(i) == load(i),
+/// the probe sequence and tie-breaks match
+/// centralized::two_choices_schedule draw-for-draw.
+class TwoChoicesPlacement final : public PlacementPolicy {
+ public:
+  explicit TwoChoicesPlacement(std::size_t d);
+  [[nodiscard]] std::string name() const override;
+  [[nodiscard]] std::size_t d() const noexcept { return d_; }
+  [[nodiscard]] MachineId place(const PlacementView& view, JobId job,
+                                stats::Rng& rng) const override;
+
+ private:
+  std::size_t d_;
+};
+
+/// Deterministic earliest completion time: argmin over targets of
+/// work + cost, first (lowest-k) target on ties. Draws nothing.
+class EctPlacement final : public PlacementPolicy {
+ public:
+  [[nodiscard]] std::string name() const override { return "ect"; }
+  [[nodiscard]] MachineId place(const PlacementView& view, JobId job,
+                                stats::Rng& rng) const override;
+};
+
+/// The process-wide placement policy registry: random, two_choices (d=2),
+/// ect. Use make_placement() to honor "two_choices:d" parameter specs.
+[[nodiscard]] NameRegistry<PlacementPolicy>& placement_registry();
+
+/// Resolves a policy spec: a registry name, or "two_choices:d" with an
+/// explicit probe count d >= 1. Throws std::invalid_argument on unknown
+/// names (listing the valid set) or a malformed parameter.
+[[nodiscard]] std::unique_ptr<PlacementPolicy> make_placement(
+    const std::string& spec);
+
+}  // namespace dlb::dist

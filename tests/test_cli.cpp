@@ -344,5 +344,117 @@ TEST(Commands, GenRejectsUnknownKind) {
   EXPECT_EQ(result.code, 2);
 }
 
+// ---- serve (open-system workload) ----
+
+TEST(Commands, ServeRunsOpenSystemAndWritesTrace) {
+  const std::string path = temp_path("cli_serve.inst");
+  ASSERT_EQ(run({"gen", "--kind", "two-cluster", "--m1", "3", "--m2", "2",
+                 "--jobs", "40", "--hi", "60", "--out", path})
+                .code,
+            0);
+  const std::string trace = temp_path("cli_serve_trace.csv");
+  const auto serve =
+      run({"serve", "--in", path, "--arrivals", "poisson:0.05",
+           "--placement", "two_choices:2", "--repair-every", "25",
+           "--repair-budget", "8", "--seed", "9", "--trace", trace});
+  ASSERT_EQ(serve.code, 0) << serve.err;
+  EXPECT_NE(serve.out.find("open system"), std::string::npos);
+  EXPECT_NE(serve.out.find("placement       : two_choices:2"),
+            std::string::npos);
+  EXPECT_NE(serve.out.find("arrivals        : poisson"), std::string::npos);
+  EXPECT_NE(serve.out.find("submitted"), std::string::npos);
+  std::ifstream csv(trace);
+  ASSERT_TRUE(csv.good());
+  std::string header;
+  std::getline(csv, header);
+  EXPECT_EQ(header, "burst,makespan");
+}
+
+TEST(Commands, ServeIsByteIdenticalAcrossRepairThreadCounts) {
+  const std::string path = temp_path("cli_serve_par.inst");
+  ASSERT_EQ(run({"gen", "--kind", "two-cluster", "--m1", "4", "--m2", "2",
+                 "--jobs", "48", "--hi", "80", "--out", path})
+                .code,
+            0);
+  std::vector<std::string> base = {
+      "serve",          "--in",   path, "--arrivals", "bursty:0.1,0.01,50,25",
+      "--repair-every", "20",     "--repair-budget", "6",
+      "--repair-engine", "parallel", "--seed", "3"};
+  const auto one = run([&] {
+    auto argv = base;
+    argv.insert(argv.end(), {"--threads", "1"});
+    return argv;
+  }());
+  const auto eight = run([&] {
+    auto argv = base;
+    argv.insert(argv.end(), {"--threads", "8"});
+    return argv;
+  }());
+  ASSERT_EQ(one.code, 0) << one.err;
+  ASSERT_EQ(eight.code, 0) << eight.err;
+  // The thread count is echoed in the header line; everything below it —
+  // the whole report — must match byte for byte.
+  const auto body = [](const std::string& text) {
+    return text.substr(text.find('\n') + 1);
+  };
+  EXPECT_EQ(body(one.out), body(eight.out));
+}
+
+TEST(Commands, ServeHaltResumeMatchesUninterrupted) {
+  const std::string path = temp_path("cli_serve_halt.inst");
+  ASSERT_EQ(run({"gen", "--kind", "two-cluster", "--m1", "3", "--m2", "2",
+                 "--jobs", "30", "--hi", "40", "--out", path})
+                .code,
+            0);
+  const std::vector<std::string> common = {
+      "serve", "--in", path, "--arrivals", "poisson:0.08",
+      "--repair-every", "30", "--repair-budget", "4", "--seed", "17"};
+  const auto full = run(common);
+  ASSERT_EQ(full.code, 0) << full.err;
+
+  const std::string checkpoint = temp_path("cli_serve.ckpt");
+  auto halt_argv = common;
+  halt_argv.insert(halt_argv.end(), {"--halt-after-events", "11",
+                                     "--checkpoint", checkpoint});
+  const auto halted = run(halt_argv);
+  ASSERT_EQ(halted.code, 0) << halted.err;
+  EXPECT_NE(halted.out.find("checkpoint      : " + checkpoint),
+            std::string::npos);
+
+  auto resume_argv = common;
+  resume_argv.insert(resume_argv.end(), {"--resume", checkpoint});
+  const auto resumed = run(resume_argv);
+  ASSERT_EQ(resumed.code, 0) << resumed.err;
+  // The resumed run's report block equals the uninterrupted run's; only
+  // the "resumed from" line is extra.
+  const auto report_of = [](const std::string& text) {
+    return text.substr(text.find("initial"));
+  };
+  EXPECT_EQ(report_of(resumed.out), report_of(full.out));
+}
+
+TEST(Commands, ServeRejectsBadArrivalSpecs) {
+  const std::string path = temp_path("cli_serve_bad.inst");
+  ASSERT_EQ(run({"gen", "--kind", "identical", "--m", "3", "--jobs", "12",
+                 "--out", path})
+                .code,
+            0);
+  const auto bad_number =
+      run({"serve", "--in", path, "--arrivals", "poisson:fast"});
+  EXPECT_EQ(bad_number.code, 2);
+  EXPECT_NE(bad_number.err.find("bad number 'fast'"), std::string::npos);
+  const auto bad_arity =
+      run({"serve", "--in", path, "--arrivals", "bursty:1,2"});
+  EXPECT_EQ(bad_arity.code, 2);
+  const auto bad_rate =
+      run({"serve", "--in", path, "--arrivals", "poisson:0"});
+  EXPECT_EQ(bad_rate.code, 2);
+  EXPECT_NE(bad_rate.err.find("ArrivalPlan: invalid rate"),
+            std::string::npos);
+  const auto bad_placement = run({"serve", "--in", path, "--arrivals",
+                                  "poisson:0.1", "--placement", "best_fit"});
+  EXPECT_EQ(bad_placement.code, 2);
+}
+
 }  // namespace
 }  // namespace dlb::cli

@@ -1,0 +1,617 @@
+// The open-system service workload, locked down end to end: ArrivalPlan
+// validation and byte-exact persistence, placement-policy parity with the
+// centralized baselines, JobPool's shared arrival bookkeeping, closed-mode
+// delegation byte-identity (the zero-arrival oracle as a ctest), repair
+// thread-invariance at 1/4/8 workers, halt/checkpoint/resume equivalence
+// (report JSON + metrics snapshot + trace suffix), and the heap-vs-mapped
+// InstanceStore leg. See docs/open-system.md for the determinism contract.
+
+#include "dist/open_system/open_engine.hpp"
+
+#include <gtest/gtest.h>
+#include <unistd.h>
+
+#include <cstdint>
+#include <filesystem>
+#include <limits>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "centralized/two_choices.hpp"
+#include "check/case_gen.hpp"
+#include "core/generators.hpp"
+#include "core/instance_store.hpp"
+#include "dist/dynamic_workload.hpp"
+#include "dist/open_system/job_pool.hpp"
+#include "obs/obs.hpp"
+#include "pairwise/kernel_registry.hpp"
+#include "parallel/thread_pool.hpp"
+#include "stats/rng.hpp"
+
+namespace dlb::dist {
+namespace {
+
+constexpr std::uint64_t kSeed = 20260808;
+
+// ----- ArrivalPlan -----
+
+TEST(ArrivalPlan, ValidationNamesTheOffendingField) {
+  try {
+    (void)ArrivalPlan::poisson(0.0, 1);
+    FAIL() << "expected std::invalid_argument";
+  } catch (const std::invalid_argument& e) {
+    EXPECT_STREQ(e.what(),
+                 "ArrivalPlan: invalid rate: must be > 0 and finite, got 0");
+  }
+  try {
+    (void)ArrivalPlan::bursty(1.0, -0.5, 1.0, 1.0, 1);
+    FAIL() << "expected std::invalid_argument";
+  } catch (const std::invalid_argument& e) {
+    EXPECT_STREQ(
+        e.what(),
+        "ArrivalPlan: invalid off_rate: must be >= 0 and finite, got -0.5");
+  }
+  try {
+    (void)ArrivalPlan::diurnal({0.0, 0.0}, 1.0, 1);
+    FAIL() << "expected std::invalid_argument";
+  } catch (const std::invalid_argument& e) {
+    EXPECT_STREQ(e.what(),
+                 "ArrivalPlan: invalid trace: every bin has rate 0, so no "
+                 "job would ever arrive");
+  }
+  try {
+    (void)ArrivalPlan::diurnal({1.0}, 0.0, 1);
+    FAIL() << "expected std::invalid_argument";
+  } catch (const std::invalid_argument& e) {
+    EXPECT_STREQ(
+        e.what(),
+        "ArrivalPlan: invalid bin_duration: must be > 0 and finite, got 0");
+  }
+}
+
+TEST(ArrivalPlan, UnknownKindNameListsTheOptions) {
+  try {
+    (void)arrival_kind_by_name("weekly");
+    FAIL() << "expected std::invalid_argument";
+  } catch (const std::invalid_argument& e) {
+    EXPECT_STREQ(e.what(),
+                 "unknown arrival kind: weekly (expected none, poisson, "
+                 "bursty, or diurnal)");
+  }
+}
+
+TEST(ArrivalPlan, PersistenceRoundTripIsByteExact) {
+  const ArrivalPlan plan =
+      ArrivalPlan::bursty(0.7, 0.01, 33.25, 12.125, 0xFEEDULL);
+  std::stringstream first;
+  plan.save(first);
+  const ArrivalPlan loaded = ArrivalPlan::load(first);
+  EXPECT_EQ(plan, loaded);
+  std::stringstream second;
+  loaded.save(second);
+  EXPECT_EQ(first.str(), second.str());
+
+  const ArrivalPlan diurnal =
+      ArrivalPlan::diurnal({0.0, 0.3, 1.75, 0.0}, 41.5, 99);
+  std::stringstream bytes;
+  diurnal.save(bytes);
+  EXPECT_EQ(diurnal, ArrivalPlan::load(bytes));
+}
+
+TEST(ArrivalPlan, ArrivalTimesArePureAndNonDecreasing) {
+  for (const ArrivalPlan& plan :
+       {ArrivalPlan::poisson(0.05, 7),
+        ArrivalPlan::bursty(0.2, 0.0, 50.0, 25.0, 7),
+        ArrivalPlan::diurnal({0.1, 0.0, 0.4}, 30.0, 7)}) {
+    const std::vector<double> times = plan.arrival_times(64);
+    EXPECT_EQ(times, plan.arrival_times(64));
+    // Pure per index: a shorter request is a prefix of a longer one.
+    const std::vector<double> prefix = plan.arrival_times(16);
+    for (std::size_t k = 0; k < prefix.size(); ++k) {
+      EXPECT_EQ(prefix[k], times[k]) << "arrival " << k;
+    }
+    for (std::size_t k = 1; k < times.size(); ++k) {
+      EXPECT_LE(times[k - 1], times[k]) << "arrival " << k;
+    }
+  }
+}
+
+TEST(ArrivalPlan, TrivialPlanRefusesToEmitTimes) {
+  EXPECT_THROW((void)ArrivalPlan{}.arrival_times(1), std::invalid_argument);
+}
+
+// ----- placement policies -----
+
+/// A minimal view over a schedule under construction: work is the
+/// committed load, every machine is a target.
+class ScheduleView final : public PlacementView {
+ public:
+  explicit ScheduleView(const Schedule& schedule) : schedule_(&schedule) {}
+  [[nodiscard]] std::size_t num_targets() const override {
+    return schedule_->num_machines();
+  }
+  [[nodiscard]] MachineId target(std::size_t k) const override {
+    return static_cast<MachineId>(k);
+  }
+  [[nodiscard]] Cost work(MachineId i) const override {
+    return schedule_->load(i);
+  }
+  [[nodiscard]] Cost cost(MachineId i, JobId j) const override {
+    return schedule_->instance().cost(i, j);
+  }
+
+ private:
+  const Schedule* schedule_;
+};
+
+TEST(Placement, TwoChoicesMatchesTheCentralizedScheduleDrawForDraw) {
+  const Instance instance = gen::uniform_unrelated(5, 24, 1.0, 100.0, 3);
+  stats::Rng reference_rng(11);
+  const Schedule expected =
+      centralized::two_choices_schedule(instance, 2, reference_rng);
+
+  const TwoChoicesPlacement policy(2);
+  Schedule actual(instance);
+  const ScheduleView view(actual);
+  stats::Rng rng(11);
+  const auto jobs = static_cast<JobId>(instance.num_jobs());
+  for (JobId j = 0; j < jobs; ++j) {
+    actual.assign(j, policy.place(view, j, rng));
+  }
+  EXPECT_EQ(expected.fingerprint(), actual.fingerprint());
+}
+
+TEST(Placement, MakePlacementParsesSpecsAndRejectsBadOnes) {
+  EXPECT_EQ(make_placement("two_choices:3")->name(), "two_choices:3");
+  EXPECT_EQ(make_placement("2choices:4")->name(), "two_choices:4");
+  EXPECT_EQ(make_placement("random")->name(), "random");
+  EXPECT_EQ(make_placement("ect")->name(), "ect");
+  EXPECT_EQ(make_placement("2choices")->name(), "two_choices:2");
+  try {
+    (void)make_placement("two_choices:zero");
+    FAIL() << "expected std::invalid_argument";
+  } catch (const std::invalid_argument& e) {
+    EXPECT_STREQ(e.what(),
+                 "make_placement: invalid probe count 'zero' in "
+                 "'two_choices:zero' (want an integer >= 1)");
+  }
+  EXPECT_THROW((void)make_placement("best_fit"), std::invalid_argument);
+  EXPECT_THROW(TwoChoicesPlacement(0), std::invalid_argument);
+}
+
+// ----- JobPool (shared with run_dynamic) -----
+
+TEST(JobPool, ShuffleMatchesStatsShuffleByteForByte) {
+  stats::Rng pool_rng(5);
+  const JobPool pool(12, pool_rng);
+  std::vector<JobId> expected(12);
+  for (JobId j = 0; j < 12; ++j) expected[j] = j;
+  stats::Rng reference(5);
+  stats::shuffle(expected.begin(), expected.end(), reference);
+  EXPECT_EQ(pool.order(), expected);
+  // Both consumed the identical draw sequence.
+  EXPECT_EQ(pool_rng(), reference());
+}
+
+TEST(JobPool, ExhaustionAndRestoreAreGuarded) {
+  stats::Rng rng(1);
+  JobPool pool(2, rng);
+  (void)pool.take();
+  (void)pool.take();
+  EXPECT_TRUE(pool.exhausted());
+  try {
+    (void)pool.take();
+    FAIL() << "expected std::logic_error";
+  } catch (const std::logic_error& e) {
+    EXPECT_STREQ(
+        e.what(),
+        "JobPool: exhausted after 2 jobs (demand_fits precondition "
+        "violated)");
+  }
+  try {
+    pool.restore(3);
+    FAIL() << "expected std::invalid_argument";
+  } catch (const std::invalid_argument& e) {
+    EXPECT_STREQ(e.what(),
+                 "JobPool::restore: cursor 3 exceeds pool size 2");
+  }
+  pool.restore(1);
+  EXPECT_EQ(pool.remaining(), 1u);
+}
+
+TEST(JobPool, DemandFitsIsOverflowSafe) {
+  EXPECT_TRUE(JobPool::demand_fits(100, 10, 10, 9));
+  EXPECT_FALSE(JobPool::demand_fits(100, 10, 10, 10));
+  constexpr std::size_t kMax = std::numeric_limits<std::size_t>::max();
+  // epochs * per_epoch wraps; the historical raw product said "fits".
+  EXPECT_FALSE(JobPool::demand_fits(100, 1, kMax / 2, 3));
+  EXPECT_FALSE(JobPool::demand_fits(100, kMax, 1, 1));
+}
+
+TEST(DynamicWorkload, OverflowingDemandIsRejectedNotWrapped) {
+  const Instance instance = gen::two_cluster_uniform(2, 2, 64, 1.0, 10.0, 1);
+  const pairwise::PairKernel& kernel =
+      pairwise::kernel_registry().get("dlb2c");
+  DynamicOptions options;
+  options.initial_active = 16;
+  options.churn_per_epoch = 3;
+  options.epochs = std::numeric_limits<std::size_t>::max() / 2;
+  try {
+    (void)run_dynamic(instance, kernel, options);
+    FAIL() << "expected std::invalid_argument";
+  } catch (const std::invalid_argument& e) {
+    EXPECT_STREQ(e.what(),
+                 "run_dynamic: invalid DynamicOptions.initial_active: job "
+                 "pool too small: initial_active + epochs * churn_per_epoch "
+                 "overflows size_t");
+  }
+}
+
+// ----- run outcomes as comparable bytes -----
+
+struct Outcome {
+  std::string report_json;
+  std::uint64_t fingerprint = 0;
+  std::string metrics_json;
+  std::vector<obs::TraceEvent> trace;
+  std::vector<Cost> makespan_trace;
+};
+
+bool same_event(const obs::TraceEvent& a, const obs::TraceEvent& b) {
+  return a.ts_us == b.ts_us && a.tid == b.tid && a.phase == b.phase &&
+         a.name == b.name && a.category == b.category && a.args == b.args;
+}
+
+void expect_identical(const Outcome& a, const Outcome& b) {
+  EXPECT_EQ(a.report_json, b.report_json);
+  EXPECT_EQ(a.fingerprint, b.fingerprint);
+  EXPECT_EQ(a.metrics_json, b.metrics_json);
+  EXPECT_EQ(a.makespan_trace, b.makespan_trace);
+  ASSERT_EQ(a.trace.size(), b.trace.size());
+  for (std::size_t k = 0; k < a.trace.size(); ++k) {
+    EXPECT_TRUE(same_event(a.trace[k], b.trace[k]))
+        << "trace event " << k << " differs";
+  }
+}
+
+OpenSystemOptions open_options(const ArrivalPlan& plan) {
+  OpenSystemOptions options;
+  options.arrivals = &plan;
+  options.repair_every = 20.0;
+  options.repair_budget = 6;
+  options.record_trace = true;
+  return options;
+}
+
+Outcome run_open(const Instance& instance, OpenSystemOptions options,
+                 std::uint64_t seed) {
+  obs::Metrics metrics;
+  obs::Tracer tracer;
+  const obs::Context context{&metrics, &tracer};
+  options.obs = &context;
+  const UniformPeerSelector selector;
+  const OpenSystemEngine engine(
+      pairwise::kernel_registry().get("basic-greedy"), selector);
+  Schedule schedule(instance);
+  const OpenRunReport report = engine.run(schedule, options, seed);
+  return {report.to_json().dump(), schedule.fingerprint(),
+          metrics.snapshot().dump(), tracer.events(),
+          report.makespan_trace};
+}
+
+// ----- closed-mode delegation: the zero-arrival byte-identity gate -----
+
+TEST(OpenSystemEngine, ClosedSequentialDelegationIsByteIdentical) {
+  const Instance instance = gen::two_cluster_uniform(4, 3, 40, 1.0, 100.0, 2);
+  const Assignment initial = gen::random_assignment(instance, 4);
+  const pairwise::PairKernel& kernel =
+      pairwise::kernel_registry().get("basic-greedy");
+  const UniformPeerSelector selector;
+
+  obs::Metrics inner_metrics;
+  obs::Tracer inner_tracer;
+  const obs::Context inner_context{&inner_metrics, &inner_tracer};
+  EngineOptions classic;
+  classic.max_exchanges = 200;
+  classic.record_trace = true;
+  classic.obs = &inner_context;
+  Schedule reference(instance, initial);
+  stats::Rng rng(kSeed);
+  const RunResult expected =
+      ExchangeEngine(kernel, selector).run(reference, classic, rng);
+
+  obs::Metrics open_metrics;
+  obs::Tracer open_tracer;
+  const obs::Context open_context{&open_metrics, &open_tracer};
+  OpenSystemOptions options;  // arrivals == nullptr: closed mode.
+  options.closed_max_exchanges = 200;
+  options.record_trace = true;
+  options.obs = &open_context;
+  Schedule delegated(instance, initial);
+  const OpenRunReport actual =
+      OpenSystemEngine(kernel, selector).run(delegated, options, kSeed);
+
+  EXPECT_EQ(delegated.fingerprint(), reference.fingerprint());
+  EXPECT_EQ(static_cast<const RunReport&>(actual).to_json().dump(),
+            static_cast<const RunReport&>(expected).to_json().dump());
+  EXPECT_EQ(actual.makespan_trace, expected.makespan_trace);
+  ASSERT_EQ(actual.exchange_trace.size(), expected.exchange_trace.size());
+  EXPECT_EQ(open_metrics.snapshot().dump(), inner_metrics.snapshot().dump());
+  ASSERT_EQ(open_tracer.events().size(), inner_tracer.events().size());
+  for (std::size_t k = 0; k < open_tracer.events().size(); ++k) {
+    EXPECT_TRUE(same_event(open_tracer.events()[k], inner_tracer.events()[k]))
+        << "trace event " << k;
+  }
+  // Closed-mode reports print the classic block only.
+  std::ostringstream classic_text;
+  expected.print(classic_text);
+  std::ostringstream open_text;
+  actual.print(open_text);
+  EXPECT_EQ(open_text.str(), classic_text.str());
+}
+
+TEST(OpenSystemEngine, TrivialPlanDelegatesToTheParallelEngine) {
+  const Instance instance = gen::two_cluster_uniform(3, 3, 36, 1.0, 100.0, 6);
+  const Assignment initial = gen::random_assignment(instance, 7);
+  const pairwise::PairKernel& kernel =
+      pairwise::kernel_registry().get("basic-greedy");
+  const UniformPeerSelector selector;
+
+  ParallelEngineOptions classic;
+  classic.max_exchanges = 120;
+  classic.record_trace = true;
+  Schedule reference(instance, initial);
+  const ParallelRunResult expected =
+      ParallelExchangeEngine(kernel, selector).run(reference, classic, kSeed);
+
+  const ArrivalPlan trivial_plan;  // kind == kNone: still closed mode.
+  OpenSystemOptions options;
+  options.arrivals = &trivial_plan;
+  options.parallel_repair = true;
+  options.closed_max_exchanges = 120;
+  options.record_trace = true;
+  Schedule delegated(instance, initial);
+  const OpenRunReport actual =
+      OpenSystemEngine(kernel, selector).run(delegated, options, kSeed);
+
+  EXPECT_EQ(delegated.fingerprint(), reference.fingerprint());
+  EXPECT_EQ(static_cast<const RunReport&>(actual).to_json().dump(),
+            static_cast<const RunReport&>(expected).to_json().dump());
+  ASSERT_EQ(actual.epoch_trace.size(), expected.epoch_trace.size());
+  for (std::size_t k = 0; k < actual.epoch_trace.size(); ++k) {
+    EXPECT_EQ(actual.epoch_trace[k].makespan, expected.epoch_trace[k].makespan);
+  }
+}
+
+TEST(OpenSystemEngine, ClosedModeRejectsOpenCheckpointOptions) {
+  const Instance instance = gen::identical_uniform(2, 8, 1.0, 10.0, 1);
+  const UniformPeerSelector selector;
+  const OpenSystemEngine engine(
+      pairwise::kernel_registry().get("basic-greedy"), selector);
+  OpenSystemOptions options;
+  options.halt_after_events = 5;
+  Schedule schedule(instance, gen::random_assignment(instance, 1));
+  EXPECT_THROW(engine.run(schedule, options, kSeed), std::invalid_argument);
+}
+
+// ----- open mode: conservation, preconditions, report shape -----
+
+TEST(OpenSystemEngine, DrainsEveryArrivalAndReportsPercentiles) {
+  const Instance instance = gen::two_cluster_uniform(3, 2, 30, 1.0, 100.0, 8);
+  const ArrivalPlan plan = ArrivalPlan::poisson(0.04, 13);
+  const Outcome outcome = run_open(instance, open_options(plan), kSeed);
+
+  const UniformPeerSelector selector;
+  const OpenSystemEngine engine(
+      pairwise::kernel_registry().get("basic-greedy"), selector);
+  Schedule schedule(instance);
+  const OpenRunReport report =
+      engine.run(schedule, open_options(plan), kSeed);
+  EXPECT_EQ(report.jobs_submitted, 30u);
+  EXPECT_EQ(report.jobs_completed, 30u);
+  EXPECT_EQ(report.jobs_in_service, 0u);
+  EXPECT_EQ(report.jobs_waiting, 0u);
+  EXPECT_TRUE(report.converged);
+  EXPECT_FALSE(report.halted);
+  EXPECT_GT(report.end_time, 0.0);
+  EXPECT_GT(report.response_mean, 0.0);
+  EXPECT_LE(report.response_p50, report.response_p95);
+  EXPECT_LE(report.response_p95, report.response_p99);
+  EXPECT_GE(report.events, 60u);  // 30 arrivals + 30 completions.
+  // Same seed, same bytes.
+  EXPECT_EQ(report.to_json().dump(), outcome.report_json);
+  // The open keys ride behind the full base schema.
+  EXPECT_NE(outcome.report_json.find("\"open_jobs_submitted\""),
+            std::string::npos);
+  EXPECT_NE(outcome.report_json.find("\"risk_jobs\""), std::string::npos);
+}
+
+TEST(OpenSystemEngine, NumArrivalsCapsTheAdmittedJobs) {
+  const Instance instance = gen::identical_uniform(3, 20, 1.0, 50.0, 4);
+  const ArrivalPlan plan = ArrivalPlan::poisson(0.1, 5);
+  OpenSystemOptions options = open_options(plan);
+  options.num_arrivals = 5;
+  const UniformPeerSelector selector;
+  const OpenSystemEngine engine(
+      pairwise::kernel_registry().get("basic-greedy"), selector);
+  Schedule schedule(instance);
+  const OpenRunReport report = engine.run(schedule, options, kSeed);
+  EXPECT_EQ(report.jobs_submitted, 5u);
+  EXPECT_EQ(report.jobs_completed, 5u);
+
+  options.num_arrivals = 21;
+  Schedule rejected(instance);
+  EXPECT_THROW(engine.run(rejected, options, kSeed), std::invalid_argument);
+}
+
+TEST(OpenSystemEngine, OpenModeRequiresAnEmptySchedule) {
+  const Instance instance = gen::identical_uniform(2, 6, 1.0, 10.0, 9);
+  const ArrivalPlan plan = ArrivalPlan::poisson(0.1, 2);
+  const UniformPeerSelector selector;
+  const OpenSystemEngine engine(
+      pairwise::kernel_registry().get("basic-greedy"), selector);
+  Schedule loaded(instance, gen::random_assignment(instance, 3));
+  try {
+    engine.run(loaded, open_options(plan), kSeed);
+    FAIL() << "expected std::invalid_argument";
+  } catch (const std::invalid_argument& e) {
+    EXPECT_NE(std::string(e.what()).find("starts on an empty schedule"),
+              std::string::npos);
+  }
+}
+
+// ----- differential: repair thread invariance at 1/4/8 workers -----
+
+TEST(OpenSystemEngine, ParallelRepairIsThreadCountInvariantAcrossRegimes) {
+  for (const check::Regime regime :
+       {check::Regime::kOpenPoisson, check::Regime::kOpenBursty}) {
+    for (const std::uint64_t index : {0ULL, 1ULL, 2ULL}) {
+      const check::GeneratedCase test_case =
+          check::make_case(kSeed, index, regime);
+      ASSERT_FALSE(test_case.arrivals.trivial());
+      OpenSystemOptions options = open_options(test_case.arrivals);
+      options.parallel_repair = true;
+      options.realize_service = test_case.instance.has_cost_model();
+
+      const Outcome inline_run = run_open(test_case.instance, options, kSeed);
+      for (const std::size_t threads :
+           {std::size_t{1}, std::size_t{4}, std::size_t{8}}) {
+        parallel::ThreadPool pool(threads);
+        OpenSystemOptions pooled = options;
+        pooled.pool = &pool;
+        const Outcome pooled_run =
+            run_open(test_case.instance, pooled, kSeed);
+        expect_identical(inline_run, pooled_run);
+      }
+    }
+  }
+}
+
+// ----- differential: halt / checkpoint / resume -----
+
+TEST(OpenSystemEngine, HaltResumeReproducesTheUninterruptedRunByteForByte) {
+  const check::GeneratedCase test_case =
+      check::make_case(kSeed, 4, check::Regime::kOpenPoisson);
+  const Instance& instance = test_case.instance;
+  OpenSystemOptions options = open_options(test_case.arrivals);
+  options.placement = nullptr;
+
+  const UniformPeerSelector selector;
+  const OpenSystemEngine engine(
+      pairwise::kernel_registry().get("basic-greedy"), selector);
+  const Outcome uninterrupted = run_open(instance, options, kSeed);
+
+  Schedule probe(instance);
+  const OpenRunReport full = engine.run(probe, options, kSeed);
+  ASSERT_GT(full.events, 3u);
+
+  for (const std::uint64_t halt_at :
+       {std::uint64_t{1}, full.events / 3, full.events / 2,
+        full.events - 1}) {
+    OpenCheckpoint checkpoint;
+    OpenSystemOptions halt_options = options;
+    halt_options.halt_after_events = halt_at;
+    halt_options.checkpoint_out = &checkpoint;
+    Schedule halted(instance);
+    const OpenRunReport partial =
+        engine.run(halted, halt_options, kSeed);
+    ASSERT_TRUE(partial.halted);
+    ASSERT_FALSE(partial.converged);
+
+    // Through the text format: restore must be ulp-exact.
+    std::stringstream bytes;
+    checkpoint.save(bytes);
+    const OpenCheckpoint restored = OpenCheckpoint::load(bytes);
+    std::stringstream again;
+    restored.save(again);
+    EXPECT_EQ(bytes.str(), again.str());
+
+    obs::Metrics metrics;
+    obs::Tracer tracer;
+    const obs::Context context{&metrics, &tracer};
+    OpenSystemOptions resume_options = options;
+    resume_options.resume = &restored;
+    resume_options.obs = &context;
+    Schedule resumed = restored.make_schedule(instance);
+    const OpenRunReport finished =
+        engine.run(resumed, resume_options, kSeed);
+
+    EXPECT_EQ(finished.to_json().dump(), uninterrupted.report_json)
+        << "halted at event " << halt_at;
+    EXPECT_EQ(resumed.fingerprint(), uninterrupted.fingerprint);
+    // Cumulative end-of-run totals: a fresh registry after resume lands
+    // exactly the uninterrupted run's snapshot.
+    EXPECT_EQ(metrics.snapshot().dump(), uninterrupted.metrics_json);
+    // The resumed trace is the uninterrupted trace's suffix.
+    ASSERT_LE(tracer.events().size(), uninterrupted.trace.size());
+    const std::size_t offset =
+        uninterrupted.trace.size() - tracer.events().size();
+    for (std::size_t k = 0; k < tracer.events().size(); ++k) {
+      EXPECT_TRUE(
+          same_event(tracer.events()[k], uninterrupted.trace[offset + k]))
+          << "suffix event " << k << " after halting at " << halt_at;
+    }
+  }
+}
+
+TEST(OpenSystemEngine, ResumeRejectsSeedAndShapeMismatches) {
+  const Instance instance = gen::identical_uniform(2, 10, 1.0, 10.0, 3);
+  const ArrivalPlan plan = ArrivalPlan::poisson(0.1, 1);
+  const UniformPeerSelector selector;
+  const OpenSystemEngine engine(
+      pairwise::kernel_registry().get("basic-greedy"), selector);
+
+  OpenCheckpoint checkpoint;
+  OpenSystemOptions halt_options = open_options(plan);
+  halt_options.halt_after_events = 2;
+  halt_options.checkpoint_out = &checkpoint;
+  Schedule halted(instance);
+  ASSERT_TRUE(engine.run(halted, halt_options, kSeed).halted);
+
+  OpenSystemOptions resume_options = open_options(plan);
+  resume_options.resume = &checkpoint;
+  Schedule resumed = checkpoint.make_schedule(instance);
+  try {
+    engine.run(resumed, resume_options, kSeed + 1);
+    FAIL() << "expected std::invalid_argument";
+  } catch (const std::invalid_argument& e) {
+    EXPECT_NE(std::string(e.what()).find("checkpoint was taken under seed"),
+              std::string::npos);
+  }
+
+  const Instance other = gen::identical_uniform(3, 10, 1.0, 10.0, 3);
+  EXPECT_THROW((void)checkpoint.make_schedule(other), std::invalid_argument);
+}
+
+// ----- heap vs mmap-backed InstanceStore -----
+
+TEST(OpenSystemEngine, RunIsBackingInvariantOverTheMappedStore) {
+  const Instance heap = gen::two_cluster_uniform(4, 2, 48, 1.0, 100.0, 12);
+  const std::string path =
+      (std::filesystem::temp_directory_path() /
+       ("dlb_test_open_" + std::to_string(::getpid()) + ".dlbi"))
+          .string();
+  core::save_dlbi(heap, path);
+  const ArrivalPlan plan = ArrivalPlan::bursty(0.15, 0.01, 60.0, 30.0, 21);
+  {
+    const core::InstanceStore store = core::InstanceStore::open_mapped(path);
+    ASSERT_TRUE(store.instance().is_view());
+    expect_identical(run_open(heap, open_options(plan), kSeed),
+                     run_open(store.instance(), open_options(plan), kSeed));
+  }
+  std::error_code ec;
+  std::filesystem::remove(path, ec);
+}
+
+// ----- checkpoint parse errors -----
+
+TEST(OpenCheckpoint, LoadRejectsCorruptHeaders) {
+  std::stringstream bad("dlb-open-checkpoint v2\n");
+  EXPECT_THROW((void)OpenCheckpoint::load(bad), std::runtime_error);
+  std::stringstream truncated("dlb-open-checkpoint v1\nseed 1\nmachines");
+  EXPECT_THROW((void)OpenCheckpoint::load(truncated), std::runtime_error);
+}
+
+}  // namespace
+}  // namespace dlb::dist

@@ -19,6 +19,7 @@
 #include "cli/args.hpp"
 #include "core/instance_io.hpp"
 #include "core/instance_store.hpp"
+#include "dist/open_system/arrival.hpp"
 
 namespace {
 
@@ -31,7 +32,8 @@ cost regime, checked against the library's invariant oracles.
 The replay form runs the full oracle battery on saved reproducer files
 instead of generated cases: each FILE is a .inst/.instance dump; a
 sibling .assign/.assignment file supplies the initial placement (falling
-back to round-robin). tests/corpus/ holds the regression corpus.
+back to round-robin) and a sibling .arrivals file restores the
+open-system arrival plan. tests/corpus/ holds the regression corpus.
 
 options:
   --cases N          number of generated cases (default 1000)
@@ -39,7 +41,8 @@ options:
   --regime NAME      pin one regime: identical | related | two_cluster |
                      multi_cluster | unrelated | typed | single_type |
                      extreme_ratio | degenerate | stochastic_normal |
-                     stochastic_lognormal | stochastic_pareto
+                     stochastic_lognormal | stochastic_pareto |
+                     open_poisson | open_bursty
                      (default: cycle through all)
   --faults NAME      fault plan for async runs: rotate | none | drop |
                      delay | duplicate | reorder | chaos (default rotate)
@@ -51,26 +54,40 @@ options:
   --verbose          print a progress line every 1000 cases
 )";
 
+/// The reproducer path with its instance extension trimmed, for locating
+/// sidecar files.
+std::string stem_of(std::string path) {
+  for (const char* ext : {".instance", ".inst"}) {
+    const std::string suffix(ext);
+    if (path.size() > suffix.size() &&
+        path.compare(path.size() - suffix.size(), suffix.size(), suffix) ==
+            0) {
+      path.resize(path.size() - suffix.size());
+      break;
+    }
+  }
+  return path;
+}
+
 /// The companion assignment for a reproducer: the same stem with the
 /// matching assignment extension, or round-robin when no such file exists.
 dlb::Assignment initial_for(const std::string& instance_path,
                             const dlb::Instance& instance) {
-  std::string stem = instance_path;
-  for (const char* ext : {".instance", ".inst"}) {
-    const std::string suffix(ext);
-    if (stem.size() > suffix.size() &&
-        stem.compare(stem.size() - suffix.size(), suffix.size(), suffix) ==
-            0) {
-      stem.resize(stem.size() - suffix.size());
-      break;
-    }
-  }
+  const std::string stem = stem_of(instance_path);
   for (const char* ext : {".assignment", ".assign"}) {
     std::ifstream in(stem + ext);
     if (in) return dlb::io::load_assignment(in);
   }
   return dlb::Assignment::round_robin(instance.num_jobs(),
                                       instance.num_machines());
+}
+
+/// The companion arrival plan (open-regime reproducers); trivial when the
+/// sidecar file does not exist.
+dlb::dist::ArrivalPlan arrivals_for(const std::string& instance_path) {
+  std::ifstream in(stem_of(instance_path) + ".arrivals");
+  if (!in) return dlb::dist::ArrivalPlan{};
+  return dlb::dist::ArrivalPlan::load(in);
 }
 
 /// `dlb_check replay FILE...`: the regression-corpus gate. Every saved
@@ -110,8 +127,11 @@ int run_replay(const std::vector<std::string>& tokens) {
     const dlb::Assignment initial = store.has_initial_assignment()
                                         ? store.initial_assignment()
                                         : initial_for(path, instance);
+    const dlb::dist::ArrivalPlan arrivals = arrivals_for(path);
+    dlb::check::CaseContext case_context = context;
+    case_context.arrivals = arrivals.trivial() ? nullptr : &arrivals;
     dlb::check::Report report;
-    dlb::check::run_case_oracles(instance, initial, context, report,
+    dlb::check::run_case_oracles(instance, initial, case_context, report,
                                  nullptr);
     if (report.ok()) {
       std::cout << "PASS " << path << "\n";
@@ -154,7 +174,8 @@ int run(const dlb::cli::Args& args) {
   std::cout << "dlb_check: " << summary.cases_run << " cases ("
             << summary.exact_solved << " vs exact OPT, "
             << summary.engine_runs << " engine runs, " << summary.churn_runs
-            << " churn runs, " << summary.async_runs << " async runs, "
+            << " churn runs, " << summary.open_runs << " open runs, "
+            << summary.async_runs << " async runs, "
             << summary.stochastic_cases << " stochastic cases)\n"
             << "dlb_check: injected faults: " << summary.faults.dropped
             << " dropped, " << summary.faults.delayed << " delayed, "
